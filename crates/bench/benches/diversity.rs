@@ -1,0 +1,55 @@
+//! Cost of the diversity report (category proportions + indices) as the
+//! dataset and the category cardinality grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_diversity::DiversityReport;
+use rf_ranking::Ranking;
+use rf_table::{Column, Table};
+use std::hint::black_box;
+
+fn table_with_categories(rows: usize, categories: usize) -> (Table, Ranking) {
+    let labels: Vec<String> = (0..rows).map(|i| format!("cat{}", i % categories)).collect();
+    let scores: Vec<f64> = (0..rows).map(|i| (rows - i) as f64).collect();
+    let table = Table::from_columns(vec![
+        ("category", Column::from_strings(labels)),
+        ("score", Column::from_f64(scores.clone())),
+    ])
+    .unwrap();
+    let ranking = Ranking::from_scores(&scores).unwrap();
+    (table, ranking)
+}
+
+fn diversity_scaling_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diversity/rows");
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let (table, ranking) = table_with_categories(rows, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(DiversityReport::evaluate(&table, &ranking, "category", 10).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn diversity_scaling_categories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diversity/categories");
+    for &categories in &[2usize, 10, 100, 1_000] {
+        let (table, ranking) = table_with_categories(20_000, categories);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(categories),
+            &categories,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        DiversityReport::evaluate(&table, &ranking, "category", 100).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, diversity_scaling_rows, diversity_scaling_categories);
+criterion_main!(benches);

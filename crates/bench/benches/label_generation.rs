@@ -1,0 +1,71 @@
+//! End-to-end label generation cost (the Figure 1 pipeline) as the dataset
+//! grows, plus the three demonstration scenarios at their paper sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{compas_scenario, cs_label_config, cs_table_with_rows, german_credit_scenario};
+use rf_core::NutritionalLabel;
+use std::hint::black_box;
+
+fn label_generation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_generation/cs_departments_scaling");
+    group.sample_size(20);
+    for rows in [100usize, 1_000, 10_000] {
+        let table = cs_table_with_rows(rows);
+        let config = cs_label_config();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let label = NutritionalLabel::generate(black_box(&table), black_box(&config))
+                    .expect("label");
+                black_box(label.headline())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn label_generation_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_generation/scenarios");
+    group.sample_size(15);
+
+    let cs_table = cs_table_with_rows(97);
+    let cs_config = cs_label_config();
+    group.bench_function("cs_departments_97", |b| {
+        b.iter(|| NutritionalLabel::generate(black_box(&cs_table), black_box(&cs_config)).unwrap())
+    });
+
+    let (compas_table, compas_config) = compas_scenario(6_889);
+    group.bench_function("compas_6889", |b| {
+        b.iter(|| {
+            NutritionalLabel::generate(black_box(&compas_table), black_box(&compas_config))
+                .unwrap()
+        })
+    });
+
+    let (credit_table, credit_config) = german_credit_scenario(1_000);
+    group.bench_function("german_credit_1000", |b| {
+        b.iter(|| {
+            NutritionalLabel::generate(black_box(&credit_table), black_box(&credit_config))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn label_rendering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_rendering");
+    let table = cs_table_with_rows(97);
+    let config = cs_label_config();
+    let label = NutritionalLabel::generate(&table, &config).unwrap();
+    group.bench_function("text", |b| b.iter(|| black_box(label.to_text())));
+    group.bench_function("html", |b| b.iter(|| black_box(label.to_html())));
+    group.bench_function("json", |b| b.iter(|| black_box(label.to_json().unwrap())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    label_generation_scaling,
+    label_generation_scenarios,
+    label_rendering
+);
+criterion_main!(benches);

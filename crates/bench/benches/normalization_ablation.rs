@@ -1,0 +1,61 @@
+//! Ablation: the normalization policy of the scoring function (Figure 3's
+//! "normalize and standardize" checkbox).
+//!
+//! Measures both the cost of scoring under each policy and — reported through
+//! the bench output — how much the induced ranking differs from the min-max
+//! default (Kendall tau).  Run with `--nocapture`-style verbosity via the
+//! usual Criterion output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::cs_table_with_rows;
+use rf_ranking::{kendall_tau_rankings, AttributeWeight, ScoringFunction};
+use rf_table::NormalizationMethod;
+use std::hint::black_box;
+
+fn scoring_under_each_normalization(c: &mut Criterion) {
+    let table = cs_table_with_rows(10_000);
+    let weights = vec![
+        AttributeWeight::new("PubCount", 0.4),
+        AttributeWeight::new("Faculty", 0.4),
+        AttributeWeight::new("GRE", 0.2),
+    ];
+
+    // Report the ranking disagreement against the min-max default once, so the
+    // ablation's qualitative effect is visible in the bench log.
+    let baseline = ScoringFunction::with_normalization(weights.clone(), NormalizationMethod::MinMax)
+        .unwrap()
+        .rank_table(&table)
+        .unwrap();
+    for method in [NormalizationMethod::None, NormalizationMethod::ZScore] {
+        let ranking = ScoringFunction::with_normalization(weights.clone(), method)
+            .unwrap()
+            .rank_table(&table)
+            .unwrap();
+        let tau = kendall_tau_rankings(&baseline, &ranking).unwrap();
+        println!(
+            "[ablation] ranking agreement (Kendall tau) of {:?} vs MinMax: {tau:.3}",
+            method
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/normalization");
+    for method in [
+        NormalizationMethod::None,
+        NormalizationMethod::MinMax,
+        NormalizationMethod::ZScore,
+    ] {
+        let scoring =
+            ScoringFunction::with_normalization(weights.clone(), method).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, _| {
+                b.iter(|| black_box(scoring.rank_table(&table).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scoring_under_each_normalization);
+criterion_main!(benches);

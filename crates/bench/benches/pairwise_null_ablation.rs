@@ -1,0 +1,41 @@
+//! Ablation: the pairwise measure's null distribution — normal approximation
+//! versus Monte-Carlo permutation — one of the design choices called out in
+//! DESIGN.md §5.  The approximation is what the interactive label uses; the
+//! permutation null is the reference it is validated against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_fairness::{PairwiseTest, ProtectedGroup};
+use rf_ranking::Ranking;
+use std::hint::black_box;
+
+fn group_and_ranking(n: usize) -> (ProtectedGroup, Ranking) {
+    let members: Vec<bool> = (0..n).map(|i| (i * 5 + 2) % 7 < 2).collect();
+    let group = ProtectedGroup::from_membership("group", "protected", members).unwrap();
+    let ranking = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+    (group, ranking)
+}
+
+fn normal_vs_permutation(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("pairwise_null/normal_vs_permutation");
+    for &n in &[500usize, 2_000, 10_000] {
+        let (group, ranking) = group_and_ranking(n);
+        bench_group.bench_with_input(BenchmarkId::new("normal", n), &n, |b, _| {
+            let test = PairwiseTest::new();
+            b.iter(|| black_box(test.evaluate(&group, &ranking).unwrap()));
+        });
+        for &resamples in &[100usize, 1_000] {
+            bench_group.bench_with_input(
+                BenchmarkId::new(format!("permutation_{resamples}"), n),
+                &n,
+                |b, _| {
+                    let test = PairwiseTest::new().with_permutation_null(resamples, 42);
+                    b.iter(|| black_box(test.evaluate(&group, &ranking).unwrap()));
+                },
+            );
+        }
+    }
+    bench_group.finish();
+}
+
+criterion_group!(benches, normal_vs_permutation);
+criterion_main!(benches);

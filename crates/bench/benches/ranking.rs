@@ -1,0 +1,36 @@
+//! Cost of scoring, ranking and rank-correlation as the dataset grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{cs_scoring, cs_table_with_rows};
+use rf_ranking::{kendall_tau_rankings, Ranking};
+use std::hint::black_box;
+
+fn scoring_and_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking/score_and_rank");
+    for &rows in &[100usize, 1_000, 10_000, 100_000] {
+        let table = cs_table_with_rows(rows);
+        let scoring = cs_scoring();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(scoring.rank_table(&table).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn kendall_tau_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking/kendall_tau");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 5_000] {
+        let a = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.reverse();
+        let b_ranking = Ranking::from_order(&order).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(kendall_tau_rankings(&a, &b_ranking).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scoring_and_ranking, kendall_tau_cost);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of the constructive FA*IR re-ranking as the ranking grows, compared
+//! with the cost of merely diagnosing it — the overhead a vendor would pay to
+//! ship a repaired ranking next to the label.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_fairness::{FairRerank, FairStarTest, ProtectedGroup};
+use rf_ranking::Ranking;
+use std::hint::black_box;
+
+/// A segregated membership pattern: the protected group is concentrated in
+/// the bottom third, so the re-ranker actually has work to do.
+fn segregated_group(n: usize) -> (ProtectedGroup, Ranking) {
+    let members: Vec<bool> = (0..n).map(|i| i >= 2 * n / 3).collect();
+    let group = ProtectedGroup::from_membership("group", "protected", members).unwrap();
+    let ranking = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+    (group, ranking)
+}
+
+fn diagnose_vs_repair(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("rerank/diagnose_vs_repair");
+    for &(n, k) in &[(1_000usize, 10usize), (10_000, 100), (100_000, 100)] {
+        let (group, ranking) = segregated_group(n);
+        let p = group.protected_proportion();
+        bench_group.bench_with_input(
+            BenchmarkId::new("diagnose", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, _| {
+                let test = FairStarTest::new(k, p).unwrap();
+                b.iter(|| black_box(test.evaluate(&group, &ranking).unwrap()));
+            },
+        );
+        bench_group.bench_with_input(
+            BenchmarkId::new("repair", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, _| {
+                let reranker = FairRerank::new(k, p).unwrap();
+                b.iter(|| black_box(reranker.rerank(&group, &ranking).unwrap()));
+            },
+        );
+    }
+    bench_group.finish();
+}
+
+fn repair_scaling_in_k(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("rerank/k_scaling");
+    let n = 20_000usize;
+    let (group, ranking) = segregated_group(n);
+    let p = group.protected_proportion();
+    for &k in &[10usize, 50, 100, 500] {
+        bench_group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let reranker = FairRerank::new(k, p).unwrap();
+            b.iter(|| black_box(reranker.rerank(&group, &ranking).unwrap()));
+        });
+    }
+    bench_group.finish();
+}
+
+criterion_group!(benches, diagnose_vs_repair, repair_scaling_in_k);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Cost of constrained set selection (EDBT 2018 substrate): the offline
+//! optimum and both online strategies as the candidate pool grows, plus the
+//! full random-arrival evaluation loop used in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_setsel::{
+    expected_utility_ratio, offline_select, Candidate, ConstraintSet, GroupConstraint,
+    OnlineSelector, OnlineStrategy,
+};
+use std::hint::black_box;
+
+/// Synthetic candidate pool over three categories with distinct utility
+/// ranges, so floors and ceilings both bind.
+fn pool(n: usize) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            let (category, base) = match i % 3 {
+                0 => ("alpha", 100.0),
+                1 => ("beta", 60.0),
+                _ => ("gamma", 30.0),
+            };
+            let utility = base - (i as f64 * 0.37) % 25.0;
+            Candidate::new(i, utility, category).unwrap()
+        })
+        .collect()
+}
+
+fn constraints(k: usize) -> ConstraintSet {
+    ConstraintSet::new(
+        k,
+        vec![
+            GroupConstraint::at_least("gamma", k / 5).unwrap(),
+            GroupConstraint::at_most("alpha", k / 2).unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+fn offline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setsel/offline");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let candidates = pool(n);
+        let constraints = constraints(50);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(offline_select(&candidates, &constraints).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn online_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setsel/online");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let candidates = pool(n);
+        let constraints = constraints(50);
+        for (name, strategy) in [
+            ("greedy", OnlineStrategy::Greedy),
+            ("secretary", OnlineStrategy::secretary()),
+        ] {
+            let selector = OnlineSelector::new(constraints.clone(), strategy).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(selector.run_shuffled(&candidates, 42).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn random_order_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setsel/expected_ratio");
+    let candidates = pool(5_000);
+    let constraints = constraints(50);
+    let selector = OnlineSelector::new(constraints, OnlineStrategy::secretary()).unwrap();
+    for &runs in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(runs), &runs, |b, &runs| {
+            b.iter(|| black_box(expected_utility_ratio(&candidates, &selector, runs, 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_scaling, online_strategies, random_order_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Cost of the stability estimators (slope fit and per-attribute analysis) as
+//! the ranking grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{cs_scoring, cs_table_with_rows};
+use rf_stability::{attribute_stability, SlopeStability};
+use std::hint::black_box;
+
+fn slope_stability_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stability/slope");
+    for &rows in &[100usize, 1_000, 10_000, 100_000] {
+        let table = cs_table_with_rows(rows);
+        let scoring = cs_scoring();
+        let ranking = scoring.rank_table(&table).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(SlopeStability::evaluate(&ranking, 10).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn attribute_stability_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stability/per_attribute");
+    group.sample_size(30);
+    for &rows in &[100usize, 1_000, 10_000] {
+        let table = cs_table_with_rows(rows);
+        let scoring = cs_scoring();
+        let ranking = scoring.rank_table(&table).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(attribute_stability(&table, &scoring, &ranking).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slope_stability_scaling, attribute_stability_scaling);
+criterion_main!(benches);

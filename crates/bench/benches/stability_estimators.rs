@@ -1,0 +1,62 @@
+//! Ablation: the slope heuristic of Figure 2 vs. the Monte-Carlo stability
+//! estimator ("a model of uncertainty in the data").
+//!
+//! The slope estimator is orders of magnitude cheaper; the Monte-Carlo
+//! estimator answers the question directly (expected rank correlation under
+//! noise) at the cost of re-ranking the dataset per trial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{cs_scoring, cs_table_with_rows};
+use rf_stability::{MonteCarloStability, SlopeStability};
+use std::hint::black_box;
+
+fn slope_vs_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/stability_estimators");
+    group.sample_size(10);
+    for &rows in &[100usize, 1_000] {
+        let table = cs_table_with_rows(rows);
+        let scoring = cs_scoring();
+        let ranking = scoring.rank_table(&table).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("slope", rows), &rows, |b, _| {
+            b.iter(|| black_box(SlopeStability::evaluate(&ranking, 10).unwrap()));
+        });
+
+        for &trials in &[20usize, 100] {
+            let estimator = MonteCarloStability::new()
+                .with_trials(trials)
+                .unwrap()
+                .with_noise(0.05, 0.05)
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("monte_carlo_{trials}_trials"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(estimator.evaluate(&table, &scoring, &ranking).unwrap())
+                    });
+                },
+            );
+        }
+
+        // Log the verdict agreement so the ablation's qualitative outcome is
+        // visible alongside the timings.
+        let slope = SlopeStability::evaluate(&ranking, 10).unwrap();
+        let mc = MonteCarloStability::new()
+            .with_trials(50)
+            .unwrap()
+            .evaluate(&table, &scoring, &ranking)
+            .unwrap();
+        println!(
+            "[ablation] rows={rows}: slope verdict {:?} (score {:.3}) vs Monte-Carlo verdict {:?} (E[tau] {:.3})",
+            slope.verdict(),
+            slope.stability_score(),
+            mc.verdict,
+            mc.expected_kendall_tau
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slope_vs_monte_carlo);
+criterion_main!(benches);

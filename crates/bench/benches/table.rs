@@ -1,0 +1,39 @@
+//! Cost of the table substrate: CSV parsing, sorting and column statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rf_bench::cs_table_with_rows;
+use rf_table::{column_summary, read_csv_str, write_csv_string, CsvOptions};
+use std::hint::black_box;
+
+fn csv_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table/csv");
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let table = cs_table_with_rows(rows);
+        let csv = write_csv_string(&table);
+        group.throughput(Throughput::Bytes(csv.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", rows), &rows, |b, _| {
+            b.iter(|| black_box(read_csv_str(&csv, &CsvOptions::default()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("write", rows), &rows, |b, _| {
+            b.iter(|| black_box(write_csv_string(&table)));
+        });
+    }
+    group.finish();
+}
+
+fn sorting_and_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table/sort_and_stats");
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let table = cs_table_with_rows(rows);
+        group.bench_with_input(BenchmarkId::new("sort_by_pubcount", rows), &rows, |b, _| {
+            b.iter(|| black_box(table.sort_by("PubCount", true).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("column_summary", rows), &rows, |b, _| {
+            b.iter(|| black_box(column_summary(&table, "PubCount").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, csv_roundtrip, sorting_and_stats);
+criterion_main!(benches);

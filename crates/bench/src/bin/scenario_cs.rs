@@ -1,0 +1,43 @@
+//! Demonstration scenario 1 (paper §3): CS departments — the full walk-through
+//! with the default scoring function and an alternative weighting, showing how
+//! the label updates "as the user selects different ranking methods or sets
+//! different weights".
+//!
+//! ```sh
+//! cargo run -p rf-bench --bin scenario_cs
+//! ```
+
+use rf_bench::{cs_label_config, cs_table, print_banner};
+use rf_core::NutritionalLabel;
+use rf_ranking::ScoringFunction;
+
+fn main() {
+    let table = cs_table();
+
+    print_banner("Scenario 1a — CS departments, default recipe (0.4/0.4/0.2)");
+    let label = NutritionalLabel::generate(&table, &cs_label_config()).expect("label");
+    println!("{}", label.to_text());
+
+    print_banner("Scenario 1b — what if the user weights GRE heavily? (0.1/0.1/0.8)");
+    let alt_scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.1), ("Faculty", 0.1), ("GRE", 0.8)])
+            .expect("valid scoring");
+    let alt_config = cs_label_config();
+    let alt_config = rf_core::LabelConfig {
+        scoring: alt_scoring,
+        ..alt_config
+    };
+    let alt_label = NutritionalLabel::generate(&table, &alt_config).expect("label");
+    println!("{}", alt_label.to_text());
+
+    print_banner("Comparison");
+    println!("default recipe headline: {}", label.headline());
+    println!("GRE-heavy recipe headline: {}", alt_label.headline());
+    let overlap = label
+        .ranking
+        .top_k_indices(10)
+        .iter()
+        .filter(|idx| alt_label.ranking.top_k_indices(10).contains(idx))
+        .count();
+    println!("top-10 overlap between the two recipes: {overlap}/10 departments");
+}

@@ -1,0 +1,135 @@
+//! Shared harness helpers for the benchmark suite and the figure/scenario
+//! regeneration binaries.
+//!
+//! The paper's evaluation artifacts are Figures 1–3 and the three
+//! demonstration scenarios of §3 (see DESIGN.md §4 and EXPERIMENTS.md); the
+//! binaries under `src/bin/` regenerate each of them, and the Criterion
+//! benches under `benches/` characterize the cost of every measure as the
+//! dataset and prefix sizes grow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rf_core::{LabelConfig, NutritionalLabel};
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+use rf_ranking::ScoringFunction;
+use rf_table::Table;
+
+/// The paper's CS-departments scoring function:
+/// 0.4·PubCount + 0.4·Faculty + 0.2·GRE over min-max-normalized attributes.
+#[must_use]
+pub fn cs_scoring() -> ScoringFunction {
+    ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("valid CS scoring function")
+}
+
+/// The default label configuration for the CS departments scenario
+/// (Figure 1): top-10, both DeptSizeBin values audited, diversity over
+/// DeptSizeBin and Region.
+#[must_use]
+pub fn cs_label_config() -> LabelConfig {
+    LabelConfig::new(cs_scoring())
+        .with_top_k(10)
+        .with_ingredient_count(2)
+        .with_dataset_name("CS departments (synthetic CSR + NRC)")
+        .with_sensitive_attribute("DeptSizeBin", ["large", "small"])
+        .with_diversity_attribute("DeptSizeBin")
+        .with_diversity_attribute("Region")
+}
+
+/// Generates the CS departments dataset at the paper's scale (97 rows, seed 42).
+#[must_use]
+pub fn cs_table() -> Table {
+    CsDepartmentsConfig::default()
+        .generate()
+        .expect("CS departments generator")
+}
+
+/// Generates a CS-departments-shaped dataset with `rows` rows (for scaling
+/// benchmarks).
+#[must_use]
+pub fn cs_table_with_rows(rows: usize) -> Table {
+    CsDepartmentsConfig::with_rows(rows)
+        .generate()
+        .expect("CS departments generator")
+}
+
+/// The COMPAS scenario: dataset (full ProPublica size by default) and config.
+#[must_use]
+pub fn compas_scenario(rows: usize) -> (Table, LabelConfig) {
+    let table = CompasConfig::with_rows(rows)
+        .generate()
+        .expect("COMPAS generator");
+    let scoring = ScoringFunction::from_pairs([("decile_score", 0.7), ("priors_count", 0.3)])
+        .expect("valid scoring");
+    let config = LabelConfig::new(scoring)
+        .with_top_k(100.min(rows))
+        .with_dataset_name("COMPAS recidivism (synthetic)")
+        .with_sensitive_attribute("race", ["African-American"])
+        .with_sensitive_attribute("sex", ["Female"])
+        .with_diversity_attribute("race")
+        .with_diversity_attribute("age_cat");
+    (table, config)
+}
+
+/// The German credit scenario: dataset (1,000 rows by default) and config.
+#[must_use]
+pub fn german_credit_scenario(rows: usize) -> (Table, LabelConfig) {
+    let table = GermanCreditConfig::with_rows(rows)
+        .generate()
+        .expect("German credit generator");
+    let scoring = ScoringFunction::from_pairs([
+        ("credit_score", 0.7),
+        ("employment_years", 0.2),
+        ("credit_amount", -0.1),
+    ])
+    .expect("valid scoring");
+    let config = LabelConfig::new(scoring)
+        .with_top_k(100.min(rows))
+        .with_dataset_name("German credit (synthetic)")
+        .with_sensitive_attribute("sex", ["female"])
+        .with_sensitive_attribute("age_group", ["young"])
+        .with_diversity_attribute("housing")
+        .with_diversity_attribute("checking_status");
+    (table, config)
+}
+
+/// Generates the CS departments label (the Figure 1 artifact).
+#[must_use]
+pub fn cs_label() -> NutritionalLabel {
+    NutritionalLabel::generate(&cs_table(), &cs_label_config()).expect("CS label")
+}
+
+/// Prints a labelled separator used by the regeneration binaries.
+pub fn print_banner(title: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs_scenario_helpers_agree() {
+        let table = cs_table();
+        let config = cs_label_config();
+        assert!(config.validate(&table).is_ok());
+        let label = cs_label();
+        assert_eq!(label.ranking.len(), table.num_rows());
+    }
+
+    #[test]
+    fn other_scenarios_validate() {
+        let (table, config) = compas_scenario(500);
+        assert!(config.validate(&table).is_ok());
+        let (table, config) = german_credit_scenario(300);
+        assert!(config.validate(&table).is_ok());
+    }
+
+    #[test]
+    fn scaled_cs_tables_have_requested_rows() {
+        assert_eq!(cs_table_with_rows(250).num_rows(), 250);
+    }
+}

@@ -1,0 +1,306 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! The demo tool's surface is simple enough that a full parser framework is
+//! not justified: one subcommand followed by `--key value` options (and the
+//! occasional repeatable option).  [`ParsedArgs`] splits that shape, reports
+//! unknown or repeated options precisely, and offers typed getters so that
+//! the command modules stay free of string handling.
+
+use crate::error::{CliError, CliResult};
+
+/// A parsed command line: the subcommand plus its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    options: Vec<(String, String)>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a usage error when no subcommand is given, an option has no
+    /// value, or a bare token appears where an option was expected.
+    pub fn parse<I, S>(raw: I) -> CliResult<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut tokens = raw.into_iter().map(Into::into);
+        let command = tokens
+            .next()
+            .ok_or_else(|| CliError::usage("expected a command; try `help`"))?;
+        if command.starts_with("--") {
+            return Err(CliError::usage(format!(
+                "expected a command before options, found `{command}`"
+            )));
+        }
+        let mut options = Vec::new();
+        while let Some(token) = tokens.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError::usage(format!(
+                    "unexpected positional argument `{token}` (options are `--key value`)"
+                )));
+            };
+            if key.is_empty() {
+                return Err(CliError::usage("empty option name `--`"));
+            }
+            // `--key=value` and `--key value` are both accepted.
+            let (key, value) = match key.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    let value = tokens.next().ok_or_else(|| {
+                        CliError::usage(format!("option `--{key}` is missing its value"))
+                    })?;
+                    (key.to_string(), value)
+                }
+            };
+            options.push((key, value));
+        }
+        Ok(ParsedArgs {
+            command: command.to_string(),
+            options,
+        })
+    }
+
+    /// The last value given for `key`, if any (later occurrences win, like
+    /// most Unix tools).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values given for `key`, in order (for repeatable options).
+    #[must_use]
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// The value of `key`, or a usage error naming the option.
+    ///
+    /// # Errors
+    /// Returns a usage error when the option is absent.
+    pub fn require(&self, key: &str) -> CliResult<&str> {
+        self.get(key)
+            .ok_or_else(|| CliError::usage(format!("missing required option `--{key}`")))
+    }
+
+    /// The value of `key` parsed as `usize`, or `default` when absent.
+    ///
+    /// # Errors
+    /// Returns a usage error when the value is present but not a number.
+    pub fn get_usize(&self, key: &str, default: usize) -> CliResult<usize> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::usage(format!("option `--{key}` expects an integer, got `{raw}`"))
+            }),
+        }
+    }
+
+    /// The value of `key` parsed as `u64`, or `default` when absent.
+    ///
+    /// # Errors
+    /// Returns a usage error when the value is present but not a number.
+    pub fn get_u64(&self, key: &str, default: u64) -> CliResult<u64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::usage(format!("option `--{key}` expects an integer, got `{raw}`"))
+            }),
+        }
+    }
+
+    /// The value of `key` parsed as `f64`, or `default` when absent.
+    ///
+    /// # Errors
+    /// Returns a usage error when the value is present but not a number.
+    pub fn get_f64(&self, key: &str, default: f64) -> CliResult<f64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::usage(format!("option `--{key}` expects a number, got `{raw}`"))
+            }),
+        }
+    }
+
+    /// Rejects any option not in `allowed`, so typos fail loudly instead of
+    /// being silently ignored.
+    ///
+    /// # Errors
+    /// Returns a usage error naming the first unknown option.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> CliResult<()> {
+        for (key, _) in &self.options {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown option `--{key}` for command `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a comma-separated `name=value` list (e.g. `PubCount=0.4,Faculty=0.4`)
+/// into `(name, value)` pairs.
+///
+/// # Errors
+/// Returns a usage error when an entry has no `=`, an empty name, or a
+/// non-numeric value.
+pub fn parse_weight_spec(spec: &str) -> CliResult<Vec<(String, f64)>> {
+    let mut pairs = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let (name, value) = entry.split_once('=').ok_or_else(|| {
+            CliError::usage(format!(
+                "weight entry `{entry}` must have the form `attribute=weight`"
+            ))
+        })?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(CliError::usage(format!(
+                "weight entry `{entry}` has an empty attribute name"
+            )));
+        }
+        let value: f64 = value.trim().parse().map_err(|_| {
+            CliError::usage(format!("weight for `{name}` must be a number, got `{value}`"))
+        })?;
+        pairs.push((name.to_string(), value));
+    }
+    if pairs.is_empty() {
+        return Err(CliError::usage(
+            "the scoring specification must list at least one `attribute=weight` pair",
+        ));
+    }
+    Ok(pairs)
+}
+
+/// Parses an `attribute=value` pair (e.g. `DeptSizeBin=small`).
+///
+/// # Errors
+/// Returns a usage error when there is no `=` or either side is empty.
+pub fn parse_attribute_value(spec: &str) -> CliResult<(String, String)> {
+    let (attribute, value) = spec.split_once('=').ok_or_else(|| {
+        CliError::usage(format!("`{spec}` must have the form `attribute=value`"))
+    })?;
+    if attribute.trim().is_empty() || value.trim().is_empty() {
+        return Err(CliError::usage(format!(
+            "`{spec}` must name both an attribute and a value"
+        )));
+    }
+    Ok((attribute.trim().to_string(), value.trim().to_string()))
+}
+
+/// Parses a `category=count` pair (e.g. `small=3`) for floors and ceilings.
+///
+/// # Errors
+/// Returns a usage error when the count is not a non-negative integer.
+pub fn parse_category_count(spec: &str) -> CliResult<(String, usize)> {
+    let (category, count) = parse_attribute_value(spec)?;
+    let count: usize = count.parse().map_err(|_| {
+        CliError::usage(format!("count for `{category}` must be an integer, got `{count}`"))
+    })?;
+    Ok((category, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let args =
+            ParsedArgs::parse(["label", "--data", "x.csv", "--k", "10", "--format=json"]).unwrap();
+        assert_eq!(args.command, "label");
+        assert_eq!(args.get("data"), Some("x.csv"));
+        assert_eq!(args.get("k"), Some("10"));
+        assert_eq!(args.get("format"), Some("json"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn later_occurrences_win_and_get_all_preserves_order() {
+        let args = ParsedArgs::parse([
+            "label",
+            "--sensitive",
+            "a=x",
+            "--sensitive",
+            "b=y",
+        ])
+        .unwrap();
+        assert_eq!(args.get("sensitive"), Some("b=y"));
+        assert_eq!(args.get_all("sensitive"), vec!["a=x", "b=y"]);
+    }
+
+    #[test]
+    fn rejects_malformed_command_lines() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["--data", "x.csv"]).is_err());
+        assert!(ParsedArgs::parse(["label", "stray"]).is_err());
+        assert!(ParsedArgs::parse(["label", "--data"]).is_err());
+        assert!(ParsedArgs::parse(["label", "--"]).is_err());
+    }
+
+    #[test]
+    fn typed_getters_validate() {
+        let args = ParsedArgs::parse(["x", "--k", "7", "--alpha", "0.1", "--bad", "zz"]).unwrap();
+        assert_eq!(args.get_usize("k", 10).unwrap(), 7);
+        assert_eq!(args.get_usize("missing", 10).unwrap(), 10);
+        assert!((args.get_f64("alpha", 0.05).unwrap() - 0.1).abs() < 1e-12);
+        assert!(args.get_usize("bad", 0).is_err());
+        assert!(args.get_f64("bad", 0.0).is_err());
+        assert!(args.get_u64("bad", 0).is_err());
+        assert_eq!(args.get_u64("missing", 42).unwrap(), 42);
+        assert!(args.require("k").is_ok());
+        assert!(args.require("missing").is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_by_allowlist() {
+        let args = ParsedArgs::parse(["label", "--data", "x.csv", "--typo", "1"]).unwrap();
+        let err = args.reject_unknown(&["data", "k"]).unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+        assert!(args.reject_unknown(&["data", "typo"]).is_ok());
+    }
+
+    #[test]
+    fn weight_spec_parsing() {
+        let pairs = parse_weight_spec("PubCount=0.4, Faculty=0.4,GRE=0.2").unwrap();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, "PubCount");
+        assert!((pairs[2].1 - 0.2).abs() < 1e-12);
+        assert!(parse_weight_spec("").is_err());
+        assert!(parse_weight_spec("PubCount").is_err());
+        assert!(parse_weight_spec("=0.4").is_err());
+        assert!(parse_weight_spec("PubCount=abc").is_err());
+    }
+
+    #[test]
+    fn attribute_value_and_category_count_parsing() {
+        assert_eq!(
+            parse_attribute_value("DeptSizeBin=small").unwrap(),
+            ("DeptSizeBin".to_string(), "small".to_string())
+        );
+        assert!(parse_attribute_value("nope").is_err());
+        assert!(parse_attribute_value("=x").is_err());
+        assert_eq!(
+            parse_category_count("small=3").unwrap(),
+            ("small".to_string(), 3)
+        );
+        assert!(parse_category_count("small=three").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! `ranking-facts datasets` — list the built-in synthetic datasets.
+
+use crate::args::ParsedArgs;
+use crate::error::CliResult;
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for unknown options.
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(&[])?;
+    let cs = CsDepartmentsConfig::default();
+    let compas = CompasConfig::default();
+    let german = GermanCreditConfig::default();
+    Ok(format!(
+        "built-in synthetic datasets (paper §3):\n\
+         \n\
+         \x20 cs       CS departments (CS Rankings + NRC schema)\n\
+         \x20          {} rows by default; attributes: Dept, PubCount, Faculty, GRE, Region, DeptSizeBin\n\
+         \x20 compas   COMPAS-like criminal risk assessment\n\
+         \x20          {} rows by default; demographics, priors, decile risk score\n\
+         \x20 german   German-credit-like loan applicants\n\
+         \x20          {} rows by default; demographics, credit amount, duration, credit score\n\
+         \n\
+         use `ranking-facts generate --dataset <name>` to export one as CSV,\n\
+         or pass `--dataset <name>` directly to `label`, `design`, `mitigate`, `rerank`, `select`.",
+        cs.rows, compas.rows, german.rows
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    #[test]
+    fn lists_all_three_datasets() {
+        let out = run(&ParsedArgs::parse(["datasets"]).unwrap()).unwrap();
+        assert!(out.contains("cs "));
+        assert!(out.contains("compas"));
+        assert!(out.contains("german"));
+        assert!(out.contains("6889") || out.contains("6,889") || out.contains("rows"));
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        let args = ParsedArgs::parse(["datasets", "--verbose", "1"]).unwrap();
+        assert!(run(&args).is_err());
+    }
+}

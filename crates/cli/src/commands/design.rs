@@ -1,0 +1,163 @@
+//! `ranking-facts design` — the scoring-function design view (Figure 3).
+
+use crate::args::ParsedArgs;
+use crate::commands::{build_scoring, load_input, parse_normalization};
+use crate::error::{CliError, CliResult};
+use rf_core::DesignView;
+use std::fmt::Write as _;
+
+const ALLOWED: &[&str] = &[
+    "dataset",
+    "data",
+    "rows",
+    "seed",
+    "normalize",
+    "bins",
+    "preview-rows",
+    "attribute",
+    "score",
+    "preview",
+];
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for malformed options or an execution error from the
+/// design-view construction.
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(ALLOWED)?;
+    let (table, name) = load_input(args)?;
+    let normalization = parse_normalization(args)?;
+    let bins = args.get_usize("bins", 10)?;
+    let preview_rows = args.get_usize("preview-rows", 5)?;
+    let view =
+        DesignView::build(&table, normalization, preview_rows, bins).map_err(CliError::execution)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Scoring function design — {name} ===");
+    let _ = writeln!(
+        out,
+        "{} rows; numeric attributes: {}; categorical attributes: {}",
+        view.rows,
+        view.numeric_attributes.join(", "),
+        view.categorical_attributes.join(", ")
+    );
+    let _ = writeln!(out, "normalization: {}\n", view.normalization);
+    let _ = writeln!(out, "--- data preview ---\n{}", view.data_preview);
+
+    // Per-attribute summaries, optionally restricted to one attribute.
+    let filter = args.get("attribute");
+    for preview in &view.attribute_previews {
+        if let Some(wanted) = filter {
+            if preview.attribute != wanted {
+                continue;
+            }
+        }
+        let raw = &preview.raw_summary;
+        let _ = writeln!(
+            out,
+            "--- {} ---\n  raw:        min {:.3}  median {:.3}  max {:.3}  mean {:.3}  stddev {:.3}",
+            preview.attribute, raw.min, raw.median, raw.max, raw.mean, raw.stddev
+        );
+        if let Some(norm) = &preview.normalized_summary {
+            let _ = writeln!(
+                out,
+                "  normalized: min {:.3}  median {:.3}  max {:.3}",
+                norm.min, norm.median, norm.max
+            );
+        }
+        let _ = writeln!(out, "  histogram ({} bins):", preview.histogram.counts.len());
+        let peak = preview.histogram.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (bin, &count) in preview.histogram.counts.iter().enumerate() {
+            let lo = preview.histogram.min + bin as f64 * preview.histogram.bin_width;
+            let bar_len = (count as f64 / peak as f64 * 40.0).round() as usize;
+            let _ = writeln!(out, "    [{lo:>10.2}) {:<40} {count}", "#".repeat(bar_len));
+        }
+    }
+    if let Some(wanted) = filter {
+        if !view.attribute_previews.iter().any(|p| p.attribute == wanted) {
+            return Err(CliError::usage(format!(
+                "`--attribute {wanted}` does not name a numeric attribute (available: {})",
+                view.numeric_attributes.join(", ")
+            )));
+        }
+    }
+
+    // Optional ranking preview when a candidate scoring function is given.
+    if args.get("score").is_some() {
+        let scoring = build_scoring(args)?;
+        let n = args.get_usize("preview", 10)?;
+        let preview = view
+            .preview_ranking(&table, &scoring, n)
+            .map_err(CliError::execution)?;
+        let _ = writeln!(out, "\n--- ranking preview (top {}) ---", preview.top_items.len());
+        for (rank, (item, score)) in preview
+            .top_items
+            .iter()
+            .zip(preview.top_scores.iter())
+            .enumerate()
+        {
+            let _ = writeln!(out, "  {:>2}. {item}  (score {score:.4})", rank + 1);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    #[test]
+    fn design_view_lists_attributes_and_histograms() {
+        let args = ParsedArgs::parse([
+            "design", "--dataset", "cs", "--rows", "50", "--seed", "1", "--bins", "8",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("Scoring function design"));
+        assert!(out.contains("GRE"));
+        assert!(out.contains("histogram (8 bins)"));
+        assert!(out.contains("data preview"));
+    }
+
+    #[test]
+    fn attribute_filter_and_ranking_preview() {
+        let args = ParsedArgs::parse([
+            "design",
+            "--dataset",
+            "cs",
+            "--rows",
+            "50",
+            "--attribute",
+            "GRE",
+            "--score",
+            "PubCount=0.6,Faculty=0.4",
+            "--preview",
+            "5",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("--- GRE ---"));
+        assert!(!out.contains("--- PubCount ---"));
+        assert!(out.contains("ranking preview"));
+        assert!(out.contains(" 5. "));
+    }
+
+    #[test]
+    fn unknown_attribute_is_a_usage_error() {
+        let args = ParsedArgs::parse([
+            "design", "--dataset", "cs", "--rows", "30", "--attribute", "Ghost",
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn zero_bins_is_an_execution_error() {
+        let args =
+            ParsedArgs::parse(["design", "--dataset", "cs", "--rows", "30", "--bins", "0"])
+                .unwrap();
+        assert!(run(&args).is_err());
+    }
+}

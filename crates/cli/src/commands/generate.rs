@@ -1,0 +1,78 @@
+//! `ranking-facts generate` — export a built-in dataset as CSV.
+
+use crate::args::ParsedArgs;
+use crate::commands::{load_input, write_or_return};
+use crate::error::{CliError, CliResult};
+use rf_table::write_csv_string;
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for missing / unknown options or an I/O error when
+/// `--out` cannot be written.
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(&["dataset", "rows", "seed", "out"])?;
+    if args.get("dataset").is_none() {
+        return Err(CliError::usage(
+            "`generate` requires `--dataset cs|compas|german`",
+        ));
+    }
+    let (table, _) = load_input(args)?;
+    write_or_return(args, write_csv_string(&table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    #[test]
+    fn generates_csv_with_header_and_rows() {
+        let args =
+            ParsedArgs::parse(["generate", "--dataset", "cs", "--rows", "12", "--seed", "3"])
+                .unwrap();
+        let csv = run(&args).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 13); // header + 12 rows
+        assert!(lines[0].contains("PubCount"));
+        assert!(lines[0].contains("DeptSizeBin"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let args =
+            ParsedArgs::parse(["generate", "--dataset", "german", "--rows", "20", "--seed", "9"])
+                .unwrap();
+        assert_eq!(run(&args).unwrap(), run(&args).unwrap());
+    }
+
+    #[test]
+    fn requires_a_dataset() {
+        let args = ParsedArgs::parse(["generate"]).unwrap();
+        assert!(run(&args).is_err());
+        // `--data` is not a valid source for `generate`.
+        let args = ParsedArgs::parse(["generate", "--data", "x.csv"]).unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn writes_to_a_file_when_out_is_given() {
+        let dir = std::env::temp_dir().join("rf_cli_generate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cs.csv");
+        let args = ParsedArgs::parse([
+            "generate",
+            "--dataset",
+            "cs",
+            "--rows",
+            "5",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let message = run(&args).unwrap();
+        assert!(message.contains("wrote"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written.lines().count(), 6);
+    }
+}

@@ -1,0 +1,177 @@
+//! `ranking-facts label` — produce a nutritional label (Figure 1).
+
+use crate::args::{parse_attribute_value, ParsedArgs};
+use crate::commands::{build_scoring, load_input, write_or_return};
+use crate::error::{CliError, CliResult};
+use rf_core::{IngredientsMethod, LabelConfig, NutritionalLabel};
+
+const ALLOWED: &[&str] = &[
+    "dataset",
+    "data",
+    "rows",
+    "seed",
+    "score",
+    "normalize",
+    "sensitive",
+    "diversity",
+    "k",
+    "alpha",
+    "ingredients",
+    "method",
+    "stability-threshold",
+    "format",
+    "out",
+];
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for malformed options or an execution error from the
+/// label pipeline (unknown columns, non-binary sensitive attributes, ...).
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(ALLOWED)?;
+    let (table, name) = load_input(args)?;
+    let config = build_config(args, name)?;
+    let label = NutritionalLabel::generate(&table, &config).map_err(CliError::execution)?;
+    let rendered = match args.get("format").unwrap_or("text") {
+        "text" => label.to_text(),
+        "json" => label.to_json().map_err(CliError::execution)?,
+        "html" => label.to_html(),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format `{other}` (available: text, json, html)"
+            )))
+        }
+    };
+    write_or_return(args, rendered)
+}
+
+/// Builds the [`LabelConfig`] shared by `label` and `mitigate`.
+pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult<LabelConfig> {
+    let scoring = build_scoring(args)?;
+    let mut config = LabelConfig::new(scoring)
+        .with_top_k(args.get_usize("k", 10)?)
+        .with_alpha(args.get_f64("alpha", 0.05)?)
+        .with_stability_threshold(args.get_f64("stability-threshold", 0.25)?)
+        .with_ingredient_count(args.get_usize("ingredients", 3)?)
+        .with_dataset_name(dataset_name);
+    config = match args.get("method") {
+        None | Some("linear") => config,
+        Some("rank-aware") => {
+            config.with_ingredients_method(IngredientsMethod::RankAwareSimilarity)
+        }
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown ingredients method `{other}` (available: linear, rank-aware)"
+            )))
+        }
+    };
+    for spec in args.get_all("sensitive") {
+        let (attribute, value) = parse_attribute_value(spec)?;
+        config = config.with_sensitive_attribute(attribute, [value]);
+    }
+    for attribute in args.get_all("diversity") {
+        config = config.with_diversity_attribute(attribute.to_string());
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn cs_args(extra: &[&str]) -> ParsedArgs {
+        let mut tokens = vec![
+            "label",
+            "--dataset",
+            "cs",
+            "--rows",
+            "60",
+            "--seed",
+            "42",
+            "--score",
+            "PubCount=0.4,Faculty=0.4,GRE=0.2",
+            "--sensitive",
+            "DeptSizeBin=small",
+            "--diversity",
+            "DeptSizeBin",
+            "--diversity",
+            "Region",
+        ];
+        tokens.extend_from_slice(extra);
+        ParsedArgs::parse(tokens).unwrap()
+    }
+
+    #[test]
+    fn text_label_contains_all_widgets() {
+        let out = run(&cs_args(&[])).unwrap();
+        assert!(out.contains("Recipe"));
+        assert!(out.contains("Ingredients"));
+        assert!(out.contains("Stability"));
+        assert!(out.contains("Fairness"));
+        assert!(out.contains("Diversity"));
+    }
+
+    #[test]
+    fn json_label_parses_and_names_the_dataset() {
+        let out = run(&cs_args(&["--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(value["dataset_name"]
+            .as_str()
+            .unwrap()
+            .contains("CS departments"));
+        assert!(value["fairness"].is_object() || value["fairness"].is_array());
+    }
+
+    #[test]
+    fn html_label_is_well_formed_enough() {
+        let out = run(&cs_args(&["--format", "html"])).unwrap();
+        assert!(out.contains("<html"));
+        assert!(out.contains("Fairness"));
+    }
+
+    #[test]
+    fn rank_aware_method_is_accepted() {
+        let out = run(&cs_args(&["--method", "rank-aware"])).unwrap();
+        assert!(out.contains("rank-aware similarity"));
+    }
+
+    #[test]
+    fn bad_options_are_usage_errors() {
+        assert!(run(&cs_args(&["--format", "pdf"])).is_err());
+        assert!(run(&cs_args(&["--method", "psychic"])).is_err());
+        let args = ParsedArgs::parse(["label", "--dataset", "cs"]).unwrap();
+        assert!(run(&args).is_err()); // missing --score
+        let args = ParsedArgs::parse([
+            "label",
+            "--dataset",
+            "cs",
+            "--score",
+            "PubCount=1.0",
+            "--unknown",
+            "1",
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn execution_errors_surface_pipeline_problems() {
+        // Region has five values; the fairness widget requires binary attributes.
+        let args = ParsedArgs::parse([
+            "label",
+            "--dataset",
+            "cs",
+            "--rows",
+            "40",
+            "--score",
+            "PubCount=1.0",
+            "--sensitive",
+            "Region=NE",
+        ])
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+}

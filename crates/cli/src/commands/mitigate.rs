@@ -1,0 +1,145 @@
+//! `ranking-facts mitigate` — suggest alternative scoring weights.
+//!
+//! Implements the extension the paper announces in §4: "methods that help the
+//! user mitigate lack of fairness and diversity by suggesting modified
+//! scoring functions".
+
+use crate::args::ParsedArgs;
+use crate::commands::label::build_config;
+use crate::commands::load_input;
+use crate::error::{CliError, CliResult};
+use rf_core::MitigationSearch;
+use std::fmt::Write as _;
+
+const ALLOWED: &[&str] = &[
+    "dataset",
+    "data",
+    "rows",
+    "seed",
+    "score",
+    "normalize",
+    "sensitive",
+    "diversity",
+    "k",
+    "alpha",
+    "ingredients",
+    "method",
+    "stability-threshold",
+    "suggestions",
+    "min-similarity",
+];
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for malformed options or an execution error from the
+/// mitigation search.
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(ALLOWED)?;
+    let (table, name) = load_input(args)?;
+    let config = build_config(args, name.clone())?;
+    if config.sensitive_attributes.is_empty() && config.diversity_attributes.is_empty() {
+        return Err(CliError::usage(
+            "`mitigate` needs at least one `--sensitive attr=value` or `--diversity attr` \
+             to know what to repair",
+        ));
+    }
+    let search = MitigationSearch::new()
+        .with_max_suggestions(args.get_usize("suggestions", 5)?)
+        .with_min_similarity(args.get_f64("min-similarity", 0.2)?);
+    let suggestions = search.suggest(&table, &config).map_err(CliError::execution)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Mitigation suggestions — {name} ===");
+    let _ = writeln!(
+        out,
+        "original recipe: {}",
+        format_weights(config.scoring.weights())
+    );
+    for (i, suggestion) in suggestions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "\n{}. {}{}",
+            i + 1,
+            format_weights(&suggestion.weights),
+            if suggestion.is_original {
+                "  (the original recipe)"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "   unfair features: {}   attributes losing categories: {}   similarity to original: {:.3}{}",
+            suggestion.unfair_features,
+            suggestion.attributes_losing_categories,
+            suggestion.similarity_to_original,
+            if suggestion.resolves_all_issues() {
+                "   [resolves all issues]"
+            } else {
+                ""
+            }
+        );
+    }
+    if suggestions.is_empty() {
+        let _ = writeln!(out, "\nno candidate recipe met the similarity requirement");
+    }
+    Ok(out)
+}
+
+fn format_weights(weights: &[rf_ranking::AttributeWeight]) -> String {
+    weights
+        .iter()
+        .map(|w| format!("{}={:.3}", w.attribute, w.weight))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    #[test]
+    fn suggestions_are_produced_for_the_cs_scenario() {
+        let args = ParsedArgs::parse([
+            "mitigate",
+            "--dataset",
+            "cs",
+            "--rows",
+            "60",
+            "--seed",
+            "42",
+            "--score",
+            "PubCount=0.4,Faculty=0.4,GRE=0.2",
+            "--sensitive",
+            "DeptSizeBin=small",
+            "--diversity",
+            "DeptSizeBin",
+            "--suggestions",
+            "3",
+        ])
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("Mitigation suggestions"));
+        assert!(out.contains("original recipe: PubCount=0.400"));
+        assert!(out.contains("1. "));
+        assert!(out.contains("similarity to original"));
+    }
+
+    #[test]
+    fn requires_something_to_repair() {
+        let args = ParsedArgs::parse([
+            "mitigate",
+            "--dataset",
+            "cs",
+            "--rows",
+            "40",
+            "--score",
+            "PubCount=1.0",
+        ])
+        .unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

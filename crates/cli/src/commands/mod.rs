@@ -1,0 +1,205 @@
+//! Command implementations and the shared input-loading helpers.
+
+pub mod datasets;
+pub mod design;
+pub mod generate;
+pub mod label;
+pub mod mitigate;
+pub mod rerank;
+pub mod select;
+
+use crate::args::{parse_weight_spec, ParsedArgs};
+use crate::error::{CliError, CliResult};
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+use rf_ranking::{AttributeWeight, ScoringFunction};
+use rf_table::{NormalizationMethod, Table};
+
+/// Loads the input table: either a built-in synthetic dataset (`--dataset
+/// cs|compas|german`, honouring `--rows` and `--seed`) or a user CSV file
+/// (`--data path`), mirroring the demo's "choose one of these datasets, or
+/// upload one of their own" flow (paper §3).
+///
+/// Returns the table together with a display name for the label header.
+pub(crate) fn load_input(args: &ParsedArgs) -> CliResult<(Table, String)> {
+    match (args.get("dataset"), args.get("data")) {
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "give either `--dataset` or `--data`, not both",
+        )),
+        (Some(name), None) => {
+            let seed = args.get_u64("seed", 42)?;
+            let rows = args.get("rows");
+            let table = match name {
+                "cs" | "cs-departments" => {
+                    let mut config = CsDepartmentsConfig::with_seed(seed);
+                    if let Some(rows) = rows {
+                        config.rows = parse_rows(rows)?;
+                    }
+                    config.generate().map_err(CliError::execution)?
+                }
+                "compas" => {
+                    let mut config = CompasConfig::with_seed(seed);
+                    if let Some(rows) = rows {
+                        config.rows = parse_rows(rows)?;
+                    }
+                    config.generate().map_err(CliError::execution)?
+                }
+                "german" | "german-credit" => {
+                    let mut config = GermanCreditConfig::with_seed(seed);
+                    if let Some(rows) = rows {
+                        config.rows = parse_rows(rows)?;
+                    }
+                    config.generate().map_err(CliError::execution)?
+                }
+                other => {
+                    return Err(CliError::usage(format!(
+                        "unknown dataset `{other}` (available: cs, compas, german)"
+                    )))
+                }
+            };
+            Ok((table, display_name(name).to_string()))
+        }
+        (None, Some(path)) => {
+            let (table, _) = rf_datasets::load_csv_file(path).map_err(CliError::execution)?;
+            Ok((table, path.to_string()))
+        }
+        (None, None) => Err(CliError::usage(
+            "specify the input with `--dataset cs|compas|german` or `--data FILE.csv`",
+        )),
+    }
+}
+
+fn parse_rows(raw: &str) -> CliResult<usize> {
+    raw.parse()
+        .map_err(|_| CliError::usage(format!("`--rows` expects an integer, got `{raw}`")))
+}
+
+fn display_name(dataset: &str) -> &'static str {
+    match dataset {
+        "compas" => "COMPAS-like criminal risk (synthetic)",
+        "german" | "german-credit" => "German-credit-like applicants (synthetic)",
+        _ => "CS departments (synthetic)",
+    }
+}
+
+/// Builds the scoring function from `--score attr=w,...` and `--normalize`.
+pub(crate) fn build_scoring(args: &ParsedArgs) -> CliResult<ScoringFunction> {
+    let spec = args.require("score")?;
+    let pairs = parse_weight_spec(spec)?;
+    let weights: Vec<AttributeWeight> = pairs
+        .into_iter()
+        .map(|(name, weight)| AttributeWeight::new(name, weight))
+        .collect();
+    ScoringFunction::with_normalization(weights, parse_normalization(args)?)
+        .map_err(CliError::execution)
+}
+
+/// Parses `--normalize none|minmax|zscore` (min-max when absent, matching the
+/// ticked-by-default checkbox of the design view).
+pub(crate) fn parse_normalization(args: &ParsedArgs) -> CliResult<NormalizationMethod> {
+    match args.get("normalize") {
+        None => Ok(NormalizationMethod::MinMax),
+        Some("none") | Some("raw") => Ok(NormalizationMethod::None),
+        Some("minmax") | Some("min-max") => Ok(NormalizationMethod::MinMax),
+        Some("zscore") | Some("z-score") => Ok(NormalizationMethod::ZScore),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown normalization `{other}` (available: none, minmax, zscore)"
+        ))),
+    }
+}
+
+/// Writes `content` to `--out FILE`, or returns it unchanged when `--out` is
+/// absent or `-`.
+pub(crate) fn write_or_return(args: &ParsedArgs, content: String) -> CliResult<String> {
+    match args.get("out") {
+        None | Some("-") => Ok(content),
+        Some(path) => {
+            std::fs::write(path, &content).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+            Ok(format!("wrote {} bytes to {path}", content.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn load_input_generates_builtin_datasets() {
+        let (table, name) = load_input(&parsed(&[
+            "label", "--dataset", "cs", "--rows", "30", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(table.num_rows(), 30);
+        assert!(name.contains("CS departments"));
+        let (table, _) =
+            load_input(&parsed(&["label", "--dataset", "german", "--rows", "50"])).unwrap();
+        assert_eq!(table.num_rows(), 50);
+        let (table, _) =
+            load_input(&parsed(&["label", "--dataset", "compas", "--rows", "80"])).unwrap();
+        assert_eq!(table.num_rows(), 80);
+    }
+
+    #[test]
+    fn load_input_rejects_bad_specifications() {
+        assert!(load_input(&parsed(&["label"])).is_err());
+        assert!(load_input(&parsed(&["label", "--dataset", "nope"])).is_err());
+        assert!(load_input(&parsed(&[
+            "label", "--dataset", "cs", "--data", "x.csv"
+        ]))
+        .is_err());
+        assert!(load_input(&parsed(&[
+            "label", "--dataset", "cs", "--rows", "abc"
+        ]))
+        .is_err());
+        assert!(load_input(&parsed(&["label", "--data", "/no/such/file.csv"])).is_err());
+    }
+
+    #[test]
+    fn scoring_and_normalization_parsing() {
+        let args = parsed(&[
+            "label",
+            "--score",
+            "PubCount=0.5,Faculty=0.5",
+            "--normalize",
+            "zscore",
+        ]);
+        let scoring = build_scoring(&args).unwrap();
+        assert_eq!(scoring.weights().len(), 2);
+        assert_eq!(scoring.normalization(), NormalizationMethod::ZScore);
+        assert!(build_scoring(&parsed(&["label"])).is_err());
+        assert!(parse_normalization(&parsed(&["label", "--normalize", "weird"])).is_err());
+        assert_eq!(
+            parse_normalization(&parsed(&["label"])).unwrap(),
+            NormalizationMethod::MinMax
+        );
+        assert_eq!(
+            parse_normalization(&parsed(&["label", "--normalize", "none"])).unwrap(),
+            NormalizationMethod::None
+        );
+    }
+
+    #[test]
+    fn write_or_return_roundtrips() {
+        let args = parsed(&["generate"]);
+        assert_eq!(
+            write_or_return(&args, "abc".to_string()).unwrap(),
+            "abc".to_string()
+        );
+        let dir = std::env::temp_dir().join("rf_cli_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        let args = parsed(&["generate", "--out", path.to_str().unwrap()]);
+        let message = write_or_return(&args, "hello".to_string()).unwrap();
+        assert!(message.contains("5 bytes"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        let args = parsed(&["generate", "--out", "/no/such/dir/out.txt"]);
+        assert!(write_or_return(&args, "x".to_string()).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! `ranking-facts rerank` — repair an unfair ranking with FA*IR re-ranking.
+
+use crate::args::{parse_attribute_value, ParsedArgs};
+use crate::commands::{build_scoring, load_input};
+use crate::error::{CliError, CliResult};
+use rf_fairness::{FairRerank, FairStarTest, ProtectedGroup};
+use std::fmt::Write as _;
+
+const ALLOWED: &[&str] = &[
+    "dataset",
+    "data",
+    "rows",
+    "seed",
+    "score",
+    "normalize",
+    "sensitive",
+    "k",
+    "p",
+    "alpha",
+    "no-adjust",
+];
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for malformed options or an execution error from the
+/// ranking / fairness pipeline (including infeasible re-ranks).
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(ALLOWED)?;
+    let (table, name) = load_input(args)?;
+    let scoring = build_scoring(args)?;
+    let (attribute, value) = parse_attribute_value(args.require("sensitive")?)?;
+
+    let ranking = scoring.rank_table(&table).map_err(CliError::execution)?;
+    let group =
+        ProtectedGroup::from_table(&table, &attribute, &value).map_err(CliError::execution)?;
+
+    let k = args.get_usize("k", 10)?;
+    let p = args.get_f64("p", group.protected_proportion())?;
+    let alpha = args.get_f64("alpha", 0.05)?;
+    let adjust = match args.get("no-adjust") {
+        None | Some("false") => true,
+        Some(_) => false,
+    };
+
+    let test = FairStarTest::new(k, p)
+        .and_then(|t| t.with_alpha(alpha))
+        .map(|t| t.with_adjustment(adjust))
+        .map_err(CliError::execution)?;
+    let before = test.evaluate(&group, &ranking).map_err(CliError::execution)?;
+
+    let reranker = FairRerank::new(k, p)
+        .and_then(|r| r.with_alpha(alpha))
+        .map(|r| r.with_adjustment(adjust))
+        .map_err(CliError::execution)?;
+    let outcome = reranker.rerank(&group, &ranking).map_err(CliError::execution)?;
+    let after = test
+        .evaluate(&group, &outcome.reranked)
+        .map_err(CliError::execution)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== FA*IR re-ranking — {name} ===");
+    let _ = writeln!(
+        out,
+        "protected feature: {attribute}={value} (overall proportion {:.3}); k = {k}, p = {p:.3}, alpha = {alpha}{}",
+        group.protected_proportion(),
+        if adjust { " (adjusted)" } else { " (unadjusted)" }
+    );
+    let _ = writeln!(
+        out,
+        "\nbefore: {}  (p-value {:.4}, protected in top-{k}: {})",
+        if before.satisfied { "FAIR" } else { "UNFAIR" },
+        before.p_value,
+        before.observed_counts.last().copied().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "after:  {}  (p-value {:.4}, protected in top-{k}: {})",
+        if after.satisfied { "FAIR" } else { "UNFAIR" },
+        after.p_value,
+        after.observed_counts.last().copied().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "\nrepair cost: {} item(s) boosted into the top-{k}, max boost {} positions,\n\
+         total score loss {:.4} (mean {:.4} per audited position), Kendall tau to original {:.4}",
+        outcome.boosted_into_top_k.len(),
+        outcome.max_rank_boost,
+        outcome.total_score_loss,
+        outcome.mean_score_loss(),
+        outcome.kendall_tau_to_original
+    );
+    if outcome.changed {
+        let _ = writeln!(out, "\nrows boosted into the top-{k}: {:?}", outcome.boosted_into_top_k);
+    } else {
+        let _ = writeln!(out, "\nthe original ranking already satisfies the constraint; no change needed");
+    }
+    let _ = writeln!(out, "\nre-ranked top-{k} (row indices): {:?}", outcome.reranked.top_k_indices(k));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn compas_args(extra: &[&str]) -> ParsedArgs {
+        let mut tokens = vec![
+            "rerank",
+            "--dataset",
+            "compas",
+            "--rows",
+            "400",
+            "--seed",
+            "7",
+            "--score",
+            "decile_score=0.7,priors_count=0.3",
+            "--sensitive",
+            "race=African-American",
+            "--k",
+            "20",
+        ];
+        tokens.extend_from_slice(extra);
+        ParsedArgs::parse(tokens).unwrap()
+    }
+
+    #[test]
+    fn rerank_reports_before_and_after() {
+        let out = run(&compas_args(&[])).unwrap();
+        assert!(out.contains("before:"));
+        assert!(out.contains("after:"));
+        assert!(out.contains("repair cost"));
+        assert!(out.contains("re-ranked top-20"));
+    }
+
+    #[test]
+    fn rerank_requires_sensitive_and_score() {
+        let args = ParsedArgs::parse(["rerank", "--dataset", "compas", "--rows", "100"]).unwrap();
+        assert!(run(&args).is_err());
+        let args = ParsedArgs::parse([
+            "rerank",
+            "--dataset",
+            "compas",
+            "--rows",
+            "100",
+            "--score",
+            "decile_score=1.0",
+        ])
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn explicit_p_and_no_adjust_are_accepted() {
+        let out = run(&compas_args(&["--p", "0.4", "--no-adjust", "true"])).unwrap();
+        assert!(out.contains("p = 0.400"));
+        assert!(out.contains("unadjusted"));
+    }
+}

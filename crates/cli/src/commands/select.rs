@@ -1,0 +1,197 @@
+//! `ranking-facts select` — constrained top-k selection (EDBT 2018).
+
+use crate::args::{parse_category_count, ParsedArgs};
+use crate::commands::load_input;
+use crate::error::{CliError, CliResult};
+use rf_setsel::{
+    expected_utility_ratio, offline_select, Candidate, ConstraintSet, GroupConstraint,
+    OnlineSelector, OnlineStrategy,
+};
+use std::fmt::Write as _;
+
+const ALLOWED: &[&str] = &[
+    "dataset",
+    "data",
+    "rows",
+    "seed",
+    "utility",
+    "category",
+    "k",
+    "floor",
+    "ceiling",
+    "strategy",
+    "warmup",
+    "runs",
+    "sim-seed",
+];
+
+/// Runs the command.
+///
+/// # Errors
+/// Returns a usage error for malformed options or an execution error when the
+/// constraints are infeasible for the dataset.
+pub fn run(args: &ParsedArgs) -> CliResult<String> {
+    args.reject_unknown(ALLOWED)?;
+    let (table, name) = load_input(args)?;
+    let utility = args.require("utility")?;
+    let category = args.require("category")?;
+    let candidates =
+        Candidate::from_table(&table, utility, category).map_err(CliError::execution)?;
+
+    let k = args.get_usize("k", 10)?;
+    let mut constraints = Vec::new();
+    for spec in args.get_all("floor") {
+        let (cat, count) = parse_category_count(spec)?;
+        constraints.push(GroupConstraint::at_least(cat, count).map_err(CliError::execution)?);
+    }
+    for spec in args.get_all("ceiling") {
+        let (cat, count) = parse_category_count(spec)?;
+        match constraints.iter_mut().find(|c| c.category == cat) {
+            Some(existing) => {
+                *existing = GroupConstraint::new(cat, existing.floor, count)
+                    .map_err(CliError::execution)?;
+            }
+            None => constraints
+                .push(GroupConstraint::at_most(cat, count).map_err(CliError::execution)?),
+        }
+    }
+    let constraints = ConstraintSet::new(k, constraints).map_err(CliError::execution)?;
+
+    let strategy = match args.get("strategy").unwrap_or("secretary") {
+        "greedy" => OnlineStrategy::Greedy,
+        "secretary" => OnlineStrategy::secretary(),
+        "warmup" => OnlineStrategy::Warmup {
+            warmup_fraction: args.get_f64("warmup", 1.0 / std::f64::consts::E)?,
+        },
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown strategy `{other}` (available: greedy, secretary, warmup)"
+            )))
+        }
+    };
+
+    let offline = offline_select(&candidates, &constraints).map_err(CliError::execution)?;
+    let selector =
+        OnlineSelector::new(constraints.clone(), strategy).map_err(CliError::execution)?;
+    let runs = args.get_usize("runs", 50)?;
+    let sim_seed = args.get_u64("sim-seed", 1)?;
+    let summary = expected_utility_ratio(&candidates, &selector, runs, sim_seed)
+        .map_err(CliError::execution)?;
+    let single = selector
+        .run_shuffled(&candidates, sim_seed)
+        .map_err(CliError::execution)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Constrained selection — {name} ===");
+    let _ = writeln!(
+        out,
+        "{} candidates; utility = {utility}, category = {category}; k = {k}",
+        candidates.len()
+    );
+    for constraint in constraints.constraints() {
+        let ceiling = if constraint.ceiling == usize::MAX {
+            "k".to_string()
+        } else {
+            constraint.ceiling.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  constraint: {} in [{}, {}]",
+            constraint.category, constraint.floor, ceiling
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\noffline optimum: utility {:.3}; per-category counts {:?}; {} item(s) forced by floors",
+        offline.total_utility, offline.category_counts, offline.forced_by_floors
+    );
+    let _ = writeln!(
+        out,
+        "one online run (seed {sim_seed}): utility {:.3} ({:.1}% of offline); per-category counts {:?}",
+        single.total_utility,
+        100.0 * single.total_utility / offline.total_utility.max(f64::EPSILON),
+        single.category_counts
+    );
+    let _ = writeln!(
+        out,
+        "\nover {runs} random arrival orders: utility ratio mean {:.3} (std {:.3}, min {:.3}, max {:.3});\n\
+         constraints satisfied in {:.0}% of runs",
+        summary.mean,
+        summary.std_dev,
+        summary.min,
+        summary.max,
+        100.0 * summary.constraint_satisfaction_rate
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn compas_args(extra: &[&str]) -> ParsedArgs {
+        let mut tokens = vec![
+            "select",
+            "--dataset",
+            "compas",
+            "--rows",
+            "300",
+            "--seed",
+            "5",
+            "--utility",
+            "decile_score",
+            "--category",
+            "race",
+            "--k",
+            "20",
+            "--floor",
+            "Other=8",
+            "--ceiling",
+            "African-American=12",
+            "--runs",
+            "10",
+        ];
+        tokens.extend_from_slice(extra);
+        ParsedArgs::parse(tokens).unwrap()
+    }
+
+    #[test]
+    fn select_reports_offline_online_and_ratio() {
+        let out = run(&compas_args(&[])).unwrap();
+        assert!(out.contains("offline optimum"));
+        assert!(out.contains("one online run"));
+        assert!(out.contains("random arrival orders"));
+        assert!(out.contains("constraints satisfied in 100%"));
+    }
+
+    #[test]
+    fn greedy_and_warmup_strategies_are_accepted() {
+        assert!(run(&compas_args(&["--strategy", "greedy"])).is_ok());
+        assert!(run(&compas_args(&["--strategy", "warmup", "--warmup", "0.25"])).is_ok());
+        assert!(run(&compas_args(&["--strategy", "psychic"])).is_err());
+    }
+
+    #[test]
+    fn floor_and_ceiling_for_the_same_category_combine() {
+        let out = run(&compas_args(&["--floor", "African-American=5"])).unwrap();
+        assert!(out.contains("African-American in [5, 12]"));
+    }
+
+    #[test]
+    fn infeasible_constraints_are_execution_errors() {
+        // A floor larger than the whole selection is rejected when building
+        // the constraint set.
+        let err = run(&compas_args(&["--floor", "Other=25"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn missing_required_options_are_usage_errors() {
+        let args =
+            ParsedArgs::parse(["select", "--dataset", "compas", "--rows", "100"]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

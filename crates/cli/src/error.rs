@@ -1,0 +1,100 @@
+//! Error type for the command-line front end.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-cli`.
+pub type CliResult<T> = Result<T, CliError>;
+
+/// Errors produced while parsing arguments or executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed (unknown command, missing or
+    /// malformed option).
+    Usage {
+        /// What went wrong.
+        message: String,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A label / table / measure error while executing the command.
+    Execution {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// Creates a usage error.
+    #[must_use]
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an execution error from any displayable failure.
+    #[must_use]
+    pub fn execution(err: impl fmt::Display) -> Self {
+        CliError::Execution {
+            message: err.to_string(),
+        }
+    }
+
+    /// Process exit code associated with this error (2 for usage problems,
+    /// 1 for everything else), mirroring common Unix tool conventions.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage { message } => write!(f, "usage error: {message}"),
+            CliError::Io { path, source } => write!(f, "I/O error on `{path}`: {source}"),
+            CliError::Execution { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_exit_codes() {
+        let e = CliError::usage("unknown command `frobnicate`");
+        assert!(e.to_string().contains("frobnicate"));
+        assert_eq!(e.exit_code(), 2);
+
+        let e = CliError::execution("ranking failed");
+        assert!(e.to_string().contains("ranking failed"));
+        assert_eq!(e.exit_code(), 1);
+
+        let e = CliError::Io {
+            path: "data.csv".to_string(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.to_string().contains("data.csv"));
+        assert_eq!(e.exit_code(), 1);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! # rf-cli — the Ranking Facts command line
+//!
+//! The paper demonstrates Ranking Facts as a web application; this crate
+//! exposes the identical flow from a terminal so the library can be exercised
+//! without the HTTP front end (`rf-server`) — useful for scripting the
+//! experiments of EXPERIMENTS.md and for the integration tests.
+//!
+//! ```text
+//! ranking-facts <command> [--option value ...]
+//!
+//! commands:
+//!   datasets   list the built-in synthetic datasets
+//!   generate   write one of the built-in datasets as CSV
+//!   design     inspect attributes before choosing a scoring function (Figure 3)
+//!   label      produce a nutritional label (Figure 1) as text, JSON or HTML
+//!   mitigate   suggest alternative weights that restore fairness / diversity
+//!   rerank     repair an unfair ranking with the FA*IR re-ranking algorithm
+//!   select     constrained top-k selection, offline and online (EDBT 2018)
+//!   help       show usage
+//! ```
+//!
+//! The library entry point is [`run`], which executes a full command line and
+//! returns the textual output; `main.rs` is a thin wrapper around it.  This
+//! keeps every command testable in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::ParsedArgs;
+pub use error::{CliError, CliResult};
+
+/// Executes a command line (excluding the program name) and returns the
+/// output that should be printed to stdout.
+///
+/// # Errors
+/// Returns a [`CliError`] for unknown commands, malformed options, I/O
+/// failures, or any failure of the underlying Ranking Facts pipeline.
+pub fn run<I, S>(raw: I) -> CliResult<String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let raw: Vec<String> = raw.into_iter().map(Into::into).collect();
+    // `--help` / `-h` before any command short-circuits to the usage text.
+    if matches!(raw.first().map(String::as_str), Some("--help" | "-h")) {
+        return Ok(usage().to_string());
+    }
+    let args = ParsedArgs::parse(raw)?;
+    match args.command.as_str() {
+        "datasets" => commands::datasets::run(&args),
+        "generate" => commands::generate::run(&args),
+        "design" => commands::design::run(&args),
+        "label" => commands::label::run(&args),
+        "mitigate" => commands::mitigate::run(&args),
+        "rerank" => commands::rerank::run(&args),
+        "select" => commands::select::run(&args),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`; try `help`"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "ranking-facts — nutritional labels for rankings\n\
+     \n\
+     usage: ranking-facts <command> [--option value ...]\n\
+     \n\
+     commands:\n\
+     \x20 datasets   list the built-in synthetic datasets\n\
+     \x20 generate   write one of the built-in datasets as CSV\n\
+     \x20            (--dataset cs|compas|german [--rows N] [--seed S] [--out FILE])\n\
+     \x20 design     inspect attributes before choosing a scoring function\n\
+     \x20            (--dataset ... | --data FILE.csv) [--normalize none|minmax|zscore]\n\
+     \x20            [--bins N] [--attribute NAME] [--score attr=w,...]\n\
+     \x20 label      produce a nutritional label\n\
+     \x20            (--dataset ... | --data FILE.csv) --score attr=w,...\n\
+     \x20            [--sensitive attr=value]... [--diversity attr]... [--k N]\n\
+     \x20            [--alpha A] [--ingredients N] [--method linear|rank-aware]\n\
+     \x20            [--normalize none|minmax|zscore] [--format text|json|html] [--out FILE]\n\
+     \x20 mitigate   suggest alternative weights that restore fairness / diversity\n\
+     \x20            (same data/score/sensitive/diversity options as `label`)\n\
+     \x20 rerank     repair an unfair ranking with the FA*IR re-ranking algorithm\n\
+     \x20            ... --score attr=w,... --sensitive attr=value [--k N] [--p P] [--alpha A]\n\
+     \x20 select     constrained top-k selection, offline and online\n\
+     \x20            ... --utility attr --category attr [--k N] [--floor cat=n]...\n\
+     \x20            [--ceiling cat=n]... [--strategy greedy|secretary] [--runs N] [--seed S]\n\
+     \x20 help       show this message\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(["help"]).unwrap().contains("ranking-facts"));
+        assert!(run(["--help"]).is_ok());
+        let err = run(["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        assert_eq!(err.exit_code(), 2);
+    }
+}

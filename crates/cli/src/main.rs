@@ -1,0 +1,20 @@
+//! `ranking-facts` — the Ranking Facts command line.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rf_cli::run(args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("ranking-facts: {err}");
+            if matches!(err, rf_cli::CliError::Usage { .. }) {
+                eprintln!("\n{}", rf_cli::usage());
+            }
+            ExitCode::from(u8::try_from(err.exit_code()).unwrap_or(1))
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Label configuration.
+//!
+//! A [`LabelConfig`] captures everything the demo user chooses in the
+//! scoring-function design view (Figure 3) before generating Ranking Facts:
+//! the scoring function (attributes + weights + normalization), the sensitive
+//! attribute(s) and their protected values, the diversity attributes, the
+//! audited prefix size, and the statistical thresholds.
+
+use crate::error::{LabelError, LabelResult};
+use crate::widgets::ingredients::IngredientsMethod;
+use rf_ranking::ScoringFunction;
+use rf_table::Table;
+
+/// A sensitive attribute together with the values treated as protected
+/// features.  "At least one categorical attribute must be chosen as the
+/// sensitive attribute.  Ranking Facts will evaluate fairness with respect to
+/// every value in the domain of this attribute" (paper §3) — listing both
+/// values of a binary attribute reproduces that behaviour (as in Figure 1,
+/// where both `large` and `small` are audited).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SensitiveAttribute {
+    /// Attribute name.
+    pub attribute: String,
+    /// Values audited as protected features.
+    pub protected_values: Vec<String>,
+}
+
+/// Full configuration of a nutritional label.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LabelConfig {
+    /// The scoring function (the Recipe).
+    pub scoring: ScoringFunction,
+    /// Sensitive attributes audited by the Fairness widget.
+    pub sensitive_attributes: Vec<SensitiveAttribute>,
+    /// Categorical attributes shown by the Diversity widget.
+    pub diversity_attributes: Vec<String>,
+    /// Audited prefix size (the paper's widgets use the top-10).
+    pub top_k: usize,
+    /// Significance level shared by the fairness tests.
+    pub alpha: f64,
+    /// Slope threshold of the Stability widget (0.25 in the paper's example).
+    pub stability_threshold: f64,
+    /// Number of attributes listed by the Ingredients widget.
+    pub ingredient_count: usize,
+    /// How the Ingredients widget estimates attribute importance.
+    #[serde(default)]
+    pub ingredients_method: IngredientsMethod,
+    /// Optional dataset name displayed in the label header.
+    pub dataset_name: Option<String>,
+}
+
+impl LabelConfig {
+    /// Creates a configuration with the paper's defaults:
+    /// top-10, `alpha = 0.05`, stability threshold 0.25, three ingredients.
+    #[must_use]
+    pub fn new(scoring: ScoringFunction) -> Self {
+        LabelConfig {
+            scoring,
+            sensitive_attributes: Vec::new(),
+            diversity_attributes: Vec::new(),
+            top_k: 10,
+            alpha: 0.05,
+            stability_threshold: 0.25,
+            ingredient_count: 3,
+            ingredients_method: IngredientsMethod::default(),
+            dataset_name: None,
+        }
+    }
+
+    /// Sets the audited prefix size.
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the significance level of the fairness tests.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the stability slope threshold.
+    #[must_use]
+    pub fn with_stability_threshold(mut self, threshold: f64) -> Self {
+        self.stability_threshold = threshold;
+        self
+    }
+
+    /// Sets the number of attributes listed by the Ingredients widget.
+    #[must_use]
+    pub fn with_ingredient_count(mut self, count: usize) -> Self {
+        self.ingredient_count = count;
+        self
+    }
+
+    /// Selects how the Ingredients widget estimates attribute importance
+    /// (linear association by default, or rank-aware similarity).
+    #[must_use]
+    pub fn with_ingredients_method(mut self, method: IngredientsMethod) -> Self {
+        self.ingredients_method = method;
+        self
+    }
+
+    /// Names the dataset for the label header.
+    #[must_use]
+    pub fn with_dataset_name(mut self, name: impl Into<String>) -> Self {
+        self.dataset_name = Some(name.into());
+        self
+    }
+
+    /// Adds a sensitive attribute with the values to audit as protected
+    /// features.
+    #[must_use]
+    pub fn with_sensitive_attribute<I, S>(mut self, attribute: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.sensitive_attributes.push(SensitiveAttribute {
+            attribute: attribute.into(),
+            protected_values: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Adds a diversity attribute.
+    #[must_use]
+    pub fn with_diversity_attribute(mut self, attribute: impl Into<String>) -> Self {
+        self.diversity_attributes.push(attribute.into());
+        self
+    }
+
+    /// Validates the configuration against a concrete table.
+    ///
+    /// # Errors
+    /// Returns [`LabelError::InvalidConfig`] (or a table error) describing the
+    /// first problem found: missing columns, wrong column roles, k larger
+    /// than the dataset, out-of-range thresholds, or empty protected-value
+    /// lists.
+    pub fn validate(&self, table: &Table) -> LabelResult<()> {
+        if self.top_k == 0 {
+            return Err(LabelError::InvalidConfig {
+                message: "top_k must be at least 1".to_string(),
+            });
+        }
+        if self.top_k > table.num_rows() {
+            return Err(LabelError::InvalidConfig {
+                message: format!(
+                    "top_k ({}) exceeds the number of rows ({})",
+                    self.top_k,
+                    table.num_rows()
+                ),
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(LabelError::InvalidConfig {
+                message: format!("alpha must lie strictly in (0, 1), got {}", self.alpha),
+            });
+        }
+        if !(self.stability_threshold.is_finite() && self.stability_threshold > 0.0) {
+            return Err(LabelError::InvalidConfig {
+                message: format!(
+                    "stability threshold must be positive, got {}",
+                    self.stability_threshold
+                ),
+            });
+        }
+        if self.ingredient_count == 0 {
+            return Err(LabelError::InvalidConfig {
+                message: "ingredient_count must be at least 1".to_string(),
+            });
+        }
+        self.scoring.validate_against(table)?;
+        for sensitive in &self.sensitive_attributes {
+            table.require_categorical(&sensitive.attribute)?;
+            if sensitive.protected_values.is_empty() {
+                return Err(LabelError::InvalidConfig {
+                    message: format!(
+                        "sensitive attribute `{}` lists no protected values",
+                        sensitive.attribute
+                    ),
+                });
+            }
+        }
+        for attribute in &self.diversity_attributes {
+            table.require_categorical(attribute)?;
+        }
+        Ok(())
+    }
+
+    /// Every `(attribute, protected value)` pair audited by the Fairness
+    /// widget, in configuration order.
+    #[must_use]
+    pub fn protected_features(&self) -> Vec<(&str, &str)> {
+        self.sensitive_attributes
+            .iter()
+            .flat_map(|s| {
+                s.protected_values
+                    .iter()
+                    .map(move |v| (s.attribute.as_str(), v.as_str()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    fn table() -> Table {
+        Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c", "d"])),
+            ("score_attr", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            ("other", Column::from_f64(vec![4.0, 3.0, 2.0, 1.0])),
+            ("group", Column::from_strings(["x", "y", "x", "y"])),
+        ])
+        .unwrap()
+    }
+
+    fn scoring() -> ScoringFunction {
+        ScoringFunction::from_pairs([("score_attr", 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LabelConfig::new(scoring());
+        assert_eq!(c.top_k, 10);
+        assert_eq!(c.alpha, 0.05);
+        assert_eq!(c.stability_threshold, 0.25);
+        assert_eq!(c.ingredient_count, 3);
+        assert!(c.sensitive_attributes.is_empty());
+        assert!(c.dataset_name.is_none());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let c = LabelConfig::new(scoring())
+            .with_top_k(5)
+            .with_alpha(0.01)
+            .with_stability_threshold(0.1)
+            .with_ingredient_count(2)
+            .with_ingredients_method(IngredientsMethod::RankAwareSimilarity)
+            .with_dataset_name("CS departments")
+            .with_sensitive_attribute("group", ["x", "y"])
+            .with_diversity_attribute("group");
+        assert_eq!(c.top_k, 5);
+        assert_eq!(
+            c.ingredients_method,
+            IngredientsMethod::RankAwareSimilarity
+        );
+        assert_eq!(c.alpha, 0.01);
+        assert_eq!(c.dataset_name.as_deref(), Some("CS departments"));
+        assert_eq!(
+            c.protected_features(),
+            vec![("group", "x"), ("group", "y")]
+        );
+        assert_eq!(c.diversity_attributes, vec!["group"]);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_config() {
+        let c = LabelConfig::new(scoring())
+            .with_top_k(2)
+            .with_sensitive_attribute("group", ["x"])
+            .with_diversity_attribute("group");
+        assert!(c.validate(&table()).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_k() {
+        let t = table();
+        assert!(LabelConfig::new(scoring()).with_top_k(0).validate(&t).is_err());
+        assert!(LabelConfig::new(scoring()).with_top_k(9).validate(&t).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_thresholds() {
+        let t = table();
+        let base = LabelConfig::new(scoring()).with_top_k(2);
+        assert!(base.clone().with_alpha(0.0).validate(&t).is_err());
+        assert!(base.clone().with_alpha(1.0).validate(&t).is_err());
+        assert!(base.clone().with_stability_threshold(0.0).validate(&t).is_err());
+        assert!(base.clone().with_ingredient_count(0).validate(&t).is_err());
+        assert!(base.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_columns() {
+        let t = table();
+        // Scoring over a missing column.
+        let bad_scoring = ScoringFunction::from_pairs([("ghost", 1.0)]).unwrap();
+        assert!(LabelConfig::new(bad_scoring).with_top_k(2).validate(&t).is_err());
+        // Sensitive attribute that is numeric.
+        let c = LabelConfig::new(scoring())
+            .with_top_k(2)
+            .with_sensitive_attribute("score_attr", ["1"]);
+        assert!(c.validate(&t).is_err());
+        // Diversity attribute that does not exist.
+        let c = LabelConfig::new(scoring())
+            .with_top_k(2)
+            .with_diversity_attribute("ghost");
+        assert!(c.validate(&t).is_err());
+        // Empty protected-value list.
+        let c = LabelConfig::new(scoring())
+            .with_top_k(2)
+            .with_sensitive_attribute("group", Vec::<String>::new());
+        assert!(c.validate(&t).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The scoring-function design view (Figure 3 of the paper).
+//!
+//! Before generating Ranking Facts the user designs a scoring function:
+//! "the user can decide whether to work with raw data or to normalize and
+//! standardize the attributes.  The system generates a preview of the data,
+//! and allows the user to plot the distribution of values of each attribute
+//! as a histogram. [...] at least one categorical attribute must be chosen as
+//! the sensitive attribute. [...] the user selects at least one numerical
+//! attribute for the scoring function, and assigns a weight to this
+//! attribute.  When scoring attributes are selected, the user will preview
+//! the ranking" (paper §3).
+//!
+//! [`DesignView`] packages exactly that information: the data preview,
+//! per-attribute summaries and histograms (raw and normalized), the candidate
+//! scoring and sensitive attributes, and a ranking preview for the currently
+//! selected scoring function.
+
+use crate::error::{LabelError, LabelResult};
+use rf_ranking::ScoringFunction;
+use rf_stats::{Histogram, Summary};
+use rf_table::{column_histogram, column_summary, NormalizationMethod, Normalizer, Table};
+
+/// Preview of one numeric attribute: raw and normalized summaries plus a
+/// histogram (the plot shown for GRE in Figure 3).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttributePreview {
+    /// Attribute name.
+    pub attribute: String,
+    /// Summary of the raw values.
+    pub raw_summary: Summary,
+    /// Summary of the normalized values (None when normalization is "raw" or
+    /// undefined for this attribute, e.g. a constant column).
+    pub normalized_summary: Option<Summary>,
+    /// Histogram of the raw values.
+    pub histogram: Histogram,
+}
+
+/// Preview of the ranking induced by a candidate scoring function.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankingPreview {
+    /// Identifiers (or row indices) of the top items.
+    pub top_items: Vec<String>,
+    /// Their scores.
+    pub top_scores: Vec<f64>,
+}
+
+/// The scoring-function design view.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignView {
+    /// Plain-text preview of the first rows of the dataset.
+    pub data_preview: String,
+    /// Number of rows in the dataset.
+    pub rows: usize,
+    /// Candidate scoring attributes (numeric columns).
+    pub numeric_attributes: Vec<String>,
+    /// Candidate sensitive / diversity attributes (categorical columns).
+    pub categorical_attributes: Vec<String>,
+    /// Per-attribute previews (summaries + histograms).
+    pub attribute_previews: Vec<AttributePreview>,
+    /// Normalization policy the previews were computed with.
+    pub normalization: String,
+}
+
+impl DesignView {
+    /// Builds the design view for `table`, computing previews of every numeric
+    /// attribute under the given normalization policy.
+    ///
+    /// `preview_rows` controls how many rows the textual data preview shows
+    /// and `histogram_bins` the resolution of the attribute histograms.
+    ///
+    /// # Errors
+    /// Returns an error for empty tables or if an attribute summary cannot be
+    /// computed.
+    pub fn build(
+        table: &Table,
+        normalization: NormalizationMethod,
+        preview_rows: usize,
+        histogram_bins: usize,
+    ) -> LabelResult<Self> {
+        if table.is_empty() {
+            return Err(LabelError::InvalidConfig {
+                message: "cannot design a scoring function over an empty dataset".to_string(),
+            });
+        }
+        if histogram_bins == 0 {
+            return Err(LabelError::InvalidConfig {
+                message: "histogram_bins must be at least 1".to_string(),
+            });
+        }
+        let numeric: Vec<String> = table
+            .schema()
+            .numeric_names()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let categorical: Vec<String> = table
+            .schema()
+            .categorical_names()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+
+        let mut previews = Vec::with_capacity(numeric.len());
+        for name in &numeric {
+            let raw_summary = column_summary(table, name)?;
+            let histogram = column_histogram(table, name, histogram_bins)?;
+            let normalized_summary = if normalization == NormalizationMethod::None {
+                None
+            } else {
+                Normalizer::fit(table, &[name.as_str()], normalization)
+                    .and_then(|norm| norm.transform_table(table))
+                    .and_then(|t| column_summary(&t, name))
+                    .ok()
+            };
+            previews.push(AttributePreview {
+                attribute: name.clone(),
+                raw_summary,
+                normalized_summary,
+                histogram,
+            });
+        }
+
+        Ok(DesignView {
+            data_preview: table.preview(preview_rows),
+            rows: table.num_rows(),
+            numeric_attributes: numeric,
+            categorical_attributes: categorical,
+            attribute_previews: previews,
+            normalization: normalization.as_str().to_string(),
+        })
+    }
+
+    /// Previews the ranking induced by a candidate scoring function:
+    /// the identifiers and scores of the first `n` items.
+    ///
+    /// # Errors
+    /// Propagates scoring errors (unknown attributes, missing values, …).
+    pub fn preview_ranking(
+        &self,
+        table: &Table,
+        scoring: &ScoringFunction,
+        n: usize,
+    ) -> LabelResult<RankingPreview> {
+        let ranking = scoring.rank_table(table)?;
+        let id_column = table
+            .schema()
+            .fields()
+            .iter()
+            .find(|f| f.column_type == rf_table::ColumnType::Str)
+            .map(|f| f.name.clone());
+        let top = ranking.top_k(n);
+        let top_items = top
+            .iter()
+            .map(|item| {
+                id_column
+                    .as_ref()
+                    .and_then(|name| table.column(name).ok())
+                    .and_then(|col| col.value(item.index))
+                    .map(|v| v.to_display())
+                    .filter(|s| !s.is_empty())
+                    .unwrap_or_else(|| format!("row {}", item.index))
+            })
+            .collect();
+        let top_scores = top.iter().map(|item| item.score).collect();
+        Ok(RankingPreview {
+            top_items,
+            top_scores,
+        })
+    }
+
+    /// The preview of a specific attribute, if it exists.
+    #[must_use]
+    pub fn attribute_preview(&self, name: &str) -> Option<&AttributePreview> {
+        self.attribute_previews.iter().find(|p| p.attribute == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    fn table() -> Table {
+        Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c", "d", "e", "f"])),
+            ("GRE", Column::from_f64(vec![150.0, 155.0, 160.0, 162.0, 165.0, 168.0])),
+            ("pubs", Column::from_f64(vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0])),
+            ("region", Column::from_strings(["NE", "NE", "MW", "W", "W", "SA"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn design_view_lists_candidates() {
+        let view = DesignView::build(&table(), NormalizationMethod::MinMax, 3, 5).unwrap();
+        assert_eq!(view.rows, 6);
+        assert_eq!(view.numeric_attributes, vec!["GRE", "pubs"]);
+        assert_eq!(view.categorical_attributes, vec!["name", "region"]);
+        assert_eq!(view.attribute_previews.len(), 2);
+        assert!(view.data_preview.contains("GRE"));
+        assert_eq!(view.normalization, "min-max [0, 1]");
+    }
+
+    #[test]
+    fn previews_include_raw_and_normalized_summaries() {
+        let view = DesignView::build(&table(), NormalizationMethod::MinMax, 3, 4).unwrap();
+        let gre = view.attribute_preview("GRE").unwrap();
+        assert_eq!(gre.raw_summary.min, 150.0);
+        assert_eq!(gre.raw_summary.max, 168.0);
+        let norm = gre.normalized_summary.as_ref().unwrap();
+        assert!((norm.min - 0.0).abs() < 1e-12);
+        assert!((norm.max - 1.0).abs() < 1e-12);
+        assert_eq!(gre.histogram.bins(), 4);
+        assert!(view.attribute_preview("ghost").is_none());
+    }
+
+    #[test]
+    fn raw_mode_has_no_normalized_summary() {
+        let view = DesignView::build(&table(), NormalizationMethod::None, 3, 4).unwrap();
+        assert!(view.attribute_preview("GRE").unwrap().normalized_summary.is_none());
+        assert_eq!(view.normalization, "raw");
+    }
+
+    #[test]
+    fn ranking_preview_shows_identifiers() {
+        let t = table();
+        let view = DesignView::build(&t, NormalizationMethod::MinMax, 3, 4).unwrap();
+        let scoring = ScoringFunction::from_pairs([("pubs", 1.0)]).unwrap();
+        let preview = view.preview_ranking(&t, &scoring, 3).unwrap();
+        assert_eq!(preview.top_items, vec!["f", "e", "d"]);
+        assert_eq!(preview.top_scores.len(), 3);
+        assert!(preview.top_scores[0] >= preview.top_scores[1]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(DesignView::build(&Table::new(), NormalizationMethod::MinMax, 3, 4).is_err());
+        assert!(DesignView::build(&table(), NormalizationMethod::MinMax, 3, 0).is_err());
+        let t = table();
+        let view = DesignView::build(&t, NormalizationMethod::MinMax, 3, 4).unwrap();
+        let bad_scoring = ScoringFunction::from_pairs([("ghost", 1.0)]).unwrap();
+        assert!(view.preview_ranking(&t, &bad_scoring, 3).is_err());
+    }
+}

@@ -1,0 +1,463 @@
+//! Mitigation: suggesting modified scoring functions.
+//!
+//! The paper's closing section lists this as planned functionality: "we plan
+//! to include methods that help the user mitigate lack of fairness and
+//! diversity by suggesting modified scoring functions" (§4).  This module
+//! implements that extension.
+//!
+//! [`MitigationSearch`] explores weight vectors in the neighbourhood of the
+//! user's Recipe (a deterministic grid of per-attribute rescalings), generates
+//! the ranking each candidate induces, and evaluates:
+//!
+//! * **fairness** — how many of the configured protected features still fail
+//!   the (fast) pairwise and proportion tests;
+//! * **diversity** — how many configured diversity attributes lose categories
+//!   in the top-k;
+//! * **faithfulness** — Kendall tau between the candidate ranking and the
+//!   original one (a suggestion that reshuffles everything is not useful).
+//!
+//! Candidates are ranked lexicographically: fewest unfair verdicts first, then
+//! fewest lost-category attributes, then highest faithfulness.  The search is
+//! exhaustive over the grid and fully deterministic.
+
+use crate::config::LabelConfig;
+use crate::error::{LabelError, LabelResult};
+use rf_fairness::{PairwiseTest, ProportionTest, ProtectedGroup};
+use rf_diversity::DiversityReport;
+use rf_ranking::{kendall_tau_rankings, AttributeWeight, Ranking, ScoringFunction};
+use rf_table::Table;
+
+/// One suggested scoring function and how it scores on the mitigation goals.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MitigationSuggestion {
+    /// The suggested weights (same attributes as the original Recipe).
+    pub weights: Vec<AttributeWeight>,
+    /// Number of `(attribute, protected value)` pairs still flagged unfair by
+    /// the pairwise or proportion test.
+    pub unfair_features: usize,
+    /// Number of diversity attributes that still lose at least one category
+    /// in the top-k.
+    pub attributes_losing_categories: usize,
+    /// Kendall tau between the suggested ranking and the original ranking.
+    pub similarity_to_original: f64,
+    /// `true` when this suggestion is exactly the original Recipe.
+    pub is_original: bool,
+}
+
+impl MitigationSuggestion {
+    /// `true` when no audited feature is flagged and no category is lost.
+    #[must_use]
+    pub fn resolves_all_issues(&self) -> bool {
+        self.unfair_features == 0 && self.attributes_losing_categories == 0
+    }
+}
+
+/// Configuration of the mitigation search.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MitigationSearch {
+    /// Multiplicative factors applied to each attribute's weight, one axis at
+    /// a time and in combination (the grid).  The default explores halving,
+    /// dampening, keeping, boosting and doubling each weight.
+    pub factors: Vec<f64>,
+    /// Maximum number of suggestions returned (best first).
+    pub max_suggestions: usize,
+    /// Minimum acceptable similarity to the original ranking; candidates
+    /// below it are discarded as too disruptive.
+    pub min_similarity: f64,
+}
+
+impl Default for MitigationSearch {
+    fn default() -> Self {
+        MitigationSearch {
+            factors: vec![0.5, 0.75, 1.0, 1.5, 2.0],
+            max_suggestions: 5,
+            min_similarity: 0.2,
+        }
+    }
+}
+
+impl MitigationSearch {
+    /// Creates a search with the default grid.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the grid of per-attribute factors.
+    ///
+    /// # Errors
+    /// The grid must be non-empty and contain only positive finite factors.
+    pub fn with_factors(mut self, factors: Vec<f64>) -> LabelResult<Self> {
+        if factors.is_empty() || factors.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+            return Err(LabelError::InvalidConfig {
+                message: "mitigation factors must be positive and finite".to_string(),
+            });
+        }
+        self.factors = factors;
+        Ok(self)
+    }
+
+    /// Sets how many suggestions are returned.
+    #[must_use]
+    pub fn with_max_suggestions(mut self, max: usize) -> Self {
+        self.max_suggestions = max.max(1);
+        self
+    }
+
+    /// Sets the minimum acceptable similarity to the original ranking.
+    #[must_use]
+    pub fn with_min_similarity(mut self, min_similarity: f64) -> Self {
+        self.min_similarity = min_similarity;
+        self
+    }
+
+    /// Runs the search: evaluates every candidate weight vector on `table`
+    /// under `config` and returns the best suggestions, best first.  The
+    /// original Recipe is always evaluated and included in the candidate pool
+    /// so the caller can see whether any change actually helps.
+    ///
+    /// # Errors
+    /// Configuration validation errors, or measure errors on the original
+    /// recipe (candidate-specific failures are skipped).
+    pub fn suggest(
+        &self,
+        table: &Table,
+        config: &LabelConfig,
+    ) -> LabelResult<Vec<MitigationSuggestion>> {
+        config.validate(table)?;
+        let original_scoring = &config.scoring;
+        let original_ranking = original_scoring.rank_table(table)?;
+
+        // Pre-build the protected groups once; they do not depend on weights.
+        let mut groups = Vec::new();
+        for (attribute, value) in config.protected_features() {
+            groups.push(ProtectedGroup::from_table(table, attribute, value)?);
+        }
+
+        let candidates = self.candidate_weight_vectors(original_scoring);
+        let mut suggestions = Vec::with_capacity(candidates.len());
+        // Two weight vectors that are positive multiples of each other induce
+        // the same ranking; keep only one representative of each direction.
+        let mut seen_directions: std::collections::HashSet<Vec<i64>> =
+            std::collections::HashSet::new();
+        for weights in candidates {
+            let norm: f64 = weights.iter().map(|w| w.weight.abs()).sum();
+            if norm <= 0.0 {
+                continue;
+            }
+            let key: Vec<i64> = weights
+                .iter()
+                .map(|w| (w.weight / norm * 1e6).round() as i64)
+                .collect();
+            if !seen_directions.insert(key) {
+                continue;
+            }
+            let Ok(scoring) =
+                ScoringFunction::with_normalization(weights.clone(), original_scoring.normalization())
+            else {
+                continue;
+            };
+            let Ok(ranking) = scoring.rank_table(table) else {
+                continue;
+            };
+            let similarity = kendall_tau_rankings(&original_ranking, &ranking).unwrap_or(0.0);
+            let is_original = weights
+                .iter()
+                .zip(original_scoring.weights())
+                .all(|(a, b)| (a.weight - b.weight).abs() < 1e-12);
+            if !is_original && similarity < self.min_similarity {
+                continue;
+            }
+            let unfair = match self.count_unfair(&groups, &ranking, config) {
+                Ok(count) => count,
+                Err(_) => continue,
+            };
+            let losing = match self.count_losing_categories(table, &ranking, config) {
+                Ok(count) => count,
+                Err(_) => continue,
+            };
+            suggestions.push(MitigationSuggestion {
+                weights,
+                unfair_features: unfair,
+                attributes_losing_categories: losing,
+                similarity_to_original: similarity,
+                is_original,
+            });
+        }
+
+        suggestions.sort_by(|a, b| {
+            a.unfair_features
+                .cmp(&b.unfair_features)
+                .then(a.attributes_losing_categories.cmp(&b.attributes_losing_categories))
+                .then(
+                    b.similarity_to_original
+                        .partial_cmp(&a.similarity_to_original)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        suggestions.truncate(self.max_suggestions);
+        Ok(suggestions)
+    }
+
+    /// Builds the candidate weight vectors: the original Recipe plus every
+    /// combination of per-attribute factors (capped to keep the grid tractable
+    /// for recipes with many attributes).
+    fn candidate_weight_vectors(&self, scoring: &ScoringFunction) -> Vec<Vec<AttributeWeight>> {
+        let original: Vec<AttributeWeight> = scoring.weights().to_vec();
+        let attrs = original.len();
+        let mut candidates = vec![original.clone()];
+
+        // Full cartesian grid for small recipes; per-axis sweeps otherwise.
+        let full_grid_size = self.factors.len().pow(attrs as u32);
+        if full_grid_size <= 1024 {
+            let mut indices = vec![0usize; attrs];
+            loop {
+                let weights: Vec<AttributeWeight> = original
+                    .iter()
+                    .zip(indices.iter())
+                    .map(|(w, &fi)| {
+                        AttributeWeight::new(w.attribute.clone(), w.weight * self.factors[fi])
+                    })
+                    .collect();
+                candidates.push(weights);
+                // Advance the mixed-radix counter.
+                let mut pos = 0;
+                loop {
+                    if pos == attrs {
+                        return candidates;
+                    }
+                    indices[pos] += 1;
+                    if indices[pos] < self.factors.len() {
+                        break;
+                    }
+                    indices[pos] = 0;
+                    pos += 1;
+                }
+            }
+        } else {
+            for (axis, w) in original.iter().enumerate() {
+                for &factor in &self.factors {
+                    let mut weights = original.clone();
+                    weights[axis] =
+                        AttributeWeight::new(w.attribute.clone(), w.weight * factor);
+                    candidates.push(weights);
+                }
+            }
+            candidates
+        }
+    }
+
+    /// Counts the protected features flagged unfair under the fast tests.
+    fn count_unfair(
+        &self,
+        groups: &[ProtectedGroup],
+        ranking: &Ranking,
+        config: &LabelConfig,
+    ) -> LabelResult<usize> {
+        let mut unfair = 0usize;
+        for group in groups {
+            let pairwise = PairwiseTest::new()
+                .with_alpha(config.alpha)?
+                .evaluate(group, ranking)?;
+            let proportion = ProportionTest::new(config.top_k)?
+                .with_alpha(config.alpha)?
+                .evaluate(group, ranking);
+            let proportion_fair = proportion.map(|p| p.fair).unwrap_or(true);
+            if !pairwise.fair || !proportion_fair {
+                unfair += 1;
+            }
+        }
+        Ok(unfair)
+    }
+
+    /// Counts diversity attributes whose top-k loses at least one category.
+    fn count_losing_categories(
+        &self,
+        table: &Table,
+        ranking: &Ranking,
+        config: &LabelConfig,
+    ) -> LabelResult<usize> {
+        let mut losing = 0usize;
+        for attribute in &config.diversity_attributes {
+            let report = DiversityReport::evaluate(table, ranking, attribute, config.top_k)?;
+            if !report.covers_all_categories() {
+                losing += 1;
+            }
+        }
+        Ok(losing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    /// Items where "quality" strongly favours group A but "merit" is
+    /// group-neutral: down-weighting quality can restore fairness.
+    fn biased_table() -> Table {
+        let n = 40usize;
+        let group: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "A" } else { "B" }).collect();
+        // quality: group A items get a large bonus.
+        let quality: Vec<f64> = (0..n)
+            .map(|i| 50.0 + (n - i) as f64 + if i % 2 == 0 { 100.0 } else { 0.0 })
+            .collect();
+        // merit: independent of group, spread evenly.
+        let merit: Vec<f64> = (0..n).map(|i| ((i * 17) % n) as f64).collect();
+        Table::from_columns(vec![
+            ("group", Column::from_strings(group)),
+            ("quality", Column::from_f64(quality)),
+            ("merit", Column::from_f64(merit)),
+        ])
+        .unwrap()
+    }
+
+    fn biased_config() -> LabelConfig {
+        let scoring = ScoringFunction::from_pairs([("quality", 0.9), ("merit", 0.1)]).unwrap();
+        LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_sensitive_attribute("group", ["B"])
+            .with_diversity_attribute("group")
+    }
+
+    #[test]
+    fn search_returns_ranked_suggestions() {
+        let table = biased_table();
+        let config = biased_config();
+        let suggestions = MitigationSearch::new()
+            .with_min_similarity(-1.0)
+            .suggest(&table, &config)
+            .unwrap();
+        assert!(!suggestions.is_empty());
+        assert!(suggestions.len() <= 5);
+        // Suggestions are sorted: no later suggestion is strictly better.
+        for pair in suggestions.windows(2) {
+            assert!(
+                pair[0].unfair_features <= pair[1].unfair_features,
+                "suggestions must be sorted by unfairness"
+            );
+        }
+        // Every suggestion keeps the original attribute set.
+        for s in &suggestions {
+            let names: Vec<&str> = s.weights.iter().map(|w| w.attribute.as_str()).collect();
+            assert_eq!(names, vec!["quality", "merit"]);
+        }
+    }
+
+    #[test]
+    fn search_finds_a_fairer_recipe_for_biased_data() {
+        let table = biased_table();
+        let config = biased_config();
+
+        // The original recipe is unfair to group B (quality dominates).
+        let original_ranking = config.scoring.rank_table(&table).unwrap();
+        let group = ProtectedGroup::from_table(&table, "group", "B").unwrap();
+        let original_pairwise = PairwiseTest::new().evaluate(&group, &original_ranking).unwrap();
+        assert!(!original_pairwise.fair, "test premise: original recipe is unfair");
+
+        // The default grid keeps quality dominant; widen it so the search can
+        // also propose recipes where the group-neutral attribute leads.
+        let suggestions = MitigationSearch::new()
+            .with_factors(vec![0.1, 0.5, 1.0, 2.0, 4.0])
+            .unwrap()
+            .with_min_similarity(-1.0)
+            .suggest(&table, &config)
+            .unwrap();
+        let best = &suggestions[0];
+        assert!(
+            best.unfair_features == 0,
+            "the search should find a weight vector that passes the fast fairness tests; best = {best:?}"
+        );
+        assert!(!best.is_original);
+    }
+
+    #[test]
+    fn original_recipe_is_always_evaluated() {
+        let table = biased_table();
+        let config = biased_config();
+        let suggestions = MitigationSearch::new()
+            .with_max_suggestions(1000)
+            .with_min_similarity(-1.0)
+            .suggest(&table, &config)
+            .unwrap();
+        assert!(suggestions.iter().any(|s| s.is_original));
+    }
+
+    #[test]
+    fn min_similarity_filters_disruptive_candidates() {
+        let table = biased_table();
+        let config = biased_config();
+        let strict = MitigationSearch::new()
+            .with_min_similarity(0.95)
+            .suggest(&table, &config)
+            .unwrap();
+        for s in &strict {
+            assert!(s.is_original || s.similarity_to_original >= 0.95);
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(MitigationSearch::new().with_factors(vec![]).is_err());
+        assert!(MitigationSearch::new().with_factors(vec![0.0]).is_err());
+        assert!(MitigationSearch::new().with_factors(vec![f64::NAN]).is_err());
+        assert!(MitigationSearch::new().with_factors(vec![0.5, 2.0]).is_ok());
+        assert_eq!(MitigationSearch::new().with_max_suggestions(0).max_suggestions, 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let table = biased_table();
+        let config = biased_config().with_top_k(1000);
+        assert!(MitigationSearch::new().suggest(&table, &config).is_err());
+    }
+
+    #[test]
+    fn resolves_all_issues_flag() {
+        let good = MitigationSuggestion {
+            weights: vec![],
+            unfair_features: 0,
+            attributes_losing_categories: 0,
+            similarity_to_original: 0.9,
+            is_original: false,
+        };
+        assert!(good.resolves_all_issues());
+        let bad = MitigationSuggestion {
+            unfair_features: 1,
+            ..good.clone()
+        };
+        assert!(!bad.resolves_all_issues());
+    }
+
+    #[test]
+    fn per_axis_sweep_used_for_large_recipes() {
+        // A recipe with many attributes would explode the full grid; the
+        // search falls back to per-axis sweeps and still returns suggestions.
+        let n = 30usize;
+        let mut columns: Vec<(String, Column)> = (0..6)
+            .map(|a| {
+                (
+                    format!("attr{a}"),
+                    Column::from_f64((0..n).map(|i| ((i * (a + 3)) % n) as f64).collect()),
+                )
+            })
+            .collect();
+        columns.push((
+            "group".to_string(),
+            Column::from_strings((0..n).map(|i| if i % 2 == 0 { "A" } else { "B" })),
+        ));
+        let table = Table::from_columns(columns).unwrap();
+        let scoring = ScoringFunction::from_pairs(
+            (0..6).map(|a| (format!("attr{a}"), 1.0 / 6.0)),
+        )
+        .unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(8)
+            .with_sensitive_attribute("group", ["B"]);
+        let suggestions = MitigationSearch::new()
+            .with_min_similarity(-1.0)
+            .suggest(&table, &config)
+            .unwrap();
+        assert!(!suggestions.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Rendering the nutritional label.
+//!
+//! The original Ranking Facts is a web application whose widgets are
+//! interactive charts.  This reproduction renders the identical content in
+//! three formats:
+//!
+//! * [`render_text`] — a plain-text label for terminals, logs and the
+//!   benchmark harness (the format the examples print).
+//! * [`render_json`] — the full label as JSON, the interchange format the
+//!   original tool's back end hands to its front-end widgets.
+//! * [`render_html`] — a standalone HTML page laid out like Figure 1
+//!   (six widget cards), servable by `rf-server`.
+
+mod html;
+mod json;
+mod text;
+
+pub use html::render_html;
+pub use json::render_json;
+pub use text::render_text;
+
+#[cfg(test)]
+mod tests {
+    use crate::{LabelConfig, NutritionalLabel};
+    use rf_ranking::ScoringFunction;
+    use rf_table::{Column, Table};
+
+    /// Builds a small label exercised by all three renderers.
+    pub(crate) fn sample_label() -> NutritionalLabel {
+        let n = 24usize;
+        let names: Vec<String> = (0..n).map(|i| format!("Item{i:02}")).collect();
+        let quality: Vec<f64> = (0..n).map(|i| 100.0 - 4.0 * i as f64).collect();
+        let noise: Vec<f64> = (0..n).map(|i| 50.0 + (i % 3) as f64).collect();
+        let group: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "A" } else { "B" }).collect();
+        let table = Table::from_columns(vec![
+            ("name", Column::from_strings(names)),
+            ("quality", Column::from_f64(quality)),
+            ("noise", Column::from_f64(noise)),
+            ("group", Column::from_strings(group)),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("quality", 0.8), ("noise", 0.2)]).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_dataset_name("sample")
+            .with_sensitive_attribute("group", ["A", "B"])
+            .with_diversity_attribute("group");
+        NutritionalLabel::generate(&table, &config).unwrap()
+    }
+
+    #[test]
+    fn all_renderers_produce_nonempty_output() {
+        let label = sample_label();
+        assert!(!super::render_text(&label).is_empty());
+        assert!(!super::render_html(&label).is_empty());
+        assert!(!super::render_json(&label).unwrap().is_empty());
+    }
+}

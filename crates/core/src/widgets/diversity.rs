@@ -1,0 +1,124 @@
+//! The Diversity widget.
+//!
+//! "The Diversity widget shows diversity with respect to a set of demographic
+//! categories of individuals, or a set of categorical attributes of other
+//! kinds of items.  The widget displays the proportion of each category in
+//! the top-10 ranked list and over-all." (paper §2.4)
+
+use crate::config::LabelConfig;
+use crate::error::LabelResult;
+use rf_diversity::DiversityReport;
+use rf_ranking::Ranking;
+use rf_table::Table;
+
+/// The Diversity widget: one report per configured categorical attribute.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiversityWidget {
+    /// One diversity report per attribute, in configuration order.
+    pub reports: Vec<DiversityReport>,
+}
+
+impl DiversityWidget {
+    /// Builds the Diversity widget for every diversity attribute in `config`.
+    ///
+    /// # Errors
+    /// Propagates diversity-measure errors (float attributes, empty
+    /// attributes, k out of range).
+    pub fn build(table: &Table, ranking: &Ranking, config: &LabelConfig) -> LabelResult<Self> {
+        let mut reports = Vec::with_capacity(config.diversity_attributes.len());
+        for attribute in &config.diversity_attributes {
+            reports.push(DiversityReport::evaluate(
+                table,
+                ranking,
+                attribute,
+                config.top_k,
+            )?);
+        }
+        Ok(DiversityWidget { reports })
+    }
+
+    /// Attributes whose top-k loses at least one category present over-all —
+    /// e.g. "only large departments are present in the top-10".
+    #[must_use]
+    pub fn attributes_losing_categories(&self) -> Vec<&str> {
+        self.reports
+            .iter()
+            .filter(|r| !r.covers_all_categories())
+            .map(|r| r.attribute.as_str())
+            .collect()
+    }
+
+    /// `true` when every attribute keeps all of its categories in the top-k.
+    #[must_use]
+    pub fn full_coverage(&self) -> bool {
+        self.reports.iter().all(DiversityReport::covers_all_categories)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_ranking::ScoringFunction;
+    use rf_table::Column;
+
+    fn setup() -> (Table, Ranking, LabelConfig) {
+        let n = 40usize;
+        let sizes: Vec<&str> = (0..n).map(|i| if i < 20 { "large" } else { "small" }).collect();
+        let regions: Vec<&str> = (0..n)
+            .map(|i| match i % 4 {
+                0 => "NE",
+                1 => "MW",
+                2 => "SA",
+                _ => "W",
+            })
+            .collect();
+        let quality: Vec<f64> = (0..n).map(|i| 100.0 - i as f64).collect();
+        let table = Table::from_columns(vec![
+            ("DeptSizeBin", Column::from_strings(sizes)),
+            ("Region", Column::from_strings(regions)),
+            ("quality", Column::from_f64(quality)),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("quality", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&table).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_diversity_attribute("DeptSizeBin")
+            .with_diversity_attribute("Region");
+        (table, ranking, config)
+    }
+
+    #[test]
+    fn one_report_per_attribute() {
+        let (table, ranking, config) = setup();
+        let widget = DiversityWidget::build(&table, &ranking, &config).unwrap();
+        assert_eq!(widget.reports.len(), 2);
+        assert_eq!(widget.reports[0].attribute, "DeptSizeBin");
+        assert_eq!(widget.reports[1].attribute, "Region");
+    }
+
+    #[test]
+    fn detects_lost_categories() {
+        let (table, ranking, config) = setup();
+        let widget = DiversityWidget::build(&table, &ranking, &config).unwrap();
+        // Only large departments reach the top-10; every region survives.
+        assert_eq!(widget.attributes_losing_categories(), vec!["DeptSizeBin"]);
+        assert!(!widget.full_coverage());
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        let (table, ranking, mut config) = setup();
+        config.diversity_attributes.clear();
+        let widget = DiversityWidget::build(&table, &ranking, &config).unwrap();
+        assert!(widget.reports.is_empty());
+        assert!(widget.full_coverage());
+    }
+
+    #[test]
+    fn bad_attribute_errors() {
+        let (table, ranking, mut config) = setup();
+        config.diversity_attributes = vec!["quality".to_string()];
+        assert!(DiversityWidget::build(&table, &ranking, &config).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The Fairness widget.
+//!
+//! "The summary view of the Fairness widget [...] presents the output of
+//! three fairness measures: FA*IR, proportion, and our own pairwise measure.
+//! All these measures are statistical tests, and whether a result is fair is
+//! determined by the computed p-value.  The detailed Fairness widget provides
+//! additional information about the tests and explains the process."
+//! (paper §2.3)
+//!
+//! One [`FairnessReport`] is produced per protected feature; in Figure 1 both
+//! values of `DeptSizeBin` ("large" and "small") are audited.
+
+use crate::config::LabelConfig;
+use crate::error::LabelResult;
+use rf_fairness::{FairnessReport, FairnessVerdict, ProtectedGroup};
+use rf_ranking::Ranking;
+use rf_table::Table;
+
+/// The Fairness widget: one report per audited protected feature.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FairnessWidget {
+    /// One fairness report per `(sensitive attribute, protected value)` pair,
+    /// in configuration order.
+    pub reports: Vec<FairnessReport>,
+}
+
+impl FairnessWidget {
+    /// Builds the Fairness widget for every protected feature in `config`.
+    ///
+    /// # Errors
+    /// Propagates fairness-measure errors (non-binary attributes, degenerate
+    /// groups, k out of range, …).
+    pub fn build(table: &Table, ranking: &Ranking, config: &LabelConfig) -> LabelResult<Self> {
+        let fairness_config = rf_fairness::report::FairnessConfig {
+            k: config.top_k,
+            alpha: config.alpha,
+        };
+        let mut reports = Vec::new();
+        for (attribute, protected_value) in config.protected_features() {
+            let group = ProtectedGroup::from_table(table, attribute, protected_value)?;
+            reports.push(FairnessReport::evaluate(&group, ranking, &fairness_config)?);
+        }
+        Ok(FairnessWidget { reports })
+    }
+
+    /// `true` when every measure of every audited feature is fair.
+    #[must_use]
+    pub fn all_fair(&self) -> bool {
+        self.reports.iter().all(FairnessReport::all_fair)
+    }
+
+    /// The protected features flagged as unfair by at least one measure.
+    #[must_use]
+    pub fn unfair_features(&self) -> Vec<(&str, &str)> {
+        self.reports
+            .iter()
+            .filter(|r| r.any_unfair())
+            .map(|r| (r.attribute.as_str(), r.protected_value.as_str()))
+            .collect()
+    }
+
+    /// Flattened `(attribute, value, measure, verdict, p_value)` rows for
+    /// rendering the summary table.
+    #[must_use]
+    pub fn summary_rows(&self) -> Vec<(String, String, String, FairnessVerdict, f64)> {
+        self.reports
+            .iter()
+            .flat_map(|report| {
+                report.outcomes().into_iter().map(move |outcome| {
+                    (
+                        report.attribute.clone(),
+                        report.protected_value.clone(),
+                        outcome.measure,
+                        outcome.verdict,
+                        outcome.p_value,
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_ranking::ScoringFunction;
+    use rf_table::Column;
+
+    /// Scores strongly favour "large" items, so "small" is under-represented
+    /// at the top — the Figure 1 situation.
+    fn setup() -> (Table, Ranking, LabelConfig) {
+        let n = 60usize;
+        let sizes: Vec<&str> = (0..n).map(|i| if i < 30 { "large" } else { "small" }).collect();
+        let score_attr: Vec<f64> = (0..n).map(|i| 200.0 - i as f64).collect();
+        let table = Table::from_columns(vec![
+            ("size", Column::from_strings(sizes)),
+            ("quality", Column::from_f64(score_attr)),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("quality", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&table).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_sensitive_attribute("size", ["large", "small"]);
+        (table, ranking, config)
+    }
+
+    #[test]
+    fn one_report_per_protected_feature() {
+        let (table, ranking, config) = setup();
+        let widget = FairnessWidget::build(&table, &ranking, &config).unwrap();
+        assert_eq!(widget.reports.len(), 2);
+        assert_eq!(widget.reports[0].protected_value, "large");
+        assert_eq!(widget.reports[1].protected_value, "small");
+        assert_eq!(widget.summary_rows().len(), 6); // 2 features × 3 measures
+    }
+
+    #[test]
+    fn excluded_group_is_flagged() {
+        let (table, ranking, config) = setup();
+        let widget = FairnessWidget::build(&table, &ranking, &config).unwrap();
+        assert!(!widget.all_fair());
+        let unfair = widget.unfair_features();
+        // "small" never reaches the top-10, so it must be among the unfair features.
+        assert!(unfair.contains(&("size", "small")));
+    }
+
+    #[test]
+    fn no_sensitive_attributes_produces_empty_widget() {
+        let (table, ranking, mut config) = setup();
+        config.sensitive_attributes.clear();
+        let widget = FairnessWidget::build(&table, &ranking, &config).unwrap();
+        assert!(widget.reports.is_empty());
+        assert!(widget.all_fair());
+        assert!(widget.unfair_features().is_empty());
+    }
+
+    #[test]
+    fn non_binary_attribute_errors() {
+        let n = 30usize;
+        let regions: Vec<&str> = (0..n)
+            .map(|i| match i % 3 {
+                0 => "NE",
+                1 => "MW",
+                _ => "W",
+            })
+            .collect();
+        let table = Table::from_columns(vec![
+            ("region", Column::from_strings(regions)),
+            ("quality", Column::from_f64((0..n).map(|i| i as f64).collect())),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("quality", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&table).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_sensitive_attribute("region", ["NE"]);
+        assert!(FairnessWidget::build(&table, &ranking, &config).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! The Ingredients widget.
+//!
+//! "The Ingredients widget lists attributes most material to the ranked
+//! outcome, in order of importance.  For example, for a linear model, this
+//! list could present the attributes with the highest learned weights.  Put
+//! another way, the explicit intentions of the designer of the scoring
+//! function [...] are stated in the Recipe, while Ingredients may show
+//! additional attributes associated with high rank." (paper §2.1)
+//!
+//! Importance is estimated in two complementary ways, both reported:
+//!
+//! * **rank association** — the absolute Spearman correlation between the
+//!   attribute's values and the item scores (rank-aware, robust to monotone
+//!   transformations), which is what the overview sorts by;
+//! * **learned weight** — the coefficient of the attribute in a multiple
+//!   linear regression of the score on all standardized numeric attributes
+//!   (the "highest learned weights" formulation), shown in the detailed view.
+
+use crate::error::LabelResult;
+use crate::widgets::recipe::AttributeDetail;
+use rf_ranking::{rank_aware_association, Ranking};
+use rf_stats::{spearman, MultipleRegression};
+use rf_table::{NormalizationMethod, Normalizer, Table};
+
+/// How the Ingredients widget estimates which attributes are "most material
+/// to the ranked outcome".
+///
+/// The paper offers both options: "such associations can be derived with
+/// linear models or with other methods, such as rank-aware similarity in our
+/// prior work" (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum IngredientsMethod {
+    /// Sort by the absolute Spearman correlation between the attribute and
+    /// the score (the linear-model flavour; the default).
+    #[default]
+    LinearAssociation,
+    /// Sort by the rank-aware (top-weighted) agreement between the ranking
+    /// the attribute alone would induce and the observed ranking.
+    RankAwareSimilarity,
+}
+
+impl IngredientsMethod {
+    /// Human-readable name used by the renderers.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IngredientsMethod::LinearAssociation => "linear association",
+            IngredientsMethod::RankAwareSimilarity => "rank-aware similarity",
+        }
+    }
+}
+
+/// One attribute of the Ingredients widget, with its importance estimates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Ingredient {
+    /// Attribute name.
+    pub attribute: String,
+    /// Absolute Spearman correlation between the attribute and the score.
+    pub rank_association: f64,
+    /// Signed Spearman correlation (direction of the association).
+    pub signed_association: f64,
+    /// Rank-aware (top-weighted) agreement between the attribute-induced
+    /// ranking and the observed ranking, in `[0, 1]`.
+    pub top_weighted_association: f64,
+    /// Standardized learned weight from the linear model (None when the
+    /// regression is degenerate, e.g. collinear attributes).
+    pub learned_weight: Option<f64>,
+    /// Whether the attribute is part of the declared Recipe.
+    pub in_recipe: bool,
+}
+
+/// The Ingredients widget: attributes most associated with the ranked outcome.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IngredientsWidget {
+    /// The top ingredients, ordered by decreasing rank association.
+    pub ingredients: Vec<Ingredient>,
+    /// All candidate attributes with their associations (detailed view).
+    pub all_attributes: Vec<Ingredient>,
+    /// Detailed per-attribute statistics for the listed ingredients.
+    pub details: Vec<AttributeDetail>,
+    /// R² of the linear model used for the learned weights (None when the
+    /// regression could not be fitted).
+    pub model_r_squared: Option<f64>,
+    /// Recipe attributes that do **not** appear among the top ingredients —
+    /// the mismatch the demo walk-through highlights (GRE in Figure 1).
+    pub recipe_attributes_not_material: Vec<String>,
+    /// The association method that ordered the list.
+    #[serde(default)]
+    pub method: IngredientsMethod,
+}
+
+impl IngredientsWidget {
+    /// Builds the Ingredients widget with the default
+    /// [`IngredientsMethod::LinearAssociation`] ordering.
+    ///
+    /// `recipe_attributes` are the attributes of the scoring function (used to
+    /// flag recipe/ingredient mismatches); `count` is how many ingredients the
+    /// overview lists.
+    ///
+    /// # Errors
+    /// Propagates table/statistics errors for candidate numeric attributes.
+    pub fn build(
+        table: &Table,
+        ranking: &Ranking,
+        recipe_attributes: &[&str],
+        k: usize,
+        count: usize,
+    ) -> LabelResult<Self> {
+        Self::build_with_method(
+            table,
+            ranking,
+            recipe_attributes,
+            k,
+            count,
+            IngredientsMethod::LinearAssociation,
+        )
+    }
+
+    /// Builds the Ingredients widget, ordering attributes by `method`.
+    ///
+    /// # Errors
+    /// Propagates table/statistics errors for candidate numeric attributes.
+    pub fn build_with_method(
+        table: &Table,
+        ranking: &Ranking,
+        recipe_attributes: &[&str],
+        k: usize,
+        count: usize,
+        method: IngredientsMethod,
+    ) -> LabelResult<Self> {
+        let scores = ranking.score_vector();
+        let numeric_names: Vec<String> = table
+            .schema()
+            .numeric_names()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+
+        // Rank association per attribute (skip attributes that are constant or
+        // all-missing: they cannot explain the outcome).
+        let mut all_attributes = Vec::with_capacity(numeric_names.len());
+        let mut usable: Vec<(String, Vec<f64>)> = Vec::new();
+        for name in &numeric_names {
+            let options = table.numeric_column_options(name)?;
+            // Mean-impute missing values for the association estimate.
+            let non_null: Vec<f64> = options.iter().filter_map(|v| *v).collect();
+            if non_null.is_empty() {
+                continue;
+            }
+            let mean = non_null.iter().sum::<f64>() / non_null.len() as f64;
+            let filled: Vec<f64> = options.iter().map(|v| v.unwrap_or(mean)).collect();
+            let signed = match spearman(&filled, &scores) {
+                Ok(rho) => rho,
+                Err(rf_stats::StatsError::ZeroVariance { .. }) => 0.0,
+                Err(err) => return Err(err.into()),
+            };
+            // Rank-aware (top-weighted) agreement between the ranking this
+            // attribute alone would produce and the observed ranking.
+            let depth = k.clamp(1, ranking.len());
+            let top_weighted = rank_aware_association(ranking, &filled, depth)?;
+            all_attributes.push(Ingredient {
+                attribute: name.clone(),
+                rank_association: signed.abs(),
+                signed_association: signed,
+                top_weighted_association: top_weighted,
+                learned_weight: None,
+                in_recipe: recipe_attributes.contains(&name.as_str()),
+            });
+            usable.push((name.clone(), filled));
+        }
+
+        // Learned weights: regress the score on all standardized usable attributes.
+        let mut model_r_squared = None;
+        if !usable.is_empty() {
+            let names: Vec<&str> = usable.iter().map(|(n, _)| n.as_str()).collect();
+            if let Ok(normalizer) = Normalizer::fit(table, &names, NormalizationMethod::ZScore) {
+                let design: Vec<Vec<f64>> = usable
+                    .iter()
+                    .map(|(name, filled)| {
+                        filled
+                            .iter()
+                            .map(|&v| normalizer.transform_value(name, v).unwrap_or(0.0))
+                            .collect()
+                    })
+                    .collect();
+                if let Ok(fit) = MultipleRegression::fit(&design, &scores) {
+                    model_r_squared = Some(fit.r_squared);
+                    for (ing, coeff) in all_attributes
+                        .iter_mut()
+                        .filter(|i| usable.iter().any(|(n, _)| n == &i.attribute))
+                        .zip(fit.coefficients.iter())
+                    {
+                        ing.learned_weight = Some(*coeff);
+                    }
+                }
+            }
+        }
+
+        // Sort by the selected association measure, strongest first.
+        let sort_key = |ing: &Ingredient| match method {
+            IngredientsMethod::LinearAssociation => ing.rank_association,
+            IngredientsMethod::RankAwareSimilarity => ing.top_weighted_association,
+        };
+        all_attributes.sort_by(|a, b| {
+            sort_key(b)
+                .partial_cmp(&sort_key(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.attribute.cmp(&b.attribute))
+        });
+        let ingredients: Vec<Ingredient> =
+            all_attributes.iter().take(count).cloned().collect();
+
+        let mut details = Vec::with_capacity(ingredients.len());
+        for ing in &ingredients {
+            details.push(AttributeDetail::compute(table, ranking, &ing.attribute, k)?);
+        }
+
+        let top_names: Vec<&str> = ingredients.iter().map(|i| i.attribute.as_str()).collect();
+        let recipe_attributes_not_material = recipe_attributes
+            .iter()
+            .filter(|a| !top_names.contains(a))
+            .map(|a| (*a).to_string())
+            .collect();
+
+        Ok(IngredientsWidget {
+            ingredients,
+            all_attributes,
+            details,
+            model_r_squared,
+            recipe_attributes_not_material,
+            method,
+        })
+    }
+
+    /// Names of the listed ingredients, strongest association first.
+    #[must_use]
+    pub fn ingredient_names(&self) -> Vec<&str> {
+        self.ingredients.iter().map(|i| i.attribute.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_ranking::ScoringFunction;
+    use rf_table::Column;
+
+    /// PubCount drives the score; Faculty is correlated with PubCount; GRE is
+    /// noise — the structure of the paper's CS departments example.
+    fn setup() -> (Table, Ranking) {
+        let n = 40usize;
+        let pubs: Vec<f64> = (0..n).map(|i| 100.0 - 2.0 * i as f64).collect();
+        // Faculty tracks PubCount closely but not perfectly (perfect
+        // collinearity would make the learned-weight regression singular).
+        let faculty: Vec<f64> = pubs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p * 0.8 + 5.0 + (i % 4) as f64 * 1.5)
+            .collect();
+        let gre: Vec<f64> = (0..n).map(|i| 158.0 + (i % 5) as f64).collect();
+        let table = Table::from_columns(vec![
+            ("PubCount", Column::from_f64(pubs)),
+            ("Faculty", Column::from_f64(faculty)),
+            ("GRE", Column::from_f64(gre)),
+        ])
+        .unwrap();
+        let scoring =
+            ScoringFunction::from_pairs([("PubCount", 0.7), ("GRE", 0.3)]).unwrap();
+        let ranking = scoring.rank_table(&table).unwrap();
+        (table, ranking)
+    }
+
+    #[test]
+    fn ingredients_ordered_by_association() {
+        let (table, ranking) = setup();
+        let widget =
+            IngredientsWidget::build(&table, &ranking, &["PubCount", "GRE"], 10, 2).unwrap();
+        assert_eq!(widget.ingredients.len(), 2);
+        // PubCount (and the correlated Faculty) dominate; GRE does not make the cut.
+        let names = widget.ingredient_names();
+        assert!(names.contains(&"PubCount"));
+        assert!(names.contains(&"Faculty"));
+        assert!(!names.contains(&"GRE"));
+        // Associations are sorted non-increasing.
+        for pair in widget.ingredients.windows(2) {
+            assert!(pair[0].rank_association >= pair[1].rank_association);
+        }
+    }
+
+    #[test]
+    fn recipe_mismatch_is_reported() {
+        let (table, ranking) = setup();
+        let widget =
+            IngredientsWidget::build(&table, &ranking, &["PubCount", "GRE"], 10, 2).unwrap();
+        // GRE is in the Recipe but not material to the outcome — exactly the
+        // observation the demo walks through.
+        assert_eq!(widget.recipe_attributes_not_material, vec!["GRE".to_string()]);
+        let gre = widget
+            .all_attributes
+            .iter()
+            .find(|i| i.attribute == "GRE")
+            .unwrap();
+        assert!(gre.in_recipe);
+        assert!(gre.rank_association < 0.5);
+    }
+
+    #[test]
+    fn learned_weights_present_when_model_fits() {
+        let (table, ranking) = setup();
+        let widget =
+            IngredientsWidget::build(&table, &ranking, &["PubCount"], 10, 3).unwrap();
+        assert!(widget.model_r_squared.unwrap_or(0.0) > 0.8);
+        let pub_ing = widget
+            .all_attributes
+            .iter()
+            .find(|i| i.attribute == "PubCount")
+            .unwrap();
+        assert!(pub_ing.learned_weight.is_some());
+    }
+
+    #[test]
+    fn details_align_with_listed_ingredients() {
+        let (table, ranking) = setup();
+        let widget = IngredientsWidget::build(&table, &ranking, &["PubCount"], 5, 2).unwrap();
+        assert_eq!(widget.details.len(), widget.ingredients.len());
+        for (detail, ing) in widget.details.iter().zip(widget.ingredients.iter()) {
+            assert_eq!(detail.attribute, ing.attribute);
+            assert_eq!(detail.top_k.count, 5);
+        }
+    }
+
+    #[test]
+    fn count_larger_than_candidates_is_capped() {
+        let (table, ranking) = setup();
+        let widget = IngredientsWidget::build(&table, &ranking, &[], 5, 10).unwrap();
+        assert_eq!(widget.ingredients.len(), 3);
+        assert!(widget.recipe_attributes_not_material.is_empty());
+        assert_eq!(widget.method, IngredientsMethod::LinearAssociation);
+    }
+
+    /// Fixture whose ranking is driven by PubCount alone, with GRE pure noise
+    /// — the clean case in which both association estimators must agree.
+    fn setup_pubcount_only() -> (Table, Ranking) {
+        let n = 40usize;
+        let pubs: Vec<f64> = (0..n).map(|i| 100.0 - 2.0 * i as f64).collect();
+        let faculty: Vec<f64> = pubs.iter().map(|p| p * 0.8 + 5.0).collect();
+        let gre: Vec<f64> = (0..n).map(|i| 158.0 + (i % 5) as f64).collect();
+        let table = Table::from_columns(vec![
+            ("PubCount", Column::from_f64(pubs.clone())),
+            ("Faculty", Column::from_f64(faculty)),
+            ("GRE", Column::from_f64(gre)),
+        ])
+        .unwrap();
+        let ranking = Ranking::from_scores(&pubs).unwrap();
+        (table, ranking)
+    }
+
+    #[test]
+    fn rank_aware_method_orders_by_top_weighted_association() {
+        let (table, ranking) = setup_pubcount_only();
+        let widget = IngredientsWidget::build_with_method(
+            &table,
+            &ranking,
+            &["PubCount", "GRE"],
+            10,
+            3,
+            IngredientsMethod::RankAwareSimilarity,
+        )
+        .unwrap();
+        assert_eq!(widget.method, IngredientsMethod::RankAwareSimilarity);
+        // PubCount alone reproduces the ranking, so its attribute-induced
+        // ranking agrees with the outcome far more than GRE's does.
+        let find = |name: &str| {
+            widget
+                .all_attributes
+                .iter()
+                .find(|i| i.attribute == name)
+                .unwrap()
+        };
+        assert!((find("PubCount").top_weighted_association - 1.0).abs() < 1e-9);
+        assert!(
+            find("PubCount").top_weighted_association > find("GRE").top_weighted_association
+        );
+        // The listed ingredients are sorted by the top-weighted association.
+        for pair in widget.ingredients.windows(2) {
+            assert!(pair[0].top_weighted_association >= pair[1].top_weighted_association);
+        }
+        // Every association lies in [0, 1].
+        for ing in &widget.all_attributes {
+            assert!((0.0..=1.0 + 1e-9).contains(&ing.top_weighted_association));
+        }
+    }
+
+    #[test]
+    fn both_methods_agree_on_the_driving_attribute() {
+        let (table, ranking) = setup_pubcount_only();
+        let linear = IngredientsWidget::build(&table, &ranking, &[], 10, 1).unwrap();
+        let rank_aware = IngredientsWidget::build_with_method(
+            &table,
+            &ranking,
+            &[],
+            10,
+            1,
+            IngredientsMethod::RankAwareSimilarity,
+        )
+        .unwrap();
+        // Different estimators, same headline finding: the publication /
+        // faculty block tops the list, GRE never does.
+        assert_ne!(linear.ingredient_names()[0], "GRE");
+        assert_ne!(rank_aware.ingredient_names()[0], "GRE");
+    }
+
+    #[test]
+    fn methods_can_disagree_when_an_attribute_dominates_only_the_top() {
+        // The setup() fixture ranks with min-max normalized scores, where the
+        // coarse GRE values decide who is at the very top even though PubCount
+        // explains the overall ordering; the two estimators then tell
+        // different (both true) stories — exactly why the widget reports both.
+        let (table, ranking) = setup();
+        let widget = IngredientsWidget::build_with_method(
+            &table,
+            &ranking,
+            &["PubCount", "GRE"],
+            10,
+            3,
+            IngredientsMethod::RankAwareSimilarity,
+        )
+        .unwrap();
+        let find = |name: &str| {
+            widget
+                .all_attributes
+                .iter()
+                .find(|i| i.attribute == name)
+                .unwrap()
+        };
+        // Linear association still favours PubCount…
+        assert!(find("PubCount").rank_association > find("GRE").rank_association);
+        // …while both top-weighted values are reported for the detailed view.
+        assert!(find("GRE").top_weighted_association > 0.0);
+        assert!(find("PubCount").top_weighted_association > 0.0);
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(
+            IngredientsMethod::LinearAssociation.as_str(),
+            "linear association"
+        );
+        assert_eq!(
+            IngredientsMethod::RankAwareSimilarity.as_str(),
+            "rank-aware similarity"
+        );
+        assert_eq!(
+            IngredientsMethod::default(),
+            IngredientsMethod::LinearAssociation
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! The six widgets of the nutritional label (Figure 1 of the paper).
+//!
+//! Each widget has an *overview* (what the compact label shows) and a
+//! *detailed view* (what expands when the user clicks through), mirroring the
+//! paper: "The nutritional label consists of six widgets, each with an
+//! overview and a detailed view" (§2).
+
+pub mod diversity;
+pub mod fairness;
+pub mod ingredients;
+pub mod recipe;
+pub mod stability;

@@ -1,0 +1,112 @@
+//! The Stability widget (overview + the detailed view of Figure 2).
+
+use crate::error::LabelResult;
+use rf_ranking::{Ranking, ScoringFunction};
+use rf_stability::{attribute_stability_with_threshold, AttributeStability, SlopeStability};
+use rf_table::Table;
+
+/// The Stability widget: slope analysis at the top-k and over-all, plus the
+/// per-attribute breakdown of the detailed view.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StabilityWidget {
+    /// Slope-based stability (the paper's headline estimator, Figure 2).
+    pub slope: SlopeStability,
+    /// Per-attribute stability ("stability can be computed with respect to
+    /// each scoring attribute").
+    pub per_attribute: Vec<AttributeStability>,
+    /// The single number the overview shows.
+    pub stability_score: f64,
+    /// The stable / unstable verdict of the overview.
+    pub stable: bool,
+}
+
+impl StabilityWidget {
+    /// Builds the Stability widget.
+    ///
+    /// # Errors
+    /// Propagates stability-estimator errors (too few items, constant scoring
+    /// attributes under min-max normalization, …).
+    pub fn build(
+        table: &Table,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+        k: usize,
+        threshold: f64,
+    ) -> LabelResult<Self> {
+        let slope = SlopeStability::evaluate_with_threshold(ranking, k, threshold)?;
+        let per_attribute =
+            attribute_stability_with_threshold(table, scoring, ranking, threshold)?;
+        let stability_score = slope.stability_score();
+        let stable = slope.verdict() == rf_stability::StabilityVerdict::Stable;
+        Ok(StabilityWidget {
+            slope,
+            per_attribute,
+            stability_score,
+            stable,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    fn setup(spread: f64) -> (Table, ScoringFunction, Ranking) {
+        let values: Vec<f64> = (0..30).map(|i| 100.0 - spread * i as f64).collect();
+        let other: Vec<f64> = (0..30).map(|i| 50.0 + (i % 7) as f64).collect();
+        let table = Table::from_columns(vec![
+            ("main", Column::from_f64(values)),
+            ("minor", Column::from_f64(other)),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("main", 0.9), ("minor", 0.1)]).unwrap();
+        let ranking = scoring.rank_table(&table).unwrap();
+        (table, scoring, ranking)
+    }
+
+    #[test]
+    fn widely_spread_scores_are_stable() {
+        let (table, scoring, ranking) = setup(3.0);
+        let widget = StabilityWidget::build(&table, &scoring, &ranking, 10, 0.25).unwrap();
+        assert!(widget.stable);
+        assert!(widget.stability_score > 0.25);
+        assert_eq!(widget.per_attribute.len(), 2);
+        assert_eq!(widget.slope.k, 10);
+    }
+
+    #[test]
+    fn nearly_tied_scores_are_unstable() {
+        let (table, scoring, ranking) = setup(0.001);
+        let widget = StabilityWidget::build(&table, &scoring, &ranking, 10, 0.25).unwrap();
+        // The dominant attribute barely varies relative to the minor one, so
+        // scores cluster and the distribution is flat.
+        assert!(widget.stability_score < 1.0);
+        // The score consistent with the verdict flag.
+        assert_eq!(
+            widget.stable,
+            widget.slope.verdict() == rf_stability::StabilityVerdict::Stable
+        );
+    }
+
+    #[test]
+    fn per_attribute_breakdown_names_match_recipe() {
+        let (table, scoring, ranking) = setup(2.0);
+        let widget = StabilityWidget::build(&table, &scoring, &ranking, 10, 0.25).unwrap();
+        let names: Vec<&str> = widget
+            .per_attribute
+            .iter()
+            .map(|a| a.attribute.as_str())
+            .collect();
+        assert_eq!(names, vec!["main", "minor"]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (table, scoring, _) = setup(2.0);
+        let tiny = Ranking::from_scores(&[1.0]).unwrap();
+        assert!(StabilityWidget::build(&table, &scoring, &tiny, 10, 0.25).is_err());
+        let (table2, scoring2, ranking2) = setup(2.0);
+        assert!(StabilityWidget::build(&table2, &scoring2, &ranking2, 10, 0.0).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic COMPAS-like criminal risk assessment dataset.
+//!
+//! The paper's second demonstration scenario uses "a dataset collected and
+//! published by ProPublica as part of their investigation into racial bias in
+//! criminal risk assessment software called COMPAS [...] demographics,
+//! recidivism scores produced by COMPAS, and criminal offense information for
+//! 6,889 individuals" (§3).
+//!
+//! The real data contains sensitive personal information and is not shipped
+//! here; this generator reproduces the schema and the statistical structure
+//! that the fairness analysis depends on — in particular the published
+//! disparity that the protected racial group receives systematically higher
+//! decile risk scores at equal prior history.
+
+use crate::synth;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rf_table::{Column, Table, TableResult};
+
+/// Configuration of the COMPAS-like generator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompasConfig {
+    /// Number of individuals (the ProPublica dataset has 6,889).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Proportion of the protected racial group (ProPublica: ~51% African-American).
+    pub protected_proportion: f64,
+    /// Decile-score shift applied to the protected group (the bias the
+    /// original investigation documented).  Set to 0.0 for an unbiased
+    /// counterfactual dataset.
+    pub score_shift: f64,
+}
+
+impl Default for CompasConfig {
+    fn default() -> Self {
+        CompasConfig {
+            rows: 6_889,
+            seed: 7,
+            protected_proportion: 0.51,
+            score_shift: 1.4,
+        }
+    }
+}
+
+impl CompasConfig {
+    /// Creates a configuration with the default size and the given seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        CompasConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a smaller dataset (useful for examples and tests).
+    #[must_use]
+    pub fn with_rows(rows: usize) -> Self {
+        CompasConfig {
+            rows,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an unbiased counterfactual configuration (no score shift).
+    #[must_use]
+    pub fn unbiased(mut self) -> Self {
+        self.score_shift = 0.0;
+        self
+    }
+
+    /// Generates the synthetic table.
+    ///
+    /// Columns: `id`, `race` (binary: "African-American" / "Other"),
+    /// `sex`, `age`, `age_cat`, `priors_count`, `decile_score` (1–10),
+    /// `two_year_recid`.
+    ///
+    /// # Errors
+    /// Propagates table-construction errors.
+    pub fn generate(&self) -> TableResult<Table> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = self.rows;
+
+        let mut id = Vec::with_capacity(n);
+        let mut race = Vec::with_capacity(n);
+        let mut sex = Vec::with_capacity(n);
+        let mut age = Vec::with_capacity(n);
+        let mut age_cat = Vec::with_capacity(n);
+        let mut priors = Vec::with_capacity(n);
+        let mut decile = Vec::with_capacity(n);
+        let mut recid = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let protected = synth::bernoulli(&mut rng, self.protected_proportion);
+            let person_age = synth::truncated_normal(&mut rng, 34.0, 11.0, 18.0, 80.0).round();
+            let person_priors = synth::count_like(&mut rng, 3.2);
+            // Latent risk combines priors and age; the COMPAS decile score
+            // adds the documented group-conditional shift on top of it.
+            let latent = 0.55 * person_priors as f64 - 0.06 * (person_age - 18.0)
+                + synth::normal(&mut rng, 0.0, 1.3);
+            let shift = if protected { self.score_shift } else { 0.0 };
+            let decile_score = (5.5 + latent + shift).round().clamp(1.0, 10.0) as i64;
+            // Recidivism probability grows with the latent risk (not with the
+            // group-conditional shift — that is exactly the published bias).
+            let recid_prob = 1.0 / (1.0 + (-0.45 * latent).exp());
+            let reoffended = synth::bernoulli(&mut rng, recid_prob);
+
+            id.push(format!("P{:05}", i + 1));
+            race.push(if protected {
+                "African-American".to_string()
+            } else {
+                "Other".to_string()
+            });
+            sex.push(
+                synth::categorical(&mut rng, &[("Male", 0.81), ("Female", 0.19)]).to_string(),
+            );
+            age.push(person_age);
+            age_cat.push(
+                if person_age < 25.0 {
+                    "Less than 25"
+                } else if person_age <= 45.0 {
+                    "25 - 45"
+                } else {
+                    "Greater than 45"
+                }
+                .to_string(),
+            );
+            priors.push(person_priors);
+            decile.push(decile_score);
+            recid.push(reoffended);
+        }
+
+        Table::from_columns(vec![
+            ("id", Column::from_strings(id)),
+            ("race", Column::from_strings(race)),
+            ("sex", Column::from_strings(sex)),
+            ("age", Column::from_f64(age)),
+            ("age_cat", Column::from_strings(age_cat)),
+            ("priors_count", Column::from_i64(priors)),
+            ("decile_score", Column::from_i64(decile)),
+            ("two_year_recid", Column::from_bools(recid)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_propublica_size() {
+        let t = CompasConfig::with_rows(500).generate().unwrap();
+        assert_eq!(t.num_rows(), 500);
+        assert!(t.schema().contains("decile_score"));
+        assert!(t.schema().contains("race"));
+        assert_eq!(CompasConfig::default().rows, 6_889);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = CompasConfig::with_rows(300).generate().unwrap();
+        let b = CompasConfig::with_rows(300).generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decile_scores_in_range() {
+        let t = CompasConfig::with_rows(1000).generate().unwrap();
+        for v in t.numeric_column("decile_score").unwrap() {
+            assert!((1.0..=10.0).contains(&v));
+        }
+        for v in t.numeric_column("priors_count").unwrap() {
+            assert!(v >= 0.0);
+        }
+        for v in t.numeric_column("age").unwrap() {
+            assert!((18.0..=80.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn protected_group_proportion_is_respected() {
+        let t = CompasConfig::with_rows(4000).generate().unwrap();
+        let races = t.categorical_column("race").unwrap();
+        let protected = races
+            .iter()
+            .filter(|r| r.as_deref() == Some("African-American"))
+            .count();
+        let frac = protected as f64 / t.num_rows() as f64;
+        assert!((frac - 0.51).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn biased_generator_shifts_scores_against_protected_group() {
+        let t = CompasConfig::with_rows(4000).generate().unwrap();
+        let races = t.categorical_column("race").unwrap();
+        let scores = t.numeric_column("decile_score").unwrap();
+        let (mut sum_p, mut n_p, mut sum_o, mut n_o) = (0.0, 0usize, 0.0, 0usize);
+        for (race, score) in races.iter().zip(scores.iter()) {
+            if race.as_deref() == Some("African-American") {
+                sum_p += score;
+                n_p += 1;
+            } else {
+                sum_o += score;
+                n_o += 1;
+            }
+        }
+        let mean_protected = sum_p / n_p as f64;
+        let mean_other = sum_o / n_o as f64;
+        assert!(
+            mean_protected > mean_other + 0.8,
+            "expected a clear score shift: {mean_protected} vs {mean_other}"
+        );
+    }
+
+    #[test]
+    fn unbiased_counterfactual_has_no_shift() {
+        let t = CompasConfig::with_rows(4000).unbiased().generate().unwrap();
+        let races = t.categorical_column("race").unwrap();
+        let scores = t.numeric_column("decile_score").unwrap();
+        let (mut sum_p, mut n_p, mut sum_o, mut n_o) = (0.0, 0usize, 0.0, 0usize);
+        for (race, score) in races.iter().zip(scores.iter()) {
+            if race.as_deref() == Some("African-American") {
+                sum_p += score;
+                n_p += 1;
+            } else {
+                sum_o += score;
+                n_o += 1;
+            }
+        }
+        let diff = (sum_p / n_p as f64 - sum_o / n_o as f64).abs();
+        assert!(diff < 0.25, "unbiased generator should have no shift, got {diff}");
+    }
+
+    #[test]
+    fn age_categories_are_consistent_with_age() {
+        let t = CompasConfig::with_rows(500).generate().unwrap();
+        let ages = t.numeric_column("age").unwrap();
+        let cats = t.categorical_column("age_cat").unwrap();
+        for (age, cat) in ages.iter().zip(cats.iter()) {
+            let cat = cat.as_deref().unwrap();
+            if *age < 25.0 {
+                assert_eq!(cat, "Less than 25");
+            } else if *age <= 45.0 {
+                assert_eq!(cat, "25 - 45");
+            } else {
+                assert_eq!(cat, "Greater than 45");
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Synthetic CS departments dataset (CS Rankings + NRC attributes).
+//!
+//! Schema and structure follow the paper's description (§3, scenario 1):
+//!
+//! * `Dept` — department name (synthetic identifiers).
+//! * `PubCount` — "geometric mean of the adjusted number of publications in
+//!   each area by institution" (CS Rankings): log-normal, strongly correlated
+//!   with department size.
+//! * `Faculty` — number of faculty (CS Rankings): drives `PubCount`.
+//! * `GRE` — average GRE scores (NRC): truncated normal, **uncorrelated**
+//!   with the other attributes, reproducing the paper's observation that GRE
+//!   "does not correlate with the ranked outcome".
+//! * `Region` — one of NE, MW, SA, SC, W (NRC).
+//! * `DeptSizeBin` — "large" / "small", a binarized department size used as
+//!   the sensitive attribute in Figure 1.
+
+use crate::synth;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rf_table::{Column, Table, TableResult};
+
+/// Configuration of the CS departments generator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CsDepartmentsConfig {
+    /// Number of departments (the real CSR/NRC join has on the order of 100).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CsDepartmentsConfig {
+    fn default() -> Self {
+        CsDepartmentsConfig { rows: 97, seed: 42 }
+    }
+}
+
+impl CsDepartmentsConfig {
+    /// Creates a configuration with the default size and the given seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        CsDepartmentsConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a configuration with the given number of rows.
+    #[must_use]
+    pub fn with_rows(rows: usize) -> Self {
+        CsDepartmentsConfig {
+            rows,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the synthetic table.
+    ///
+    /// # Errors
+    /// Propagates table-construction errors (only possible for `rows == 0`).
+    pub fn generate(&self) -> TableResult<Table> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = self.rows;
+
+        let mut dept = Vec::with_capacity(n);
+        let mut pub_count = Vec::with_capacity(n);
+        let mut faculty = Vec::with_capacity(n);
+        let mut gre = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        let mut size_bin = Vec::with_capacity(n);
+
+        // Department size follows a right-skewed distribution: a few very
+        // large departments, many small ones.
+        let faculty_values: Vec<f64> = (0..n)
+            .map(|_| synth::log_normal(&mut rng, 3.3, 0.5).clamp(5.0, 200.0))
+            .collect();
+        // Median split defines DeptSizeBin, as in the paper's label.
+        let mut sorted = faculty_values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_faculty = sorted[n / 2];
+
+        for (i, &fac) in faculty_values.iter().enumerate() {
+            let fac_rounded = fac.round().max(5.0);
+            // Publication output grows with faculty size with multiplicative
+            // noise, so PubCount and Faculty are strongly but not perfectly
+            // correlated.
+            let productivity = synth::log_normal(&mut rng, 0.0, 0.35);
+            let pubs = (fac_rounded * 0.18 * productivity).max(0.2);
+            // GRE is independent of everything else.
+            let gre_score = synth::truncated_normal(&mut rng, 160.0, 4.0, 145.0, 170.0);
+            let reg = synth::categorical(
+                &mut rng,
+                &[("NE", 0.28), ("MW", 0.22), ("SA", 0.18), ("SC", 0.12), ("W", 0.20)],
+            );
+            dept.push(format!("Dept{:03}", i + 1));
+            pub_count.push((pubs * 100.0).round() / 100.0);
+            faculty.push(fac_rounded as i64);
+            gre.push((gre_score * 10.0).round() / 10.0);
+            region.push(reg.to_string());
+            size_bin.push(if fac_rounded >= median_faculty {
+                "large".to_string()
+            } else {
+                "small".to_string()
+            });
+        }
+
+        Table::from_columns(vec![
+            ("Dept", Column::from_strings(dept)),
+            ("PubCount", Column::from_f64(pub_count)),
+            ("Faculty", Column::from_i64(faculty)),
+            ("GRE", Column::from_f64(gre)),
+            ("Region", Column::from_strings(region)),
+            ("DeptSizeBin", Column::from_strings(size_bin)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_paper_scale() {
+        let t = CsDepartmentsConfig::default().generate().unwrap();
+        assert_eq!(t.num_rows(), 97);
+        assert_eq!(
+            t.schema().names(),
+            vec!["Dept", "PubCount", "Faculty", "GRE", "Region", "DeptSizeBin"]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CsDepartmentsConfig::default().generate().unwrap();
+        let b = CsDepartmentsConfig::default().generate().unwrap();
+        assert_eq!(a, b);
+        let c = CsDepartmentsConfig::with_seed(7).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pubcount_correlates_with_faculty_but_not_gre() {
+        let t = CsDepartmentsConfig::with_rows(400).generate().unwrap();
+        let pubs = t.numeric_column("PubCount").unwrap();
+        let faculty = t.numeric_column("Faculty").unwrap();
+        let gre = t.numeric_column("GRE").unwrap();
+        let r_pf = rf_stats::pearson(&pubs, &faculty).unwrap();
+        let r_pg = rf_stats::pearson(&pubs, &gre).unwrap();
+        assert!(r_pf > 0.5, "PubCount–Faculty correlation too weak: {r_pf}");
+        assert!(r_pg.abs() < 0.2, "PubCount–GRE should be uncorrelated: {r_pg}");
+    }
+
+    #[test]
+    fn dept_size_bin_is_binary_and_roughly_balanced() {
+        let t = CsDepartmentsConfig::default().generate().unwrap();
+        let sizes = t.categorical_column("DeptSizeBin").unwrap();
+        let large = sizes.iter().filter(|s| s.as_deref() == Some("large")).count();
+        let small = sizes.iter().filter(|s| s.as_deref() == Some("small")).count();
+        assert_eq!(large + small, t.num_rows());
+        let ratio = large as f64 / t.num_rows() as f64;
+        assert!(ratio > 0.35 && ratio < 0.65, "ratio {ratio}");
+    }
+
+    #[test]
+    fn value_ranges_are_plausible() {
+        let t = CsDepartmentsConfig::default().generate().unwrap();
+        for v in t.numeric_column("GRE").unwrap() {
+            assert!((145.0..=170.0).contains(&v));
+        }
+        for v in t.numeric_column("Faculty").unwrap() {
+            assert!((5.0..=200.0).contains(&v));
+        }
+        for v in t.numeric_column("PubCount").unwrap() {
+            assert!(v > 0.0);
+        }
+        let regions = t.categorical_column("Region").unwrap();
+        for r in regions.iter().flatten() {
+            assert!(["NE", "MW", "SA", "SC", "W"].contains(&r.as_str()));
+        }
+    }
+
+    #[test]
+    fn large_departments_dominate_a_pubcount_ranking() {
+        // The paper's Figure 1 observation: only large departments in the top-10.
+        let t = CsDepartmentsConfig::default().generate().unwrap();
+        let sorted = t.sort_by("PubCount", true).unwrap();
+        let top = sorted.head(10);
+        let sizes = top.categorical_column("DeptSizeBin").unwrap();
+        let large = sizes.iter().filter(|s| s.as_deref() == Some("large")).count();
+        assert!(large >= 8, "expected the top-10 to be dominated by large departments, got {large}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # rf-datasets
+//!
+//! Synthetic stand-ins for the three demonstration datasets of
+//! *"A Nutritional Label for Rankings"* (SIGMOD 2018, §3), plus CSV loading
+//! for user-supplied datasets.
+//!
+//! The original demonstration uses three real datasets that are not shipped
+//! with this reproduction (external downloads, licensing, and in COMPAS's
+//! case sensitive personal data).  Each generator below produces a table with
+//! the **same schema** and the **same statistical structure** that the
+//! paper's walk-through relies on, so every widget exercises the same code
+//! path and reaches the same qualitative conclusions:
+//!
+//! * [`cs_departments`] — CS Rankings + NRC attributes: `PubCount` and
+//!   `Faculty` are strongly correlated and drive any reasonable ranking;
+//!   `GRE` is uncorrelated with them (so it shows up in the Recipe but not in
+//!   the Ingredients); only `DeptSizeBin = large` departments reach the
+//!   top-10.
+//! * [`compas`] — ProPublica COMPAS-like recidivism data (6,889 rows by
+//!   default): demographics plus a decile risk score whose distribution is
+//!   shifted against the protected racial group, reproducing the disparity
+//!   that motivates the scenario.
+//! * [`german_credit`] — UCI German-Credit-like data (1,000 rows): financial
+//!   attributes plus a credit-worthiness score mildly skewed by age group.
+//!
+//! Every generator is deterministic for a fixed seed (ChaCha8 RNG).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compas;
+pub mod cs_departments;
+pub mod german_credit;
+pub mod loader;
+pub mod synth;
+
+pub use compas::CompasConfig;
+pub use cs_departments::CsDepartmentsConfig;
+pub use german_credit::GermanCreditConfig;
+pub use loader::{load_csv_file, load_csv_str, DatasetSummary};

@@ -1,0 +1,151 @@
+//! Loading user-supplied CSV datasets.
+//!
+//! "The demo user has the option to choose one of these datasets, or to
+//! upload one of their own (as a fully populated table in CSV format)"
+//! (paper §3).  This module is that upload path: it parses the CSV, runs the
+//! same sanity checks the web tool applies (non-empty, at least one numeric
+//! attribute for scoring, at least one categorical attribute for the
+//! sensitive-attribute picker), and reports a summary the design view can
+//! display.
+
+use rf_table::{read_csv_str, CsvOptions, Table, TableError, TableResult};
+use std::path::Path;
+
+/// Summary of a loaded dataset, shown by the scoring-function design view.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetSummary {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub columns: usize,
+    /// Names of numeric columns (candidate scoring attributes).
+    pub numeric_columns: Vec<String>,
+    /// Names of categorical columns (candidate sensitive attributes).
+    pub categorical_columns: Vec<String>,
+    /// Total number of missing values across all columns.
+    pub missing_values: usize,
+}
+
+impl DatasetSummary {
+    /// Builds the summary of a table.
+    #[must_use]
+    pub fn of(table: &Table) -> Self {
+        DatasetSummary {
+            rows: table.num_rows(),
+            columns: table.num_columns(),
+            numeric_columns: table
+                .schema()
+                .numeric_names()
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            categorical_columns: table
+                .schema()
+                .categorical_names()
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            missing_values: table.columns().iter().map(|c| c.null_count()).sum(),
+        }
+    }
+}
+
+/// Parses CSV text into a table and validates that it can drive a nutritional
+/// label (at least one numeric and one categorical column).
+///
+/// # Errors
+/// CSV parse errors, or an `Empty` error when the table cannot support the
+/// label workflow.
+pub fn load_csv_str(csv: &str) -> TableResult<(Table, DatasetSummary)> {
+    let table = read_csv_str(csv, &CsvOptions::default())?;
+    validate(&table)?;
+    let summary = DatasetSummary::of(&table);
+    Ok((table, summary))
+}
+
+/// Reads a CSV file from disk and validates it (see [`load_csv_str`]).
+///
+/// # Errors
+/// I/O errors are reported as CSV parse errors at line 0; parse and
+/// validation errors as in [`load_csv_str`].
+pub fn load_csv_file(path: impl AsRef<Path>) -> TableResult<(Table, DatasetSummary)> {
+    let content = std::fs::read_to_string(path.as_ref()).map_err(|err| TableError::CsvParse {
+        line: 0,
+        message: format!("cannot read `{}`: {err}", path.as_ref().display()),
+    })?;
+    load_csv_str(&content)
+}
+
+/// The sanity checks the web tool applies before offering the design view.
+fn validate(table: &Table) -> TableResult<()> {
+    if table.num_rows() == 0 || table.num_columns() == 0 {
+        return Err(TableError::Empty {
+            operation: "load_csv",
+        });
+    }
+    if table.schema().numeric_names().is_empty() {
+        return Err(TableError::Empty {
+            operation: "load_csv: no numeric attribute available for scoring",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+name,pubs,faculty,region,large
+MIT,9.5,60,NE,true
+CMU,9.1,70,NE,true
+Podunk,0.4,8,MW,false
+State,2.2,25,SC,false
+";
+
+    #[test]
+    fn loads_and_summarizes_valid_csv() {
+        let (table, summary) = load_csv_str(SAMPLE).unwrap();
+        assert_eq!(table.num_rows(), 4);
+        assert_eq!(summary.rows, 4);
+        assert_eq!(summary.columns, 5);
+        assert_eq!(summary.numeric_columns, vec!["pubs", "faculty"]);
+        assert_eq!(summary.categorical_columns, vec!["name", "region", "large"]);
+        assert_eq!(summary.missing_values, 0);
+    }
+
+    #[test]
+    fn counts_missing_values() {
+        let csv = "a,b\n1,x\n,y\n3,\n";
+        let (_, summary) = load_csv_str(csv).unwrap();
+        assert_eq!(summary.missing_values, 2);
+    }
+
+    #[test]
+    fn rejects_csv_without_numeric_columns() {
+        let csv = "name,region\nMIT,NE\nCMU,NE\n";
+        assert!(load_csv_str(csv).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_csv() {
+        assert!(load_csv_str("").is_err());
+        assert!(load_csv_str("a,b\n").is_err());
+    }
+
+    #[test]
+    fn loads_from_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rf_datasets_loader_test.csv");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let (table, _) = load_csv_file(&path).unwrap();
+        assert_eq!(table.num_rows(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = load_csv_file("/definitely/not/a/real/path.csv").unwrap_err();
+        assert!(matches!(err, TableError::CsvParse { line: 0, .. }));
+    }
+}

@@ -1,0 +1,148 @@
+//! Scalar diversity indices.
+//!
+//! The overview Diversity widget shows pie charts; the detailed widget
+//! summarizes each distribution with standard ecology/IR diversity indices so
+//! that the top-k and over-all distributions can be compared at a glance.
+
+use crate::error::{DiversityError, DiversityResult};
+
+/// Validates a proportion vector: non-empty, entries in [0, 1], summing to ~1.
+fn validate_proportions(proportions: &[f64]) -> DiversityResult<()> {
+    if proportions.is_empty() {
+        return Err(DiversityError::InvalidDistribution {
+            message: "no categories".to_string(),
+        });
+    }
+    if proportions
+        .iter()
+        .any(|&p| !(0.0..=1.0 + 1e-9).contains(&p) || p.is_nan())
+    {
+        return Err(DiversityError::InvalidDistribution {
+            message: "proportions must lie in [0, 1]".to_string(),
+        });
+    }
+    let sum: f64 = proportions.iter().sum();
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(DiversityError::InvalidDistribution {
+            message: format!("proportions must sum to 1, got {sum}"),
+        });
+    }
+    Ok(())
+}
+
+/// Shannon entropy `−Σ p ln p` (natural log) of a proportion vector.
+///
+/// # Errors
+/// Invalid distribution (empty, out-of-range, not summing to 1).
+pub fn shannon_entropy(proportions: &[f64]) -> DiversityResult<f64> {
+    validate_proportions(proportions)?;
+    Ok(proportions
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum())
+}
+
+/// Entropy normalized by `ln(number of categories)`, in `[0, 1]`
+/// (1 = perfectly even).  A single-category distribution has normalized
+/// entropy 0 by convention.
+///
+/// # Errors
+/// Invalid distribution.
+pub fn normalized_entropy(proportions: &[f64]) -> DiversityResult<f64> {
+    let h = shannon_entropy(proportions)?;
+    let k = proportions.iter().filter(|&&p| p > 0.0).count();
+    if k <= 1 {
+        return Ok(0.0);
+    }
+    Ok((h / (k as f64).ln()).clamp(0.0, 1.0))
+}
+
+/// Simpson concentration index `Σ p²` (1 = one category dominates completely,
+/// 1/k = perfectly even over k categories).
+///
+/// # Errors
+/// Invalid distribution.
+pub fn simpson(proportions: &[f64]) -> DiversityResult<f64> {
+    validate_proportions(proportions)?;
+    Ok(proportions.iter().map(|&p| p * p).sum())
+}
+
+/// Gini–Simpson diversity `1 − Σ p²` (0 = one category, higher = more diverse).
+///
+/// # Errors
+/// Invalid distribution.
+pub fn gini_simpson(proportions: &[f64]) -> DiversityResult<f64> {
+    Ok(1.0 - simpson(proportions)?)
+}
+
+/// Richness: the number of categories with non-zero proportion.
+///
+/// # Errors
+/// Invalid distribution.
+pub fn richness(proportions: &[f64]) -> DiversityResult<usize> {
+    validate_proportions(proportions)?;
+    Ok(proportions.iter().filter(|&&p| p > 0.0).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        assert_close(shannon_entropy(&p).unwrap(), (4.0f64).ln());
+        assert_close(normalized_entropy(&p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn entropy_of_degenerate_distribution() {
+        let p = [1.0, 0.0, 0.0];
+        assert_close(shannon_entropy(&p).unwrap(), 0.0);
+        assert_close(normalized_entropy(&p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_skewed_distribution() {
+        let p = [0.9, 0.1];
+        let h = shannon_entropy(&p).unwrap();
+        assert!(h > 0.0 && h < (2.0f64).ln());
+        let nh = normalized_entropy(&p).unwrap();
+        assert!(nh > 0.0 && nh < 1.0);
+    }
+
+    #[test]
+    fn simpson_extremes() {
+        assert_close(simpson(&[1.0]).unwrap(), 1.0);
+        assert_close(simpson(&[0.5, 0.5]).unwrap(), 0.5);
+        assert_close(gini_simpson(&[0.5, 0.5]).unwrap(), 0.5);
+        assert_close(gini_simpson(&[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn richness_counts_support() {
+        assert_eq!(richness(&[0.5, 0.5, 0.0]).unwrap(), 2);
+        assert_eq!(richness(&[1.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_distributions_rejected() {
+        assert!(shannon_entropy(&[]).is_err());
+        assert!(shannon_entropy(&[0.5, 0.6]).is_err());
+        assert!(simpson(&[-0.1, 1.1]).is_err());
+        assert!(normalized_entropy(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_maximizes_entropy_among_same_support() {
+        let uniform = [1.0 / 3.0; 3];
+        let skewed = [0.6, 0.3, 0.1];
+        assert!(shannon_entropy(&uniform).unwrap() > shannon_entropy(&skewed).unwrap());
+        assert!(gini_simpson(&uniform).unwrap() > gini_simpson(&skewed).unwrap());
+    }
+}

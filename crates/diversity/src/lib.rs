@@ -1,0 +1,32 @@
+//! # rf-diversity
+//!
+//! Diversity measures over categorical attributes of ranked outputs,
+//! reproducing the Diversity widget of *"A Nutritional Label for Rankings"*
+//! (SIGMOD 2018).
+//!
+//! "The Diversity widget shows diversity with respect to a set of demographic
+//! categories of individuals, or a set of categorical attributes of other
+//! kinds of items.  The widget displays the proportion of each category in
+//! the top-10 ranked list and over-all" (paper §2.4).  In the paper's CS
+//! departments example, comparing the two pie charts reveals that "only large
+//! departments are present in the top-10".
+//!
+//! * [`proportions`] — category counts and proportions of an attribute at the
+//!   top-k and over the whole dataset (the data behind the pie charts).
+//! * [`indices`] — scalar diversity indices (Shannon entropy, normalized
+//!   entropy, Simpson/Gini-Simpson, richness) for the detailed widget.
+//! * [`report`] — the per-attribute [`DiversityReport`] consumed by the label,
+//!   including the categories that disappear from the top-k.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod indices;
+pub mod proportions;
+pub mod report;
+
+pub use error::{DiversityError, DiversityResult};
+pub use indices::{gini_simpson, normalized_entropy, richness, shannon_entropy, simpson};
+pub use proportions::{CategoryCount, CategoryProportions};
+pub use report::DiversityReport;

@@ -1,0 +1,175 @@
+//! The per-attribute diversity report consumed by the Diversity widget.
+
+use crate::error::DiversityResult;
+use crate::indices::{gini_simpson, normalized_entropy, richness, shannon_entropy};
+use crate::proportions::CategoryProportions;
+use rf_ranking::Ranking;
+use rf_table::Table;
+
+/// Diversity indices of one distribution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiversityIndices {
+    /// Shannon entropy (natural log).
+    pub shannon_entropy: f64,
+    /// Entropy normalized to [0, 1].
+    pub normalized_entropy: f64,
+    /// Gini–Simpson diversity.
+    pub gini_simpson: f64,
+    /// Number of categories present.
+    pub richness: usize,
+}
+
+impl DiversityIndices {
+    fn of(proportions: &CategoryProportions) -> DiversityResult<Self> {
+        let p = proportions.proportions();
+        Ok(DiversityIndices {
+            shannon_entropy: shannon_entropy(&p)?,
+            normalized_entropy: normalized_entropy(&p)?,
+            gini_simpson: gini_simpson(&p)?,
+            richness: richness(&p)?,
+        })
+    }
+}
+
+/// Diversity of one categorical attribute at the top-k and over-all —
+/// the content of one row of the Diversity widget.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiversityReport {
+    /// Attribute name.
+    pub attribute: String,
+    /// Audited prefix size.
+    pub k: usize,
+    /// Category distribution over the top-k ("the pie chart on the left").
+    pub top_k: CategoryProportions,
+    /// Category distribution over the whole dataset ("the pie chart on the right").
+    pub overall: CategoryProportions,
+    /// Indices of the top-k distribution.
+    pub top_k_indices: DiversityIndices,
+    /// Indices of the over-all distribution.
+    pub overall_indices: DiversityIndices,
+    /// Categories that occur in the dataset but are absent from the top-k —
+    /// the observation the paper highlights ("only large departments are
+    /// present in the top-10").
+    pub missing_from_top_k: Vec<String>,
+}
+
+impl DiversityReport {
+    /// Builds the diversity report for `attribute` on `ranking` over `table`.
+    ///
+    /// # Errors
+    /// Unknown/float attribute, `k` out of range, or an attribute with no
+    /// non-missing values.
+    pub fn evaluate(
+        table: &Table,
+        ranking: &Ranking,
+        attribute: &str,
+        k: usize,
+    ) -> DiversityResult<Self> {
+        let top_k = CategoryProportions::over_top_k(table, ranking, attribute, k)?;
+        let overall = CategoryProportions::over_table(table, attribute)?;
+        let top_k_indices = DiversityIndices::of(&top_k)?;
+        let overall_indices = DiversityIndices::of(&overall)?;
+        let missing_from_top_k = overall
+            .categories
+            .iter()
+            .filter(|c| top_k.proportion_of(&c.category) == 0.0)
+            .map(|c| c.category.clone())
+            .collect();
+        Ok(DiversityReport {
+            attribute: attribute.to_string(),
+            k,
+            top_k,
+            overall,
+            top_k_indices,
+            overall_indices,
+            missing_from_top_k,
+        })
+    }
+
+    /// `true` when the top-k contains every category present over-all.
+    #[must_use]
+    pub fn covers_all_categories(&self) -> bool {
+        self.missing_from_top_k.is_empty()
+    }
+
+    /// Drop in normalized entropy from over-all to top-k (positive = the
+    /// top-k is less diverse than the dataset).
+    #[must_use]
+    pub fn entropy_drop(&self) -> f64 {
+        self.overall_indices.normalized_entropy - self.top_k_indices.normalized_entropy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    /// Dataset where only "large" departments reach the top of the ranking —
+    /// the situation shown in Figure 1 of the paper.
+    fn size_skewed_table() -> (Table, Ranking) {
+        let sizes: Vec<&str> = (0..20)
+            .map(|i| if i < 10 { "large" } else { "small" })
+            .collect();
+        let regions: Vec<&str> = (0..20)
+            .map(|i| match i % 4 {
+                0 => "NE",
+                1 => "MW",
+                2 => "SA",
+                _ => "W",
+            })
+            .collect();
+        let scores: Vec<f64> = (0..20).map(|i| 100.0 - i as f64).collect();
+        let table = Table::from_columns(vec![
+            ("DeptSizeBin", Column::from_strings(sizes)),
+            ("Region", Column::from_strings(regions)),
+            ("score", Column::from_f64(scores.clone())),
+        ])
+        .unwrap();
+        let ranking = Ranking::from_scores(&scores).unwrap();
+        (table, ranking)
+    }
+
+    #[test]
+    fn report_detects_missing_category_in_top_k() {
+        let (table, ranking) = size_skewed_table();
+        let report = DiversityReport::evaluate(&table, &ranking, "DeptSizeBin", 10).unwrap();
+        assert_eq!(report.k, 10);
+        // Only "large" departments occupy the top-10.
+        assert_eq!(report.top_k.proportion_of("large"), 1.0);
+        assert_eq!(report.top_k.proportion_of("small"), 0.0);
+        assert_eq!(report.missing_from_top_k, vec!["small".to_string()]);
+        assert!(!report.covers_all_categories());
+        // Diversity collapses in the top-10: entropy drop is large.
+        assert!(report.entropy_drop() > 0.9);
+        assert_eq!(report.top_k_indices.richness, 1);
+        assert_eq!(report.overall_indices.richness, 2);
+    }
+
+    #[test]
+    fn balanced_attribute_keeps_full_coverage() {
+        let (table, ranking) = size_skewed_table();
+        let report = DiversityReport::evaluate(&table, &ranking, "Region", 10).unwrap();
+        assert!(report.covers_all_categories());
+        assert_eq!(report.top_k_indices.richness, 4);
+        assert!(report.entropy_drop().abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (table, ranking) = size_skewed_table();
+        assert!(DiversityReport::evaluate(&table, &ranking, "score", 10).is_err());
+        assert!(DiversityReport::evaluate(&table, &ranking, "ghost", 10).is_err());
+        assert!(DiversityReport::evaluate(&table, &ranking, "Region", 0).is_err());
+        assert!(DiversityReport::evaluate(&table, &ranking, "Region", 21).is_err());
+    }
+
+    #[test]
+    fn k_equal_to_n_makes_both_views_identical() {
+        let (table, ranking) = size_skewed_table();
+        let report = DiversityReport::evaluate(&table, &ranking, "DeptSizeBin", 20).unwrap();
+        assert_eq!(report.top_k.proportions(), report.overall.proportions());
+        assert!(report.covers_all_categories());
+        assert!(report.entropy_drop().abs() < 1e-12);
+    }
+}

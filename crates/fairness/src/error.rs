@@ -1,0 +1,155 @@
+//! Error type for the fairness measures.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-fairness`.
+pub type FairnessResult<T> = Result<T, FairnessError>;
+
+/// Errors produced while computing fairness measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FairnessError {
+    /// The sensitive attribute has more than two (or fewer than two) distinct
+    /// values.  The paper: "Ranking Facts [...] is currently limited to
+    /// binary attributes."
+    NonBinaryAttribute {
+        /// Name of the sensitive attribute.
+        attribute: String,
+        /// Number of distinct values observed.
+        distinct: usize,
+    },
+    /// The protected group (or the non-protected group) is empty.
+    DegenerateGroup {
+        /// Which group is empty ("protected" or "non-protected").
+        which: &'static str,
+    },
+    /// A sensitive-attribute value is missing for a ranked item.
+    MissingGroupLabel {
+        /// Row index with the missing label.
+        row: usize,
+    },
+    /// The requested protected value does not occur in the attribute's domain.
+    UnknownProtectedValue {
+        /// The requested value.
+        value: String,
+        /// The values that do occur.
+        domain: Vec<String>,
+    },
+    /// `k` (the prefix size) is invalid: zero or larger than the ranking.
+    InvalidK {
+        /// Requested prefix size.
+        k: usize,
+        /// Ranking size.
+        n: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// An underlying table error.
+    Table(rf_table::TableError),
+    /// An underlying ranking error.
+    Ranking(rf_ranking::RankingError),
+    /// An underlying statistics error.
+    Stats(rf_stats::StatsError),
+}
+
+impl fmt::Display for FairnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairnessError::NonBinaryAttribute {
+                attribute,
+                distinct,
+            } => write!(
+                f,
+                "sensitive attribute `{attribute}` has {distinct} distinct values; \
+                 the fairness widget currently supports only binary attributes"
+            ),
+            FairnessError::DegenerateGroup { which } => {
+                write!(f, "the {which} group is empty; fairness tests are undefined")
+            }
+            FairnessError::MissingGroupLabel { row } => {
+                write!(f, "row {row} has no value for the sensitive attribute")
+            }
+            FairnessError::UnknownProtectedValue { value, domain } => write!(
+                f,
+                "protected value `{value}` does not occur in the attribute (domain: {})",
+                domain.join(", ")
+            ),
+            FairnessError::InvalidK { k, n } => {
+                write!(f, "invalid prefix size k={k} for a ranking of {n} items")
+            }
+            FairnessError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            FairnessError::Table(err) => write!(f, "table error: {err}"),
+            FairnessError::Ranking(err) => write!(f, "ranking error: {err}"),
+            FairnessError::Stats(err) => write!(f, "statistics error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FairnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FairnessError::Table(err) => Some(err),
+            FairnessError::Ranking(err) => Some(err),
+            FairnessError::Stats(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rf_table::TableError> for FairnessError {
+    fn from(err: rf_table::TableError) -> Self {
+        FairnessError::Table(err)
+    }
+}
+
+impl From<rf_ranking::RankingError> for FairnessError {
+    fn from(err: rf_ranking::RankingError) -> Self {
+        FairnessError::Ranking(err)
+    }
+}
+
+impl From<rf_stats::StatsError> for FairnessError {
+    fn from(err: rf_stats::StatsError) -> Self {
+        FairnessError::Stats(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_non_binary() {
+        let err = FairnessError::NonBinaryAttribute {
+            attribute: "ethnicity".to_string(),
+            distinct: 5,
+        };
+        assert!(err.to_string().contains("ethnicity"));
+        assert!(err.to_string().contains("binary"));
+    }
+
+    #[test]
+    fn display_unknown_protected_value() {
+        let err = FairnessError::UnknownProtectedValue {
+            value: "X".to_string(),
+            domain: vec!["large".to_string(), "small".to_string()],
+        };
+        assert!(err.to_string().contains("large, small"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: FairnessError = rf_table::TableError::Empty { operation: "x" }.into();
+        assert!(matches!(e, FairnessError::Table(_)));
+        let e: FairnessError = rf_ranking::RankingError::EmptyRanking.into();
+        assert!(matches!(e, FairnessError::Ranking(_)));
+        let e: FairnessError = rf_stats::StatsError::EmptyInput { operation: "x" }.into();
+        assert!(matches!(e, FairnessError::Stats(_)));
+    }
+}

@@ -1,0 +1,297 @@
+//! The generative fair-ranking model of Yang & Stoyanovich (SSDBM 2017).
+//!
+//! The nutritional-label paper describes it as "a generative method to
+//! describe rankings that meet a particular fairness criterion (fairness
+//! probability `f`) and are drawn from a dataset with a given proportion of
+//! members of a binary protected group (`p`)" (§2.3), and notes that FA*IR
+//! built its statistical test on the same model.
+//!
+//! The procedure ranks `n` items of which `n_protected` are protected: it
+//! walks positions from the top and, at each position, places the next
+//! protected item with probability `f` and the next non-protected item with
+//! probability `1 − f`, falling back to whichever pool is non-empty once one
+//! runs out.  Setting `f` to the protected proportion `p` yields rankings in
+//! which every prefix is statistically representative; `f < p` pushes the
+//! protected group down; `f > p` pushes it up.
+//!
+//! [`GenerativeModel`] samples membership-in-rank-order vectors from this
+//! process and [`GenerativeModel::measure_distribution`] summarizes how the
+//! discounted measures (rND / rKL / rRD) and the pairwise preference behave
+//! across samples — exactly the calibration experiment of the SSDBM paper,
+//! and the machinery used to pick verdict thresholds for the Fairness widget.
+
+use crate::error::{FairnessError, FairnessResult};
+use crate::measures::{rkl, rnd, rrd};
+use crate::pairwise::pairwise_preference;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A generative model of rankings over a binary-grouped population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GenerativeModel {
+    /// Total number of ranked items.
+    pub n: usize,
+    /// Number of protected items among them.
+    pub n_protected: usize,
+    /// Probability of placing a protected item at each position while both
+    /// pools are non-empty.
+    pub fairness_probability: f64,
+}
+
+impl GenerativeModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    /// Returns an error when `n == 0`, when the protected count is zero or
+    /// covers the whole population, or when `f` lies outside `[0, 1]`.
+    pub fn new(n: usize, n_protected: usize, fairness_probability: f64) -> FairnessResult<Self> {
+        if n == 0 {
+            return Err(FairnessError::InvalidParameter {
+                parameter: "n",
+                message: "the ranked population must be non-empty".to_string(),
+            });
+        }
+        if n_protected == 0 || n_protected >= n {
+            return Err(FairnessError::DegenerateGroup {
+                which: if n_protected == 0 {
+                    "protected"
+                } else {
+                    "non-protected"
+                },
+            });
+        }
+        if !(0.0..=1.0).contains(&fairness_probability) {
+            return Err(FairnessError::InvalidParameter {
+                parameter: "fairness_probability",
+                message: format!(
+                    "fairness probability must lie in [0, 1], got {fairness_probability}"
+                ),
+            });
+        }
+        Ok(GenerativeModel {
+            n,
+            n_protected,
+            fairness_probability,
+        })
+    }
+
+    /// Creates the *statistical parity* model: `f` equal to the protected
+    /// proportion, so prefixes are representative in expectation.
+    ///
+    /// # Errors
+    /// Same validation as [`GenerativeModel::new`].
+    pub fn parity(n: usize, n_protected: usize) -> FairnessResult<Self> {
+        let p = n_protected as f64 / n as f64;
+        Self::new(n, n_protected, p)
+    }
+
+    /// Overall protected proportion `p` of the population.
+    #[must_use]
+    pub fn protected_proportion(&self) -> f64 {
+        self.n_protected as f64 / self.n as f64
+    }
+
+    /// Samples one membership-in-rank-order vector (`true` = protected).
+    pub fn sample_membership<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        let mut remaining_protected = self.n_protected;
+        let mut remaining_other = self.n - self.n_protected;
+        let mut members = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let take_protected = if remaining_protected == 0 {
+                false
+            } else if remaining_other == 0 {
+                true
+            } else {
+                rng.gen_bool(self.fairness_probability)
+            };
+            if take_protected {
+                members.push(true);
+                remaining_protected -= 1;
+            } else {
+                members.push(false);
+                remaining_other -= 1;
+            }
+        }
+        members
+    }
+
+    /// Samples `runs` membership vectors with a deterministic seed.
+    #[must_use]
+    pub fn sample_many(&self, runs: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..runs).map(|_| self.sample_membership(&mut rng)).collect()
+    }
+
+    /// Estimates the distribution of the fairness measures over `runs`
+    /// sampled rankings (the SSDBM calibration experiment).
+    ///
+    /// # Errors
+    /// Returns an error when `runs == 0` or a measure fails on a sample
+    /// (which construction makes impossible for valid models).
+    pub fn measure_distribution(
+        &self,
+        runs: usize,
+        seed: u64,
+    ) -> FairnessResult<GenerativeSummary> {
+        if runs == 0 {
+            return Err(FairnessError::InvalidParameter {
+                parameter: "runs",
+                message: "at least one sampled ranking is required".to_string(),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rnd_values = Vec::with_capacity(runs);
+        let mut rkl_values = Vec::with_capacity(runs);
+        let mut rrd_values = Vec::with_capacity(runs);
+        let mut pairwise_values = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let members = self.sample_membership(&mut rng);
+            rnd_values.push(rnd(&members)?);
+            rkl_values.push(rkl(&members)?);
+            rrd_values.push(rrd(&members)?);
+            pairwise_values.push(pairwise_preference(&members)?);
+        }
+        Ok(GenerativeSummary {
+            runs,
+            fairness_probability: self.fairness_probability,
+            protected_proportion: self.protected_proportion(),
+            rnd: MeasureDistribution::from_samples(&rnd_values),
+            rkl: MeasureDistribution::from_samples(&rkl_values),
+            rrd: MeasureDistribution::from_samples(&rrd_values),
+            pairwise: MeasureDistribution::from_samples(&pairwise_values),
+        })
+    }
+}
+
+/// Mean / standard deviation / range of one measure over sampled rankings.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasureDistribution {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population convention, 0 for one sample).
+    pub std_dev: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl MeasureDistribution {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        MeasureDistribution {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Distribution of every fairness measure under a generative model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GenerativeSummary {
+    /// Number of sampled rankings.
+    pub runs: usize,
+    /// The model's fairness probability `f`.
+    pub fairness_probability: f64,
+    /// The population's protected proportion `p`.
+    pub protected_proportion: f64,
+    /// Distribution of rND.
+    pub rnd: MeasureDistribution,
+    /// Distribution of rKL.
+    pub rkl: MeasureDistribution,
+    /// Distribution of rRD.
+    pub rrd: MeasureDistribution,
+    /// Distribution of the pairwise preference probability.
+    pub pairwise: MeasureDistribution,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(GenerativeModel::new(0, 0, 0.5).is_err());
+        assert!(GenerativeModel::new(10, 0, 0.5).is_err());
+        assert!(GenerativeModel::new(10, 10, 0.5).is_err());
+        assert!(GenerativeModel::new(10, 5, -0.1).is_err());
+        assert!(GenerativeModel::new(10, 5, 1.1).is_err());
+        assert!(GenerativeModel::new(10, 5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn parity_model_uses_population_proportion() {
+        let m = GenerativeModel::parity(20, 5).unwrap();
+        assert!((m.fairness_probability - 0.25).abs() < 1e-12);
+        assert!((m.protected_proportion() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_have_exact_group_sizes() {
+        let m = GenerativeModel::new(50, 20, 0.4).unwrap();
+        for members in m.sample_many(20, 7) {
+            assert_eq!(members.len(), 50);
+            assert_eq!(members.iter().filter(|&&b| b).count(), 20);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let m = GenerativeModel::new(40, 10, 0.25).unwrap();
+        assert_eq!(m.sample_many(5, 42), m.sample_many(5, 42));
+        assert_ne!(m.sample_many(5, 42), m.sample_many(5, 43));
+    }
+
+    #[test]
+    fn extreme_fairness_probabilities_segregate() {
+        let m = GenerativeModel::new(20, 10, 1.0).unwrap();
+        let members = m.sample_many(1, 1).remove(0);
+        // All protected first, then all non-protected.
+        assert!(members[..10].iter().all(|&b| b));
+        assert!(members[10..].iter().all(|&b| !b));
+
+        let m = GenerativeModel::new(20, 10, 0.0).unwrap();
+        let members = m.sample_many(1, 1).remove(0);
+        assert!(members[..10].iter().all(|&b| !b));
+        assert!(members[10..].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn parity_model_scores_fair_on_average() {
+        let parity = GenerativeModel::parity(100, 50).unwrap();
+        let skewed = GenerativeModel::new(100, 50, 0.1).unwrap();
+        let s_parity = parity.measure_distribution(50, 3).unwrap();
+        let s_skewed = skewed.measure_distribution(50, 3).unwrap();
+        // A process that under-places protected items scores markedly worse on
+        // every divergence measure and below 1/2 on the pairwise preference.
+        assert!(s_skewed.rnd.mean > s_parity.rnd.mean);
+        assert!(s_skewed.rkl.mean > s_parity.rkl.mean);
+        assert!(s_skewed.rrd.mean > s_parity.rrd.mean);
+        assert!(s_skewed.pairwise.mean < s_parity.pairwise.mean);
+        assert!((s_parity.pairwise.mean - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn measure_distribution_requires_runs() {
+        let m = GenerativeModel::parity(10, 3).unwrap();
+        assert!(m.measure_distribution(0, 1).is_err());
+        let s = m.measure_distribution(5, 1).unwrap();
+        assert_eq!(s.runs, 5);
+        assert!(s.rnd.min <= s.rnd.mean && s.rnd.mean <= s.rnd.max);
+        assert!(s.rnd.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn boosting_model_raises_pairwise_above_half() {
+        let m = GenerativeModel::new(80, 40, 0.9).unwrap();
+        let s = m.measure_distribution(40, 11).unwrap();
+        assert!(s.pairwise.mean > 0.5);
+    }
+}

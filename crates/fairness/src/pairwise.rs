@@ -1,0 +1,340 @@
+//! The pairwise preference fairness measure.
+//!
+//! "In our follow-up work, we are developing a pairwise measure that directly
+//! models the probability that a member of a protected group is preferred to
+//! a member of the non-protected group" (paper §2.3).
+//!
+//! The measure estimates
+//! `θ = P[protected item ranked above non-protected item]`
+//! over all cross-group pairs and tests `H0: θ = 1/2`.  `θ` is exactly the
+//! Mann–Whitney U statistic rescaled to `[0, 1]`, so the normal approximation
+//! of the rank-sum test provides the p-value; a Monte-Carlo permutation test
+//! is available as a slower, assumption-free alternative (used by the
+//! ablation bench).
+
+use crate::error::{FairnessError, FairnessResult};
+use crate::group::ProtectedGroup;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rf_ranking::Ranking;
+use rf_stats::normal_cdf;
+
+/// How the null distribution of the pairwise statistic is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PairwiseNull {
+    /// Normal approximation of the Mann–Whitney U statistic (default).
+    NormalApproximation,
+    /// Monte-Carlo permutation of group labels with the given number of
+    /// resamples (deterministic for a fixed seed).
+    Permutation {
+        /// Number of label permutations.
+        resamples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Configuration of the pairwise test.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PairwiseTest {
+    /// Significance level.
+    pub alpha: f64,
+    /// Null-distribution strategy.
+    pub null: PairwiseNull,
+}
+
+impl Default for PairwiseTest {
+    fn default() -> Self {
+        PairwiseTest {
+            alpha: 0.05,
+            null: PairwiseNull::NormalApproximation,
+        }
+    }
+}
+
+impl PairwiseTest {
+    /// Creates a pairwise test with the default settings
+    /// (`alpha = 0.05`, normal approximation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the significance level.
+    ///
+    /// # Errors
+    /// Returns an error unless `0 < alpha < 1`.
+    pub fn with_alpha(mut self, alpha: f64) -> FairnessResult<Self> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(FairnessError::InvalidParameter {
+                parameter: "alpha",
+                message: format!("significance level must lie strictly in (0, 1), got {alpha}"),
+            });
+        }
+        self.alpha = alpha;
+        Ok(self)
+    }
+
+    /// Switches to the Monte-Carlo permutation null.
+    #[must_use]
+    pub fn with_permutation_null(mut self, resamples: usize, seed: u64) -> Self {
+        self.null = PairwiseNull::Permutation { resamples, seed };
+        self
+    }
+
+    /// Evaluates the pairwise measure for `group` on `ranking`.
+    ///
+    /// # Errors
+    /// Returns an error when the ranking is not covered by the group or either
+    /// group is empty among the ranked items.
+    pub fn evaluate(
+        &self,
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+    ) -> FairnessResult<PairwiseOutcome> {
+        let members = group.membership_in_rank_order(ranking)?;
+        let theta = pairwise_preference(&members)?;
+        let n_protected = members.iter().filter(|&&m| m).count();
+        let n_other = members.len() - n_protected;
+
+        let p_value = match self.null {
+            PairwiseNull::NormalApproximation => {
+                normal_p_value(theta, n_protected, n_other)
+            }
+            PairwiseNull::Permutation { resamples, seed } => {
+                permutation_p_value(&members, theta, resamples, seed)?
+            }
+        };
+
+        Ok(PairwiseOutcome {
+            preference_probability: theta,
+            protected_count: n_protected,
+            non_protected_count: n_other,
+            p_value,
+            alpha: self.alpha,
+            fair: p_value >= self.alpha,
+        })
+    }
+}
+
+/// Result of the pairwise measure.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PairwiseOutcome {
+    /// Estimated probability that a protected item outranks a non-protected item.
+    pub preference_probability: f64,
+    /// Number of protected items among the ranked items.
+    pub protected_count: usize,
+    /// Number of non-protected items among the ranked items.
+    pub non_protected_count: usize,
+    /// Two-sided p-value of `H0: probability = 1/2`.
+    pub p_value: f64,
+    /// Significance level used for the verdict.
+    pub alpha: f64,
+    /// `true` when the null of pairwise parity is **not** rejected.
+    pub fair: bool,
+}
+
+/// Estimates `P[protected ≻ non-protected]` from a membership sequence in
+/// rank order (best first).  Runs in O(n) by scanning from the best rank and
+/// counting, for every non-protected item, how many protected items appear
+/// above it.
+///
+/// # Errors
+/// [`FairnessError::DegenerateGroup`] when either group is empty.
+pub fn pairwise_preference(members_in_rank_order: &[bool]) -> FairnessResult<f64> {
+    let n_protected = members_in_rank_order.iter().filter(|&&m| m).count();
+    let n_other = members_in_rank_order.len() - n_protected;
+    if n_protected == 0 {
+        return Err(FairnessError::DegenerateGroup { which: "protected" });
+    }
+    if n_other == 0 {
+        return Err(FairnessError::DegenerateGroup {
+            which: "non-protected",
+        });
+    }
+    let mut protected_seen = 0u64;
+    let mut wins = 0u64;
+    for &is_protected in members_in_rank_order {
+        if is_protected {
+            protected_seen += 1;
+        } else {
+            // Every protected item already seen outranks this non-protected item.
+            wins += protected_seen;
+        }
+    }
+    Ok(wins as f64 / (n_protected as f64 * n_other as f64))
+}
+
+/// Two-sided p-value via the Mann–Whitney normal approximation.
+fn normal_p_value(theta: f64, n_protected: usize, n_other: usize) -> f64 {
+    let n1 = n_protected as f64;
+    let n2 = n_other as f64;
+    let u = theta * n1 * n2;
+    let mean = n1 * n2 / 2.0;
+    let sd = (n1 * n2 * (n1 + n2 + 1.0) / 12.0).sqrt();
+    if sd == 0.0 {
+        return 1.0;
+    }
+    let z = (u - mean) / sd;
+    (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+/// Two-sided p-value via Monte-Carlo permutation of the group labels.
+fn permutation_p_value(
+    members: &[bool],
+    observed_theta: f64,
+    resamples: usize,
+    seed: u64,
+) -> FairnessResult<f64> {
+    if resamples == 0 {
+        return Err(FairnessError::InvalidParameter {
+            parameter: "resamples",
+            message: "permutation null needs at least one resample".to_string(),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut shuffled: Vec<bool> = members.to_vec();
+    let observed_dev = (observed_theta - 0.5).abs();
+    let mut at_least_as_extreme = 0usize;
+    for _ in 0..resamples {
+        shuffled.shuffle(&mut rng);
+        let theta = pairwise_preference(&shuffled)?;
+        if (theta - 0.5).abs() >= observed_dev - 1e-12 {
+            at_least_as_extreme += 1;
+        }
+    }
+    // Add-one smoothing keeps the p-value strictly positive.
+    Ok((at_least_as_extreme as f64 + 1.0) / (resamples as f64 + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_from(members: &[bool]) -> ProtectedGroup {
+        ProtectedGroup::from_membership("g", "x", members.to_vec()).unwrap()
+    }
+
+    fn identity_ranking(n: usize) -> Ranking {
+        Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn preference_extremes() {
+        // All protected at the top: every cross pair is a win.
+        let members = [true, true, false, false];
+        assert_eq!(pairwise_preference(&members).unwrap(), 1.0);
+        // All protected at the bottom: no wins.
+        let members = [false, false, true, true];
+        assert_eq!(pairwise_preference(&members).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn preference_alternating_is_balanced() {
+        let members = [true, false, true, false, true, false];
+        let theta = pairwise_preference(&members).unwrap();
+        // Wins: first protected beats 3, second beats 2, third beats 1 = 6 of 9.
+        assert!((theta - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preference_degenerate_groups_error() {
+        assert!(pairwise_preference(&[true, true]).is_err());
+        assert!(pairwise_preference(&[false]).is_err());
+    }
+
+    #[test]
+    fn preference_matches_brute_force() {
+        let members = [false, true, false, true, true, false, true, false, false, true];
+        let theta = pairwise_preference(&members).unwrap();
+        // Brute force count.
+        let mut wins = 0;
+        let mut total = 0;
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate() {
+                if a && !b {
+                    total += 1;
+                    if i < j {
+                        wins += 1;
+                    }
+                }
+            }
+        }
+        assert!((theta - wins as f64 / total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_ranking_is_fair() {
+        let members: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(60);
+        let out = PairwiseTest::new().evaluate(&group, &ranking).unwrap();
+        assert!(out.fair);
+        assert!(out.p_value > 0.1);
+        assert_eq!(out.protected_count, 30);
+        assert_eq!(out.non_protected_count, 30);
+    }
+
+    #[test]
+    fn segregated_ranking_is_unfair() {
+        let mut members = vec![false; 30];
+        members.extend(vec![true; 30]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(60);
+        let out = PairwiseTest::new().evaluate(&group, &ranking).unwrap();
+        assert!(!out.fair);
+        assert_eq!(out.preference_probability, 0.0);
+        assert!(out.p_value < 1e-6);
+    }
+
+    #[test]
+    fn permutation_null_agrees_with_normal_for_clear_cases() {
+        let mut members = vec![false; 25];
+        members.extend(vec![true; 25]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(50);
+        let normal = PairwiseTest::new().evaluate(&group, &ranking).unwrap();
+        let permutation = PairwiseTest::new()
+            .with_permutation_null(500, 7)
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(!normal.fair);
+        assert!(!permutation.fair);
+        // Balanced case: both say fair.
+        let members: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let normal = PairwiseTest::new().evaluate(&group, &ranking).unwrap();
+        let permutation = PairwiseTest::new()
+            .with_permutation_null(500, 7)
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(normal.fair);
+        assert!(permutation.fair);
+    }
+
+    #[test]
+    fn permutation_requires_resamples() {
+        let members: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(10);
+        let test = PairwiseTest::new().with_permutation_null(0, 1);
+        assert!(test.evaluate(&group, &ranking).is_err());
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(PairwiseTest::new().with_alpha(0.0).is_err());
+        assert!(PairwiseTest::new().with_alpha(0.5).is_ok());
+    }
+
+    #[test]
+    fn mild_imbalance_is_not_flagged_in_small_samples() {
+        // 3 protected of 8, slightly towards the bottom: not significant.
+        let members = [false, true, false, false, true, false, true, false];
+        let group = group_from(&members);
+        let ranking = identity_ranking(8);
+        let out = PairwiseTest::new().evaluate(&group, &ranking).unwrap();
+        assert!(out.fair);
+    }
+}

@@ -1,0 +1,242 @@
+//! The proportion (statistical parity at top-k) fairness measure.
+//!
+//! "One typical measure compares the proportion of members of a protected
+//! group who receive a positive outcome to their proportion in the overall
+//! population.  [...] A measure of this kind can be adapted to rankings by
+//! quantifying the proportion of members of a protected group in some
+//! selected set of size k (treating the top-k as a set)" (paper §2.3,
+//! following Zliobaite 2017).
+//!
+//! The implementation treats "selected" = top-k and "population" = the whole
+//! dataset, and runs a two-proportion z-test; the ranking is labelled unfair
+//! for the group when the top-k proportion differs significantly from the
+//! overall proportion.
+
+use crate::error::{FairnessError, FairnessResult};
+use crate::group::ProtectedGroup;
+use rf_ranking::Ranking;
+use rf_stats::{two_proportion_z_test, Alternative};
+
+/// Configuration of the proportion test.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProportionTest {
+    /// Size of the selected set (top-k).
+    pub k: usize,
+    /// Significance level.
+    pub alpha: f64,
+    /// Alternative hypothesis.  The label uses
+    /// [`Alternative::TwoSided`] — both under- and over-representation are
+    /// flagged — matching the tool's treatment of *both* values of the
+    /// sensitive attribute as protected features.
+    pub alternative: Alternative,
+}
+
+impl ProportionTest {
+    /// Creates a two-sided proportion test at `alpha = 0.05`.
+    ///
+    /// # Errors
+    /// Returns an error when `k == 0`.
+    pub fn new(k: usize) -> FairnessResult<Self> {
+        if k == 0 {
+            return Err(FairnessError::InvalidK { k, n: 0 });
+        }
+        Ok(ProportionTest {
+            k,
+            alpha: 0.05,
+            alternative: Alternative::TwoSided,
+        })
+    }
+
+    /// Sets the significance level.
+    ///
+    /// # Errors
+    /// Returns an error unless `0 < alpha < 1`.
+    pub fn with_alpha(mut self, alpha: f64) -> FairnessResult<Self> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(FairnessError::InvalidParameter {
+                parameter: "alpha",
+                message: format!("significance level must lie strictly in (0, 1), got {alpha}"),
+            });
+        }
+        self.alpha = alpha;
+        Ok(self)
+    }
+
+    /// Sets the alternative hypothesis (e.g. [`Alternative::Less`] to flag
+    /// only under-representation of the protected group).
+    #[must_use]
+    pub fn with_alternative(mut self, alternative: Alternative) -> Self {
+        self.alternative = alternative;
+        self
+    }
+
+    /// Evaluates the proportion measure for `group` on `ranking`.
+    ///
+    /// # Errors
+    /// Returns an error when `k` exceeds the ranking size, the group does not
+    /// cover the ranking, or the test is degenerate (e.g. everyone protected).
+    pub fn evaluate(
+        &self,
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+    ) -> FairnessResult<ProportionOutcome> {
+        if self.k == 0 || self.k > ranking.len() {
+            return Err(FairnessError::InvalidK {
+                k: self.k,
+                n: ranking.len(),
+            });
+        }
+        let protected_top_k = group.protected_in_top_k(ranking, self.k)?;
+        let protected_overall = group.protected_count();
+        let n = group.len();
+
+        let result = two_proportion_z_test(
+            protected_top_k as u64,
+            self.k as u64,
+            protected_overall as u64,
+            n as u64,
+            self.alternative,
+            self.alpha,
+        )?;
+
+        Ok(ProportionOutcome {
+            k: self.k,
+            protected_in_top_k: protected_top_k,
+            top_k_proportion: protected_top_k as f64 / self.k as f64,
+            overall_proportion: protected_overall as f64 / n as f64,
+            z_statistic: result.statistic,
+            p_value: result.p_value,
+            alpha: self.alpha,
+            fair: !result.reject_null,
+        })
+    }
+}
+
+/// Result of the proportion measure.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProportionOutcome {
+    /// Size of the audited prefix.
+    pub k: usize,
+    /// Number of protected items in the top-k.
+    pub protected_in_top_k: usize,
+    /// Proportion of protected items in the top-k.
+    pub top_k_proportion: f64,
+    /// Proportion of protected items over-all.
+    pub overall_proportion: f64,
+    /// Two-proportion z statistic (negative = under-represented at the top).
+    pub z_statistic: f64,
+    /// p-value under the configured alternative.
+    pub p_value: f64,
+    /// Significance level used for the verdict.
+    pub alpha: f64,
+    /// `true` when the null hypothesis of equal proportions is **not** rejected.
+    pub fair: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_from(members: &[bool]) -> ProtectedGroup {
+        ProtectedGroup::from_membership("g", "x", members.to_vec()).unwrap()
+    }
+
+    fn identity_ranking(n: usize) -> Ranking {
+        Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn balanced_top_k_is_fair() {
+        // 50% protected everywhere.
+        let members: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(100);
+        let out = ProportionTest::new(10)
+            .unwrap()
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(out.fair);
+        assert!((out.top_k_proportion - 0.5).abs() < 1e-12);
+        assert!((out.overall_proportion - 0.5).abs() < 1e-12);
+        assert!(out.p_value > 0.5);
+    }
+
+    #[test]
+    fn fully_excluded_group_is_unfair() {
+        // Protected items occupy the bottom half; none reach the top-20.
+        let mut members = vec![false; 50];
+        members.extend(vec![true; 50]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(100);
+        let out = ProportionTest::new(20)
+            .unwrap()
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(!out.fair);
+        assert_eq!(out.protected_in_top_k, 0);
+        assert!(out.z_statistic < -3.0);
+        assert!(out.p_value < 0.01);
+    }
+
+    #[test]
+    fn over_representation_flagged_two_sided() {
+        // Protected items occupy the entire top-20 but are only 30% overall.
+        let mut members = vec![true; 30];
+        members.extend(vec![false; 70]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(100);
+        let out = ProportionTest::new(20)
+            .unwrap()
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(!out.fair);
+        assert!(out.z_statistic > 3.0);
+    }
+
+    #[test]
+    fn one_sided_alternative_ignores_over_representation() {
+        let mut members = vec![true; 30];
+        members.extend(vec![false; 70]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(100);
+        let out = ProportionTest::new(20)
+            .unwrap()
+            .with_alternative(Alternative::Less)
+            .evaluate(&group, &ranking)
+            .unwrap();
+        // Over-representation is not evidence of under-representation.
+        assert!(out.fair);
+    }
+
+    #[test]
+    fn small_k_lacks_power() {
+        // 1 of 2 protected in top-2 vs 50% overall: no evidence either way.
+        let members: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(40);
+        let out = ProportionTest::new(2)
+            .unwrap()
+            .evaluate(&group, &ranking)
+            .unwrap();
+        assert!(out.fair);
+    }
+
+    #[test]
+    fn k_bounds_checked() {
+        let members = vec![true, false, true, false];
+        let group = group_from(&members);
+        let ranking = identity_ranking(4);
+        assert!(ProportionTest::new(0).is_err());
+        let test = ProportionTest::new(5).unwrap();
+        assert!(matches!(
+            test.evaluate(&group, &ranking),
+            Err(FairnessError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn alpha_validation() {
+        assert!(ProportionTest::new(10).unwrap().with_alpha(0.0).is_err());
+        assert!(ProportionTest::new(10).unwrap().with_alpha(0.01).is_ok());
+    }
+}

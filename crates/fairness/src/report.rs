@@ -1,0 +1,265 @@
+//! The combined fairness report consumed by the Fairness widget.
+//!
+//! For each protected feature (e.g. `DeptSizeBin = large` and
+//! `DeptSizeBin = small` in Figure 1), the widget shows the verdict of three
+//! measures side by side: FA*IR, Pairwise and Proportion, each with its
+//! p-value.  [`FairnessReport::evaluate`] produces exactly that row.
+
+use crate::error::FairnessResult;
+use crate::fair_star::{FairStarOutcome, FairStarTest};
+use crate::group::ProtectedGroup;
+use crate::measures::DiscountedMeasures;
+use crate::pairwise::{PairwiseOutcome, PairwiseTest};
+use crate::proportion::{ProportionOutcome, ProportionTest};
+use rf_ranking::Ranking;
+
+/// Fair / unfair verdict of a single measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FairnessVerdict {
+    /// The statistical test did not reject the fairness null hypothesis.
+    Fair,
+    /// The statistical test rejected the fairness null hypothesis.
+    Unfair,
+}
+
+impl FairnessVerdict {
+    /// Builds a verdict from a boolean "is fair" flag.
+    #[must_use]
+    pub fn from_fair(fair: bool) -> Self {
+        if fair {
+            FairnessVerdict::Fair
+        } else {
+            FairnessVerdict::Unfair
+        }
+    }
+
+    /// Label used by the rendered widget.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FairnessVerdict::Fair => "fair",
+            FairnessVerdict::Unfair => "unfair",
+        }
+    }
+}
+
+/// One measure's outcome: name, p-value, verdict.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasureOutcome {
+    /// Measure name as shown in the widget ("FA*IR", "Pairwise", "Proportion").
+    pub measure: String,
+    /// The measure's p-value.
+    pub p_value: f64,
+    /// Fair / unfair at the measure's significance level.
+    pub verdict: FairnessVerdict,
+}
+
+/// Configuration shared by the three fairness measures.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FairnessConfig {
+    /// Audited prefix size (top-k); the paper uses 10.
+    pub k: usize,
+    /// Significance level for every measure.
+    pub alpha: f64,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig { k: 10, alpha: 0.05 }
+    }
+}
+
+/// The full fairness report for one protected feature.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FairnessReport {
+    /// Sensitive attribute name.
+    pub attribute: String,
+    /// Protected feature (attribute value).
+    pub protected_value: String,
+    /// Proportion of the protected group in the whole dataset.
+    pub protected_proportion: f64,
+    /// FA*IR outcome.
+    pub fair_star: FairStarOutcome,
+    /// Pairwise outcome.
+    pub pairwise: PairwiseOutcome,
+    /// Proportion-test outcome.
+    pub proportion: ProportionOutcome,
+    /// Position-discounted measures (rND / rKL / rRD) for the detailed view.
+    pub discounted: DiscountedMeasures,
+    /// Significance level shared by the verdicts.
+    pub alpha: f64,
+}
+
+impl FairnessReport {
+    /// Evaluates all fairness measures of `group` on `ranking`.
+    ///
+    /// The FA*IR target proportion `p` is set to the group's overall
+    /// proportion in the dataset, which is how Ranking Facts parameterizes
+    /// the test.
+    ///
+    /// # Errors
+    /// Propagates any measure error (degenerate groups, k out of range, …).
+    pub fn evaluate(
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+        config: &FairnessConfig,
+    ) -> FairnessResult<Self> {
+        let p = group.protected_proportion();
+        let fair_star = FairStarTest::new(config.k, p)?
+            .with_alpha(config.alpha)?
+            .evaluate(group, ranking)?;
+        let pairwise = PairwiseTest::new()
+            .with_alpha(config.alpha)?
+            .evaluate(group, ranking)?;
+        let proportion = ProportionTest::new(config.k)?
+            .with_alpha(config.alpha)?
+            .evaluate(group, ranking)?;
+        let discounted = DiscountedMeasures::evaluate(group, ranking)?;
+        Ok(FairnessReport {
+            attribute: group.attribute.clone(),
+            protected_value: group.protected_value.clone(),
+            protected_proportion: p,
+            fair_star,
+            pairwise,
+            proportion,
+            discounted,
+            alpha: config.alpha,
+        })
+    }
+
+    /// The three measure outcomes in widget order (FA*IR, Pairwise, Proportion).
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<MeasureOutcome> {
+        vec![
+            MeasureOutcome {
+                measure: "FA*IR".to_string(),
+                p_value: self.fair_star.p_value,
+                verdict: FairnessVerdict::from_fair(self.fair_star.satisfied),
+            },
+            MeasureOutcome {
+                measure: "Pairwise".to_string(),
+                p_value: self.pairwise.p_value,
+                verdict: FairnessVerdict::from_fair(self.pairwise.fair),
+            },
+            MeasureOutcome {
+                measure: "Proportion".to_string(),
+                p_value: self.proportion.p_value,
+                verdict: FairnessVerdict::from_fair(self.proportion.fair),
+            },
+        ]
+    }
+
+    /// `true` when every measure calls the ranking fair for this group.
+    #[must_use]
+    pub fn all_fair(&self) -> bool {
+        self.fair_star.satisfied && self.pairwise.fair && self.proportion.fair
+    }
+
+    /// `true` when at least one measure calls the ranking unfair.
+    #[must_use]
+    pub fn any_unfair(&self) -> bool {
+        !self.all_fair()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_from(members: &[bool]) -> ProtectedGroup {
+        ProtectedGroup::from_membership("size", "small", members.to_vec()).unwrap()
+    }
+
+    fn identity_ranking(n: usize) -> Ranking {
+        Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn verdict_labels() {
+        assert_eq!(FairnessVerdict::from_fair(true), FairnessVerdict::Fair);
+        assert_eq!(FairnessVerdict::from_fair(false), FairnessVerdict::Unfair);
+        assert_eq!(FairnessVerdict::Fair.as_str(), "fair");
+        assert_eq!(FairnessVerdict::Unfair.as_str(), "unfair");
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = FairnessConfig::default();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.alpha, 0.05);
+    }
+
+    #[test]
+    fn balanced_ranking_reports_fair_everywhere() {
+        let members: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(60);
+        let report =
+            FairnessReport::evaluate(&group, &ranking, &FairnessConfig::default()).unwrap();
+        assert!(report.all_fair());
+        assert!(!report.any_unfair());
+        assert_eq!(report.outcomes().len(), 3);
+        for outcome in report.outcomes() {
+            assert_eq!(outcome.verdict, FairnessVerdict::Fair);
+            assert!((0.0..=1.0).contains(&outcome.p_value));
+        }
+        assert!((report.protected_proportion - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segregated_ranking_reports_unfair_everywhere() {
+        let mut members = vec![false; 30];
+        members.extend(vec![true; 30]);
+        let group = group_from(&members);
+        let ranking = identity_ranking(60);
+        let report =
+            FairnessReport::evaluate(&group, &ranking, &FairnessConfig::default()).unwrap();
+        assert!(report.any_unfair());
+        assert!(!report.all_fair());
+        for outcome in report.outcomes() {
+            assert_eq!(outcome.verdict, FairnessVerdict::Unfair);
+        }
+        assert!(report.discounted.rnd > 0.8);
+    }
+
+    #[test]
+    fn report_carries_group_identity() {
+        let members: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(30);
+        let report =
+            FairnessReport::evaluate(&group, &ranking, &FairnessConfig::default()).unwrap();
+        assert_eq!(report.attribute, "size");
+        assert_eq!(report.protected_value, "small");
+        assert_eq!(report.alpha, 0.05);
+    }
+
+    #[test]
+    fn k_larger_than_ranking_is_error() {
+        let members = vec![true, false, true, false];
+        let group = group_from(&members);
+        let ranking = identity_ranking(4);
+        let config = FairnessConfig { k: 10, alpha: 0.05 };
+        assert!(FairnessReport::evaluate(&group, &ranking, &config).is_err());
+    }
+
+    #[test]
+    fn measures_can_disagree_on_borderline_cases() {
+        // A mildly skewed ranking: proportion test at k=10 usually lacks power
+        // while FA*IR's prefix checks may or may not fire.  We only check the
+        // report is well-formed and the verdicts are consistent with p-values.
+        let members: Vec<bool> = (0..40).map(|i| (i * 7) % 3 == 0).collect();
+        let group = group_from(&members);
+        let ranking = identity_ranking(40);
+        let report =
+            FairnessReport::evaluate(&group, &ranking, &FairnessConfig::default()).unwrap();
+        for outcome in report.outcomes() {
+            if outcome.measure == "FA*IR" {
+                // FA*IR's verdict uses the adjusted threshold, not alpha itself.
+                continue;
+            }
+            let expected_fair = outcome.p_value >= report.alpha;
+            assert_eq!(outcome.verdict == FairnessVerdict::Fair, expected_fair);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the fairness measures.
+
+use proptest::prelude::*;
+use rf_fairness::{
+    adjust_alpha, minimum_protected_table, pairwise::pairwise_preference, rkl, rnd, rrd,
+    FairStarTest, ProportionTest, ProtectedGroup,
+};
+use rf_ranking::Ranking;
+
+/// Membership vectors guaranteed to contain both groups.
+fn mixed_membership(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 4..max_len).prop_filter(
+        "both groups must be non-empty",
+        |v| v.iter().any(|&b| b) && v.iter().any(|&b| !b),
+    )
+}
+
+proptest! {
+    #[test]
+    fn minimum_protected_table_is_monotone(
+        k in 1usize..60,
+        p in 0.05..0.95f64,
+        alpha in 0.01..0.3f64,
+    ) {
+        let table = minimum_protected_table(k, p, alpha).unwrap();
+        prop_assert_eq!(table.len(), k);
+        for (i, w) in table.windows(2).enumerate() {
+            prop_assert!(w[1] >= w[0], "table not monotone at {}", i);
+            prop_assert!(w[1] - w[0] <= 1, "table jumps by more than 1 at {}", i);
+        }
+        // The requirement can never exceed the prefix length.
+        for (i, &m) in table.iter().enumerate() {
+            prop_assert!(m <= i + 1);
+        }
+    }
+
+    #[test]
+    fn minimum_table_monotone_in_alpha(k in 1usize..40, p in 0.1..0.9f64) {
+        let strict = minimum_protected_table(k, p, 0.01).unwrap();
+        let lax = minimum_protected_table(k, p, 0.2).unwrap();
+        // A larger alpha can only demand at least as many protected items.
+        for (s, l) in strict.iter().zip(lax.iter()) {
+            prop_assert!(l >= s);
+        }
+    }
+
+    #[test]
+    fn adjusted_alpha_at_most_alpha(k in 1usize..40, p in 0.1..0.9f64, alpha in 0.02..0.2f64) {
+        let a = adjust_alpha(k, p, alpha).unwrap();
+        prop_assert!(a <= alpha + 1e-12);
+        prop_assert!(a > 0.0);
+    }
+
+    #[test]
+    fn pairwise_preference_in_unit_interval(members in mixed_membership(64)) {
+        let theta = pairwise_preference(&members).unwrap();
+        prop_assert!((0.0..=1.0).contains(&theta));
+        // Reversing the ranking reverses the preference.
+        let reversed: Vec<bool> = members.iter().rev().copied().collect();
+        let theta_rev = pairwise_preference(&reversed).unwrap();
+        prop_assert!((theta + theta_rev - 1.0).abs() < 1e-9);
+        // Swapping group labels also complements the preference.
+        let flipped: Vec<bool> = members.iter().map(|&b| !b).collect();
+        let theta_flip = pairwise_preference(&flipped).unwrap();
+        prop_assert!((theta + theta_flip - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discounted_measures_bounded(members in mixed_membership(80)) {
+        for value in [rnd(&members).unwrap(), rkl(&members).unwrap(), rrd(&members).unwrap()] {
+            prop_assert!((0.0..=1.0).contains(&value), "value {}", value);
+        }
+    }
+
+    #[test]
+    fn fair_star_satisfied_iff_every_prefix_meets_minimum(members in mixed_membership(40)) {
+        let n = members.len();
+        let k = (n / 2).max(1);
+        let group = ProtectedGroup::from_membership("g", "x", members.clone()).unwrap();
+        let ranking = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+        let p = group.protected_proportion();
+        if !(p > 0.0 && p < 1.0) {
+            return Ok(());
+        }
+        let test = FairStarTest::new(k, p).unwrap();
+        let out = test.evaluate(&group, &ranking).unwrap();
+        let violates = out
+            .observed_counts
+            .iter()
+            .zip(out.required_minimums.iter())
+            .any(|(obs, req)| obs < req);
+        prop_assert_eq!(out.satisfied, !violates);
+        prop_assert!((0.0..=1.0).contains(&out.p_value));
+        prop_assert_eq!(out.observed_counts.len(), k);
+        // Observed counts are non-decreasing and bounded by the prefix length.
+        for (i, w) in out.observed_counts.windows(2).enumerate() {
+            prop_assert!(w[1] >= w[0]);
+            prop_assert!(w[1] - w[0] <= 1);
+            prop_assert!(w[0] <= i + 1);
+        }
+    }
+
+    #[test]
+    fn proportion_test_p_value_valid(members in mixed_membership(60), k_frac in 0.2..0.9f64) {
+        let n = members.len();
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let group = ProtectedGroup::from_membership("g", "x", members).unwrap();
+        let ranking = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+        let test = ProportionTest::new(k).unwrap();
+        // Degenerate pooled proportions are legitimately rejected, so only the
+        // successful evaluations are checked.
+        if let Ok(out) = test.evaluate(&group, &ranking) {
+            prop_assert!((0.0..=1.0).contains(&out.p_value));
+            prop_assert!((0.0..=1.0).contains(&out.top_k_proportion));
+            prop_assert!((0.0..=1.0).contains(&out.overall_proportion));
+            prop_assert_eq!(out.fair, out.p_value >= out.alpha);
+        }
+    }
+
+    #[test]
+    fn perfectly_proportional_prefixes_are_fair(block in 1usize..6) {
+        // Membership alternates in blocks of equal size, keeping every 2*block
+        // prefix exactly proportional.
+        let members: Vec<bool> = (0..40).map(|i| (i / block) % 2 == 0).collect();
+        let group = ProtectedGroup::from_membership("g", "x", members).unwrap();
+        let ranking = Ranking::from_order(&(0..40).collect::<Vec<_>>()).unwrap();
+        let test = FairStarTest::new(10, 0.5).unwrap();
+        let out = test.evaluate(&group, &ranking).unwrap();
+        prop_assert!(out.satisfied);
+    }
+}

@@ -1,0 +1,251 @@
+//! Comparing two rankings of the same items.
+//!
+//! The Monte-Carlo stability estimator re-ranks perturbed copies of the data
+//! and asks how far the perturbed ranking drifted from the original.  Three
+//! classic measures are provided:
+//!
+//! * [`kendall_tau_rankings`] — Kendall's tau on the rank vectors.
+//! * [`spearman_rho_rankings`] — Spearman's rho on the rank vectors.
+//! * [`footrule_distance`] — Spearman's footrule (total absolute rank
+//!   displacement), plus its normalized variant.
+
+use crate::error::{RankingError, RankingResult};
+use crate::ranking::Ranking;
+use rf_stats::spearman;
+
+/// Validates that the two rankings cover the same number of items.
+fn validate_same_items(a: &Ranking, b: &Ranking) -> RankingResult<()> {
+    if a.len() != b.len() {
+        return Err(RankingError::IncomparableRankings {
+            message: format!("rankings have different sizes ({} vs {})", a.len(), b.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Kendall's tau between two rankings of the same items.
+///
+/// Returns 1.0 for identical orders and −1.0 for exactly reversed orders.
+///
+/// Because a [`Ranking`] is a tie-free permutation, tau reduces to an
+/// inversion count, which is computed in `O(n log n)` by merge sort — the
+/// Monte-Carlo stability estimator and the FA*IR re-ranker call this on every
+/// perturbed ranking, so the quadratic pair scan of the general-purpose
+/// [`kendall_tau`] would dominate their cost.
+///
+/// # Errors
+/// Returns an error when the rankings have different sizes or fewer than two
+/// items.
+pub fn kendall_tau_rankings(a: &Ranking, b: &Ranking) -> RankingResult<f64> {
+    validate_same_items(a, b)?;
+    let n = a.len();
+    if n < 2 {
+        return Err(RankingError::IncomparableRankings {
+            message: "Kendall tau needs at least two items".to_string(),
+        });
+    }
+    // Walk the items in `a`'s rank order and count how many pairs appear in
+    // the opposite order in `b` (inversions of the induced sequence).
+    let rank_b = b.rank_vector();
+    let mut sequence: Vec<usize> = a.order().into_iter().map(|item| rank_b[item]).collect();
+    let inversions = count_inversions(&mut sequence);
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    Ok(1.0 - 2.0 * inversions as f64 / total_pairs)
+}
+
+/// Counts inversions of `values` with a bottom-up merge sort; the slice is
+/// sorted in place as a side effect.
+fn count_inversions(values: &mut [usize]) -> u64 {
+    let n = values.len();
+    let mut buffer = vec![0usize; n];
+    let mut inversions = 0u64;
+    let mut width = 1usize;
+    while width < n {
+        let mut start = 0usize;
+        while start + width < n {
+            let mid = start + width;
+            let end = (start + 2 * width).min(n);
+            // Merge values[start..mid] and values[mid..end] into the buffer,
+            // counting how many right-half elements jump over left-half ones.
+            let (mut left, mut right, mut out) = (start, mid, start);
+            while left < mid && right < end {
+                if values[left] <= values[right] {
+                    buffer[out] = values[left];
+                    left += 1;
+                } else {
+                    buffer[out] = values[right];
+                    right += 1;
+                    inversions += (mid - left) as u64;
+                }
+                out += 1;
+            }
+            buffer[out..out + (mid - left)].copy_from_slice(&values[left..mid]);
+            out += mid - left;
+            buffer[out..out + (end - right)].copy_from_slice(&values[right..end]);
+            values[start..end].copy_from_slice(&buffer[start..end]);
+            start = end;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// Spearman's rho between two rankings of the same items.
+///
+/// # Errors
+/// Returns an error when the rankings have different sizes or fewer than two
+/// items.
+pub fn spearman_rho_rankings(a: &Ranking, b: &Ranking) -> RankingResult<f64> {
+    validate_same_items(a, b)?;
+    let ra: Vec<f64> = a.rank_vector().iter().map(|&r| r as f64).collect();
+    let rb: Vec<f64> = b.rank_vector().iter().map(|&r| r as f64).collect();
+    Ok(spearman(&ra, &rb)?)
+}
+
+/// Spearman's footrule: `Σ |rank_a(i) − rank_b(i)|` over all items, together
+/// with its normalized form in `[0, 1]` (0 = identical, 1 = maximally
+/// displaced).
+///
+/// # Errors
+/// Returns an error when the rankings have different sizes.
+pub fn footrule_distance(a: &Ranking, b: &Ranking) -> RankingResult<(f64, f64)> {
+    validate_same_items(a, b)?;
+    let ra = a.rank_vector();
+    let rb = b.rank_vector();
+    let total: f64 = ra
+        .iter()
+        .zip(rb.iter())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum();
+    let n = ra.len() as f64;
+    // Maximum footrule distance: n²/2 for even n, (n²−1)/2 for odd n.
+    let max = if ra.len().is_multiple_of(2) {
+        n * n / 2.0
+    } else {
+        (n * n - 1.0) / 2.0
+    };
+    let normalized = if max == 0.0 { 0.0 } else { total / max };
+    Ok((total, normalized))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(order: &[usize]) -> Ranking {
+        Ranking::from_order(order).unwrap()
+    }
+
+    #[test]
+    fn identical_rankings_max_agreement() {
+        let a = ranking(&[0, 1, 2, 3]);
+        let b = ranking(&[0, 1, 2, 3]);
+        assert!((kendall_tau_rankings(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rho_rankings(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let (total, norm) = footrule_distance(&a, &b).unwrap();
+        assert_eq!(total, 0.0);
+        assert_eq!(norm, 0.0);
+    }
+
+    #[test]
+    fn reversed_rankings_max_disagreement() {
+        let a = ranking(&[0, 1, 2, 3]);
+        let b = ranking(&[3, 2, 1, 0]);
+        assert!((kendall_tau_rankings(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman_rho_rankings(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        let (total, norm) = footrule_distance(&a, &b).unwrap();
+        assert_eq!(total, 8.0); // |1-4|+|2-3|+|3-2|+|4-1| = 3+1+1+3
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_swap_is_mild_disagreement() {
+        let a = ranking(&[0, 1, 2, 3]);
+        let b = ranking(&[0, 1, 3, 2]);
+        let tau = kendall_tau_rankings(&a, &b).unwrap();
+        assert!((tau - 4.0 / 6.0).abs() < 1e-12);
+        let (total, _) = footrule_distance(&a, &b).unwrap();
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn odd_sized_reversal_normalizes_to_one() {
+        let a = ranking(&[0, 1, 2, 3, 4]);
+        let b = ranking(&[4, 3, 2, 1, 0]);
+        let (_, norm) = footrule_distance(&a, &b).unwrap();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_mismatch_is_error() {
+        let a = ranking(&[0, 1, 2]);
+        let b = ranking(&[0, 1]);
+        assert!(kendall_tau_rankings(&a, &b).is_err());
+        assert!(spearman_rho_rankings(&a, &b).is_err());
+        assert!(footrule_distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn inversion_counting_matches_the_quadratic_definition() {
+        // Cross-check the O(n log n) tau against the general-purpose
+        // O(n²) implementation in rf-stats on a batch of pseudo-random
+        // permutations.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound as u64) as usize
+        };
+        for n in [2usize, 3, 5, 17, 64, 151] {
+            let mut order: Vec<usize> = (0..n).collect();
+            // Fisher-Yates with the toy generator above.
+            for i in (1..n).rev() {
+                order.swap(i, next(i + 1));
+            }
+            let a = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
+            let b = Ranking::from_order(&order).unwrap();
+            let fast = kendall_tau_rankings(&a, &b).unwrap();
+            let ra: Vec<f64> = a.rank_vector().iter().map(|&r| r as f64).collect();
+            let rb: Vec<f64> = b.rank_vector().iter().map(|&r| r as f64).collect();
+            let slow = rf_stats::kendall_tau(&ra, &rb).unwrap();
+            assert!((fast - slow).abs() < 1e-12, "n={n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn count_inversions_handles_edges() {
+        assert_eq!(count_inversions(&mut []), 0);
+        assert_eq!(count_inversions(&mut [1]), 0);
+        assert_eq!(count_inversions(&mut [1, 2, 3]), 0);
+        assert_eq!(count_inversions(&mut [3, 2, 1]), 3);
+        let mut values = [5, 1, 4, 2, 3];
+        assert_eq!(count_inversions(&mut values), 6);
+        assert_eq!(values, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_item_rankings_are_rejected() {
+        let a = ranking(&[0]);
+        let b = ranking(&[0]);
+        assert!(kendall_tau_rankings(&a, &b).is_err());
+    }
+
+    #[test]
+    fn comparisons_are_symmetric() {
+        let a = ranking(&[2, 0, 3, 1, 4]);
+        let b = ranking(&[0, 1, 2, 4, 3]);
+        assert!(
+            (kendall_tau_rankings(&a, &b).unwrap() - kendall_tau_rankings(&b, &a).unwrap()).abs()
+                < 1e-12
+        );
+        assert!(
+            (spearman_rho_rankings(&a, &b).unwrap() - spearman_rho_rankings(&b, &a).unwrap())
+                .abs()
+                < 1e-12
+        );
+        let (d1, _) = footrule_distance(&a, &b).unwrap();
+        let (d2, _) = footrule_distance(&b, &a).unwrap();
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the ranking engine.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-ranking`.
+pub type RankingResult<T> = Result<T, RankingError>;
+
+/// Errors produced while building scoring functions and rankings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankingError {
+    /// The scoring function has no attributes.
+    EmptyRecipe,
+    /// An attribute weight is invalid (non-finite or all weights zero).
+    InvalidWeight {
+        /// Attribute whose weight is invalid (empty when the problem is global).
+        attribute: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A scoring attribute is missing from the table or not numeric.
+    Table(rf_table::TableError),
+    /// A row has a missing value for a scoring attribute and the policy is to fail.
+    MissingValue {
+        /// Attribute with the missing value.
+        attribute: String,
+        /// Row index.
+        row: usize,
+    },
+    /// The two rankings being compared cover different item sets.
+    IncomparableRankings {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// The ranking is empty.
+    EmptyRanking,
+    /// An underlying statistical routine failed.
+    Stats(rf_stats::StatsError),
+}
+
+impl fmt::Display for RankingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankingError::EmptyRecipe => {
+                write!(f, "the scoring function must use at least one attribute")
+            }
+            RankingError::InvalidWeight { attribute, message } => {
+                if attribute.is_empty() {
+                    write!(f, "invalid scoring weights: {message}")
+                } else {
+                    write!(f, "invalid weight for attribute `{attribute}`: {message}")
+                }
+            }
+            RankingError::Table(err) => write!(f, "table error: {err}"),
+            RankingError::MissingValue { attribute, row } => write!(
+                f,
+                "attribute `{attribute}` has a missing value at row {row}; \
+                 scoring requires fully populated scoring attributes"
+            ),
+            RankingError::IncomparableRankings { message } => {
+                write!(f, "rankings cannot be compared: {message}")
+            }
+            RankingError::EmptyRanking => write!(f, "the ranking contains no items"),
+            RankingError::Stats(err) => write!(f, "statistics error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RankingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RankingError::Table(err) => Some(err),
+            RankingError::Stats(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rf_table::TableError> for RankingError {
+    fn from(err: rf_table::TableError) -> Self {
+        RankingError::Table(err)
+    }
+}
+
+impl From<rf_stats::StatsError> for RankingError {
+    fn from(err: rf_stats::StatsError) -> Self {
+        RankingError::Stats(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RankingError::EmptyRecipe.to_string().contains("at least one"));
+        assert!(RankingError::EmptyRanking.to_string().contains("no items"));
+        let e = RankingError::MissingValue {
+            attribute: "GRE".to_string(),
+            row: 3,
+        };
+        assert!(e.to_string().contains("GRE"));
+        assert!(e.to_string().contains("row 3"));
+        let e = RankingError::InvalidWeight {
+            attribute: String::new(),
+            message: "all weights are zero".to_string(),
+        };
+        assert!(e.to_string().contains("all weights are zero"));
+    }
+
+    #[test]
+    fn conversions() {
+        let t: RankingError = rf_table::TableError::Empty { operation: "x" }.into();
+        assert!(matches!(t, RankingError::Table(_)));
+        let s: RankingError = rf_stats::StatsError::EmptyInput { operation: "x" }.into();
+        assert!(matches!(s, RankingError::Stats(_)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Perturbation of data and scoring weights.
+//!
+//! The Stability widget asks whether "slight changes to the data (e.g., due
+//! to uncertainty and noise), or to the methodology (e.g., by slightly
+//! adjusting the weights in a score-based ranker) could lead to a significant
+//! change in the output" (paper §2.2).  The Monte-Carlo stability estimator
+//! in `rf-stability` answers that question empirically by re-ranking many
+//! perturbed copies of the input; this module produces those copies.
+
+use crate::error::RankingResult;
+use crate::score::{AttributeWeight, ScoringFunction};
+use rand::Rng;
+use rf_table::{Column, Table};
+
+/// Specification of a perturbation experiment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerturbationSpec {
+    /// Relative magnitude of Gaussian noise added to data values
+    /// (a fraction of each column's standard deviation).
+    pub data_noise: f64,
+    /// Relative magnitude of multiplicative jitter applied to weights.
+    pub weight_noise: f64,
+}
+
+impl Default for PerturbationSpec {
+    fn default() -> Self {
+        PerturbationSpec {
+            data_noise: 0.05,
+            weight_noise: 0.05,
+        }
+    }
+}
+
+/// Returns a copy of `table` in which each listed numeric column has zero-mean
+/// Gaussian noise added, with standard deviation `noise_fraction` times the
+/// column's own standard deviation.  Missing values remain missing; other
+/// columns are untouched.
+///
+/// # Errors
+/// Unknown or non-numeric columns.
+pub fn perturb_table_gaussian<R: Rng + ?Sized>(
+    table: &Table,
+    columns: &[&str],
+    noise_fraction: f64,
+    rng: &mut R,
+) -> RankingResult<Table> {
+    for &name in columns {
+        table.require_numeric(name)?;
+    }
+    let mut out = Table::new();
+    for field in table.schema().fields() {
+        let name = field.name.as_str();
+        let col = table.column(name)?;
+        if columns.contains(&name) {
+            let options = col.numeric_options(name)?;
+            let non_null: Vec<f64> = options.iter().filter_map(|x| *x).collect();
+            let sd = if non_null.len() >= 2 {
+                rf_stats::stddev(&non_null)?
+            } else {
+                0.0
+            };
+            let scale = sd * noise_fraction;
+            let perturbed: Vec<Option<f64>> = options
+                .into_iter()
+                .map(|opt| opt.map(|v| v + gaussian(rng) * scale))
+                .collect();
+            out.add_column(name, Column::Float(perturbed))?;
+        } else {
+            out.add_column(name, col.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns a copy of the scoring function with each weight multiplied by
+/// `1 + ε`, where `ε` is uniform in `[-noise_fraction, +noise_fraction]`.
+///
+/// If the jitter happens to drive every weight to exactly zero (only possible
+/// when all weights start at zero, which construction forbids), the original
+/// function is returned unchanged.
+///
+/// # Errors
+/// Propagates scoring-function validation errors.
+pub fn perturb_weights<R: Rng + ?Sized>(
+    scoring: &ScoringFunction,
+    noise_fraction: f64,
+    rng: &mut R,
+) -> RankingResult<ScoringFunction> {
+    let new_weights: Vec<AttributeWeight> = scoring
+        .weights()
+        .iter()
+        .map(|w| {
+            let jitter = 1.0 + rng.gen_range(-noise_fraction..=noise_fraction);
+            AttributeWeight::new(w.attribute.clone(), w.weight * jitter)
+        })
+        .collect();
+    if new_weights.iter().all(|w| w.weight == 0.0) {
+        return Ok(scoring.clone());
+    }
+    ScoringFunction::with_normalization(new_weights, scoring.normalization())
+}
+
+/// Standard normal sample via the Box–Muller transform.
+///
+/// Using Box–Muller (rather than `rand_distr`) keeps the dependency set to the
+/// pre-approved crates.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn table() -> Table {
+        Table::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+            ("y", Column::from_f64(vec![10.0, 10.0, 10.0, 10.0, 10.0])),
+            ("label", Column::from_strings(["a", "b", "c", "d", "e"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn default_spec_is_five_percent() {
+        let spec = PerturbationSpec::default();
+        assert_eq!(spec.data_noise, 0.05);
+        assert_eq!(spec.weight_noise, 0.05);
+    }
+
+    #[test]
+    fn perturbation_changes_only_listed_columns() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = perturb_table_gaussian(&t, &["x"], 0.1, &mut rng).unwrap();
+        assert_ne!(p.numeric_column("x").unwrap(), t.numeric_column("x").unwrap());
+        assert_eq!(p.numeric_column("y").unwrap(), t.numeric_column("y").unwrap());
+        assert_eq!(
+            p.categorical_column("label").unwrap(),
+            t.categorical_column("label").unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = perturb_table_gaussian(&t, &["x"], 0.0, &mut rng).unwrap();
+        assert_eq!(p.numeric_column("x").unwrap(), t.numeric_column("x").unwrap());
+    }
+
+    #[test]
+    fn constant_column_stays_constant() {
+        // Its standard deviation is zero, so noise has zero scale.
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = perturb_table_gaussian(&t, &["y"], 0.5, &mut rng).unwrap();
+        assert_eq!(p.numeric_column("y").unwrap(), vec![10.0; 5]);
+    }
+
+    #[test]
+    fn perturbation_magnitude_tracks_noise_fraction() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let small = perturb_table_gaussian(&t, &["x"], 0.01, &mut rng).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let large = perturb_table_gaussian(&t, &["x"], 1.0, &mut rng).unwrap();
+        let orig = t.numeric_column("x").unwrap();
+        let dev_small: f64 = small
+            .numeric_column("x")
+            .unwrap()
+            .iter()
+            .zip(orig.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let dev_large: f64 = large
+            .numeric_column("x")
+            .unwrap()
+            .iter()
+            .zip(orig.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(dev_large > dev_small);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_under_seed() {
+        let t = table();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let p1 = perturb_table_gaussian(&t, &["x"], 0.1, &mut rng1).unwrap();
+        let p2 = perturb_table_gaussian(&t, &["x"], 0.1, &mut rng2).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let t = table();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(perturb_table_gaussian(&t, &["ghost"], 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn weight_perturbation_stays_close() {
+        let f = ScoringFunction::from_pairs([("a", 1.0), ("b", 2.0)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = perturb_weights(&f, 0.1, &mut rng).unwrap();
+        for (orig, new) in f.weights().iter().zip(g.weights().iter()) {
+            assert_eq!(orig.attribute, new.attribute);
+            assert!((new.weight - orig.weight).abs() <= orig.weight.abs() * 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_perturbation_zero_noise_is_identity() {
+        let f = ScoringFunction::from_pairs([("a", 0.4), ("b", 0.6)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = perturb_weights(&f, 0.0, &mut rng).unwrap();
+        assert_eq!(f.weights(), g.weights());
+    }
+
+    #[test]
+    fn gaussian_samples_have_roughly_standard_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = rf_stats::mean(&samples).unwrap();
+        let sd = rf_stats::stddev(&samples).unwrap();
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.03, "sd {sd}");
+    }
+}

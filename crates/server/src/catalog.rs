@@ -1,0 +1,193 @@
+//! The catalogue of pre-loaded demo datasets.
+//!
+//! "The demo user has the option to choose one of these datasets, or to
+//! upload one of their own" (paper §3).  The catalogue holds the three
+//! synthetic demonstration datasets together with a sensible default label
+//! configuration for each, so a single GET produces the corresponding
+//! nutritional label.
+
+use parking_lot::RwLock;
+use rf_core::LabelConfig;
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+use rf_ranking::ScoringFunction;
+use rf_table::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One pre-loaded dataset plus its default label configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetEntry {
+    /// Short identifier used in URLs (e.g. `cs-departments`).
+    pub slug: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Short description shown on the landing page.
+    pub description: String,
+    /// The dataset itself.
+    pub table: Arc<Table>,
+    /// Default label configuration.
+    pub config: LabelConfig,
+}
+
+/// Thread-safe catalogue of datasets, keyed by slug.
+#[derive(Debug, Default)]
+pub struct DatasetCatalog {
+    entries: RwLock<BTreeMap<String, DatasetEntry>>,
+}
+
+impl DatasetCatalog {
+    /// Creates an empty catalogue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the catalogue pre-loaded with the paper's three demonstration
+    /// datasets (synthetic stand-ins; smaller row counts keep the demo fast).
+    #[must_use]
+    pub fn with_demo_datasets() -> Self {
+        let catalog = Self::new();
+
+        let cs = CsDepartmentsConfig::default()
+            .generate()
+            .expect("CS departments generator");
+        let cs_config = LabelConfig::new(
+            ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+                .expect("valid scoring"),
+        )
+        .with_top_k(10)
+        .with_ingredient_count(2)
+        .with_dataset_name("CS departments (synthetic CSR + NRC)")
+        .with_sensitive_attribute("DeptSizeBin", ["large", "small"])
+        .with_diversity_attribute("DeptSizeBin")
+        .with_diversity_attribute("Region");
+        catalog.insert(DatasetEntry {
+            slug: "cs-departments".to_string(),
+            name: "CS departments".to_string(),
+            description: "CS Rankings + NRC attributes; the Figure 1 walk-through".to_string(),
+            table: Arc::new(cs),
+            config: cs_config,
+        });
+
+        let compas = CompasConfig::with_rows(2_000)
+            .generate()
+            .expect("COMPAS generator");
+        let compas_config = LabelConfig::new(
+            ScoringFunction::from_pairs([("decile_score", 0.7), ("priors_count", 0.3)])
+                .expect("valid scoring"),
+        )
+        .with_top_k(100)
+        .with_dataset_name("COMPAS recidivism (synthetic)")
+        .with_sensitive_attribute("race", ["African-American"])
+        .with_sensitive_attribute("sex", ["Female"])
+        .with_diversity_attribute("race")
+        .with_diversity_attribute("age_cat");
+        catalog.insert(DatasetEntry {
+            slug: "compas".to_string(),
+            name: "Criminal risk assessment (COMPAS)".to_string(),
+            description: "Synthetic ProPublica-style recidivism scores".to_string(),
+            table: Arc::new(compas),
+            config: compas_config,
+        });
+
+        let credit = GermanCreditConfig::default()
+            .generate()
+            .expect("German credit generator");
+        let credit_config = LabelConfig::new(
+            ScoringFunction::from_pairs([
+                ("credit_score", 0.7),
+                ("employment_years", 0.2),
+                ("credit_amount", -0.1),
+            ])
+            .expect("valid scoring"),
+        )
+        .with_top_k(100)
+        .with_dataset_name("German credit (synthetic)")
+        .with_sensitive_attribute("sex", ["female"])
+        .with_sensitive_attribute("age_group", ["young"])
+        .with_diversity_attribute("housing")
+        .with_diversity_attribute("checking_status");
+        catalog.insert(DatasetEntry {
+            slug: "german-credit".to_string(),
+            name: "Credit and loans (German credit)".to_string(),
+            description: "Synthetic UCI German Credit applicants".to_string(),
+            table: Arc::new(credit),
+            config: credit_config,
+        });
+
+        catalog
+    }
+
+    /// Adds or replaces an entry.
+    pub fn insert(&self, entry: DatasetEntry) {
+        self.entries.write().insert(entry.slug.clone(), entry);
+    }
+
+    /// Looks up an entry by slug.
+    #[must_use]
+    pub fn get(&self, slug: &str) -> Option<DatasetEntry> {
+        self.entries.read().get(slug).cloned()
+    }
+
+    /// All entries, ordered by slug.
+    #[must_use]
+    pub fn list(&self) -> Vec<DatasetEntry> {
+        self.entries.read().values().cloned().collect()
+    }
+
+    /// Number of datasets in the catalogue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` when the catalogue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_catalog_has_three_datasets() {
+        let catalog = DatasetCatalog::with_demo_datasets();
+        assert_eq!(catalog.len(), 3);
+        assert!(!catalog.is_empty());
+        let slugs: Vec<String> = catalog.list().iter().map(|e| e.slug.clone()).collect();
+        assert_eq!(slugs, vec!["compas", "cs-departments", "german-credit"]);
+    }
+
+    #[test]
+    fn entries_validate_against_their_tables() {
+        let catalog = DatasetCatalog::with_demo_datasets();
+        for entry in catalog.list() {
+            assert!(
+                entry.config.validate(&entry.table).is_ok(),
+                "default config for {} must validate",
+                entry.slug
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_and_insert() {
+        let catalog = DatasetCatalog::with_demo_datasets();
+        assert!(catalog.get("cs-departments").is_some());
+        assert!(catalog.get("nope").is_none());
+        let mut entry = catalog.get("cs-departments").unwrap();
+        entry.slug = "copy".to_string();
+        catalog.insert(entry);
+        assert_eq!(catalog.len(), 4);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let catalog = DatasetCatalog::new();
+        assert!(catalog.is_empty());
+        assert!(catalog.list().is_empty());
+    }
+}

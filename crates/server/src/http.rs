@@ -1,0 +1,329 @@
+//! A small HTTP/1.1 request parser and response builder.
+//!
+//! Only the subset of HTTP that the demo flow needs is implemented: request
+//! line, headers, optional body sized by `Content-Length`, and plain
+//! (non-chunked, non-keep-alive) responses.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Supported HTTP methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+}
+
+impl Method {
+    /// Parses a method token.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal HTTP status codes used by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200 OK.
+    Ok,
+    /// 400 Bad Request.
+    BadRequest,
+    /// 404 Not Found.
+    NotFound,
+    /// 405 Method Not Allowed.
+    MethodNotAllowed,
+    /// 500 Internal Server Error.
+    InternalServerError,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::InternalServerError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    #[must_use]
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::InternalServerError => "Internal Server Error",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component of the request target (no query string).
+    pub path: String,
+    /// Parsed query parameters.
+    pub query: HashMap<String, String>,
+    /// Request headers (names lower-cased).
+    pub headers: HashMap<String, String>,
+    /// Request body (empty when absent).
+    pub body: String,
+}
+
+impl Request {
+    /// Reads and parses one request from a stream.
+    ///
+    /// Returns `None` for malformed requests (the caller responds 400).
+    pub fn read_from<R: Read>(stream: R) -> Option<Request> {
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line).ok()?;
+        let mut parts = request_line.split_whitespace();
+        let method = Method::parse(parts.next()?)?;
+        let target = parts.next()?;
+        let _version = parts.next()?;
+
+        let (path, query) = split_target(target);
+
+        let mut headers = HashMap::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).ok()?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+
+        let body = match headers.get("content-length") {
+            Some(len) => {
+                let len: usize = len.parse().ok()?;
+                // Guard against abusive uploads: the demo accepts CSVs up to 8 MiB.
+                if len > 8 * 1024 * 1024 {
+                    return None;
+                }
+                let mut buf = vec![0u8; len];
+                reader.read_exact(&mut buf).ok()?;
+                String::from_utf8(buf).ok()?
+            }
+            None => String::new(),
+        };
+
+        Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// A query parameter by name.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Splits a request target into its path and parsed query parameters.
+fn split_target(target: &str) -> (String, HashMap<String, String>) {
+    match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), parse_query(query)),
+        None => (target.to_string(), HashMap::new()),
+    }
+}
+
+/// Parses `a=1&b=two` into a map, percent-decoding values.
+fn parse_query(query: &str) -> HashMap<String, String> {
+    query
+        .split('&')
+        .filter(|piece| !piece.is_empty())
+        .filter_map(|piece| {
+            let (name, value) = piece.split_once('=')?;
+            Some((percent_decode(name), percent_decode(value)))
+        })
+        .collect()
+}
+
+/// Minimal percent-decoding (`%XX` and `+` for space).
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response ready to be written to a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 response with an HTML body.
+    #[must_use]
+    pub fn html(body: impl Into<String>) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "text/html; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// 200 response with a JSON body.
+    #[must_use]
+    pub fn json(body: impl Into<String>) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Plain-text response with an arbitrary status.
+    #[must_use]
+    pub fn text(status: StatusCode, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Serializes the response (status line, headers, body).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Writes the response to a stream.
+    pub fn write_to<W: Write>(&self, mut stream: W) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_request_with_query() {
+        let raw = "GET /datasets/cs/label?k=10&name=CS+departments HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = Request::read_from(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/datasets/cs/label");
+        assert_eq!(req.query_param("k"), Some("10"));
+        assert_eq!(req.query_param("name"), Some("CS departments"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_request_with_body() {
+        let body = "a,b\n1,2\n";
+        let raw = format!(
+            "POST /labels HTTP/1.1\r\nContent-Length: {}\r\nContent-Type: text/csv\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = Request::read_from(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/labels");
+        assert_eq!(req.body, body);
+        assert_eq!(req.headers.get("content-type").map(String::as_str), Some("text/csv"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::read_from("".as_bytes()).is_none());
+        assert!(Request::read_from("BREW /coffee HTTP/1.1\r\n\r\n".as_bytes()).is_none());
+        assert!(Request::read_from("GET\r\n\r\n".as_bytes()).is_none());
+        // Oversized content length.
+        let raw = "POST /labels HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(Request::read_from(raw.as_bytes()).is_none());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+    }
+
+    #[test]
+    fn response_serialization() {
+        let resp = Response::json("{\"ok\":true}");
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("Content-Length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(StatusCode::NotFound.code(), 404);
+        assert_eq!(StatusCode::NotFound.reason(), "Not Found");
+        assert_eq!(StatusCode::InternalServerError.code(), 500);
+        let resp = Response::text(StatusCode::BadRequest, "nope");
+        assert!(String::from_utf8(resp.to_bytes()).unwrap().contains("400 Bad Request"));
+    }
+}

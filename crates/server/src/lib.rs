@@ -1,0 +1,36 @@
+//! # rf-server
+//!
+//! A minimal, dependency-free HTTP server that exposes the Ranking Facts demo
+//! flow described in the paper's §3: pick one of the pre-loaded datasets (or
+//! upload a CSV), inspect the scoring-function design view, and generate the
+//! nutritional label as HTML or JSON.
+//!
+//! The original system is a Python web application; this crate is the web
+//! substrate of the reproduction.  It is intentionally small — a hand-rolled
+//! HTTP/1.1 request parser and response writer over `std::net::TcpListener`
+//! with a crossbeam-based worker pool — because the interesting logic lives
+//! in `rf-core`.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Description |
+//! |---|---|
+//! | `GET /` | Landing page listing the demo datasets |
+//! | `GET /datasets` | JSON list of available datasets |
+//! | `GET /datasets/{name}/preview` | Dataset summary + design-view preview (JSON) |
+//! | `GET /datasets/{name}/label` | Nutritional label as HTML |
+//! | `GET /datasets/{name}/label.json` | Nutritional label as JSON |
+//! | `POST /labels` | Generate a label for an uploaded CSV (body = CSV, query = scoring spec) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use catalog::{DatasetCatalog, DatasetEntry};
+pub use http::{Method, Request, Response, StatusCode};
+pub use router::route;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,37 @@
+//! The `ranking-facts-server` binary: serves the demo flow of the paper over
+//! HTTP with the three pre-loaded synthetic datasets.
+//!
+//! ```sh
+//! cargo run -p rf-server --bin ranking-facts-server -- 127.0.0.1:8080
+//! ```
+
+use rf_server::{DatasetCatalog, Server, ServerConfig};
+
+fn main() {
+    let bind_address = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let config = ServerConfig {
+        bind_address,
+        workers: 4,
+    };
+
+    println!("Loading demonstration datasets (synthetic CS departments, COMPAS, German credit)…");
+    let catalog = DatasetCatalog::with_demo_datasets();
+
+    let server = match Server::bind(catalog, &config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind {}: {err}", config.bind_address);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("Ranking Facts is listening on http://{addr}/"),
+        Err(err) => eprintln!("cannot determine local address: {err}"),
+    }
+    if let Err(err) = server.run() {
+        eprintln!("server error: {err}");
+        std::process::exit(1);
+    }
+}

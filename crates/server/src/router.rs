@@ -1,0 +1,366 @@
+//! Request routing and handlers for the demo flow.
+
+use crate::catalog::DatasetCatalog;
+use crate::http::{Method, Request, Response, StatusCode};
+use rf_core::{DesignView, LabelConfig, NutritionalLabel};
+use rf_datasets::load_csv_str;
+use rf_ranking::ScoringFunction;
+use rf_table::NormalizationMethod;
+
+/// Routes a request to its handler and produces the response.
+#[must_use]
+pub fn route(catalog: &DatasetCatalog, request: &Request) -> Response {
+    let segments: Vec<&str> = request
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    match (request.method, segments.as_slice()) {
+        (Method::Get, []) => landing_page(catalog),
+        (Method::Get, ["datasets"]) => list_datasets(catalog),
+        (Method::Get, ["datasets", slug, "preview"]) => dataset_preview(catalog, slug),
+        (Method::Get, ["datasets", slug, "label"]) => dataset_label(catalog, slug, request, false),
+        (Method::Get, ["datasets", slug, "label.json"]) => {
+            dataset_label(catalog, slug, request, true)
+        }
+        (Method::Post, ["labels"]) => uploaded_label(request),
+        (Method::Post, _) | (Method::Get, _) => {
+            Response::text(StatusCode::NotFound, "not found")
+        }
+    }
+}
+
+/// `GET /` — landing page with links to the demo datasets.
+fn landing_page(catalog: &DatasetCatalog) -> Response {
+    let mut items = String::new();
+    for entry in catalog.list() {
+        items.push_str(&format!(
+            "<li><a href=\"/datasets/{slug}/label\">{name}</a> &mdash; {desc} \
+             (<a href=\"/datasets/{slug}/label.json\">json</a>, \
+             <a href=\"/datasets/{slug}/preview\">preview</a>)</li>",
+            slug = entry.slug,
+            name = entry.name,
+            desc = entry.description
+        ));
+    }
+    Response::html(format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>Ranking Facts</title></head>\
+         <body><h1>Ranking Facts</h1>\
+         <p>A nutritional label for rankings — demonstration datasets:</p>\
+         <ul>{items}</ul>\
+         <p>POST a CSV to <code>/labels?score_attrs=a,b&amp;weights=0.5,0.5&amp;sensitive=group&amp;k=10</code> \
+         to label your own data.</p></body></html>"
+    ))
+}
+
+/// `GET /datasets` — JSON list of datasets.
+fn list_datasets(catalog: &DatasetCatalog) -> Response {
+    let list: Vec<serde_json::Value> = catalog
+        .list()
+        .iter()
+        .map(|entry| {
+            serde_json::json!({
+                "slug": entry.slug,
+                "name": entry.name,
+                "description": entry.description,
+                "rows": entry.table.num_rows(),
+                "columns": entry.table.num_columns(),
+            })
+        })
+        .collect();
+    Response::json(serde_json::to_string_pretty(&list).unwrap_or_else(|_| "[]".to_string()))
+}
+
+/// `GET /datasets/{slug}/preview` — design-view preview as JSON.
+fn dataset_preview(catalog: &DatasetCatalog, slug: &str) -> Response {
+    let Some(entry) = catalog.get(slug) else {
+        return Response::text(StatusCode::NotFound, format!("unknown dataset `{slug}`"));
+    };
+    match DesignView::build(&entry.table, NormalizationMethod::MinMax, 10, 10) {
+        Ok(view) => match serde_json::to_string_pretty(&view) {
+            Ok(json) => Response::json(json),
+            Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+        },
+        Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+    }
+}
+
+/// `GET /datasets/{slug}/label[.json]` — generate and render the label.
+///
+/// The query parameter `k` overrides the default top-k.
+fn dataset_label(catalog: &DatasetCatalog, slug: &str, request: &Request, json: bool) -> Response {
+    let Some(entry) = catalog.get(slug) else {
+        return Response::text(StatusCode::NotFound, format!("unknown dataset `{slug}`"));
+    };
+    let mut config = entry.config.clone();
+    if let Some(k) = request.query_param("k") {
+        match k.parse::<usize>() {
+            Ok(k) => config = config.with_top_k(k),
+            Err(_) => {
+                return Response::text(StatusCode::BadRequest, format!("invalid k `{k}`"));
+            }
+        }
+    }
+    match NutritionalLabel::generate(&entry.table, &config) {
+        Ok(label) => {
+            if json {
+                match label.to_json() {
+                    Ok(body) => Response::json(body),
+                    Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+                }
+            } else {
+                Response::html(label.to_html())
+            }
+        }
+        Err(err) => Response::text(StatusCode::BadRequest, err.to_string()),
+    }
+}
+
+/// `POST /labels` — generate a label for an uploaded CSV.
+///
+/// Query parameters:
+/// * `score_attrs` — comma-separated scoring attributes (required),
+/// * `weights` — comma-separated weights (defaults to equal weights),
+/// * `sensitive` — a binary sensitive attribute (optional),
+/// * `protected` — the protected value of that attribute (optional; defaults
+///   to auditing every value, as the tool does),
+/// * `diversity` — comma-separated diversity attributes (optional),
+/// * `k` — top-k (default 10).
+fn uploaded_label(request: &Request) -> Response {
+    let (table, _summary) = match load_csv_str(&request.body) {
+        Ok(loaded) => loaded,
+        Err(err) => return Response::text(StatusCode::BadRequest, format!("CSV error: {err}")),
+    };
+
+    let Some(score_attrs) = request.query_param("score_attrs") else {
+        return Response::text(
+            StatusCode::BadRequest,
+            "missing `score_attrs` query parameter",
+        );
+    };
+    let attrs: Vec<&str> = score_attrs.split(',').filter(|s| !s.is_empty()).collect();
+    if attrs.is_empty() {
+        return Response::text(StatusCode::BadRequest, "no scoring attributes given");
+    }
+    let weights: Vec<f64> = match request.query_param("weights") {
+        Some(spec) => {
+            let parsed: Result<Vec<f64>, _> = spec.split(',').map(str::parse::<f64>).collect();
+            match parsed {
+                Ok(w) if w.len() == attrs.len() => w,
+                Ok(_) => {
+                    return Response::text(
+                        StatusCode::BadRequest,
+                        "weights and score_attrs must have the same length",
+                    )
+                }
+                Err(err) => {
+                    return Response::text(StatusCode::BadRequest, format!("invalid weights: {err}"))
+                }
+            }
+        }
+        None => vec![1.0; attrs.len()],
+    };
+
+    let scoring = match ScoringFunction::from_pairs(
+        attrs.iter().copied().zip(weights.iter().copied()),
+    ) {
+        Ok(s) => s,
+        Err(err) => return Response::text(StatusCode::BadRequest, err.to_string()),
+    };
+
+    let k = match request.query_param("k").map(str::parse::<usize>) {
+        Some(Ok(k)) => k,
+        Some(Err(_)) => return Response::text(StatusCode::BadRequest, "invalid k"),
+        None => 10,
+    };
+
+    let mut config = LabelConfig::new(scoring)
+        .with_top_k(k.min(table.num_rows()))
+        .with_dataset_name("uploaded dataset");
+    if let Some(sensitive) = request.query_param("sensitive") {
+        if let Some(protected) = request.query_param("protected") {
+            config = config.with_sensitive_attribute(sensitive, [protected.to_string()]);
+        } else {
+            // Audit every value of the binary attribute, as the tool does.
+            match table.categorical_column(sensitive) {
+                Ok(labels) => {
+                    let mut values: Vec<String> = Vec::new();
+                    for label in labels.into_iter().flatten() {
+                        if !values.contains(&label) {
+                            values.push(label);
+                        }
+                    }
+                    config = config.with_sensitive_attribute(sensitive, values);
+                }
+                Err(err) => {
+                    return Response::text(StatusCode::BadRequest, err.to_string());
+                }
+            }
+        }
+        config = config.with_diversity_attribute(sensitive);
+    }
+    if let Some(diversity) = request.query_param("diversity") {
+        for attr in diversity.split(',').filter(|s| !s.is_empty()) {
+            config = config.with_diversity_attribute(attr);
+        }
+    }
+
+    match NutritionalLabel::generate(&table, &config) {
+        Ok(label) => {
+            let wants_json = request
+                .headers
+                .get("accept")
+                .map(|accept| accept.contains("application/json"))
+                .unwrap_or(false);
+            if wants_json {
+                match label.to_json() {
+                    Ok(body) => Response::json(body),
+                    Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+                }
+            } else {
+                Response::html(label.to_html())
+            }
+        }
+        Err(err) => Response::text(StatusCode::BadRequest, err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn get(path_and_query: &str) -> Request {
+        let raw = format!("GET {path_and_query} HTTP/1.1\r\n\r\n");
+        Request::read_from(raw.as_bytes()).unwrap()
+    }
+
+    fn demo_catalog() -> DatasetCatalog {
+        DatasetCatalog::with_demo_datasets()
+    }
+
+    #[test]
+    fn landing_page_lists_datasets() {
+        let catalog = demo_catalog();
+        let resp = route(&catalog, &get("/"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(resp.body.contains("cs-departments"));
+        assert!(resp.body.contains("compas"));
+        assert!(resp.body.contains("german-credit"));
+    }
+
+    #[test]
+    fn datasets_endpoint_returns_json() {
+        let catalog = demo_catalog();
+        let resp = route(&catalog, &get("/datasets"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn preview_endpoint_returns_design_view() {
+        let catalog = demo_catalog();
+        let resp = route(&catalog, &get("/datasets/cs-departments/preview"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert!(value.get("numeric_attributes").is_some());
+        assert!(value.get("attribute_previews").is_some());
+    }
+
+    #[test]
+    fn label_endpoint_returns_html_and_json() {
+        let catalog = demo_catalog();
+        let html = route(&catalog, &get("/datasets/cs-departments/label"));
+        assert_eq!(html.status, StatusCode::Ok);
+        assert!(html.body.contains("Ranking Facts"));
+        assert!(html.content_type.starts_with("text/html"));
+
+        let json = route(&catalog, &get("/datasets/cs-departments/label.json"));
+        assert_eq!(json.status, StatusCode::Ok);
+        let value: serde_json::Value = serde_json::from_str(&json.body).unwrap();
+        assert!(value.get("fairness").is_some());
+    }
+
+    #[test]
+    fn label_endpoint_honours_k_override() {
+        let catalog = demo_catalog();
+        let resp = route(&catalog, &get("/datasets/cs-departments/label.json?k=5"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["top_k_rows"].as_array().unwrap().len(), 5);
+        // Invalid k is rejected.
+        let bad = route(&catalog, &get("/datasets/cs-departments/label?k=banana"));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        // k larger than the dataset is rejected by validation.
+        let too_big = route(&catalog, &get("/datasets/cs-departments/label?k=100000"));
+        assert_eq!(too_big.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn unknown_routes_and_datasets_are_404() {
+        let catalog = demo_catalog();
+        assert_eq!(route(&catalog, &get("/nope")).status, StatusCode::NotFound);
+        assert_eq!(
+            route(&catalog, &get("/datasets/nope/label")).status,
+            StatusCode::NotFound
+        );
+    }
+
+    #[test]
+    fn upload_endpoint_generates_label() {
+        let catalog = demo_catalog();
+        let csv = "name,score,grp\na,3,x\nb,2,y\nc,1,x\nd,4,y\ne,5,x\nf,0.5,y\n";
+        let request = Request {
+            method: Method::Post,
+            path: "/labels".to_string(),
+            query: HashMap::from([
+                ("score_attrs".to_string(), "score".to_string()),
+                ("sensitive".to_string(), "grp".to_string()),
+                ("k".to_string(), "3".to_string()),
+            ]),
+            headers: HashMap::from([("accept".to_string(), "application/json".to_string())]),
+            body: csv.to_string(),
+        };
+        let resp = route(&catalog, &request);
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["config"]["top_k"], 3);
+        assert_eq!(value["fairness"]["reports"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn upload_endpoint_validates_input() {
+        let catalog = demo_catalog();
+        // Missing score_attrs.
+        let request = Request {
+            method: Method::Post,
+            path: "/labels".to_string(),
+            query: HashMap::new(),
+            headers: HashMap::new(),
+            body: "a\n1\n2\n".to_string(),
+        };
+        assert_eq!(route(&catalog, &request).status, StatusCode::BadRequest);
+        // Broken CSV.
+        let request = Request {
+            method: Method::Post,
+            path: "/labels".to_string(),
+            query: HashMap::from([("score_attrs".to_string(), "a".to_string())]),
+            headers: HashMap::new(),
+            body: "a,b\n1\n".to_string(),
+        };
+        assert_eq!(route(&catalog, &request).status, StatusCode::BadRequest);
+        // Mismatched weights.
+        let request = Request {
+            method: Method::Post,
+            path: "/labels".to_string(),
+            query: HashMap::from([
+                ("score_attrs".to_string(), "a".to_string()),
+                ("weights".to_string(), "0.5,0.5".to_string()),
+            ]),
+            headers: HashMap::new(),
+            body: "a,b\n1,2\n3,4\n".to_string(),
+        };
+        assert_eq!(route(&catalog, &request).status, StatusCode::BadRequest);
+    }
+}

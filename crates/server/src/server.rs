@@ -1,0 +1,204 @@
+//! The TCP accept loop and worker pool.
+
+use crate::catalog::DatasetCatalog;
+use crate::http::{Request, Response, StatusCode};
+use crate::router::route;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:8080`.  Use port 0 to let the OS pick
+    /// a free port (handy for tests).
+    pub bind_address: String,
+    /// Number of worker threads handling connections.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind_address: "127.0.0.1:8080".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// The Ranking Facts demo server.
+pub struct Server {
+    catalog: Arc<DatasetCatalog>,
+    listener: TcpListener,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the server.
+    ///
+    /// # Errors
+    /// I/O errors from binding the address.
+    pub fn bind(catalog: DatasetCatalog, config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.bind_address)?;
+        Ok(Server {
+            catalog: Arc::new(catalog),
+            listener,
+            workers: config.workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the server is actually listening on.
+    ///
+    /// # Errors
+    /// I/O errors from querying the socket.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the accept loop from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the accept loop until the shutdown flag is set.  Connections are
+    /// dispatched to a crossbeam scoped worker pool over an unbounded channel.
+    ///
+    /// # Errors
+    /// Fatal I/O errors from the listener (per-connection errors are logged
+    /// to stderr and ignored).
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (sender, receiver) = crossbeam::channel::unbounded::<TcpStream>();
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let receiver = receiver.clone();
+                let catalog = Arc::clone(&self.catalog);
+                scope.spawn(move |_| {
+                    while let Ok(stream) = receiver.recv() {
+                        handle_connection(&catalog, stream);
+                    }
+                });
+            }
+
+            while !self.shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _addr)) => {
+                        // Blocking per-connection I/O inside the worker.
+                        let _ = stream.set_nonblocking(false);
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(ref err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(err) => {
+                        eprintln!("accept error: {err}");
+                    }
+                }
+            }
+            drop(sender);
+        })
+        .expect("worker pool panicked");
+        Ok(())
+    }
+}
+
+/// Parses one request from the stream, routes it, and writes the response.
+fn handle_connection(catalog: &DatasetCatalog, stream: TcpStream) {
+    let peer = stream.peer_addr().ok();
+    let response = match Request::read_from(&stream) {
+        Some(request) => route(catalog, &request),
+        None => Response::text(StatusCode::BadRequest, "malformed request"),
+    };
+    if let Err(err) = response.write_to(&stream) {
+        eprintln!("write error to {peer:?}: {err}");
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    /// Starts a server on an ephemeral port and returns its address plus the
+    /// shutdown handle and join handle.
+    fn start_server() -> (
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let catalog = DatasetCatalog::with_demo_datasets();
+        let config = ServerConfig {
+            bind_address: "127.0.0.1:0".to_string(),
+            workers: 2,
+        };
+        let server = Server::bind(catalog, &config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || {
+            server.run().expect("server run");
+        });
+        (addr, shutdown, handle)
+    }
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn serves_landing_page_and_labels_over_tcp() {
+        let (addr, shutdown, handle) = start_server();
+
+        let landing = request(addr, "GET / HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert!(landing.starts_with("HTTP/1.1 200 OK"));
+        assert!(landing.contains("Ranking Facts"));
+
+        let label = request(
+            addr,
+            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\n\r\n",
+        );
+        assert!(label.starts_with("HTTP/1.1 200 OK"));
+        let body = label.split("\r\n\r\n").nth(1).unwrap();
+        let value: serde_json::Value = serde_json::from_str(body).unwrap();
+        assert_eq!(value["top_k_rows"].as_array().unwrap().len(), 5);
+
+        let missing = request(addr, "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        // Parallel requests exercise the worker pool.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    request(addr, "GET /datasets HTTP/1.1\r\nHost: test\r\n\r\n")
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().starts_with("HTTP/1.1 200 OK"));
+        }
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn default_config() {
+        let config = ServerConfig::default();
+        assert_eq!(config.workers, 4);
+        assert!(config.bind_address.contains("8080"));
+    }
+}

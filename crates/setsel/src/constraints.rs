@@ -1,0 +1,368 @@
+//! Per-category floor and ceiling constraints.
+//!
+//! The EDBT 2018 formulation attaches to every category `g` of the grouping
+//! attribute a **floor** `ℓ_g` (select at least this many items of `g`) and a
+//! **ceiling** `u_g` (select at most this many).  Fairness constraints are
+//! floors on protected categories; diversity constraints are ceilings that
+//! stop any one category from crowding out the rest.
+
+use crate::error::{SetSelError, SetSelResult};
+use crate::items::{category_counts, Candidate};
+
+/// Floor and ceiling for one category.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GroupConstraint {
+    /// Category of the grouping attribute.
+    pub category: String,
+    /// Minimum number of selected items from this category.
+    pub floor: usize,
+    /// Maximum number of selected items from this category.
+    pub ceiling: usize,
+}
+
+impl GroupConstraint {
+    /// Creates a constraint.
+    ///
+    /// # Errors
+    /// Returns an error when the floor exceeds the ceiling or the ceiling is
+    /// zero (a category that may never be selected should simply be filtered
+    /// out of the candidates instead).
+    pub fn new(
+        category: impl Into<String>,
+        floor: usize,
+        ceiling: usize,
+    ) -> SetSelResult<Self> {
+        let category = category.into();
+        if ceiling == 0 {
+            return Err(SetSelError::InvalidConstraint {
+                category,
+                message: "ceiling must be at least 1".to_string(),
+            });
+        }
+        if floor > ceiling {
+            return Err(SetSelError::InvalidConstraint {
+                category,
+                message: format!("floor {floor} exceeds ceiling {ceiling}"),
+            });
+        }
+        Ok(GroupConstraint {
+            category,
+            floor,
+            ceiling,
+        })
+    }
+
+    /// A pure fairness constraint: at least `floor`, no upper bound (the
+    /// ceiling is set to `usize::MAX` and later clamped to `k`).
+    ///
+    /// # Errors
+    /// Never fails for `floor ≥ 0`; kept fallible for interface symmetry.
+    pub fn at_least(category: impl Into<String>, floor: usize) -> SetSelResult<Self> {
+        GroupConstraint::new(category, floor, usize::MAX)
+    }
+
+    /// A pure diversity constraint: at most `ceiling`, no lower bound.
+    ///
+    /// # Errors
+    /// Returns an error when `ceiling` is zero.
+    pub fn at_most(category: impl Into<String>, ceiling: usize) -> SetSelResult<Self> {
+        GroupConstraint::new(category, 0, ceiling)
+    }
+}
+
+/// A set of per-category constraints plus the selection size `k`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConstraintSet {
+    /// Selection size.
+    pub k: usize,
+    constraints: Vec<GroupConstraint>,
+}
+
+impl ConstraintSet {
+    /// Creates a constraint set for selections of size `k`.
+    ///
+    /// Categories without an explicit constraint are unconstrained
+    /// (floor 0, ceiling `k`).
+    ///
+    /// # Errors
+    /// Returns an error when `k` is zero, a category appears twice, or the
+    /// floors alone already exceed `k`.
+    pub fn new(k: usize, constraints: Vec<GroupConstraint>) -> SetSelResult<Self> {
+        if k == 0 {
+            return Err(SetSelError::InvalidK { k, n: 0 });
+        }
+        for (i, c) in constraints.iter().enumerate() {
+            if constraints[..i].iter().any(|p| p.category == c.category) {
+                return Err(SetSelError::InvalidConstraint {
+                    category: c.category.clone(),
+                    message: "category is constrained more than once".to_string(),
+                });
+            }
+        }
+        let floor_sum: usize = constraints.iter().map(|c| c.floor).sum();
+        if floor_sum > k {
+            return Err(SetSelError::Infeasible {
+                message: format!("floors add up to {floor_sum} but only {k} items are selected"),
+            });
+        }
+        Ok(ConstraintSet { k, constraints })
+    }
+
+    /// A constraint set with no per-category bounds (plain top-k selection).
+    ///
+    /// # Errors
+    /// Returns an error when `k` is zero.
+    pub fn unconstrained(k: usize) -> SetSelResult<Self> {
+        ConstraintSet::new(k, Vec::new())
+    }
+
+    /// The explicit per-category constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[GroupConstraint] {
+        &self.constraints
+    }
+
+    /// Floor for `category` (0 when unconstrained).
+    #[must_use]
+    pub fn floor(&self, category: &str) -> usize {
+        self.constraints
+            .iter()
+            .find(|c| c.category == category)
+            .map_or(0, |c| c.floor)
+    }
+
+    /// Ceiling for `category`, clamped to `k` (`k` when unconstrained).
+    #[must_use]
+    pub fn ceiling(&self, category: &str) -> usize {
+        self.constraints
+            .iter()
+            .find(|c| c.category == category)
+            .map_or(self.k, |c| c.ceiling.min(self.k))
+    }
+
+    /// Checks that *some* selection of size `k` from `candidates` can satisfy
+    /// every floor and ceiling.
+    ///
+    /// Feasibility requires: every floor is backed by enough candidates of
+    /// that category, the floors fit within `k`, and the ceilings leave
+    /// enough room to reach `k` at all.
+    ///
+    /// # Errors
+    /// Returns [`SetSelError::Infeasible`] describing the first violated
+    /// requirement, or [`SetSelError::InvalidK`] when the pool is smaller
+    /// than `k`.
+    pub fn check_feasible(&self, candidates: &[Candidate]) -> SetSelResult<()> {
+        if candidates.len() < self.k {
+            return Err(SetSelError::InvalidK {
+                k: self.k,
+                n: candidates.len(),
+            });
+        }
+        let counts = category_counts(candidates);
+        let count_of = |category: &str| -> usize {
+            counts
+                .iter()
+                .find(|(c, _)| c == category)
+                .map_or(0, |(_, n)| *n)
+        };
+        for constraint in &self.constraints {
+            let available = count_of(&constraint.category);
+            if available < constraint.floor {
+                return Err(SetSelError::Infeasible {
+                    message: format!(
+                        "category `{}` must contribute at least {} items but only {} \
+                         candidates exist",
+                        constraint.category, constraint.floor, available
+                    ),
+                });
+            }
+        }
+        // Ceilings must leave room to fill k positions: the capacity of every
+        // category (ceiling for constrained, full count for unconstrained)
+        // must add up to at least k.
+        let capacity: usize = counts
+            .iter()
+            .map(|(category, count)| self.ceiling(category).min(*count))
+            .sum();
+        if capacity < self.k {
+            return Err(SetSelError::Infeasible {
+                message: format!(
+                    "ceilings cap the selection at {capacity} items but k = {}",
+                    self.k
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether a concrete selection satisfies every floor and ceiling and has
+    /// exactly `k` items.
+    #[must_use]
+    pub fn is_satisfied_by(&self, selection: &[Candidate]) -> bool {
+        if selection.len() != self.k {
+            return false;
+        }
+        let counts = category_counts(selection);
+        // Ceilings for every selected category.
+        for (category, count) in &counts {
+            if *count > self.ceiling(category) {
+                return false;
+            }
+        }
+        // Floors, including categories absent from the selection.
+        for constraint in &self.constraints {
+            let selected = counts
+                .iter()
+                .find(|(c, _)| c == &constraint.category)
+                .map_or(0, |(_, n)| *n);
+            if selected < constraint.floor {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(index: usize, utility: f64, category: &str) -> Candidate {
+        Candidate::new(index, utility, category).unwrap()
+    }
+
+    #[test]
+    fn group_constraint_validation() {
+        assert!(GroupConstraint::new("a", 2, 1).is_err());
+        assert!(GroupConstraint::new("a", 0, 0).is_err());
+        assert!(GroupConstraint::new("a", 1, 1).is_ok());
+        let c = GroupConstraint::at_least("p", 3).unwrap();
+        assert_eq!(c.floor, 3);
+        assert_eq!(c.ceiling, usize::MAX);
+        let c = GroupConstraint::at_most("q", 2).unwrap();
+        assert_eq!(c.floor, 0);
+        assert_eq!(c.ceiling, 2);
+        assert!(GroupConstraint::at_most("q", 0).is_err());
+    }
+
+    #[test]
+    fn constraint_set_rejects_inconsistencies() {
+        assert!(ConstraintSet::new(0, vec![]).is_err());
+        let duplicated = vec![
+            GroupConstraint::at_least("a", 1).unwrap(),
+            GroupConstraint::at_most("a", 2).unwrap(),
+        ];
+        assert!(matches!(
+            ConstraintSet::new(5, duplicated),
+            Err(SetSelError::InvalidConstraint { .. })
+        ));
+        let too_many_floors = vec![
+            GroupConstraint::at_least("a", 3).unwrap(),
+            GroupConstraint::at_least("b", 3).unwrap(),
+        ];
+        assert!(matches!(
+            ConstraintSet::new(5, too_many_floors),
+            Err(SetSelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn floors_and_ceilings_default_sensibly() {
+        let set = ConstraintSet::new(
+            4,
+            vec![
+                GroupConstraint::new("a", 1, 2).unwrap(),
+                GroupConstraint::at_least("b", 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(set.floor("a"), 1);
+        assert_eq!(set.ceiling("a"), 2);
+        // at_least ceilings are clamped to k.
+        assert_eq!(set.ceiling("b"), 4);
+        // Unknown categories are unconstrained.
+        assert_eq!(set.floor("zzz"), 0);
+        assert_eq!(set.ceiling("zzz"), 4);
+        assert_eq!(set.constraints().len(), 2);
+    }
+
+    #[test]
+    fn feasibility_checks_pool_size_floors_and_ceilings() {
+        let pool = vec![
+            candidate(0, 5.0, "a"),
+            candidate(1, 4.0, "a"),
+            candidate(2, 3.0, "b"),
+            candidate(3, 2.0, "b"),
+        ];
+        // Pool smaller than k.
+        let set = ConstraintSet::unconstrained(5).unwrap();
+        assert!(matches!(
+            set.check_feasible(&pool),
+            Err(SetSelError::InvalidK { .. })
+        ));
+        // Floor higher than the number of candidates in the category.
+        let set =
+            ConstraintSet::new(3, vec![GroupConstraint::at_least("b", 3).unwrap()]).unwrap();
+        assert!(matches!(
+            set.check_feasible(&pool),
+            Err(SetSelError::Infeasible { .. })
+        ));
+        // Ceilings too tight to ever reach k.
+        let set = ConstraintSet::new(
+            4,
+            vec![
+                GroupConstraint::at_most("a", 1).unwrap(),
+                GroupConstraint::at_most("b", 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            set.check_feasible(&pool),
+            Err(SetSelError::Infeasible { .. })
+        ));
+        // A satisfiable configuration.
+        let set = ConstraintSet::new(
+            3,
+            vec![
+                GroupConstraint::at_least("b", 1).unwrap(),
+                GroupConstraint::at_most("a", 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(set.check_feasible(&pool).is_ok());
+    }
+
+    #[test]
+    fn satisfaction_checks_size_floors_and_ceilings() {
+        let set = ConstraintSet::new(
+            3,
+            vec![
+                GroupConstraint::at_least("b", 1).unwrap(),
+                GroupConstraint::at_most("a", 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        let good = vec![
+            candidate(0, 5.0, "a"),
+            candidate(1, 4.0, "a"),
+            candidate(2, 3.0, "b"),
+        ];
+        assert!(set.is_satisfied_by(&good));
+        // Wrong size.
+        assert!(!set.is_satisfied_by(&good[..2]));
+        // Floor violated.
+        let no_b = vec![
+            candidate(0, 5.0, "a"),
+            candidate(1, 4.0, "a"),
+            candidate(4, 1.0, "c"),
+        ];
+        assert!(!set.is_satisfied_by(&no_b));
+        // Ceiling violated.
+        let all_a = vec![
+            candidate(0, 5.0, "a"),
+            candidate(1, 4.0, "a"),
+            candidate(5, 3.5, "a"),
+        ];
+        assert!(!set.is_satisfied_by(&all_a));
+    }
+}

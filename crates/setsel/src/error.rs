@@ -1,0 +1,121 @@
+//! Error type for constrained set selection.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-setsel`.
+pub type SetSelResult<T> = Result<T, SetSelError>;
+
+/// Errors produced while building constraints or running a selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetSelError {
+    /// The requested selection size is zero or exceeds the candidate pool.
+    InvalidK {
+        /// Requested selection size.
+        k: usize,
+        /// Number of candidates available.
+        n: usize,
+    },
+    /// A constraint is internally inconsistent (floor above ceiling, zero
+    /// ceiling, duplicate category).
+    InvalidConstraint {
+        /// Category the constraint refers to.
+        category: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The constraint set cannot be satisfied by any selection of size `k`
+    /// from the given candidates.
+    Infeasible {
+        /// Why no feasible selection exists.
+        message: String,
+    },
+    /// A candidate's utility is NaN or infinite.
+    NonFiniteUtility {
+        /// Index of the offending candidate.
+        index: usize,
+    },
+    /// A parameter lies outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// An underlying table error while building candidates.
+    Table(rf_table::TableError),
+}
+
+impl fmt::Display for SetSelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetSelError::InvalidK { k, n } => {
+                write!(f, "cannot select k={k} items from a pool of {n} candidates")
+            }
+            SetSelError::InvalidConstraint { category, message } => {
+                write!(f, "invalid constraint for category `{category}`: {message}")
+            }
+            SetSelError::Infeasible { message } => {
+                write!(f, "no feasible selection exists: {message}")
+            }
+            SetSelError::NonFiniteUtility { index } => {
+                write!(f, "candidate {index} has a non-finite utility")
+            }
+            SetSelError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            SetSelError::Table(err) => write!(f, "table error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SetSelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SetSelError::Table(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rf_table::TableError> for SetSelError {
+    fn from(err: rf_table::TableError) -> Self {
+        SetSelError::Table(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SetSelError::InvalidK { k: 5, n: 3 };
+        assert!(e.to_string().contains("k=5"));
+        let e = SetSelError::InvalidConstraint {
+            category: "small".to_string(),
+            message: "floor 4 exceeds ceiling 2".to_string(),
+        };
+        assert!(e.to_string().contains("small"));
+        assert!(e.to_string().contains("floor 4"));
+        let e = SetSelError::Infeasible {
+            message: "floors add up to 12 but k = 10".to_string(),
+        };
+        assert!(e.to_string().contains("feasible"));
+        let e = SetSelError::NonFiniteUtility { index: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = SetSelError::InvalidParameter {
+            parameter: "warmup_fraction",
+            message: "must lie in (0, 1)".to_string(),
+        };
+        assert!(e.to_string().contains("warmup_fraction"));
+    }
+
+    #[test]
+    fn table_error_converts_and_sources() {
+        let e: SetSelError = rf_table::TableError::Empty { operation: "x" }.into();
+        assert!(matches!(e, SetSelError::Table(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SetSelError::InvalidK { k: 1, n: 0 };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Candidates: the items a constrained selection chooses among.
+
+use crate::error::{SetSelError, SetSelResult};
+use rf_table::Table;
+
+/// One selectable item: a row index, a utility score, and the category of
+/// the sensitive / diversity attribute it belongs to.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Candidate {
+    /// Index of the item in its source table (or stream position for purely
+    /// synthetic candidates).
+    pub index: usize,
+    /// The item's utility (score); higher is better.
+    pub utility: f64,
+    /// Category of the grouping attribute (e.g. `"small"`, `"NE"`).
+    pub category: String,
+}
+
+impl Candidate {
+    /// Creates a candidate.
+    ///
+    /// # Errors
+    /// Returns an error when the utility is NaN or infinite.
+    pub fn new(index: usize, utility: f64, category: impl Into<String>) -> SetSelResult<Self> {
+        if !utility.is_finite() {
+            return Err(SetSelError::NonFiniteUtility { index });
+        }
+        Ok(Candidate {
+            index,
+            utility,
+            category: category.into(),
+        })
+    }
+
+    /// Builds the candidate pool from a table: `utility_column` supplies the
+    /// scores and `category_column` the group labels.
+    ///
+    /// Rows with a missing category or a missing utility are skipped (they
+    /// cannot participate in a constrained selection), mirroring how the
+    /// nutritional label handles missing sensitive-attribute values.
+    ///
+    /// # Errors
+    /// Returns an error when either column does not exist / has the wrong
+    /// role, when every row is skipped, or when a present utility is
+    /// non-finite.
+    pub fn from_table(
+        table: &Table,
+        utility_column: &str,
+        category_column: &str,
+    ) -> SetSelResult<Vec<Self>> {
+        let utilities = table.numeric_column_options(utility_column)?;
+        let categories = table.categorical_column(category_column)?;
+        let mut candidates = Vec::with_capacity(table.num_rows());
+        for (index, (utility, category)) in utilities.iter().zip(categories.iter()).enumerate() {
+            let (Some(utility), Some(category)) = (utility, category) else {
+                continue;
+            };
+            candidates.push(Candidate::new(index, *utility, category.clone())?);
+        }
+        if candidates.is_empty() {
+            return Err(SetSelError::InvalidParameter {
+                parameter: "candidates",
+                message: format!(
+                    "no rows have both a `{utility_column}` utility and a \
+                     `{category_column}` category"
+                ),
+            });
+        }
+        Ok(candidates)
+    }
+}
+
+/// Total utility of a set of candidates.
+#[must_use]
+pub fn total_utility(candidates: &[Candidate]) -> f64 {
+    candidates.iter().map(|c| c.utility).sum()
+}
+
+/// Counts candidates per category, in first-appearance order.
+#[must_use]
+pub fn category_counts(candidates: &[Candidate]) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for candidate in candidates {
+        match counts.iter_mut().find(|(c, _)| c == &candidate.category) {
+            Some((_, count)) => *count += 1,
+            None => counts.push((candidate.category.clone(), 1)),
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    #[test]
+    fn new_rejects_non_finite_utility() {
+        assert!(Candidate::new(0, f64::NAN, "a").is_err());
+        assert!(Candidate::new(0, f64::INFINITY, "a").is_err());
+        assert!(Candidate::new(0, 1.5, "a").is_ok());
+    }
+
+    #[test]
+    fn from_table_builds_candidates_and_skips_missing() {
+        let table = Table::from_columns(vec![
+            (
+                "score",
+                Column::Float(vec![Some(3.0), None, Some(1.0), Some(2.0)]),
+            ),
+            (
+                "group",
+                Column::Str(vec![
+                    Some("a".to_string()),
+                    Some("a".to_string()),
+                    None,
+                    Some("b".to_string()),
+                ]),
+            ),
+        ])
+        .unwrap();
+        let candidates = Candidate::from_table(&table, "score", "group").unwrap();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].index, 0);
+        assert_eq!(candidates[1].index, 3);
+        assert_eq!(candidates[1].category, "b");
+        assert_eq!(total_utility(&candidates), 5.0);
+    }
+
+    #[test]
+    fn from_table_requires_existing_columns() {
+        let table = Table::from_columns(vec![(
+            "score",
+            Column::from_f64(vec![1.0, 2.0]),
+        )])
+        .unwrap();
+        assert!(Candidate::from_table(&table, "score", "ghost").is_err());
+        assert!(Candidate::from_table(&table, "ghost", "score").is_err());
+    }
+
+    #[test]
+    fn from_table_rejects_fully_missing_data() {
+        let table = Table::from_columns(vec![
+            ("score", Column::Float(vec![None, None])),
+            (
+                "group",
+                Column::Str(vec![Some("a".to_string()), Some("b".to_string())]),
+            ),
+        ])
+        .unwrap();
+        assert!(matches!(
+            Candidate::from_table(&table, "score", "group"),
+            Err(SetSelError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn category_counts_preserve_first_appearance_order() {
+        let candidates = vec![
+            Candidate::new(0, 1.0, "b").unwrap(),
+            Candidate::new(1, 2.0, "a").unwrap(),
+            Candidate::new(2, 3.0, "b").unwrap(),
+        ];
+        assert_eq!(
+            category_counts(&candidates),
+            vec![("b".to_string(), 2), ("a".to_string(), 1)]
+        );
+    }
+}

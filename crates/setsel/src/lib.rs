@@ -1,0 +1,47 @@
+//! # rf-setsel — online set selection with fairness and diversity constraints
+//!
+//! A from-scratch implementation of *"Online Set Selection with Fairness and
+//! Diversity Constraints"* (Stoyanovich, Yang & Jagadish, EDBT 2018), the
+//! authors' companion work that the nutritional-label paper cites as the
+//! technical basis of its fairness and diversity widgets (§1, reference
+//! [11]).
+//!
+//! The problem: select exactly `k` items, each belonging to one category of a
+//! sensitive or diversity attribute, so that total utility (score) is
+//! maximized **subject to per-category floors and ceilings** — "at least
+//! ℓ_g and at most u_g items of group g".  Two settings are covered:
+//!
+//! * **offline** ([`offline`]): all candidates are known up front.  The
+//!   greedy floor-first / best-fill algorithm is optimal for additive utility
+//!   and is the baseline every online strategy is compared against.
+//! * **online** ([`online`]): candidates arrive one at a time in random order
+//!   and each accept/reject decision is irrevocable (the secretary setting).
+//!   The warm-up strategy observes a prefix of the stream, learns a
+//!   per-category utility threshold, and then accepts above-threshold
+//!   candidates while reserving enough remaining positions to meet every
+//!   floor.
+//!
+//! [`metrics`] evaluates an online run against the offline optimum (utility
+//! ratio, constraint satisfaction) and estimates the expected ratio over many
+//! random arrival orders — the experiment design of the EDBT paper.
+//!
+//! The crate speaks the same [`rf_table::Table`] substrate as the rest of the
+//! workspace: [`items::Candidate::from_table`] builds the candidate pool from
+//! a utility column and a categorical attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod error;
+pub mod items;
+pub mod metrics;
+pub mod offline;
+pub mod online;
+
+pub use constraints::{ConstraintSet, GroupConstraint};
+pub use error::{SetSelError, SetSelResult};
+pub use items::Candidate;
+pub use metrics::{evaluate_online, expected_utility_ratio, OnlineEvaluation, RatioSummary};
+pub use offline::{offline_select, Selection};
+pub use online::{OnlineSelector, OnlineStrategy};

@@ -1,0 +1,229 @@
+//! Evaluating online selections against the offline optimum.
+//!
+//! The EDBT 2018 evaluation reports, for each strategy and constraint
+//! setting, the ratio of the utility achieved online to the offline optimum
+//! and whether the constraints were met.  [`evaluate_online`] computes that
+//! comparison for one run; [`expected_utility_ratio`] averages it over many
+//! uniformly random arrival orders (the random-order secretary assumption).
+
+use crate::constraints::ConstraintSet;
+use crate::error::{SetSelError, SetSelResult};
+use crate::items::Candidate;
+use crate::offline::{offline_select, Selection};
+use crate::online::OnlineSelector;
+
+/// Comparison of one online run against the offline optimum.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OnlineEvaluation {
+    /// The online selection being evaluated.
+    pub online: Selection,
+    /// The offline optimum for the same candidates and constraints.
+    pub offline: Selection,
+    /// `online.total_utility / offline.total_utility` (1.0 when the offline
+    /// optimum has zero utility).
+    pub utility_ratio: f64,
+    /// Whether the online selection satisfies every floor and ceiling.
+    pub constraints_satisfied: bool,
+    /// Fraction of the offline optimum's members that the online run also
+    /// selected.
+    pub overlap_with_offline: f64,
+}
+
+/// Evaluates an online `selection` of `candidates` under `constraints`.
+///
+/// # Errors
+/// Returns an error when the offline optimum cannot be computed (infeasible
+/// constraints).
+pub fn evaluate_online(
+    candidates: &[Candidate],
+    constraints: &ConstraintSet,
+    online: Selection,
+) -> SetSelResult<OnlineEvaluation> {
+    let offline = offline_select(candidates, constraints)?;
+    let utility_ratio = if offline.total_utility.abs() < f64::EPSILON {
+        1.0
+    } else {
+        online.total_utility / offline.total_utility
+    };
+    let offline_indices = offline.indices();
+    let shared = online
+        .items
+        .iter()
+        .filter(|c| offline_indices.contains(&c.index))
+        .count();
+    let overlap_with_offline = shared as f64 / offline_indices.len() as f64;
+    let constraints_satisfied = constraints.is_satisfied_by(&online.items);
+    Ok(OnlineEvaluation {
+        online,
+        offline,
+        utility_ratio,
+        constraints_satisfied,
+        overlap_with_offline,
+    })
+}
+
+/// Summary of the utility ratio over many random arrival orders.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatioSummary {
+    /// Number of simulated arrival orders.
+    pub runs: usize,
+    /// Mean utility ratio.
+    pub mean: f64,
+    /// Standard deviation of the ratio.
+    pub std_dev: f64,
+    /// Worst observed ratio.
+    pub min: f64,
+    /// Best observed ratio.
+    pub max: f64,
+    /// Fraction of runs in which every constraint was satisfied (1.0 by
+    /// construction for feasible streams; reported as a safety check).
+    pub constraint_satisfaction_rate: f64,
+}
+
+/// Estimates the expected online/offline utility ratio of `selector` over
+/// `runs` uniformly random arrival orders of `candidates`.
+///
+/// # Errors
+/// Returns an error when `runs` is zero or the constraints are infeasible for
+/// the candidate pool.
+pub fn expected_utility_ratio(
+    candidates: &[Candidate],
+    selector: &OnlineSelector,
+    runs: usize,
+    seed: u64,
+) -> SetSelResult<RatioSummary> {
+    if runs == 0 {
+        return Err(SetSelError::InvalidParameter {
+            parameter: "runs",
+            message: "at least one simulated arrival order is required".to_string(),
+        });
+    }
+    let offline = offline_select(candidates, &selector.constraints)?;
+    let mut ratios = Vec::with_capacity(runs);
+    let mut satisfied = 0usize;
+    for run in 0..runs {
+        let online = selector.run_shuffled(candidates, seed.wrapping_add(run as u64))?;
+        if selector.constraints.is_satisfied_by(&online.items) {
+            satisfied += 1;
+        }
+        let ratio = if offline.total_utility.abs() < f64::EPSILON {
+            1.0
+        } else {
+            online.total_utility / offline.total_utility
+        };
+        ratios.push(ratio);
+    }
+    let n = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / n;
+    let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    Ok(RatioSummary {
+        runs,
+        mean,
+        std_dev: var.sqrt(),
+        min: ratios.iter().copied().fold(f64::INFINITY, f64::min),
+        max: ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        constraint_satisfaction_rate: satisfied as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::GroupConstraint;
+    use crate::online::OnlineStrategy;
+
+    fn candidate(index: usize, utility: f64, category: &str) -> Candidate {
+        Candidate::new(index, utility, category).unwrap()
+    }
+
+    fn pool() -> Vec<Candidate> {
+        let mut pool = Vec::new();
+        for i in 0..12 {
+            pool.push(candidate(i, 100.0 - 3.0 * i as f64, "a"));
+        }
+        for i in 12..20 {
+            pool.push(candidate(i, 60.0 - 2.0 * i as f64, "b"));
+        }
+        pool
+    }
+
+    fn constraints() -> ConstraintSet {
+        ConstraintSet::new(
+            8,
+            vec![
+                GroupConstraint::at_least("b", 3).unwrap(),
+                GroupConstraint::at_most("a", 6).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluation_compares_against_offline() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        let online = selector.run_shuffled(&pool(), 5).unwrap();
+        let eval = evaluate_online(&pool(), &constraints(), online).unwrap();
+        assert!(eval.utility_ratio > 0.0 && eval.utility_ratio <= 1.0 + 1e-12);
+        assert!(eval.constraints_satisfied);
+        assert!((0.0..=1.0).contains(&eval.overlap_with_offline));
+        assert_eq!(eval.offline.items.len(), 8);
+    }
+
+    #[test]
+    fn offline_selection_evaluates_to_ratio_one() {
+        let offline = offline_select(&pool(), &constraints()).unwrap();
+        let eval = evaluate_online(&pool(), &constraints(), offline).unwrap();
+        assert!((eval.utility_ratio - 1.0).abs() < 1e-12);
+        assert!((eval.overlap_with_offline - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ratio_summary_is_coherent() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        let summary = expected_utility_ratio(&pool(), &selector, 30, 7).unwrap();
+        assert_eq!(summary.runs, 30);
+        assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+        assert!(summary.max <= 1.0 + 1e-12);
+        assert!(summary.mean > 0.5, "secretary strategy should not collapse");
+        assert!((summary.constraint_satisfaction_rate - 1.0).abs() < 1e-12);
+        assert!(summary.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn warmup_outperforms_greedy_in_expectation() {
+        let greedy = OnlineSelector::new(constraints(), OnlineStrategy::Greedy).unwrap();
+        let warmup = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        let greedy_summary = expected_utility_ratio(&pool(), &greedy, 40, 11).unwrap();
+        let warmup_summary = expected_utility_ratio(&pool(), &warmup, 40, 11).unwrap();
+        assert!(
+            warmup_summary.mean > greedy_summary.mean,
+            "warm-up {:.3} should beat greedy {:.3}",
+            warmup_summary.mean,
+            greedy_summary.mean
+        );
+    }
+
+    #[test]
+    fn zero_runs_is_an_error() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::Greedy).unwrap();
+        assert!(expected_utility_ratio(&pool(), &selector, 0, 1).is_err());
+    }
+
+    #[test]
+    fn infeasible_constraints_propagate() {
+        let infeasible = ConstraintSet::new(
+            8,
+            vec![GroupConstraint::at_least("missing", 1).unwrap()],
+        )
+        .unwrap();
+        let selector = OnlineSelector::new(infeasible.clone(), OnlineStrategy::Greedy).unwrap();
+        assert!(expected_utility_ratio(&pool(), &selector, 5, 1).is_err());
+        let online = Selection {
+            items: vec![],
+            total_utility: 0.0,
+            category_counts: vec![],
+            forced_by_floors: 0,
+        };
+        assert!(evaluate_online(&pool(), &infeasible, online).is_err());
+    }
+}

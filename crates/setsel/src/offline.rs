@@ -1,0 +1,291 @@
+//! Offline (full-information) constrained selection.
+//!
+//! With all candidates known up front, the floor-first greedy is optimal for
+//! additive utility: any feasible selection must contain at least `ℓ_g`
+//! items of every constrained category, and swapping any of them for a
+//! higher-utility item of the same category preserves feasibility, so the
+//! floors may as well be filled with each category's best candidates.  The
+//! remaining positions then form a partition-matroid problem (per-category
+//! ceilings), for which plain greedy by utility is optimal.
+//!
+//! The offline optimum is the baseline the online strategies of [`crate::online`]
+//! are measured against, exactly as in the EDBT 2018 evaluation.
+
+use crate::constraints::ConstraintSet;
+use crate::error::SetSelResult;
+use crate::items::{category_counts, total_utility, Candidate};
+
+/// A completed selection.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Selection {
+    /// The selected candidates, highest utility first.
+    pub items: Vec<Candidate>,
+    /// Sum of the selected utilities.
+    pub total_utility: f64,
+    /// Number of selected items per category (first-appearance order).
+    pub category_counts: Vec<(String, usize)>,
+    /// How many selected items were taken purely to satisfy a floor (i.e.
+    /// they would not have made the cut on utility alone).
+    pub forced_by_floors: usize,
+}
+
+impl Selection {
+    fn from_items(mut items: Vec<Candidate>, forced_by_floors: usize) -> Self {
+        items.sort_by(|a, b| {
+            b.utility
+                .partial_cmp(&a.utility)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        let total_utility = total_utility(&items);
+        let category_counts = category_counts(&items);
+        Selection {
+            items,
+            total_utility,
+            category_counts,
+            forced_by_floors,
+        }
+    }
+
+    /// Row indices of the selected items, highest utility first.
+    #[must_use]
+    pub fn indices(&self) -> Vec<usize> {
+        self.items.iter().map(|c| c.index).collect()
+    }
+}
+
+/// Selects the utility-maximizing set of `constraints.k` candidates that
+/// satisfies every floor and ceiling.
+///
+/// # Errors
+/// Returns an error when the constraint set is infeasible for `candidates`
+/// or a candidate carries a non-finite utility.
+pub fn offline_select(
+    candidates: &[Candidate],
+    constraints: &ConstraintSet,
+) -> SetSelResult<Selection> {
+    constraints.check_feasible(candidates)?;
+
+    // Candidate positions sorted by utility, best first (stable on index so
+    // results are deterministic under ties).
+    let mut by_utility: Vec<usize> = (0..candidates.len()).collect();
+    by_utility.sort_by(|&a, &b| {
+        candidates[b]
+            .utility
+            .partial_cmp(&candidates[a].utility)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| candidates[a].index.cmp(&candidates[b].index))
+    });
+
+    let mut taken = vec![false; candidates.len()];
+    let mut selected: Vec<Candidate> = Vec::with_capacity(constraints.k);
+    let mut per_category: Vec<(String, usize)> = Vec::new();
+    let bump = |per_category: &mut Vec<(String, usize)>, category: &str| {
+        match per_category.iter_mut().find(|(c, _)| c == category) {
+            Some((_, n)) => *n += 1,
+            None => per_category.push((category.to_string(), 1)),
+        }
+    };
+
+    // Phase 1: fill every floor with that category's best candidates.
+    for constraint in constraints.constraints() {
+        if constraint.floor == 0 {
+            continue;
+        }
+        let mut needed = constraint.floor;
+        for &pos in &by_utility {
+            if needed == 0 {
+                break;
+            }
+            if !taken[pos] && candidates[pos].category == constraint.category {
+                taken[pos] = true;
+                selected.push(candidates[pos].clone());
+                bump(&mut per_category, &constraint.category);
+                needed -= 1;
+            }
+        }
+        debug_assert_eq!(needed, 0, "feasibility check guarantees enough candidates");
+    }
+
+    // How many floor picks would *not* have been selected by pure top-k:
+    // count the floor picks outside the unconstrained top-k prefix.
+    let unconstrained_top_k: Vec<usize> = by_utility
+        .iter()
+        .take(constraints.k)
+        .map(|&pos| candidates[pos].index)
+        .collect();
+    let forced_by_floors = selected
+        .iter()
+        .filter(|c| !unconstrained_top_k.contains(&c.index))
+        .count();
+
+    // Phase 2: fill the remaining positions greedily, respecting ceilings.
+    for &pos in &by_utility {
+        if selected.len() == constraints.k {
+            break;
+        }
+        if taken[pos] {
+            continue;
+        }
+        let category = &candidates[pos].category;
+        let current = per_category
+            .iter()
+            .find(|(c, _)| c == category)
+            .map_or(0, |(_, n)| *n);
+        if current >= constraints.ceiling(category) {
+            continue;
+        }
+        taken[pos] = true;
+        selected.push(candidates[pos].clone());
+        bump(&mut per_category, category);
+    }
+
+    debug_assert_eq!(
+        selected.len(),
+        constraints.k,
+        "feasibility check guarantees the ceilings leave room to reach k"
+    );
+    Ok(Selection::from_items(selected, forced_by_floors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::GroupConstraint;
+
+    fn candidate(index: usize, utility: f64, category: &str) -> Candidate {
+        Candidate::new(index, utility, category).unwrap()
+    }
+
+    /// A pool where category "b" has clearly weaker candidates.
+    fn pool() -> Vec<Candidate> {
+        vec![
+            candidate(0, 10.0, "a"),
+            candidate(1, 9.0, "a"),
+            candidate(2, 8.0, "a"),
+            candidate(3, 7.0, "a"),
+            candidate(4, 3.0, "b"),
+            candidate(5, 2.0, "b"),
+            candidate(6, 1.0, "b"),
+        ]
+    }
+
+    #[test]
+    fn unconstrained_selection_is_plain_top_k() {
+        let constraints = ConstraintSet::unconstrained(3).unwrap();
+        let selection = offline_select(&pool(), &constraints).unwrap();
+        assert_eq!(selection.indices(), vec![0, 1, 2]);
+        assert_eq!(selection.total_utility, 27.0);
+        assert_eq!(selection.forced_by_floors, 0);
+        assert!(constraints.is_satisfied_by(&selection.items));
+    }
+
+    #[test]
+    fn floors_pull_in_weaker_category_members() {
+        let constraints =
+            ConstraintSet::new(4, vec![GroupConstraint::at_least("b", 2).unwrap()]).unwrap();
+        let selection = offline_select(&pool(), &constraints).unwrap();
+        assert!(constraints.is_satisfied_by(&selection.items));
+        // Best two of "b" (indices 4, 5) plus best two of "a" (0, 1).
+        let mut indices = selection.indices();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 4, 5]);
+        assert_eq!(selection.total_utility, 10.0 + 9.0 + 3.0 + 2.0);
+        assert_eq!(selection.forced_by_floors, 2);
+    }
+
+    #[test]
+    fn ceilings_cap_the_dominant_category() {
+        let constraints =
+            ConstraintSet::new(4, vec![GroupConstraint::at_most("a", 2).unwrap()]).unwrap();
+        let selection = offline_select(&pool(), &constraints).unwrap();
+        assert!(constraints.is_satisfied_by(&selection.items));
+        let a_count = selection
+            .category_counts
+            .iter()
+            .find(|(c, _)| c == "a")
+            .map_or(0, |(_, n)| *n);
+        assert_eq!(a_count, 2);
+        // Top two of "a" plus top two of "b".
+        assert_eq!(selection.total_utility, 10.0 + 9.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn floors_and_ceilings_combine() {
+        let constraints = ConstraintSet::new(
+            5,
+            vec![
+                GroupConstraint::new("a", 1, 3).unwrap(),
+                GroupConstraint::new("b", 2, 3).unwrap(),
+            ],
+        )
+        .unwrap();
+        let selection = offline_select(&pool(), &constraints).unwrap();
+        assert!(constraints.is_satisfied_by(&selection.items));
+        assert_eq!(selection.items.len(), 5);
+        // 3 of "a" (10, 9, 8) + 2 of "b" (3, 2) is the best feasible mix.
+        assert_eq!(selection.total_utility, 32.0);
+    }
+
+    #[test]
+    fn infeasible_configurations_are_rejected() {
+        let constraints =
+            ConstraintSet::new(4, vec![GroupConstraint::at_least("b", 4).unwrap()]).unwrap();
+        assert!(offline_select(&pool(), &constraints).is_err());
+        let constraints = ConstraintSet::unconstrained(20).unwrap();
+        assert!(offline_select(&pool(), &constraints).is_err());
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically_by_index() {
+        let tied = vec![
+            candidate(3, 1.0, "a"),
+            candidate(1, 1.0, "a"),
+            candidate(2, 1.0, "a"),
+        ];
+        let constraints = ConstraintSet::unconstrained(2).unwrap();
+        let selection = offline_select(&tied, &constraints).unwrap();
+        assert_eq!(selection.indices(), vec![1, 2]);
+    }
+
+    /// Exhaustive check against brute force on a small pool: the greedy
+    /// selection has the maximum achievable utility among all feasible sets.
+    #[test]
+    fn greedy_matches_brute_force_optimum() {
+        let pool = vec![
+            candidate(0, 9.0, "a"),
+            candidate(1, 8.5, "b"),
+            candidate(2, 7.0, "a"),
+            candidate(3, 6.5, "c"),
+            candidate(4, 6.0, "b"),
+            candidate(5, 2.0, "c"),
+            candidate(6, 1.5, "a"),
+        ];
+        let constraints = ConstraintSet::new(
+            4,
+            vec![
+                GroupConstraint::at_least("c", 1).unwrap(),
+                GroupConstraint::at_most("a", 2).unwrap(),
+            ],
+        )
+        .unwrap();
+        let greedy = offline_select(&pool, &constraints).unwrap();
+
+        // Brute force over all 4-subsets.
+        let n = pool.len();
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != constraints.k {
+                continue;
+            }
+            let subset: Vec<Candidate> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| pool[i].clone())
+                .collect();
+            if constraints.is_satisfied_by(&subset) {
+                best = best.max(total_utility(&subset));
+            }
+        }
+        assert!((greedy.total_utility - best).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,509 @@
+//! Online (streaming, irrevocable) constrained selection.
+//!
+//! Candidates arrive one at a time; each must be accepted or rejected on the
+//! spot and decisions cannot be revisited — the secretary setting of the
+//! EDBT 2018 paper.  The selector knows the stream length and the per-category
+//! composition (how many candidates of each category will arrive — the
+//! paper's "known statistics, unknown order" assumption) but not the
+//! utilities or arrival order of future candidates.
+//!
+//! Two strategies are provided:
+//!
+//! * [`OnlineStrategy::Greedy`] — accept every admissible candidate until the
+//!   quota is full.  Simple, constraint-satisfying, but utility-blind: early
+//!   mediocre candidates crowd out later excellent ones.
+//! * [`OnlineStrategy::Warmup`] — the secretary-style strategy: observe a
+//!   fraction of the stream without (voluntarily) accepting, derive a
+//!   per-category utility threshold from the observations, then accept
+//!   candidates that beat their category threshold.  The threshold for
+//!   category `g` is the `t_g`-th best utility observed for `g`, where `t_g`
+//!   is the number of `g`-items the selector expects to pick overall (its
+//!   floor plus a composition-proportional share of the unreserved slots,
+//!   capped by its ceiling) — the multiple-choice generalization of the
+//!   classic best-seen-so-far secretary threshold.
+//!
+//! Both strategies share the same safety net: a candidate is **force-accepted**
+//! when rejecting it would make a floor unsatisfiable or leave too few future
+//! candidates to fill all `k` positions, and **force-rejected** when its
+//! category ceiling is reached or accepting it would eat a slot earmarked for
+//! an unmet floor.  As a result every run on a feasible stream returns exactly
+//! `k` items satisfying all constraints; only the achieved utility varies.
+
+use crate::constraints::ConstraintSet;
+use crate::error::{SetSelError, SetSelResult};
+use crate::items::Candidate;
+use crate::offline::Selection;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Decision strategy of the online selector.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum OnlineStrategy {
+    /// Accept every admissible candidate until `k` are selected.
+    Greedy,
+    /// Observe `warmup_fraction` of the stream, learn per-category utility
+    /// thresholds, then accept only above-threshold candidates (plus the
+    /// forced accepts required to stay feasible).
+    Warmup {
+        /// Fraction of the stream observed before accepting voluntarily.
+        /// The classic secretary argument suggests `1/e ≈ 0.37`.
+        warmup_fraction: f64,
+    },
+}
+
+impl OnlineStrategy {
+    /// The classic secretary warm-up of `1/e` of the stream.
+    #[must_use]
+    pub fn secretary() -> Self {
+        OnlineStrategy::Warmup {
+            warmup_fraction: 1.0 / std::f64::consts::E,
+        }
+    }
+}
+
+/// Per-category bookkeeping used during a run.
+#[derive(Debug, Clone)]
+struct CategoryState {
+    category: String,
+    selected: usize,
+    total_in_stream: usize,
+    remaining_in_stream: usize,
+    observed_utilities: Vec<f64>,
+    threshold: f64,
+}
+
+impl CategoryState {
+    /// Sets the acceptance threshold from the warm-up observations: the
+    /// `target`-th best utility seen for this category (the worst seen when
+    /// fewer than `target` were observed, "accept anything" when none were).
+    fn finalize_threshold(&mut self, target: usize) {
+        if self.observed_utilities.is_empty() {
+            self.threshold = f64::NEG_INFINITY;
+            return;
+        }
+        let mut sorted = self.observed_utilities.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = target.max(1).min(sorted.len());
+        self.threshold = sorted[rank - 1];
+    }
+}
+
+/// The online selector: constraints plus a decision strategy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OnlineSelector {
+    /// The floors, ceilings and selection size to enforce.
+    pub constraints: ConstraintSet,
+    /// The decision strategy.
+    pub strategy: OnlineStrategy,
+}
+
+impl OnlineSelector {
+    /// Creates a selector.
+    ///
+    /// # Errors
+    /// Returns an error when the warm-up fraction lies outside `[0, 1)`.
+    pub fn new(constraints: ConstraintSet, strategy: OnlineStrategy) -> SetSelResult<Self> {
+        if let OnlineStrategy::Warmup { warmup_fraction } = strategy {
+            if !(0.0..1.0).contains(&warmup_fraction) {
+                return Err(SetSelError::InvalidParameter {
+                    parameter: "warmup_fraction",
+                    message: format!("must lie in [0, 1), got {warmup_fraction}"),
+                });
+            }
+        }
+        Ok(OnlineSelector {
+            constraints,
+            strategy,
+        })
+    }
+
+    /// Runs the selector over `stream` in the given arrival order.
+    ///
+    /// # Errors
+    /// Returns an error when the stream (as a whole) cannot satisfy the
+    /// constraints, so that no online strategy could succeed either.
+    pub fn run(&self, stream: &[Candidate]) -> SetSelResult<Selection> {
+        self.constraints.check_feasible(stream)?;
+        let k = self.constraints.k;
+        let n = stream.len();
+        let warmup_len = match self.strategy {
+            OnlineStrategy::Greedy => 0,
+            OnlineStrategy::Warmup { warmup_fraction } => {
+                // Never let the warm-up swallow the whole stream.
+                ((n as f64 * warmup_fraction).floor() as usize).min(n.saturating_sub(k))
+            }
+        };
+
+        // Per-category state, seeded with the stream composition.
+        let mut states: Vec<CategoryState> = Vec::new();
+        for candidate in stream {
+            match states
+                .iter_mut()
+                .find(|s| s.category == candidate.category)
+            {
+                Some(state) => {
+                    state.total_in_stream += 1;
+                    state.remaining_in_stream += 1;
+                }
+                None => states.push(CategoryState {
+                    category: candidate.category.clone(),
+                    selected: 0,
+                    total_in_stream: 1,
+                    remaining_in_stream: 1,
+                    observed_utilities: Vec::new(),
+                    threshold: f64::NEG_INFINITY,
+                }),
+            }
+        }
+
+        // How many items the selector expects to take from each category: its
+        // floor plus a composition-proportional share of the unreserved slots,
+        // capped by its ceiling.  This is the `t_g` of the threshold rule.
+        let floor_sum: usize = states
+            .iter()
+            .map(|s| self.constraints.floor(&s.category))
+            .sum();
+        let free_budget = k.saturating_sub(floor_sum);
+        let targets: Vec<usize> = states
+            .iter()
+            .map(|s| {
+                let share =
+                    (free_budget as f64 * s.total_in_stream as f64 / n as f64).round() as usize;
+                (self.constraints.floor(&s.category) + share)
+                    .min(self.constraints.ceiling(&s.category))
+                    .max(1)
+            })
+            .collect();
+
+        let mut selected: Vec<Candidate> = Vec::with_capacity(k);
+        let mut forced = 0usize;
+        let mut thresholds_ready = warmup_len == 0;
+
+        for (position, candidate) in stream.iter().enumerate() {
+            if selected.len() == k {
+                break;
+            }
+            // End of the warm-up: freeze the per-category thresholds.
+            if !thresholds_ready && position >= warmup_len {
+                for (state, &target) in states.iter_mut().zip(targets.iter()) {
+                    state.finalize_threshold(target);
+                }
+                thresholds_ready = true;
+            }
+
+            let state_index = states
+                .iter()
+                .position(|s| s.category == candidate.category)
+                .expect("every stream category was registered");
+
+            // This candidate is no longer "remaining" whatever we decide.
+            states[state_index].remaining_in_stream -= 1;
+
+            // Warm-up observation.
+            if position < warmup_len {
+                states[state_index]
+                    .observed_utilities
+                    .push(candidate.utility);
+            }
+
+            let ceiling = self.constraints.ceiling(&candidate.category);
+            if states[state_index].selected >= ceiling {
+                continue; // Hard reject: ceiling reached.
+            }
+
+            // Outstanding floor deficits.
+            let deficit_of = |s: &CategoryState| {
+                self.constraints.floor(&s.category).saturating_sub(s.selected)
+            };
+            let total_deficit: usize = states.iter().map(deficit_of).sum();
+            let own_deficit = deficit_of(&states[state_index]);
+            let open_slots = k - selected.len();
+            let free_slots = open_slots - total_deficit;
+
+            // Accepting a candidate of a non-deficit category must not eat a
+            // slot earmarked for an unmet floor.
+            let admissible = own_deficit > 0 || free_slots > 0;
+            if !admissible {
+                continue;
+            }
+
+            // Forced accept 1: rejecting would leave too few candidates of
+            // this category to meet its floor.
+            let forced_floor =
+                own_deficit > 0 && states[state_index].remaining_in_stream < own_deficit;
+
+            // Forced accept 2: rejecting would leave too little admissible
+            // capacity in the rest of the stream to fill all open slots.
+            let capacity_after: usize = states
+                .iter()
+                .map(|s| {
+                    let headroom = self.constraints.ceiling(&s.category) - s.selected;
+                    s.remaining_in_stream.min(headroom)
+                })
+                .sum();
+            let forced_capacity = capacity_after < open_slots;
+
+            let voluntary = if position < warmup_len {
+                false
+            } else {
+                match self.strategy {
+                    OnlineStrategy::Greedy => true,
+                    OnlineStrategy::Warmup { .. } => {
+                        let threshold = states[state_index].threshold;
+                        threshold == f64::NEG_INFINITY || candidate.utility >= threshold
+                    }
+                }
+            };
+
+            if forced_floor || forced_capacity || voluntary {
+                if forced_floor || forced_capacity {
+                    forced += 1;
+                }
+                states[state_index].selected += 1;
+                selected.push(candidate.clone());
+            }
+        }
+
+        debug_assert_eq!(
+            selected.len(),
+            k,
+            "forced accepts guarantee a feasible stream fills all k positions"
+        );
+        Ok(Selection::from_run(selected, forced))
+    }
+
+    /// Runs the selector over `candidates` presented in a uniformly random
+    /// arrival order (deterministic for a given `seed`) — the random-order
+    /// secretary assumption of the paper's analysis.
+    ///
+    /// # Errors
+    /// Same as [`OnlineSelector::run`].
+    pub fn run_shuffled(&self, candidates: &[Candidate], seed: u64) -> SetSelResult<Selection> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut stream = candidates.to_vec();
+        stream.shuffle(&mut rng);
+        self.run(&stream)
+    }
+}
+
+impl Selection {
+    /// Builds a [`Selection`] from an online run (crate-internal).
+    pub(crate) fn from_run(items: Vec<Candidate>, forced: usize) -> Self {
+        let mut selection = Selection {
+            items,
+            total_utility: 0.0,
+            category_counts: Vec::new(),
+            forced_by_floors: forced,
+        };
+        selection.total_utility = crate::items::total_utility(&selection.items);
+        selection.category_counts = crate::items::category_counts(&selection.items);
+        selection.items.sort_by(|a, b| {
+            b.utility
+                .partial_cmp(&a.utility)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::GroupConstraint;
+
+    fn candidate(index: usize, utility: f64, category: &str) -> Candidate {
+        Candidate::new(index, utility, category).unwrap()
+    }
+
+    /// 12 candidates, two categories; "b" is systematically weaker.
+    fn pool() -> Vec<Candidate> {
+        let mut pool = Vec::new();
+        for i in 0..8 {
+            pool.push(candidate(i, 100.0 - i as f64, "a"));
+        }
+        for i in 8..12 {
+            pool.push(candidate(i, 50.0 - i as f64, "b"));
+        }
+        pool
+    }
+
+    fn constraints() -> ConstraintSet {
+        ConstraintSet::new(
+            6,
+            vec![
+                GroupConstraint::at_least("b", 2).unwrap(),
+                GroupConstraint::at_most("a", 4).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn warmup_fraction_is_validated() {
+        let c = ConstraintSet::unconstrained(2).unwrap();
+        assert!(OnlineSelector::new(
+            c.clone(),
+            OnlineStrategy::Warmup {
+                warmup_fraction: 1.0
+            }
+        )
+        .is_err());
+        assert!(OnlineSelector::new(
+            c.clone(),
+            OnlineStrategy::Warmup {
+                warmup_fraction: -0.1
+            }
+        )
+        .is_err());
+        assert!(OnlineSelector::new(c, OnlineStrategy::secretary()).is_ok());
+    }
+
+    #[test]
+    fn greedy_takes_the_earliest_admissible_candidates() {
+        let selector =
+            OnlineSelector::new(ConstraintSet::unconstrained(3).unwrap(), OnlineStrategy::Greedy)
+                .unwrap();
+        let stream = vec![
+            candidate(0, 1.0, "a"),
+            candidate(1, 2.0, "a"),
+            candidate(2, 99.0, "a"),
+            candidate(3, 98.0, "a"),
+        ];
+        let selection = selector.run(&stream).unwrap();
+        // Greedy grabs the first three regardless of the better late arrivals.
+        let mut indices = selection.indices();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_run_satisfies_the_constraints() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        for seed in 0..25 {
+            let selection = selector.run_shuffled(&pool(), seed).unwrap();
+            assert!(
+                selector.constraints.is_satisfied_by(&selection.items),
+                "constraints violated for seed {seed}: {:?}",
+                selection.category_counts
+            );
+            assert_eq!(selection.items.len(), 6);
+        }
+    }
+
+    #[test]
+    fn greedy_also_always_satisfies_the_constraints() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::Greedy).unwrap();
+        for seed in 0..25 {
+            let selection = selector.run_shuffled(&pool(), seed).unwrap();
+            assert!(selector.constraints.is_satisfied_by(&selection.items));
+        }
+    }
+
+    #[test]
+    fn online_never_beats_offline() {
+        let offline = crate::offline::offline_select(&pool(), &constraints()).unwrap();
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        for seed in 0..25 {
+            let online = selector.run_shuffled(&pool(), seed).unwrap();
+            assert!(online.total_utility <= offline.total_utility + 1e-12);
+        }
+    }
+
+    #[test]
+    fn warmup_beats_greedy_on_adversarially_ordered_streams() {
+        // Stream that starts with the weakest candidates: greedy fills up on
+        // them, the warm-up strategy learns to wait.
+        let mut stream = pool();
+        stream.sort_by(|a, b| a.utility.partial_cmp(&b.utility).unwrap());
+        let constraints = ConstraintSet::unconstrained(4).unwrap();
+        let greedy = OnlineSelector::new(constraints.clone(), OnlineStrategy::Greedy)
+            .unwrap()
+            .run(&stream)
+            .unwrap();
+        let warmup = OnlineSelector::new(constraints, OnlineStrategy::secretary())
+            .unwrap()
+            .run(&stream)
+            .unwrap();
+        assert!(warmup.total_utility > greedy.total_utility);
+    }
+
+    #[test]
+    fn floors_are_met_even_when_protected_items_arrive_last() {
+        // All "b" candidates arrive at the very end of the stream.
+        let mut stream: Vec<Candidate> = pool()
+            .into_iter()
+            .filter(|c| c.category == "a")
+            .collect();
+        stream.extend(pool().into_iter().filter(|c| c.category == "b"));
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        let selection = selector.run(&stream).unwrap();
+        assert!(selector.constraints.is_satisfied_by(&selection.items));
+        let b_count = selection
+            .category_counts
+            .iter()
+            .find(|(c, _)| c == "b")
+            .map_or(0, |(_, n)| *n);
+        // The floor is met even though every protected candidate arrived after
+        // the warm-up and after most of the non-protected candidates.
+        assert!(b_count >= 2);
+        assert_eq!(selection.items.len(), 6);
+    }
+
+    #[test]
+    fn ceilings_are_respected_even_when_one_category_floods_the_stream() {
+        // Only the ceiling keeps "a" from taking everything.
+        let selector = OnlineSelector::new(
+            ConstraintSet::new(4, vec![GroupConstraint::at_most("a", 2).unwrap()]).unwrap(),
+            OnlineStrategy::Greedy,
+        )
+        .unwrap();
+        let selection = selector.run(&pool()).unwrap();
+        let a_count = selection
+            .category_counts
+            .iter()
+            .find(|(c, _)| c == "a")
+            .map_or(0, |(_, n)| *n);
+        assert!(a_count <= 2);
+        assert_eq!(selection.items.len(), 4);
+    }
+
+    #[test]
+    fn infeasible_streams_are_rejected_up_front() {
+        let selector = OnlineSelector::new(
+            ConstraintSet::new(4, vec![GroupConstraint::at_least("zzz", 1).unwrap()]).unwrap(),
+            OnlineStrategy::Greedy,
+        )
+        .unwrap();
+        assert!(matches!(
+            selector.run(&pool()),
+            Err(SetSelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn shuffled_runs_are_deterministic_per_seed() {
+        let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
+        let a = selector.run_shuffled(&pool(), 9).unwrap();
+        let b = selector.run_shuffled(&pool(), 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equal_to_stream_length_selects_everything_feasible() {
+        let stream = vec![
+            candidate(0, 3.0, "a"),
+            candidate(1, 2.0, "b"),
+            candidate(2, 1.0, "a"),
+        ];
+        let selector = OnlineSelector::new(
+            ConstraintSet::unconstrained(3).unwrap(),
+            OnlineStrategy::secretary(),
+        )
+        .unwrap();
+        let selection = selector.run(&stream).unwrap();
+        assert_eq!(selection.items.len(), 3);
+        assert_eq!(selection.total_utility, 6.0);
+    }
+}

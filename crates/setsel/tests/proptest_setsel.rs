@@ -1,0 +1,115 @@
+//! Property-based tests for constrained set selection.
+//!
+//! The invariants mirror the guarantees the EDBT 2018 algorithms are designed
+//! around: feasibility implies every run (offline or online, any arrival
+//! order) returns exactly `k` items satisfying all floors and ceilings, and
+//! no online strategy ever beats the offline optimum.
+
+use proptest::prelude::*;
+use rf_setsel::{
+    offline_select, Candidate, ConstraintSet, GroupConstraint, OnlineSelector, OnlineStrategy,
+};
+
+const CATEGORIES: [&str; 3] = ["a", "b", "c"];
+
+/// A random candidate pool over up to three categories.
+fn candidate_pool() -> impl Strategy<Value = Vec<Candidate>> {
+    prop::collection::vec((0usize..3, 0.0f64..100.0), 6..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(index, (cat, utility))| {
+                Candidate::new(index, utility, CATEGORIES[cat]).expect("finite utility")
+            })
+            .collect()
+    })
+}
+
+/// Constraints that are feasible for `pool` by construction: every floor is
+/// at most the category's population (capped at 2) and every ceiling at
+/// least the floor.
+fn feasible_constraints(pool: &[Candidate], k: usize) -> ConstraintSet {
+    let count = |cat: &str| pool.iter().filter(|c| c.category == cat).count();
+    let mut constraints = Vec::new();
+    let mut floor_budget = k;
+    for cat in CATEGORIES {
+        let available = count(cat);
+        if available == 0 {
+            continue;
+        }
+        let floor = available.min(2).min(floor_budget);
+        floor_budget -= floor;
+        // A generous ceiling keeps the set feasible while still being a real
+        // constraint for larger categories.
+        let ceiling = (available.max(floor)).min(k.max(floor.max(1)));
+        constraints.push(GroupConstraint::new(cat, floor, ceiling.max(1)).expect("valid bounds"));
+    }
+    ConstraintSet::new(k, constraints).expect("constraints are consistent by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn offline_selection_is_feasible_and_sized(pool in candidate_pool(), k_frac in 0.2f64..0.9) {
+        let k = ((pool.len() as f64 * k_frac) as usize).clamp(1, pool.len());
+        let constraints = feasible_constraints(&pool, k);
+        prop_assume!(constraints.check_feasible(&pool).is_ok());
+        let selection = offline_select(&pool, &constraints).unwrap();
+        prop_assert_eq!(selection.items.len(), k);
+        prop_assert!(constraints.is_satisfied_by(&selection.items));
+        // Total utility equals the sum of the parts.
+        let sum: f64 = selection.items.iter().map(|c| c.utility).sum();
+        prop_assert!((sum - selection.total_utility).abs() < 1e-9);
+        // No candidate is selected twice.
+        let mut indices = selection.indices();
+        indices.sort_unstable();
+        indices.dedup();
+        prop_assert_eq!(indices.len(), k);
+    }
+
+    #[test]
+    fn unconstrained_offline_is_plain_top_k(pool in candidate_pool(), k_frac in 0.1f64..0.9) {
+        let k = ((pool.len() as f64 * k_frac) as usize).clamp(1, pool.len());
+        let constraints = ConstraintSet::unconstrained(k).unwrap();
+        let selection = offline_select(&pool, &constraints).unwrap();
+        let mut utilities: Vec<f64> = pool.iter().map(|c| c.utility).collect();
+        utilities.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let best: f64 = utilities[..k].iter().sum();
+        prop_assert!((selection.total_utility - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_runs_are_feasible_and_never_beat_offline(
+        pool in candidate_pool(),
+        k_frac in 0.2f64..0.8,
+        seed in 0u64..1000,
+        warmup in 0.0f64..0.9,
+    ) {
+        let k = ((pool.len() as f64 * k_frac) as usize).clamp(1, pool.len());
+        let constraints = feasible_constraints(&pool, k);
+        prop_assume!(constraints.check_feasible(&pool).is_ok());
+        let offline = offline_select(&pool, &constraints).unwrap();
+        for strategy in [
+            OnlineStrategy::Greedy,
+            OnlineStrategy::Warmup { warmup_fraction: warmup },
+        ] {
+            let selector = OnlineSelector::new(constraints.clone(), strategy).unwrap();
+            let online = selector.run_shuffled(&pool, seed).unwrap();
+            prop_assert_eq!(online.items.len(), k);
+            prop_assert!(constraints.is_satisfied_by(&online.items));
+            prop_assert!(online.total_utility <= offline.total_utility + 1e-9);
+        }
+    }
+
+    #[test]
+    fn online_is_deterministic_for_a_seed(pool in candidate_pool(), seed in 0u64..500) {
+        let k = (pool.len() / 2).max(1);
+        let constraints = feasible_constraints(&pool, k);
+        prop_assume!(constraints.check_feasible(&pool).is_ok());
+        let selector =
+            OnlineSelector::new(constraints, OnlineStrategy::secretary()).unwrap();
+        let a = selector.run_shuffled(&pool, seed).unwrap();
+        let b = selector.run_shuffled(&pool, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the stability estimators.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-stability`.
+pub type StabilityResult<T> = Result<T, StabilityError>;
+
+/// Errors produced while estimating ranking stability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StabilityError {
+    /// The ranking (or the requested prefix) has too few items for a slope fit.
+    TooFewItems {
+        /// Items available.
+        available: usize,
+        /// Items required.
+        required: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// An underlying table error.
+    Table(rf_table::TableError),
+    /// An underlying ranking error.
+    Ranking(rf_ranking::RankingError),
+    /// An underlying statistics error.
+    Stats(rf_stats::StatsError),
+}
+
+impl fmt::Display for StabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StabilityError::TooFewItems {
+                available,
+                required,
+            } => write!(
+                f,
+                "stability needs at least {required} ranked items, got {available}"
+            ),
+            StabilityError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            StabilityError::Table(err) => write!(f, "table error: {err}"),
+            StabilityError::Ranking(err) => write!(f, "ranking error: {err}"),
+            StabilityError::Stats(err) => write!(f, "statistics error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StabilityError::Table(err) => Some(err),
+            StabilityError::Ranking(err) => Some(err),
+            StabilityError::Stats(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rf_table::TableError> for StabilityError {
+    fn from(err: rf_table::TableError) -> Self {
+        StabilityError::Table(err)
+    }
+}
+
+impl From<rf_ranking::RankingError> for StabilityError {
+    fn from(err: rf_ranking::RankingError) -> Self {
+        StabilityError::Ranking(err)
+    }
+}
+
+impl From<rf_stats::StatsError> for StabilityError {
+    fn from(err: rf_stats::StatsError) -> Self {
+        StabilityError::Stats(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_too_few_items() {
+        let err = StabilityError::TooFewItems {
+            available: 1,
+            required: 2,
+        };
+        assert!(err.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: StabilityError = rf_table::TableError::Empty { operation: "x" }.into();
+        assert!(matches!(e, StabilityError::Table(_)));
+        let e: StabilityError = rf_ranking::RankingError::EmptyRanking.into();
+        assert!(matches!(e, StabilityError::Ranking(_)));
+        let e: StabilityError = rf_stats::StatsError::EmptyInput { operation: "x" }.into();
+        assert!(matches!(e, StabilityError::Stats(_)));
+    }
+}

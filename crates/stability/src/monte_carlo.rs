@@ -1,0 +1,344 @@
+//! Monte-Carlo stability under data noise and weight jitter.
+//!
+//! "...or it can be assessed using a model of uncertainty in the data"
+//! (paper §2.2).  The estimator re-scores and re-ranks the dataset many times
+//! under small random perturbations — Gaussian noise on the scoring
+//! attributes, multiplicative jitter on the weights — and summarizes how much
+//! the ranking moves: expected Kendall tau against the original ranking and
+//! expected overlap of the top-k set.
+
+use crate::error::{StabilityError, StabilityResult};
+use crate::slope::StabilityVerdict;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rf_ranking::{
+    kendall_tau_rankings, perturb_table_gaussian, perturb_weights, Ranking, ScoringFunction,
+};
+use rf_table::Table;
+
+/// Configuration of the Monte-Carlo stability estimator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonteCarloStability {
+    /// Number of perturbed re-rankings.
+    pub trials: usize,
+    /// Gaussian noise on data values, as a fraction of each column's standard
+    /// deviation.
+    pub data_noise: f64,
+    /// Multiplicative jitter on scoring weights.
+    pub weight_noise: f64,
+    /// Top-k slice whose overlap is tracked.
+    pub k: usize,
+    /// Expected-Kendall-tau threshold below which the ranking is called
+    /// unstable.
+    pub tau_threshold: f64,
+    /// RNG seed (the estimator is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloStability {
+    fn default() -> Self {
+        MonteCarloStability {
+            trials: 100,
+            data_noise: 0.05,
+            weight_noise: 0.05,
+            k: 10,
+            tau_threshold: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+/// Summary of a Monte-Carlo stability run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonteCarloSummary {
+    /// Number of perturbed re-rankings actually performed.
+    pub trials: usize,
+    /// Mean Kendall tau between the original and perturbed rankings.
+    pub expected_kendall_tau: f64,
+    /// Minimum Kendall tau observed over the trials (worst case).
+    pub worst_kendall_tau: f64,
+    /// Mean Jaccard overlap of the top-k sets (1.0 = identical top-k).
+    pub expected_top_k_overlap: f64,
+    /// Fraction of trials in which the rank-1 item changed.
+    pub top_item_change_rate: f64,
+    /// Verdict at the configured tau threshold.
+    pub verdict: StabilityVerdict,
+}
+
+impl MonteCarloStability {
+    /// Creates the estimator with default settings (100 trials, 5% noise).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of trials.
+    ///
+    /// # Errors
+    /// Requires at least one trial.
+    pub fn with_trials(mut self, trials: usize) -> StabilityResult<Self> {
+        if trials == 0 {
+            return Err(StabilityError::InvalidParameter {
+                parameter: "trials",
+                message: "at least one trial is required".to_string(),
+            });
+        }
+        self.trials = trials;
+        Ok(self)
+    }
+
+    /// Sets the noise magnitudes (data, weight), both as fractions.
+    ///
+    /// # Errors
+    /// Requires non-negative finite fractions.
+    pub fn with_noise(mut self, data_noise: f64, weight_noise: f64) -> StabilityResult<Self> {
+        for (name, value) in [("data_noise", data_noise), ("weight_noise", weight_noise)] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(StabilityError::InvalidParameter {
+                    parameter: if name == "data_noise" {
+                        "data_noise"
+                    } else {
+                        "weight_noise"
+                    },
+                    message: format!("noise fraction must be non-negative and finite, got {value}"),
+                });
+            }
+        }
+        self.data_noise = data_noise;
+        self.weight_noise = weight_noise;
+        Ok(self)
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the audited top-k size.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Runs the estimator: repeatedly perturbs `table` and `scoring`, re-ranks,
+    /// and compares against the original `ranking`.
+    ///
+    /// # Errors
+    /// Propagates scoring errors; requires a ranking of at least two items.
+    pub fn evaluate(
+        &self,
+        table: &Table,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+    ) -> StabilityResult<MonteCarloSummary> {
+        if ranking.len() < 2 {
+            return Err(StabilityError::TooFewItems {
+                available: ranking.len(),
+                required: 2,
+            });
+        }
+        if self.trials == 0 {
+            return Err(StabilityError::InvalidParameter {
+                parameter: "trials",
+                message: "at least one trial is required".to_string(),
+            });
+        }
+        let k = self.k.clamp(1, ranking.len());
+        let scoring_attributes: Vec<&str> = scoring.attribute_names();
+        let original_top_k: Vec<usize> = ranking.top_k_indices(k);
+        let original_top_item = ranking.order()[0];
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut taus = Vec::with_capacity(self.trials);
+        let mut overlaps = Vec::with_capacity(self.trials);
+        let mut top_changes = 0usize;
+
+        for _ in 0..self.trials {
+            let perturbed_table = if self.data_noise > 0.0 {
+                perturb_table_gaussian(table, &scoring_attributes, self.data_noise, &mut rng)?
+            } else {
+                table.clone()
+            };
+            let perturbed_scoring = if self.weight_noise > 0.0 {
+                perturb_weights(scoring, self.weight_noise, &mut rng)?
+            } else {
+                scoring.clone()
+            };
+            let perturbed_ranking = perturbed_scoring.rank_table(&perturbed_table)?;
+
+            let tau = kendall_tau_rankings(ranking, &perturbed_ranking).unwrap_or(0.0);
+            taus.push(tau);
+            overlaps.push(jaccard(&original_top_k, &perturbed_ranking.top_k_indices(k)));
+            if perturbed_ranking.order()[0] != original_top_item {
+                top_changes += 1;
+            }
+        }
+
+        let expected_tau = taus.iter().sum::<f64>() / taus.len() as f64;
+        let worst_tau = taus.iter().copied().fold(f64::INFINITY, f64::min);
+        let expected_overlap = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+        let verdict = if expected_tau >= self.tau_threshold {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Unstable
+        };
+
+        Ok(MonteCarloSummary {
+            trials: self.trials,
+            expected_kendall_tau: expected_tau,
+            worst_kendall_tau: worst_tau,
+            expected_top_k_overlap: expected_overlap,
+            top_item_change_rate: top_changes as f64 / self.trials as f64,
+            verdict,
+        })
+    }
+}
+
+/// Jaccard similarity of two index sets.
+fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let set_a: std::collections::HashSet<usize> = a.iter().copied().collect();
+    let set_b: std::collections::HashSet<usize> = b.iter().copied().collect();
+    let intersection = set_a.intersection(&set_b).count() as f64;
+    let union = set_a.union(&set_b).count() as f64;
+    intersection / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_table::Column;
+
+    /// Table whose scores are widely spread: robust to small noise.
+    fn spread_table(n: usize) -> Table {
+        Table::from_columns(vec![(
+            "x",
+            Column::from_f64((0..n).map(|i| i as f64 * 10.0).collect()),
+        )])
+        .unwrap()
+    }
+
+    /// Table whose scores are nearly tied: fragile under noise.
+    fn clustered_table(n: usize) -> Table {
+        Table::from_columns(vec![(
+            "x",
+            Column::from_f64((0..n).map(|i| 100.0 + 1e-4 * i as f64).collect()),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn spread_scores_are_stable_under_noise() {
+        let t = spread_table(30);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let summary = MonteCarloStability::new()
+            .with_trials(50)
+            .unwrap()
+            .with_noise(0.01, 0.01)
+            .unwrap()
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert_eq!(summary.verdict, StabilityVerdict::Stable);
+        assert!(summary.expected_kendall_tau > 0.95);
+        assert!(summary.expected_top_k_overlap > 0.9);
+        assert!(summary.top_item_change_rate < 0.1);
+    }
+
+    #[test]
+    fn clustered_scores_are_unstable_under_noise() {
+        let t = clustered_table(30);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let summary = MonteCarloStability::new()
+            .with_trials(50)
+            .unwrap()
+            .with_noise(5.0, 0.0)
+            .unwrap()
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert_eq!(summary.verdict, StabilityVerdict::Unstable);
+        assert!(summary.expected_kendall_tau < 0.5);
+        assert!(summary.expected_top_k_overlap < 0.9);
+    }
+
+    #[test]
+    fn zero_noise_reproduces_original_ranking() {
+        let t = spread_table(20);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let summary = MonteCarloStability::new()
+            .with_trials(5)
+            .unwrap()
+            .with_noise(0.0, 0.0)
+            .unwrap()
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert!((summary.expected_kendall_tau - 1.0).abs() < 1e-12);
+        assert!((summary.expected_top_k_overlap - 1.0).abs() < 1e-12);
+        assert_eq!(summary.top_item_change_rate, 0.0);
+        assert_eq!(summary.worst_kendall_tau, 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t = spread_table(25);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(20)
+            .unwrap()
+            .with_seed(7);
+        let s1 = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        let s2 = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        assert_eq!(s1, s2);
+        // A different seed generally gives a (slightly) different estimate.
+        let s3 = MonteCarloStability::new()
+            .with_trials(20)
+            .unwrap()
+            .with_seed(8)
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert_eq!(s3.trials, 20);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(MonteCarloStability::new().with_trials(0).is_err());
+        assert!(MonteCarloStability::new().with_noise(-0.1, 0.0).is_err());
+        assert!(MonteCarloStability::new().with_noise(0.1, f64::NAN).is_err());
+        let t = spread_table(5);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let tiny = Ranking::from_scores(&[1.0]).unwrap();
+        assert!(MonteCarloStability::new()
+            .evaluate(&t, &scoring, &tiny)
+            .is_err());
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn k_is_clamped_to_ranking_size() {
+        let t = spread_table(5);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let summary = MonteCarloStability::new()
+            .with_trials(3)
+            .unwrap()
+            .with_k(100)
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert!(summary.expected_top_k_overlap > 0.0);
+    }
+}

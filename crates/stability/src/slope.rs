@@ -1,0 +1,318 @@
+//! Slope-based stability — the estimator shown in Figure 2 of the paper.
+//!
+//! "The stability of the ranking is quantified as the slope of the line that
+//! is fit to the score distribution, at the top-10 and over-all.  A score
+//! distribution is unstable if scores of items in adjacent ranks are close to
+//! each other, and so a very small change in scores will lead to a change in
+//! the ranking.  In this example the score distribution is considered
+//! unstable if the slope is 0.25 or lower." (paper §2.2)
+//!
+//! The fit regresses the score against the **normalized rank position**
+//! (`0` for rank 1, `1` for the last rank of the slice), so the magnitude of
+//! the slope equals the total score spread a straight-line fit attributes to
+//! the slice.  With min-max-normalized scores in `[0, 1]` this makes the
+//! paper's 0.25 threshold directly meaningful: a slice whose fitted scores
+//! span less than a quarter of the score range is called unstable.
+
+use crate::error::{StabilityError, StabilityResult};
+use rf_ranking::Ranking;
+use rf_stats::LinearFit;
+
+/// Default slope threshold below which a score distribution is called
+/// unstable (the value used in the paper's example).
+pub const DEFAULT_SLOPE_THRESHOLD: f64 = 0.25;
+
+/// Stable / unstable verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StabilityVerdict {
+    /// The score distribution has enough spread for the ranking to be robust.
+    Stable,
+    /// Scores of adjacent ranks are so close that tiny changes reorder them.
+    Unstable,
+}
+
+impl StabilityVerdict {
+    /// Label used by the rendered widget.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StabilityVerdict::Stable => "stable",
+            StabilityVerdict::Unstable => "unstable",
+        }
+    }
+
+    /// Builds a verdict by comparing a slope magnitude against a threshold.
+    #[must_use]
+    pub fn from_slope(slope_magnitude: f64, threshold: f64) -> Self {
+        if slope_magnitude > threshold {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Unstable
+        }
+    }
+}
+
+/// Slope statistics of one slice (top-k or over-all) of the score distribution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SliceSlope {
+    /// Number of items in the slice.
+    pub items: usize,
+    /// Magnitude of the fitted slope (score units across the whole slice).
+    pub slope_magnitude: f64,
+    /// Raw (signed) slope of the fit; negative because scores decrease with rank.
+    pub raw_slope: f64,
+    /// Intercept of the fit (the fitted score at rank 1).
+    pub intercept: f64,
+    /// R² of the fit.
+    pub r_squared: f64,
+    /// Verdict at the configured threshold.
+    pub verdict: StabilityVerdict,
+}
+
+/// The Stability widget's content: slope analysis at the top-k and over-all.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SlopeStability {
+    /// Top-k slice analysed (the paper uses k = 10).
+    pub k: usize,
+    /// Threshold used for the stable/unstable call.
+    pub threshold: f64,
+    /// Slope statistics of the top-k slice.
+    pub top_k: SliceSlope,
+    /// Slope statistics of the whole ranking.
+    pub overall: SliceSlope,
+}
+
+impl SlopeStability {
+    /// Overall verdict reported by the summary widget: the ranking is called
+    /// stable only when both the top-k and the over-all score distributions
+    /// are stable.
+    #[must_use]
+    pub fn verdict(&self) -> StabilityVerdict {
+        if self.top_k.verdict == StabilityVerdict::Stable
+            && self.overall.verdict == StabilityVerdict::Stable
+        {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Unstable
+        }
+    }
+
+    /// The single stability score shown by the overview widget: the smaller of
+    /// the two slope magnitudes (the weakest link).
+    #[must_use]
+    pub fn stability_score(&self) -> f64 {
+        self.top_k.slope_magnitude.min(self.overall.slope_magnitude)
+    }
+
+    /// Computes slope stability of `ranking` at prefix `k` with the default
+    /// threshold.
+    ///
+    /// # Errors
+    /// Requires at least two ranked items and `2 <= k`.
+    pub fn evaluate(ranking: &Ranking, k: usize) -> StabilityResult<Self> {
+        Self::evaluate_with_threshold(ranking, k, DEFAULT_SLOPE_THRESHOLD)
+    }
+
+    /// Computes slope stability with an explicit threshold.
+    ///
+    /// # Errors
+    /// Requires at least two ranked items, `2 <= k`, and a positive finite
+    /// threshold.
+    pub fn evaluate_with_threshold(
+        ranking: &Ranking,
+        k: usize,
+        threshold: f64,
+    ) -> StabilityResult<Self> {
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(StabilityError::InvalidParameter {
+                parameter: "threshold",
+                message: format!("threshold must be positive and finite, got {threshold}"),
+            });
+        }
+        let scores = ranking.scores_in_rank_order();
+        if scores.len() < 2 {
+            return Err(StabilityError::TooFewItems {
+                available: scores.len(),
+                required: 2,
+            });
+        }
+        let k = k.min(scores.len());
+        if k < 2 {
+            return Err(StabilityError::TooFewItems {
+                available: k,
+                required: 2,
+            });
+        }
+        let top_k = slice_slope(&scores[..k], threshold)?;
+        let overall = slice_slope(&scores, threshold)?;
+        Ok(SlopeStability {
+            k,
+            threshold,
+            top_k,
+            overall,
+        })
+    }
+}
+
+/// Fits `score ~ normalized rank` for one slice and derives its verdict.
+fn slice_slope(scores_in_rank_order: &[f64], threshold: f64) -> StabilityResult<SliceSlope> {
+    let n = scores_in_rank_order.len();
+    debug_assert!(n >= 2);
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+    let fit = match LinearFit::fit(&x, scores_in_rank_order) {
+        Ok(fit) => fit,
+        // A perfectly constant x cannot happen (n >= 2 distinct positions),
+        // but constant scores produce slope 0 through the normal path.
+        Err(err) => return Err(StabilityError::Stats(err)),
+    };
+    let slope_magnitude = fit.slope.abs();
+    Ok(SliceSlope {
+        items: n,
+        slope_magnitude,
+        raw_slope: fit.slope,
+        intercept: fit.intercept,
+        r_squared: fit.r_squared,
+        verdict: StabilityVerdict::from_slope(slope_magnitude, threshold),
+    })
+}
+
+/// Convenience: the slope magnitude of a score distribution given in rank
+/// order (best first), fitted against normalized rank.
+///
+/// # Errors
+/// Requires at least two scores.
+pub fn score_distribution_slope(scores_in_rank_order: &[f64]) -> StabilityResult<f64> {
+    if scores_in_rank_order.len() < 2 {
+        return Err(StabilityError::TooFewItems {
+            available: scores_in_rank_order.len(),
+            required: 2,
+        });
+    }
+    slice_slope(scores_in_rank_order, DEFAULT_SLOPE_THRESHOLD).map(|s| s.slope_magnitude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking_from_scores(scores: &[f64]) -> Ranking {
+        Ranking::from_scores(scores).unwrap()
+    }
+
+    #[test]
+    fn verdict_threshold_logic() {
+        assert_eq!(
+            StabilityVerdict::from_slope(0.3, 0.25),
+            StabilityVerdict::Stable
+        );
+        assert_eq!(
+            StabilityVerdict::from_slope(0.25, 0.25),
+            StabilityVerdict::Unstable
+        );
+        assert_eq!(StabilityVerdict::Stable.as_str(), "stable");
+        assert_eq!(StabilityVerdict::Unstable.as_str(), "unstable");
+    }
+
+    #[test]
+    fn spread_scores_are_stable() {
+        // Scores spread evenly from 1.0 down to 0.0: slope magnitude 1.0.
+        let scores: Vec<f64> = (0..20).map(|i| 1.0 - i as f64 / 19.0).collect();
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert_eq!(s.verdict(), StabilityVerdict::Stable);
+        assert!((s.overall.slope_magnitude - 1.0).abs() < 1e-9);
+        assert!(s.stability_score() > 0.25);
+        assert!(s.top_k.r_squared > 0.99);
+    }
+
+    #[test]
+    fn clustered_scores_are_unstable() {
+        // All scores within 0.01 of each other: tiny slope.
+        let scores: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * (i as f64 / 19.0)).collect();
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert_eq!(s.verdict(), StabilityVerdict::Unstable);
+        assert!(s.stability_score() < 0.25);
+    }
+
+    #[test]
+    fn top_k_can_differ_from_overall() {
+        // Top 10 scores tightly clustered near 1.0, the rest spread widely:
+        // the top-10 is unstable, over-all is stable.
+        let mut scores: Vec<f64> = (0..10).map(|i| 0.99 - 0.001 * i as f64).collect();
+        scores.extend((0..40).map(|i| 0.9 - i as f64 * 0.02));
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert_eq!(s.top_k.verdict, StabilityVerdict::Unstable);
+        assert_eq!(s.overall.verdict, StabilityVerdict::Stable);
+        // The summary verdict is the conservative one.
+        assert_eq!(s.verdict(), StabilityVerdict::Unstable);
+        assert_eq!(s.stability_score(), s.top_k.slope_magnitude);
+    }
+
+    #[test]
+    fn constant_scores_have_zero_slope() {
+        let scores = vec![0.5; 12];
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert_eq!(s.overall.slope_magnitude, 0.0);
+        assert_eq!(s.verdict(), StabilityVerdict::Unstable);
+    }
+
+    #[test]
+    fn k_larger_than_ranking_is_clamped() {
+        let scores = vec![0.9, 0.5, 0.1];
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert_eq!(s.k, 3);
+        assert_eq!(s.top_k.items, 3);
+    }
+
+    #[test]
+    fn too_few_items_is_error() {
+        let ranking = ranking_from_scores(&[1.0]);
+        assert!(matches!(
+            SlopeStability::evaluate(&ranking, 10),
+            Err(StabilityError::TooFewItems { .. })
+        ));
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let ranking = ranking_from_scores(&[1.0, 0.5, 0.0]);
+        assert!(SlopeStability::evaluate_with_threshold(&ranking, 3, 0.0).is_err());
+        assert!(SlopeStability::evaluate_with_threshold(&ranking, 3, f64::NAN).is_err());
+        assert!(SlopeStability::evaluate_with_threshold(&ranking, 3, 0.5).is_ok());
+    }
+
+    #[test]
+    fn custom_threshold_changes_verdict() {
+        let scores: Vec<f64> = (0..10).map(|i| 0.5 - 0.01 * i as f64).collect();
+        let ranking = ranking_from_scores(&scores);
+        let strict = SlopeStability::evaluate_with_threshold(&ranking, 10, 0.25).unwrap();
+        let lenient = SlopeStability::evaluate_with_threshold(&ranking, 10, 0.01).unwrap();
+        assert_eq!(strict.verdict(), StabilityVerdict::Unstable);
+        assert_eq!(lenient.verdict(), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn slope_helper_matches_struct() {
+        let scores: Vec<f64> = (0..15).map(|i| 1.0 - i as f64 * 0.05).collect();
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 15).unwrap();
+        let direct = score_distribution_slope(&ranking.scores_in_rank_order()).unwrap();
+        assert!((s.overall.slope_magnitude - direct).abs() < 1e-12);
+        assert!(score_distribution_slope(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn raw_slope_is_negative_for_decreasing_scores() {
+        let scores: Vec<f64> = (0..10).map(|i| 1.0 - i as f64 * 0.1).collect();
+        let ranking = ranking_from_scores(&scores);
+        let s = SlopeStability::evaluate(&ranking, 10).unwrap();
+        assert!(s.overall.raw_slope < 0.0);
+        assert!(s.overall.slope_magnitude > 0.0);
+        // The intercept approximates the top score.
+        assert!((s.overall.intercept - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,160 @@
+//! Error type shared by every statistical routine in this crate.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-stats`.
+pub type StatsResult<T> = Result<T, StatsError>;
+
+/// Errors produced by statistical routines.
+///
+/// The routines in this crate are used deep inside the nutritional-label
+/// pipeline, so errors carry enough context to be surfaced directly in a
+/// widget (e.g. "cannot compute stability slope: fewer than two data points").
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty but the computation needs at least one value.
+    EmptyInput {
+        /// Name of the operation that failed.
+        operation: &'static str,
+    },
+    /// The computation requires more observations than were provided.
+    InsufficientData {
+        /// Name of the operation that failed.
+        operation: &'static str,
+        /// Number of observations required.
+        required: usize,
+        /// Number of observations provided.
+        actual: usize,
+    },
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Name of the operation that failed.
+        operation: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. probability not in [0, 1]).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The input contained a NaN or infinite value where a finite value is required.
+    NonFiniteInput {
+        /// Name of the operation that failed.
+        operation: &'static str,
+    },
+    /// A linear system had no unique solution (singular / ill-conditioned matrix).
+    SingularMatrix {
+        /// Name of the operation that failed.
+        operation: &'static str,
+    },
+    /// The variance of an input was zero where a non-degenerate spread is required.
+    ZeroVariance {
+        /// Name of the operation that failed.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { operation } => {
+                write!(f, "{operation}: input is empty")
+            }
+            StatsError::InsufficientData {
+                operation,
+                required,
+                actual,
+            } => write!(
+                f,
+                "{operation}: requires at least {required} observations, got {actual}"
+            ),
+            StatsError::LengthMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "{operation}: paired inputs have different lengths ({left} vs {right})"
+            ),
+            StatsError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            StatsError::NonFiniteInput { operation } => {
+                write!(f, "{operation}: input contains NaN or infinite values")
+            }
+            StatsError::SingularMatrix { operation } => {
+                write!(f, "{operation}: matrix is singular or ill-conditioned")
+            }
+            StatsError::ZeroVariance { operation } => {
+                write!(f, "{operation}: input has zero variance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_input() {
+        let err = StatsError::EmptyInput { operation: "mean" };
+        assert_eq!(err.to_string(), "mean: input is empty");
+    }
+
+    #[test]
+    fn display_insufficient_data() {
+        let err = StatsError::InsufficientData {
+            operation: "pearson",
+            required: 2,
+            actual: 1,
+        };
+        assert!(err.to_string().contains("at least 2"));
+        assert!(err.to_string().contains("got 1"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = StatsError::LengthMismatch {
+            operation: "pearson",
+            left: 3,
+            right: 5,
+        };
+        assert!(err.to_string().contains("3 vs 5"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = StatsError::InvalidParameter {
+            parameter: "p",
+            message: "must lie in [0, 1]".to_string(),
+        };
+        assert!(err.to_string().contains('p'));
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&StatsError::EmptyInput { operation: "x" });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StatsError::ZeroVariance { operation: "corr" },
+            StatsError::ZeroVariance { operation: "corr" }
+        );
+        assert_ne!(
+            StatsError::ZeroVariance { operation: "corr" },
+            StatsError::NonFiniteInput { operation: "corr" }
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Hypothesis tests behind the fair/unfair verdicts.
+//!
+//! "All these measures are statistical tests, and whether a result is fair is
+//! determined by the computed p-value" (paper §2.3).  The three fairness
+//! widgets map onto the tests implemented here:
+//!
+//! * **FA*IR** uses the binomial test ([`binomial_test`]) on the number of
+//!   protected candidates in ranking prefixes.
+//! * **Proportion** compares the share of the protected group in the top-k
+//!   against its share in the full population with a two-proportion z-test
+//!   ([`two_proportion_z_test`]).
+//! * **Pairwise** tests whether the probability that a protected item beats a
+//!   non-protected item differs from 1/2 with a one-proportion z-test
+//!   ([`one_proportion_z_test`]).
+
+use crate::distributions::{binomial_pmf, normal_cdf};
+use crate::error::{StatsError, StatsResult};
+
+/// Which tail(s) of the null distribution count as evidence against the null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Alternative {
+    /// The statistic is smaller than expected under the null.
+    Less,
+    /// The statistic is larger than expected under the null.
+    Greater,
+    /// The statistic differs from the null in either direction.
+    TwoSided,
+}
+
+impl Alternative {
+    /// Human-readable name used in rendered labels.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Alternative::Less => "less",
+            Alternative::Greater => "greater",
+            Alternative::TwoSided => "two-sided",
+        }
+    }
+}
+
+/// Outcome of a hypothesis test: the observed statistic, its p-value, and the
+/// decision at the significance level the caller supplied.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TestResult {
+    /// Name of the test (e.g. `"two-proportion z-test"`).
+    pub name: &'static str,
+    /// Observed test statistic (z value, or observed count for exact tests).
+    pub statistic: f64,
+    /// p-value of the test under the stated alternative.
+    pub p_value: f64,
+    /// Alternative hypothesis used.
+    pub alternative: Alternative,
+    /// Significance level the decision was made at.
+    pub alpha: f64,
+    /// `true` when the null hypothesis is rejected at level `alpha`.
+    pub reject_null: bool,
+}
+
+impl TestResult {
+    fn new(
+        name: &'static str,
+        statistic: f64,
+        p_value: f64,
+        alternative: Alternative,
+        alpha: f64,
+    ) -> Self {
+        TestResult {
+            name,
+            statistic,
+            p_value,
+            alternative,
+            alpha,
+            reject_null: p_value < alpha,
+        }
+    }
+}
+
+/// One-sample proportion z-test.
+///
+/// Tests `H0: p = p0` against the given alternative using the normal
+/// approximation `z = (p̂ − p0) / sqrt(p0 (1 − p0) / n)`.
+///
+/// # Errors
+/// Returns an error when `n == 0`, `successes > n`, `p0 ∉ (0, 1)`, or
+/// `alpha ∉ (0, 1)`.
+pub fn one_proportion_z_test(
+    successes: u64,
+    n: u64,
+    p0: f64,
+    alternative: Alternative,
+    alpha: f64,
+) -> StatsResult<TestResult> {
+    validate_alpha(alpha)?;
+    if n == 0 {
+        return Err(StatsError::EmptyInput {
+            operation: "one_proportion_z_test",
+        });
+    }
+    if successes > n {
+        return Err(StatsError::InvalidParameter {
+            parameter: "successes",
+            message: format!("successes ({successes}) must not exceed n ({n})"),
+        });
+    }
+    if !(p0 > 0.0 && p0 < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "p0",
+            message: format!("null proportion must lie strictly in (0, 1), got {p0}"),
+        });
+    }
+    let p_hat = successes as f64 / n as f64;
+    let se = (p0 * (1.0 - p0) / n as f64).sqrt();
+    let z = (p_hat - p0) / se;
+    let p_value = p_value_from_z(z, alternative);
+    Ok(TestResult::new(
+        "one-proportion z-test",
+        z,
+        p_value,
+        alternative,
+        alpha,
+    ))
+}
+
+/// Two-sample proportion z-test with a pooled standard error.
+///
+/// Tests `H0: p1 = p2`.  In the Fairness widget, sample 1 is the top-k and
+/// sample 2 is the full dataset, and the protected feature's share is compared
+/// between the two.
+///
+/// # Errors
+/// Returns an error when either sample is empty, a success count exceeds its
+/// sample size, `alpha ∉ (0, 1)`, or the pooled proportion is degenerate
+/// (0 or 1, which makes the z statistic undefined).
+pub fn two_proportion_z_test(
+    successes1: u64,
+    n1: u64,
+    successes2: u64,
+    n2: u64,
+    alternative: Alternative,
+    alpha: f64,
+) -> StatsResult<TestResult> {
+    validate_alpha(alpha)?;
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::EmptyInput {
+            operation: "two_proportion_z_test",
+        });
+    }
+    if successes1 > n1 || successes2 > n2 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "successes",
+            message: "success count exceeds sample size".to_string(),
+        });
+    }
+    let p1 = successes1 as f64 / n1 as f64;
+    let p2 = successes2 as f64 / n2 as f64;
+    let pooled = (successes1 + successes2) as f64 / (n1 + n2) as f64;
+    if pooled <= 0.0 || pooled >= 1.0 {
+        return Err(StatsError::ZeroVariance {
+            operation: "two_proportion_z_test",
+        });
+    }
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    let z = (p1 - p2) / se;
+    let p_value = p_value_from_z(z, alternative);
+    Ok(TestResult::new(
+        "two-proportion z-test",
+        z,
+        p_value,
+        alternative,
+        alpha,
+    ))
+}
+
+/// Exact binomial test of `H0: p = p0` for `successes` successes out of `n`
+/// trials.
+///
+/// For `Alternative::TwoSided` the p-value sums the probabilities of all
+/// outcomes no more likely than the observed one (the standard "small-p"
+/// definition, matching `scipy.stats.binomtest`).
+///
+/// # Errors
+/// Returns an error when `successes > n`, `p0 ∉ [0, 1]`, `n == 0`, or
+/// `alpha ∉ (0, 1)`.
+pub fn binomial_test(
+    successes: u64,
+    n: u64,
+    p0: f64,
+    alternative: Alternative,
+    alpha: f64,
+) -> StatsResult<TestResult> {
+    validate_alpha(alpha)?;
+    if n == 0 {
+        return Err(StatsError::EmptyInput {
+            operation: "binomial_test",
+        });
+    }
+    if successes > n {
+        return Err(StatsError::InvalidParameter {
+            parameter: "successes",
+            message: format!("successes ({successes}) must not exceed n ({n})"),
+        });
+    }
+    let p_value = match alternative {
+        Alternative::Less => {
+            let mut acc = 0.0;
+            for k in 0..=successes {
+                acc += binomial_pmf(k, n, p0)?;
+            }
+            acc.min(1.0)
+        }
+        Alternative::Greater => {
+            let mut acc = 0.0;
+            for k in successes..=n {
+                acc += binomial_pmf(k, n, p0)?;
+            }
+            acc.min(1.0)
+        }
+        Alternative::TwoSided => {
+            let observed = binomial_pmf(successes, n, p0)?;
+            // Sum all outcomes with probability <= observed (with a small
+            // tolerance to absorb floating-point noise).
+            let mut acc = 0.0;
+            for k in 0..=n {
+                let pk = binomial_pmf(k, n, p0)?;
+                if pk <= observed * (1.0 + 1e-7) {
+                    acc += pk;
+                }
+            }
+            acc.min(1.0)
+        }
+    };
+    Ok(TestResult::new(
+        "exact binomial test",
+        successes as f64,
+        p_value,
+        alternative,
+        alpha,
+    ))
+}
+
+/// Converts a z statistic into a p-value for the requested alternative.
+fn p_value_from_z(z: f64, alternative: Alternative) -> f64 {
+    match alternative {
+        Alternative::Less => normal_cdf(z),
+        Alternative::Greater => 1.0 - normal_cdf(z),
+        Alternative::TwoSided => 2.0 * (1.0 - normal_cdf(z.abs())),
+    }
+    .clamp(0.0, 1.0)
+}
+
+fn validate_alpha(alpha: f64) -> StatsResult<()> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "alpha",
+            message: format!("significance level must lie strictly in (0, 1), got {alpha}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn alternative_names() {
+        assert_eq!(Alternative::Less.as_str(), "less");
+        assert_eq!(Alternative::Greater.as_str(), "greater");
+        assert_eq!(Alternative::TwoSided.as_str(), "two-sided");
+    }
+
+    #[test]
+    fn one_proportion_null_is_not_rejected() {
+        // 50 of 100 at p0 = 0.5 → z = 0, p = 1 (two-sided).
+        let r = one_proportion_z_test(50, 100, 0.5, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.statistic, 0.0, 1e-12);
+        assert_close(r.p_value, 1.0, 1e-6);
+        assert!(!r.reject_null);
+    }
+
+    #[test]
+    fn one_proportion_strong_deviation_is_rejected() {
+        // 10 of 100 at p0 = 0.5 → z = -8, overwhelmingly significant.
+        let r = one_proportion_z_test(10, 100, 0.5, Alternative::Less, 0.05).unwrap();
+        assert!(r.statistic < -7.0);
+        assert!(r.p_value < 1e-10);
+        assert!(r.reject_null);
+    }
+
+    #[test]
+    fn one_proportion_greater_tail() {
+        let r = one_proportion_z_test(90, 100, 0.5, Alternative::Greater, 0.05).unwrap();
+        assert!(r.statistic > 7.0);
+        assert!(r.reject_null);
+        // The "less" alternative should NOT be rejected for the same data.
+        let r2 = one_proportion_z_test(90, 100, 0.5, Alternative::Less, 0.05).unwrap();
+        assert!(!r2.reject_null);
+    }
+
+    #[test]
+    fn one_proportion_z_matches_hand_computation() {
+        // p_hat = 0.4, p0 = 0.5, n = 100: z = (0.4-0.5)/sqrt(0.25/100) = -2.
+        let r = one_proportion_z_test(40, 100, 0.5, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.statistic, -2.0, 1e-12);
+        assert_close(r.p_value, 0.0455, 2e-4);
+        assert!(r.reject_null);
+    }
+
+    #[test]
+    fn one_proportion_invalid_inputs() {
+        assert!(one_proportion_z_test(5, 0, 0.5, Alternative::Less, 0.05).is_err());
+        assert!(one_proportion_z_test(11, 10, 0.5, Alternative::Less, 0.05).is_err());
+        assert!(one_proportion_z_test(5, 10, 0.0, Alternative::Less, 0.05).is_err());
+        assert!(one_proportion_z_test(5, 10, 0.5, Alternative::Less, 1.5).is_err());
+    }
+
+    #[test]
+    fn two_proportion_equal_proportions_not_rejected() {
+        let r = two_proportion_z_test(30, 100, 300, 1000, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.statistic, 0.0, 1e-12);
+        assert!(!r.reject_null);
+    }
+
+    #[test]
+    fn two_proportion_detects_underrepresentation() {
+        // Top-k has 1/10 protected; population has 500/1000.
+        let r = two_proportion_z_test(1, 10, 500, 1000, Alternative::TwoSided, 0.05).unwrap();
+        assert!(r.statistic < -2.0);
+        assert!(r.reject_null);
+    }
+
+    #[test]
+    fn two_proportion_known_value() {
+        // p1 = 0.6 (60/100), p2 = 0.5 (50/100), pooled = 0.55.
+        // se = sqrt(0.55*0.45*(0.02)) ≈ 0.070356, z ≈ 1.4213.
+        let r = two_proportion_z_test(60, 100, 50, 100, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.statistic, 1.4213, 1e-3);
+        assert!(!r.reject_null);
+    }
+
+    #[test]
+    fn two_proportion_degenerate_pooled_is_error() {
+        assert!(matches!(
+            two_proportion_z_test(0, 10, 0, 10, Alternative::TwoSided, 0.05),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+        assert!(matches!(
+            two_proportion_z_test(10, 10, 10, 10, Alternative::TwoSided, 0.05),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+    }
+
+    #[test]
+    fn two_proportion_empty_sample_is_error() {
+        assert!(two_proportion_z_test(0, 0, 5, 10, Alternative::Less, 0.05).is_err());
+    }
+
+    #[test]
+    fn binomial_test_less_tail_matches_cdf() {
+        // P[X <= 2] for Binomial(10, 0.5) = (1+10+45)/1024.
+        let r = binomial_test(2, 10, 0.5, Alternative::Less, 0.05).unwrap();
+        assert_close(r.p_value, 56.0 / 1024.0, 1e-12);
+        assert!(!r.reject_null);
+    }
+
+    #[test]
+    fn binomial_test_greater_tail() {
+        // P[X >= 9] for Binomial(10, 0.5) = 11/1024 ≈ 0.0107.
+        let r = binomial_test(9, 10, 0.5, Alternative::Greater, 0.05).unwrap();
+        assert_close(r.p_value, 11.0 / 1024.0, 1e-12);
+        assert!(r.reject_null);
+    }
+
+    #[test]
+    fn binomial_test_two_sided_symmetric_case() {
+        // Symmetric p0 = 0.5: two-sided p-value for k=2,n=10 doubles the tail.
+        let r = binomial_test(2, 10, 0.5, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.p_value, 2.0 * 56.0 / 1024.0, 1e-9);
+    }
+
+    #[test]
+    fn binomial_test_observed_equal_expected_p_value_one() {
+        let r = binomial_test(5, 10, 0.5, Alternative::TwoSided, 0.05).unwrap();
+        assert_close(r.p_value, 1.0, 1e-9);
+        assert!(!r.reject_null);
+    }
+
+    #[test]
+    fn binomial_test_rejects_bad_input() {
+        assert!(binomial_test(11, 10, 0.5, Alternative::Less, 0.05).is_err());
+        assert!(binomial_test(5, 10, 1.5, Alternative::Less, 0.05).is_err());
+        assert!(binomial_test(5, 0, 0.5, Alternative::Less, 0.05).is_err());
+    }
+
+    #[test]
+    fn p_values_always_in_unit_interval() {
+        for succ in 0..=20u64 {
+            for &alt in &[Alternative::Less, Alternative::Greater, Alternative::TwoSided] {
+                let r = binomial_test(succ, 20, 0.3, alt, 0.05).unwrap();
+                assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
+                let r = one_proportion_z_test(succ, 20, 0.3, alt, 0.05).unwrap();
+                assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
+            }
+        }
+    }
+}

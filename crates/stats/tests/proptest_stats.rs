@@ -1,0 +1,119 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rf_stats::{
+    binomial_cdf, binomial_pmf, kendall_tau, mean, normal_cdf, normal_quantile, pearson, quantile,
+    spearman, Histogram, LinearFit, Summary,
+};
+
+/// Strategy producing a vector of "reasonable" finite floats.
+fn finite_vec(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6_f64, min_len..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_lies_between_min_and_max(values in finite_vec(1, 64)) {
+        let m = mean(&values).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent(values in finite_vec(2, 64)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in finite_vec(1, 32), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile(&values, lo_q).unwrap();
+        let hi = quantile(&values, hi_q).unwrap();
+        prop_assert!(lo <= hi + 1e-9);
+    }
+
+    #[test]
+    fn pearson_bounded_and_scale_invariant(
+        values in finite_vec(3, 32),
+        scale in 0.1..10.0f64,
+        shift in -100.0..100.0f64,
+    ) {
+        // Build a second series that is not constant.
+        let other: Vec<f64> = values.iter().enumerate().map(|(i, v)| v * 0.5 + i as f64).collect();
+        if let Ok(r) = pearson(&values, &other) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            // Correlation is invariant under positive affine transforms.
+            let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+            if let Ok(r2) = pearson(&transformed, &other) {
+                prop_assert!((r - r2).abs() < 1e-6, "r={} r2={}", r, r2);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_correlations_bounded(values in finite_vec(3, 24)) {
+        let other: Vec<f64> = values.iter().rev().copied().collect();
+        if let Ok(rho) = spearman(&values, &other) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        }
+        if let Ok(tau) = kendall_tau(&values, &other) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&tau));
+        }
+    }
+
+    #[test]
+    fn kendall_of_identical_distinct_series_is_one(mut values in finite_vec(3, 24)) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        if values.len() >= 3 {
+            let tau = kendall_tau(&values, &values).unwrap();
+            prop_assert!((tau - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(values in finite_vec(3, 32)) {
+        // Fit y = values against x = index; the residuals must sum to ~0.
+        let x: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let fit = LinearFit::fit(&x, &values).unwrap();
+        let resid_sum: f64 = x.iter().zip(values.iter())
+            .map(|(&xi, &yi)| yi - fit.predict(xi))
+            .sum();
+        let scale = values.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(resid_sum.abs() / scale < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 0.001..0.999f64) {
+        let x = normal_quantile(p).unwrap();
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_pmf_nonnegative_and_cdf_monotone(n in 1u64..200, p in 0.0..=1.0f64) {
+        let k1 = n / 3;
+        let k2 = 2 * n / 3;
+        let pmf = binomial_pmf(k1, n, p).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&pmf));
+        let c1 = binomial_cdf(k1, n, p).unwrap();
+        let c2 = binomial_cdf(k2, n, p).unwrap();
+        prop_assert!(c1 <= c2 + 1e-9);
+        prop_assert!(binomial_cdf(n, n, p).unwrap() > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(values in finite_vec(1, 128), bins in 1usize..20) {
+        let h = Histogram::build(&values, bins).unwrap();
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), values.len() as u64);
+        let freq_sum: f64 = h.frequencies().iter().sum();
+        prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+    }
+}

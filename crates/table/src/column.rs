@@ -1,0 +1,389 @@
+//! Typed columns with per-value nullability.
+//!
+//! A [`Column`] stores one attribute of the dataset.  Values may be missing
+//! (`None`), mirroring the reality of the paper's demonstration datasets
+//! (the NRC attributes joined onto CS Rankings are not available for every
+//! department).
+
+use crate::error::{TableError, TableResult};
+use crate::schema::ColumnType;
+
+/// A single cell value, used by row-oriented accessors and the CSV layer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// Floating point value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value as an `f64` if it is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a display string; `""` for nulls.
+    #[must_use]
+    pub fn to_display(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Float(v) => format!("{v}"),
+            Value::Int(v) => format!("{v}"),
+            Value::Str(v) => v.clone(),
+            Value::Bool(v) => format!("{v}"),
+        }
+    }
+
+    /// `true` when the value is missing.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// A typed column of values with per-value nullability.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Column {
+    /// Floating point column.
+    Float(Vec<Option<f64>>),
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Creates a float column with no missing values.
+    #[must_use]
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float(values.into_iter().map(Some).collect())
+    }
+
+    /// Creates an integer column with no missing values.
+    #[must_use]
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int(values.into_iter().map(Some).collect())
+    }
+
+    /// Creates a string column with no missing values.
+    #[must_use]
+    pub fn from_strings<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Column::Str(values.into_iter().map(|s| Some(s.into())).collect())
+    }
+
+    /// Creates a boolean column with no missing values.
+    #[must_use]
+    pub fn from_bools(values: Vec<bool>) -> Self {
+        Column::Bool(values.into_iter().map(Some).collect())
+    }
+
+    /// The storage type of the column.
+    #[must_use]
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Float(_) => ColumnType::Float,
+            Column::Int(_) => ColumnType::Int,
+            Column::Str(_) => ColumnType::Str,
+            Column::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Number of values (including nulls).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of missing values.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// The cell at `row` as a [`Value`]. Out-of-bounds rows return `None`.
+    #[must_use]
+    pub fn value(&self, row: usize) -> Option<Value> {
+        if row >= self.len() {
+            return None;
+        }
+        Some(match self {
+            Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Str(v) => v[row].clone().map_or(Value::Null, Value::Str),
+            Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+        })
+    }
+
+    /// Numeric view of the column: every non-null value converted to `f64`,
+    /// in row order, with nulls skipped.  Returns an error for non-numeric
+    /// columns.
+    ///
+    /// # Errors
+    /// [`TableError::TypeMismatch`] when the column is not numeric.
+    pub fn numeric_values(&self, name: &str) -> TableResult<Vec<f64>> {
+        match self {
+            Column::Float(v) => Ok(v.iter().filter_map(|x| *x).collect()),
+            Column::Int(v) => Ok(v.iter().filter_map(|x| x.map(|i| i as f64)).collect()),
+            other => Err(TableError::TypeMismatch {
+                name: name.to_string(),
+                expected: "a numeric column",
+                actual: other.column_type().name(),
+            }),
+        }
+    }
+
+    /// Numeric view aligned with row indices: `Some(f64)` per row, `None`
+    /// where the value is missing.  Returns an error for non-numeric columns.
+    ///
+    /// # Errors
+    /// [`TableError::TypeMismatch`] when the column is not numeric.
+    pub fn numeric_options(&self, name: &str) -> TableResult<Vec<Option<f64>>> {
+        match self {
+            Column::Float(v) => Ok(v.clone()),
+            Column::Int(v) => Ok(v.iter().map(|x| x.map(|i| i as f64)).collect()),
+            other => Err(TableError::TypeMismatch {
+                name: name.to_string(),
+                expected: "a numeric column",
+                actual: other.column_type().name(),
+            }),
+        }
+    }
+
+    /// Categorical view of the column: each row rendered as a string label,
+    /// `None` where missing.  Booleans become `"true"`/`"false"`; integers are
+    /// allowed here because users sometimes encode categories as small ints.
+    /// Float columns are rejected.
+    ///
+    /// # Errors
+    /// [`TableError::TypeMismatch`] when the column is a float column.
+    pub fn categorical_labels(&self, name: &str) -> TableResult<Vec<Option<String>>> {
+        match self {
+            Column::Str(v) => Ok(v.clone()),
+            Column::Bool(v) => Ok(v.iter().map(|x| x.map(|b| b.to_string())).collect()),
+            Column::Int(v) => Ok(v.iter().map(|x| x.map(|i| i.to_string())).collect()),
+            Column::Float(_) => Err(TableError::TypeMismatch {
+                name: name.to_string(),
+                expected: "a categorical column",
+                actual: "float",
+            }),
+        }
+    }
+
+    /// Returns a new column containing only the rows at `indices`
+    /// (in the given order).  Out-of-range indices become nulls.
+    #[must_use]
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Float(v) => {
+                Column::Float(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
+            }
+            Column::Int(v) => {
+                Column::Int(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
+            }
+            Column::Str(v) => Column::Str(
+                indices
+                    .iter()
+                    .map(|&i| v.get(i).cloned().flatten())
+                    .collect(),
+            ),
+            Column::Bool(v) => {
+                Column::Bool(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
+            }
+        }
+    }
+
+    /// Appends a [`Value`] to the column, coercing compatible types
+    /// (ints into float columns).  Used by the CSV reader.
+    ///
+    /// # Errors
+    /// [`TableError::TypeMismatch`] when the value cannot be stored in this column.
+    pub fn push_value(&mut self, name: &str, value: Value) -> TableResult<()> {
+        match (self, value) {
+            (Column::Float(v), Value::Float(x)) => v.push(Some(x)),
+            (Column::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (Column::Str(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (col, val) => {
+                return Err(TableError::TypeMismatch {
+                    name: name.to_string(),
+                    expected: col.column_type().name(),
+                    actual: match val {
+                        Value::Float(_) => "float",
+                        Value::Int(_) => "int",
+                        Value::Str(_) => "str",
+                        Value::Bool(_) => "bool",
+                        Value::Null => "null",
+                    },
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_numeric_conversion() {
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Str("x".to_string()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Bool(true).is_null());
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Null.to_display(), "");
+        assert_eq!(Value::Int(7).to_display(), "7");
+        assert_eq!(Value::Bool(false).to_display(), "false");
+        assert_eq!(Value::Str("NE".to_string()).to_display(), "NE");
+    }
+
+    #[test]
+    fn constructors_and_types() {
+        assert_eq!(Column::from_f64(vec![1.0]).column_type(), ColumnType::Float);
+        assert_eq!(Column::from_i64(vec![1]).column_type(), ColumnType::Int);
+        assert_eq!(
+            Column::from_strings(["a", "b"]).column_type(),
+            ColumnType::Str
+        );
+        assert_eq!(
+            Column::from_bools(vec![true]).column_type(),
+            ColumnType::Bool
+        );
+    }
+
+    #[test]
+    fn len_and_null_count() {
+        let col = Column::Float(vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_empty());
+        assert_eq!(col.null_count(), 1);
+    }
+
+    #[test]
+    fn value_accessor_maps_nulls() {
+        let col = Column::Int(vec![Some(5), None]);
+        assert_eq!(col.value(0), Some(Value::Int(5)));
+        assert_eq!(col.value(1), Some(Value::Null));
+        assert_eq!(col.value(2), None);
+    }
+
+    #[test]
+    fn numeric_values_skips_nulls() {
+        let col = Column::Float(vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(col.numeric_values("x").unwrap(), vec![1.0, 3.0]);
+        let col = Column::Int(vec![Some(2), None]);
+        assert_eq!(col.numeric_values("x").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn numeric_values_rejects_strings() {
+        let col = Column::from_strings(["a"]);
+        assert!(matches!(
+            col.numeric_values("Region"),
+            Err(TableError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_options_preserves_alignment() {
+        let col = Column::Int(vec![Some(2), None, Some(4)]);
+        assert_eq!(
+            col.numeric_options("x").unwrap(),
+            vec![Some(2.0), None, Some(4.0)]
+        );
+    }
+
+    #[test]
+    fn categorical_labels_for_various_types() {
+        let col = Column::from_strings(["NE", "MW"]);
+        assert_eq!(
+            col.categorical_labels("Region").unwrap(),
+            vec![Some("NE".to_string()), Some("MW".to_string())]
+        );
+        let col = Column::from_bools(vec![true, false]);
+        assert_eq!(
+            col.categorical_labels("Large").unwrap(),
+            vec![Some("true".to_string()), Some("false".to_string())]
+        );
+        let col = Column::from_i64(vec![1, 2]);
+        assert_eq!(
+            col.categorical_labels("Code").unwrap(),
+            vec![Some("1".to_string()), Some("2".to_string())]
+        );
+        let col = Column::from_f64(vec![1.0]);
+        assert!(col.categorical_labels("Score").is_err());
+    }
+
+    #[test]
+    fn take_reorders_and_handles_out_of_range() {
+        let col = Column::from_i64(vec![10, 20, 30]);
+        let taken = col.take(&[2, 0, 9]);
+        assert_eq!(
+            taken,
+            Column::Int(vec![Some(30), Some(10), None])
+        );
+    }
+
+    #[test]
+    fn push_value_coercions() {
+        let mut col = Column::Float(vec![]);
+        col.push_value("x", Value::Float(1.5)).unwrap();
+        col.push_value("x", Value::Int(2)).unwrap();
+        col.push_value("x", Value::Null).unwrap();
+        assert_eq!(col, Column::Float(vec![Some(1.5), Some(2.0), None]));
+        assert!(col.push_value("x", Value::Str("oops".to_string())).is_err());
+    }
+
+    #[test]
+    fn push_value_rejects_cross_type() {
+        let mut col = Column::Bool(vec![]);
+        assert!(col.push_value("flag", Value::Int(1)).is_err());
+        col.push_value("flag", Value::Bool(true)).unwrap();
+        assert_eq!(col.len(), 1);
+    }
+}

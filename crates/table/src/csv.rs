@@ -1,0 +1,393 @@
+//! CSV reading and writing with type inference.
+//!
+//! Ranking Facts lets demo users "upload one of their own (as a fully
+//! populated table in CSV format)" (§3).  This module implements a small,
+//! standards-respecting CSV layer: RFC-4180-style quoting, configurable
+//! delimiter, optional header row, empty-cell-as-null semantics, and
+//! column type inference (bool → int → float → string).
+
+use crate::column::{Column, Value};
+use crate::error::{TableError, TableResult};
+use crate::table::Table;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CsvOptions {
+    /// Field delimiter, usually `,`.
+    pub delimiter: char,
+    /// Whether the first record holds column names.
+    pub has_header: bool,
+    /// Strings treated as missing values (in addition to the empty string).
+    pub null_markers: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            null_markers: vec!["NA".to_string(), "null".to_string(), "NaN".to_string()],
+        }
+    }
+}
+
+/// Parses CSV text into a [`Table`], inferring a type for each column.
+///
+/// Type inference considers all non-null values of a column and picks the
+/// narrowest type that fits every one of them, in the order
+/// bool → int → float → string.
+///
+/// # Errors
+/// Returns [`TableError::CsvParse`] for structural problems (unterminated
+/// quotes, ragged rows) and [`TableError::Empty`] for input with no data rows.
+pub fn read_csv_str(input: &str, options: &CsvOptions) -> TableResult<Table> {
+    let records = parse_records(input, options.delimiter)?;
+    if records.is_empty() {
+        return Err(TableError::Empty {
+            operation: "read_csv_str",
+        });
+    }
+
+    let (header, data_start) = if options.has_header {
+        (records[0].clone(), 1)
+    } else {
+        (
+            (0..records[0].len())
+                .map(|i| format!("column_{i}"))
+                .collect(),
+            0,
+        )
+    };
+    let data = &records[data_start..];
+    if data.is_empty() {
+        return Err(TableError::Empty {
+            operation: "read_csv_str",
+        });
+    }
+
+    let width = header.len();
+    for (i, rec) in data.iter().enumerate() {
+        if rec.len() != width {
+            return Err(TableError::CsvParse {
+                line: data_start + i + 1,
+                message: format!(
+                    "expected {width} fields but found {} (ragged row)",
+                    rec.len()
+                ),
+            });
+        }
+    }
+
+    let mut table = Table::new();
+    for (col_idx, name) in header.iter().enumerate() {
+        let raw: Vec<&str> = data.iter().map(|rec| rec[col_idx].as_str()).collect();
+        let column = infer_column(&raw, &options.null_markers);
+        table.add_column(name.clone(), column)?;
+    }
+    Ok(table)
+}
+
+/// Serializes a table to CSV text (always with a header row; RFC-4180 quoting
+/// applied where needed).  Missing values are written as empty fields.
+#[must_use]
+pub fn write_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| escape_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| escape_field(&c.value(row).unwrap_or(Value::Null).to_display()))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Quotes a field when it contains the delimiter, quotes or newlines.
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits CSV text into records of fields, honouring quoted fields that may
+/// contain delimiters, escaped quotes (`""`) and embedded newlines.
+fn parse_records(input: &str, delimiter: char) -> TableResult<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut any_char_in_record = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any_char_in_record = true;
+            }
+            '\r' => {
+                // Swallow CR; the following LF (if any) terminates the record.
+            }
+            '\n' => {
+                line += 1;
+                if any_char_in_record || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_char_in_record = false;
+            }
+            c if c == delimiter => {
+                record.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            other => {
+                field.push(other);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::CsvParse {
+            line,
+            message: "unterminated quoted field".to_string(),
+        });
+    }
+    if any_char_in_record || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infers the narrowest column type that fits every non-null raw value and
+/// builds the column.
+fn infer_column(raw: &[&str], null_markers: &[String]) -> Column {
+    let is_null = |s: &str| s.is_empty() || null_markers.iter().any(|m| m == s);
+
+    let non_null: Vec<&str> = raw.iter().copied().filter(|s| !is_null(s)).collect();
+    let all_bool = !non_null.is_empty() && non_null.iter().all(|s| parse_bool(s).is_some());
+    let all_int = !non_null.is_empty() && non_null.iter().all(|s| s.parse::<i64>().is_ok());
+    let all_float = !non_null.is_empty()
+        && non_null
+            .iter()
+            .all(|s| s.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false));
+
+    if all_bool {
+        Column::Bool(
+            raw.iter()
+                .map(|s| if is_null(s) { None } else { parse_bool(s) })
+                .collect(),
+        )
+    } else if all_int {
+        Column::Int(
+            raw.iter()
+                .map(|s| if is_null(s) { None } else { s.parse().ok() })
+                .collect(),
+        )
+    } else if all_float {
+        Column::Float(
+            raw.iter()
+                .map(|s| if is_null(s) { None } else { s.parse().ok() })
+                .collect(),
+        )
+    } else {
+        Column::Str(
+            raw.iter()
+                .map(|s| {
+                    if is_null(s) {
+                        None
+                    } else {
+                        Some((*s).to_string())
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.to_ascii_lowercase().as_str() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn parses_simple_csv_with_header() {
+        let csv = "name,pubs,large\nMIT,9.5,true\nCMU,8.7,true\nPodunk,0.3,false\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.schema().field("pubs").unwrap().column_type, ColumnType::Float);
+        assert_eq!(t.schema().field("large").unwrap().column_type, ColumnType::Bool);
+        assert_eq!(t.schema().field("name").unwrap().column_type, ColumnType::Str);
+        assert_eq!(t.numeric_column("pubs").unwrap(), vec![9.5, 8.7, 0.3]);
+    }
+
+    #[test]
+    fn integer_columns_are_inferred() {
+        let csv = "id,count\n1,10\n2,20\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field("count").unwrap().column_type, ColumnType::Int);
+    }
+
+    #[test]
+    fn mixed_int_float_becomes_float() {
+        let csv = "x\n1\n2.5\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field("x").unwrap().column_type, ColumnType::Float);
+    }
+
+    #[test]
+    fn empty_cells_become_nulls() {
+        let csv = "a,b\n1,\n,2\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("a").unwrap().null_count(), 1);
+        assert_eq!(t.column("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn null_markers_recognized() {
+        let csv = "a\n1\nNA\n3\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.column("a").unwrap().null_count(), 1);
+        assert_eq!(t.schema().field("a").unwrap().column_type, ColumnType::Int);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name,motto\nA,\"hello, world\"\nB,\"say \"\"hi\"\"\"\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        let col = t.categorical_column("motto").unwrap();
+        assert_eq!(col[0].as_deref(), Some("hello, world"));
+        assert_eq!(col[1].as_deref(), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn quoted_field_with_newline() {
+        let csv = "name,notes\nA,\"line1\nline2\"\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        let col = t.categorical_column("notes").unwrap();
+        assert_eq!(col[0].as_deref(), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "a,b\r\n1,2\r\n3,4\r\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.numeric_column("b").unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "a\n\"oops\n";
+        assert!(matches!(
+            read_csv_str(csv, &CsvOptions::default()),
+            Err(TableError::CsvParse { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv_str(csv, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::CsvParse { line: 3, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(
+            read_csv_str("", &CsvOptions::default()),
+            Err(TableError::Empty { .. })
+        ));
+        assert!(matches!(
+            read_csv_str("a,b\n", &CsvOptions::default()),
+            Err(TableError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn headerless_mode_generates_names() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["column_0", "column_1"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn alternative_delimiter() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(t.numeric_column("b").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let csv = "name,pubs,large\nMIT,9.5,true\n\"Quoted, name\",8.7,false\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        let written = write_csv_string(&t);
+        let t2 = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn write_preserves_nulls_as_empty() {
+        let csv = "a,b\n1,\n2,x\n";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        let written = write_csv_string(&t);
+        assert!(written.contains("1,\n"));
+    }
+
+    #[test]
+    fn missing_final_newline_is_fine() {
+        let csv = "a,b\n1,2\n3,4";
+        let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Error type for table operations.
+
+use std::fmt;
+
+/// Result alias used throughout `rf-table`.
+pub type TableResult<T> = Result<T, TableError>;
+
+/// Errors produced by table construction, access, CSV parsing and
+/// normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A column referenced by name does not exist in the schema.
+    UnknownColumn {
+        /// Name of the missing column.
+        name: String,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row index.
+        index: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// Columns of differing lengths were combined into one table.
+    ColumnLengthMismatch {
+        /// Name of the offending column.
+        name: String,
+        /// Its length.
+        len: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// A column with this name already exists.
+    DuplicateColumn {
+        /// Name of the duplicated column.
+        name: String,
+    },
+    /// The operation needs a numeric column but the column has another type.
+    TypeMismatch {
+        /// Column name.
+        name: String,
+        /// Expected type description.
+        expected: &'static str,
+        /// Actual type description.
+        actual: &'static str,
+    },
+    /// A CSV document could not be parsed.
+    CsvParse {
+        /// 1-based line number where the problem was found.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The table (or a required column) is empty.
+    Empty {
+        /// Name of the operation that failed.
+        operation: &'static str,
+    },
+    /// A value required by the operation was null/missing.
+    NullValue {
+        /// Column name.
+        column: String,
+        /// Row index.
+        row: usize,
+    },
+    /// An underlying statistical routine failed.
+    Stats(rf_stats::StatsError),
+    /// Normalization failed (e.g. constant column under min-max scaling).
+    Normalization {
+        /// Column name.
+        column: String,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            TableError::RowOutOfBounds { index, rows } => {
+                write!(f, "row index {index} out of bounds (table has {rows} rows)")
+            }
+            TableError::ColumnLengthMismatch {
+                name,
+                len,
+                expected,
+            } => write!(
+                f,
+                "column `{name}` has {len} values but the table has {expected} rows"
+            ),
+            TableError::DuplicateColumn { name } => {
+                write!(f, "a column named `{name}` already exists")
+            }
+            TableError::TypeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{name}` has type {actual}, but {expected} is required"
+            ),
+            TableError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            TableError::Empty { operation } => write!(f, "{operation}: table is empty"),
+            TableError::NullValue { column, row } => {
+                write!(f, "column `{column}` has a missing value at row {row}")
+            }
+            TableError::Stats(err) => write!(f, "statistics error: {err}"),
+            TableError::Normalization { column, message } => {
+                write!(f, "cannot normalize column `{column}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Stats(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<rf_stats::StatsError> for TableError {
+    fn from(err: rf_stats::StatsError) -> Self {
+        TableError::Stats(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let err = TableError::UnknownColumn {
+            name: "GRE".to_string(),
+        };
+        assert!(err.to_string().contains("GRE"));
+    }
+
+    #[test]
+    fn display_csv_parse_includes_line() {
+        let err = TableError::CsvParse {
+            line: 17,
+            message: "unterminated quote".to_string(),
+        };
+        assert!(err.to_string().contains("17"));
+        assert!(err.to_string().contains("unterminated quote"));
+    }
+
+    #[test]
+    fn stats_error_converts() {
+        let inner = rf_stats::StatsError::EmptyInput { operation: "mean" };
+        let err: TableError = inner.clone().into();
+        assert_eq!(err, TableError::Stats(inner));
+    }
+
+    #[test]
+    fn source_of_stats_error_is_inner() {
+        use std::error::Error;
+        let err = TableError::Stats(rf_stats::StatsError::EmptyInput { operation: "mean" });
+        assert!(err.source().is_some());
+        let err = TableError::Empty { operation: "sort" };
+        assert!(err.source().is_none());
+    }
+}

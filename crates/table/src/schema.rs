@@ -1,0 +1,223 @@
+//! Column types, fields and table schemas.
+//!
+//! Ranking Facts distinguishes two roles for attributes: **numerical**
+//! attributes can be selected for the scoring function, while **categorical**
+//! attributes can be selected as sensitive attributes (fairness) or diversity
+//! dimensions.  The schema records the storage type of each column; the role
+//! classification ([`ColumnType::is_numeric`] / [`ColumnType::is_categorical`])
+//! is derived from it.
+
+use std::fmt;
+
+/// Storage type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ColumnType {
+    /// 64-bit floating point values.
+    Float,
+    /// 64-bit signed integers.
+    Int,
+    /// UTF-8 strings (categorical attributes, identifiers).
+    Str,
+    /// Booleans (binary categorical attributes).
+    Bool,
+}
+
+impl ColumnType {
+    /// `true` for types that can participate in a scoring function.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Float | ColumnType::Int)
+    }
+
+    /// `true` for types that can serve as sensitive/diversity attributes.
+    ///
+    /// Integers are deliberately *not* categorical by default; the paper's
+    /// design view asks the user to pick a categorical attribute, and the CS
+    /// departments dataset encodes its binary sensitive attribute
+    /// (`DeptSizeBin`) as a string.
+    #[must_use]
+    pub fn is_categorical(self) -> bool {
+        matches!(self, ColumnType::Str | ColumnType::Bool)
+    }
+
+    /// Short lower-case name used in error messages and rendered schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Float => "float",
+            ColumnType::Int => "int",
+            ColumnType::Str => "str",
+            ColumnType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    /// Column name as it appears in the CSV header and in widgets.
+    pub name: String,
+    /// Storage type.
+    pub column_type: ColumnType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, column_type: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            column_type,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    #[must_use]
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Creates an empty schema.
+    #[must_use]
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// All fields in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the column with the given name, if any.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field with the given name, if any.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// `true` when a column with this name exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Names of all columns, in order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Names of the numeric columns, in order.
+    #[must_use]
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.column_type.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of the categorical columns, in order.
+    #[must_use]
+    pub fn categorical_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.column_type.is_categorical())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Appends a field. Internal helper used by [`crate::Table`].
+    pub(crate) fn push(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("PubCount", ColumnType::Float),
+            Field::new("Faculty", ColumnType::Int),
+            Field::new("Region", ColumnType::Str),
+            Field::new("Large", ColumnType::Bool),
+        ])
+    }
+
+    #[test]
+    fn column_type_roles() {
+        assert!(ColumnType::Float.is_numeric());
+        assert!(ColumnType::Int.is_numeric());
+        assert!(!ColumnType::Str.is_numeric());
+        assert!(ColumnType::Str.is_categorical());
+        assert!(ColumnType::Bool.is_categorical());
+        assert!(!ColumnType::Float.is_categorical());
+        assert!(!ColumnType::Int.is_categorical());
+    }
+
+    #[test]
+    fn column_type_display() {
+        assert_eq!(ColumnType::Float.to_string(), "float");
+        assert_eq!(ColumnType::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = sample_schema();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("Faculty"), Some(1));
+        assert_eq!(s.index_of("Missing"), None);
+        assert!(s.contains("Region"));
+        assert_eq!(s.field("Region").unwrap().column_type, ColumnType::Str);
+    }
+
+    #[test]
+    fn schema_names_by_role() {
+        let s = sample_schema();
+        assert_eq!(s.names(), vec!["PubCount", "Faculty", "Region", "Large"]);
+        assert_eq!(s.numeric_names(), vec!["PubCount", "Faculty"]);
+        assert_eq!(s.categorical_names(), vec!["Region", "Large"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.names().is_empty());
+    }
+}

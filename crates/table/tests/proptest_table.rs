@@ -1,0 +1,134 @@
+//! Property-based tests for the table substrate: CSV round-trips,
+//! normalization invariants, and sort/take consistency.
+
+use proptest::prelude::*;
+use rf_table::{
+    read_csv_str, write_csv_string, Column, CsvOptions, NormalizationMethod, Normalizer, Table,
+};
+
+/// Strategy for a CSV-safe string cell (no exotic control characters, but
+/// includes commas, quotes and spaces which must survive quoting).
+fn cell_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,\"_-]{0,12}"
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_preserves_table(
+        names in prop::collection::vec("[a-z]{1,8}", 1..5),
+        rows in 1usize..20,
+        seed_values in prop::collection::vec(-1.0e4..1.0e4f64, 1..100),
+    ) {
+        // Build a table of float columns with unique names.
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        let mut table = Table::new();
+        for (ci, name) in unique.iter().enumerate() {
+            let values: Vec<f64> = (0..rows)
+                .map(|r| seed_values[(ci * rows + r) % seed_values.len()])
+                .collect();
+            table.add_column(name.clone(), Column::from_f64(values)).unwrap();
+        }
+        let written = write_csv_string(&table);
+        let parsed = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(parsed.num_rows(), table.num_rows());
+        prop_assert_eq!(parsed.num_columns(), table.num_columns());
+        for name in &unique {
+            let orig = table.numeric_column(name).unwrap();
+            let round = parsed.numeric_column(name).unwrap();
+            for (a, b) in orig.iter().zip(round.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_string_cells_roundtrip(cells in prop::collection::vec(cell_string(), 1..30)) {
+        // A fully empty cell in a single-column table serializes to a blank
+        // line, which CSV readers (including ours) skip; exclude that case.
+        prop_assume!(cells.iter().all(|c| !c.is_empty()));
+        let table = Table::from_columns(vec![(
+            "label",
+            Column::from_strings(cells.clone()),
+        )]).unwrap();
+        let written = write_csv_string(&table);
+        let parsed = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        let round = parsed.categorical_column("label").unwrap();
+        for (orig, got) in cells.iter().zip(round.iter()) {
+            // Empty cells legitimately become nulls; everything else must match.
+            if orig.is_empty() {
+                prop_assert!(got.is_none() || got.as_deref() == Some(""));
+            } else {
+                prop_assert_eq!(Some(orig.as_str()), got.as_deref());
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_normalization_bounded_and_monotone(values in prop::collection::vec(-1.0e5..1.0e5f64, 2..64)) {
+        // Skip the degenerate constant case which the normalizer rejects.
+        let distinct = values.iter().any(|v| (v - values[0]).abs() > 1e-9);
+        prop_assume!(distinct);
+        let table = Table::from_columns(vec![("x", Column::from_f64(values.clone()))]).unwrap();
+        let norm = Normalizer::fit(&table, &["x"], NormalizationMethod::MinMax).unwrap();
+        let out = norm.transform_table(&table).unwrap();
+        let transformed = out.numeric_column("x").unwrap();
+        for &t in &transformed {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&t));
+        }
+        // Monotonicity: order of any two values is preserved.
+        for i in 0..values.len() {
+            for j in (i + 1)..values.len() {
+                let before = values[i].partial_cmp(&values[j]).unwrap();
+                let after = transformed[i].partial_cmp(&transformed[j]).unwrap();
+                if before != std::cmp::Ordering::Equal {
+                    prop_assert_eq!(before, after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_normalization_centres(values in prop::collection::vec(-1.0e4..1.0e4f64, 3..64)) {
+        let distinct = values.iter().any(|v| (v - values[0]).abs() > 1e-6);
+        prop_assume!(distinct);
+        let table = Table::from_columns(vec![("x", Column::from_f64(values.clone()))]).unwrap();
+        let norm = Normalizer::fit(&table, &["x"], NormalizationMethod::ZScore).unwrap();
+        let out = norm.transform_table(&table).unwrap();
+        let transformed = out.numeric_column("x").unwrap();
+        let mean = rf_stats::mean(&transformed).unwrap();
+        let sd = rf_stats::stddev(&transformed).unwrap();
+        prop_assert!(mean.abs() < 1e-6, "mean {}", mean);
+        prop_assert!((sd - 1.0).abs() < 1e-6, "sd {}", sd);
+    }
+
+    #[test]
+    fn sort_take_is_permutation(values in prop::collection::vec(-1.0e5..1.0e5f64, 1..64)) {
+        let table = Table::from_columns(vec![("score", Column::from_f64(values.clone()))]).unwrap();
+        let sorted = table.sort_by("score", true).unwrap();
+        prop_assert_eq!(sorted.num_rows(), table.num_rows());
+        let mut orig = values.clone();
+        let mut got = sorted.numeric_column("score").unwrap();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in orig.iter().zip(got.iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // And the sorted order is non-increasing.
+        let ordered = sorted.numeric_column("score").unwrap();
+        for pair in ordered.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn head_never_exceeds_rows(values in prop::collection::vec(-10.0..10.0f64, 0..32), n in 0usize..64) {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let table = Table::from_columns(vec![("x", Column::from_f64(values.clone()))]).unwrap();
+        let head = table.head(n);
+        prop_assert_eq!(head.num_rows(), n.min(values.len()));
+    }
+}

@@ -1,0 +1,57 @@
+//! Calibrating the fairness measures with the SSDBM 2017 generative model.
+//!
+//! The Fairness widget turns raw statistics into fair/unfair verdicts, and the
+//! paper explains that those statistics were designed around "a generative
+//! method to describe rankings that meet a particular fairness criterion
+//! (fairness probability f) and are drawn from a dataset with a given
+//! proportion of members of a binary protected group (p)" (§2.3).
+//!
+//! This example reproduces that calibration: it sweeps the fairness
+//! probability `f` from strongly suppressing the protected group to strongly
+//! boosting it, samples rankings from the generative process at each setting,
+//! and reports how rND / rKL / rRD and the pairwise preference respond — the
+//! evidence behind the thresholds the widget uses.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p rf-core --example generative_calibration
+//! ```
+
+use rf_fairness::GenerativeModel;
+
+fn main() {
+    // A population of 1,000 ranked items, 30% of which are protected — the
+    // shape of the demo datasets.
+    let n = 1_000;
+    let n_protected = 300;
+    let p = n_protected as f64 / n as f64;
+    let runs = 200;
+
+    println!(
+        "population: {n} items, {n_protected} protected (p = {p:.2}); {runs} sampled rankings \
+         per setting\n"
+    );
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "f", "rND", "rKL", "rRD", "pairwise"
+    );
+
+    for &f in &[0.05, 0.15, p, 0.5, 0.7, 0.9] {
+        let model = GenerativeModel::new(n, n_protected, f).expect("valid model");
+        let summary = model
+            .measure_distribution(runs, 42)
+            .expect("measure distribution");
+        let marker = if (f - p).abs() < 1e-9 { "  <- statistical parity (f = p)" } else { "" };
+        println!(
+            "{f:>6.2}  {:>10.4}  {:>10.4}  {:>10.4}  {:>10.4}{marker}",
+            summary.rnd.mean, summary.rkl.mean, summary.rrd.mean, summary.pairwise.mean
+        );
+    }
+
+    println!(
+        "\nReading the table: every divergence measure bottoms out when the generator places \
+         protected items with probability equal to their population share (f = p) and grows as \
+         the process departs from parity in either direction, while the pairwise preference \
+         crosses 1/2 exactly there — which is why the widget tests it against 1/2."
+    );
+}

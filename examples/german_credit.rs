@@ -1,0 +1,53 @@
+//! Demonstration scenario 3 — German credit (paper §3).
+//!
+//! Ranks loan applicants by credit-worthiness and audits fairness with
+//! respect to sex and age group.  The synthetic generator applies a mild
+//! score penalty to young applicants, so the age-group audit is the
+//! interesting one.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p rf-core --example german_credit
+//! ```
+
+use rf_core::{LabelConfig, NutritionalLabel};
+use rf_datasets::GermanCreditConfig;
+use rf_ranking::ScoringFunction;
+
+fn main() {
+    let table = GermanCreditConfig::default()
+        .generate()
+        .expect("dataset generation");
+
+    // Rank by the credit score, refined by employment history and (inversely)
+    // by the requested amount relative to the loan duration.
+    let scoring = ScoringFunction::from_pairs([
+        ("credit_score", 0.7),
+        ("employment_years", 0.2),
+        ("credit_amount", -0.1),
+    ])
+    .expect("valid scoring function");
+
+    let config = LabelConfig::new(scoring)
+        .with_top_k(100)
+        .with_dataset_name("German credit (synthetic)")
+        .with_sensitive_attribute("sex", ["female"])
+        .with_sensitive_attribute("age_group", ["young"])
+        .with_diversity_attribute("housing")
+        .with_diversity_attribute("checking_status");
+
+    let label = NutritionalLabel::generate(&table, &config).expect("label generation");
+    println!("{}", label.to_text());
+
+    println!("--- Walk-through observations ---");
+    for report in &label.fairness.reports {
+        println!(
+            "* {} = {}: pairwise preference {:.3} (0.5 = parity), p = {:.4} → {}",
+            report.attribute,
+            report.protected_value,
+            report.pairwise.preference_probability,
+            report.pairwise.p_value,
+            if report.any_unfair() { "flagged as UNFAIR" } else { "fair" },
+        );
+    }
+}

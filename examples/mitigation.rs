@@ -1,0 +1,77 @@
+//! Mitigation: the paper's planned extension (§4) — "methods that help the
+//! user mitigate lack of fairness and diversity by suggesting modified
+//! scoring functions".
+//!
+//! The example builds a ranking in which small departments never reach the
+//! top-k, asks the mitigation search for alternative weight vectors, and shows
+//! how the label's verdicts change under the best suggestion.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p rf-core --example mitigation
+//! ```
+
+use rf_core::{LabelConfig, MitigationSearch, NutritionalLabel};
+use rf_datasets::CsDepartmentsConfig;
+use rf_ranking::ScoringFunction;
+
+fn main() {
+    let table = CsDepartmentsConfig::default()
+        .generate()
+        .expect("dataset generation");
+
+    // A deliberately size-driven recipe: publications and faculty dominate.
+    let scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.45), ("Faculty", 0.45), ("GRE", 0.10)])
+            .expect("valid scoring function");
+    let config = LabelConfig::new(scoring)
+        .with_top_k(10)
+        .with_ingredient_count(2)
+        .with_dataset_name("CS departments (synthetic)")
+        .with_sensitive_attribute("DeptSizeBin", ["small"])
+        .with_diversity_attribute("DeptSizeBin");
+
+    let original = NutritionalLabel::generate(&table, &config).expect("label generation");
+    println!("Original recipe headline: {}", original.headline());
+
+    let suggestions = MitigationSearch::new()
+        .with_factors(vec![0.25, 0.5, 1.0, 2.0, 4.0])
+        .expect("valid factors")
+        .with_max_suggestions(5)
+        .with_min_similarity(0.1)
+        .suggest(&table, &config)
+        .expect("mitigation search");
+
+    println!("\nSuggested scoring functions (best first):");
+    for (i, suggestion) in suggestions.iter().enumerate() {
+        let weights: Vec<String> = suggestion
+            .weights
+            .iter()
+            .map(|w| format!("{}={:.2}", w.attribute, w.weight))
+            .collect();
+        println!(
+            "{}. {}  unfair features: {}  attributes losing categories: {}  similarity to original: {:.2}{}",
+            i + 1,
+            weights.join(", "),
+            suggestion.unfair_features,
+            suggestion.attributes_losing_categories,
+            suggestion.similarity_to_original,
+            if suggestion.is_original { "  (original)" } else { "" },
+        );
+    }
+
+    // Re-label under the best non-original suggestion to show the change.
+    if let Some(best) = suggestions.iter().find(|s| !s.is_original) {
+        let new_scoring = ScoringFunction::with_normalization(
+            best.weights.clone(),
+            config.scoring.normalization(),
+        )
+        .expect("valid suggested scoring");
+        let new_config = LabelConfig {
+            scoring: new_scoring,
+            ..config
+        };
+        let relabelled = NutritionalLabel::generate(&table, &new_config).expect("label");
+        println!("\nBest suggestion headline: {}", relabelled.headline());
+    }
+}

@@ -1,0 +1,88 @@
+//! Online set selection with fairness and diversity constraints.
+//!
+//! The nutritional-label paper builds its Fairness and Diversity widgets on
+//! the authors' companion work on constrained set selection (EDBT 2018,
+//! reference [11]).  This example runs that machinery on the synthetic
+//! COMPAS-like dataset: select 50 individuals for a (hypothetical) review
+//! panel by risk score while (a) guaranteeing the non-protected group is not
+//! crowded out and (b) capping the protected group — once offline with full
+//! information, and once online where candidates arrive in random order and
+//! every decision is irrevocable.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p rf-setsel --example online_selection
+//! ```
+
+use rf_datasets::CompasConfig;
+use rf_setsel::{
+    evaluate_online, expected_utility_ratio, offline_select, Candidate, ConstraintSet,
+    GroupConstraint, OnlineSelector, OnlineStrategy,
+};
+
+fn main() {
+    // 2,000 synthetic individuals with the published racial score disparity.
+    let table = CompasConfig {
+        rows: 2_000,
+        ..CompasConfig::default()
+    }
+    .generate()
+    .expect("dataset generation");
+
+    // Utility = COMPAS decile score, grouping attribute = race.
+    let candidates =
+        Candidate::from_table(&table, "decile_score", "race").expect("candidate pool");
+    println!("candidate pool: {} individuals", candidates.len());
+
+    // Select k = 50 with a floor on the non-protected group and a ceiling on
+    // the protected group — a diversity constraint that counteracts the score
+    // skew documented by the ProPublica investigation.
+    let constraints = ConstraintSet::new(
+        50,
+        vec![
+            GroupConstraint::at_least("Other", 20).expect("valid floor"),
+            GroupConstraint::at_most("African-American", 30).expect("valid ceiling"),
+        ],
+    )
+    .expect("consistent constraints");
+
+    // Offline optimum: full information.
+    let offline = offline_select(&candidates, &constraints).expect("feasible selection");
+    println!(
+        "\noffline optimum: total utility {:.0}; per-group counts {:?}; {} item(s) taken only \
+         because of a floor",
+        offline.total_utility, offline.category_counts, offline.forced_by_floors
+    );
+
+    // Online: candidates arrive one at a time in random order.
+    for (name, strategy) in [
+        ("greedy", OnlineStrategy::Greedy),
+        ("secretary (1/e warm-up)", OnlineStrategy::secretary()),
+    ] {
+        let selector =
+            OnlineSelector::new(constraints.clone(), strategy).expect("valid selector");
+        let one_run = selector
+            .run_shuffled(&candidates, 42)
+            .expect("feasible stream");
+        let eval = evaluate_online(&candidates, &constraints, one_run).expect("evaluation");
+        let summary =
+            expected_utility_ratio(&candidates, &selector, 100, 7).expect("simulation");
+        println!(
+            "\nonline strategy: {name}\n  one run (seed 42): utility {:.0} = {:.1}% of the \
+             offline optimum; constraints satisfied: {}\n  over 100 random arrival orders: mean \
+             ratio {:.3} (min {:.3}, max {:.3}); constraints satisfied in {:.0}% of runs",
+            eval.online.total_utility,
+            100.0 * eval.utility_ratio,
+            eval.constraints_satisfied,
+            summary.mean,
+            summary.min,
+            summary.max,
+            100.0 * summary.constraint_satisfaction_rate,
+        );
+    }
+
+    println!(
+        "\nTake-away: the warm-up strategy closes most of the gap to the offline optimum while \
+         both strategies always honour the floors and ceilings — the guarantee the widgets rely on."
+    );
+}

@@ -1,0 +1,189 @@
+//! Integration: the command-line front end driven end-to-end, in process.
+//!
+//! These tests exercise the same flow a demo user would follow at the
+//! terminal: export a dataset to CSV, feed that CSV back in as an "uploaded"
+//! dataset, design a scoring function, generate the label in every format,
+//! and run the mitigation / re-ranking / selection extensions.
+
+use rf_cli::run;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rf_cli_integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn generate_then_label_an_uploaded_csv() {
+    // Step 1: export the synthetic CS dataset as CSV (the "download" half).
+    let csv_path = temp_path("cs_departments.csv");
+    let message = run([
+        "generate",
+        "--dataset",
+        "cs",
+        "--rows",
+        "80",
+        "--seed",
+        "42",
+        "--out",
+        csv_path.to_str().unwrap(),
+    ])
+    .expect("generate");
+    assert!(message.contains("wrote"));
+
+    // Step 2: treat that CSV as a user upload and produce the label from it.
+    let label = run([
+        "label",
+        "--data",
+        csv_path.to_str().unwrap(),
+        "--score",
+        "PubCount=0.4,Faculty=0.4,GRE=0.2",
+        "--sensitive",
+        "DeptSizeBin=small",
+        "--sensitive",
+        "DeptSizeBin=large",
+        "--diversity",
+        "DeptSizeBin",
+        "--diversity",
+        "Region",
+        "--k",
+        "10",
+    ])
+    .expect("label");
+    assert!(label.contains("Recipe"));
+    assert!(label.contains("DeptSizeBin"));
+    assert!(label.contains("Diversity"));
+
+    // Step 3: the JSON rendering of the same configuration parses and keeps
+    // the six-widget structure.
+    let json = run([
+        "label",
+        "--data",
+        csv_path.to_str().unwrap(),
+        "--score",
+        "PubCount=0.4,Faculty=0.4,GRE=0.2",
+        "--sensitive",
+        "DeptSizeBin=small",
+        "--format",
+        "json",
+    ])
+    .expect("json label");
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    for widget in ["recipe", "ingredients", "stability", "fairness", "diversity"] {
+        assert!(
+            value.get(widget).is_some(),
+            "label JSON must contain the `{widget}` widget"
+        );
+    }
+}
+
+#[test]
+fn design_view_matches_figure3_flow() {
+    let out = run([
+        "design",
+        "--dataset",
+        "cs",
+        "--rows",
+        "60",
+        "--seed",
+        "1",
+        "--attribute",
+        "GRE",
+        "--score",
+        "PubCount=0.6,Faculty=0.4",
+        "--preview",
+        "8",
+    ])
+    .expect("design");
+    assert!(out.contains("--- GRE ---"));
+    assert!(out.contains("histogram"));
+    assert!(out.contains("ranking preview"));
+}
+
+#[test]
+fn mitigation_rerank_and_selection_extensions_run_end_to_end() {
+    let mitigate = run([
+        "mitigate",
+        "--dataset",
+        "cs",
+        "--rows",
+        "80",
+        "--seed",
+        "42",
+        "--score",
+        "PubCount=0.4,Faculty=0.4,GRE=0.2",
+        "--sensitive",
+        "DeptSizeBin=small",
+        "--diversity",
+        "DeptSizeBin",
+        "--suggestions",
+        "3",
+    ])
+    .expect("mitigate");
+    assert!(mitigate.contains("Mitigation suggestions"));
+
+    let rerank = run([
+        "rerank",
+        "--dataset",
+        "german",
+        "--rows",
+        "400",
+        "--seed",
+        "11",
+        "--score",
+        "credit_score=1.0",
+        "--sensitive",
+        "age_group=young",
+        "--k",
+        "30",
+    ])
+    .expect("rerank");
+    assert!(rerank.contains("before:"));
+    assert!(rerank.contains("after:  FAIR"));
+
+    let select = run([
+        "select",
+        "--dataset",
+        "compas",
+        "--rows",
+        "500",
+        "--seed",
+        "7",
+        "--utility",
+        "decile_score",
+        "--category",
+        "race",
+        "--k",
+        "25",
+        "--floor",
+        "Other=10",
+        "--runs",
+        "15",
+    ])
+    .expect("select");
+    assert!(select.contains("offline optimum"));
+    assert!(select.contains("constraints satisfied in 100%"));
+}
+
+#[test]
+fn errors_carry_distinct_exit_codes() {
+    // Usage error: unknown command.
+    let usage = run(["explode"]).unwrap_err();
+    assert_eq!(usage.exit_code(), 2);
+    // Usage error: malformed option value.
+    let usage = run(["label", "--dataset", "cs", "--score", "PubCount=oops"]).unwrap_err();
+    assert_eq!(usage.exit_code(), 2);
+    // Execution error: valid command line, but the pipeline rejects the input
+    // (missing column in this case).
+    let exec = run([
+        "label",
+        "--dataset",
+        "cs",
+        "--rows",
+        "40",
+        "--score",
+        "DoesNotExist=1.0",
+    ])
+    .unwrap_err();
+    assert_eq!(exec.exit_code(), 1);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: synthetic dataset → scoring function →
+//! nutritional label, checking that the widgets are mutually consistent.
+
+use rf_core::{LabelConfig, NutritionalLabel};
+use rf_datasets::CsDepartmentsConfig;
+use rf_ranking::ScoringFunction;
+
+fn cs_label() -> NutritionalLabel {
+    let table = CsDepartmentsConfig::default().generate().unwrap();
+    let scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)]).unwrap();
+    let config = LabelConfig::new(scoring)
+        .with_top_k(10)
+        .with_dataset_name("CS departments")
+        .with_sensitive_attribute("DeptSizeBin", ["large", "small"])
+        .with_diversity_attribute("DeptSizeBin")
+        .with_diversity_attribute("Region");
+    NutritionalLabel::generate(&table, &config).unwrap()
+}
+
+#[test]
+fn label_generates_for_the_cs_scenario() {
+    let label = cs_label();
+    assert_eq!(label.ranking.len(), 97);
+    assert_eq!(label.top_k_rows.len(), 10);
+    assert_eq!(label.recipe.entries.len(), 3);
+    assert_eq!(label.fairness.reports.len(), 2);
+    assert_eq!(label.diversity.reports.len(), 2);
+}
+
+#[test]
+fn ranking_is_a_permutation_of_the_dataset() {
+    let label = cs_label();
+    let mut order = label.ranking.order();
+    order.sort_unstable();
+    assert_eq!(order, (0..97).collect::<Vec<_>>());
+}
+
+#[test]
+fn top_k_rows_agree_with_ranking() {
+    let label = cs_label();
+    for (row, item) in label.top_k_rows.iter().zip(label.ranking.top_k(10).iter()) {
+        assert_eq!(row.rank, item.rank);
+        assert_eq!(row.row_index, item.index);
+        assert!((row.score - item.score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn recipe_weights_sum_to_one_after_normalization() {
+    let label = cs_label();
+    let total: f64 = label
+        .recipe
+        .entries
+        .iter()
+        .map(|e| e.normalized_weight.abs())
+        .sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn recipe_details_cover_top_k_and_overall() {
+    let label = cs_label();
+    for detail in &label.recipe.details {
+        assert_eq!(detail.top_k.count, 10);
+        assert_eq!(detail.overall.count, 97);
+        assert!(detail.top_k.min >= detail.overall.min - 1e-9);
+        assert!(detail.top_k.max <= detail.overall.max + 1e-9);
+    }
+}
+
+#[test]
+fn fairness_reports_reference_configured_features() {
+    let label = cs_label();
+    let features: Vec<(String, String)> = label
+        .fairness
+        .reports
+        .iter()
+        .map(|r| (r.attribute.clone(), r.protected_value.clone()))
+        .collect();
+    assert!(features.contains(&("DeptSizeBin".to_string(), "large".to_string())));
+    assert!(features.contains(&("DeptSizeBin".to_string(), "small".to_string())));
+    for report in &label.fairness.reports {
+        for outcome in report.outcomes() {
+            assert!((0.0..=1.0).contains(&outcome.p_value));
+        }
+        assert!((0.0..=1.0).contains(&report.discounted.rnd));
+    }
+}
+
+#[test]
+fn diversity_proportions_are_consistent() {
+    let label = cs_label();
+    for report in &label.diversity.reports {
+        let top_sum: f64 = report.top_k.proportions().iter().sum();
+        let all_sum: f64 = report.overall.proportions().iter().sum();
+        assert!((top_sum - 1.0).abs() < 1e-9);
+        assert!((all_sum - 1.0).abs() < 1e-9);
+        assert_eq!(report.top_k.total, 10);
+        assert_eq!(report.overall.total, 97);
+        // Categories missing from the top-k must have zero top-k proportion.
+        for missing in &report.missing_from_top_k {
+            assert_eq!(report.top_k.proportion_of(missing), 0.0);
+            assert!(report.overall.proportion_of(missing) > 0.0);
+        }
+    }
+}
+
+#[test]
+fn stability_widget_consistent_with_slope_estimator() {
+    let label = cs_label();
+    assert_eq!(
+        label.stability.stable,
+        label.stability.slope.verdict() == rf_stability::StabilityVerdict::Stable
+    );
+    assert!(label.stability.stability_score >= 0.0);
+    assert_eq!(label.stability.per_attribute.len(), 3);
+}
+
+#[test]
+fn ingredients_associations_are_sorted_and_bounded() {
+    let label = cs_label();
+    for pair in label.ingredients.ingredients.windows(2) {
+        assert!(pair[0].rank_association >= pair[1].rank_association);
+    }
+    for ing in &label.ingredients.all_attributes {
+        assert!((0.0..=1.0 + 1e-9).contains(&ing.rank_association));
+        assert!(ing.signed_association.abs() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn changing_weights_changes_the_ranking_but_not_the_schema() {
+    let table = CsDepartmentsConfig::default().generate().unwrap();
+    let config_a = LabelConfig::new(
+        ScoringFunction::from_pairs([("PubCount", 1.0), ("GRE", 0.0)]).unwrap(),
+    )
+    .with_top_k(10);
+    let config_b = LabelConfig::new(
+        ScoringFunction::from_pairs([("PubCount", 0.0), ("GRE", 1.0)]).unwrap(),
+    )
+    .with_top_k(10);
+    let label_a = NutritionalLabel::generate(&table, &config_a).unwrap();
+    let label_b = NutritionalLabel::generate(&table, &config_b).unwrap();
+    assert_ne!(label_a.ranking.order(), label_b.ranking.order());
+    assert_eq!(label_a.ranking.len(), label_b.ranking.len());
+}
+
+#[test]
+fn label_generation_is_deterministic() {
+    let a = cs_label();
+    let b = cs_label();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invalid_configurations_are_rejected() {
+    let table = CsDepartmentsConfig::default().generate().unwrap();
+    let scoring = ScoringFunction::from_pairs([("PubCount", 1.0)]).unwrap();
+    // k larger than the dataset.
+    let config = LabelConfig::new(scoring.clone()).with_top_k(500);
+    assert!(NutritionalLabel::generate(&table, &config).is_err());
+    // Sensitive attribute that is numeric.
+    let config = LabelConfig::new(scoring.clone())
+        .with_top_k(10)
+        .with_sensitive_attribute("PubCount", ["1.0"]);
+    assert!(NutritionalLabel::generate(&table, &config).is_err());
+    // Sensitive attribute with more than two values (Region).
+    let config = LabelConfig::new(scoring)
+        .with_top_k(10)
+        .with_sensitive_attribute("Region", ["NE"]);
+    assert!(NutritionalLabel::generate(&table, &config).is_err());
+}

@@ -1,0 +1,138 @@
+//! Integration: diagnosing and repairing unfair rankings end-to-end.
+//!
+//! Pipeline under test: synthetic dataset → scoring function → ranking →
+//! FA*IR diagnosis (`rf-fairness`) → constructive FA*IR re-ranking →
+//! re-diagnosis, plus the interaction between re-ranking and the other
+//! fairness measures that the nutritional label reports side by side.
+
+use rf_datasets::{CsDepartmentsConfig, GermanCreditConfig};
+use rf_fairness::{
+    DiscountedMeasures, FairRerank, FairStarTest, PairwiseTest, ProportionTest, ProtectedGroup,
+};
+use rf_ranking::{kendall_tau_rankings, ScoringFunction};
+
+#[test]
+fn cs_departments_small_group_is_repaired() {
+    // The paper's Figure 1 dataset: only large departments reach the top-10,
+    // so the small-department group fails FA*IR under a parity target.
+    let table = CsDepartmentsConfig::default().generate().expect("dataset");
+    let scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+            .expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+    let group = ProtectedGroup::from_table(&table, "DeptSizeBin", "small").expect("group");
+
+    let k = 10;
+    let p = group.protected_proportion();
+    let test = FairStarTest::new(k, p).expect("test");
+    let before = test.evaluate(&group, &ranking).expect("before");
+    assert!(
+        !before.satisfied,
+        "the synthetic CS data must reproduce the paper's finding that small departments \
+         are shut out of the top-10"
+    );
+
+    let outcome = FairRerank::new(k, p)
+        .expect("re-ranker")
+        .rerank(&group, &ranking)
+        .expect("feasible re-rank");
+    assert!(outcome.changed);
+    assert!(outcome.satisfied_after);
+    let after = test.evaluate(&group, &outcome.reranked).expect("after");
+    assert!(after.satisfied);
+    assert!(after.p_value >= before.p_value);
+
+    // The repair is minimal in the sense that the overall order stays close
+    // to the original: Kendall tau remains high.
+    assert!(outcome.kendall_tau_to_original > 0.9);
+    let tau = kendall_tau_rankings(&ranking, &outcome.reranked).expect("tau");
+    assert!((tau - outcome.kendall_tau_to_original).abs() < 1e-12);
+
+    // The discounted measures also improve (smaller divergence from parity).
+    let before_measures = DiscountedMeasures::evaluate(&group, &ranking).expect("measures");
+    let after_measures =
+        DiscountedMeasures::evaluate(&group, &outcome.reranked).expect("measures");
+    assert!(after_measures.rnd <= before_measures.rnd + 1e-9);
+    assert!(after_measures.rkl <= before_measures.rkl + 1e-9);
+}
+
+#[test]
+fn german_credit_young_applicants_are_repaired() {
+    let table = GermanCreditConfig::default().generate().expect("dataset");
+    let scoring = ScoringFunction::from_pairs([("credit_score", 1.0)]).expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+    let group = ProtectedGroup::from_table(&table, "age_group", "young").expect("group");
+
+    let k = 50;
+    let p = group.protected_proportion();
+    let test = FairStarTest::new(k, p).expect("test");
+    let before = test.evaluate(&group, &ranking).expect("before");
+    let outcome = FairRerank::new(k, p)
+        .expect("re-ranker")
+        .rerank(&group, &ranking)
+        .expect("feasible re-rank");
+    let after = test.evaluate(&group, &outcome.reranked).expect("after");
+
+    assert!(after.satisfied, "the re-ranked output must pass FA*IR");
+    // Re-ranking never pushes the protected group below its original share of
+    // the audited prefix.
+    assert!(
+        after.observed_counts.last().copied().unwrap_or(0)
+            >= before.observed_counts.last().copied().unwrap_or(0)
+    );
+    // The output remains a permutation of the applicants.
+    let mut order = outcome.reranked.order();
+    order.sort_unstable();
+    assert_eq!(order, (0..table.num_rows()).collect::<Vec<_>>());
+}
+
+#[test]
+fn rerank_interacts_consistently_with_the_other_measures() {
+    // Re-ranking targets ranked group fairness (FA*IR), but the label also
+    // shows Proportion and Pairwise.  After the repair the protected share of
+    // the top-k cannot be smaller than before, so the proportion statistic
+    // moves toward (or past) parity as well.
+    let table = CsDepartmentsConfig::default().generate().expect("dataset");
+    let scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.5), ("Faculty", 0.5)]).expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+    let group = ProtectedGroup::from_table(&table, "DeptSizeBin", "small").expect("group");
+
+    let k = 10;
+    let p = group.protected_proportion();
+    let proportion = ProportionTest::new(k).expect("proportion test");
+    let pairwise = PairwiseTest::new();
+
+    let before_share = group.protected_in_top_k(&ranking, k).expect("count");
+    let outcome = FairRerank::new(k, p)
+        .expect("re-ranker")
+        .rerank(&group, &ranking)
+        .expect("re-rank");
+    let after_share = group.protected_in_top_k(&outcome.reranked, k).expect("count");
+    assert!(after_share >= before_share);
+
+    // Both measures still evaluate cleanly on the repaired ranking.
+    let prop_after = proportion.evaluate(&group, &outcome.reranked).expect("proportion");
+    let pair_after = pairwise.evaluate(&group, &outcome.reranked).expect("pairwise");
+    assert!((0.0..=1.0).contains(&prop_after.p_value));
+    assert!((0.0..=1.0).contains(&pair_after.p_value));
+}
+
+#[test]
+fn rerank_is_idempotent_on_already_fair_rankings() {
+    let table = CsDepartmentsConfig::default().generate().expect("dataset");
+    let scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+            .expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+    let group = ProtectedGroup::from_table(&table, "DeptSizeBin", "small").expect("group");
+
+    let k = 10;
+    let p = group.protected_proportion();
+    let reranker = FairRerank::new(k, p).expect("re-ranker");
+    let first = reranker.rerank(&group, &ranking).expect("first pass");
+    let second = reranker.rerank(&group, &first.reranked).expect("second pass");
+    assert!(!second.changed, "a repaired ranking needs no further repair");
+    assert_eq!(second.reranked.order(), first.reranked.order());
+    assert_eq!(second.total_score_loss, 0.0);
+}

@@ -1,0 +1,135 @@
+//! Integration: constrained set selection over the synthetic demo datasets.
+//!
+//! Pipeline under test: dataset generator (`rf-datasets`) → candidate pool
+//! (`rf-setsel::items`) → offline optimum and online strategies → the
+//! diversity effect the nutritional label reports (which categories survive
+//! into the selected set).
+
+use rf_datasets::{CompasConfig, CsDepartmentsConfig};
+use rf_setsel::{
+    evaluate_online, expected_utility_ratio, offline_select, Candidate, ConstraintSet,
+    GroupConstraint, OnlineSelector, OnlineStrategy,
+};
+
+fn count_of(counts: &[(String, usize)], category: &str) -> usize {
+    counts
+        .iter()
+        .find(|(c, _)| c == category)
+        .map_or(0, |(_, n)| *n)
+}
+
+#[test]
+fn floors_restore_small_departments_to_the_top_k() {
+    // Unconstrained top-10 by publications contains only large departments
+    // (the paper's Diversity finding); a floor on `small` restores them.
+    let table = CsDepartmentsConfig::default().generate().expect("dataset");
+    let candidates =
+        Candidate::from_table(&table, "PubCount", "DeptSizeBin").expect("candidates");
+
+    let unconstrained = offline_select(&candidates, &ConstraintSet::unconstrained(10).unwrap())
+        .expect("top-10");
+    assert_eq!(
+        count_of(&unconstrained.category_counts, "small"),
+        0,
+        "plain top-10 must reproduce the paper's finding that small departments vanish"
+    );
+
+    let constrained = offline_select(
+        &candidates,
+        &ConstraintSet::new(10, vec![GroupConstraint::at_least("small", 3).unwrap()]).unwrap(),
+    )
+    .expect("constrained top-10");
+    assert_eq!(count_of(&constrained.category_counts, "small"), 3);
+    assert_eq!(constrained.items.len(), 10);
+    // Diversity has a price: the constrained selection gives up some utility.
+    assert!(constrained.total_utility <= unconstrained.total_utility);
+    assert_eq!(constrained.forced_by_floors, 3);
+}
+
+#[test]
+fn online_selection_over_compas_respects_constraints_for_every_order() {
+    let table = CompasConfig {
+        rows: 1_000,
+        ..CompasConfig::default()
+    }
+    .generate()
+    .expect("dataset");
+    let candidates = Candidate::from_table(&table, "decile_score", "race").expect("candidates");
+    let constraints = ConstraintSet::new(
+        40,
+        vec![
+            GroupConstraint::at_least("Other", 15).unwrap(),
+            GroupConstraint::at_most("African-American", 25).unwrap(),
+        ],
+    )
+    .unwrap();
+
+    let offline = offline_select(&candidates, &constraints).expect("offline");
+    assert!(constraints.is_satisfied_by(&offline.items));
+
+    for strategy in [OnlineStrategy::Greedy, OnlineStrategy::secretary()] {
+        let selector = OnlineSelector::new(constraints.clone(), strategy).expect("selector");
+        for seed in 0..10 {
+            let online = selector.run_shuffled(&candidates, seed).expect("run");
+            assert!(constraints.is_satisfied_by(&online.items));
+            let eval = evaluate_online(&candidates, &constraints, online).expect("evaluation");
+            assert!(eval.utility_ratio <= 1.0 + 1e-9);
+            assert!(eval.utility_ratio > 0.0);
+        }
+    }
+}
+
+#[test]
+fn secretary_warmup_closes_most_of_the_gap_to_offline() {
+    let table = CompasConfig {
+        rows: 1_500,
+        ..CompasConfig::default()
+    }
+    .generate()
+    .expect("dataset");
+    let candidates = Candidate::from_table(&table, "decile_score", "race").expect("candidates");
+    let constraints = ConstraintSet::new(
+        50,
+        vec![GroupConstraint::at_least("Other", 20).unwrap()],
+    )
+    .unwrap();
+    let selector =
+        OnlineSelector::new(constraints, OnlineStrategy::secretary()).expect("selector");
+    let summary = expected_utility_ratio(&candidates, &selector, 40, 3).expect("summary");
+    assert!(
+        summary.mean > 0.75,
+        "expected the warm-up strategy to reach at least 75% of the offline optimum, got {:.3}",
+        summary.mean
+    );
+    assert!((summary.constraint_satisfaction_rate - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn ceilings_cap_the_over_represented_group() {
+    // The COMPAS generator shifts protected scores upward, so an
+    // unconstrained top-k over-selects the protected group; a ceiling caps it.
+    let table = CompasConfig {
+        rows: 1_000,
+        ..CompasConfig::default()
+    }
+    .generate()
+    .expect("dataset");
+    let candidates = Candidate::from_table(&table, "decile_score", "race").expect("candidates");
+
+    let unconstrained =
+        offline_select(&candidates, &ConstraintSet::unconstrained(30).unwrap()).expect("top-30");
+    let aa_unconstrained = count_of(&unconstrained.category_counts, "African-American");
+
+    let capped = offline_select(
+        &candidates,
+        &ConstraintSet::new(
+            30,
+            vec![GroupConstraint::at_most("African-American", 15).unwrap()],
+        )
+        .unwrap(),
+    )
+    .expect("capped top-30");
+    let aa_capped = count_of(&capped.category_counts, "African-American");
+    assert!(aa_unconstrained > 15, "the injected score skew must be visible");
+    assert_eq!(aa_capped, 15);
+}
