@@ -8,7 +8,9 @@ use rf_table::{Column, Table};
 use std::hint::black_box;
 
 fn table_with_categories(rows: usize, categories: usize) -> (Table, Ranking) {
-    let labels: Vec<String> = (0..rows).map(|i| format!("cat{}", i % categories)).collect();
+    let labels: Vec<String> = (0..rows)
+        .map(|i| format!("cat{}", i % categories))
+        .collect();
     let scores: Vec<f64> = (0..rows).map(|i| (rows - i) as f64).collect();
     let table = Table::from_columns(vec![
         ("category", Column::from_strings(labels)),
@@ -41,9 +43,7 @@ fn diversity_scaling_categories(c: &mut Criterion) {
             &categories,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        DiversityReport::evaluate(&table, &ranking, "category", 100).unwrap(),
-                    )
+                    black_box(DiversityReport::evaluate(&table, &ranking, "category", 100).unwrap())
                 });
             },
         );
@@ -51,5 +51,9 @@ fn diversity_scaling_categories(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, diversity_scaling_rows, diversity_scaling_categories);
+criterion_group!(
+    benches,
+    diversity_scaling_rows,
+    diversity_scaling_categories
+);
 criterion_main!(benches);

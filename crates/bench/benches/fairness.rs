@@ -2,9 +2,7 @@
 //! the discounted measures as n and k grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rf_fairness::{
-    DiscountedMeasures, FairStarTest, PairwiseTest, ProportionTest, ProtectedGroup,
-};
+use rf_fairness::{DiscountedMeasures, FairStarTest, PairwiseTest, ProportionTest, ProtectedGroup};
 use rf_ranking::Ranking;
 use std::hint::black_box;
 

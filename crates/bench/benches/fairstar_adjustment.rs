@@ -11,7 +11,9 @@ use std::hint::black_box;
 
 fn skewed_membership(n: usize, shift: usize) -> Vec<bool> {
     // Protected items appear every third position but pushed down by `shift`.
-    (0..n).map(|i| i >= shift && (i - shift).is_multiple_of(3)).collect()
+    (0..n)
+        .map(|i| i >= shift && (i - shift).is_multiple_of(3))
+        .collect()
 }
 
 fn adjustment_cost(c: &mut Criterion) {
@@ -35,7 +37,10 @@ fn verdict_difference(c: &mut Criterion) {
         let group = ProtectedGroup::from_membership("g", "x", members).unwrap();
         let p = group.protected_proportion();
         let ranking = Ranking::from_order(&(0..n).collect::<Vec<_>>()).unwrap();
-        let adjusted = FairStarTest::new(k, p).unwrap().evaluate(&group, &ranking).unwrap();
+        let adjusted = FairStarTest::new(k, p)
+            .unwrap()
+            .evaluate(&group, &ranking)
+            .unwrap();
         let unadjusted = FairStarTest::new(k, p)
             .unwrap()
             .with_adjustment(false)

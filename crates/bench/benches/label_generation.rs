@@ -1,20 +1,27 @@
 //! End-to-end label generation cost (the Figure 1 pipeline) as the dataset
-//! grows, plus the three demonstration scenarios at their paper sizes.
+//! grows, plus the three demonstration scenarios at their paper sizes and a
+//! parallel-versus-sequential schedule comparison of the analysis pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rf_bench::{compas_scenario, cs_label_config, cs_table_with_rows, german_credit_scenario};
-use rf_core::NutritionalLabel;
+use rf_core::AnalysisPipeline;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn label_generation_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_generation/cs_departments_scaling");
     group.sample_size(20);
+    let pipeline = AnalysisPipeline::new();
     for rows in [100usize, 1_000, 10_000] {
-        let table = cs_table_with_rows(rows);
-        let config = cs_label_config();
+        let table = Arc::new(cs_table_with_rows(rows));
+        let config = Arc::new(cs_label_config());
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| {
-                let label = NutritionalLabel::generate(black_box(&table), black_box(&config))
+                let label = pipeline
+                    .generate(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
                     .expect("label");
                 black_box(label.headline())
             });
@@ -26,36 +33,88 @@ fn label_generation_scaling(c: &mut Criterion) {
 fn label_generation_scenarios(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_generation/scenarios");
     group.sample_size(15);
+    let pipeline = AnalysisPipeline::new();
 
-    let cs_table = cs_table_with_rows(97);
-    let cs_config = cs_label_config();
+    let cs_table = Arc::new(cs_table_with_rows(97));
+    let cs_config = Arc::new(cs_label_config());
     group.bench_function("cs_departments_97", |b| {
-        b.iter(|| NutritionalLabel::generate(black_box(&cs_table), black_box(&cs_config)).unwrap())
+        b.iter(|| {
+            pipeline
+                .generate(
+                    black_box(Arc::clone(&cs_table)),
+                    black_box(Arc::clone(&cs_config)),
+                )
+                .unwrap()
+        })
     });
 
     let (compas_table, compas_config) = compas_scenario(6_889);
+    let (compas_table, compas_config) = (Arc::new(compas_table), Arc::new(compas_config));
     group.bench_function("compas_6889", |b| {
         b.iter(|| {
-            NutritionalLabel::generate(black_box(&compas_table), black_box(&compas_config))
+            pipeline
+                .generate(
+                    black_box(Arc::clone(&compas_table)),
+                    black_box(Arc::clone(&compas_config)),
+                )
                 .unwrap()
         })
     });
 
     let (credit_table, credit_config) = german_credit_scenario(1_000);
+    let (credit_table, credit_config) = (Arc::new(credit_table), Arc::new(credit_config));
     group.bench_function("german_credit_1000", |b| {
         b.iter(|| {
-            NutritionalLabel::generate(black_box(&credit_table), black_box(&credit_config))
+            pipeline
+                .generate(
+                    black_box(Arc::clone(&credit_table)),
+                    black_box(Arc::clone(&credit_config)),
+                )
                 .unwrap()
         })
     });
     group.finish();
 }
 
+/// The schedule ablation: the same analysis context, fanned out on the shared
+/// pool versus built serially on one thread.
+fn pipeline_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_generation/schedule");
+    group.sample_size(15);
+    let parallel = AnalysisPipeline::new();
+    let sequential = AnalysisPipeline::sequential();
+    for rows in [1_000usize, 10_000] {
+        let table = Arc::new(cs_table_with_rows(rows));
+        let config = Arc::new(cs_label_config());
+        group.bench_with_input(BenchmarkId::new("parallel", rows), &rows, |b, _| {
+            b.iter(|| {
+                parallel
+                    .generate(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", rows), &rows, |b, _| {
+            b.iter(|| {
+                sequential
+                    .generate(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn label_rendering(c: &mut Criterion) {
     let mut group = c.benchmark_group("label_rendering");
-    let table = cs_table_with_rows(97);
-    let config = cs_label_config();
-    let label = NutritionalLabel::generate(&table, &config).unwrap();
+    let table = Arc::new(cs_table_with_rows(97));
+    let config = Arc::new(cs_label_config());
+    let label = AnalysisPipeline::new().generate(table, config).unwrap();
     group.bench_function("text", |b| b.iter(|| black_box(label.to_text())));
     group.bench_function("html", |b| b.iter(|| black_box(label.to_html())));
     group.bench_function("json", |b| b.iter(|| black_box(label.to_json().unwrap())));
@@ -66,6 +125,7 @@ criterion_group!(
     benches,
     label_generation_scaling,
     label_generation_scenarios,
+    pipeline_schedules,
     label_rendering
 );
 criterion_main!(benches);

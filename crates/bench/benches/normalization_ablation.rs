@@ -22,10 +22,11 @@ fn scoring_under_each_normalization(c: &mut Criterion) {
 
     // Report the ranking disagreement against the min-max default once, so the
     // ablation's qualitative effect is visible in the bench log.
-    let baseline = ScoringFunction::with_normalization(weights.clone(), NormalizationMethod::MinMax)
-        .unwrap()
-        .rank_table(&table)
-        .unwrap();
+    let baseline =
+        ScoringFunction::with_normalization(weights.clone(), NormalizationMethod::MinMax)
+            .unwrap()
+            .rank_table(&table)
+            .unwrap();
     for method in [NormalizationMethod::None, NormalizationMethod::ZScore] {
         let ranking = ScoringFunction::with_normalization(weights.clone(), method)
             .unwrap()
@@ -44,8 +45,7 @@ fn scoring_under_each_normalization(c: &mut Criterion) {
         NormalizationMethod::MinMax,
         NormalizationMethod::ZScore,
     ] {
-        let scoring =
-            ScoringFunction::with_normalization(weights.clone(), method).unwrap();
+        let scoring = ScoringFunction::with_normalization(weights.clone(), method).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{method:?}")),
             &method,

@@ -58,13 +58,9 @@ fn online_strategies(c: &mut Criterion) {
             ("secretary", OnlineStrategy::secretary()),
         ] {
             let selector = OnlineSelector::new(constraints.clone(), strategy).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(selector.run_shuffled(&candidates, 42).unwrap()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(selector.run_shuffled(&candidates, 42).unwrap()));
+            });
         }
     }
     group.finish();
@@ -83,5 +79,10 @@ fn random_order_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, offline_scaling, online_strategies, random_order_evaluation);
+criterion_group!(
+    benches,
+    offline_scaling,
+    online_strategies,
+    random_order_evaluation
+);
 criterion_main!(benches);

@@ -33,5 +33,9 @@ fn attribute_stability_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, slope_stability_scaling, attribute_stability_scaling);
+criterion_group!(
+    benches,
+    slope_stability_scaling,
+    attribute_stability_scaling
+);
 criterion_main!(benches);

@@ -32,9 +32,7 @@ fn slope_vs_monte_carlo(c: &mut Criterion) {
                 BenchmarkId::new(format!("monte_carlo_{trials}_trials"), rows),
                 &rows,
                 |b, _| {
-                    b.iter(|| {
-                        black_box(estimator.evaluate(&table, &scoring, &ranking).unwrap())
-                    });
+                    b.iter(|| black_box(estimator.evaluate(&table, &scoring, &ranking).unwrap()));
                 },
             );
         }

@@ -65,8 +65,7 @@ fn main() {
         ("secretary (1/e warm-up)", OnlineStrategy::secretary()),
     ] {
         let selector = OnlineSelector::new(constraints.clone(), strategy).expect("selector");
-        let summary =
-            expected_utility_ratio(&candidates, &selector, 100, 1).expect("simulation");
+        let summary = expected_utility_ratio(&candidates, &selector, 100, 1).expect("simulation");
         println!(
             "\x20 online {name:<24} mean utility ratio {:.3} (min {:.3}, max {:.3}); \
              constraints satisfied in {:.0}% of 100 random orders",

@@ -24,7 +24,11 @@ fn main() {
             ing.signed_association,
             ing.learned_weight
                 .map_or_else(|| "   n/a".to_string(), |w| format!("{w:>6.3}")),
-            if ing.in_recipe { "(declared in Recipe)" } else { "(not in Recipe)" }
+            if ing.in_recipe {
+                "(declared in Recipe)"
+            } else {
+                "(not in Recipe)"
+            }
         );
     }
     println!(
@@ -55,7 +59,11 @@ fn main() {
             "  Pairwise    : P[protected preferred] = {:.3}, p-value {:.4}, {}",
             report.pairwise.preference_probability,
             report.pairwise.p_value,
-            if report.pairwise.fair { "FAIR" } else { "UNFAIR" },
+            if report.pairwise.fair {
+                "FAIR"
+            } else {
+                "UNFAIR"
+            },
         );
         println!(
             "  Proportion  : top-{} share {:.2} vs over-all {:.2}, z = {:.2}, p-value {:.4}, {}",
@@ -64,7 +72,11 @@ fn main() {
             report.proportion.overall_proportion,
             report.proportion.z_statistic,
             report.proportion.p_value,
-            if report.proportion.fair { "FAIR" } else { "UNFAIR" },
+            if report.proportion.fair {
+                "FAIR"
+            } else {
+                "UNFAIR"
+            },
         );
         println!(
             "  Discounted  : rND {:.3}  rKL {:.3}  rRD {:.3}",

@@ -44,7 +44,11 @@ fn main() {
 
     println!(
         "Overview verdict: {} (stability score {:.3})",
-        if label.stability.stable { "STABLE" } else { "UNSTABLE" },
+        if label.stability.stable {
+            "STABLE"
+        } else {
+            "UNSTABLE"
+        },
         label.stability.stability_score
     );
 

@@ -16,13 +16,19 @@ fn main() {
     let table = cs_table();
 
     for method in [NormalizationMethod::None, NormalizationMethod::MinMax] {
-        println!("\n### normalize and standardize attributes: {}", method.as_str());
+        println!(
+            "\n### normalize and standardize attributes: {}",
+            method.as_str()
+        );
         let view = DesignView::build(&table, method, 6, 10).expect("design view");
 
         println!("\nData preview ({} rows total):", view.rows);
         println!("{}", view.data_preview);
 
-        println!("Numerical attributes (scoring candidates): {:?}", view.numeric_attributes);
+        println!(
+            "Numerical attributes (scoring candidates): {:?}",
+            view.numeric_attributes
+        );
         println!(
             "Categorical attributes (sensitive candidates): {:?}",
             view.categorical_attributes
@@ -33,7 +39,10 @@ fn main() {
             print!("{}", gre.histogram.to_ascii(36));
             println!(
                 "raw summary:        min {:.1}  median {:.1}  max {:.1}  mean {:.1}",
-                gre.raw_summary.min, gre.raw_summary.median, gre.raw_summary.max, gre.raw_summary.mean
+                gre.raw_summary.min,
+                gre.raw_summary.median,
+                gre.raw_summary.max,
+                gre.raw_summary.mean
             );
             if let Some(norm) = &gre.normalized_summary {
                 println!(

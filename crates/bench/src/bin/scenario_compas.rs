@@ -23,7 +23,10 @@ fn main() {
         .expect("unbiased dataset");
     let unbiased_label = NutritionalLabel::generate(&unbiased_table, &config).expect("label");
 
-    for (name, l) in [("biased (as published)", &label), ("unbiased counterfactual", &unbiased_label)] {
+    for (name, l) in [
+        ("biased (as published)", &label),
+        ("unbiased counterfactual", &unbiased_label),
+    ] {
         println!("\n[{name}]");
         for report in &l.fairness.reports {
             println!(
@@ -33,7 +36,11 @@ fn main() {
                 report.pairwise.preference_probability,
                 report.proportion.top_k_proportion,
                 report.proportion.overall_proportion,
-                if report.any_unfair() { "UNFAIR" } else { "fair" }
+                if report.any_unfair() {
+                    "UNFAIR"
+                } else {
+                    "fair"
+                }
             );
         }
     }

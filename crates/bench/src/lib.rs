@@ -10,10 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rf_core::{LabelConfig, NutritionalLabel};
+use rf_core::{AnalysisPipeline, LabelConfig, NutritionalLabel};
 use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
 use rf_ranking::ScoringFunction;
 use rf_table::Table;
+use std::sync::Arc;
 
 /// The paper's CS-departments scoring function:
 /// 0.4·PubCount + 0.4·Faculty + 0.2·GRE over min-max-normalized attributes.
@@ -94,10 +95,13 @@ pub fn german_credit_scenario(rows: usize) -> (Table, LabelConfig) {
     (table, config)
 }
 
-/// Generates the CS departments label (the Figure 1 artifact).
+/// Generates the CS departments label (the Figure 1 artifact) through the
+/// parallel analysis pipeline.
 #[must_use]
 pub fn cs_label() -> NutritionalLabel {
-    NutritionalLabel::generate(&cs_table(), &cs_label_config()).expect("CS label")
+    AnalysisPipeline::new()
+        .generate(Arc::new(cs_table()), Arc::new(cs_label_config()))
+        .expect("CS label")
 }
 
 /// Prints a labelled separator used by the regeneration binaries.

@@ -177,7 +177,9 @@ pub fn parse_weight_spec(spec: &str) -> CliResult<Vec<(String, f64)>> {
             )));
         }
         let value: f64 = value.trim().parse().map_err(|_| {
-            CliError::usage(format!("weight for `{name}` must be a number, got `{value}`"))
+            CliError::usage(format!(
+                "weight for `{name}` must be a number, got `{value}`"
+            ))
         })?;
         pairs.push((name.to_string(), value));
     }
@@ -194,9 +196,9 @@ pub fn parse_weight_spec(spec: &str) -> CliResult<Vec<(String, f64)>> {
 /// # Errors
 /// Returns a usage error when there is no `=` or either side is empty.
 pub fn parse_attribute_value(spec: &str) -> CliResult<(String, String)> {
-    let (attribute, value) = spec.split_once('=').ok_or_else(|| {
-        CliError::usage(format!("`{spec}` must have the form `attribute=value`"))
-    })?;
+    let (attribute, value) = spec
+        .split_once('=')
+        .ok_or_else(|| CliError::usage(format!("`{spec}` must have the form `attribute=value`")))?;
     if attribute.trim().is_empty() || value.trim().is_empty() {
         return Err(CliError::usage(format!(
             "`{spec}` must name both an attribute and a value"
@@ -212,7 +214,9 @@ pub fn parse_attribute_value(spec: &str) -> CliResult<(String, String)> {
 pub fn parse_category_count(spec: &str) -> CliResult<(String, usize)> {
     let (category, count) = parse_attribute_value(spec)?;
     let count: usize = count.parse().map_err(|_| {
-        CliError::usage(format!("count for `{category}` must be an integer, got `{count}`"))
+        CliError::usage(format!(
+            "count for `{category}` must be an integer, got `{count}`"
+        ))
     })?;
     Ok((category, count))
 }
@@ -234,14 +238,8 @@ mod tests {
 
     #[test]
     fn later_occurrences_win_and_get_all_preserves_order() {
-        let args = ParsedArgs::parse([
-            "label",
-            "--sensitive",
-            "a=x",
-            "--sensitive",
-            "b=y",
-        ])
-        .unwrap();
+        let args =
+            ParsedArgs::parse(["label", "--sensitive", "a=x", "--sensitive", "b=y"]).unwrap();
         assert_eq!(args.get("sensitive"), Some("b=y"));
         assert_eq!(args.get_all("sensitive"), vec!["a=x", "b=y"]);
     }

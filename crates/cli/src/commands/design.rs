@@ -30,8 +30,8 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     let normalization = parse_normalization(args)?;
     let bins = args.get_usize("bins", 10)?;
     let preview_rows = args.get_usize("preview-rows", 5)?;
-    let view =
-        DesignView::build(&table, normalization, preview_rows, bins).map_err(CliError::execution)?;
+    let view = DesignView::build(&table, normalization, preview_rows, bins)
+        .map_err(CliError::execution)?;
 
     let mut out = String::new();
     let _ = writeln!(out, "=== Scoring function design — {name} ===");
@@ -66,8 +66,19 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
                 norm.min, norm.median, norm.max
             );
         }
-        let _ = writeln!(out, "  histogram ({} bins):", preview.histogram.counts.len());
-        let peak = preview.histogram.counts.iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(
+            out,
+            "  histogram ({} bins):",
+            preview.histogram.counts.len()
+        );
+        let peak = preview
+            .histogram
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
         for (bin, &count) in preview.histogram.counts.iter().enumerate() {
             let lo = preview.histogram.min + bin as f64 * preview.histogram.bin_width;
             let bar_len = (count as f64 / peak as f64 * 40.0).round() as usize;
@@ -75,7 +86,11 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
         }
     }
     if let Some(wanted) = filter {
-        if !view.attribute_previews.iter().any(|p| p.attribute == wanted) {
+        if !view
+            .attribute_previews
+            .iter()
+            .any(|p| p.attribute == wanted)
+        {
             return Err(CliError::usage(format!(
                 "`--attribute {wanted}` does not name a numeric attribute (available: {})",
                 view.numeric_attributes.join(", ")
@@ -90,7 +105,11 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
         let preview = view
             .preview_ranking(&table, &scoring, n)
             .map_err(CliError::execution)?;
-        let _ = writeln!(out, "\n--- ranking preview (top {}) ---", preview.top_items.len());
+        let _ = writeln!(
+            out,
+            "\n--- ranking preview (top {}) ---",
+            preview.top_items.len()
+        );
         for (rank, (item, score)) in preview
             .top_items
             .iter()
@@ -111,7 +130,15 @@ mod tests {
     #[test]
     fn design_view_lists_attributes_and_histograms() {
         let args = ParsedArgs::parse([
-            "design", "--dataset", "cs", "--rows", "50", "--seed", "1", "--bins", "8",
+            "design",
+            "--dataset",
+            "cs",
+            "--rows",
+            "50",
+            "--seed",
+            "1",
+            "--bins",
+            "8",
         ])
         .unwrap();
         let out = run(&args).unwrap();
@@ -147,7 +174,13 @@ mod tests {
     #[test]
     fn unknown_attribute_is_a_usage_error() {
         let args = ParsedArgs::parse([
-            "design", "--dataset", "cs", "--rows", "30", "--attribute", "Ghost",
+            "design",
+            "--dataset",
+            "cs",
+            "--rows",
+            "30",
+            "--attribute",
+            "Ghost",
         ])
         .unwrap();
         assert!(run(&args).is_err());
@@ -155,9 +188,8 @@ mod tests {
 
     #[test]
     fn zero_bins_is_an_execution_error() {
-        let args =
-            ParsedArgs::parse(["design", "--dataset", "cs", "--rows", "30", "--bins", "0"])
-                .unwrap();
+        let args = ParsedArgs::parse(["design", "--dataset", "cs", "--rows", "30", "--bins", "0"])
+            .unwrap();
         assert!(run(&args).is_err());
     }
 }

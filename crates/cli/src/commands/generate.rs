@@ -40,9 +40,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let args =
-            ParsedArgs::parse(["generate", "--dataset", "german", "--rows", "20", "--seed", "9"])
-                .unwrap();
+        let args = ParsedArgs::parse([
+            "generate",
+            "--dataset",
+            "german",
+            "--rows",
+            "20",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         assert_eq!(run(&args).unwrap(), run(&args).unwrap());
     }
 

@@ -3,7 +3,8 @@
 use crate::args::{parse_attribute_value, ParsedArgs};
 use crate::commands::{build_scoring, load_input, write_or_return};
 use crate::error::{CliError, CliResult};
-use rf_core::{IngredientsMethod, LabelConfig, NutritionalLabel};
+use rf_core::{AnalysisPipeline, IngredientsMethod, LabelConfig};
+use std::sync::Arc;
 
 const ALLOWED: &[&str] = &[
     "dataset",
@@ -32,7 +33,11 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     args.reject_unknown(ALLOWED)?;
     let (table, name) = load_input(args)?;
     let config = build_config(args, name)?;
-    let label = NutritionalLabel::generate(&table, &config).map_err(CliError::execution)?;
+    // The command owns its table, so it hands it straight to the parallel
+    // pipeline without the copy `NutritionalLabel::generate` would make.
+    let label = AnalysisPipeline::new()
+        .generate(Arc::new(table), Arc::new(config))
+        .map_err(CliError::execution)?;
     let rendered = match args.get("format").unwrap_or("text") {
         "text" => label.to_text(),
         "json" => label.to_json().map_err(CliError::execution)?,

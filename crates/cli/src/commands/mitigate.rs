@@ -47,7 +47,9 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     let search = MitigationSearch::new()
         .with_max_suggestions(args.get_usize("suggestions", 5)?)
         .with_min_similarity(args.get_f64("min-similarity", 0.2)?);
-    let suggestions = search.suggest(&table, &config).map_err(CliError::execution)?;
+    let suggestions = search
+        .suggest(&table, &config)
+        .map_err(CliError::execution)?;
 
     let mut out = String::new();
     let _ = writeln!(out, "=== Mitigation suggestions — {name} ===");

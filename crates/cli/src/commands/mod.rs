@@ -133,7 +133,13 @@ mod tests {
     #[test]
     fn load_input_generates_builtin_datasets() {
         let (table, name) = load_input(&parsed(&[
-            "label", "--dataset", "cs", "--rows", "30", "--seed", "7",
+            "label",
+            "--dataset",
+            "cs",
+            "--rows",
+            "30",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(table.num_rows(), 30);
@@ -150,14 +156,8 @@ mod tests {
     fn load_input_rejects_bad_specifications() {
         assert!(load_input(&parsed(&["label"])).is_err());
         assert!(load_input(&parsed(&["label", "--dataset", "nope"])).is_err());
-        assert!(load_input(&parsed(&[
-            "label", "--dataset", "cs", "--data", "x.csv"
-        ]))
-        .is_err());
-        assert!(load_input(&parsed(&[
-            "label", "--dataset", "cs", "--rows", "abc"
-        ]))
-        .is_err());
+        assert!(load_input(&parsed(&["label", "--dataset", "cs", "--data", "x.csv"])).is_err());
+        assert!(load_input(&parsed(&["label", "--dataset", "cs", "--rows", "abc"])).is_err());
         assert!(load_input(&parsed(&["label", "--data", "/no/such/file.csv"])).is_err());
     }
 

@@ -47,13 +47,17 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
         .and_then(|t| t.with_alpha(alpha))
         .map(|t| t.with_adjustment(adjust))
         .map_err(CliError::execution)?;
-    let before = test.evaluate(&group, &ranking).map_err(CliError::execution)?;
+    let before = test
+        .evaluate(&group, &ranking)
+        .map_err(CliError::execution)?;
 
     let reranker = FairRerank::new(k, p)
         .and_then(|r| r.with_alpha(alpha))
         .map(|r| r.with_adjustment(adjust))
         .map_err(CliError::execution)?;
-    let outcome = reranker.rerank(&group, &ranking).map_err(CliError::execution)?;
+    let outcome = reranker
+        .rerank(&group, &ranking)
+        .map_err(CliError::execution)?;
     let after = test
         .evaluate(&group, &outcome.reranked)
         .map_err(CliError::execution)?;
@@ -91,11 +95,22 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
         outcome.kendall_tau_to_original
     );
     if outcome.changed {
-        let _ = writeln!(out, "\nrows boosted into the top-{k}: {:?}", outcome.boosted_into_top_k);
+        let _ = writeln!(
+            out,
+            "\nrows boosted into the top-{k}: {:?}",
+            outcome.boosted_into_top_k
+        );
     } else {
-        let _ = writeln!(out, "\nthe original ranking already satisfies the constraint; no change needed");
+        let _ = writeln!(
+            out,
+            "\nthe original ranking already satisfies the constraint; no change needed"
+        );
     }
-    let _ = writeln!(out, "\nre-ranked top-{k} (row indices): {:?}", outcome.reranked.top_k_indices(k));
+    let _ = writeln!(
+        out,
+        "\nre-ranked top-{k} (row indices): {:?}",
+        outcome.reranked.top_k_indices(k)
+    );
     Ok(out)
 }
 

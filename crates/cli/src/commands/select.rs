@@ -10,19 +10,8 @@ use rf_setsel::{
 use std::fmt::Write as _;
 
 const ALLOWED: &[&str] = &[
-    "dataset",
-    "data",
-    "rows",
-    "seed",
-    "utility",
-    "category",
-    "k",
-    "floor",
-    "ceiling",
-    "strategy",
-    "warmup",
-    "runs",
-    "sim-seed",
+    "dataset", "data", "rows", "seed", "utility", "category", "k", "floor", "ceiling", "strategy",
+    "warmup", "runs", "sim-seed",
 ];
 
 /// Runs the command.
@@ -51,8 +40,9 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
                 *existing = GroupConstraint::new(cat, existing.floor, count)
                     .map_err(CliError::execution)?;
             }
-            None => constraints
-                .push(GroupConstraint::at_most(cat, count).map_err(CliError::execution)?),
+            None => {
+                constraints.push(GroupConstraint::at_most(cat, count).map_err(CliError::execution)?)
+            }
         }
     }
     let constraints = ConstraintSet::new(k, constraints).map_err(CliError::execution)?;
@@ -189,8 +179,7 @@ mod tests {
 
     #[test]
     fn missing_required_options_are_usage_errors() {
-        let args =
-            ParsedArgs::parse(["select", "--dataset", "compas", "--rows", "100"]).unwrap();
+        let args = ParsedArgs::parse(["select", "--dataset", "compas", "--rows", "100"]).unwrap();
         let err = run(&args).unwrap_err();
         assert_eq!(err.exit_code(), 2);
     }

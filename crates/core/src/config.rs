@@ -247,16 +247,10 @@ mod tests {
             .with_sensitive_attribute("group", ["x", "y"])
             .with_diversity_attribute("group");
         assert_eq!(c.top_k, 5);
-        assert_eq!(
-            c.ingredients_method,
-            IngredientsMethod::RankAwareSimilarity
-        );
+        assert_eq!(c.ingredients_method, IngredientsMethod::RankAwareSimilarity);
         assert_eq!(c.alpha, 0.01);
         assert_eq!(c.dataset_name.as_deref(), Some("CS departments"));
-        assert_eq!(
-            c.protected_features(),
-            vec![("group", "x"), ("group", "y")]
-        );
+        assert_eq!(c.protected_features(), vec![("group", "x"), ("group", "y")]);
         assert_eq!(c.diversity_attributes, vec!["group"]);
     }
 
@@ -272,8 +266,14 @@ mod tests {
     #[test]
     fn validation_rejects_bad_k() {
         let t = table();
-        assert!(LabelConfig::new(scoring()).with_top_k(0).validate(&t).is_err());
-        assert!(LabelConfig::new(scoring()).with_top_k(9).validate(&t).is_err());
+        assert!(LabelConfig::new(scoring())
+            .with_top_k(0)
+            .validate(&t)
+            .is_err());
+        assert!(LabelConfig::new(scoring())
+            .with_top_k(9)
+            .validate(&t)
+            .is_err());
     }
 
     #[test]
@@ -282,7 +282,11 @@ mod tests {
         let base = LabelConfig::new(scoring()).with_top_k(2);
         assert!(base.clone().with_alpha(0.0).validate(&t).is_err());
         assert!(base.clone().with_alpha(1.0).validate(&t).is_err());
-        assert!(base.clone().with_stability_threshold(0.0).validate(&t).is_err());
+        assert!(base
+            .clone()
+            .with_stability_threshold(0.0)
+            .validate(&t)
+            .is_err());
         assert!(base.clone().with_ingredient_count(0).validate(&t).is_err());
         assert!(base.validate(&t).is_ok());
     }
@@ -292,7 +296,10 @@ mod tests {
         let t = table();
         // Scoring over a missing column.
         let bad_scoring = ScoringFunction::from_pairs([("ghost", 1.0)]).unwrap();
-        assert!(LabelConfig::new(bad_scoring).with_top_k(2).validate(&t).is_err());
+        assert!(LabelConfig::new(bad_scoring)
+            .with_top_k(2)
+            .validate(&t)
+            .is_err());
         // Sensitive attribute that is numeric.
         let c = LabelConfig::new(scoring())
             .with_top_k(2)

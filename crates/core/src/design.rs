@@ -183,9 +183,18 @@ mod tests {
     fn table() -> Table {
         Table::from_columns(vec![
             ("name", Column::from_strings(["a", "b", "c", "d", "e", "f"])),
-            ("GRE", Column::from_f64(vec![150.0, 155.0, 160.0, 162.0, 165.0, 168.0])),
-            ("pubs", Column::from_f64(vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0])),
-            ("region", Column::from_strings(["NE", "NE", "MW", "W", "W", "SA"])),
+            (
+                "GRE",
+                Column::from_f64(vec![150.0, 155.0, 160.0, 162.0, 165.0, 168.0]),
+            ),
+            (
+                "pubs",
+                Column::from_f64(vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0]),
+            ),
+            (
+                "region",
+                Column::from_strings(["NE", "NE", "MW", "W", "W", "SA"]),
+            ),
         ])
         .unwrap()
     }
@@ -217,7 +226,11 @@ mod tests {
     #[test]
     fn raw_mode_has_no_normalized_summary() {
         let view = DesignView::build(&table(), NormalizationMethod::None, 3, 4).unwrap();
-        assert!(view.attribute_preview("GRE").unwrap().normalized_summary.is_none());
+        assert!(view
+            .attribute_preview("GRE")
+            .unwrap()
+            .normalized_summary
+            .is_none());
         assert_eq!(view.normalization, "raw");
     }
 

@@ -111,7 +111,8 @@ mod tests {
     #[test]
     fn all_substrate_errors_convert() {
         let _: LabelError = rf_ranking::RankingError::EmptyRanking.into();
-        let _: LabelError = rf_fairness::FairnessError::DegenerateGroup { which: "protected" }.into();
+        let _: LabelError =
+            rf_fairness::FairnessError::DegenerateGroup { which: "protected" }.into();
         let _: LabelError = rf_stability::StabilityError::TooFewItems {
             available: 0,
             required: 2,

@@ -2,6 +2,7 @@
 
 use crate::config::LabelConfig;
 use crate::error::LabelResult;
+use crate::pipeline::AnalysisPipeline;
 use crate::widgets::diversity::DiversityWidget;
 use crate::widgets::fairness::FairnessWidget;
 use crate::widgets::ingredients::IngredientsWidget;
@@ -9,6 +10,7 @@ use crate::widgets::recipe::RecipeWidget;
 use crate::widgets::stability::StabilityWidget;
 use rf_ranking::Ranking;
 use rf_table::{Table, Value};
+use std::sync::Arc;
 
 /// One row of the ranked output shown at the top of the label.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -50,53 +52,26 @@ pub struct NutritionalLabel {
 impl NutritionalLabel {
     /// Generates the nutritional label for `table` under `config`.
     ///
-    /// This is the main entry point of the reproduction: it validates the
-    /// configuration, scores and ranks the table, and builds every widget.
+    /// This is the main entry point of the reproduction.  It routes through
+    /// the [`AnalysisPipeline`](crate::AnalysisPipeline): the configuration
+    /// is validated, the shared intermediates (ranking, normalized score
+    /// matrix, protected groups) are computed once, and the six widgets are
+    /// built concurrently on the shared `rf-runtime` pool.
+    ///
+    /// This convenience entry point clones `table` and `config` into [`Arc`]s;
+    /// callers that already hold shared data (the server catalogue, the
+    /// benches) should call [`AnalysisPipeline::generate`] directly and skip
+    /// the copy.
     ///
     /// # Errors
     /// Configuration validation errors or any widget-construction error.
     pub fn generate(table: &Table, config: &LabelConfig) -> LabelResult<Self> {
-        config.validate(table)?;
-        let ranking = config.scoring.rank_table(table)?;
-        let k = config.top_k;
-
-        let recipe = RecipeWidget::build(table, &config.scoring, &ranking, k)?;
-        let recipe_attribute_names: Vec<&str> = config.scoring.attribute_names();
-        let ingredients = IngredientsWidget::build_with_method(
-            table,
-            &ranking,
-            &recipe_attribute_names,
-            k,
-            config.ingredient_count,
-            config.ingredients_method,
-        )?;
-        let stability = StabilityWidget::build(
-            table,
-            &config.scoring,
-            &ranking,
-            k,
-            config.stability_threshold,
-        )?;
-        let fairness = FairnessWidget::build(table, &ranking, config)?;
-        let diversity = DiversityWidget::build(table, &ranking, config)?;
-        let top_k_rows = Self::top_k_rows(table, &ranking, k);
-
-        Ok(NutritionalLabel {
-            dataset_name: config.dataset_name.clone(),
-            config: config.clone(),
-            ranking,
-            top_k_rows,
-            recipe,
-            ingredients,
-            stability,
-            fairness,
-            diversity,
-        })
+        AnalysisPipeline::new().generate(Arc::new(table.clone()), Arc::new(config.clone()))
     }
 
     /// Builds display rows for the top-k items, using the first string column
     /// as the identifier when one exists.
-    fn top_k_rows(table: &Table, ranking: &Ranking, k: usize) -> Vec<RankedRow> {
+    pub(crate) fn top_k_rows(table: &Table, ranking: &Ranking, k: usize) -> Vec<RankedRow> {
         let id_column = table
             .schema()
             .fields()
@@ -151,7 +126,11 @@ impl NutritionalLabel {
     /// benchmark output.
     #[must_use]
     pub fn headline(&self) -> String {
-        let stability = if self.stability.stable { "stable" } else { "unstable" };
+        let stability = if self.stability.stable {
+            "stable"
+        } else {
+            "unstable"
+        };
         let fairness = if self.fairness.reports.is_empty() {
             "no sensitive attributes audited".to_string()
         } else if self.fairness.all_fair() {
@@ -191,7 +170,9 @@ mod tests {
         let pubs: Vec<f64> = (0..n).map(|i| 90.0 - 3.0 * i as f64).collect();
         let faculty: Vec<f64> = pubs.iter().map(|p| p * 0.9 + 10.0).collect();
         let gre: Vec<f64> = (0..n).map(|i| 158.0 + (i % 4) as f64).collect();
-        let sizes: Vec<&str> = (0..n).map(|i| if i < 15 { "large" } else { "small" }).collect();
+        let sizes: Vec<&str> = (0..n)
+            .map(|i| if i < 15 { "large" } else { "small" })
+            .collect();
         let regions: Vec<&str> = (0..n)
             .map(|i| match i % 5 {
                 0 => "NE",
@@ -213,12 +194,9 @@ mod tests {
     }
 
     fn config() -> LabelConfig {
-        let scoring = ScoringFunction::from_pairs([
-            ("PubCount", 0.4),
-            ("Faculty", 0.4),
-            ("GRE", 0.2),
-        ])
-        .unwrap();
+        let scoring =
+            ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+                .unwrap();
         LabelConfig::new(scoring)
             .with_top_k(10)
             .with_dataset_name("CS departments (synthetic)")
@@ -237,7 +215,10 @@ mod tests {
         assert!(!label.ingredients.ingredients.is_empty());
         assert_eq!(label.fairness.reports.len(), 2);
         assert_eq!(label.diversity.reports.len(), 2);
-        assert_eq!(label.dataset_name.as_deref(), Some("CS departments (synthetic)"));
+        assert_eq!(
+            label.dataset_name.as_deref(),
+            Some("CS departments (synthetic)")
+        );
     }
 
     #[test]
@@ -282,11 +263,8 @@ mod tests {
 
     #[test]
     fn identifier_falls_back_to_row_index() {
-        let table = Table::from_columns(vec![(
-            "x",
-            Column::from_f64(vec![3.0, 1.0, 2.0]),
-        )])
-        .unwrap();
+        let table =
+            Table::from_columns(vec![("x", Column::from_f64(vec![3.0, 1.0, 2.0]))]).unwrap();
         let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
         let config = LabelConfig::new(scoring).with_top_k(2);
         let label = NutritionalLabel::generate(&table, &config).unwrap();

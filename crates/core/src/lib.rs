@@ -56,6 +56,7 @@ pub mod design;
 pub mod error;
 pub mod label;
 pub mod mitigation;
+pub mod pipeline;
 pub mod render;
 pub mod widgets;
 
@@ -64,6 +65,7 @@ pub use design::{AttributePreview, DesignView};
 pub use error::{LabelError, LabelResult};
 pub use label::NutritionalLabel;
 pub use mitigation::{MitigationSearch, MitigationSuggestion};
+pub use pipeline::{AnalysisContext, AnalysisPipeline, WidgetBuilder, WidgetOutput};
 pub use render::{render_html, render_json, render_text};
 pub use widgets::diversity::DiversityWidget;
 pub use widgets::fairness::FairnessWidget;

@@ -22,8 +22,8 @@
 
 use crate::config::LabelConfig;
 use crate::error::{LabelError, LabelResult};
-use rf_fairness::{PairwiseTest, ProportionTest, ProtectedGroup};
 use rf_diversity::DiversityReport;
+use rf_fairness::{PairwiseTest, ProportionTest, ProtectedGroup};
 use rf_ranking::{kendall_tau_rankings, AttributeWeight, Ranking, ScoringFunction};
 use rf_table::Table;
 
@@ -152,9 +152,10 @@ impl MitigationSearch {
             if !seen_directions.insert(key) {
                 continue;
             }
-            let Ok(scoring) =
-                ScoringFunction::with_normalization(weights.clone(), original_scoring.normalization())
-            else {
+            let Ok(scoring) = ScoringFunction::with_normalization(
+                weights.clone(),
+                original_scoring.normalization(),
+            ) else {
                 continue;
             };
             let Ok(ranking) = scoring.rank_table(table) else {
@@ -188,7 +189,10 @@ impl MitigationSearch {
         suggestions.sort_by(|a, b| {
             a.unfair_features
                 .cmp(&b.unfair_features)
-                .then(a.attributes_losing_categories.cmp(&b.attributes_losing_categories))
+                .then(
+                    a.attributes_losing_categories
+                        .cmp(&b.attributes_losing_categories),
+                )
                 .then(
                     b.similarity_to_original
                         .partial_cmp(&a.similarity_to_original)
@@ -238,8 +242,7 @@ impl MitigationSearch {
             for (axis, w) in original.iter().enumerate() {
                 for &factor in &self.factors {
                     let mut weights = original.clone();
-                    weights[axis] =
-                        AttributeWeight::new(w.attribute.clone(), w.weight * factor);
+                    weights[axis] = AttributeWeight::new(w.attribute.clone(), w.weight * factor);
                     candidates.push(weights);
                 }
             }
@@ -352,8 +355,13 @@ mod tests {
         // The original recipe is unfair to group B (quality dominates).
         let original_ranking = config.scoring.rank_table(&table).unwrap();
         let group = ProtectedGroup::from_table(&table, "group", "B").unwrap();
-        let original_pairwise = PairwiseTest::new().evaluate(&group, &original_ranking).unwrap();
-        assert!(!original_pairwise.fair, "test premise: original recipe is unfair");
+        let original_pairwise = PairwiseTest::new()
+            .evaluate(&group, &original_ranking)
+            .unwrap();
+        assert!(
+            !original_pairwise.fair,
+            "test premise: original recipe is unfair"
+        );
 
         // The default grid keeps quality dominant; widen it so the search can
         // also propose recipes where the group-neutral attribute leads.
@@ -400,9 +408,16 @@ mod tests {
     fn parameter_validation() {
         assert!(MitigationSearch::new().with_factors(vec![]).is_err());
         assert!(MitigationSearch::new().with_factors(vec![0.0]).is_err());
-        assert!(MitigationSearch::new().with_factors(vec![f64::NAN]).is_err());
+        assert!(MitigationSearch::new()
+            .with_factors(vec![f64::NAN])
+            .is_err());
         assert!(MitigationSearch::new().with_factors(vec![0.5, 2.0]).is_ok());
-        assert_eq!(MitigationSearch::new().with_max_suggestions(0).max_suggestions, 1);
+        assert_eq!(
+            MitigationSearch::new()
+                .with_max_suggestions(0)
+                .max_suggestions,
+            1
+        );
     }
 
     #[test]
@@ -447,10 +462,8 @@ mod tests {
             Column::from_strings((0..n).map(|i| if i % 2 == 0 { "A" } else { "B" })),
         ));
         let table = Table::from_columns(columns).unwrap();
-        let scoring = ScoringFunction::from_pairs(
-            (0..6).map(|a| (format!("attr{a}"), 1.0 / 6.0)),
-        )
-        .unwrap();
+        let scoring =
+            ScoringFunction::from_pairs((0..6).map(|a| (format!("attr{a}"), 1.0 / 6.0))).unwrap();
         let config = LabelConfig::new(scoring)
             .with_top_k(8)
             .with_sensitive_attribute("group", ["B"]);

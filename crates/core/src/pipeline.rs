@@ -1,0 +1,485 @@
+//! The parallel label-generation pipeline.
+//!
+//! [`NutritionalLabel::generate`](crate::NutritionalLabel::generate) used to
+//! build its six widgets strictly one after another, and every widget
+//! re-derived whatever intermediates it needed from the raw table.  This
+//! module restructures that into two phases, the way shared-intermediate
+//! engines stage work once instead of recomputing it per operator:
+//!
+//! 1. **Prepare** — an [`AnalysisContext`] computes the shared intermediates
+//!    exactly once: the ranking induced by the Recipe, the min-max-normalized
+//!    score matrix of the scoring attributes (in rank order, for the
+//!    Stability widget), and the protected-group membership vectors (for the
+//!    Fairness widget).
+//! 2. **Build** — each widget is a [`WidgetBuilder`] reading the immutable
+//!    context; the [`AnalysisPipeline`] schedules all builders concurrently
+//!    on the shared `rf-runtime` pool (or serially, for the reference path
+//!    the parity tests compare against).
+//!
+//! Both schedules consume identical inputs in identical order, so their
+//! outputs are byte-identical after JSON rendering — asserted by
+//! `tests/integration_pipeline_parity.rs`.
+
+use crate::config::LabelConfig;
+use crate::error::LabelResult;
+use crate::label::{NutritionalLabel, RankedRow};
+use crate::widgets::diversity::DiversityWidget;
+use crate::widgets::fairness::FairnessWidget;
+use crate::widgets::ingredients::IngredientsWidget;
+use crate::widgets::recipe::RecipeWidget;
+use crate::widgets::stability::StabilityWidget;
+use rf_fairness::ProtectedGroup;
+use rf_ranking::Ranking;
+use rf_table::Table;
+use std::sync::Arc;
+
+/// The shared, immutable state every widget builder reads.
+///
+/// Prepared once per label: widgets never touch the raw table for anything
+/// the context already derived.
+#[derive(Debug, Clone)]
+pub struct AnalysisContext {
+    /// The dataset being labelled.
+    pub table: Arc<Table>,
+    /// The label configuration.
+    pub config: Arc<LabelConfig>,
+    /// The full ranking induced by the Recipe — computed once.
+    pub ranking: Ranking,
+    /// Protected-group membership vectors, one per audited
+    /// `(attribute, protected value)` pair, in configuration order.
+    pub protected_groups: Vec<ProtectedGroup>,
+    /// Min-max-normalized values of every scoring attribute in rank order
+    /// (the Stability widget's input matrix).
+    pub normalized_scoring: Vec<(String, Vec<f64>)>,
+}
+
+impl AnalysisContext {
+    /// Validates the configuration and computes every shared intermediate.
+    ///
+    /// # Errors
+    /// Configuration validation errors, ranking errors, fairness group
+    /// extraction errors, or stability normalization errors.
+    pub fn prepare(table: Arc<Table>, config: Arc<LabelConfig>) -> LabelResult<Self> {
+        config.validate(&table)?;
+        let ranking = config.scoring.rank_table(&table)?;
+        let mut protected_groups = Vec::new();
+        for (attribute, protected_value) in config.protected_features() {
+            protected_groups.push(ProtectedGroup::from_table(
+                &table,
+                attribute,
+                protected_value,
+            )?);
+        }
+        let normalized_scoring =
+            rf_stability::normalized_values_in_rank_order(&table, &config.scoring, &ranking)?;
+        Ok(AnalysisContext {
+            table,
+            config,
+            ranking,
+            protected_groups,
+            normalized_scoring,
+        })
+    }
+
+    /// The audited prefix size.
+    #[must_use]
+    pub fn top_k(&self) -> usize {
+        self.config.top_k
+    }
+}
+
+/// One widget of the label, produced by a [`WidgetBuilder`].
+#[derive(Debug, Clone)]
+pub enum WidgetOutput {
+    /// The Recipe widget.
+    Recipe(RecipeWidget),
+    /// The Ingredients widget.
+    Ingredients(IngredientsWidget),
+    /// The Stability widget.
+    Stability(StabilityWidget),
+    /// The Fairness widget (all three measures per protected feature).
+    Fairness(FairnessWidget),
+    /// The Diversity widget.
+    Diversity(DiversityWidget),
+    /// The display rows for the top-k prefix.
+    TopRows(Vec<RankedRow>),
+}
+
+/// A unit of label construction that can run on the shared pool.
+///
+/// Implementations must be pure functions of the [`AnalysisContext`]: the
+/// pipeline gives no ordering guarantees between builders, and the parity
+/// suite asserts the parallel and sequential schedules agree.
+pub trait WidgetBuilder: Send + Sync {
+    /// Stable name used in diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Builds this widget from the shared context.
+    ///
+    /// # Errors
+    /// Widget-specific construction errors.
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput>;
+}
+
+struct RecipeBuilder;
+
+impl WidgetBuilder for RecipeBuilder {
+    fn name(&self) -> &'static str {
+        "recipe"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        RecipeWidget::build(&ctx.table, &ctx.config.scoring, &ctx.ranking, ctx.top_k())
+            .map(WidgetOutput::Recipe)
+    }
+}
+
+struct IngredientsBuilder;
+
+impl WidgetBuilder for IngredientsBuilder {
+    fn name(&self) -> &'static str {
+        "ingredients"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        let recipe_attribute_names: Vec<&str> = ctx.config.scoring.attribute_names();
+        IngredientsWidget::build_with_method(
+            &ctx.table,
+            &ctx.ranking,
+            &recipe_attribute_names,
+            ctx.top_k(),
+            ctx.config.ingredient_count,
+            ctx.config.ingredients_method,
+        )
+        .map(WidgetOutput::Ingredients)
+    }
+}
+
+struct StabilityBuilder;
+
+impl WidgetBuilder for StabilityBuilder {
+    fn name(&self) -> &'static str {
+        "stability"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        StabilityWidget::build_from_normalized(
+            &ctx.config.scoring,
+            &ctx.normalized_scoring,
+            &ctx.ranking,
+            ctx.top_k(),
+            ctx.config.stability_threshold,
+        )
+        .map(WidgetOutput::Stability)
+    }
+}
+
+/// One job per audited protected feature: the three fairness measures of one
+/// `(attribute, protected value)` pair, so features evaluate concurrently
+/// (the paper's COMPAS scenario audits two, German credit two).
+struct FairnessFeatureBuilder {
+    index: usize,
+}
+
+impl WidgetBuilder for FairnessFeatureBuilder {
+    fn name(&self) -> &'static str {
+        "fairness-feature"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        let group = std::slice::from_ref(&ctx.protected_groups[self.index]);
+        FairnessWidget::build_from_groups(group, &ctx.ranking, &ctx.config)
+            .map(WidgetOutput::Fairness)
+    }
+}
+
+struct DiversityBuilder;
+
+impl WidgetBuilder for DiversityBuilder {
+    fn name(&self) -> &'static str {
+        "diversity"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        DiversityWidget::build(&ctx.table, &ctx.ranking, &ctx.config).map(WidgetOutput::Diversity)
+    }
+}
+
+struct TopRowsBuilder;
+
+impl WidgetBuilder for TopRowsBuilder {
+    fn name(&self) -> &'static str {
+        "top-rows"
+    }
+
+    fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+        Ok(WidgetOutput::TopRows(NutritionalLabel::top_k_rows(
+            &ctx.table,
+            &ctx.ranking,
+            ctx.top_k(),
+        )))
+    }
+}
+
+/// The builders of the complete label, in the label's widget order (also the
+/// order errors are reported in, regardless of schedule).  Fairness fans out
+/// one job per protected feature; their outputs are concatenated in builder
+/// order, which is configuration order.
+fn builders(ctx: &AnalysisContext) -> Vec<Box<dyn WidgetBuilder>> {
+    let mut list: Vec<Box<dyn WidgetBuilder>> = vec![
+        Box::new(RecipeBuilder),
+        Box::new(IngredientsBuilder),
+        Box::new(StabilityBuilder),
+    ];
+    for index in 0..ctx.protected_groups.len() {
+        list.push(Box::new(FairnessFeatureBuilder { index }));
+    }
+    list.push(Box::new(DiversityBuilder));
+    list.push(Box::new(TopRowsBuilder));
+    list
+}
+
+/// How the pipeline schedules its widget builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Schedule {
+    /// Fan out across the shared `rf-runtime` pool (the default).
+    Parallel,
+    /// Build widgets one after another on the calling thread — the reference
+    /// path the parity tests compare against.
+    Sequential,
+}
+
+/// Generates nutritional labels by fanning widget builders out over the
+/// shared [`rf_runtime`] pool.
+#[derive(Debug, Clone)]
+pub struct AnalysisPipeline {
+    schedule: Schedule,
+    pool: Option<Arc<rf_runtime::ThreadPool>>,
+}
+
+impl Default for AnalysisPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalysisPipeline {
+    /// A pipeline scheduling widgets concurrently on the process-wide pool.
+    #[must_use]
+    pub fn new() -> Self {
+        AnalysisPipeline {
+            schedule: Schedule::Parallel,
+            pool: None,
+        }
+    }
+
+    /// A pipeline scheduling widgets concurrently on a dedicated pool.
+    #[must_use]
+    pub fn with_pool(pool: Arc<rf_runtime::ThreadPool>) -> Self {
+        AnalysisPipeline {
+            schedule: Schedule::Parallel,
+            pool: Some(pool),
+        }
+    }
+
+    /// The single-threaded reference pipeline: identical inputs, identical
+    /// outputs, no concurrency.  Used by the parity tests and available
+    /// wherever determinism is easier to reason about serially.
+    #[must_use]
+    pub fn sequential() -> Self {
+        AnalysisPipeline {
+            schedule: Schedule::Sequential,
+            pool: None,
+        }
+    }
+
+    /// Generates the complete label for `table` under `config`.
+    ///
+    /// Sharing is by `Arc` so widget builders can cross the pool without
+    /// copying the dataset; callers holding plain values can use
+    /// [`NutritionalLabel::generate`], which wraps them.
+    ///
+    /// # Errors
+    /// Context preparation errors or the first widget error in label order.
+    pub fn generate(
+        &self,
+        table: Arc<Table>,
+        config: Arc<LabelConfig>,
+    ) -> LabelResult<NutritionalLabel> {
+        let ctx = Arc::new(AnalysisContext::prepare(table, config)?);
+        let outputs = match self.schedule {
+            Schedule::Sequential => {
+                let mut outputs = Vec::new();
+                for builder in builders(&ctx) {
+                    outputs.push(builder.build(&ctx)?);
+                }
+                outputs
+            }
+            Schedule::Parallel => self.run_parallel(&ctx)?,
+        };
+        Ok(Self::assemble(&ctx, outputs))
+    }
+
+    /// Runs every builder on the pool, then surfaces results (or the first
+    /// error) in builder order so the parallel schedule reports exactly what
+    /// the sequential one would.
+    fn run_parallel(&self, ctx: &Arc<AnalysisContext>) -> LabelResult<Vec<WidgetOutput>> {
+        let pool: &rf_runtime::ThreadPool = match &self.pool {
+            Some(pool) => pool,
+            None => rf_runtime::global(),
+        };
+        let list = builders(ctx);
+        let names: Vec<&'static str> = list.iter().map(|b| b.name()).collect();
+        let jobs: Vec<_> = list
+            .into_iter()
+            .map(|builder| {
+                let ctx = Arc::clone(ctx);
+                move || builder.build(&ctx)
+            })
+            .collect();
+        let raw = pool.run_all(jobs);
+        let mut outputs = Vec::with_capacity(raw.len());
+        for (slot, name) in raw.into_iter().zip(names) {
+            match slot {
+                Some(result) => outputs.push(result?),
+                None => panic!("widget builder `{name}` panicked"),
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn assemble(ctx: &Arc<AnalysisContext>, outputs: Vec<WidgetOutput>) -> NutritionalLabel {
+        let mut recipe = None;
+        let mut ingredients = None;
+        let mut stability = None;
+        let mut fairness_reports = Vec::new();
+        let mut diversity = None;
+        let mut top_k_rows = None;
+        for output in outputs {
+            match output {
+                WidgetOutput::Recipe(widget) => recipe = Some(widget),
+                WidgetOutput::Ingredients(widget) => ingredients = Some(widget),
+                WidgetOutput::Stability(widget) => stability = Some(widget),
+                // Per-feature fairness outputs arrive in builder order, which
+                // is configuration order; concatenation preserves it.
+                WidgetOutput::Fairness(widget) => fairness_reports.extend(widget.reports),
+                WidgetOutput::Diversity(widget) => diversity = Some(widget),
+                WidgetOutput::TopRows(rows) => top_k_rows = Some(rows),
+            }
+        }
+        NutritionalLabel {
+            dataset_name: ctx.config.dataset_name.clone(),
+            config: (*ctx.config).clone(),
+            ranking: ctx.ranking.clone(),
+            top_k_rows: top_k_rows.expect("top-rows builder always runs"),
+            recipe: recipe.expect("recipe builder always runs"),
+            ingredients: ingredients.expect("ingredients builder always runs"),
+            stability: stability.expect("stability builder always runs"),
+            fairness: FairnessWidget {
+                reports: fairness_reports,
+            },
+            diversity: diversity.expect("diversity builder always runs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_ranking::ScoringFunction;
+    use rf_table::Column;
+
+    fn scenario() -> (Arc<Table>, Arc<LabelConfig>) {
+        let n = 40usize;
+        let names: Vec<String> = (0..n).map(|i| format!("Item{i:02}")).collect();
+        let quality: Vec<f64> = (0..n).map(|i| 100.0 - 2.0 * i as f64).collect();
+        let minor: Vec<f64> = (0..n).map(|i| 50.0 + (i % 5) as f64).collect();
+        let group: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let table = Table::from_columns(vec![
+            ("Name", Column::from_strings(names)),
+            ("Quality", Column::from_f64(quality)),
+            ("Minor", Column::from_f64(minor)),
+            ("Group", Column::from_strings(group)),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("Quality", 0.8), ("Minor", 0.2)]).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(10)
+            .with_sensitive_attribute("Group", ["a", "b"])
+            .with_diversity_attribute("Group");
+        (Arc::new(table), Arc::new(config))
+    }
+
+    #[test]
+    fn context_prepares_every_shared_intermediate() {
+        let (table, config) = scenario();
+        let ctx = AnalysisContext::prepare(table, config).unwrap();
+        assert_eq!(ctx.ranking.len(), 40);
+        assert_eq!(ctx.protected_groups.len(), 2);
+        assert_eq!(ctx.normalized_scoring.len(), 2);
+        assert_eq!(ctx.normalized_scoring[0].0, "Quality");
+        assert_eq!(ctx.normalized_scoring[0].1.len(), 40);
+        // Normalized values in rank order decrease for the dominant attribute.
+        let quality = &ctx.normalized_scoring[0].1;
+        assert!(quality.first().unwrap() > quality.last().unwrap());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (table, config) = scenario();
+        let parallel = AnalysisPipeline::new()
+            .generate(Arc::clone(&table), Arc::clone(&config))
+            .unwrap();
+        let sequential = AnalysisPipeline::sequential()
+            .generate(table, config)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn dedicated_pool_works() {
+        let (table, config) = scenario();
+        let pool = Arc::new(rf_runtime::ThreadPool::new(2));
+        let label = AnalysisPipeline::with_pool(pool)
+            .generate(table, config)
+            .unwrap();
+        assert_eq!(label.top_k_rows.len(), 10);
+    }
+
+    #[test]
+    fn invalid_config_fails_in_prepare() {
+        let (table, config) = scenario();
+        let bad = Arc::new((*config).clone().with_top_k(500));
+        assert!(AnalysisPipeline::new().generate(table, bad).is_err());
+    }
+
+    #[test]
+    fn widget_errors_surface_in_label_order() {
+        // A non-binary sensitive attribute passes validation but fails group
+        // extraction during prepare.
+        let n = 30usize;
+        let region: Vec<&str> = (0..n)
+            .map(|i| match i % 3 {
+                0 => "NE",
+                1 => "MW",
+                _ => "W",
+            })
+            .collect();
+        let table = Table::from_columns(vec![
+            ("Region", Column::from_strings(region)),
+            (
+                "Score",
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("Score", 1.0)]).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(5)
+            .with_sensitive_attribute("Region", ["NE"]);
+        let err = AnalysisPipeline::new()
+            .generate(Arc::new(table), Arc::new(config))
+            .unwrap_err();
+        assert!(matches!(err, crate::LabelError::Fairness(_)));
+    }
+}

@@ -102,7 +102,11 @@ pub fn render_html(label: &NutritionalLabel) -> String {
     let _ = write!(body, "</section>");
 
     // Stability card.
-    let verdict_class = if label.stability.stable { "stable" } else { "unstable" };
+    let verdict_class = if label.stability.stable {
+        "stable"
+    } else {
+        "unstable"
+    };
     let _ = write!(
         body,
         "<section class=\"card stability\"><h2>Stability</h2>\
@@ -110,7 +114,11 @@ pub fn render_html(label: &NutritionalLabel) -> String {
          <table><tr><th>Slice</th><th>Slope</th><th>Verdict</th></tr>\
          <tr><td>top-{}</td><td>{:.3}</td><td>{}</td></tr>\
          <tr><td>over-all</td><td>{:.3}</td><td>{}</td></tr></table>",
-        if label.stability.stable { "STABLE" } else { "UNSTABLE" },
+        if label.stability.stable {
+            "STABLE"
+        } else {
+            "UNSTABLE"
+        },
         label.stability.stability_score,
         label.stability.slope.threshold,
         label.stability.slope.k,
@@ -119,7 +127,10 @@ pub fn render_html(label: &NutritionalLabel) -> String {
         label.stability.slope.overall.slope_magnitude,
         label.stability.slope.overall.verdict.as_str(),
     );
-    let _ = write!(body, "<h3>Per-attribute</h3><table><tr><th>Attribute</th><th>Slope</th><th>Verdict</th></tr>");
+    let _ = write!(
+        body,
+        "<h3>Per-attribute</h3><table><tr><th>Attribute</th><th>Slope</th><th>Verdict</th></tr>"
+    );
     for attr in &label.stability.per_attribute {
         let _ = write!(
             body,
@@ -231,7 +242,14 @@ mod tests {
     #[test]
     fn html_has_one_card_per_widget() {
         let html = render_html(&sample_label());
-        for class in ["ranking", "recipe", "ingredients", "stability", "fairness", "diversity"] {
+        for class in [
+            "ranking",
+            "recipe",
+            "ingredients",
+            "stability",
+            "fairness",
+            "diversity",
+        ] {
             assert!(
                 html.contains(&format!("class=\"card {class}\"")),
                 "missing card {class}"

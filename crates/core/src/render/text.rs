@@ -14,7 +14,10 @@ pub fn render_text(label: &NutritionalLabel) -> String {
         .as_deref()
         .unwrap_or("ranking")
         .to_string();
-    let _ = writeln!(out, "==================== Ranking Facts ====================");
+    let _ = writeln!(
+        out,
+        "==================== Ranking Facts ===================="
+    );
     let _ = writeln!(out, "Dataset: {title}");
     let _ = writeln!(out, "Items ranked: {}", label.ranking.len());
     let _ = writeln!(out, "Headline: {}", label.headline());
@@ -23,12 +26,20 @@ pub fn render_text(label: &NutritionalLabel) -> String {
     // Top-k ranking.
     let _ = writeln!(out, "--- Top-{} ---", label.config.top_k);
     for row in &label.top_k_rows {
-        let _ = writeln!(out, "{:>3}. {:<24} score {:.4}", row.rank, row.identifier, row.score);
+        let _ = writeln!(
+            out,
+            "{:>3}. {:<24} score {:.4}",
+            row.rank, row.identifier, row.score
+        );
     }
     let _ = writeln!(out);
 
     // Recipe.
-    let _ = writeln!(out, "--- Recipe (normalization: {}) ---", label.recipe.normalization);
+    let _ = writeln!(
+        out,
+        "--- Recipe (normalization: {}) ---",
+        label.recipe.normalization
+    );
     for entry in &label.recipe.entries {
         let _ = writeln!(
             out,
@@ -39,7 +50,11 @@ pub fn render_text(label: &NutritionalLabel) -> String {
     let _ = writeln!(out);
 
     // Detailed recipe statistics.
-    let _ = writeln!(out, "--- Recipe details (top-{} vs over-all) ---", label.config.top_k);
+    let _ = writeln!(
+        out,
+        "--- Recipe details (top-{} vs over-all) ---",
+        label.config.top_k
+    );
     for detail in &label.recipe.details {
         let _ = writeln!(
             out,
@@ -88,7 +103,11 @@ pub fn render_text(label: &NutritionalLabel) -> String {
     let _ = writeln!(
         out,
         "verdict: {}  (score {:.3}, threshold {:.2})",
-        if label.stability.stable { "STABLE" } else { "UNSTABLE" },
+        if label.stability.stable {
+            "STABLE"
+        } else {
+            "UNSTABLE"
+        },
         label.stability.stability_score,
         label.stability.slope.threshold,
     );
@@ -113,7 +132,11 @@ pub fn render_text(label: &NutritionalLabel) -> String {
     let _ = writeln!(out);
 
     // Fairness.
-    let _ = writeln!(out, "--- Fairness (k = {}, alpha = {}) ---", label.config.top_k, label.config.alpha);
+    let _ = writeln!(
+        out,
+        "--- Fairness (k = {}, alpha = {}) ---",
+        label.config.top_k, label.config.alpha
+    );
     if label.fairness.reports.is_empty() {
         let _ = writeln!(out, "no sensitive attributes audited");
     }
@@ -166,7 +189,10 @@ pub fn render_text(label: &NutritionalLabel) -> String {
             );
         }
     }
-    let _ = writeln!(out, "========================================================");
+    let _ = writeln!(
+        out,
+        "========================================================"
+    );
     out
 }
 

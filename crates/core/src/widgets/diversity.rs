@@ -51,7 +51,9 @@ impl DiversityWidget {
     /// `true` when every attribute keeps all of its categories in the top-k.
     #[must_use]
     pub fn full_coverage(&self) -> bool {
-        self.reports.iter().all(DiversityReport::covers_all_categories)
+        self.reports
+            .iter()
+            .all(DiversityReport::covers_all_categories)
     }
 }
 
@@ -63,7 +65,9 @@ mod tests {
 
     fn setup() -> (Table, Ranking, LabelConfig) {
         let n = 40usize;
-        let sizes: Vec<&str> = (0..n).map(|i| if i < 20 { "large" } else { "small" }).collect();
+        let sizes: Vec<&str> = (0..n)
+            .map(|i| if i < 20 { "large" } else { "small" })
+            .collect();
         let regions: Vec<&str> = (0..n)
             .map(|i| match i % 4 {
                 0 => "NE",

@@ -31,14 +31,35 @@ impl FairnessWidget {
     /// Propagates fairness-measure errors (non-binary attributes, degenerate
     /// groups, k out of range, …).
     pub fn build(table: &Table, ranking: &Ranking, config: &LabelConfig) -> LabelResult<Self> {
+        let mut groups = Vec::new();
+        for (attribute, protected_value) in config.protected_features() {
+            groups.push(ProtectedGroup::from_table(
+                table,
+                attribute,
+                protected_value,
+            )?);
+        }
+        Self::build_from_groups(&groups, ranking, config)
+    }
+
+    /// Builds the Fairness widget from precomputed protected groups (the
+    /// membership vectors the analysis context extracts exactly once).
+    ///
+    /// # Errors
+    /// Propagates fairness-measure errors (degenerate groups, k out of
+    /// range, …).
+    pub fn build_from_groups(
+        groups: &[ProtectedGroup],
+        ranking: &Ranking,
+        config: &LabelConfig,
+    ) -> LabelResult<Self> {
         let fairness_config = rf_fairness::report::FairnessConfig {
             k: config.top_k,
             alpha: config.alpha,
         };
-        let mut reports = Vec::new();
-        for (attribute, protected_value) in config.protected_features() {
-            let group = ProtectedGroup::from_table(table, attribute, protected_value)?;
-            reports.push(FairnessReport::evaluate(&group, ranking, &fairness_config)?);
+        let mut reports = Vec::with_capacity(groups.len());
+        for group in groups {
+            reports.push(FairnessReport::evaluate(group, ranking, &fairness_config)?);
         }
         Ok(FairnessWidget { reports })
     }
@@ -90,7 +111,9 @@ mod tests {
     /// at the top — the Figure 1 situation.
     fn setup() -> (Table, Ranking, LabelConfig) {
         let n = 60usize;
-        let sizes: Vec<&str> = (0..n).map(|i| if i < 30 { "large" } else { "small" }).collect();
+        let sizes: Vec<&str> = (0..n)
+            .map(|i| if i < 30 { "large" } else { "small" })
+            .collect();
         let score_attr: Vec<f64> = (0..n).map(|i| 200.0 - i as f64).collect();
         let table = Table::from_columns(vec![
             ("size", Column::from_strings(sizes)),
@@ -147,7 +170,10 @@ mod tests {
             .collect();
         let table = Table::from_columns(vec![
             ("region", Column::from_strings(regions)),
-            ("quality", Column::from_f64((0..n).map(|i| i as f64).collect())),
+            (
+                "quality",
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ),
         ])
         .unwrap();
         let scoring = ScoringFunction::from_pairs([("quality", 1.0)]).unwrap();

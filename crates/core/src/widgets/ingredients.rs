@@ -207,8 +207,7 @@ impl IngredientsWidget {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.attribute.cmp(&b.attribute))
         });
-        let ingredients: Vec<Ingredient> =
-            all_attributes.iter().take(count).cloned().collect();
+        let ingredients: Vec<Ingredient> = all_attributes.iter().take(count).cloned().collect();
 
         let mut details = Vec::with_capacity(ingredients.len());
         for ing in &ingredients {
@@ -235,7 +234,10 @@ impl IngredientsWidget {
     /// Names of the listed ingredients, strongest association first.
     #[must_use]
     pub fn ingredient_names(&self) -> Vec<&str> {
-        self.ingredients.iter().map(|i| i.attribute.as_str()).collect()
+        self.ingredients
+            .iter()
+            .map(|i| i.attribute.as_str())
+            .collect()
     }
 }
 
@@ -264,8 +266,7 @@ mod tests {
             ("GRE", Column::from_f64(gre)),
         ])
         .unwrap();
-        let scoring =
-            ScoringFunction::from_pairs([("PubCount", 0.7), ("GRE", 0.3)]).unwrap();
+        let scoring = ScoringFunction::from_pairs([("PubCount", 0.7), ("GRE", 0.3)]).unwrap();
         let ranking = scoring.rank_table(&table).unwrap();
         (table, ranking)
     }
@@ -294,7 +295,10 @@ mod tests {
             IngredientsWidget::build(&table, &ranking, &["PubCount", "GRE"], 10, 2).unwrap();
         // GRE is in the Recipe but not material to the outcome — exactly the
         // observation the demo walks through.
-        assert_eq!(widget.recipe_attributes_not_material, vec!["GRE".to_string()]);
+        assert_eq!(
+            widget.recipe_attributes_not_material,
+            vec!["GRE".to_string()]
+        );
         let gre = widget
             .all_attributes
             .iter()
@@ -307,8 +311,7 @@ mod tests {
     #[test]
     fn learned_weights_present_when_model_fits() {
         let (table, ranking) = setup();
-        let widget =
-            IngredientsWidget::build(&table, &ranking, &["PubCount"], 10, 3).unwrap();
+        let widget = IngredientsWidget::build(&table, &ranking, &["PubCount"], 10, 3).unwrap();
         assert!(widget.model_r_squared.unwrap_or(0.0) > 0.8);
         let pub_ing = widget
             .all_attributes
@@ -378,9 +381,7 @@ mod tests {
                 .unwrap()
         };
         assert!((find("PubCount").top_weighted_association - 1.0).abs() < 1e-9);
-        assert!(
-            find("PubCount").top_weighted_association > find("GRE").top_weighted_association
-        );
+        assert!(find("PubCount").top_weighted_association > find("GRE").top_weighted_association);
         // The listed ingredients are sorted by the top-weighted association.
         for pair in widget.ingredients.windows(2) {
             assert!(pair[0].top_weighted_association >= pair[1].top_weighted_association);

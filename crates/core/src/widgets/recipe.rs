@@ -96,7 +96,12 @@ impl RecipeWidget {
             .collect();
         let mut details = Vec::with_capacity(scoring.weights().len());
         for weight in scoring.weights() {
-            details.push(AttributeDetail::compute(table, ranking, &weight.attribute, k)?);
+            details.push(AttributeDetail::compute(
+                table,
+                ranking,
+                &weight.attribute,
+                k,
+            )?);
         }
         Ok(RecipeWidget {
             entries,
@@ -120,7 +125,10 @@ mod tests {
     fn setup() -> (Table, ScoringFunction, Ranking) {
         let table = Table::from_columns(vec![
             ("PubCount", Column::from_f64(vec![9.0, 7.0, 5.0, 3.0, 1.0])),
-            ("GRE", Column::from_f64(vec![160.0, 162.0, 158.0, 161.0, 159.0])),
+            (
+                "GRE",
+                Column::from_f64(vec![160.0, 162.0, 158.0, 161.0, 159.0]),
+            ),
         ])
         .unwrap();
         let scoring = ScoringFunction::from_pairs([("PubCount", 0.8), ("GRE", 0.2)]).unwrap();
@@ -166,7 +174,11 @@ mod tests {
         // are very similar in the top-10 and overall".
         let (table, scoring, ranking) = setup();
         let recipe = RecipeWidget::build(&table, &scoring, &ranking, 3).unwrap();
-        let gre = recipe.details.iter().find(|d| d.attribute == "GRE").unwrap();
+        let gre = recipe
+            .details
+            .iter()
+            .find(|d| d.attribute == "GRE")
+            .unwrap();
         assert!((gre.top_k.median - gre.overall.median).abs() < 3.0);
     }
 }

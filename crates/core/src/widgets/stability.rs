@@ -34,16 +34,38 @@ impl StabilityWidget {
         threshold: f64,
     ) -> LabelResult<Self> {
         let slope = SlopeStability::evaluate_with_threshold(ranking, k, threshold)?;
+        let per_attribute = attribute_stability_with_threshold(table, scoring, ranking, threshold)?;
+        Ok(Self::assemble(slope, per_attribute))
+    }
+
+    /// Builds the Stability widget from the precomputed normalized score
+    /// matrix held by the analysis context, skipping the per-label normalizer
+    /// refit.
+    ///
+    /// # Errors
+    /// Propagates stability-estimator errors.
+    pub fn build_from_normalized(
+        scoring: &ScoringFunction,
+        normalized: &[(String, Vec<f64>)],
+        ranking: &Ranking,
+        k: usize,
+        threshold: f64,
+    ) -> LabelResult<Self> {
+        let slope = SlopeStability::evaluate_with_threshold(ranking, k, threshold)?;
         let per_attribute =
-            attribute_stability_with_threshold(table, scoring, ranking, threshold)?;
+            rf_stability::attribute_stability_from_normalized(scoring, normalized, threshold)?;
+        Ok(Self::assemble(slope, per_attribute))
+    }
+
+    fn assemble(slope: SlopeStability, per_attribute: Vec<AttributeStability>) -> Self {
         let stability_score = slope.stability_score();
         let stable = slope.verdict() == rf_stability::StabilityVerdict::Stable;
-        Ok(StabilityWidget {
+        StabilityWidget {
             slope,
             per_attribute,
             stability_score,
             stable,
-        })
+        }
     }
 }
 

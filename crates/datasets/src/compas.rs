@@ -111,9 +111,7 @@ impl CompasConfig {
             } else {
                 "Other".to_string()
             });
-            sex.push(
-                synth::categorical(&mut rng, &[("Male", 0.81), ("Female", 0.19)]).to_string(),
-            );
+            sex.push(synth::categorical(&mut rng, &[("Male", 0.81), ("Female", 0.19)]).to_string());
             age.push(person_age);
             age_cat.push(
                 if person_age < 25.0 {
@@ -228,7 +226,10 @@ mod tests {
             }
         }
         let diff = (sum_p / n_p as f64 - sum_o / n_o as f64).abs();
-        assert!(diff < 0.25, "unbiased generator should have no shift, got {diff}");
+        assert!(
+            diff < 0.25,
+            "unbiased generator should have no shift, got {diff}"
+        );
     }
 
     #[test]

@@ -89,7 +89,13 @@ impl CsDepartmentsConfig {
             let gre_score = synth::truncated_normal(&mut rng, 160.0, 4.0, 145.0, 170.0);
             let reg = synth::categorical(
                 &mut rng,
-                &[("NE", 0.28), ("MW", 0.22), ("SA", 0.18), ("SC", 0.12), ("W", 0.20)],
+                &[
+                    ("NE", 0.28),
+                    ("MW", 0.22),
+                    ("SA", 0.18),
+                    ("SC", 0.12),
+                    ("W", 0.20),
+                ],
             );
             dept.push(format!("Dept{:03}", i + 1));
             pub_count.push((pubs * 100.0).round() / 100.0);
@@ -124,7 +130,14 @@ mod tests {
         assert_eq!(t.num_rows(), 97);
         assert_eq!(
             t.schema().names(),
-            vec!["Dept", "PubCount", "Faculty", "GRE", "Region", "DeptSizeBin"]
+            vec![
+                "Dept",
+                "PubCount",
+                "Faculty",
+                "GRE",
+                "Region",
+                "DeptSizeBin"
+            ]
         );
     }
 
@@ -146,15 +159,24 @@ mod tests {
         let r_pf = rf_stats::pearson(&pubs, &faculty).unwrap();
         let r_pg = rf_stats::pearson(&pubs, &gre).unwrap();
         assert!(r_pf > 0.5, "PubCount–Faculty correlation too weak: {r_pf}");
-        assert!(r_pg.abs() < 0.2, "PubCount–GRE should be uncorrelated: {r_pg}");
+        assert!(
+            r_pg.abs() < 0.2,
+            "PubCount–GRE should be uncorrelated: {r_pg}"
+        );
     }
 
     #[test]
     fn dept_size_bin_is_binary_and_roughly_balanced() {
         let t = CsDepartmentsConfig::default().generate().unwrap();
         let sizes = t.categorical_column("DeptSizeBin").unwrap();
-        let large = sizes.iter().filter(|s| s.as_deref() == Some("large")).count();
-        let small = sizes.iter().filter(|s| s.as_deref() == Some("small")).count();
+        let large = sizes
+            .iter()
+            .filter(|s| s.as_deref() == Some("large"))
+            .count();
+        let small = sizes
+            .iter()
+            .filter(|s| s.as_deref() == Some("small"))
+            .count();
         assert_eq!(large + small, t.num_rows());
         let ratio = large as f64 / t.num_rows() as f64;
         assert!(ratio > 0.35 && ratio < 0.65, "ratio {ratio}");
@@ -185,7 +207,13 @@ mod tests {
         let sorted = t.sort_by("PubCount", true).unwrap();
         let top = sorted.head(10);
         let sizes = top.categorical_column("DeptSizeBin").unwrap();
-        let large = sizes.iter().filter(|s| s.as_deref() == Some("large")).count();
-        assert!(large >= 8, "expected the top-10 to be dominated by large departments, got {large}");
+        let large = sizes
+            .iter()
+            .filter(|s| s.as_deref() == Some("large"))
+            .count();
+        assert!(
+            large >= 8,
+            "expected the top-10 to be dominated by large departments, got {large}"
+        );
     }
 }

@@ -88,7 +88,9 @@ impl GermanCreditConfig {
             let person_age = synth::truncated_normal(&mut rng, 35.5, 11.0, 19.0, 75.0).round();
             let young = person_age < 25.0;
             let person_sex = synth::categorical(&mut rng, &[("male", 0.69), ("female", 0.31)]);
-            let amount = synth::log_normal(&mut rng, 7.9, 0.75).clamp(250.0, 20_000.0).round();
+            let amount = synth::log_normal(&mut rng, 7.9, 0.75)
+                .clamp(250.0, 20_000.0)
+                .round();
             let months = synth::truncated_normal(&mut rng, 21.0, 12.0, 4.0, 72.0).round();
             let years_employed = synth::truncated_normal(
                 &mut rng,
@@ -100,7 +102,12 @@ impl GermanCreditConfig {
             .round();
             let checking_status = synth::categorical(
                 &mut rng,
-                &[("none", 0.39), ("<0", 0.27), ("0<=X<200", 0.27), (">=200", 0.07)],
+                &[
+                    ("none", 0.39),
+                    ("<0", 0.27),
+                    ("0<=X<200", 0.27),
+                    (">=200", 0.07),
+                ],
             );
             let house =
                 synth::categorical(&mut rng, &[("own", 0.71), ("rent", 0.18), ("free", 0.11)]);
@@ -109,7 +116,11 @@ impl GermanCreditConfig {
             // amounts relative to duration raise the score; the youth penalty
             // injects the documented age disparity.
             let base = 600.0 + 8.0 * years_employed - 0.008 * amount - 1.2 * months
-                + if checking_status == ">=200" { 25.0 } else { 0.0 }
+                + if checking_status == ">=200" {
+                    25.0
+                } else {
+                    0.0
+                }
                 + if house == "own" { 15.0 } else { 0.0 }
                 + synth::normal(&mut rng, 0.0, 35.0);
             let penalty = if young { self.youth_penalty } else { 0.0 };
@@ -201,7 +212,10 @@ mod tests {
             }
         }
         // Both groups are represented (needed for the fairness widget).
-        let young = groups.iter().filter(|g| g.as_deref() == Some("young")).count();
+        let young = groups
+            .iter()
+            .filter(|g| g.as_deref() == Some("young"))
+            .count();
         assert!(young > 20 && young < 500, "young count {young}");
     }
 
@@ -226,7 +240,10 @@ mod tests {
     #[test]
     fn unbiased_counterfactual_narrows_the_gap() {
         let biased = GermanCreditConfig::with_rows(3000).generate().unwrap();
-        let unbiased = GermanCreditConfig::with_rows(3000).unbiased().generate().unwrap();
+        let unbiased = GermanCreditConfig::with_rows(3000)
+            .unbiased()
+            .generate()
+            .unwrap();
         let gap = |t: &rf_table::Table| {
             let groups = t.categorical_column("age_group").unwrap();
             let scores = t.numeric_column("credit_score").unwrap();

@@ -58,10 +58,7 @@ impl CategoryProportions {
         }
         let labels = table.categorical_column(attribute)?;
         let top_indices = ranking.top_k_indices(k);
-        Self::from_labels(
-            attribute,
-            top_indices.iter().map(|&i| labels[i].as_deref()),
-        )
+        Self::from_labels(attribute, top_indices.iter().map(|&i| labels[i].as_deref()))
     }
 
     /// Builds the distribution from an iterator of optional labels.
@@ -133,7 +130,10 @@ impl CategoryProportions {
     /// Category labels present, in the same order as the counts.
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {
-        self.categories.iter().map(|c| c.category.as_str()).collect()
+        self.categories
+            .iter()
+            .map(|c| c.category.as_str())
+            .collect()
     }
 }
 
@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn over_top_k_uses_ranking_order() {
         let t = table();
-        let ranking =
-            Ranking::from_scores(&t.numeric_column("score").unwrap()).unwrap();
+        let ranking = Ranking::from_scores(&t.numeric_column("score").unwrap()).unwrap();
         let p = CategoryProportions::over_top_k(&t, &ranking, "Region", 3).unwrap();
         // Top 3 by score are rows 0, 1, 2 → NE, NE, MW.
         assert_eq!(p.total, 3);

@@ -68,7 +68,10 @@ impl fmt::Display for FairnessError {
                  the fairness widget currently supports only binary attributes"
             ),
             FairnessError::DegenerateGroup { which } => {
-                write!(f, "the {which} group is empty; fairness tests are undefined")
+                write!(
+                    f,
+                    "the {which} group is empty; fairness tests are undefined"
+                )
             }
             FairnessError::MissingGroupLabel { row } => {
                 write!(f, "row {row} has no value for the sensitive attribute")

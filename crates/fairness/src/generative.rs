@@ -120,7 +120,9 @@ impl GenerativeModel {
     #[must_use]
     pub fn sample_many(&self, runs: usize, seed: u64) -> Vec<Vec<bool>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..runs).map(|_| self.sample_membership(&mut rng)).collect()
+        (0..runs)
+            .map(|_| self.sample_membership(&mut rng))
+            .collect()
     }
 
     /// Estimates the distribution of the fairness measures over `runs`

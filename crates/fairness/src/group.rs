@@ -203,7 +203,10 @@ mod tests {
                 "size",
                 Column::from_strings(["large", "small", "large", "small", "small", "large"]),
             ),
-            ("score", Column::from_f64(vec![6.0, 5.0, 4.0, 3.0, 2.0, 1.0])),
+            (
+                "score",
+                Column::from_f64(vec![6.0, 5.0, 4.0, 3.0, 2.0, 1.0]),
+            ),
         ])
         .unwrap()
     }

@@ -36,8 +36,8 @@ pub mod group;
 pub mod measures;
 pub mod pairwise;
 pub mod proportion;
-pub mod rerank;
 pub mod report;
+pub mod rerank;
 
 pub use error::{FairnessError, FairnessResult};
 pub use fair_star::{adjust_alpha, minimum_protected_table, FairStarOutcome, FairStarTest};
@@ -46,5 +46,5 @@ pub use group::ProtectedGroup;
 pub use measures::{rkl, rnd, rrd, DiscountedMeasures};
 pub use pairwise::{PairwiseOutcome, PairwiseTest};
 pub use proportion::{ProportionOutcome, ProportionTest};
-pub use rerank::{FairRerank, RerankOutcome};
 pub use report::{FairnessReport, FairnessVerdict, MeasureOutcome};
+pub use rerank::{FairRerank, RerankOutcome};

@@ -193,8 +193,12 @@ fn normalized_measure(
     worst_bottom.extend(std::iter::repeat_n(true, protected_total));
     let mut worst_top = vec![true; protected_total];
     worst_top.extend(std::iter::repeat_n(false, n - protected_total));
-    let z = discounted_sum(&worst_bottom, cutoffs, protected_total, term)
-        .max(discounted_sum(&worst_top, cutoffs, protected_total, term));
+    let z = discounted_sum(&worst_bottom, cutoffs, protected_total, term).max(discounted_sum(
+        &worst_top,
+        cutoffs,
+        protected_total,
+        term,
+    ));
 
     if z <= 0.0 {
         // The measure cannot distinguish any ranking (e.g. a single cut-off

@@ -99,9 +99,7 @@ impl PairwiseTest {
         let n_other = members.len() - n_protected;
 
         let p_value = match self.null {
-            PairwiseNull::NormalApproximation => {
-                normal_p_value(theta, n_protected, n_other)
-            }
+            PairwiseNull::NormalApproximation => normal_p_value(theta, n_protected, n_other),
             PairwiseNull::Permutation { resamples, seed } => {
                 permutation_p_value(&members, theta, resamples, seed)?
             }
@@ -246,7 +244,9 @@ mod tests {
 
     #[test]
     fn preference_matches_brute_force() {
-        let members = [false, true, false, true, true, false, true, false, false, true];
+        let members = [
+            false, true, false, true, true, false, true, false, false, true,
+        ];
         let theta = pairwise_preference(&members).unwrap();
         // Brute force count.
         let mut wins = 0;

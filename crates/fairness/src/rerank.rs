@@ -155,7 +155,10 @@ impl FairRerank {
         }
 
         // Translate original-ranking positions back to row indices.
-        let new_order: Vec<usize> = merged_positions.iter().map(|&pos| items[pos].index).collect();
+        let new_order: Vec<usize> = merged_positions
+            .iter()
+            .map(|&pos| items[pos].index)
+            .collect();
         let reranked = Ranking::from_order(&new_order)?;
 
         // Diagnostics -----------------------------------------------------

@@ -9,10 +9,10 @@ use rf_ranking::Ranking;
 
 /// Membership vectors guaranteed to contain both groups.
 fn mixed_membership(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
-    prop::collection::vec(any::<bool>(), 4..max_len).prop_filter(
-        "both groups must be non-empty",
-        |v| v.iter().any(|&b| b) && v.iter().any(|&b| !b),
-    )
+    prop::collection::vec(any::<bool>(), 4..max_len)
+        .prop_filter("both groups must be non-empty", |v| {
+            v.iter().any(|&b| b) && v.iter().any(|&b| !b)
+        })
 }
 
 proptest! {

@@ -240,8 +240,7 @@ mod tests {
                 < 1e-12
         );
         assert!(
-            (spearman_rho_rankings(&a, &b).unwrap() - spearman_rho_rankings(&b, &a).unwrap())
-                .abs()
+            (spearman_rho_rankings(&a, &b).unwrap() - spearman_rho_rankings(&b, &a).unwrap()).abs()
                 < 1e-12
         );
         let (d1, _) = footrule_distance(&a, &b).unwrap();

@@ -93,7 +93,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(RankingError::EmptyRecipe.to_string().contains("at least one"));
+        assert!(RankingError::EmptyRecipe
+            .to_string()
+            .contains("at least one"));
         assert!(RankingError::EmptyRanking.to_string().contains("no items"));
         let e = RankingError::MissingValue {
             attribute: "GRE".to_string(),

@@ -142,8 +142,14 @@ mod tests {
         let t = table();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let p = perturb_table_gaussian(&t, &["x"], 0.1, &mut rng).unwrap();
-        assert_ne!(p.numeric_column("x").unwrap(), t.numeric_column("x").unwrap());
-        assert_eq!(p.numeric_column("y").unwrap(), t.numeric_column("y").unwrap());
+        assert_ne!(
+            p.numeric_column("x").unwrap(),
+            t.numeric_column("x").unwrap()
+        );
+        assert_eq!(
+            p.numeric_column("y").unwrap(),
+            t.numeric_column("y").unwrap()
+        );
         assert_eq!(
             p.categorical_column("label").unwrap(),
             t.categorical_column("label").unwrap()
@@ -155,7 +161,10 @@ mod tests {
         let t = table();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let p = perturb_table_gaussian(&t, &["x"], 0.0, &mut rng).unwrap();
-        assert_eq!(p.numeric_column("x").unwrap(), t.numeric_column("x").unwrap());
+        assert_eq!(
+            p.numeric_column("x").unwrap(),
+            t.numeric_column("x").unwrap()
+        );
     }
 
     #[test]

@@ -373,9 +373,8 @@ mod tests {
             average_overlap(&b, &a, 4).unwrap()
         );
         assert!(
-            (rank_biased_overlap(&a, &b, 0.8).unwrap()
-                - rank_biased_overlap(&b, &a, 0.8).unwrap())
-            .abs()
+            (rank_biased_overlap(&a, &b, 0.8).unwrap() - rank_biased_overlap(&b, &a, 0.8).unwrap())
+                .abs()
                 < 1e-12
         );
     }

@@ -361,17 +361,16 @@ mod tests {
 
     #[test]
     fn missing_value_policies() {
-        let t = Table::from_columns(vec![(
-            "x",
-            Column::Float(vec![Some(1.0), None, Some(3.0)]),
-        )])
-        .unwrap();
+        let t = Table::from_columns(vec![("x", Column::Float(vec![Some(1.0), None, Some(3.0)]))])
+            .unwrap();
         let f = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
         assert!(matches!(
             f.score_table(&t),
             Err(RankingError::MissingValue { row: 1, .. })
         ));
-        let f_mean = f.clone().with_missing_policy(MissingValuePolicy::MeanImpute);
+        let f_mean = f
+            .clone()
+            .with_missing_policy(MissingValuePolicy::MeanImpute);
         let scores = f_mean.score_table(&t).unwrap();
         assert!((scores[1] - 0.5).abs() < 1e-12); // mean of 1 and 3 is 2 → min-max 0.5
         let f_zero = f.with_missing_policy(MissingValuePolicy::Zero);

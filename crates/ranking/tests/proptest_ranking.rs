@@ -1,9 +1,7 @@
 //! Property-based tests for the ranking engine.
 
 use proptest::prelude::*;
-use rf_ranking::{
-    footrule_distance, kendall_tau_rankings, Ranking, ScoringFunction,
-};
+use rf_ranking::{footrule_distance, kendall_tau_rankings, Ranking, ScoringFunction};
 use rf_table::{Column, Table};
 
 fn scores_vec() -> impl Strategy<Value = Vec<f64>> {

@@ -1,0 +1,302 @@
+//! # rf-runtime — shared worker-pool runtime
+//!
+//! The execution substrate shared by the Ranking Facts workspace.  It hosts
+//! the fixed-size [`ThreadPool`] that used to live (hand-rolled, crossbeam
+//! based) inside `rf-server`, so that every layer schedules onto the same
+//! abstraction:
+//!
+//! * `rf-core`'s `AnalysisPipeline` fans the label widgets out across the
+//!   pool instead of building them serially;
+//! * `rf-server` dispatches accepted connections to the pool;
+//! * future scaling work (dataset sharding, batched label generation,
+//!   caching refresh) gets a single place to queue work.
+//!
+//! A process-wide pool is available through [`global`]; independent pools can
+//! be created for tests or dedicated subsystems.  Jobs are `'static` — shared
+//! state crosses into the pool via `Arc`, which is how the pipeline shares
+//! its analysis context between widget builders.
+//!
+//! Panics inside a job are caught and counted (see
+//! [`ThreadPool::panicked_jobs`]) so one poisoned request cannot take a
+//! worker down with it; callers that need completion signals send results
+//! back over channels and treat a missing answer as a failed job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+std::thread_local! {
+    /// Identity of the pool the current thread is a worker of (the address
+    /// of the pool's shared panic counter), or 0 on non-worker threads.
+    /// Lets [`ThreadPool::run_all`] detect re-entrant use and fall back to
+    /// inline execution instead of deadlocking on its own queue.
+    static WORKER_OF_POOL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// A fixed-size pool of worker threads executing queued jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+    panicked: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .field("panicked_jobs", &self.panicked.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (at least one).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panicked = Arc::new(AtomicUsize::new(0));
+        let workers = (0..size)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("rf-runtime-{index}"))
+                    .spawn(move || worker_loop(&receiver, &panicked))
+                    .expect("spawn rf-runtime worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            size,
+            panicked,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of jobs that panicked since the pool was created.
+    #[must_use]
+    pub fn panicked_jobs(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Queues a job for execution on the pool.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("pool workers alive until drop");
+    }
+
+    /// Runs every job on the pool and blocks until all of them finish,
+    /// returning the outputs in job order.
+    ///
+    /// A job that panics yields `None` in its slot; the others still run to
+    /// completion.
+    ///
+    /// Safe to call from inside a job running on this same pool: nested
+    /// calls execute their jobs inline on the calling worker (blocking on
+    /// the shared queue from a worker would deadlock once every worker
+    /// waited on jobs stuck behind it).
+    pub fn run_all<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if WORKER_OF_POOL.with(std::cell::Cell::get) == Arc::as_ptr(&self.panicked) as usize {
+            return jobs
+                .into_iter()
+                .map(|job| match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(output) => Some(output),
+                    Err(_) => {
+                        self.panicked.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                })
+                .collect();
+        }
+        let total = jobs.len();
+        let (sender, receiver) = channel::<(usize, T)>();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let sender = sender.clone();
+            self.execute(move || {
+                let output = job();
+                // The receiver may be gone if the caller gave up; ignore.
+                let _ = sender.send((index, output));
+            });
+        }
+        drop(sender);
+        let mut outputs: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        while let Ok((index, output)) = receiver.recv() {
+            outputs[index] = Some(output);
+        }
+        outputs
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets the workers drain queued jobs and exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, panicked: &Arc<AtomicUsize>) {
+    WORKER_OF_POOL.with(|cell| cell.set(Arc::as_ptr(panicked) as usize));
+    loop {
+        let job = {
+            let guard = match receiver.lock() {
+                Ok(guard) => guard,
+                // A worker panicked while holding the lock; the queue is in a
+                // consistent state (Receiver has no interior invariants we
+                // rely on), so keep serving.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => return, // Channel closed: pool is shutting down.
+        }
+    }
+}
+
+/// The process-wide shared pool, sized to the available parallelism.
+///
+/// Created on first use and kept alive for the lifetime of the process — the
+/// label pipeline, the server, and the benches all schedule onto it unless
+/// given a dedicated pool.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        ThreadPool::new(parallelism.clamp(2, 32))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_queued_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (sender, receiver) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let sender = sender.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                sender.send(()).unwrap();
+            });
+        }
+        drop(sender);
+        assert_eq!(receiver.iter().count(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_all_preserves_job_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..20).map(|i| move || i * 10).collect();
+        let outputs = pool.run_all(jobs);
+        for (i, output) in outputs.iter().enumerate() {
+            assert_eq!(*output, Some(i * 10));
+        }
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = ThreadPool::new(2);
+        let outputs = pool.run_all(vec![
+            Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+            Box::new(|| panic!("boom")),
+            Box::new(|| 3usize),
+        ]);
+        assert_eq!(outputs[0], Some(1));
+        assert_eq!(outputs[1], None);
+        assert_eq!(outputs[2], Some(3));
+        // The counter is incremented after the job's channels unwind, so the
+        // panicked job may not be recorded the instant run_all returns.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while pool.panicked_jobs() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked_jobs(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn nested_run_all_on_the_same_pool_does_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(2));
+        // Saturate the pool with jobs that each fan out again on the same
+        // pool; the inner run_all must fall back to inline execution.
+        let jobs: Vec<_> = (0..4)
+            .map(|outer| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner: Vec<_> = (0..3usize).map(|i| move || outer * 10 + i).collect();
+                    pool.run_all(inner)
+                }
+            })
+            .collect();
+        let outputs = pool.run_all(jobs);
+        for (outer, slot) in outputs.into_iter().enumerate() {
+            let inner = slot.expect("outer job completed");
+            let values: Vec<_> = inner.into_iter().map(Option::unwrap).collect();
+            assert_eq!(values, vec![outer * 10, outer * 10 + 1, outer * 10 + 2]);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let pool = global();
+        assert!(pool.size() >= 2);
+        let again = global();
+        assert!(std::ptr::eq(pool, again));
+    }
+}

@@ -6,13 +6,12 @@
 //! configuration for each, so a single GET produces the corresponding
 //! nutritional label.
 
-use parking_lot::RwLock;
 use rf_core::LabelConfig;
 use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
 use rf_ranking::ScoringFunction;
 use rf_table::Table;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One pre-loaded dataset plus its default label configuration.
 #[derive(Debug, Clone)]
@@ -120,31 +119,43 @@ impl DatasetCatalog {
 
     /// Adds or replaces an entry.
     pub fn insert(&self, entry: DatasetEntry) {
-        self.entries.write().insert(entry.slug.clone(), entry);
+        self.entries
+            .write()
+            .expect("catalog lock")
+            .insert(entry.slug.clone(), entry);
     }
 
     /// Looks up an entry by slug.
     #[must_use]
     pub fn get(&self, slug: &str) -> Option<DatasetEntry> {
-        self.entries.read().get(slug).cloned()
+        self.entries
+            .read()
+            .expect("catalog lock")
+            .get(slug)
+            .cloned()
     }
 
     /// All entries, ordered by slug.
     #[must_use]
     pub fn list(&self) -> Vec<DatasetEntry> {
-        self.entries.read().values().cloned().collect()
+        self.entries
+            .read()
+            .expect("catalog lock")
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Number of datasets in the catalogue.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.entries.read().expect("catalog lock").len()
     }
 
     /// `true` when the catalogue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.entries.read().expect("catalog lock").is_empty()
     }
 }
 

@@ -286,7 +286,10 @@ mod tests {
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.path, "/labels");
         assert_eq!(req.body, body);
-        assert_eq!(req.headers.get("content-type").map(String::as_str), Some("text/csv"));
+        assert_eq!(
+            req.headers.get("content-type").map(String::as_str),
+            Some("text/csv")
+        );
     }
 
     #[test]
@@ -324,6 +327,8 @@ mod tests {
         assert_eq!(StatusCode::NotFound.reason(), "Not Found");
         assert_eq!(StatusCode::InternalServerError.code(), 500);
         let resp = Response::text(StatusCode::BadRequest, "nope");
-        assert!(String::from_utf8(resp.to_bytes()).unwrap().contains("400 Bad Request"));
+        assert!(String::from_utf8(resp.to_bytes())
+            .unwrap()
+            .contains("400 Bad Request"));
     }
 }

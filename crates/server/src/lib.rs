@@ -7,9 +7,12 @@
 //!
 //! The original system is a Python web application; this crate is the web
 //! substrate of the reproduction.  It is intentionally small — a hand-rolled
-//! HTTP/1.1 request parser and response writer over `std::net::TcpListener`
-//! with a crossbeam-based worker pool — because the interesting logic lives
-//! in `rf-core`.
+//! HTTP/1.1 request parser and response writer over `std::net::TcpListener`,
+//! dispatching connections onto an [`rf_runtime::ThreadPool`] — because the
+//! interesting logic lives in `rf-core`.  Label requests route through
+//! `rf-core`'s `AnalysisPipeline`, so the widgets of each label build
+//! concurrently on the shared runtime pool while the server's own pool
+//! handles connection I/O.
 //!
 //! ## Endpoints
 //!

@@ -2,19 +2,16 @@
 
 use crate::catalog::DatasetCatalog;
 use crate::http::{Method, Request, Response, StatusCode};
-use rf_core::{DesignView, LabelConfig, NutritionalLabel};
+use rf_core::{AnalysisPipeline, DesignView, LabelConfig};
 use rf_datasets::load_csv_str;
 use rf_ranking::ScoringFunction;
 use rf_table::NormalizationMethod;
+use std::sync::Arc;
 
 /// Routes a request to its handler and produces the response.
 #[must_use]
 pub fn route(catalog: &DatasetCatalog, request: &Request) -> Response {
-    let segments: Vec<&str> = request
-        .path
-        .split('/')
-        .filter(|s| !s.is_empty())
-        .collect();
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
 
     match (request.method, segments.as_slice()) {
         (Method::Get, []) => landing_page(catalog),
@@ -25,9 +22,7 @@ pub fn route(catalog: &DatasetCatalog, request: &Request) -> Response {
             dataset_label(catalog, slug, request, true)
         }
         (Method::Post, ["labels"]) => uploaded_label(request),
-        (Method::Post, _) | (Method::Get, _) => {
-            Response::text(StatusCode::NotFound, "not found")
-        }
+        (Method::Post, _) | (Method::Get, _) => Response::text(StatusCode::NotFound, "not found"),
     }
 }
 
@@ -102,7 +97,9 @@ fn dataset_label(catalog: &DatasetCatalog, slug: &str, request: &Request, json: 
             }
         }
     }
-    match NutritionalLabel::generate(&entry.table, &config) {
+    // The catalogue already shares its tables via `Arc`, so routing through
+    // the pipeline costs no copy of the dataset.
+    match AnalysisPipeline::new().generate(Arc::clone(&entry.table), Arc::new(config)) {
         Ok(label) => {
             if json {
                 match label.to_json() {
@@ -155,19 +152,21 @@ fn uploaded_label(request: &Request) -> Response {
                     )
                 }
                 Err(err) => {
-                    return Response::text(StatusCode::BadRequest, format!("invalid weights: {err}"))
+                    return Response::text(
+                        StatusCode::BadRequest,
+                        format!("invalid weights: {err}"),
+                    )
                 }
             }
         }
         None => vec![1.0; attrs.len()],
     };
 
-    let scoring = match ScoringFunction::from_pairs(
-        attrs.iter().copied().zip(weights.iter().copied()),
-    ) {
-        Ok(s) => s,
-        Err(err) => return Response::text(StatusCode::BadRequest, err.to_string()),
-    };
+    let scoring =
+        match ScoringFunction::from_pairs(attrs.iter().copied().zip(weights.iter().copied())) {
+            Ok(s) => s,
+            Err(err) => return Response::text(StatusCode::BadRequest, err.to_string()),
+        };
 
     let k = match request.query_param("k").map(str::parse::<usize>) {
         Some(Ok(k)) => k,
@@ -206,7 +205,7 @@ fn uploaded_label(request: &Request) -> Response {
         }
     }
 
-    match NutritionalLabel::generate(&table, &config) {
+    match AnalysisPipeline::new().generate(Arc::new(table), Arc::new(config)) {
         Ok(label) => {
             let wants_json = request
                 .headers

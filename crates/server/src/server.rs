@@ -1,8 +1,9 @@
-//! The TCP accept loop and worker pool.
+//! The TCP accept loop over the shared `rf-runtime` worker pool.
 
 use crate::catalog::DatasetCatalog;
 use crate::http::{Request, Response, StatusCode};
 use crate::router::route;
+use rf_runtime::ThreadPool;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -64,46 +65,34 @@ impl Server {
     }
 
     /// Runs the accept loop until the shutdown flag is set.  Connections are
-    /// dispatched to a crossbeam scoped worker pool over an unbounded channel.
+    /// dispatched to a dedicated [`rf_runtime::ThreadPool`] — the same pool
+    /// abstraction `rf-core`'s `AnalysisPipeline` fans label widgets out on.
     ///
     /// # Errors
     /// Fatal I/O errors from the listener (per-connection errors are logged
     /// to stderr and ignored).
     pub fn run(&self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (sender, receiver) = crossbeam::channel::unbounded::<TcpStream>();
+        let pool = ThreadPool::new(self.workers);
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let receiver = receiver.clone();
-                let catalog = Arc::clone(&self.catalog);
-                scope.spawn(move |_| {
-                    while let Ok(stream) = receiver.recv() {
-                        handle_connection(&catalog, stream);
-                    }
-                });
-            }
-
-            while !self.shutdown.load(Ordering::Relaxed) {
-                match self.listener.accept() {
-                    Ok((stream, _addr)) => {
-                        // Blocking per-connection I/O inside the worker.
-                        let _ = stream.set_nonblocking(false);
-                        if sender.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    Err(ref err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                    }
-                    Err(err) => {
-                        eprintln!("accept error: {err}");
-                    }
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Blocking per-connection I/O inside the worker.
+                    let _ = stream.set_nonblocking(false);
+                    let catalog = Arc::clone(&self.catalog);
+                    pool.execute(move || handle_connection(&catalog, stream));
+                }
+                Err(ref err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(err) => {
+                    eprintln!("accept error: {err}");
                 }
             }
-            drop(sender);
-        })
-        .expect("worker pool panicked");
+        }
+        // Dropping the pool drains queued connections and joins the workers.
+        drop(pool);
         Ok(())
     }
 }
@@ -176,7 +165,10 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(body).unwrap();
         assert_eq!(value["top_k_rows"].as_array().unwrap().len(), 5);
 
-        let missing = request(addr, "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\n\r\n");
+        let missing = request(
+            addr,
+            "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\n\r\n",
+        );
         assert!(missing.starts_with("HTTP/1.1 404"));
 
         // Parallel requests exercise the worker pool.

@@ -27,11 +27,7 @@ impl GroupConstraint {
     /// Returns an error when the floor exceeds the ceiling or the ceiling is
     /// zero (a category that may never be selected should simply be filtered
     /// out of the candidates instead).
-    pub fn new(
-        category: impl Into<String>,
-        floor: usize,
-        ceiling: usize,
-    ) -> SetSelResult<Self> {
+    pub fn new(category: impl Into<String>, floor: usize, ceiling: usize) -> SetSelResult<Self> {
         let category = category.into();
         if ceiling == 0 {
             return Err(SetSelError::InvalidConstraint {
@@ -301,8 +297,7 @@ mod tests {
             Err(SetSelError::InvalidK { .. })
         ));
         // Floor higher than the number of candidates in the category.
-        let set =
-            ConstraintSet::new(3, vec![GroupConstraint::at_least("b", 3).unwrap()]).unwrap();
+        let set = ConstraintSet::new(3, vec![GroupConstraint::at_least("b", 3).unwrap()]).unwrap();
         assert!(matches!(
             set.check_feasible(&pool),
             Err(SetSelError::Infeasible { .. })

@@ -129,11 +129,7 @@ mod tests {
 
     #[test]
     fn from_table_requires_existing_columns() {
-        let table = Table::from_columns(vec![(
-            "score",
-            Column::from_f64(vec![1.0, 2.0]),
-        )])
-        .unwrap();
+        let table = Table::from_columns(vec![("score", Column::from_f64(vec![1.0, 2.0]))]).unwrap();
         assert!(Candidate::from_table(&table, "score", "ghost").is_err());
         assert!(Candidate::from_table(&table, "ghost", "score").is_err());
     }

@@ -211,11 +211,8 @@ mod tests {
 
     #[test]
     fn infeasible_constraints_propagate() {
-        let infeasible = ConstraintSet::new(
-            8,
-            vec![GroupConstraint::at_least("missing", 1).unwrap()],
-        )
-        .unwrap();
+        let infeasible =
+            ConstraintSet::new(8, vec![GroupConstraint::at_least("missing", 1).unwrap()]).unwrap();
         let selector = OnlineSelector::new(infeasible.clone(), OnlineStrategy::Greedy).unwrap();
         assert!(expected_utility_ratio(&pool(), &selector, 5, 1).is_err());
         let online = Selection {

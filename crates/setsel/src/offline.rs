@@ -80,11 +80,12 @@ pub fn offline_select(
     let mut taken = vec![false; candidates.len()];
     let mut selected: Vec<Candidate> = Vec::with_capacity(constraints.k);
     let mut per_category: Vec<(String, usize)> = Vec::new();
-    let bump = |per_category: &mut Vec<(String, usize)>, category: &str| {
-        match per_category.iter_mut().find(|(c, _)| c == category) {
-            Some((_, n)) => *n += 1,
-            None => per_category.push((category.to_string(), 1)),
-        }
+    let bump = |per_category: &mut Vec<(String, usize)>, category: &str| match per_category
+        .iter_mut()
+        .find(|(c, _)| c == category)
+    {
+        Some((_, n)) => *n += 1,
+        None => per_category.push((category.to_string(), 1)),
     };
 
     // Phase 1: fill every floor with that category's best candidates.

@@ -138,10 +138,7 @@ impl OnlineSelector {
         // Per-category state, seeded with the stream composition.
         let mut states: Vec<CategoryState> = Vec::new();
         for candidate in stream {
-            match states
-                .iter_mut()
-                .find(|s| s.category == candidate.category)
-            {
+            match states.iter_mut().find(|s| s.category == candidate.category) {
                 Some(state) => {
                     state.total_in_stream += 1;
                     state.remaining_in_stream += 1;
@@ -214,7 +211,9 @@ impl OnlineSelector {
 
             // Outstanding floor deficits.
             let deficit_of = |s: &CategoryState| {
-                self.constraints.floor(&s.category).saturating_sub(s.selected)
+                self.constraints
+                    .floor(&s.category)
+                    .saturating_sub(s.selected)
             };
             let total_deficit: usize = states.iter().map(deficit_of).sum();
             let own_deficit = deficit_of(&states[state_index]);
@@ -362,9 +361,11 @@ mod tests {
 
     #[test]
     fn greedy_takes_the_earliest_admissible_candidates() {
-        let selector =
-            OnlineSelector::new(ConstraintSet::unconstrained(3).unwrap(), OnlineStrategy::Greedy)
-                .unwrap();
+        let selector = OnlineSelector::new(
+            ConstraintSet::unconstrained(3).unwrap(),
+            OnlineStrategy::Greedy,
+        )
+        .unwrap();
         let stream = vec![
             candidate(0, 1.0, "a"),
             candidate(1, 2.0, "a"),
@@ -432,10 +433,7 @@ mod tests {
     #[test]
     fn floors_are_met_even_when_protected_items_arrive_last() {
         // All "b" candidates arrive at the very end of the stream.
-        let mut stream: Vec<Candidate> = pool()
-            .into_iter()
-            .filter(|c| c.category == "a")
-            .collect();
+        let mut stream: Vec<Candidate> = pool().into_iter().filter(|c| c.category == "a").collect();
         stream.extend(pool().into_iter().filter(|c| c.category == "b"));
         let selector = OnlineSelector::new(constraints(), OnlineStrategy::secretary()).unwrap();
         let selection = selector.run(&stream).unwrap();

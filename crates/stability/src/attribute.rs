@@ -53,12 +53,25 @@ pub fn attribute_stability_with_threshold(
     ranking: &Ranking,
     threshold: f64,
 ) -> StabilityResult<Vec<AttributeStability>> {
-    if !(threshold.is_finite() && threshold > 0.0) {
-        return Err(StabilityError::InvalidParameter {
-            parameter: "threshold",
-            message: format!("threshold must be positive and finite, got {threshold}"),
-        });
-    }
+    let matrix = normalized_values_in_rank_order(table, scoring, ranking)?;
+    attribute_stability_from_normalized(scoring, &matrix, threshold)
+}
+
+/// The min-max-normalized values of every scoring attribute, reordered by
+/// rank (missing values become `NaN`) — the shared intermediate of
+/// per-attribute stability.
+///
+/// `rf-core`'s analysis context computes this matrix exactly once per label
+/// and hands it to [`attribute_stability_from_normalized`], so the widget
+/// fan-out never re-fits the normalizer.
+///
+/// # Errors
+/// Propagates table/normalization errors; requires at least two ranked items.
+pub fn normalized_values_in_rank_order(
+    table: &Table,
+    scoring: &ScoringFunction,
+    ranking: &Ranking,
+) -> StabilityResult<Vec<(String, Vec<f64>)>> {
     if ranking.len() < 2 {
         return Err(StabilityError::TooFewItems {
             available: ranking.len(),
@@ -71,11 +84,7 @@ pub fn attribute_stability_with_threshold(
     // the normalization the scoring function itself used.
     let normalizer = Normalizer::fit(table, &names, NormalizationMethod::MinMax)?;
     let order = ranking.order();
-    let x: Vec<f64> = (0..order.len())
-        .map(|i| i as f64 / (order.len() - 1) as f64)
-        .collect();
-
-    let mut out = Vec::with_capacity(names.len());
+    let mut matrix = Vec::with_capacity(names.len());
     for weight in scoring.weights() {
         let options = table.numeric_column_options(&weight.attribute)?;
         let values_in_rank_order: Vec<f64> = order
@@ -90,6 +99,36 @@ pub fn attribute_stability_with_threshold(
                     .unwrap_or(f64::NAN)
             })
             .collect();
+        matrix.push((weight.attribute.clone(), values_in_rank_order));
+    }
+    Ok(matrix)
+}
+
+/// Fits the per-attribute stability lines to a precomputed normalized matrix
+/// (see [`normalized_values_in_rank_order`]).
+///
+/// # Errors
+/// Requires a positive finite threshold and at least two finite values per
+/// attribute.
+pub fn attribute_stability_from_normalized(
+    scoring: &ScoringFunction,
+    matrix: &[(String, Vec<f64>)],
+    threshold: f64,
+) -> StabilityResult<Vec<AttributeStability>> {
+    if !(threshold.is_finite() && threshold > 0.0) {
+        return Err(StabilityError::InvalidParameter {
+            parameter: "threshold",
+            message: format!("threshold must be positive and finite, got {threshold}"),
+        });
+    }
+    // The x axis (normalized rank grid) is shared by every attribute's fit.
+    let rows = matrix.first().map_or(0, |(_, values)| values.len());
+    let x: Vec<f64> = (0..rows).map(|i| i as f64 / (rows - 1) as f64).collect();
+
+    let mut out = Vec::with_capacity(matrix.len());
+    for ((attribute, values_in_rank_order), weight) in matrix.iter().zip(scoring.weights()) {
+        debug_assert_eq!(attribute, &weight.attribute, "matrix follows recipe order");
+        debug_assert_eq!(values_in_rank_order.len(), rows, "uniform matrix columns");
         // Missing values would poison the fit; replace them with the slice
         // mean so a sparse attribute degrades gracefully instead of erroring.
         let finite: Vec<f64> = values_in_rank_order
@@ -114,7 +153,7 @@ pub fn attribute_stability_with_threshold(
             Err(err) => return Err(StabilityError::Stats(err)),
         };
         out.push(AttributeStability {
-            attribute: weight.attribute.clone(),
+            attribute: attribute.clone(),
             weight: weight.weight,
             slope_magnitude,
             r_squared,

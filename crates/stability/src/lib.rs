@@ -31,7 +31,8 @@ pub mod monte_carlo;
 pub mod slope;
 
 pub use attribute::{
-    attribute_stability, attribute_stability_with_threshold, AttributeStability,
+    attribute_stability, attribute_stability_from_normalized, attribute_stability_with_threshold,
+    normalized_values_in_rank_order, AttributeStability,
 };
 pub use error::{StabilityError, StabilityResult};
 pub use monte_carlo::{MonteCarloStability, MonteCarloSummary};

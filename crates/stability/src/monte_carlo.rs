@@ -171,7 +171,10 @@ impl MonteCarloStability {
 
             let tau = kendall_tau_rankings(ranking, &perturbed_ranking).unwrap_or(0.0);
             taus.push(tau);
-            overlaps.push(jaccard(&original_top_k, &perturbed_ranking.top_k_indices(k)));
+            overlaps.push(jaccard(
+                &original_top_k,
+                &perturbed_ranking.top_k_indices(k),
+            ));
             if perturbed_ranking.order()[0] != original_top_item {
                 top_changes += 1;
             }
@@ -311,7 +314,9 @@ mod tests {
     fn parameter_validation() {
         assert!(MonteCarloStability::new().with_trials(0).is_err());
         assert!(MonteCarloStability::new().with_noise(-0.1, 0.0).is_err());
-        assert!(MonteCarloStability::new().with_noise(0.1, f64::NAN).is_err());
+        assert!(MonteCarloStability::new()
+            .with_noise(0.1, f64::NAN)
+            .is_err());
         let t = spread_table(5);
         let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
         let tiny = Ranking::from_scores(&[1.0]).unwrap();

@@ -255,10 +255,7 @@ mod tests {
 
     #[test]
     fn mean_empty_is_error() {
-        assert_eq!(
-            mean(&[]),
-            Err(StatsError::EmptyInput { operation: "mean" })
-        );
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput { operation: "mean" }));
     }
 
     #[test]

@@ -267,7 +267,9 @@ mod tests {
 
     #[test]
     fn normal_quantile_inverts_cdf() {
-        for &p in &[0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999] {
+        for &p in &[
+            0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999,
+        ] {
             let x = normal_quantile(p).unwrap();
             assert_close(normal_cdf(x), p, 1e-7);
         }

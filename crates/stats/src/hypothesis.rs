@@ -44,7 +44,7 @@ impl Alternative {
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TestResult {
     /// Name of the test (e.g. `"two-proportion z-test"`).
-    pub name: &'static str,
+    pub name: String,
     /// Observed test statistic (z value, or observed count for exact tests).
     pub statistic: f64,
     /// p-value of the test under the stated alternative.
@@ -66,7 +66,7 @@ impl TestResult {
         alpha: f64,
     ) -> Self {
         TestResult {
-            name,
+            name: name.to_string(),
             statistic,
             p_value,
             alternative,
@@ -400,7 +400,11 @@ mod tests {
     #[test]
     fn p_values_always_in_unit_interval() {
         for succ in 0..=20u64 {
-            for &alt in &[Alternative::Less, Alternative::Greater, Alternative::TwoSided] {
+            for &alt in &[
+                Alternative::Less,
+                Alternative::Greater,
+                Alternative::TwoSided,
+            ] {
                 let r = binomial_test(succ, 20, 0.3, alt, 0.05).unwrap();
                 assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
                 let r = one_proportion_z_test(succ, 20, 0.3, alt, 0.05).unwrap();

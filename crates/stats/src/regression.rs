@@ -153,9 +153,7 @@ impl MultipleRegression {
                 actual: n,
             });
         }
-        if y.iter().any(|v| !v.is_finite())
-            || columns.iter().flatten().any(|v| !v.is_finite())
-        {
+        if y.iter().any(|v| !v.is_finite()) || columns.iter().flatten().any(|v| !v.is_finite()) {
             return Err(StatsError::NonFiniteInput {
                 operation: "MultipleRegression::fit",
             });

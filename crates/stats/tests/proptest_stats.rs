@@ -69,7 +69,8 @@ proptest! {
     }
 
     #[test]
-    fn kendall_of_identical_distinct_series_is_one(mut values in finite_vec(3, 24)) {
+    fn kendall_of_identical_distinct_series_is_one(values in finite_vec(3, 24)) {
+        let mut values = values;
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         values.dedup();
         if values.len() >= 3 {

@@ -208,21 +208,30 @@ impl Column {
     #[must_use]
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {
-            Column::Float(v) => {
-                Column::Float(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
-            }
-            Column::Int(v) => {
-                Column::Int(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
-            }
+            Column::Float(v) => Column::Float(
+                indices
+                    .iter()
+                    .map(|&i| v.get(i).copied().flatten())
+                    .collect(),
+            ),
+            Column::Int(v) => Column::Int(
+                indices
+                    .iter()
+                    .map(|&i| v.get(i).copied().flatten())
+                    .collect(),
+            ),
             Column::Str(v) => Column::Str(
                 indices
                     .iter()
                     .map(|&i| v.get(i).cloned().flatten())
                     .collect(),
             ),
-            Column::Bool(v) => {
-                Column::Bool(indices.iter().map(|&i| v.get(i).copied().flatten()).collect())
-            }
+            Column::Bool(v) => Column::Bool(
+                indices
+                    .iter()
+                    .map(|&i| v.get(i).copied().flatten())
+                    .collect(),
+            ),
         }
     }
 
@@ -363,10 +372,7 @@ mod tests {
     fn take_reorders_and_handles_out_of_range() {
         let col = Column::from_i64(vec![10, 20, 30]);
         let taken = col.take(&[2, 0, 9]);
-        assert_eq!(
-            taken,
-            Column::Int(vec![Some(30), Some(10), None])
-        );
+        assert_eq!(taken, Column::Int(vec![Some(30), Some(10), None]));
     }
 
     #[test]

@@ -256,9 +256,18 @@ mod tests {
         let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.num_columns(), 3);
-        assert_eq!(t.schema().field("pubs").unwrap().column_type, ColumnType::Float);
-        assert_eq!(t.schema().field("large").unwrap().column_type, ColumnType::Bool);
-        assert_eq!(t.schema().field("name").unwrap().column_type, ColumnType::Str);
+        assert_eq!(
+            t.schema().field("pubs").unwrap().column_type,
+            ColumnType::Float
+        );
+        assert_eq!(
+            t.schema().field("large").unwrap().column_type,
+            ColumnType::Bool
+        );
+        assert_eq!(
+            t.schema().field("name").unwrap().column_type,
+            ColumnType::Str
+        );
         assert_eq!(t.numeric_column("pubs").unwrap(), vec![9.5, 8.7, 0.3]);
     }
 
@@ -266,14 +275,20 @@ mod tests {
     fn integer_columns_are_inferred() {
         let csv = "id,count\n1,10\n2,20\n";
         let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
-        assert_eq!(t.schema().field("count").unwrap().column_type, ColumnType::Int);
+        assert_eq!(
+            t.schema().field("count").unwrap().column_type,
+            ColumnType::Int
+        );
     }
 
     #[test]
     fn mixed_int_float_becomes_float() {
         let csv = "x\n1\n2.5\n";
         let t = read_csv_str(csv, &CsvOptions::default()).unwrap();
-        assert_eq!(t.schema().field("x").unwrap().column_type, ColumnType::Float);
+        assert_eq!(
+            t.schema().field("x").unwrap().column_type,
+            ColumnType::Float
+        );
     }
 
     #[test]

@@ -66,11 +66,7 @@ impl Normalizer {
     /// constant column under min-max or z-score (its spread is zero, so the
     /// transformation is undefined — the paper's tool silently maps these to
     /// 0, but surfacing the problem is more honest and is what we do).
-    pub fn fit(
-        table: &Table,
-        columns: &[&str],
-        method: NormalizationMethod,
-    ) -> TableResult<Self> {
+    pub fn fit(table: &Table, columns: &[&str], method: NormalizationMethod) -> TableResult<Self> {
         let mut params = Vec::with_capacity(columns.len());
         for &name in columns {
             let values = table.numeric_column(name)?;
@@ -88,8 +84,7 @@ impl Normalizer {
                     if (hi - lo).abs() < f64::EPSILON {
                         return Err(TableError::Normalization {
                             column: name.to_string(),
-                            message: "column is constant; min-max scaling is undefined"
-                                .to_string(),
+                            message: "column is constant; min-max scaling is undefined".to_string(),
                         });
                     }
                     (lo, hi)
@@ -188,10 +183,7 @@ mod tests {
             ("b", Column::from_i64(vec![2, 4, 6])),
             ("c", Column::from_strings(["x", "y", "z"])),
             ("constant", Column::from_f64(vec![3.0, 3.0, 3.0])),
-            (
-                "sparse",
-                Column::Float(vec![Some(1.0), None, Some(3.0)]),
-            ),
+            ("sparse", Column::Float(vec![Some(1.0), None, Some(3.0)])),
         ])
         .unwrap()
     }

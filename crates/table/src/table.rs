@@ -29,9 +29,7 @@ impl Table {
     ///
     /// # Errors
     /// Returns an error if column lengths differ or a name is duplicated.
-    pub fn from_columns(
-        columns: Vec<(impl Into<String>, Column)>,
-    ) -> TableResult<Self> {
+    pub fn from_columns(columns: Vec<(impl Into<String>, Column)>) -> TableResult<Self> {
         let mut table = Table::new();
         for (name, column) in columns {
             table.add_column(name, column)?;
@@ -151,12 +149,7 @@ impl Table {
             .fields()
             .iter()
             .zip(self.columns.iter())
-            .map(|(f, c)| {
-                (
-                    f.name.clone(),
-                    c.value(index).unwrap_or(Value::Null),
-                )
-            })
+            .map(|(f, c)| (f.name.clone(), c.value(index).unwrap_or(Value::Null)))
             .collect())
     }
 
@@ -248,7 +241,11 @@ impl Table {
     ///
     /// # Errors
     /// Duplicate name or length mismatch.
-    pub fn with_float_column(&self, name: impl Into<String>, values: Vec<f64>) -> TableResult<Table> {
+    pub fn with_float_column(
+        &self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> TableResult<Table> {
         let mut out = self.clone();
         out.add_column(name, Column::from_f64(values))?;
         Ok(out)
@@ -358,7 +355,10 @@ mod tests {
         assert_eq!(t.num_rows(), 5);
         assert_eq!(t.num_columns(), 4);
         assert!(!t.is_empty());
-        assert_eq!(t.schema().names(), vec!["Dept", "PubCount", "Faculty", "Region"]);
+        assert_eq!(
+            t.schema().names(),
+            vec!["Dept", "PubCount", "Faculty", "Region"]
+        );
     }
 
     #[test]
@@ -419,7 +419,10 @@ mod tests {
         assert_eq!(top2.num_rows(), 2);
         assert_eq!(top2.numeric_column("PubCount").unwrap(), vec![5.0, 3.0]);
         let reordered = t.take(&[4, 0]);
-        assert_eq!(reordered.numeric_column("PubCount").unwrap(), vec![7.0, 5.0]);
+        assert_eq!(
+            reordered.numeric_column("PubCount").unwrap(),
+            vec![7.0, 5.0]
+        );
         // head(n) with n > rows returns everything.
         assert_eq!(t.head(99).num_rows(), 5);
     }
@@ -438,7 +441,10 @@ mod tests {
         let t = departments();
         let filtered = t.filter_by_index(|i| i % 2 == 0);
         assert_eq!(filtered.num_rows(), 3);
-        assert_eq!(filtered.numeric_column("PubCount").unwrap(), vec![5.0, 9.0, 7.0]);
+        assert_eq!(
+            filtered.numeric_column("PubCount").unwrap(),
+            vec![5.0, 9.0, 7.0]
+        );
     }
 
     #[test]
@@ -483,7 +489,9 @@ mod tests {
     #[test]
     fn with_float_column_appends() {
         let t = departments();
-        let t2 = t.with_float_column("score", vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        let t2 = t
+            .with_float_column("score", vec![0.1, 0.2, 0.3, 0.4, 0.5])
+            .unwrap();
         assert_eq!(t2.num_columns(), 5);
         assert!(t2.numeric_column("score").is_ok());
         // Original unchanged.

@@ -23,11 +23,8 @@ fn main() {
 
     // "High risk first": rank by COMPAS decile score plus prior offences —
     // the ordering a decision maker reviewing risk would look at.
-    let scoring = ScoringFunction::from_pairs([
-        ("decile_score", 0.7),
-        ("priors_count", 0.3),
-    ])
-    .expect("valid scoring function");
+    let scoring = ScoringFunction::from_pairs([("decile_score", 0.7), ("priors_count", 0.3)])
+        .expect("valid scoring function");
 
     let config = LabelConfig::new(scoring)
         .with_top_k(100)
@@ -49,7 +46,11 @@ fn main() {
             report.proportion.k,
             report.proportion.top_k_proportion * 100.0,
             report.proportion.overall_proportion * 100.0,
-            if report.any_unfair() { "flagged as UNFAIR" } else { "fair" },
+            if report.any_unfair() {
+                "flagged as UNFAIR"
+            } else {
+                "fair"
+            },
         );
     }
 }

@@ -20,12 +20,8 @@ fn main() {
         .generate()
         .expect("dataset generation");
 
-    let scoring = ScoringFunction::from_pairs([
-        ("PubCount", 0.4),
-        ("Faculty", 0.4),
-        ("GRE", 0.2),
-    ])
-    .expect("valid scoring function");
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("valid scoring function");
 
     let config = LabelConfig::new(scoring)
         .with_top_k(10)

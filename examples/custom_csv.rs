@@ -38,7 +38,10 @@ fn main() {
 
     let (table, summary) = load_csv_file(&path).expect("CSV loads and validates");
     println!("Loaded {} rows x {} columns", summary.rows, summary.columns);
-    println!("Numeric attributes (scoring candidates): {:?}", summary.numeric_columns);
+    println!(
+        "Numeric attributes (scoring candidates): {:?}",
+        summary.numeric_columns
+    );
     println!(
         "Categorical attributes (sensitive candidates): {:?}",
         summary.categorical_columns

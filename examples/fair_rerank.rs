@@ -24,11 +24,11 @@ fn main() {
 
     // Rank by the credit-worthiness score alone (the pre-populated option of
     // the demo), and audit the top-50 for the protected group age_group=young.
-    let scoring = ScoringFunction::from_pairs([("credit_score", 1.0)])
-        .expect("valid scoring function");
+    let scoring =
+        ScoringFunction::from_pairs([("credit_score", 1.0)]).expect("valid scoring function");
     let ranking = scoring.rank_table(&table).expect("ranking");
-    let group = ProtectedGroup::from_table(&table, "age_group", "young")
-        .expect("binary protected group");
+    let group =
+        ProtectedGroup::from_table(&table, "age_group", "young").expect("binary protected group");
 
     let k = 50;
     let p = group.protected_proportion();

@@ -41,7 +41,11 @@ fn main() {
         let summary = model
             .measure_distribution(runs, 42)
             .expect("measure distribution");
-        let marker = if (f - p).abs() < 1e-9 { "  <- statistical parity (f = p)" } else { "" };
+        let marker = if (f - p).abs() < 1e-9 {
+            "  <- statistical parity (f = p)"
+        } else {
+            ""
+        };
         println!(
             "{f:>6.2}  {:>10.4}  {:>10.4}  {:>10.4}  {:>10.4}{marker}",
             summary.rnd.mean, summary.rkl.mean, summary.rrd.mean, summary.pairwise.mean

@@ -47,7 +47,11 @@ fn main() {
             report.protected_value,
             report.pairwise.preference_probability,
             report.pairwise.p_value,
-            if report.any_unfair() { "flagged as UNFAIR" } else { "fair" },
+            if report.any_unfair() {
+                "flagged as UNFAIR"
+            } else {
+                "fair"
+            },
         );
     }
 }

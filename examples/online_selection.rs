@@ -30,8 +30,7 @@ fn main() {
     .expect("dataset generation");
 
     // Utility = COMPAS decile score, grouping attribute = race.
-    let candidates =
-        Candidate::from_table(&table, "decile_score", "race").expect("candidate pool");
+    let candidates = Candidate::from_table(&table, "decile_score", "race").expect("candidate pool");
     println!("candidate pool: {} individuals", candidates.len());
 
     // Select k = 50 with a floor on the non-protected group and a ceiling on
@@ -59,14 +58,12 @@ fn main() {
         ("greedy", OnlineStrategy::Greedy),
         ("secretary (1/e warm-up)", OnlineStrategy::secretary()),
     ] {
-        let selector =
-            OnlineSelector::new(constraints.clone(), strategy).expect("valid selector");
+        let selector = OnlineSelector::new(constraints.clone(), strategy).expect("valid selector");
         let one_run = selector
             .run_shuffled(&candidates, 42)
             .expect("feasible stream");
         let eval = evaluate_online(&candidates, &constraints, one_run).expect("evaluation");
-        let summary =
-            expected_utility_ratio(&candidates, &selector, 100, 7).expect("simulation");
+        let summary = expected_utility_ratio(&candidates, &selector, 100, 7).expect("simulation");
         println!(
             "\nonline strategy: {name}\n  one run (seed 42): utility {:.0} = {:.1}% of the \
              offline optimum; constraints satisfied: {}\n  over 100 random arrival orders: mean \

@@ -17,13 +17,15 @@ fn main() {
         (
             "Dept",
             Column::from_strings([
-                "Alpha", "Bravo", "Charlie", "Delta", "Echo", "Foxtrot", "Golf", "Hotel",
-                "India", "Juliett", "Kilo", "Lima",
+                "Alpha", "Bravo", "Charlie", "Delta", "Echo", "Foxtrot", "Golf", "Hotel", "India",
+                "Juliett", "Kilo", "Lima",
             ]),
         ),
         (
             "PubCount",
-            Column::from_f64(vec![9.2, 8.7, 7.9, 7.1, 6.4, 5.8, 4.9, 4.1, 3.2, 2.5, 1.8, 0.9]),
+            Column::from_f64(vec![
+                9.2, 8.7, 7.9, 7.1, 6.4, 5.8, 4.9, 4.1, 3.2, 2.5, 1.8, 0.9,
+            ]),
         ),
         (
             "Faculty",
@@ -47,12 +49,8 @@ fn main() {
 
     // The Recipe: 40% publications, 40% faculty, 20% GRE, min-max normalized —
     // the weighting used in the paper's walk-through.
-    let scoring = ScoringFunction::from_pairs([
-        ("PubCount", 0.4),
-        ("Faculty", 0.4),
-        ("GRE", 0.2),
-    ])
-    .expect("valid scoring function");
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("valid scoring function");
 
     let config = LabelConfig::new(scoring)
         .with_top_k(5)

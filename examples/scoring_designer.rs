@@ -22,8 +22,7 @@ fn main() {
 
     // Build the design view with min-max normalization (the checkbox at the
     // top-left of Figure 3) and 10-bin histograms.
-    let view = DesignView::build(&table, NormalizationMethod::MinMax, 8, 10)
-        .expect("design view");
+    let view = DesignView::build(&table, NormalizationMethod::MinMax, 8, 10).expect("design view");
 
     println!("=== Data preview ({} rows) ===", view.rows);
     println!("{}", view.data_preview);
@@ -52,12 +51,8 @@ fn main() {
     }
 
     // The user picks scoring attributes and weights, then previews the ranking.
-    let scoring = ScoringFunction::from_pairs([
-        ("PubCount", 0.4),
-        ("Faculty", 0.4),
-        ("GRE", 0.2),
-    ])
-    .expect("valid scoring function");
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("valid scoring function");
     let preview = view
         .preview_ranking(&table, &scoring, 10)
         .expect("ranking preview");

@@ -1,0 +1,15 @@
+//! # rf-suite
+//!
+//! The root package of the Ranking Facts workspace.  It carries the
+//! workspace-wide integration tests under `tests/` and the runnable
+//! walk-throughs under `examples/`; the library itself only re-exports the
+//! main entry point so `cargo doc` lands somewhere useful.
+//!
+//! See the individual crates under `crates/` for the actual system:
+//! `rf-core` assembles the nutritional label, `rf-server` serves it over
+//! HTTP, `rf-cli` is the command line, and `rf-bench` regenerates the
+//! paper's figures.
+
+#![forbid(unsafe_code)]
+
+pub use rf_core::{AnalysisPipeline, LabelConfig, NutritionalLabel};

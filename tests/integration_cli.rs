@@ -69,7 +69,13 @@ fn generate_then_label_an_uploaded_csv() {
     ])
     .expect("json label");
     let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    for widget in ["recipe", "ingredients", "stability", "fairness", "diversity"] {
+    for widget in [
+        "recipe",
+        "ingredients",
+        "stability",
+        "fairness",
+        "diversity",
+    ] {
         assert!(
             value.get(widget).is_some(),
             "label JSON must contain the `{widget}` widget"

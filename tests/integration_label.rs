@@ -132,14 +132,12 @@ fn ingredients_associations_are_sorted_and_bounded() {
 #[test]
 fn changing_weights_changes_the_ranking_but_not_the_schema() {
     let table = CsDepartmentsConfig::default().generate().unwrap();
-    let config_a = LabelConfig::new(
-        ScoringFunction::from_pairs([("PubCount", 1.0), ("GRE", 0.0)]).unwrap(),
-    )
-    .with_top_k(10);
-    let config_b = LabelConfig::new(
-        ScoringFunction::from_pairs([("PubCount", 0.0), ("GRE", 1.0)]).unwrap(),
-    )
-    .with_top_k(10);
+    let config_a =
+        LabelConfig::new(ScoringFunction::from_pairs([("PubCount", 1.0), ("GRE", 0.0)]).unwrap())
+            .with_top_k(10);
+    let config_b =
+        LabelConfig::new(ScoringFunction::from_pairs([("PubCount", 0.0), ("GRE", 1.0)]).unwrap())
+            .with_top_k(10);
     let label_a = NutritionalLabel::generate(&table, &config_a).unwrap();
     let label_b = NutritionalLabel::generate(&table, &config_b).unwrap();
     assert_ne!(label_a.ranking.order(), label_b.ranking.order());

@@ -13,7 +13,9 @@ fn dataset(rows: usize, values: &[f64]) -> Table {
     let b: Vec<f64> = (0..rows)
         .map(|i| values[(i * 7 + 3) % values.len()] * 0.5 + i as f64)
         .collect();
-    let group: Vec<&str> = (0..rows).map(|i| if i % 3 == 0 { "g1" } else { "g2" }).collect();
+    let group: Vec<&str> = (0..rows)
+        .map(|i| if i % 3 == 0 { "g1" } else { "g2" })
+        .collect();
     let cat: Vec<&str> = (0..rows)
         .map(|i| match i % 4 {
             0 => "north",

@@ -47,12 +47,24 @@ fn html_render_is_well_formed_and_escaped() {
     assert!(html.starts_with("<!DOCTYPE html>"));
     assert!(html.contains("</html>"));
     // Section cards for every widget.
-    for class in ["recipe", "ingredients", "stability", "fairness", "diversity"] {
+    for class in [
+        "recipe",
+        "ingredients",
+        "stability",
+        "fairness",
+        "diversity",
+    ] {
         assert!(html.contains(&format!("class=\"card {class}\"")));
     }
     // Balanced table tags.
-    assert_eq!(html.matches("<table>").count(), html.matches("</table>").count());
-    assert_eq!(html.matches("<section").count(), html.matches("</section>").count());
+    assert_eq!(
+        html.matches("<table>").count(),
+        html.matches("</table>").count()
+    );
+    assert_eq!(
+        html.matches("<section").count(),
+        html.matches("</section>").count()
+    );
 }
 
 #[test]

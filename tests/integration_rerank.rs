@@ -16,9 +16,8 @@ fn cs_departments_small_group_is_repaired() {
     // The paper's Figure 1 dataset: only large departments reach the top-10,
     // so the small-department group fails FA*IR under a parity target.
     let table = CsDepartmentsConfig::default().generate().expect("dataset");
-    let scoring =
-        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
-            .expect("scoring");
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("scoring");
     let ranking = scoring.rank_table(&table).expect("ranking");
     let group = ProtectedGroup::from_table(&table, "DeptSizeBin", "small").expect("group");
 
@@ -50,8 +49,7 @@ fn cs_departments_small_group_is_repaired() {
 
     // The discounted measures also improve (smaller divergence from parity).
     let before_measures = DiscountedMeasures::evaluate(&group, &ranking).expect("measures");
-    let after_measures =
-        DiscountedMeasures::evaluate(&group, &outcome.reranked).expect("measures");
+    let after_measures = DiscountedMeasures::evaluate(&group, &outcome.reranked).expect("measures");
     assert!(after_measures.rnd <= before_measures.rnd + 1e-9);
     assert!(after_measures.rkl <= before_measures.rkl + 1e-9);
 }
@@ -108,12 +106,18 @@ fn rerank_interacts_consistently_with_the_other_measures() {
         .expect("re-ranker")
         .rerank(&group, &ranking)
         .expect("re-rank");
-    let after_share = group.protected_in_top_k(&outcome.reranked, k).expect("count");
+    let after_share = group
+        .protected_in_top_k(&outcome.reranked, k)
+        .expect("count");
     assert!(after_share >= before_share);
 
     // Both measures still evaluate cleanly on the repaired ranking.
-    let prop_after = proportion.evaluate(&group, &outcome.reranked).expect("proportion");
-    let pair_after = pairwise.evaluate(&group, &outcome.reranked).expect("pairwise");
+    let prop_after = proportion
+        .evaluate(&group, &outcome.reranked)
+        .expect("proportion");
+    let pair_after = pairwise
+        .evaluate(&group, &outcome.reranked)
+        .expect("pairwise");
     assert!((0.0..=1.0).contains(&prop_after.p_value));
     assert!((0.0..=1.0).contains(&pair_after.p_value));
 }
@@ -121,9 +125,8 @@ fn rerank_interacts_consistently_with_the_other_measures() {
 #[test]
 fn rerank_is_idempotent_on_already_fair_rankings() {
     let table = CsDepartmentsConfig::default().generate().expect("dataset");
-    let scoring =
-        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
-            .expect("scoring");
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("scoring");
     let ranking = scoring.rank_table(&table).expect("ranking");
     let group = ProtectedGroup::from_table(&table, "DeptSizeBin", "small").expect("group");
 
@@ -131,8 +134,13 @@ fn rerank_is_idempotent_on_already_fair_rankings() {
     let p = group.protected_proportion();
     let reranker = FairRerank::new(k, p).expect("re-ranker");
     let first = reranker.rerank(&group, &ranking).expect("first pass");
-    let second = reranker.rerank(&group, &first.reranked).expect("second pass");
-    assert!(!second.changed, "a repaired ranking needs no further repair");
+    let second = reranker
+        .rerank(&group, &first.reranked)
+        .expect("second pass");
+    assert!(
+        !second.changed,
+        "a repaired ranking needs no further repair"
+    );
     assert_eq!(second.reranked.order(), first.reranked.order());
     assert_eq!(second.total_score_loss, 0.0);
 }

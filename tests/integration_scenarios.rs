@@ -118,7 +118,10 @@ fn compas_scenario_flags_the_protected_racial_group() {
 /// Scenario 2b — counterfactual: an unbiased COMPAS-like dataset passes.
 #[test]
 fn unbiased_compas_counterfactual_is_not_flagged() {
-    let table = CompasConfig::with_rows(3_000).unbiased().generate().unwrap();
+    let table = CompasConfig::with_rows(3_000)
+        .unbiased()
+        .generate()
+        .unwrap();
     let scoring =
         ScoringFunction::from_pairs([("decile_score", 0.7), ("priors_count", 0.3)]).unwrap();
     let config = LabelConfig::new(scoring)

@@ -23,11 +23,10 @@ fn floors_restore_small_departments_to_the_top_k() {
     // Unconstrained top-10 by publications contains only large departments
     // (the paper's Diversity finding); a floor on `small` restores them.
     let table = CsDepartmentsConfig::default().generate().expect("dataset");
-    let candidates =
-        Candidate::from_table(&table, "PubCount", "DeptSizeBin").expect("candidates");
+    let candidates = Candidate::from_table(&table, "PubCount", "DeptSizeBin").expect("candidates");
 
-    let unconstrained = offline_select(&candidates, &ConstraintSet::unconstrained(10).unwrap())
-        .expect("top-10");
+    let unconstrained =
+        offline_select(&candidates, &ConstraintSet::unconstrained(10).unwrap()).expect("top-10");
     assert_eq!(
         count_of(&unconstrained.category_counts, "small"),
         0,
@@ -88,13 +87,9 @@ fn secretary_warmup_closes_most_of_the_gap_to_offline() {
     .generate()
     .expect("dataset");
     let candidates = Candidate::from_table(&table, "decile_score", "race").expect("candidates");
-    let constraints = ConstraintSet::new(
-        50,
-        vec![GroupConstraint::at_least("Other", 20).unwrap()],
-    )
-    .unwrap();
-    let selector =
-        OnlineSelector::new(constraints, OnlineStrategy::secretary()).expect("selector");
+    let constraints =
+        ConstraintSet::new(50, vec![GroupConstraint::at_least("Other", 20).unwrap()]).unwrap();
+    let selector = OnlineSelector::new(constraints, OnlineStrategy::secretary()).expect("selector");
     let summary = expected_utility_ratio(&candidates, &selector, 40, 3).expect("summary");
     assert!(
         summary.mean > 0.75,
@@ -130,6 +125,9 @@ fn ceilings_cap_the_over_represented_group() {
     )
     .expect("capped top-30");
     let aa_capped = count_of(&capped.category_counts, "African-American");
-    assert!(aa_unconstrained > 15, "the injected score skew must be visible");
+    assert!(
+        aa_unconstrained > 15,
+        "the injected score skew must be visible"
+    );
     assert_eq!(aa_capped, 15);
 }

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: a short warm-up, then `sample_size` timed iterations,
+//! reporting min/median/mean per iteration.  No statistics engine, plots, or
+//! baseline storage; good enough to compare orders of magnitude offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion's API.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, reported per run).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then recording the configured
+    /// number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever comes first.
+        let warmup_start = Instant::now();
+        let mut warmup_iterations = 0u32;
+        while warmup_iterations < 3 && warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iterations += 1;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Annotates the group with a throughput per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher.results);
+        self
+    }
+
+    /// Finishes the group (drops it; reports were already printed).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, results: &[Duration]) {
+        if results.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id.id);
+            return;
+        }
+        let mut sorted: Vec<Duration> = results.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / u32::try_from(sorted.len()).unwrap_or(1);
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let secs = mean.as_secs_f64();
+                if secs > 0.0 {
+                    format!("  ({:.1} MiB/s)", bytes as f64 / secs / (1024.0 * 1024.0))
+                } else {
+                    String::new()
+                }
+            }
+            Some(Throughput::Elements(elements)) => {
+                let secs = mean.as_secs_f64();
+                if secs > 0.0 {
+                    format!("  ({:.0} elem/s)", elements as f64 / secs)
+                } else {
+                    String::new()
+                }
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples){}",
+            self.name,
+            id.id,
+            sorted[0],
+            median,
+            mean,
+            sorted.len(),
+            throughput
+        );
+        // Keep the borrow on `criterion` meaningful: count benches run.
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from("bench"), f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

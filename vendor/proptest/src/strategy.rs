@@ -1,0 +1,295 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A generated value was rejected (filter exhaustion); the runner retries the
+/// whole case.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Something that can generate values of an output type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    ///
+    /// # Errors
+    /// [`Rejection`] when the strategy could not produce an acceptable value
+    /// (e.g. a filter rejected too many candidates).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`.
+    fn prop_filter<R, F>(self, whence: R, f: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        Ok((self.f)(self.inner.generate(rng)?))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..100 {
+            let candidate = self.inner.generate(rng)?;
+            if (self.f)(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(Rejection(format!(
+            "filter rejected 100 values: {}",
+            self.whence
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$ty, Rejection> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$ty, Rejection> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u32, u64, i64, f64);
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+// ---------------------------------------------------------------------------
+// Regex-literal strategies for `&str` patterns.
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Piece>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => {
+                            let escaped = chars
+                                .next()
+                                .ok_or_else(|| "dangling escape in class".to_string())?;
+                            members.push(escaped);
+                            prev = Some(escaped);
+                        }
+                        Some('-') => {
+                            // A range when between two members, literal otherwise.
+                            match (prev, chars.peek().copied()) {
+                                (Some(start), Some(end)) if end != ']' => {
+                                    chars.next();
+                                    for code in (start as u32 + 1)..=(end as u32) {
+                                        if let Some(ch) = char::from_u32(code) {
+                                            members.push(ch);
+                                        }
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    members.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        Some(member) => {
+                            members.push(member);
+                            prev = Some(member);
+                        }
+                        None => return Err("unterminated character class".to_string()),
+                    }
+                }
+                if members.is_empty() {
+                    return Err("empty character class".to_string());
+                }
+                Atom::Class(members)
+            }
+            '\\' => Atom::Literal(chars.next().ok_or_else(|| "dangling escape".to_string())?),
+            '{' | '}' | '?' | '*' | '+' => {
+                return Err(format!("unexpected `{c}` in pattern `{pattern}`"))
+            }
+            literal => Atom::Literal(literal),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for bound in chars.by_ref() {
+                    if bound == '}' {
+                        break;
+                    }
+                    spec.push(bound);
+                }
+                let parts: Vec<&str> = spec.split(',').collect();
+                match parts.as_slice() {
+                    [exact] => {
+                        let n = exact
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad repetition `{{{spec}}}`"))?;
+                        (n, n)
+                    }
+                    [low, high] => {
+                        let low = low
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad repetition `{{{spec}}}`"))?;
+                        let high = high
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad repetition `{{{spec}}}`"))?;
+                        (low, high)
+                    }
+                    _ => return Err(format!("bad repetition `{{{spec}}}`")),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        let pieces = parse_pattern(self)
+            .unwrap_or_else(|err| panic!("unsupported regex strategy `{self}`: {err}"));
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        let index = rng.gen_range(0usize..members.len());
+                        out.push(members[index]);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        self.as_str().generate(rng)
+    }
+}

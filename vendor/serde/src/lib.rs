@@ -1,0 +1,456 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name.  Instead of serde's visitor-based zero-copy data model, this
+//! stand-in lowers every value to a self-describing [`Content`] tree; the
+//! companion `serde_json` stand-in renders and parses that tree.  The derive
+//! macros (`#[derive(serde::Serialize, serde::Deserialize)]`) are provided by
+//! the sibling `serde_derive` proc-macro crate and generate impls of the two
+//! traits below, including externally-tagged enum representation and support
+//! for the `#[serde(default)]` field attribute — the only attribute this
+//! workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the data model shared by `Serialize` and
+/// `Deserialize`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / a missing value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An insertion-ordered map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable name of the content kind, used in error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced while rebuilding a value from a [`Content`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form deserialization error.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// A required field was absent from the serialized map.
+    #[must_use]
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// An enum tag did not match any known variant.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+
+    /// The content tree had the wrong shape for the target type.
+    #[must_use]
+    pub fn invalid_shape(ty: &str, expected: &str, got: &Content) -> Self {
+        Self::custom(format!(
+            "invalid content for `{ty}`: expected {expected}, got {}",
+            got.kind()
+        ))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Content`] tree.
+pub trait Serialize {
+    /// Lowers `self` to the self-describing data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the self-describing data model.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] when the tree does not match the target type.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        match i64::try_from(*self) {
+            Ok(v) => Content::I64(v),
+            Err(_) => Content::U64(*self),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        (*self as u64).to_content()
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        // HashMap iteration order is unspecified; sort for deterministic output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+fn content_as_i64(content: &Content, ty: &str) -> Result<i64, DeError> {
+    match content {
+        Content::I64(v) => Ok(*v),
+        Content::U64(v) => {
+            i64::try_from(*v).map_err(|_| DeError::custom(format!("{ty}: {v} out of range")))
+        }
+        Content::F64(v) if v.fract() == 0.0 && v.is_finite() => Ok(*v as i64),
+        other => Err(DeError::invalid_shape(ty, "integer", other)),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let value = content_as_i64(content, stringify!($ty))?;
+                <$ty>::try_from(value)
+                    .map_err(|_| DeError::custom(format!("{} out of range: {value}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl Deserialize for u64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::U64(v) => Ok(*v),
+            other => {
+                let value = content_as_i64(other, "u64")?;
+                u64::try_from(value)
+                    .map_err(|_| DeError::custom(format!("u64 out of range: {value}")))
+            }
+        }
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let value = u64::from_content(content)?;
+        usize::try_from(value).map_err(|_| DeError::custom(format!("usize out of range: {value}")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // Non-finite floats serialize as null (JSON has no NaN/Infinity);
+            // accept the round-trip rather than failing.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::invalid_shape("f64", "number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(f64::from_content(content)? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::invalid_shape("bool", "boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_shape("String", "string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::invalid_shape(
+                "char",
+                "single-character string",
+                other,
+            )),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::invalid_shape("Vec", "sequence", other)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::invalid_shape("tuple", "2-element sequence", other)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 3 => Ok((
+                A::from_content(&items[0])?,
+                B::from_content(&items[1])?,
+                C::from_content(&items[2])?,
+            )),
+            other => Err(DeError::invalid_shape("tuple", "3-element sequence", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::invalid_shape("BTreeMap", "map", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::invalid_shape("HashMap", "map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![Some(1.0f64), None, Some(3.5)];
+        let c = v.to_content();
+        assert_eq!(Vec::<Option<f64>>::from_content(&c).unwrap(), v);
+
+        let pairs = vec![("a".to_string(), 1usize), ("b".to_string(), 2usize)];
+        let c = pairs.to_content();
+        assert_eq!(Vec::<(String, usize)>::from_content(&c).unwrap(), pairs);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        assert!(bool::from_content(&Content::Str("no".into())).is_err());
+        assert!(Vec::<f64>::from_content(&Content::Bool(true)).is_err());
+        assert!(String::from_content(&Content::Null).is_err());
+    }
+}

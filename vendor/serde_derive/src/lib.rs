@@ -1,0 +1,449 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! crates.io is unreachable in this build environment, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from the [`proc_macro`] token
+//! stream and the generated impl is assembled as source text.  The parser
+//! covers exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (optionally `#[serde(default)]` per field);
+//! * enums with unit, newtype, tuple, and struct variants, serialized with
+//!   serde's externally-tagged representation (`"Variant"` for unit variants,
+//!   `{"Variant": value}` otherwise).
+//!
+//! Generics are not supported — no serialized type in the workspace needs
+//! them — and unsupported shapes produce a `compile_error!` naming the gap.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error token stream"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes, returning `true` if any was `#[serde(default)]`.
+fn skip_attributes(iter: &mut TokenIter) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if let Some(TokenTree::Group(group)) = iter.next() {
+            let mut inner = group.stream().into_iter();
+            if let Some(TokenTree::Ident(head)) = inner.next() {
+                if head.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for token in args.stream() {
+                            if let TokenTree::Ident(ident) = token {
+                                if ident.to_string() == "default" {
+                                    has_default = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    has_default
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(ident)) = iter.peek() {
+        if ident.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (vendored) does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Struct(parse_named_fields(group.stream())?),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: ItemKind::Struct(Vec::new()),
+            }),
+            _ => Err(format!(
+                "serde_derive (vendored) does not support tuple struct `{name}`"
+            )),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(group.stream())?),
+            }),
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected a field name, found {other}")),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type, tracking `<`/`>` depth so commas inside generics
+        // (e.g. `Vec<(String, f64)>`) do not end the field early.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected a variant name, found {other}")),
+            None => break,
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(group.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated items at angle-bracket depth zero (trailing commas
+/// do not add a field).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (assembled as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})));\n",
+                    f = field.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(__fields)"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_field_lookup(ty: &str, field: &Field, source: &str) -> String {
+    let f = &field.name;
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{ty}\", \"{f}\"))"
+        )
+    };
+    format!(
+        "{f}: match {source}.iter().find(|__e| __e.0 == \"{f}\") {{\n\
+         ::std::option::Option::Some(__e) => ::serde::Deserialize::from_content(&__e.1)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let lookups: String = fields
+                .iter()
+                .map(|f| gen_field_lookup(name, f, "__entries"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Map(__entries) => ::std::result::Result::Ok({name} {{\n{lookups}}}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::invalid_shape(\"{name}\", \"map\", __other)),\n\
+                 }}"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+
+            let mut arms = String::new();
+            if !unit_variants.is_empty() {
+                let mut unit_arms = String::new();
+                for v in &unit_variants {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n}},\n"
+                ));
+            }
+            if !data_variants.is_empty() {
+                let mut tag_arms = String::new();
+                for variant in &data_variants {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => unreachable!("unit variants handled above"),
+                        VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_content(__v)?)),\n"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__items[{i}])?")
+                                })
+                                .collect();
+                            tag_arms.push_str(&format!(
+                                "\"{v}\" => match __v {{\n\
+                                 ::serde::Content::Seq(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::invalid_shape(\
+                                 \"{name}::{v}\", \"{arity}-element sequence\", __other)),\n}},\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let lookups: String = fields
+                                .iter()
+                                .map(|f| gen_field_lookup(name, f, "__fields"))
+                                .collect();
+                            tag_arms.push_str(&format!(
+                                "\"{v}\" => match __v {{\n\
+                                 ::serde::Content::Map(__fields) => ::std::result::Result::Ok({name}::{v} {{\n{lookups}}}),\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::invalid_shape(\
+                                 \"{name}::{v}\", \"map\", __other)),\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                arms.push_str(&format!(
+                    "::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __v) = (&__entries[0].0, &__entries[0].1);\n\
+                     match __k.as_str() {{\n{tag_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n}}\n}},\n"
+                ));
+            }
+            format!(
+                "match __content {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::invalid_shape(\
+                 \"{name}\", \"externally tagged variant\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

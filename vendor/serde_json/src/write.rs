@@ -1,0 +1,122 @@
+//! JSON rendering of a `serde::Content` tree.
+
+use serde::Content;
+
+/// Renders `content` as JSON, compact or pretty (two-space indent, matching
+/// `serde_json::to_string_pretty`).
+#[must_use]
+pub fn to_json(content: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(&mut out, content, pretty, 0);
+    out
+}
+
+fn write_value(out: &mut String, content: &Content, pretty: bool, indent: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                }
+                write_value(out, item, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                push_indent(out, indent);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                }
+                write_string(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, value, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                push_indent(out, indent);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// JSON has no NaN/Infinity; like `serde_json`, render them as `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format_f64(v));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Rust's `Display` for `f64` produces the shortest representation that
+/// round-trips, which keeps serialize → parse → serialize a fixpoint.
+fn format_f64(v: f64) -> String {
+    let mut s = format!("{v}");
+    // Very large magnitudes format with an exponent only via `{:e}`; `{}`
+    // always yields plain decimal notation, which is valid JSON.  Ensure a
+    // distinguishable float when the value is integral is NOT required:
+    // "1" parses back as an integer-backed number and re-renders as "1".
+    if s == "-0" {
+        s = "-0.0".to_string();
+    }
+    s
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
