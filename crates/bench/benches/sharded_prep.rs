@@ -1,0 +1,89 @@
+//! Sharded versus sequential analysis-context preparation, and the sweep
+//! amortization it enables.
+//!
+//! Preparation (scoring every row, extracting protected groups, normalizing
+//! the score matrix) dominates label generation on large tables.  The
+//! parallel schedule shards row scoring over the `rf-runtime` pool and runs
+//! one job per protected group; the deterministic shard merge keeps the
+//! result byte-identical to the sequential reference measured alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::{cs_label_config, cs_table_with_rows};
+use rf_core::AnalysisPipeline;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn preparation_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_prep/schedule");
+    group.sample_size(15);
+    let parallel = AnalysisPipeline::new();
+    let sequential = AnalysisPipeline::sequential();
+    for rows in [1_000usize, 10_000, 50_000] {
+        let table = Arc::new(cs_table_with_rows(rows));
+        let config = Arc::new(cs_label_config());
+        group.bench_with_input(BenchmarkId::new("sharded", rows), &rows, |b, _| {
+            b.iter(|| {
+                parallel
+                    .prepare(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
+                    .expect("prepare")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", rows), &rows, |b, _| {
+            b.iter(|| {
+                sequential
+                    .prepare(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
+                    .expect("prepare")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One preparation amortized over a sweep of `k` values versus one
+/// preparation per `k` — the batching win for dashboards that show several
+/// prefix sizes of the same ranking.
+fn sweep_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_prep/k_sweep");
+    group.sample_size(10);
+    let pipeline = AnalysisPipeline::new();
+    let ks = [5usize, 10, 20, 50];
+    let table = Arc::new(cs_table_with_rows(10_000));
+    let config = Arc::new(cs_label_config());
+    group.bench_function("generate_sweep", |b| {
+        b.iter(|| {
+            pipeline
+                .generate_sweep(
+                    black_box(Arc::clone(&table)),
+                    black_box(Arc::clone(&config)),
+                    black_box(&ks),
+                )
+                .expect("sweep")
+        });
+    });
+    group.bench_function("independent_generates", |b| {
+        b.iter(|| {
+            let labels: Vec<_> = ks
+                .iter()
+                .map(|&k| {
+                    pipeline
+                        .generate(
+                            black_box(Arc::clone(&table)),
+                            Arc::new(rf_core::LabelConfig::clone(&config).with_top_k(k)),
+                        )
+                        .expect("label")
+                })
+                .collect();
+            black_box(labels.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, preparation_schedules, sweep_amortization);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 use crate::args::{parse_attribute_value, ParsedArgs};
 use crate::commands::{build_scoring, load_input, write_or_return};
 use crate::error::{CliError, CliResult};
-use rf_core::{AnalysisPipeline, IngredientsMethod, LabelConfig};
+use rf_core::{AnalysisPipeline, IngredientsMethod, LabelConfig, NutritionalLabel};
 use std::sync::Arc;
 
 const ALLOWED: &[&str] = &[
@@ -16,6 +16,7 @@ const ALLOWED: &[&str] = &[
     "sensitive",
     "diversity",
     "k",
+    "ks",
     "alpha",
     "ingredients",
     "method",
@@ -26,29 +27,90 @@ const ALLOWED: &[&str] = &[
 
 /// Runs the command.
 ///
+/// With `--ks 5,10,20` the command produces one label per audited prefix
+/// size, backed by [`AnalysisPipeline::generate_sweep`]: the ranking and the
+/// shared analysis context are computed once and re-rendered per `k`
+/// (byte-identical to running the command once per size).
+///
 /// # Errors
 /// Returns a usage error for malformed options or an execution error from the
 /// label pipeline (unknown columns, non-binary sensitive attributes, ...).
 pub fn run(args: &ParsedArgs) -> CliResult<String> {
     args.reject_unknown(ALLOWED)?;
+    if args.get("k").is_some() && args.get("ks").is_some() {
+        return Err(CliError::usage(
+            "give either `--k N` or `--ks N,N,...`, not both",
+        ));
+    }
     let (table, name) = load_input(args)?;
     let config = build_config(args, name)?;
+    let format = args.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json" | "html") {
+        return Err(CliError::usage(format!(
+            "unknown format `{format}` (available: text, json, html)"
+        )));
+    }
     // The command owns its table, so it hands it straight to the parallel
     // pipeline without the copy `NutritionalLabel::generate` would make.
-    let label = AnalysisPipeline::new()
-        .generate(Arc::new(table), Arc::new(config))
-        .map_err(CliError::execution)?;
-    let rendered = match args.get("format").unwrap_or("text") {
-        "text" => label.to_text(),
-        "json" => label.to_json().map_err(CliError::execution)?,
-        "html" => label.to_html(),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown format `{other}` (available: text, json, html)"
-            )))
+    let pipeline = AnalysisPipeline::new();
+    let table = Arc::new(table);
+    let config = Arc::new(config);
+    let sweep = args.get("ks").is_some();
+    let labels = match args.get("ks") {
+        Some(spec) => {
+            let ks = parse_ks(spec)?;
+            pipeline
+                .generate_sweep(table, config, &ks)
+                .map_err(CliError::execution)?
         }
+        None => vec![pipeline
+            .generate(table, config)
+            .map_err(CliError::execution)?],
+    };
+    let rendered = match format {
+        "json" => {
+            let mut documents = Vec::with_capacity(labels.len());
+            for label in &labels {
+                documents.push(label.to_json().map_err(CliError::execution)?);
+            }
+            if sweep {
+                // A sweep always renders as one JSON array of label
+                // documents, even for a single k, so scripted consumers see
+                // one stable shape.
+                format!("[\n{}\n]", documents.join(",\n"))
+            } else {
+                documents.pop().expect("one label")
+            }
+        }
+        "html" => labels
+            .iter()
+            .map(NutritionalLabel::to_html)
+            .collect::<Vec<_>>()
+            .join("\n"),
+        _ => labels
+            .iter()
+            .map(NutritionalLabel::to_text)
+            .collect::<Vec<_>>()
+            .join("\n"),
     };
     write_or_return(args, rendered)
+}
+
+/// Parses `--ks 5,10,20` into prefix sizes (at least one required).
+fn parse_ks(spec: &str) -> CliResult<Vec<usize>> {
+    let mut ks = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+        let k: usize = entry.trim().parse().map_err(|_| {
+            CliError::usage(format!("`--ks` expects integers, got `{}`", entry.trim()))
+        })?;
+        ks.push(k);
+    }
+    if ks.is_empty() {
+        return Err(CliError::usage(
+            "`--ks` must list at least one prefix size (e.g. `--ks 5,10,20`)",
+        ));
+    }
+    Ok(ks)
 }
 
 /// Builds the [`LabelConfig`] shared by `label` and `mitigate`.
@@ -134,6 +196,49 @@ mod tests {
         let out = run(&cs_args(&["--format", "html"])).unwrap();
         assert!(out.contains("<html"));
         assert!(out.contains("Fairness"));
+    }
+
+    #[test]
+    fn ks_sweep_produces_one_label_per_size() {
+        let out = run(&cs_args(&["--ks", "5,10,20", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let labels = value.as_array().expect("a sweep renders a JSON array");
+        assert_eq!(labels.len(), 3);
+        for (label, expected_k) in labels.iter().zip([5u64, 10, 20]) {
+            assert_eq!(label["config"]["top_k"].as_u64().unwrap(), expected_k);
+            assert_eq!(
+                label["top_k_rows"].as_array().unwrap().len() as u64,
+                expected_k
+            );
+        }
+    }
+
+    #[test]
+    fn ks_sweep_matches_independent_runs() {
+        let sweep = run(&cs_args(&["--ks", "5,10", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&sweep).unwrap();
+        for (i, k) in ["5", "10"].into_iter().enumerate() {
+            let single = run(&cs_args(&["--k", k, "--format", "json"])).unwrap();
+            let single: serde_json::Value = serde_json::from_str(&single).unwrap();
+            assert_eq!(value[i], single, "sweep entry {i} diverges from --k {k}");
+        }
+    }
+
+    #[test]
+    fn single_k_sweep_still_renders_an_array() {
+        let out = run(&cs_args(&["--ks", "5", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value.as_array().expect("array even for one k").len(), 1);
+    }
+
+    #[test]
+    fn ks_sweep_rejects_bad_specs() {
+        assert!(run(&cs_args(&["--ks", "5,banana"])).is_err());
+        assert!(run(&cs_args(&["--ks", ","])).is_err());
+        // A k exceeding the dataset is an execution error, like --k.
+        assert!(run(&cs_args(&["--ks", "5,100000"])).is_err());
+        // --k and --ks conflict; rejecting beats silently dropping --k.
+        assert!(run(&cs_args(&["--k", "7", "--ks", "5,10"])).is_err());
     }
 
     #[test]

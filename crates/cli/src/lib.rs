@@ -82,6 +82,7 @@ pub fn usage() -> &'static str {
      \x20 label      produce a nutritional label\n\
      \x20            (--dataset ... | --data FILE.csv) --score attr=w,...\n\
      \x20            [--sensitive attr=value]... [--diversity attr]... [--k N]\n\
+     \x20            [--ks N,N,...] (sweep: one label per k, ranking computed once)\n\
      \x20            [--alpha A] [--ingredients N] [--method linear|rank-aware]\n\
      \x20            [--normalize none|minmax|zscore] [--format text|json|html] [--out FILE]\n\
      \x20 mitigate   suggest alternative weights that restore fairness / diversity\n\

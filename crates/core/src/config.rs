@@ -190,6 +190,64 @@ impl LabelConfig {
         Ok(())
     }
 
+    /// A stable 64-bit fingerprint of the configuration's content.
+    ///
+    /// Every field that can influence the generated label is absorbed through
+    /// a canonical, length-prefixed encoding (floats by canonicalized bit
+    /// pattern), so two configurations fingerprint identically exactly when
+    /// they would produce identical labels for the same table.  Combined with
+    /// [`rf_table::Table::fingerprint`] this forms the label cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = rf_table::Fingerprinter::new();
+        // Recipe: weights in declaration order, then the policies.
+        fp.write_usize(self.scoring.weights().len());
+        for weight in self.scoring.weights() {
+            fp.write_str(&weight.attribute);
+            fp.write_f64(weight.weight);
+        }
+        fp.write_u8(match self.scoring.normalization() {
+            rf_table::NormalizationMethod::None => 0,
+            rf_table::NormalizationMethod::MinMax => 1,
+            rf_table::NormalizationMethod::ZScore => 2,
+        });
+        fp.write_u8(match self.scoring.missing_policy() {
+            rf_ranking::MissingValuePolicy::Error => 0,
+            rf_ranking::MissingValuePolicy::MeanImpute => 1,
+            rf_ranking::MissingValuePolicy::Zero => 2,
+        });
+        // Audited features and diversity dimensions, in configuration order.
+        fp.write_usize(self.sensitive_attributes.len());
+        for sensitive in &self.sensitive_attributes {
+            fp.write_str(&sensitive.attribute);
+            fp.write_usize(sensitive.protected_values.len());
+            for value in &sensitive.protected_values {
+                fp.write_str(value);
+            }
+        }
+        fp.write_usize(self.diversity_attributes.len());
+        for attribute in &self.diversity_attributes {
+            fp.write_str(attribute);
+        }
+        // Scalar knobs.
+        fp.write_usize(self.top_k);
+        fp.write_f64(self.alpha);
+        fp.write_f64(self.stability_threshold);
+        fp.write_usize(self.ingredient_count);
+        fp.write_u8(match self.ingredients_method {
+            IngredientsMethod::LinearAssociation => 0,
+            IngredientsMethod::RankAwareSimilarity => 1,
+        });
+        match &self.dataset_name {
+            Some(name) => {
+                fp.write_u8(1);
+                fp.write_str(name);
+            }
+            None => fp.write_u8(0),
+        }
+        fp.finish()
+    }
+
     /// Every `(attribute, protected value)` pair audited by the Fairness
     /// widget, in configuration order.
     #[must_use]
@@ -289,6 +347,38 @@ mod tests {
             .is_err());
         assert!(base.clone().with_ingredient_count(0).validate(&t).is_err());
         assert!(base.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_label_relevant_fields() {
+        let base = LabelConfig::new(scoring())
+            .with_top_k(2)
+            .with_sensitive_attribute("group", ["x"])
+            .with_diversity_attribute("group");
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        // Every knob that changes the label changes the fingerprint.
+        let variants = vec![
+            base.clone().with_top_k(3),
+            base.clone().with_alpha(0.01),
+            base.clone().with_stability_threshold(0.5),
+            base.clone().with_ingredient_count(1),
+            base.clone()
+                .with_ingredients_method(IngredientsMethod::RankAwareSimilarity),
+            base.clone().with_dataset_name("named"),
+            base.clone().with_sensitive_attribute("group", ["y"]),
+            base.clone().with_diversity_attribute("group"),
+            LabelConfig::new(ScoringFunction::from_pairs([("score_attr", 0.5)]).unwrap())
+                .with_top_k(2)
+                .with_sensitive_attribute("group", ["x"])
+                .with_diversity_attribute("group"),
+        ];
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(
+                base.fingerprint(),
+                variant.fingerprint(),
+                "variant {i} must fingerprint differently"
+            );
+        }
     }
 
     #[test]

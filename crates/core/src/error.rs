@@ -30,6 +30,13 @@ pub enum LabelError {
         /// Description of the problem.
         message: String,
     },
+    /// A pipeline job (widget builder or preparation shard) panicked on the
+    /// worker pool.  The job's other siblings still completed; the name says
+    /// exactly which stage failed.
+    WidgetPanic {
+        /// Name of the widget builder or preparation stage that panicked.
+        widget: String,
+    },
 }
 
 impl fmt::Display for LabelError {
@@ -46,6 +53,9 @@ impl fmt::Display for LabelError {
             LabelError::Stats(err) => write!(f, "statistics error: {err}"),
             LabelError::Serialization { message } => {
                 write!(f, "cannot serialize label: {message}")
+            }
+            LabelError::WidgetPanic { widget } => {
+                write!(f, "pipeline job `{widget}` panicked")
             }
         }
     }

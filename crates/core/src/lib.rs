@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod design;
 pub mod error;
@@ -58,15 +59,20 @@ pub mod label;
 pub mod mitigation;
 pub mod pipeline;
 pub mod render;
+pub mod service;
 pub mod widgets;
 
+pub use cache::{CacheKey, CacheStats, CachedLabel, LabelCache};
 pub use config::{LabelConfig, SensitiveAttribute};
 pub use design::{AttributePreview, DesignView};
 pub use error::{LabelError, LabelResult};
 pub use label::NutritionalLabel;
 pub use mitigation::{MitigationSearch, MitigationSuggestion};
-pub use pipeline::{AnalysisContext, AnalysisPipeline, WidgetBuilder, WidgetOutput};
+pub use pipeline::{
+    AnalysisContext, AnalysisPipeline, FairnessMeasurePart, WidgetBuilder, WidgetOutput,
+};
 pub use render::{render_html, render_json, render_text};
+pub use service::{LabelService, ServiceStats};
 pub use widgets::diversity::DiversityWidget;
 pub use widgets::fairness::FairnessWidget;
 pub use widgets::ingredients::{IngredientsMethod, IngredientsWidget};

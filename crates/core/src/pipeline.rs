@@ -3,35 +3,56 @@
 //! [`NutritionalLabel::generate`](crate::NutritionalLabel::generate) used to
 //! build its six widgets strictly one after another, and every widget
 //! re-derived whatever intermediates it needed from the raw table.  This
-//! module restructures that into two phases, the way shared-intermediate
-//! engines stage work once instead of recomputing it per operator:
+//! module restructures that into two explicit phases, the way
+//! shared-intermediate engines stage work once instead of recomputing it per
+//! operator:
 //!
-//! 1. **Prepare** — an [`AnalysisContext`] computes the shared intermediates
-//!    exactly once: the ranking induced by the Recipe, the min-max-normalized
-//!    score matrix of the scoring attributes (in rank order, for the
-//!    Stability widget), and the protected-group membership vectors (for the
-//!    Fairness widget).
-//! 2. **Build** — each widget is a [`WidgetBuilder`] reading the immutable
-//!    context; the [`AnalysisPipeline`] schedules all builders concurrently
-//!    on the shared `rf-runtime` pool (or serially, for the reference path
-//!    the parity tests compare against).
+//! 1. **Prepare** ([`AnalysisPipeline::prepare`]) — an [`AnalysisContext`]
+//!    computes the shared intermediates exactly once: the ranking induced by
+//!    the Recipe, the min-max-normalized score matrix of the scoring
+//!    attributes (in rank order, for the Stability widget), and the
+//!    protected-group membership vectors (for the Fairness widget).  Under
+//!    the parallel schedule, preparation itself fans out over the shared
+//!    `rf-runtime` pool: row scoring is sharded with
+//!    [`rf_runtime::ThreadPool::map_shards`] (deterministic shard merge, so
+//!    the scores are byte-identical to a single sequential pass) and each
+//!    protected group extracts as its own job.
+//! 2. **Render** ([`AnalysisPipeline::render`]) — each widget is a
+//!    [`WidgetBuilder`] reading the immutable context; the pipeline schedules
+//!    all builders concurrently on the pool (or serially, for the reference
+//!    path the parity tests compare against).  Fairness fans out one job per
+//!    `(protected feature, measure)` pair.
+//!
+//! Because preparation does not depend on the audited prefix size,
+//! [`AnalysisPipeline::generate_sweep`] amortizes one preparation across a
+//! whole sweep of `k` values — the ranking is computed once and re-rendered
+//! per `k`.
 //!
 //! Both schedules consume identical inputs in identical order, so their
 //! outputs are byte-identical after JSON rendering — asserted by
 //! `tests/integration_pipeline_parity.rs`.
 
 use crate::config::LabelConfig;
-use crate::error::LabelResult;
+use crate::error::{LabelError, LabelResult};
 use crate::label::{NutritionalLabel, RankedRow};
 use crate::widgets::diversity::DiversityWidget;
 use crate::widgets::fairness::FairnessWidget;
 use crate::widgets::ingredients::IngredientsWidget;
 use crate::widgets::recipe::RecipeWidget;
 use crate::widgets::stability::StabilityWidget;
-use rf_fairness::ProtectedGroup;
+use rf_fairness::report::{FairnessConfig, FairnessReport};
+use rf_fairness::{
+    DiscountedMeasures, FairStarOutcome, PairwiseOutcome, ProportionOutcome, ProtectedGroup,
+};
 use rf_ranking::Ranking;
 use rf_table::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of analysis-context preparations.  The label cache's
+/// contract is that a warm hit performs *no* preparation; this counter is how
+/// the tests verify it.
+static PREPARATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// The shared, immutable state every widget builder reads.
 ///
@@ -54,12 +75,15 @@ pub struct AnalysisContext {
 }
 
 impl AnalysisContext {
-    /// Validates the configuration and computes every shared intermediate.
+    /// Validates the configuration and computes every shared intermediate on
+    /// the calling thread — the sequential reference the sharded preparation
+    /// is compared against.
     ///
     /// # Errors
     /// Configuration validation errors, ranking errors, fairness group
     /// extraction errors, or stability normalization errors.
     pub fn prepare(table: Arc<Table>, config: Arc<LabelConfig>) -> LabelResult<Self> {
+        PREPARATIONS.fetch_add(1, Ordering::Relaxed);
         config.validate(&table)?;
         let ranking = config.scoring.rank_table(&table)?;
         let mut protected_groups = Vec::new();
@@ -81,11 +105,155 @@ impl AnalysisContext {
         })
     }
 
+    /// Validates the configuration and computes the shared intermediates with
+    /// the expensive row-wise work fanned out over `pool`: scoring runs as
+    /// row shards (merged deterministically in shard order, so the resulting
+    /// ranking is byte-identical to [`AnalysisContext::prepare`]) and each
+    /// protected group extracts as its own job.  Errors surface in the same
+    /// order the sequential path reports them.
+    ///
+    /// # Errors
+    /// Same as [`AnalysisContext::prepare`], plus
+    /// [`LabelError::WidgetPanic`] naming the preparation stage when a shard
+    /// or group job panics on the pool.
+    pub fn prepare_with_pool(
+        table: Arc<Table>,
+        config: Arc<LabelConfig>,
+        pool: &rf_runtime::ThreadPool,
+    ) -> LabelResult<Self> {
+        PREPARATIONS.fetch_add(1, Ordering::Relaxed);
+        config.validate(&table)?;
+
+        // Row-shard scoring: fit once, score disjoint ranges on the pool,
+        // merge in shard order.  Scanning shards in order also surfaces the
+        // first failing row exactly like the sequential pass does.
+        let model = Arc::new(config.scoring.fit(&table)?);
+        let rows = model.rows();
+        let shard_results = {
+            let model = Arc::clone(&model);
+            pool.map_shards(rows, 0, move |range| model.score_range(range))
+        };
+        let mut scores: Vec<f64> = Vec::with_capacity(rows);
+        for (shard, slot) in shard_results.into_iter().enumerate() {
+            match slot {
+                Some(Ok(chunk)) => scores.extend(chunk),
+                Some(Err(err)) => return Err(err.into()),
+                None => {
+                    return Err(LabelError::WidgetPanic {
+                        widget: format!("scoring shard {shard}"),
+                    })
+                }
+            }
+        }
+        let ranking = Ranking::from_scores(&scores)?;
+
+        // Group extraction: one job per audited protected feature, results
+        // (and errors) consumed in configuration order.
+        let features: Vec<(String, String)> = config
+            .protected_features()
+            .into_iter()
+            .map(|(attribute, value)| (attribute.to_string(), value.to_string()))
+            .collect();
+        let group_jobs: Vec<_> = features
+            .iter()
+            .map(|(attribute, value)| {
+                let table = Arc::clone(&table);
+                let attribute = attribute.clone();
+                let value = value.clone();
+                move || ProtectedGroup::from_table(&table, &attribute, &value)
+            })
+            .collect();
+        let mut protected_groups = Vec::with_capacity(features.len());
+        for (slot, (attribute, value)) in pool.run_all(group_jobs).into_iter().zip(features) {
+            match slot {
+                Some(Ok(group)) => protected_groups.push(group),
+                Some(Err(err)) => return Err(err.into()),
+                None => {
+                    return Err(LabelError::WidgetPanic {
+                        widget: format!("fairness group `{attribute}={value}`"),
+                    })
+                }
+            }
+        }
+
+        let normalized_scoring =
+            rf_stability::normalized_values_in_rank_order(&table, &config.scoring, &ranking)?;
+        Ok(AnalysisContext {
+            table,
+            config,
+            ranking,
+            protected_groups,
+            normalized_scoring,
+        })
+    }
+
+    /// A context for the same table reusing every prepared intermediate under
+    /// a different configuration.
+    ///
+    /// The shared intermediates depend only on the scoring function and the
+    /// sensitive attributes, so `config` must agree with the original on
+    /// those; everything else (`top_k`, `alpha`, thresholds, ingredient
+    /// settings, dataset name) may differ.  This is what lets
+    /// [`AnalysisPipeline::generate_sweep`] rank once and render per `k`.
+    ///
+    /// # Errors
+    /// [`LabelError::InvalidConfig`] when `config` changes the scoring
+    /// function or the sensitive attributes — rendering those against the
+    /// old intermediates would produce a self-inconsistent label.
+    pub fn with_config(&self, config: Arc<LabelConfig>) -> LabelResult<Self> {
+        if self.config.scoring != config.scoring {
+            return Err(LabelError::InvalidConfig {
+                message: "with_config requires an identical scoring function; \
+                          a new recipe needs a fresh preparation"
+                    .to_string(),
+            });
+        }
+        if self.config.sensitive_attributes != config.sensitive_attributes {
+            return Err(LabelError::InvalidConfig {
+                message: "with_config requires identical sensitive attributes; \
+                          new protected features need a fresh preparation"
+                    .to_string(),
+            });
+        }
+        Ok(AnalysisContext {
+            table: Arc::clone(&self.table),
+            config,
+            ranking: self.ranking.clone(),
+            protected_groups: self.protected_groups.clone(),
+            normalized_scoring: self.normalized_scoring.clone(),
+        })
+    }
+
     /// The audited prefix size.
     #[must_use]
     pub fn top_k(&self) -> usize {
         self.config.top_k
     }
+
+    /// Process-wide count of analysis-context preparations (any schedule).
+    ///
+    /// Monotonically increasing; tests diff it around an operation to prove
+    /// the operation prepared (or, for a warm cache hit, did not prepare) a
+    /// context.
+    #[must_use]
+    pub fn preparations() -> u64 {
+        PREPARATIONS.load(Ordering::Relaxed)
+    }
+}
+
+/// One fairness measure's outcome for one protected feature — the unit of
+/// fairness parallelism.  The assembler recombines four parts per feature
+/// into the [`FairnessReport`] the widget renders.
+#[derive(Debug, Clone)]
+pub enum FairnessMeasurePart {
+    /// The FA*IR ranked group fairness test.
+    FairStar(FairStarOutcome),
+    /// The pairwise preference measure.
+    Pairwise(PairwiseOutcome),
+    /// The proportion (statistical parity at top-k) test.
+    Proportion(ProportionOutcome),
+    /// The position-discounted measures (rND / rKL / rRD).
+    Discounted(DiscountedMeasures),
 }
 
 /// One widget of the label, produced by a [`WidgetBuilder`].
@@ -97,8 +265,14 @@ pub enum WidgetOutput {
     Ingredients(IngredientsWidget),
     /// The Stability widget.
     Stability(StabilityWidget),
-    /// The Fairness widget (all three measures per protected feature).
-    Fairness(FairnessWidget),
+    /// One fairness measure of one protected feature (by configuration
+    /// index); assembled into per-feature reports in configuration order.
+    FairnessMeasure {
+        /// Index of the protected feature in configuration order.
+        feature: usize,
+        /// The measure's outcome.
+        part: FairnessMeasurePart,
+    },
     /// The Diversity widget.
     Diversity(DiversityWidget),
     /// The display rows for the top-k prefix.
@@ -111,8 +285,8 @@ pub enum WidgetOutput {
 /// pipeline gives no ordering guarantees between builders, and the parity
 /// suite asserts the parallel and sequential schedules agree.
 pub trait WidgetBuilder: Send + Sync {
-    /// Stable name used in diagnostics.
-    fn name(&self) -> &'static str;
+    /// Name used in diagnostics (e.g. [`LabelError::WidgetPanic`]).
+    fn name(&self) -> String;
 
     /// Builds this widget from the shared context.
     ///
@@ -124,8 +298,8 @@ pub trait WidgetBuilder: Send + Sync {
 struct RecipeBuilder;
 
 impl WidgetBuilder for RecipeBuilder {
-    fn name(&self) -> &'static str {
-        "recipe"
+    fn name(&self) -> String {
+        "recipe".to_string()
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
@@ -137,8 +311,8 @@ impl WidgetBuilder for RecipeBuilder {
 struct IngredientsBuilder;
 
 impl WidgetBuilder for IngredientsBuilder {
-    fn name(&self) -> &'static str {
-        "ingredients"
+    fn name(&self) -> String {
+        "ingredients".to_string()
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
@@ -158,8 +332,8 @@ impl WidgetBuilder for IngredientsBuilder {
 struct StabilityBuilder;
 
 impl WidgetBuilder for StabilityBuilder {
-    fn name(&self) -> &'static str {
-        "stability"
+    fn name(&self) -> String {
+        "stability".to_string()
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
@@ -174,30 +348,82 @@ impl WidgetBuilder for StabilityBuilder {
     }
 }
 
-/// One job per audited protected feature: the three fairness measures of one
-/// `(attribute, protected value)` pair, so features evaluate concurrently
-/// (the paper's COMPAS scenario audits two, German credit two).
-struct FairnessFeatureBuilder {
-    index: usize,
+/// The fairness measures evaluated per protected feature, in the order
+/// [`FairnessReport::evaluate`] computes them (also the error-report order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FairnessMeasureKind {
+    FairStar,
+    Pairwise,
+    Proportion,
+    Discounted,
 }
 
-impl WidgetBuilder for FairnessFeatureBuilder {
-    fn name(&self) -> &'static str {
-        "fairness-feature"
+impl FairnessMeasureKind {
+    const ALL: [FairnessMeasureKind; 4] = [
+        FairnessMeasureKind::FairStar,
+        FairnessMeasureKind::Pairwise,
+        FairnessMeasureKind::Proportion,
+        FairnessMeasureKind::Discounted,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            FairnessMeasureKind::FairStar => "FA*IR",
+            FairnessMeasureKind::Pairwise => "pairwise",
+            FairnessMeasureKind::Proportion => "proportion",
+            FairnessMeasureKind::Discounted => "discounted",
+        }
+    }
+}
+
+/// One job per `(protected feature, fairness measure)` pair, so the measures
+/// of every audited feature evaluate concurrently (the paper's COMPAS
+/// scenario audits two features — eight jobs instead of two).
+struct FairnessMeasureBuilder {
+    index: usize,
+    kind: FairnessMeasureKind,
+}
+
+impl WidgetBuilder for FairnessMeasureBuilder {
+    fn name(&self) -> String {
+        format!("fairness[{}]:{}", self.index, self.kind.label())
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
-        let group = std::slice::from_ref(&ctx.protected_groups[self.index]);
-        FairnessWidget::build_from_groups(group, &ctx.ranking, &ctx.config)
-            .map(WidgetOutput::Fairness)
+        // The same per-measure helpers `FairnessReport::evaluate` is built
+        // from, so the parallel fan-out can never drift from the reference
+        // construction in rf-fairness.
+        let group = &ctx.protected_groups[self.index];
+        let fairness_config = FairnessConfig {
+            k: ctx.config.top_k,
+            alpha: ctx.config.alpha,
+        };
+        let part = match self.kind {
+            FairnessMeasureKind::FairStar => FairnessMeasurePart::FairStar(
+                FairnessReport::evaluate_fair_star(group, &ctx.ranking, &fairness_config)?,
+            ),
+            FairnessMeasureKind::Pairwise => FairnessMeasurePart::Pairwise(
+                FairnessReport::evaluate_pairwise(group, &ctx.ranking, &fairness_config)?,
+            ),
+            FairnessMeasureKind::Proportion => FairnessMeasurePart::Proportion(
+                FairnessReport::evaluate_proportion(group, &ctx.ranking, &fairness_config)?,
+            ),
+            FairnessMeasureKind::Discounted => FairnessMeasurePart::Discounted(
+                FairnessReport::evaluate_discounted(group, &ctx.ranking)?,
+            ),
+        };
+        Ok(WidgetOutput::FairnessMeasure {
+            feature: self.index,
+            part,
+        })
     }
 }
 
 struct DiversityBuilder;
 
 impl WidgetBuilder for DiversityBuilder {
-    fn name(&self) -> &'static str {
-        "diversity"
+    fn name(&self) -> String {
+        "diversity".to_string()
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
@@ -208,8 +434,8 @@ impl WidgetBuilder for DiversityBuilder {
 struct TopRowsBuilder;
 
 impl WidgetBuilder for TopRowsBuilder {
-    fn name(&self) -> &'static str {
-        "top-rows"
+    fn name(&self) -> String {
+        "top-rows".to_string()
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
@@ -223,8 +449,8 @@ impl WidgetBuilder for TopRowsBuilder {
 
 /// The builders of the complete label, in the label's widget order (also the
 /// order errors are reported in, regardless of schedule).  Fairness fans out
-/// one job per protected feature; their outputs are concatenated in builder
-/// order, which is configuration order.
+/// one job per `(protected feature, measure)` pair, feature-major in
+/// configuration order, measures in report order.
 fn builders(ctx: &AnalysisContext) -> Vec<Box<dyn WidgetBuilder>> {
     let mut list: Vec<Box<dyn WidgetBuilder>> = vec![
         Box::new(RecipeBuilder),
@@ -232,25 +458,27 @@ fn builders(ctx: &AnalysisContext) -> Vec<Box<dyn WidgetBuilder>> {
         Box::new(StabilityBuilder),
     ];
     for index in 0..ctx.protected_groups.len() {
-        list.push(Box::new(FairnessFeatureBuilder { index }));
+        for kind in FairnessMeasureKind::ALL {
+            list.push(Box::new(FairnessMeasureBuilder { index, kind }));
+        }
     }
     list.push(Box::new(DiversityBuilder));
     list.push(Box::new(TopRowsBuilder));
     list
 }
 
-/// How the pipeline schedules its widget builders.
+/// How the pipeline schedules its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Schedule {
     /// Fan out across the shared `rf-runtime` pool (the default).
     Parallel,
-    /// Build widgets one after another on the calling thread — the reference
-    /// path the parity tests compare against.
+    /// Prepare and build one step after another on the calling thread — the
+    /// reference path the parity tests compare against.
     Sequential,
 }
 
-/// Generates nutritional labels by fanning widget builders out over the
-/// shared [`rf_runtime`] pool.
+/// Generates nutritional labels by fanning preparation shards and widget
+/// builders out over the shared [`rf_runtime`] pool.
 #[derive(Debug, Clone)]
 pub struct AnalysisPipeline {
     schedule: Schedule,
@@ -264,7 +492,7 @@ impl Default for AnalysisPipeline {
 }
 
 impl AnalysisPipeline {
-    /// A pipeline scheduling widgets concurrently on the process-wide pool.
+    /// A pipeline scheduling work concurrently on the process-wide pool.
     #[must_use]
     pub fn new() -> Self {
         AnalysisPipeline {
@@ -273,7 +501,7 @@ impl AnalysisPipeline {
         }
     }
 
-    /// A pipeline scheduling widgets concurrently on a dedicated pool.
+    /// A pipeline scheduling work concurrently on a dedicated pool.
     #[must_use]
     pub fn with_pool(pool: Arc<rf_runtime::ThreadPool>) -> Self {
         AnalysisPipeline {
@@ -293,10 +521,51 @@ impl AnalysisPipeline {
         }
     }
 
-    /// Generates the complete label for `table` under `config`.
+    fn pool_ref(&self) -> &rf_runtime::ThreadPool {
+        match &self.pool {
+            Some(pool) => pool,
+            None => rf_runtime::global(),
+        }
+    }
+
+    /// **Stage 1** — validates the configuration and computes the shared
+    /// intermediates (ranking, protected groups, normalized score matrix),
+    /// sharded over the pool under the parallel schedule.
     ///
-    /// Sharing is by `Arc` so widget builders can cross the pool without
-    /// copying the dataset; callers holding plain values can use
+    /// # Errors
+    /// Validation, ranking, group extraction, or normalization errors;
+    /// [`LabelError::WidgetPanic`] when a preparation job panics.
+    pub fn prepare(
+        &self,
+        table: Arc<Table>,
+        config: Arc<LabelConfig>,
+    ) -> LabelResult<Arc<AnalysisContext>> {
+        let ctx = match self.schedule {
+            Schedule::Sequential => AnalysisContext::prepare(table, config)?,
+            Schedule::Parallel => {
+                AnalysisContext::prepare_with_pool(table, config, self.pool_ref())?
+            }
+        };
+        Ok(Arc::new(ctx))
+    }
+
+    /// **Stage 2** — builds every widget from a prepared context and
+    /// assembles the label.  Performs no context preparation; rendering the
+    /// same context twice is byte-identical.
+    ///
+    /// # Errors
+    /// The first widget error in label order, or
+    /// [`LabelError::WidgetPanic`] when a builder panics on the pool.
+    pub fn render(&self, ctx: &Arc<AnalysisContext>) -> LabelResult<NutritionalLabel> {
+        let outputs = self.run_builders(ctx, builders(ctx))?;
+        Ok(Self::assemble(ctx, outputs))
+    }
+
+    /// Generates the complete label for `table` under `config`:
+    /// [`prepare`](Self::prepare) followed by [`render`](Self::render).
+    ///
+    /// Sharing is by `Arc` so jobs can cross the pool without copying the
+    /// dataset; callers holding plain values can use
     /// [`NutritionalLabel::generate`], which wraps them.
     ///
     /// # Errors
@@ -306,53 +575,94 @@ impl AnalysisPipeline {
         table: Arc<Table>,
         config: Arc<LabelConfig>,
     ) -> LabelResult<NutritionalLabel> {
-        let ctx = Arc::new(AnalysisContext::prepare(table, config)?);
-        let outputs = match self.schedule {
-            Schedule::Sequential => {
-                let mut outputs = Vec::new();
-                for builder in builders(&ctx) {
-                    outputs.push(builder.build(&ctx)?);
-                }
-                outputs
-            }
-            Schedule::Parallel => self.run_parallel(&ctx)?,
-        };
-        Ok(Self::assemble(&ctx, outputs))
+        let ctx = self.prepare(table, config)?;
+        self.render(&ctx)
     }
 
-    /// Runs every builder on the pool, then surfaces results (or the first
-    /// error) in builder order so the parallel schedule reports exactly what
-    /// the sequential one would.
-    fn run_parallel(&self, ctx: &Arc<AnalysisContext>) -> LabelResult<Vec<WidgetOutput>> {
-        let pool: &rf_runtime::ThreadPool = match &self.pool {
-            Some(pool) => pool,
-            None => rf_runtime::global(),
-        };
-        let list = builders(ctx);
-        let names: Vec<&'static str> = list.iter().map(|b| b.name()).collect();
-        let jobs: Vec<_> = list
-            .into_iter()
-            .map(|builder| {
-                let ctx = Arc::clone(ctx);
-                move || builder.build(&ctx)
-            })
-            .collect();
-        let raw = pool.run_all(jobs);
-        let mut outputs = Vec::with_capacity(raw.len());
-        for (slot, name) in raw.into_iter().zip(names) {
-            match slot {
-                Some(result) => outputs.push(result?),
-                None => panic!("widget builder `{name}` panicked"),
+    /// Generates one label per audited prefix size in `ks`, preparing the
+    /// analysis context (and therefore the ranking) **exactly once**.
+    ///
+    /// The shared intermediates do not depend on `top_k`, so the sweep is
+    /// byte-identical to `ks.len()` independent [`generate`](Self::generate)
+    /// calls at a fraction of the cost — the "batch configs sharing a table"
+    /// item of the roadmap.  Labels come back in `ks` order.
+    ///
+    /// # Errors
+    /// Validation errors for the first invalid `k` (checked up front, in
+    /// order), preparation errors, or widget errors per rendered label.
+    pub fn generate_sweep(
+        &self,
+        table: Arc<Table>,
+        config: Arc<LabelConfig>,
+        ks: &[usize],
+    ) -> LabelResult<Vec<NutritionalLabel>> {
+        if ks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut configs = Vec::with_capacity(ks.len());
+        for &k in ks {
+            let config_k = Arc::new((*config).clone().with_top_k(k));
+            config_k.validate(&table)?;
+            configs.push(config_k);
+        }
+        let ctx = self.prepare(Arc::clone(&table), Arc::clone(&configs[0]))?;
+        let mut labels = Vec::with_capacity(configs.len());
+        for config_k in configs {
+            let ctx_k = Arc::new(ctx.with_config(config_k)?);
+            labels.push(self.render(&ctx_k)?);
+        }
+        Ok(labels)
+    }
+
+    /// Runs the given builders under the pipeline's schedule, surfacing
+    /// results (or the first error) in builder order so the parallel schedule
+    /// reports exactly what the sequential one would.  A builder that panics
+    /// on the pool surfaces as [`LabelError::WidgetPanic`] naming it.
+    fn run_builders(
+        &self,
+        ctx: &Arc<AnalysisContext>,
+        list: Vec<Box<dyn WidgetBuilder>>,
+    ) -> LabelResult<Vec<WidgetOutput>> {
+        match self.schedule {
+            Schedule::Sequential => {
+                let mut outputs = Vec::with_capacity(list.len());
+                for builder in list {
+                    outputs.push(builder.build(ctx)?);
+                }
+                Ok(outputs)
+            }
+            Schedule::Parallel => {
+                let pool = self.pool_ref();
+                let names: Vec<String> = list.iter().map(|b| b.name()).collect();
+                let jobs: Vec<_> = list
+                    .into_iter()
+                    .map(|builder| {
+                        let ctx = Arc::clone(ctx);
+                        move || builder.build(&ctx)
+                    })
+                    .collect();
+                let raw = pool.run_all(jobs);
+                let mut outputs = Vec::with_capacity(raw.len());
+                for (slot, name) in raw.into_iter().zip(names) {
+                    match slot {
+                        Some(result) => outputs.push(result?),
+                        None => return Err(LabelError::WidgetPanic { widget: name }),
+                    }
+                }
+                Ok(outputs)
             }
         }
-        Ok(outputs)
     }
 
     fn assemble(ctx: &Arc<AnalysisContext>, outputs: Vec<WidgetOutput>) -> NutritionalLabel {
+        let feature_count = ctx.protected_groups.len();
         let mut recipe = None;
         let mut ingredients = None;
         let mut stability = None;
-        let mut fairness_reports = Vec::new();
+        let mut fair_star: Vec<Option<FairStarOutcome>> = vec![None; feature_count];
+        let mut pairwise: Vec<Option<PairwiseOutcome>> = vec![None; feature_count];
+        let mut proportion: Vec<Option<ProportionOutcome>> = vec![None; feature_count];
+        let mut discounted: Vec<Option<DiscountedMeasures>> = vec![None; feature_count];
         let mut diversity = None;
         let mut top_k_rows = None;
         for output in outputs {
@@ -360,13 +670,39 @@ impl AnalysisPipeline {
                 WidgetOutput::Recipe(widget) => recipe = Some(widget),
                 WidgetOutput::Ingredients(widget) => ingredients = Some(widget),
                 WidgetOutput::Stability(widget) => stability = Some(widget),
-                // Per-feature fairness outputs arrive in builder order, which
-                // is configuration order; concatenation preserves it.
-                WidgetOutput::Fairness(widget) => fairness_reports.extend(widget.reports),
+                // Measures arrive in arbitrary completion order but slot into
+                // their feature's position, so reports assemble in
+                // configuration order regardless of schedule.
+                WidgetOutput::FairnessMeasure { feature, part } => match part {
+                    FairnessMeasurePart::FairStar(outcome) => fair_star[feature] = Some(outcome),
+                    FairnessMeasurePart::Pairwise(outcome) => pairwise[feature] = Some(outcome),
+                    FairnessMeasurePart::Proportion(outcome) => proportion[feature] = Some(outcome),
+                    FairnessMeasurePart::Discounted(outcome) => discounted[feature] = Some(outcome),
+                },
                 WidgetOutput::Diversity(widget) => diversity = Some(widget),
                 WidgetOutput::TopRows(rows) => top_k_rows = Some(rows),
             }
         }
+        let fairness_config = FairnessConfig {
+            k: ctx.config.top_k,
+            alpha: ctx.config.alpha,
+        };
+        let reports: Vec<FairnessReport> = (0..feature_count)
+            .map(|feature| {
+                FairnessReport::from_parts(
+                    &ctx.protected_groups[feature],
+                    fair_star[feature].take().expect("FA*IR job always runs"),
+                    pairwise[feature].take().expect("pairwise job always runs"),
+                    proportion[feature]
+                        .take()
+                        .expect("proportion job always runs"),
+                    discounted[feature]
+                        .take()
+                        .expect("discounted job always runs"),
+                    &fairness_config,
+                )
+            })
+            .collect();
         NutritionalLabel {
             dataset_name: ctx.config.dataset_name.clone(),
             config: (*ctx.config).clone(),
@@ -375,9 +711,7 @@ impl AnalysisPipeline {
             recipe: recipe.expect("recipe builder always runs"),
             ingredients: ingredients.expect("ingredients builder always runs"),
             stability: stability.expect("stability builder always runs"),
-            fairness: FairnessWidget {
-                reports: fairness_reports,
-            },
+            fairness: FairnessWidget { reports },
             diversity: diversity.expect("diversity builder always runs"),
         }
     }
@@ -425,6 +759,45 @@ mod tests {
     }
 
     #[test]
+    fn sharded_preparation_matches_the_sequential_reference() {
+        let (table, config) = scenario();
+        let sequential = AnalysisContext::prepare(Arc::clone(&table), Arc::clone(&config)).unwrap();
+        let pool = rf_runtime::ThreadPool::new(3);
+        let sharded = AnalysisContext::prepare_with_pool(table, config, &pool).unwrap();
+        assert_eq!(sequential.ranking, sharded.ranking);
+        assert_eq!(sequential.protected_groups, sharded.protected_groups);
+        assert_eq!(sequential.normalized_scoring, sharded.normalized_scoring);
+    }
+
+    #[test]
+    fn sharded_preparation_surfaces_row_errors_like_the_sequential_pass() {
+        // A missing value in the scoring column errors with the same
+        // (attribute, row) under both preparation paths.
+        let mut quality: Vec<Option<f64>> = (0..40).map(|i| Some(100.0 - i as f64)).collect();
+        quality[17] = None;
+        let table =
+            Arc::new(Table::from_columns(vec![("Quality", Column::Float(quality))]).unwrap());
+        let scoring = ScoringFunction::from_pairs([("Quality", 1.0)]).unwrap();
+        let config = Arc::new(LabelConfig::new(scoring).with_top_k(5));
+        let sequential =
+            AnalysisContext::prepare(Arc::clone(&table), Arc::clone(&config)).unwrap_err();
+        let pool = rf_runtime::ThreadPool::new(4);
+        let sharded = AnalysisContext::prepare_with_pool(table, config, &pool).unwrap_err();
+        assert_eq!(sequential, sharded);
+        assert!(sharded.to_string().contains("row 17"));
+    }
+
+    #[test]
+    fn preparation_counter_moves_once_per_prepare() {
+        let (table, config) = scenario();
+        let before = AnalysisContext::preparations();
+        AnalysisContext::prepare(Arc::clone(&table), Arc::clone(&config)).unwrap();
+        // Other tests run concurrently, so the counter can only be asserted
+        // to have moved at least once per preparation here.
+        assert!(AnalysisContext::preparations() > before);
+    }
+
+    #[test]
     fn parallel_and_sequential_agree() {
         let (table, config) = scenario();
         let parallel = AnalysisPipeline::new()
@@ -434,6 +807,85 @@ mod tests {
             .generate(table, config)
             .unwrap();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn prepare_then_render_equals_generate() {
+        let (table, config) = scenario();
+        let pipeline = AnalysisPipeline::new();
+        let ctx = pipeline
+            .prepare(Arc::clone(&table), Arc::clone(&config))
+            .unwrap();
+        let staged = pipeline.render(&ctx).unwrap();
+        let direct = pipeline.generate(table, config).unwrap();
+        assert_eq!(staged, direct);
+        // Rendering the same context again changes nothing.  (That render
+        // performs *no* preparation is asserted by the cache-parity
+        // integration test, where the process-wide counter is not shared
+        // with concurrently running sibling tests.)
+        let again = pipeline.render(&ctx).unwrap();
+        assert_eq!(staged, again);
+    }
+
+    #[test]
+    fn sweep_prepares_once_and_matches_independent_generates() {
+        let (table, config) = scenario();
+        let pipeline = AnalysisPipeline::sequential();
+        let ks = [5usize, 10, 20];
+        let independent: Vec<NutritionalLabel> = ks
+            .iter()
+            .map(|&k| {
+                pipeline
+                    .generate(
+                        Arc::clone(&table),
+                        Arc::new((*config).clone().with_top_k(k)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        // (The "exactly one preparation per sweep" property is asserted by
+        // the cache-parity integration test, where the process-wide counter
+        // is not shared with concurrently running sibling tests.)
+        let sweep = pipeline
+            .generate_sweep(Arc::clone(&table), Arc::clone(&config), &ks)
+            .unwrap();
+        assert_eq!(sweep, independent);
+        // Empty sweeps do nothing.
+        assert!(pipeline
+            .generate_sweep(table, config, &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn with_config_rejects_preparation_changing_configs() {
+        let (table, config) = scenario();
+        let ctx = AnalysisContext::prepare(Arc::clone(&table), Arc::clone(&config)).unwrap();
+        // Changing only render-stage knobs is fine.
+        assert!(ctx
+            .with_config(Arc::new((*config).clone().with_top_k(5).with_alpha(0.01)))
+            .is_ok());
+        // Changing the recipe or the audited features is not.
+        let new_recipe = ScoringFunction::from_pairs([("Quality", 1.0)]).unwrap();
+        let bad = Arc::new(LabelConfig::new(new_recipe).with_top_k(5));
+        assert!(matches!(
+            ctx.with_config(bad),
+            Err(LabelError::InvalidConfig { .. })
+        ));
+        let bad = Arc::new((*config).clone().with_sensitive_attribute("Group", ["a"]));
+        assert!(matches!(
+            ctx.with_config(bad),
+            Err(LabelError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_ks_up_front() {
+        let (table, config) = scenario();
+        let err = AnalysisPipeline::new()
+            .generate_sweep(table, config, &[5, 500])
+            .unwrap_err();
+        assert!(matches!(err, LabelError::InvalidConfig { .. }));
     }
 
     #[test]
@@ -481,5 +933,32 @@ mod tests {
             .generate(Arc::new(table), Arc::new(config))
             .unwrap_err();
         assert!(matches!(err, crate::LabelError::Fairness(_)));
+    }
+
+    /// A builder that panics, for exercising the panic-to-error path.
+    struct ExplodingBuilder;
+
+    impl WidgetBuilder for ExplodingBuilder {
+        fn name(&self) -> String {
+            "exploding".to_string()
+        }
+
+        fn build(&self, _ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
+            panic!("intentional test panic");
+        }
+    }
+
+    #[test]
+    fn panicking_builder_surfaces_a_widget_panic_error() {
+        let (table, config) = scenario();
+        let pipeline = AnalysisPipeline::with_pool(Arc::new(rf_runtime::ThreadPool::new(2)));
+        let ctx = pipeline.prepare(table, config).unwrap();
+        let list: Vec<Box<dyn WidgetBuilder>> =
+            vec![Box::new(RecipeBuilder), Box::new(ExplodingBuilder)];
+        let err = pipeline.run_builders(&ctx, list).unwrap_err();
+        match err {
+            LabelError::WidgetPanic { widget } => assert_eq!(widget, "exploding"),
+            other => panic!("expected WidgetPanic, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,355 @@
+//! The [`LabelService`]: the cached front door to the analysis pipeline.
+//!
+//! Callers that serve repeated label requests (the HTTP server, benchmarks)
+//! should not talk to [`AnalysisPipeline`] directly — they go through this
+//! service, which
+//!
+//! 1. fingerprints the request into a [`CacheKey`] (content-addressed: a
+//!    re-uploaded byte-identical table hits the same entry),
+//! 2. answers warm requests from the bounded LRU [`LabelCache`] with **zero**
+//!    analysis work (no context preparation — asserted by the cache-parity
+//!    tests via [`AnalysisContext::preparations`]), and
+//! 3. on a miss, generates through the pipeline, renders the JSON once, and
+//!    caches both.
+//!
+//! The service is `Sync`; one instance is shared across worker threads by
+//! `Arc` (the server does exactly that), with the cache behind a mutex held
+//! only for lookups and inserts — never while generating.
+//!
+//! One-shot processes gain nothing from an in-process cache, so the CLI's
+//! `--ks` sweeps call [`AnalysisPipeline::generate_sweep`] directly;
+//! [`LabelService::label_sweep`] is the long-lived-process flavour of the
+//! same batching.
+
+use crate::cache::{CacheKey, CacheStats, CachedLabel, LabelCache};
+use crate::config::LabelConfig;
+use crate::error::LabelResult;
+use crate::pipeline::{AnalysisContext, AnalysisPipeline};
+use rf_table::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Weak};
+
+/// Default maximum number of resident labels.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+/// Default maximum resident bytes — each entry counts its rendered JSON
+/// *plus* the approximate heap footprint of the table it retains for hit
+/// verification (see [`LabelCache`]): 64 MiB.
+pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// A point-in-time view of the service: cache counters plus the process-wide
+/// preparation count (how many analysis contexts were ever prepared).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Cache counters and occupancy.
+    pub cache: CacheStats,
+    /// Process-wide [`AnalysisContext`] preparations so far.
+    pub preparations: u64,
+}
+
+/// Memoizes table fingerprints by `Arc` identity, so long-lived shared
+/// tables (the server's catalog) are hashed once instead of once per
+/// request — fingerprinting is linear in the table, and it sits on the warm
+/// hit path.
+///
+/// Entries hold `Weak` references: a memoized fingerprint is only reused
+/// when the weak pointer upgrades to the *same allocation* as the request's
+/// `Arc`, so a recycled address can never serve a stale hash.  `Table` has
+/// no interior mutability, so an alive shared allocation cannot have
+/// changed.  Fresh allocations (per-request uploads) simply miss and hash.
+#[derive(Debug, Default)]
+struct FingerprintMemo {
+    entries: HashMap<usize, (Weak<Table>, u64)>,
+}
+
+/// Dead weak entries are pruned once the memo grows past this.
+const FINGERPRINT_MEMO_PRUNE_AT: usize = 64;
+
+impl FingerprintMemo {
+    fn fingerprint(&mut self, table: &Arc<Table>) -> u64 {
+        let address = Arc::as_ptr(table) as usize;
+        if let Some((weak, fingerprint)) = self.entries.get(&address) {
+            if let Some(alive) = weak.upgrade() {
+                if Arc::ptr_eq(&alive, table) {
+                    return *fingerprint;
+                }
+            }
+        }
+        let fingerprint = table.fingerprint();
+        if self.entries.len() >= FINGERPRINT_MEMO_PRUNE_AT {
+            self.entries.retain(|_, (weak, _)| weak.strong_count() > 0);
+        }
+        self.entries
+            .insert(address, (Arc::downgrade(table), fingerprint));
+        fingerprint
+    }
+}
+
+/// Content-addressed, cached label generation.
+#[derive(Debug)]
+pub struct LabelService {
+    pipeline: AnalysisPipeline,
+    cache: Mutex<LabelCache>,
+    fingerprints: Mutex<FingerprintMemo>,
+}
+
+impl Default for LabelService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelService {
+    /// A service over the parallel pipeline with the default cache bounds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_pipeline(
+            AnalysisPipeline::new(),
+            DEFAULT_CACHE_CAPACITY,
+            DEFAULT_CACHE_BYTES,
+        )
+    }
+
+    /// A service over an explicit pipeline and explicit cache bounds
+    /// (`capacity` entries; `max_bytes` resident bytes, counting each
+    /// entry's rendered JSON plus the table it retains).
+    #[must_use]
+    pub fn with_pipeline(pipeline: AnalysisPipeline, capacity: usize, max_bytes: usize) -> Self {
+        LabelService {
+            pipeline,
+            cache: Mutex::new(LabelCache::new(capacity, max_bytes)),
+            fingerprints: Mutex::new(FingerprintMemo::default()),
+        }
+    }
+
+    /// The table's content fingerprint, memoized by `Arc` identity.
+    fn table_fingerprint(&self, table: &Arc<Table>) -> u64 {
+        self.fingerprints
+            .lock()
+            .expect("fingerprint memo lock")
+            .fingerprint(table)
+    }
+
+    /// The label for `(table, config)` — served from the cache when warm,
+    /// generated (and cached) when cold.
+    ///
+    /// A warm hit performs no analysis work at all: no validation, no
+    /// ranking, no context preparation.  Cold and warm responses are
+    /// byte-identical because generation is a pure function of the key.
+    ///
+    /// # Errors
+    /// Pipeline errors on a cold miss (validation, widgets, serialization).
+    pub fn label(&self, table: &Arc<Table>, config: &Arc<LabelConfig>) -> LabelResult<CachedLabel> {
+        let key = CacheKey {
+            table: self.table_fingerprint(table),
+            config: config.fingerprint(),
+        };
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("label cache lock")
+            .get(&key, table, config)
+        {
+            return Ok(hit);
+        }
+        let label = self
+            .pipeline
+            .generate(Arc::clone(table), Arc::clone(config))?;
+        let cached = CachedLabel {
+            json: Arc::new(label.to_json()?),
+            label: Arc::new(label),
+        };
+        self.cache
+            .lock()
+            .expect("label cache lock")
+            .insert(key, Arc::clone(table), cached.clone());
+        Ok(cached)
+    }
+
+    /// One label per audited prefix size in `ks`, in order.
+    ///
+    /// Warm sizes come from the cache; all cold sizes are generated by a
+    /// single [`AnalysisPipeline::generate_sweep`] — the ranking and the rest
+    /// of the analysis context are prepared at most once per call no matter
+    /// how many sizes miss.
+    ///
+    /// # Errors
+    /// Validation errors for the first invalid `k`, or pipeline errors.
+    pub fn label_sweep(
+        &self,
+        table: &Arc<Table>,
+        config: &Arc<LabelConfig>,
+        ks: &[usize],
+    ) -> LabelResult<Vec<CachedLabel>> {
+        let configs: Vec<Arc<LabelConfig>> = ks
+            .iter()
+            .map(|&k| Arc::new(LabelConfig::clone(config).with_top_k(k)))
+            .collect();
+        // Fingerprint the table once (memoized) and every per-k config
+        // outside the lock.
+        let table_fingerprint = self.table_fingerprint(table);
+        let keys: Vec<CacheKey> = configs
+            .iter()
+            .map(|config_k| CacheKey {
+                table: table_fingerprint,
+                config: config_k.fingerprint(),
+            })
+            .collect();
+        let mut slots: Vec<Option<CachedLabel>> = {
+            let mut cache = self.cache.lock().expect("label cache lock");
+            keys.iter()
+                .zip(&configs)
+                .map(|(key, config_k)| cache.get(key, table, config_k))
+                .collect()
+        };
+        let cold_ks: Vec<usize> = ks
+            .iter()
+            .zip(&slots)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(&k, _)| k)
+            .collect();
+        if !cold_ks.is_empty() {
+            let generated =
+                self.pipeline
+                    .generate_sweep(Arc::clone(table), Arc::clone(config), &cold_ks)?;
+            // Render every cold label's JSON before taking the lock: on the
+            // Arc-shared server the lock gates every worker's lookup, and
+            // serialization needs no cache state.
+            let mut fresh = Vec::with_capacity(generated.len());
+            for label in generated {
+                fresh.push(CachedLabel {
+                    json: Arc::new(label.to_json()?),
+                    label: Arc::new(label),
+                });
+            }
+            let mut cache = self.cache.lock().expect("label cache lock");
+            let mut fresh = fresh.into_iter();
+            for (key, slot) in keys.iter().zip(&mut slots) {
+                if slot.is_none() {
+                    let cached = fresh.next().expect("one label per cold k");
+                    cache.insert(*key, Arc::clone(table), cached.clone());
+                    *slot = Some(cached);
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every k resolved"))
+            .collect())
+    }
+
+    /// Counters: cache hits/misses/evictions/occupancy plus the process-wide
+    /// preparation count.  Served by the HTTP `/stats` endpoint.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.cache.lock().expect("label cache lock").stats(),
+            preparations: AnalysisContext::preparations(),
+        }
+    }
+
+    /// Drops every cached label (counters keep their history).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("label cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_ranking::ScoringFunction;
+    use rf_table::Column;
+
+    fn scenario() -> (Arc<Table>, Arc<LabelConfig>) {
+        let n = 30usize;
+        let table = Table::from_columns(vec![
+            (
+                "name",
+                Column::from_strings((0..n).map(|i| format!("r{i}")).collect::<Vec<_>>()),
+            ),
+            (
+                "score",
+                Column::from_f64((0..n).map(|i| 60.0 - i as f64).collect()),
+            ),
+            (
+                "grp",
+                Column::from_strings(
+                    (0..n)
+                        .map(|i| if i % 3 == 0 { "x" } else { "y" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("score", 1.0)]).unwrap();
+        let config = LabelConfig::new(scoring)
+            .with_top_k(8)
+            .with_sensitive_attribute("grp", ["x"])
+            .with_diversity_attribute("grp");
+        (Arc::new(table), Arc::new(config))
+    }
+
+    // Counter-based "no preparation on a warm hit" assertions live in the
+    // cache-parity integration test, where the process-wide counter is not
+    // shared with concurrently running sibling tests; here the per-service
+    // hit/miss counters make the same point race-free.
+
+    #[test]
+    fn warm_hits_skip_preparation_and_match_cold_generation() {
+        let (table, config) = scenario();
+        let service = LabelService::new();
+        let cold = service.label(&table, &config).unwrap();
+        let warm = service.label(&table, &config).unwrap();
+        assert_eq!(cold.json, warm.json);
+        assert_eq!(cold.label, warm.label);
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn content_addressing_survives_table_rebuilds() {
+        let (table, config) = scenario();
+        let service = LabelService::new();
+        service.label(&table, &config).unwrap();
+        // A fresh Arc around an identical table is still a hit.
+        let rebuilt = Arc::new((*table).clone());
+        service.label(&rebuilt, &config).unwrap();
+        assert_eq!(service.stats().cache.hits, 1);
+        assert_eq!(service.stats().cache.misses, 1);
+    }
+
+    #[test]
+    fn sweep_serves_warm_ks_from_cache_and_generates_the_rest() {
+        let (table, config) = scenario();
+        let service = LabelService::new();
+        // Warm one of the three sizes.
+        let five = Arc::new(LabelConfig::clone(&config).with_top_k(5));
+        service.label(&table, &five).unwrap();
+        let labels = service.label_sweep(&table, &config, &[5, 10, 20]).unwrap();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[0].label.config.top_k, 5);
+        assert_eq!(labels[2].label.top_k_rows.len(), 20);
+        // k=5 was served from the cache, 10 and 20 were generated.
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 3); // initial cold 5, then cold 10 + 20
+        assert_eq!(stats.cache.entries, 3);
+        // The whole sweep is now warm and byte-stable.
+        let again = service.label_sweep(&table, &config, &[5, 10, 20]).unwrap();
+        assert_eq!(service.stats().cache.hits, 4);
+        for (a, b) in labels.iter().zip(&again) {
+            assert_eq!(a.json, b.json);
+        }
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let (table, config) = scenario();
+        let service = LabelService::new();
+        let bad = Arc::new((*config).clone().with_top_k(500));
+        assert!(service.label(&table, &bad).is_err());
+        assert_eq!(service.stats().cache.entries, 0);
+        // The valid config still generates.
+        assert!(service.label(&table, &config).is_ok());
+    }
+}

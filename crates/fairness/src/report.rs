@@ -95,7 +95,10 @@ impl FairnessReport {
     ///
     /// The FA*IR target proportion `p` is set to the group's overall
     /// proportion in the dataset, which is how Ranking Facts parameterizes
-    /// the test.
+    /// the test.  Equivalent to the four `evaluate_*` helpers followed by
+    /// [`FairnessReport::from_parts`] — callers that parallelize per measure
+    /// (the `rf-core` pipeline) use those pieces directly, so both paths
+    /// share one construction.
     ///
     /// # Errors
     /// Propagates any measure error (degenerate groups, k out of range, …).
@@ -104,27 +107,90 @@ impl FairnessReport {
         ranking: &Ranking,
         config: &FairnessConfig,
     ) -> FairnessResult<Self> {
-        let p = group.protected_proportion();
-        let fair_star = FairStarTest::new(config.k, p)?
+        let fair_star = Self::evaluate_fair_star(group, ranking, config)?;
+        let pairwise = Self::evaluate_pairwise(group, ranking, config)?;
+        let proportion = Self::evaluate_proportion(group, ranking, config)?;
+        let discounted = Self::evaluate_discounted(group, ranking)?;
+        Ok(Self::from_parts(
+            group, fair_star, pairwise, proportion, discounted, config,
+        ))
+    }
+
+    /// The FA*IR measure alone (target proportion = the group's overall
+    /// proportion, as the tool parameterizes it).
+    ///
+    /// # Errors
+    /// FA*IR construction or evaluation errors.
+    pub fn evaluate_fair_star(
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+        config: &FairnessConfig,
+    ) -> FairnessResult<FairStarOutcome> {
+        FairStarTest::new(config.k, group.protected_proportion())?
             .with_alpha(config.alpha)?
-            .evaluate(group, ranking)?;
-        let pairwise = PairwiseTest::new()
+            .evaluate(group, ranking)
+    }
+
+    /// The pairwise measure alone.
+    ///
+    /// # Errors
+    /// Pairwise construction or evaluation errors.
+    pub fn evaluate_pairwise(
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+        config: &FairnessConfig,
+    ) -> FairnessResult<PairwiseOutcome> {
+        PairwiseTest::new()
             .with_alpha(config.alpha)?
-            .evaluate(group, ranking)?;
-        let proportion = ProportionTest::new(config.k)?
+            .evaluate(group, ranking)
+    }
+
+    /// The proportion measure alone.
+    ///
+    /// # Errors
+    /// Proportion construction or evaluation errors.
+    pub fn evaluate_proportion(
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+        config: &FairnessConfig,
+    ) -> FairnessResult<ProportionOutcome> {
+        ProportionTest::new(config.k)?
             .with_alpha(config.alpha)?
-            .evaluate(group, ranking)?;
-        let discounted = DiscountedMeasures::evaluate(group, ranking)?;
-        Ok(FairnessReport {
+            .evaluate(group, ranking)
+    }
+
+    /// The position-discounted measures alone.
+    ///
+    /// # Errors
+    /// Discounted-measure evaluation errors.
+    pub fn evaluate_discounted(
+        group: &ProtectedGroup,
+        ranking: &Ranking,
+    ) -> FairnessResult<DiscountedMeasures> {
+        DiscountedMeasures::evaluate(group, ranking)
+    }
+
+    /// Assembles a report from independently evaluated measure outcomes —
+    /// the inverse of taking the four `evaluate_*` pieces apart.
+    #[must_use]
+    pub fn from_parts(
+        group: &ProtectedGroup,
+        fair_star: FairStarOutcome,
+        pairwise: PairwiseOutcome,
+        proportion: ProportionOutcome,
+        discounted: DiscountedMeasures,
+        config: &FairnessConfig,
+    ) -> Self {
+        FairnessReport {
             attribute: group.attribute.clone(),
             protected_value: group.protected_value.clone(),
-            protected_proportion: p,
+            protected_proportion: group.protected_proportion(),
             fair_star,
             pairwise,
             proportion,
             discounted,
             alpha: config.alpha,
-        })
+        }
     }
 
     /// The three measure outcomes in widget order (FA*IR, Pairwise, Proportion).

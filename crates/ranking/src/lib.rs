@@ -42,4 +42,4 @@ pub use rank_aware::{
     top_k_overlap,
 };
 pub use ranking::{RankedItem, Ranking};
-pub use score::{AttributeWeight, ScoringFunction};
+pub use score::{AttributeWeight, MissingValuePolicy, ScoreModel, ScoringFunction};

@@ -10,9 +10,11 @@
 //! HTTP/1.1 request parser and response writer over `std::net::TcpListener`,
 //! dispatching connections onto an [`rf_runtime::ThreadPool`] — because the
 //! interesting logic lives in `rf-core`.  Label requests route through
-//! `rf-core`'s `AnalysisPipeline`, so the widgets of each label build
-//! concurrently on the shared runtime pool while the server's own pool
-//! handles connection I/O.
+//! `rf-core`'s `LabelService`: the content-addressed LRU label cache (shared
+//! by every connection worker via [`AppState`]) answers warm hits with the
+//! pre-rendered JSON, and cold misses fan out on the shared runtime pool
+//! while the server's own pool handles connection I/O.  `GET /stats` exposes
+//! the cache's hit/miss/eviction counters.
 //!
 //! ## Endpoints
 //!
@@ -23,6 +25,7 @@
 //! | `GET /datasets/{name}/preview` | Dataset summary + design-view preview (JSON) |
 //! | `GET /datasets/{name}/label` | Nutritional label as HTML |
 //! | `GET /datasets/{name}/label.json` | Nutritional label as JSON |
+//! | `GET /stats` | Label-cache hit/miss counters and occupancy (JSON) |
 //! | `POST /labels` | Generate a label for an uploaded CSV (body = CSV, query = scoring spec) |
 
 #![forbid(unsafe_code)]
@@ -35,5 +38,5 @@ pub mod server;
 
 pub use catalog::{DatasetCatalog, DatasetEntry};
 pub use http::{Method, Request, Response, StatusCode};
-pub use router::route;
+pub use router::{route, AppState};
 pub use server::{Server, ServerConfig};

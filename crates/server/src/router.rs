@@ -2,28 +2,79 @@
 
 use crate::catalog::DatasetCatalog;
 use crate::http::{Method, Request, Response, StatusCode};
-use rf_core::{AnalysisPipeline, DesignView, LabelConfig};
+use rf_core::{DesignView, LabelConfig, LabelError, LabelService};
 use rf_datasets::load_csv_str;
 use rf_ranking::ScoringFunction;
 use rf_table::NormalizationMethod;
 use std::sync::Arc;
 
+/// Everything a request handler needs: the dataset catalogue plus the shared
+/// [`LabelService`] every label request routes through.  One instance is
+/// `Arc`-shared across all connection workers, so the label cache and its
+/// counters are global to the server.
+#[derive(Debug)]
+pub struct AppState {
+    /// The pre-loaded datasets.
+    pub catalog: DatasetCatalog,
+    /// The cached label generator.
+    pub labels: LabelService,
+}
+
+impl AppState {
+    /// Wraps a catalogue with a fresh default [`LabelService`].
+    #[must_use]
+    pub fn new(catalog: DatasetCatalog) -> Self {
+        AppState {
+            catalog,
+            labels: LabelService::new(),
+        }
+    }
+
+    /// The demo state: the paper's three datasets plus a fresh service.
+    #[must_use]
+    pub fn with_demo_datasets() -> Self {
+        Self::new(DatasetCatalog::with_demo_datasets())
+    }
+}
+
 /// Routes a request to its handler and produces the response.
 #[must_use]
-pub fn route(catalog: &DatasetCatalog, request: &Request) -> Response {
+pub fn route(state: &AppState, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
 
     match (request.method, segments.as_slice()) {
-        (Method::Get, []) => landing_page(catalog),
-        (Method::Get, ["datasets"]) => list_datasets(catalog),
-        (Method::Get, ["datasets", slug, "preview"]) => dataset_preview(catalog, slug),
-        (Method::Get, ["datasets", slug, "label"]) => dataset_label(catalog, slug, request, false),
+        (Method::Get, []) => landing_page(&state.catalog),
+        (Method::Get, ["datasets"]) => list_datasets(&state.catalog),
+        (Method::Get, ["datasets", slug, "preview"]) => dataset_preview(&state.catalog, slug),
+        (Method::Get, ["datasets", slug, "label"]) => dataset_label(state, slug, request, false),
         (Method::Get, ["datasets", slug, "label.json"]) => {
-            dataset_label(catalog, slug, request, true)
+            dataset_label(state, slug, request, true)
         }
-        (Method::Post, ["labels"]) => uploaded_label(request),
+        (Method::Get, ["stats"]) => service_stats(state),
+        (Method::Post, ["labels"]) => uploaded_label(state, request),
         (Method::Post, _) | (Method::Get, _) => Response::text(StatusCode::NotFound, "not found"),
     }
+}
+
+/// `GET /stats` — label-cache counters and the process-wide preparation
+/// count, for observing hit rates in production.
+fn service_stats(state: &AppState) -> Response {
+    match serde_json::to_string_pretty(&state.labels.stats()) {
+        Ok(json) => Response::json(json),
+        Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+    }
+}
+
+/// Maps a label-generation error to a response: caller mistakes are 400,
+/// internal rendering/scheduling failures are 500.
+fn label_error(err: &LabelError) -> Response {
+    let status = match err {
+        LabelError::Serialization { .. } | LabelError::WidgetPanic { .. } => {
+            StatusCode::InternalServerError
+        }
+        _ => StatusCode::BadRequest,
+    };
+    Response::text(status, err.to_string())
 }
 
 /// `GET /` — landing page with links to the demo datasets.
@@ -81,11 +132,14 @@ fn dataset_preview(catalog: &DatasetCatalog, slug: &str) -> Response {
     }
 }
 
-/// `GET /datasets/{slug}/label[.json]` — generate and render the label.
+/// `GET /datasets/{slug}/label[.json]` — the label, via the shared
+/// [`LabelService`].
 ///
-/// The query parameter `k` overrides the default top-k.
-fn dataset_label(catalog: &DatasetCatalog, slug: &str, request: &Request, json: bool) -> Response {
-    let Some(entry) = catalog.get(slug) else {
+/// The query parameter `k` overrides the default top-k.  A warm cache hit
+/// answers the JSON flavour with the pre-rendered document — no analysis, no
+/// re-serialization.
+fn dataset_label(state: &AppState, slug: &str, request: &Request, json: bool) -> Response {
+    let Some(entry) = state.catalog.get(slug) else {
         return Response::text(StatusCode::NotFound, format!("unknown dataset `{slug}`"));
     };
     let mut config = entry.config.clone();
@@ -97,20 +151,17 @@ fn dataset_label(catalog: &DatasetCatalog, slug: &str, request: &Request, json: 
             }
         }
     }
-    // The catalogue already shares its tables via `Arc`, so routing through
-    // the pipeline costs no copy of the dataset.
-    match AnalysisPipeline::new().generate(Arc::clone(&entry.table), Arc::new(config)) {
-        Ok(label) => {
+    // The catalogue already shares its tables via `Arc`, so a cache miss
+    // routes to the pipeline without copying the dataset.
+    match state.labels.label(&entry.table, &Arc::new(config)) {
+        Ok(cached) => {
             if json {
-                match label.to_json() {
-                    Ok(body) => Response::json(body),
-                    Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
-                }
+                Response::json(cached.json.as_ref().clone())
             } else {
-                Response::html(label.to_html())
+                Response::html(cached.label.to_html())
             }
         }
-        Err(err) => Response::text(StatusCode::BadRequest, err.to_string()),
+        Err(err) => label_error(&err),
     }
 }
 
@@ -124,7 +175,11 @@ fn dataset_label(catalog: &DatasetCatalog, slug: &str, request: &Request, json: 
 ///   to auditing every value, as the tool does),
 /// * `diversity` — comma-separated diversity attributes (optional),
 /// * `k` — top-k (default 10).
-fn uploaded_label(request: &Request) -> Response {
+///
+/// Uploads route through the shared [`LabelService`] too: the cache is
+/// content-addressed, so re-posting a byte-identical CSV with the same
+/// parameters is a warm hit.
+fn uploaded_label(state: &AppState, request: &Request) -> Response {
     let (table, _summary) = match load_csv_str(&request.body) {
         Ok(loaded) => loaded,
         Err(err) => return Response::text(StatusCode::BadRequest, format!("CSV error: {err}")),
@@ -205,23 +260,20 @@ fn uploaded_label(request: &Request) -> Response {
         }
     }
 
-    match AnalysisPipeline::new().generate(Arc::new(table), Arc::new(config)) {
-        Ok(label) => {
+    match state.labels.label(&Arc::new(table), &Arc::new(config)) {
+        Ok(cached) => {
             let wants_json = request
                 .headers
                 .get("accept")
                 .map(|accept| accept.contains("application/json"))
                 .unwrap_or(false);
             if wants_json {
-                match label.to_json() {
-                    Ok(body) => Response::json(body),
-                    Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
-                }
+                Response::json(cached.json.as_ref().clone())
             } else {
-                Response::html(label.to_html())
+                Response::html(cached.label.to_html())
             }
         }
-        Err(err) => Response::text(StatusCode::BadRequest, err.to_string()),
+        Err(err) => label_error(&err),
     }
 }
 
@@ -235,8 +287,8 @@ mod tests {
         Request::read_from(raw.as_bytes()).unwrap()
     }
 
-    fn demo_catalog() -> DatasetCatalog {
-        DatasetCatalog::with_demo_datasets()
+    fn demo_catalog() -> AppState {
+        AppState::with_demo_datasets()
     }
 
     #[test]
@@ -294,6 +346,37 @@ mod tests {
         // k larger than the dataset is rejected by validation.
         let too_big = route(&catalog, &get("/datasets/cs-departments/label?k=100000"));
         assert_eq!(too_big.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn repeated_label_requests_hit_the_cache_byte_identically() {
+        let state = demo_catalog();
+        let cold = route(&state, &get("/datasets/german-credit/label.json?k=7"));
+        assert_eq!(cold.status, StatusCode::Ok);
+        let warm = route(&state, &get("/datasets/german-credit/label.json?k=7"));
+        assert_eq!(cold.body, warm.body, "warm hit must be byte-identical");
+        let stats = state.labels.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        // A different k is a different key.
+        let _ = route(&state, &get("/datasets/german-credit/label.json?k=8"));
+        assert_eq!(state.labels.stats().cache.misses, 2);
+    }
+
+    #[test]
+    fn stats_endpoint_exposes_cache_counters() {
+        let state = demo_catalog();
+        let _ = route(&state, &get("/datasets/cs-departments/label.json"));
+        let _ = route(&state, &get("/datasets/cs-departments/label.json"));
+        let resp = route(&state, &get("/stats"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(resp.content_type, "application/json");
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["cache"]["hits"], 1);
+        assert_eq!(value["cache"]["misses"], 1);
+        assert_eq!(value["cache"]["entries"], 1);
+        assert!(value["cache"]["bytes"].as_u64().unwrap() > 0);
+        assert!(value["preparations"].as_u64().unwrap() >= 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::catalog::DatasetCatalog;
 use crate::http::{Request, Response, StatusCode};
-use crate::router::route;
+use crate::router::{route, AppState};
 use rf_runtime::ThreadPool;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,21 +29,31 @@ impl Default for ServerConfig {
 
 /// The Ranking Facts demo server.
 pub struct Server {
-    catalog: Arc<DatasetCatalog>,
+    state: Arc<AppState>,
     listener: TcpListener,
     workers: usize,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds the listener and prepares the server.
+    /// Binds the listener and prepares the server: the catalogue is wrapped
+    /// in an [`AppState`] whose label cache all connection workers share.
     ///
     /// # Errors
     /// I/O errors from binding the address.
     pub fn bind(catalog: DatasetCatalog, config: &ServerConfig) -> std::io::Result<Self> {
+        Self::bind_state(AppState::new(catalog), config)
+    }
+
+    /// Binds the listener over an explicit [`AppState`] (e.g. a pre-warmed
+    /// or custom-bounded label service).
+    ///
+    /// # Errors
+    /// I/O errors from binding the address.
+    pub fn bind_state(state: AppState, config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.bind_address)?;
         Ok(Server {
-            catalog: Arc::new(catalog),
+            state: Arc::new(state),
             listener,
             workers: config.workers.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -80,8 +90,8 @@ impl Server {
                 Ok((stream, _addr)) => {
                     // Blocking per-connection I/O inside the worker.
                     let _ = stream.set_nonblocking(false);
-                    let catalog = Arc::clone(&self.catalog);
-                    pool.execute(move || handle_connection(&catalog, stream));
+                    let state = Arc::clone(&self.state);
+                    pool.execute(move || handle_connection(&state, stream));
                 }
                 Err(ref err) if err.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(std::time::Duration::from_millis(10));
@@ -98,10 +108,10 @@ impl Server {
 }
 
 /// Parses one request from the stream, routes it, and writes the response.
-fn handle_connection(catalog: &DatasetCatalog, stream: TcpStream) {
+fn handle_connection(state: &AppState, stream: TcpStream) {
     let peer = stream.peer_addr().ok();
     let response = match Request::read_from(&stream) {
-        Some(request) => route(catalog, &request),
+        Some(request) => route(state, &request),
         None => Response::text(StatusCode::BadRequest, "malformed request"),
     };
     if let Err(err) = response.write_to(&stream) {
@@ -170,6 +180,22 @@ mod tests {
             "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\n\r\n",
         );
         assert!(missing.starts_with("HTTP/1.1 404"));
+
+        // A repeated label request is a cache hit, visible on /stats.
+        let again = request(
+            addr,
+            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\n\r\n",
+        );
+        assert_eq!(
+            again.split("\r\n\r\n").nth(1).unwrap(),
+            label.split("\r\n\r\n").nth(1).unwrap(),
+            "warm hit must be byte-identical over the wire"
+        );
+        let stats = request(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert!(stats.starts_with("HTTP/1.1 200 OK"));
+        let stats_body = stats.split("\r\n\r\n").nth(1).unwrap();
+        let stats_value: serde_json::Value = serde_json::from_str(stats_body).unwrap();
+        assert!(stats_value["cache"]["hits"].as_u64().unwrap() >= 1);
 
         // Parallel requests exercise the worker pool.
         let handles: Vec<_> = (0..4)

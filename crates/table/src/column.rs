@@ -123,6 +123,22 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint of the column's values in bytes (element
+    /// storage plus string contents).  Used by memory-bounded caches to
+    /// account for retained data; an estimate, not an allocator measurement.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        match self {
+            Column::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+            Column::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+            Column::Bool(v) => v.len() * std::mem::size_of::<Option<bool>>(),
+            Column::Str(v) => {
+                v.len() * std::mem::size_of::<Option<String>>()
+                    + v.iter().flatten().map(String::len).sum::<usize>()
+            }
+        }
+    }
+
     /// Number of missing values.
     #[must_use]
     pub fn null_count(&self) -> usize {

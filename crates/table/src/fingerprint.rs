@@ -1,0 +1,295 @@
+//! Stable 64-bit content fingerprinting.
+//!
+//! Labels are pure functions of `(table, configuration)`, so a cache in front
+//! of the label pipeline needs a cheap, stable identity for a table's
+//! *content* — not its address.  [`Table::fingerprint`] provides that: an
+//! order-sensitive 64-bit hash over the schema (names and types, in column
+//! order) and every cell (in column-major order).  Two tables built from the
+//! same data — whether constructed in memory, cloned, or re-loaded from the
+//! same CSV — fingerprint identically; changing any single cell, renaming a
+//! column, or reordering columns changes the fingerprint.
+//!
+//! The hasher is a hand-rolled FNV-1a over a tagged byte stream (the build
+//! environment is offline, so no hashing crate is vendored).  FNV is not
+//! cryptographic; the fingerprint guards a cache, not an integrity boundary.
+
+use crate::column::Column;
+use crate::table::Table;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over a tagged, length-prefixed byte stream.
+///
+/// Every variable-length value is written with its length first and every
+/// optional value with a presence tag, so distinct value sequences can never
+/// collide by concatenation (`"ab" + "c"` hashes differently from
+/// `"a" + "bc"`).  `rf-core` reuses this hasher to fingerprint label
+/// configurations into cache keys.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprinter {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a single tag byte (used to separate value kinds).
+    pub fn write_u8(&mut self, value: u8) {
+        self.write_bytes(&[value]);
+    }
+
+    /// Absorbs a 64-bit integer (little-endian).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a signed 64-bit integer.
+    pub fn write_i64(&mut self, value: i64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (hashed as `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_usize(value.len());
+        self.write_bytes(value.as_bytes());
+    }
+
+    /// Absorbs a float by raw bit pattern, so two values fingerprint
+    /// identically exactly when they *render* identically: `-0.0` and `0.0`
+    /// compare equal but serialize differently (`"-0.0"` vs `"0"`), so they
+    /// must not share a fingerprint — the cache key guards byte-identical
+    /// output, and bit identity is the float identity that matches it.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// The 64-bit digest of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Cell tags: every cell is written as `tag` (+ value when present), so a
+/// null float and a null string in the same position still hash differently
+/// through their column-type prefix while nulls within a column are uniform.
+const TAG_NULL: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL: u8 = 4;
+
+fn absorb_column(fp: &mut Fingerprinter, column: &Column) {
+    match column {
+        Column::Float(values) => {
+            for value in values {
+                match value {
+                    Some(v) => {
+                        fp.write_u8(TAG_FLOAT);
+                        fp.write_f64(*v);
+                    }
+                    None => fp.write_u8(TAG_NULL),
+                }
+            }
+        }
+        Column::Int(values) => {
+            for value in values {
+                match value {
+                    Some(v) => {
+                        fp.write_u8(TAG_INT);
+                        fp.write_i64(*v);
+                    }
+                    None => fp.write_u8(TAG_NULL),
+                }
+            }
+        }
+        Column::Str(values) => {
+            for value in values {
+                match value {
+                    Some(v) => {
+                        fp.write_u8(TAG_STR);
+                        fp.write_str(v);
+                    }
+                    None => fp.write_u8(TAG_NULL),
+                }
+            }
+        }
+        Column::Bool(values) => {
+            for value in values {
+                match value {
+                    Some(v) => {
+                        fp.write_u8(TAG_BOOL);
+                        fp.write_u8(u8::from(*v));
+                    }
+                    None => fp.write_u8(TAG_NULL),
+                }
+            }
+        }
+    }
+}
+
+impl Table {
+    /// A stable, order-sensitive 64-bit content fingerprint of the table:
+    /// schema (column names and types, in order) plus every cell, column by
+    /// column.
+    ///
+    /// The fingerprint depends only on content, so it is identical across
+    /// clones and re-loads of the same data, and it changes under any single
+    /// cell mutation, column rename, type change, or column/row reordering.
+    /// It is the table half of the label cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_usize(self.num_columns());
+        fp.write_usize(self.num_rows());
+        for field in self.schema().fields() {
+            fp.write_str(&field.name);
+            fp.write_u8(match field.column_type {
+                crate::schema::ColumnType::Float => TAG_FLOAT,
+                crate::schema::ColumnType::Int => TAG_INT,
+                crate::schema::ColumnType::Str => TAG_STR,
+                crate::schema::ColumnType::Bool => TAG_BOOL,
+            });
+        }
+        for column in self.columns() {
+            absorb_column(&mut fp, column);
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> Table {
+        Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c"])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
+            ("size", Column::from_i64(vec![10, 20, 30])),
+            ("flag", Column::from_bools(vec![true, false, true])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_content_identical_fingerprint() {
+        assert_eq!(sample().fingerprint(), sample().fingerprint());
+        assert_eq!(sample().fingerprint(), sample().clone().fingerprint());
+    }
+
+    #[test]
+    fn any_cell_mutation_changes_the_fingerprint() {
+        let base = sample().fingerprint();
+        let mut mutated = Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "B", "c"])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
+            ("size", Column::from_i64(vec![10, 20, 30])),
+            ("flag", Column::from_bools(vec![true, false, true])),
+        ])
+        .unwrap();
+        assert_ne!(base, mutated.fingerprint());
+        mutated = Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c"])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5000001])),
+            ("size", Column::from_i64(vec![10, 20, 30])),
+            ("flag", Column::from_bools(vec![true, false, true])),
+        ])
+        .unwrap();
+        assert_ne!(base, mutated.fingerprint());
+    }
+
+    #[test]
+    fn schema_changes_change_the_fingerprint() {
+        let base = sample().fingerprint();
+        // Rename a column.
+        let renamed = Table::from_columns(vec![
+            ("label", Column::from_strings(["a", "b", "c"])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
+            ("size", Column::from_i64(vec![10, 20, 30])),
+            ("flag", Column::from_bools(vec![true, false, true])),
+        ])
+        .unwrap();
+        assert_ne!(base, renamed.fingerprint());
+        // Reorder columns.
+        let reordered = sample().select(&["score", "name", "size", "flag"]).unwrap();
+        assert_ne!(base, reordered.fingerprint());
+        // Same numbers stored as a different type.
+        let retyped = Table::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c"])),
+            ("score", Column::from_f64(vec![1.5, 2.5, 3.5])),
+            ("size", Column::from_f64(vec![10.0, 20.0, 30.0])),
+            ("flag", Column::from_bools(vec![true, false, true])),
+        ])
+        .unwrap();
+        assert_ne!(base, retyped.fingerprint());
+    }
+
+    #[test]
+    fn row_order_matters() {
+        let t = sample();
+        assert_ne!(t.fingerprint(), t.take(&[2, 1, 0]).fingerprint());
+    }
+
+    #[test]
+    fn null_versus_value_is_distinguished() {
+        let with_null =
+            Table::from_columns(vec![("x", Column::Float(vec![Some(1.0), None]))]).unwrap();
+        let without =
+            Table::from_columns(vec![("x", Column::Float(vec![Some(1.0), Some(0.0)]))]).unwrap();
+        assert_ne!(with_null.fingerprint(), without.fingerprint());
+    }
+
+    #[test]
+    fn negative_zero_and_zero_are_distinct() {
+        // -0.0 == 0.0 numerically, but they render differently ("-0.0" vs
+        // "0"), so content addressing must keep them apart.
+        let zero = Table::from_columns(vec![("x", Column::from_f64(vec![0.0]))]).unwrap();
+        let neg = Table::from_columns(vec![("x", Column::from_f64(vec![-0.0]))]).unwrap();
+        assert_ne!(zero.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn fingerprinter_is_concatenation_safe() {
+        let mut a = Fingerprinter::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprinter::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_table_has_a_fingerprint() {
+        assert_eq!(Table::new().fingerprint(), Table::new().fingerprint());
+        assert_ne!(Table::new().fingerprint(), sample().fingerprint());
+    }
+}

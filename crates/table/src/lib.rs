@@ -16,6 +16,8 @@
 //! * [`table`] — the [`Table`] itself: construction, row/column access,
 //!   selection, filtering, sorting, head/top-k slicing.
 //! * [`csv`] — a CSV reader/writer with quoting support and type inference.
+//! * [`fingerprint`] — stable 64-bit content fingerprinting
+//!   ([`Table::fingerprint`]), the table half of the label cache key.
 //! * [`stats`] — per-column descriptive statistics and histograms.
 //! * [`normalize`] — min-max normalization and z-score standardization, the
 //!   "normalize and standardize the attributes" checkbox of Figure 3.
@@ -26,6 +28,7 @@
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod fingerprint;
 pub mod normalize;
 pub mod schema;
 pub mod stats;
@@ -34,6 +37,7 @@ pub mod table;
 pub use column::{Column, Value};
 pub use csv::{read_csv_str, write_csv_string, CsvOptions};
 pub use error::{TableError, TableResult};
+pub use fingerprint::Fingerprinter;
 pub use normalize::{NormalizationMethod, Normalizer};
 pub use schema::{ColumnType, Field, Schema};
 pub use stats::{column_histogram, column_summary};

@@ -89,6 +89,16 @@ impl Table {
         self.rows == 0 || self.columns.is_empty()
     }
 
+    /// Approximate heap footprint of the table in bytes: cell storage plus
+    /// column names.  Memory-bounded caches use this to account for tables
+    /// they keep alive.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        let cells: usize = self.columns.iter().map(Column::approx_heap_bytes).sum();
+        let names: usize = self.schema.fields().iter().map(|f| f.name.len()).sum();
+        cells + names
+    }
+
     /// The column with the given name.
     ///
     /// # Errors

@@ -131,4 +131,68 @@ proptest! {
         let head = table.head(n);
         prop_assert_eq!(head.num_rows(), n.min(values.len()));
     }
+
+    #[test]
+    fn fingerprint_changes_under_any_single_cell_mutation(
+        values in prop::collection::vec(-1.0e3..1.0e3f64, 2..40),
+        labels in prop::collection::vec("[g-s]{1,8}", 2..40),
+        pick in 0usize..1000,
+        bump in 1.0..100.0f64,
+    ) {
+        // Half-integer floats survive CSV round-trips exactly and are never
+        // re-inferred as integers; [g-s] strings can never look like bools,
+        // ints, or null markers.
+        let rows = values.len().min(labels.len());
+        let floats: Vec<f64> = values[..rows].iter().map(|v| v.floor() + 0.5).collect();
+        let strings: Vec<String> = labels[..rows].to_vec();
+        let table = Table::from_columns(vec![
+            ("score", Column::from_f64(floats.clone())),
+            ("label", Column::from_strings(strings.clone())),
+        ]).unwrap();
+        let base = table.fingerprint();
+
+        // Mutating any one float cell changes the fingerprint.
+        let row = pick % rows;
+        let mut mutated_floats = floats.clone();
+        mutated_floats[row] += bump.floor() + 1.0;
+        let mutated = Table::from_columns(vec![
+            ("score", Column::from_f64(mutated_floats)),
+            ("label", Column::from_strings(strings.clone())),
+        ]).unwrap();
+        prop_assert_ne!(base, mutated.fingerprint());
+
+        // Mutating any one string cell changes the fingerprint.
+        let mut mutated_strings = strings.clone();
+        mutated_strings[row] = format!("{}x", mutated_strings[row]);
+        let mutated = Table::from_columns(vec![
+            ("score", Column::from_f64(floats)),
+            ("label", Column::from_strings(mutated_strings)),
+        ]).unwrap();
+        prop_assert_ne!(base, mutated.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_reloads(
+        values in prop::collection::vec(-1.0e3..1.0e3f64, 2..40),
+        labels in prop::collection::vec("[g-s]{1,8}", 2..40),
+    ) {
+        let rows = values.len().min(labels.len());
+        let floats: Vec<f64> = values[..rows].iter().map(|v| v.floor() + 0.5).collect();
+        let strings: Vec<String> = labels[..rows].to_vec();
+        let build = || Table::from_columns(vec![
+            ("score", Column::from_f64(floats.clone())),
+            ("label", Column::from_strings(strings.clone())),
+        ]).unwrap();
+        let table = build();
+
+        // Rebuilding from the same cells and cloning both preserve identity.
+        prop_assert_eq!(table.fingerprint(), build().fingerprint());
+        prop_assert_eq!(table.fingerprint(), table.clone().fingerprint());
+
+        // A full CSV write → read round-trip preserves identity too: the
+        // fingerprint addresses content, not the in-memory instance.
+        let written = write_csv_string(&table);
+        let reloaded = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(table.fingerprint(), reloaded.fingerprint());
+    }
 }
