@@ -8,9 +8,14 @@
 //!    re-uploaded byte-identical table hits the same entry),
 //! 2. answers warm requests from the bounded LRU [`LabelCache`] with **zero**
 //!    analysis work (no context preparation — asserted by the cache-parity
-//!    tests via [`AnalysisContext::preparations`]), and
+//!    tests via [`AnalysisContext::preparations`]),
 //! 3. on a miss, generates through the pipeline, renders the JSON once, and
-//!    caches both.
+//!    caches both, and
+//! 4. coalesces concurrent misses for the same key (**single-flight**): the
+//!    first request leads the generation, later arrivals wait on its
+//!    in-flight slot and share the result — a cold-key load spike performs
+//!    one preparation instead of N.  Only observable now that the
+//!    event-driven server actually holds many concurrent requests.
 //!
 //! The service is `Sync`; one instance is shared across worker threads by
 //! `Arc` (the server does exactly that), with the cache behind a mutex held
@@ -23,11 +28,12 @@
 
 use crate::cache::{CacheKey, CacheStats, CachedLabel, LabelCache};
 use crate::config::LabelConfig;
-use crate::error::LabelResult;
+use crate::error::{LabelError, LabelResult};
 use crate::pipeline::{AnalysisContext, AnalysisPipeline};
 use rf_table::Table;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 
 /// Default maximum number of resident labels.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
@@ -44,6 +50,9 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Process-wide [`AnalysisContext`] preparations so far.
     pub preparations: u64,
+    /// Requests that joined another request's in-flight generation instead
+    /// of repeating it (single-flight coalescing).
+    pub coalesced: u64,
 }
 
 /// Memoizes table fingerprints by `Arc` identity, so long-lived shared
@@ -84,12 +93,87 @@ impl FingerprintMemo {
     }
 }
 
+/// One in-flight generation that later arrivals for the same key wait on.
+///
+/// The slot retains the leader's exact inputs: the fingerprints are
+/// non-cryptographic, so — exactly like a [`LabelCache`] hit — a waiter only
+/// accepts the shared result after verifying its table and configuration
+/// *equal* the leader's.  A colliding request falls back to generating for
+/// itself instead of receiving another key's label.
+#[derive(Debug)]
+struct Inflight {
+    table: Arc<Table>,
+    config: Arc<LabelConfig>,
+    result: Mutex<Option<LabelResult<CachedLabel>>>,
+    done: Condvar,
+}
+
+impl Inflight {
+    fn new(table: &Arc<Table>, config: &Arc<LabelConfig>) -> Self {
+        Inflight {
+            table: Arc::clone(table),
+            config: Arc::clone(config),
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publishes the generation's outcome and wakes every waiter.
+    fn fill(&self, result: LabelResult<CachedLabel>) {
+        let mut slot = self.result.lock().expect("in-flight slot lock");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader publishes, then returns a clone.
+    fn wait(&self) -> LabelResult<CachedLabel> {
+        let mut slot = self.result.lock().expect("in-flight slot lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).expect("in-flight slot lock");
+        }
+    }
+}
+
+/// Removes the in-flight slot (and publishes a failure if nothing was
+/// published) even when the leader unwinds — waiters must never block on a
+/// slot whose leader died.
+struct InflightGuard<'a> {
+    service: &'a LabelService,
+    key: CacheKey,
+    slot: Arc<Inflight>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        // No-op when the leader already published; the error is only seen
+        // by waiters racing a leader that panicked.
+        self.slot.fill(Err(LabelError::WidgetPanic {
+            widget: "single-flight leader".to_string(),
+        }));
+        self.service
+            .inflight
+            .lock()
+            .expect("in-flight map lock")
+            .remove(&self.key);
+    }
+}
+
 /// Content-addressed, cached label generation.
 #[derive(Debug)]
 pub struct LabelService {
     pipeline: AnalysisPipeline,
     cache: Mutex<LabelCache>,
     fingerprints: Mutex<FingerprintMemo>,
+    /// Per-key single-flight slots for generations currently running.
+    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    /// How many requests joined an in-flight generation.
+    coalesced: AtomicU64,
 }
 
 impl Default for LabelService {
@@ -118,6 +202,8 @@ impl LabelService {
             pipeline,
             cache: Mutex::new(LabelCache::new(capacity, max_bytes)),
             fingerprints: Mutex::new(FingerprintMemo::default()),
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -136,6 +222,13 @@ impl LabelService {
     /// ranking, no context preparation.  Cold and warm responses are
     /// byte-identical because generation is a pure function of the key.
     ///
+    /// Cold misses are **single-flight**: when load spikes send N identical
+    /// requests at once, the first becomes the leader and runs the pipeline;
+    /// the other N−1 block on its in-flight slot and share the result —
+    /// exactly one context preparation total (the [`ServiceStats::coalesced`]
+    /// counter records the joins).  Leaders publish errors too, so a failed
+    /// generation fails every coalesced request instead of retrying N times.
+    ///
     /// # Errors
     /// Pipeline errors on a cold miss (validation, widgets, serialization).
     pub fn label(&self, table: &Arc<Table>, config: &Arc<LabelConfig>) -> LabelResult<CachedLabel> {
@@ -143,14 +236,68 @@ impl LabelService {
             table: self.table_fingerprint(table),
             config: config.fingerprint(),
         };
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("label cache lock")
-            .get(&key, table, config)
-        {
-            return Ok(hit);
+        // Check the cache and join-or-lead *under the in-flight map lock*.
+        // A leader only removes its map entry (guard drop) after inserting
+        // into the cache, and that removal also takes this lock — so a
+        // vacant map entry here proves the cache check just above it could
+        // not have missed a completed generation.  Checking outside the
+        // lock would let a request race a finishing leader and run a
+        // duplicate generation (lock order is map → cache, nowhere
+        // reversed).
+        let (slot, leading) = {
+            let mut inflight = self.inflight.lock().expect("in-flight map lock");
+            if let Some(hit) = self
+                .cache
+                .lock()
+                .expect("label cache lock")
+                .get(&key, table, config)
+            {
+                return Ok(hit);
+            }
+            match inflight.entry(key) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    (Arc::clone(entry.get()), false)
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => (
+                    Arc::clone(entry.insert(Arc::new(Inflight::new(table, config)))),
+                    true,
+                ),
+            }
+        };
+        if !leading {
+            // Verify the leader is generating *our* inputs before adopting
+            // its result (fingerprint collisions degrade to own generation).
+            if slot.config.as_ref() == config.as_ref()
+                && (Arc::ptr_eq(&slot.table, table) || slot.table.as_ref() == table.as_ref())
+            {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return slot.wait();
+            }
+            return self.generate_uncoalesced(key, table, config);
         }
+        let guard = InflightGuard {
+            service: self,
+            key,
+            slot,
+        };
+        let result = self.generate_uncoalesced(key, table, config);
+        // Publish to waiters before the guard's drop removes the map entry,
+        // so a racing request either sees the cache entry, joins the filled
+        // slot, or starts fresh — never waits on an abandoned slot.
+        guard.slot.fill(result.clone());
+        drop(guard);
+        result
+    }
+
+    /// The plain cold-miss path: generate through the pipeline, render, and
+    /// cache under the caller's already-computed `key`.  Used by leaders
+    /// and by collision fallbacks.
+    fn generate_uncoalesced(
+        &self,
+        key: CacheKey,
+        table: &Arc<Table>,
+        config: &Arc<LabelConfig>,
+    ) -> LabelResult<CachedLabel> {
         let label = self
             .pipeline
             .generate(Arc::clone(table), Arc::clone(config))?;
@@ -244,10 +391,19 @@ impl LabelService {
         ServiceStats {
             cache: self.cache.lock().expect("label cache lock").stats(),
             preparations: AnalysisContext::preparations(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every cached label (counters keep their history).
+    ///
+    /// This is the invalidation hook for mutable-catalog deployments: the
+    /// server calls it whenever a dataset is uploaded into its catalogue, so
+    /// a re-uploaded dataset name can never serve a label rendered from the
+    /// old bytes through a stale catalogue path.  In-flight generations are
+    /// unaffected — they publish to their own waiters and (re-)insert their
+    /// result, which is still correct for the exact bytes they were keyed
+    /// on (the cache is content-addressed).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("label cache lock").clear();
     }
@@ -340,6 +496,79 @@ mod tests {
         for (a, b) in labels.iter().zip(&again) {
             assert_eq!(a.json, b.json);
         }
+    }
+
+    #[test]
+    fn concurrent_cold_misses_coalesce_onto_one_generation() {
+        let (table, config) = scenario();
+        let service = Arc::new(LabelService::new());
+        let threads = 8usize;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let table = Arc::clone(&table);
+                let config = Arc::clone(&config);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.label(&table, &config).unwrap()
+                })
+            })
+            .collect();
+        let labels: Vec<CachedLabel> = handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect();
+        for label in &labels {
+            assert_eq!(label.json, labels[0].json, "all requests share one result");
+        }
+        let stats = service.stats();
+        // Every thread either hit the cache (arrived after the leader
+        // finished), led, or coalesced — the books must balance.
+        assert_eq!(
+            stats.cache.hits + stats.cache.misses,
+            threads as u64,
+            "each thread checks the cache exactly once"
+        );
+        // The leader is the only thread that generated; with single-flight,
+        // there is exactly one entry and no duplicated work visible in it.
+        assert_eq!(stats.cache.entries, 1);
+        assert_eq!(
+            stats.coalesced,
+            stats.cache.misses - 1,
+            "every miss but the leader joined the in-flight slot"
+        );
+        // The in-flight map is drained once the burst resolves.
+        assert!(service.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn coalesced_errors_fail_every_waiter_without_retrying() {
+        let (table, config) = scenario();
+        let bad = Arc::new(LabelConfig::clone(&config).with_top_k(500));
+        let service = Arc::new(LabelService::new());
+        let threads = 4usize;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let table = Arc::clone(&table);
+                let bad = Arc::clone(&bad);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.label(&table, &bad)
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().unwrap().is_err());
+        }
+        assert_eq!(service.stats().cache.entries, 0);
+        assert!(service.inflight.lock().unwrap().is_empty());
+        // The service still generates fine afterwards.
+        assert!(service.label(&table, &config).is_ok());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! A minimal blocking HTTP client helper.
+//!
+//! The reactor is nonblocking end to end, but everything that *talks to* it
+//! — unit tests, integration tests, benches, smoke scripts — wants the
+//! opposite: a dead-simple blocking read of exactly one response.  Keeping
+//! the one correct implementation here stops the head-scan/`Content-Length`
+//! dance from being copy-pasted into every test module.
+
+use std::io::{self, Read};
+
+/// One response read off a blocking stream: the raw head (request line +
+/// headers + terminating blank line) and the body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status line and headers, verbatim, including the final `\r\n\r\n`.
+    pub head: String,
+    /// Exactly `Content-Length` body bytes (empty when the header is absent).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The status code parsed out of the status line.
+    #[must_use]
+    pub fn status(&self) -> Option<u16> {
+        self.head.split_whitespace().nth(1)?.parse().ok()
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads exactly one HTTP response (head, then `Content-Length` body bytes)
+/// from a blocking stream.  Suitable for keep-alive connections: nothing
+/// past the response is consumed.
+///
+/// # Errors
+/// I/O errors from the stream, or `InvalidData` for a head that is not
+/// UTF-8 or declares a non-numeric `Content-Length`.
+pub fn read_one_response<R: Read>(stream: &mut R) -> io::Result<ClientResponse> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+        if head.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let length: usize = match head
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+    {
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?,
+        None => 0,
+    };
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body)?;
+    Ok(ClientResponse { head, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_one_response_and_leaves_the_rest() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhelloHTTP/1.1 404 ...";
+        let mut stream: &[u8] = raw;
+        let response = read_one_response(&mut stream).expect("response");
+        assert_eq!(response.status(), Some(200));
+        assert_eq!(response.body_text(), "hello");
+        assert!(response.head.ends_with("\r\n\r\n"));
+        // The next response's bytes are untouched on the stream.
+        assert!(stream.starts_with(b"HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let mut stream: &[u8] = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let response = read_one_response(&mut stream).expect("response");
+        assert_eq!(response.status(), Some(204));
+        assert!(response.body.is_empty());
+    }
+
+    #[test]
+    fn bad_content_length_is_invalid_data() {
+        let mut stream: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: soup\r\n\r\n";
+        let err = read_one_response(&mut stream).expect_err("invalid");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

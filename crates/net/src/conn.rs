@@ -1,0 +1,432 @@
+//! The per-connection state machine and its backpressure-aware write buffer.
+//!
+//! A [`Connection`] owns a nonblocking [`TcpStream`] plus an incremental
+//! [`HttpParser`].  The reactor drives it with readiness events; the
+//! connection never blocks and never does protocol work beyond framing:
+//!
+//! ```text
+//!            readable                       complete request
+//!   Reading ───────────► parser.feed(…) ───────────────────► InFlight
+//!      ▲                                                        │
+//!      │ flushed, keep-alive                                    │ completion
+//!      │ (pipelined bytes re-polled)                            ▼
+//!   (close if `Connection: close`) ◄──────────────────────── Writing
+//!                                         flushed
+//! ```
+//!
+//! Writes are buffered and chunked: a response body can be a shared
+//! `Arc<String>` (the label cache's rendered JSON) so a thousand concurrent
+//! downloads of the same label stream from one allocation.  `on_writable`
+//! writes until the socket would block, then parks until the next
+//! writability event — a slow reader holds exactly its own buffer, never a
+//! worker thread.
+
+use crate::parser::{HttpParser, ParseError, ParseEvent, ParsedRequest};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A response body ready for streaming.
+#[derive(Debug, Clone)]
+pub enum ResponseBody {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// A body shared with the label cache (zero-copy fan-out).
+    Shared(Arc<String>),
+}
+
+impl ResponseBody {
+    /// The body bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            ResponseBody::Owned(bytes) => bytes,
+            ResponseBody::Shared(text) => text.as_bytes(),
+        }
+    }
+
+    /// Body length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// `true` when the body is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_bytes().is_empty()
+    }
+}
+
+/// A serialized response: pre-rendered head bytes plus the body.
+#[derive(Debug, Clone)]
+pub struct OutboundResponse {
+    /// Status line and headers, including the terminating blank line.
+    pub head: Vec<u8>,
+    /// The body to stream after the head.
+    pub body: ResponseBody,
+    /// Whether the connection may serve another request afterwards.
+    pub keep_alive: bool,
+}
+
+/// One queued write: a chunk of bytes and how far into it we are.
+#[derive(Debug)]
+struct WriteChunk {
+    data: ResponseBody,
+    written: usize,
+}
+
+/// Connection lifecycle states (see the module diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Waiting for (more of) a request.
+    Reading,
+    /// A complete request was handed to the dispatcher; the socket is quiet.
+    InFlight,
+    /// Streaming a response.
+    Writing,
+}
+
+/// What a readability event amounted to.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// Bytes consumed, no complete request yet.
+    NeedMore,
+    /// One complete request — dispatch it.
+    Request(ParsedRequest),
+    /// The bytes cannot be a valid request — answer 400 and close.
+    BadRequest(ParseError),
+    /// The peer closed (EOF) or the socket errored.
+    Disconnected,
+}
+
+/// What a writability event amounted to.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Everything flushed.
+    Flushed,
+    /// The socket filled up; wait for the next writability event.
+    Pending,
+    /// The peer vanished mid-write.
+    Disconnected,
+}
+
+/// One client connection owned by the reactor.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    parser: HttpParser,
+    state: ConnState,
+    out: VecDeque<WriteChunk>,
+    close_after_write: bool,
+}
+
+impl Connection {
+    /// Wraps an accepted stream (placed into nonblocking mode).
+    ///
+    /// # Errors
+    /// `set_nonblocking` errno.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Responses go out as a head chunk plus a (possibly shared) body
+        // chunk; Nagle would hold the second write hostage to the client's
+        // delayed ACK (~40ms per response).  Latency wins over packet count
+        // for an interactive API.
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            parser: HttpParser::new(),
+            state: ConnState::Reading,
+            out: VecDeque::new(),
+            close_after_write: false,
+        })
+    }
+
+    /// The underlying stream (for poller registration).
+    #[must_use]
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// `true` once the connection must close when its buffer drains.
+    #[must_use]
+    pub fn closing(&self) -> bool {
+        self.close_after_write
+    }
+
+    /// `true` while a request is partially received (see
+    /// [`HttpParser::mid_request`]).
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        self.parser.mid_request()
+    }
+
+    /// Marks the in-flight request as dispatched.
+    pub fn mark_in_flight(&mut self) {
+        self.state = ConnState::InFlight;
+    }
+
+    /// Reads until the socket would block, feeding the parser.  Returns at
+    /// the first complete request — surplus bytes wait in the parser.
+    pub fn on_readable(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Disconnected,
+                Ok(n) => match self.parser.feed(&chunk[..n]) {
+                    Ok(ParseEvent::Request(request)) => return ReadOutcome::Request(request),
+                    Ok(ParseEvent::NeedMore) => {}
+                    Err(err) => return ReadOutcome::BadRequest(err),
+                },
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    return ReadOutcome::NeedMore
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Disconnected,
+            }
+        }
+    }
+
+    /// Polls the parser for a pipelined request that arrived with earlier
+    /// bytes (called after a response flushes on a keep-alive connection).
+    pub fn poll_buffered_request(&mut self) -> ReadOutcome {
+        match self.parser.poll() {
+            Ok(ParseEvent::Request(request)) => ReadOutcome::Request(request),
+            Ok(ParseEvent::NeedMore) => ReadOutcome::NeedMore,
+            Err(err) => ReadOutcome::BadRequest(err),
+        }
+    }
+
+    /// Queues a response for streaming and moves to [`ConnState::Writing`].
+    pub fn enqueue_response(&mut self, response: OutboundResponse) {
+        self.out.push_back(WriteChunk {
+            data: ResponseBody::Owned(response.head),
+            written: 0,
+        });
+        if !response.body.is_empty() {
+            self.out.push_back(WriteChunk {
+                data: response.body,
+                written: 0,
+            });
+        }
+        if !response.keep_alive {
+            self.close_after_write = true;
+        }
+        self.state = ConnState::Writing;
+    }
+
+    /// Writes buffered chunks until done or the socket would block.
+    pub fn on_writable(&mut self) -> WriteOutcome {
+        while let Some(chunk) = self.out.front_mut() {
+            let bytes = chunk.data.as_bytes();
+            while chunk.written < bytes.len() {
+                match self.stream.write(&bytes[chunk.written..]) {
+                    Ok(0) => return WriteOutcome::Disconnected,
+                    Ok(n) => chunk.written += n,
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                        return WriteOutcome::Pending
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return WriteOutcome::Disconnected,
+                }
+            }
+            self.out.pop_front();
+        }
+        if self.state == ConnState::Writing {
+            self.state = ConnState::Reading;
+        }
+        WriteOutcome::Flushed
+    }
+
+    /// Bytes still queued for this connection (its backpressure debt).
+    #[must_use]
+    pub fn pending_write_bytes(&self) -> usize {
+        self.out
+            .iter()
+            .map(|chunk| chunk.data.len() - chunk.written)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (Connection::new(server).expect("conn"), client)
+    }
+
+    fn wait_for_request(conn: &mut Connection) -> ParsedRequest {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match conn.on_readable() {
+                ReadOutcome::Request(req) => return req,
+                ReadOutcome::NeedMore => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reads_a_request_and_streams_a_shared_body() {
+        let (mut conn, mut client) = pair();
+        client
+            .write_all(b"GET /x HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let request = wait_for_request(&mut conn);
+        assert_eq!(request.target, "/x");
+        conn.mark_in_flight();
+        assert_eq!(conn.state(), ConnState::InFlight);
+
+        let body = Arc::new("shared-body".to_string());
+        conn.enqueue_response(OutboundResponse {
+            head: b"HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n".to_vec(),
+            body: ResponseBody::Shared(Arc::clone(&body)),
+            keep_alive: true,
+        });
+        assert_eq!(conn.state(), ConnState::Writing);
+        assert!(conn.pending_write_bytes() > 11);
+        assert_eq!(conn.on_writable(), WriteOutcome::Flushed);
+        assert_eq!(conn.state(), ConnState::Reading);
+        assert!(!conn.closing());
+
+        let mut buf = vec![0u8; 1024];
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let n = client.read(&mut buf).expect("read");
+        let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.ends_with("shared-body"));
+    }
+
+    #[test]
+    fn close_response_marks_the_connection_closing() {
+        let (mut conn, _client) = pair();
+        conn.enqueue_response(OutboundResponse {
+            head: b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            body: ResponseBody::Owned(Vec::new()),
+            keep_alive: false,
+        });
+        assert!(conn.closing());
+    }
+
+    #[test]
+    fn slow_reader_backpressure_parks_in_pending() {
+        let (mut conn, client) = pair();
+        // A body far larger than the combined socket buffers.
+        let big = vec![b'x'; 8 * 1024 * 1024];
+        conn.enqueue_response(OutboundResponse {
+            head: format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", big.len()).into_bytes(),
+            body: ResponseBody::Owned(big),
+            keep_alive: true,
+        });
+        // The client is not reading, so the kernel buffer fills and the
+        // connection parks with debt instead of blocking.
+        assert_eq!(conn.on_writable(), WriteOutcome::Pending);
+        let parked = conn.pending_write_bytes();
+        assert!(parked > 0);
+        // Still pending on a second poke without the client draining.
+        assert_eq!(conn.on_writable(), WriteOutcome::Pending);
+
+        // Drain client-side; the connection now finishes.
+        let mut reader = client;
+        reader
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let drain = std::thread::spawn(move || {
+            let mut total = 0usize;
+            let mut buf = vec![0u8; 64 * 1024];
+            loop {
+                match reader.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => total += n,
+                }
+            }
+            total
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match conn.on_writable() {
+                WriteOutcome::Flushed => break,
+                WriteOutcome::Pending => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                WriteOutcome::Disconnected => panic!("client vanished"),
+            }
+        }
+        assert_eq!(conn.pending_write_bytes(), 0);
+        drop(conn); // Close the server side so the drain thread sees EOF.
+        assert!(drain.join().expect("drain") > parked);
+    }
+
+    #[test]
+    fn disconnect_mid_write_is_reported_not_fatal() {
+        let (mut conn, client) = pair();
+        drop(client);
+        let big = vec![b'x'; 8 * 1024 * 1024];
+        conn.enqueue_response(OutboundResponse {
+            head: b"HTTP/1.1 200 OK\r\n\r\n".to_vec(),
+            body: ResponseBody::Owned(big),
+            keep_alive: false,
+        });
+        // The first writes may land in the kernel buffer; keep pushing until
+        // the RST surfaces.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match conn.on_writable() {
+                WriteOutcome::Disconnected => break,
+                WriteOutcome::Flushed => {
+                    // Everything fit in the kernel buffer before the RST
+                    // arrived; queue more until the error surfaces.
+                    conn.enqueue_response(OutboundResponse {
+                        head: b"x".to_vec(),
+                        body: ResponseBody::Owned(vec![b'x'; 1024 * 1024]),
+                        keep_alive: false,
+                    });
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                }
+                WriteOutcome::Pending => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_surface_as_bad_request() {
+        let (mut conn, mut client) = pair();
+        client.write_all(b"BREW\r\n\r\n").expect("write");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match conn.on_readable() {
+                ReadOutcome::BadRequest(err) => {
+                    assert_eq!(err, ParseError::BadRequestLine);
+                    break;
+                }
+                ReadOutcome::NeedMore => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Incremental HTTP/1.x request parsing.
+//!
+//! [`HttpParser`] is a push parser: the reactor feeds it whatever bytes a
+//! nonblocking read produced — half a request line, three requests at once —
+//! and it emits at most one complete [`ParsedRequest`] per poll, keeping any
+//! surplus bytes buffered for the next (pipelined) request on the same
+//! keep-alive connection.
+//!
+//! It is deliberately protocol-generic: methods are uninterpreted tokens and
+//! the target is an opaque string, so the crate stays free of application
+//! types.  `rf-server` converts a [`ParsedRequest`] into its routed `Request`
+//! (method enum, split query parameters).
+
+use std::collections::HashMap;
+
+/// Default cap on the request head (request line + headers): 16 KiB.
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on the request body: 8 MiB (the demo accepts CSV uploads).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// How much buffer capacity an idle parser may keep between requests.
+const PARSER_BUF_RETAIN_BYTES: usize = 64 * 1024;
+
+/// HTTP protocol version of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// HTTP/1.0 — connections close by default.
+    Http10,
+    /// HTTP/1.1 — connections are persistent by default.
+    Http11,
+}
+
+/// One fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The method token, verbatim (e.g. `GET`).
+    pub method: String,
+    /// The request target, verbatim (path plus optional query string).
+    pub target: String,
+    /// Protocol version.
+    pub version: HttpVersion,
+    /// Headers with lower-cased names; later duplicates overwrite earlier.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes (empty when the request has no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl ParsedRequest {
+    /// A header value by (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Whether the connection should stay open after the response,
+    /// per HTTP/1.x defaults and the `Connection` header.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").map(str::to_ascii_lowercase);
+        match self.version {
+            HttpVersion::Http11 => connection.as_deref() != Some("close"),
+            HttpVersion::Http10 => connection.as_deref() == Some("keep-alive"),
+        }
+    }
+}
+
+/// Why a byte stream is not a valid request.  Any of these ends the
+/// connection with a `400` after flushing — the stream position is
+/// unrecoverable once framing is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// The version token is not `HTTP/1.0` or `HTTP/1.1`.
+    BadVersion,
+    /// The head is not valid UTF-8.
+    BadEncoding,
+    /// A `Content-Length` value is not a number.
+    BadContentLength,
+    /// The request declares a `Transfer-Encoding`.  Chunked framing is not
+    /// implemented, and silently treating such a body as zero-length would
+    /// desync the keep-alive stream: the chunk bytes would be reinterpreted
+    /// as the next pipelined request (the request-smuggling pattern).
+    /// Refusing the request — and closing, as for every framing error — is
+    /// the only safe answer.
+    UnsupportedTransferEncoding,
+    /// The head grew past the configured cap without terminating.
+    HeadTooLarge,
+    /// The declared body length exceeds the configured cap.
+    BodyTooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadVersion => write!(f, "unsupported HTTP version"),
+            ParseError::BadEncoding => write!(f, "request head is not UTF-8"),
+            ParseError::BadContentLength => write!(f, "malformed Content-Length"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported (use Content-Length)")
+            }
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// What one parser poll produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEvent {
+    /// The buffered bytes do not yet form a complete request.
+    NeedMore,
+    /// One complete request; surplus bytes stay buffered for the next one.
+    Request(ParsedRequest),
+}
+
+#[derive(Debug)]
+enum ParseState {
+    /// Accumulating the request line and headers.
+    Head,
+    /// Head parsed; accumulating `remaining` more body bytes.
+    Body {
+        head: Box<HeadFields>,
+        remaining: usize,
+    },
+}
+
+#[derive(Debug)]
+struct HeadFields {
+    method: String,
+    target: String,
+    version: HttpVersion,
+    headers: HashMap<String, String>,
+}
+
+/// The per-connection HTTP request state machine.
+///
+/// Split and partial reads are the normal case: `feed` may be called with a
+/// single byte at a time and the parser advances exactly as it would on a
+/// whole request (asserted by the unit tests below).  After an `Err`, the
+/// parser is poisoned for its connection — framing is lost, so the caller
+/// must close after writing its error response.
+#[derive(Debug)]
+pub struct HttpParser {
+    buf: Vec<u8>,
+    state: ParseState,
+    max_head_bytes: usize,
+    max_body_bytes: usize,
+}
+
+impl Default for HttpParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpParser {
+    /// A parser with the default head/body caps.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_limits(DEFAULT_MAX_HEAD_BYTES, DEFAULT_MAX_BODY_BYTES)
+    }
+
+    /// A parser with explicit head/body byte caps.
+    #[must_use]
+    pub fn with_limits(max_head_bytes: usize, max_body_bytes: usize) -> Self {
+        HttpParser {
+            buf: Vec::new(),
+            state: ParseState::Head,
+            max_head_bytes,
+            max_body_bytes,
+        }
+    }
+
+    /// Number of buffered, not-yet-consumed bytes (pipelined input).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` while a request is partially received — head bytes buffered,
+    /// or a parsed head still waiting for body bytes.  What the reactor's
+    /// request-progress deadline keys on: a client may idle between
+    /// requests for the idle timeout, but once it starts one it must finish
+    /// within the deadline (the slow-loris drip defence).
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || matches!(self.state, ParseState::Body { .. })
+    }
+
+    /// Appends freshly read bytes and polls for a complete request.
+    ///
+    /// # Errors
+    /// A [`ParseError`] when the buffered bytes cannot be a valid request.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<ParseEvent, ParseError> {
+        self.buf.extend_from_slice(bytes);
+        self.poll()
+    }
+
+    /// Polls the buffered bytes for a complete request without new input —
+    /// how a keep-alive connection picks up a pipelined request after
+    /// flushing the previous response.
+    ///
+    /// # Errors
+    /// A [`ParseError`] when the buffered bytes cannot be a valid request.
+    pub fn poll(&mut self) -> Result<ParseEvent, ParseError> {
+        if let ParseState::Head = self.state {
+            let Some(head_end) = find_head_end(&self.buf) else {
+                if self.buf.len() > self.max_head_bytes {
+                    return Err(ParseError::HeadTooLarge);
+                }
+                return Ok(ParseEvent::NeedMore);
+            };
+            if head_end > self.max_head_bytes {
+                return Err(ParseError::HeadTooLarge);
+            }
+            let head = parse_head(&self.buf[..head_end])?;
+            if head.headers.contains_key("transfer-encoding") {
+                return Err(ParseError::UnsupportedTransferEncoding);
+            }
+            let remaining = match head.headers.get("content-length") {
+                Some(raw) => {
+                    let length: usize = raw.parse().map_err(|_| ParseError::BadContentLength)?;
+                    if length > self.max_body_bytes {
+                        return Err(ParseError::BodyTooLarge);
+                    }
+                    length
+                }
+                None => 0,
+            };
+            self.buf.drain(..head_end);
+            self.state = ParseState::Body {
+                head: Box::new(head),
+                remaining,
+            };
+        }
+
+        let ParseState::Body { remaining, .. } = &self.state else {
+            return Ok(ParseEvent::NeedMore);
+        };
+        if self.buf.len() < *remaining {
+            return Ok(ParseEvent::NeedMore);
+        }
+        let ParseState::Body { head, remaining } =
+            std::mem::replace(&mut self.state, ParseState::Head)
+        else {
+            unreachable!("state checked above");
+        };
+        let body: Vec<u8> = self.buf.drain(..remaining).collect();
+        // A large upload leaves its capacity behind in this buffer, which
+        // lives as long as the keep-alive connection does; without the
+        // shrink, N idle connections that each once POSTed the maximum
+        // body would pin N × 8 MiB of empty buffers.
+        if self.buf.capacity() > PARSER_BUF_RETAIN_BYTES {
+            self.buf
+                .shrink_to(PARSER_BUF_RETAIN_BYTES.max(self.buf.len()));
+        }
+        Ok(ParseEvent::Request(ParsedRequest {
+            method: head.method,
+            target: head.target,
+            version: head.version,
+            headers: head.headers,
+            body,
+        }))
+    }
+}
+
+/// Index one past the head-terminating blank line, or `None` while the head
+/// is still incomplete.  Lines end in `\n`, with an optional `\r` before it
+/// (same tolerance as a `BufRead::read_line` + `trim_end` parser).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, byte) in buf.iter().enumerate() {
+        if *byte != b'\n' {
+            continue;
+        }
+        let mut line_end = i;
+        if line_end > line_start && buf[line_end - 1] == b'\r' {
+            line_end -= 1;
+        }
+        if line_end == line_start {
+            return Some(i + 1);
+        }
+        line_start = i + 1;
+    }
+    None
+}
+
+/// Parses the request line and headers out of a complete head.
+fn parse_head(head: &[u8]) -> Result<HeadFields, ParseError> {
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::BadEncoding)?;
+    let mut lines = text.lines().filter(|line| !line.is_empty());
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+    if parts.next().is_some() || method.is_empty() {
+        return Err(ParseError::BadRequestLine);
+    }
+    let version = match version {
+        "HTTP/1.1" => HttpVersion::Http11,
+        "HTTP/1.0" => HttpVersion::Http10,
+        _ => return Err(ParseError::BadVersion),
+    };
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(HeadFields {
+        method: method.to_string(),
+        target: target.to_string(),
+        version,
+        headers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_whole(raw: &str) -> ParsedRequest {
+        let mut parser = HttpParser::new();
+        match parser.feed(raw.as_bytes()) {
+            Ok(ParseEvent::Request(req)) => req,
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_complete_get() {
+        let req = parse_whole("GET /stats?x=1 HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/stats?x=1");
+        assert_eq!(req.version, HttpVersion::Http11);
+        assert_eq!(req.header("host"), Some("test"));
+        assert_eq!(req.header("Host"), Some("test"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_byte_by_byte_exactly_like_one_feed() {
+        let raw = "POST /labels?k=3 HTTP/1.1\r\nContent-Length: 8\r\nHost: t\r\n\r\nab,cd\n1,";
+        let whole = parse_whole(raw);
+        let mut parser = HttpParser::new();
+        let mut split = None;
+        for byte in raw.as_bytes() {
+            match parser.feed(std::slice::from_ref(byte)).expect("valid") {
+                ParseEvent::NeedMore => {}
+                ParseEvent::Request(req) => split = Some(req),
+            }
+        }
+        assert_eq!(split.expect("complete by the last byte"), whole);
+    }
+
+    #[test]
+    fn parses_across_arbitrary_split_points() {
+        let raw = "POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        for split in 1..raw.len() {
+            let (a, b) = raw.split_at(split);
+            let mut parser = HttpParser::new();
+            let first = parser.feed(a.as_bytes()).expect("valid prefix");
+            let req = match first {
+                ParseEvent::Request(req) => req,
+                ParseEvent::NeedMore => match parser.feed(b.as_bytes()).expect("valid") {
+                    ParseEvent::Request(req) => req,
+                    ParseEvent::NeedMore => panic!("incomplete at split {split}"),
+                },
+            };
+            assert_eq!(req.body, b"hello", "split {split}");
+            assert_eq!(req.target, "/x");
+        }
+    }
+
+    #[test]
+    fn split_inside_the_line_terminator_still_parses() {
+        let mut parser = HttpParser::new();
+        assert_eq!(
+            parser.feed(b"GET / HTTP/1.1\r").unwrap(),
+            ParseEvent::NeedMore
+        );
+        assert_eq!(
+            parser.feed(b"\nHost: t\r\n\r").unwrap(),
+            ParseEvent::NeedMore
+        );
+        let ParseEvent::Request(req) = parser.feed(b"\n").unwrap() else {
+            panic!("complete");
+        };
+        assert_eq!(req.method, "GET");
+    }
+
+    #[test]
+    fn pipelined_requests_emit_one_at_a_time() {
+        let mut parser = HttpParser::new();
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ParseEvent::Request(first) = parser.feed(raw.as_bytes()).unwrap() else {
+            panic!("first request complete");
+        };
+        assert_eq!(first.target, "/a");
+        assert!(parser.buffered() > 0, "second request stays buffered");
+        let ParseEvent::Request(second) = parser.poll().unwrap() else {
+            panic!("second request complete");
+        };
+        assert_eq!(second.target, "/b");
+        assert!(!second.keep_alive());
+        assert_eq!(parser.buffered(), 0);
+        assert_eq!(parser.poll().unwrap(), ParseEvent::NeedMore);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse_whole("GET /x HTTP/1.0\nConnection: keep-alive\n\n");
+        assert_eq!(req.version, HttpVersion::Http10);
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_http11_honours_close() {
+        assert!(!parse_whole("GET / HTTP/1.0\r\n\r\n").keep_alive());
+        assert!(parse_whole("GET / HTTP/1.1\r\n\r\n").keep_alive());
+        assert!(!parse_whole("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(!parse_whole("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        let cases: &[(&str, ParseError)] = &[
+            ("GET\r\n\r\n", ParseError::BadRequestLine),
+            ("GET /\r\n\r\n", ParseError::BadRequestLine),
+            ("GET / HTTP/1.1 extra\r\n\r\n", ParseError::BadRequestLine),
+            ("GET / HTTP/2.0\r\n\r\n", ParseError::BadVersion),
+            (
+                "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+                ParseError::BadContentLength,
+            ),
+            // Chunked framing is unimplemented; accepting it as bodyless
+            // would let the chunk bytes smuggle in as a pipelined request.
+            (
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+                ParseError::UnsupportedTransferEncoding,
+            ),
+        ];
+        for (raw, expected) in cases {
+            let mut parser = HttpParser::new();
+            assert_eq!(parser.feed(raw.as_bytes()), Err(*expected), "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn enforces_head_and_body_caps() {
+        let mut parser = HttpParser::with_limits(64, 16);
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert_eq!(parser.feed(long.as_bytes()), Err(ParseError::HeadTooLarge));
+
+        // An unterminated head past the cap is rejected without waiting for
+        // more input — a slow-drip attacker cannot grow the buffer forever.
+        let mut parser = HttpParser::with_limits(64, 16);
+        assert_eq!(
+            parser.feed("GET /aaaa".repeat(20).as_bytes()),
+            Err(ParseError::HeadTooLarge)
+        );
+
+        let mut parser = HttpParser::with_limits(64, 16);
+        assert_eq!(
+            parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            Err(ParseError::BodyTooLarge)
+        );
+    }
+
+    #[test]
+    fn buffer_capacity_shrinks_after_a_large_body() {
+        let mut parser = HttpParser::new();
+        let body = vec![b'x'; 4 * 1024 * 1024];
+        let head = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len());
+        assert_eq!(parser.feed(head.as_bytes()).unwrap(), ParseEvent::NeedMore);
+        let ParseEvent::Request(request) = parser.feed(&body).unwrap() else {
+            panic!("complete");
+        };
+        assert_eq!(request.body.len(), body.len());
+        assert!(
+            parser.buf.capacity() <= PARSER_BUF_RETAIN_BYTES,
+            "idle keep-alive parsers must not retain megabyte buffers \
+             (capacity: {})",
+            parser.buf.capacity()
+        );
+    }
+
+    #[test]
+    fn body_split_across_feeds() {
+        let mut parser = HttpParser::new();
+        assert_eq!(
+            parser
+                .feed(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345")
+                .unwrap(),
+            ParseEvent::NeedMore
+        );
+        let ParseEvent::Request(req) = parser.feed(b"6789X").unwrap() else {
+            panic!("complete");
+        };
+        assert_eq!(req.body, b"123456789X");
+    }
+}

@@ -1,0 +1,226 @@
+//! Readiness polling over [`sys::Epoll`].
+//!
+//! [`Poller`] owns the epoll instance and translates between the reactor's
+//! vocabulary (tokens, [`Interest`]) and the raw event bitmasks.  It is
+//! level-triggered: an event keeps firing while the condition holds, so the
+//! reactor never needs to drain a socket in one pass to stay correct.
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// What a registration wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readability only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writability only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Neither readability nor writability — errors and aborts only
+    /// (epoll always reports `EPOLLERR`/`EPOLLHUP`), used while a request
+    /// is in flight and the connection should stay quiet.  An *orderly*
+    /// peer half-close is deliberately not watched here: the reactor
+    /// notices it on the next read or write instead.  Watching `EPOLLRDHUP`
+    /// with an otherwise-empty mask would let one half-closed client spin
+    /// the level-triggered event loop at full CPU for as long as its
+    /// request generates.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = 0;
+        if self.readable {
+            // RDHUP rides along with read interest so EOF wakes the
+            // reactor; it is consumed by the read(0) → close path, which
+            // is what keeps a level-triggered loop from re-firing on it.
+            mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or the peer half-closed: reads won't block).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error or hangup: the connection is beyond saving.
+    pub closed: bool,
+}
+
+/// The reactor's readiness source.
+#[derive(Debug)]
+pub struct Poller {
+    epoll: sys::Epoll,
+    events: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates the poller.
+    ///
+    /// # Errors
+    /// `epoll_create1` errno.
+    pub fn new() -> io::Result<Self> {
+        Ok(Poller {
+            epoll: sys::Epoll::new()?,
+            events: vec![sys::EpollEvent::new(0, 0); 256],
+        })
+    }
+
+    /// Registers an fd under `token` with the given interest.
+    ///
+    /// # Errors
+    /// `epoll_ctl` errno.
+    pub fn register(&self, fd: &impl AsRawFd, interest: Interest, token: u64) -> io::Result<()> {
+        self.epoll.add(fd.as_raw_fd(), interest.mask(), token)
+    }
+
+    /// Updates the interest of a registered fd.
+    ///
+    /// # Errors
+    /// `epoll_ctl` errno.
+    pub fn reregister(&self, fd: &impl AsRawFd, interest: Interest, token: u64) -> io::Result<()> {
+        self.epoll.modify(fd.as_raw_fd(), interest.mask(), token)
+    }
+
+    /// Removes a registration.  Kernel-side cleanup also happens when the fd
+    /// closes; this keeps the interest list tidy when a connection is closed
+    /// while its fd is still open (e.g. handed back to the caller).
+    ///
+    /// # Errors
+    /// `epoll_ctl` errno.
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.epoll.delete(fd.as_raw_fd())
+    }
+
+    /// Registers a raw fd (the wake eventfd, which is not an `AsRawFd` type).
+    ///
+    /// # Errors
+    /// `epoll_ctl` errno.
+    pub fn register_raw(&self, fd: RawFd, interest: Interest, token: u64) -> io::Result<()> {
+        self.epoll.add(fd, interest.mask(), token)
+    }
+
+    /// Waits up to `timeout_ms` (negative: forever) and returns the ready
+    /// events.
+    ///
+    /// # Errors
+    /// `epoll_wait` errno (`EINTR` is retried internally).
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<Vec<Event>> {
+        let count = self.epoll.wait(&mut self.events, timeout_ms)?;
+        Ok(self.events[..count]
+            .iter()
+            .map(|raw| {
+                let bits = raw.events;
+                Event {
+                    token: raw.data,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn reports_readability_and_writability() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(&server, Interest::READABLE, 7)
+            .expect("register");
+
+        // Nothing to read yet.
+        let events = poller.wait(0).expect("wait");
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        client.write_all(b"ping").expect("write");
+        let events = poller.wait(1000).expect("wait");
+        let event = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(event.readable);
+        assert!(!event.writable);
+
+        // A fresh socket is immediately writable once interest includes it.
+        poller
+            .reregister(
+                &server,
+                Interest {
+                    readable: true,
+                    writable: true,
+                },
+                7,
+            )
+            .expect("reregister");
+        let events = poller.wait(1000).expect("wait");
+        let event = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(event.writable);
+
+        poller.deregister(&server).expect("deregister");
+        client.write_all(b"more").expect("write");
+        let events = poller.wait(10).expect("wait");
+        assert!(events.iter().all(|e| e.token != 7));
+    }
+
+    #[test]
+    fn quiet_interest_ignores_orderly_close_until_rearmed() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register(&server, Interest::NONE, 3)
+            .expect("register");
+        drop(client);
+        // An orderly FIN must NOT fire a quiet registration — otherwise a
+        // half-closed client would busy-spin the level-triggered loop while
+        // its request is in flight.
+        let events = poller.wait(100).expect("wait");
+        assert!(
+            events.iter().all(|e| e.token != 3),
+            "orderly close must stay invisible under Interest::NONE"
+        );
+        // Rearming read interest surfaces the EOF immediately.
+        poller
+            .reregister(&server, Interest::READABLE, 3)
+            .expect("reregister");
+        let events = poller.wait(1000).expect("wait");
+        let event = events.iter().find(|e| e.token == 3).expect("event");
+        assert!(event.readable, "EOF is readable once read interest is back");
+    }
+}

@@ -1,0 +1,215 @@
+//! Raw Linux syscall bindings for epoll and eventfd.
+//!
+//! The workspace policy is "no external dependencies" (crates.io is
+//! unreachable from the build environment), so instead of the `libc` crate
+//! this module declares the handful of C functions the reactor needs
+//! directly — they resolve against the libc that `std` already links.  This
+//! is the only module in the workspace that contains `unsafe`; everything
+//! above it works with the safe [`Epoll`] and [`EventFd`] wrappers.
+//!
+//! Linux-only by design (the reactor is the Linux deployment path; the
+//! blocking fallback server never left `rf-server`'s git history).
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// `EPOLL_CTL_ADD`.
+const EPOLL_CTL_ADD: c_int = 1;
+/// `EPOLL_CTL_DEL`.
+const EPOLL_CTL_DEL: c_int = 2;
+/// `EPOLL_CTL_MOD`.
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readability (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writability (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`); always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `EPOLL_CLOEXEC` / `EFD_CLOEXEC` (== `O_CLOEXEC`).
+const CLOEXEC: c_int = 0o2000000;
+/// `EFD_NONBLOCK` (== `O_NONBLOCK`).
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`.  On x86-64 the kernel ABI packs it to
+/// 12 bytes; other architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready/interest bitmask (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// Caller-chosen token identifying the registration.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An event with the given interest mask and token.
+    #[must_use]
+    pub fn new(events: u32, data: u64) -> Self {
+        EpollEvent { events, data }
+    }
+}
+
+/// Converts a `-1`-on-error C return into an `io::Result`.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance; the fd is closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: c_int,
+}
+
+impl Epoll {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    /// The `epoll_create1` errno.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = cvt(unsafe { epoll_create1(CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    ///
+    /// # Errors
+    /// The `epoll_ctl` errno (e.g. `EEXIST` for a duplicate registration).
+    pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces the interest mask for an already-registered `fd`.
+    ///
+    /// # Errors
+    /// The `epoll_ctl` errno (e.g. `ENOENT` for an unknown fd).
+    pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest list.
+    ///
+    /// # Errors
+    /// The `epoll_ctl` errno.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent::new(events, token);
+        // SAFETY: `event` is a valid `EpollEvent` living for the duration of
+        // the call; for `EPOLL_CTL_DEL` the kernel ignores the pointer (and
+        // we still pass a valid one for pre-2.6.9 semantics).
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Waits for events, retrying on `EINTR`.  `timeout_ms < 0` blocks
+    /// indefinitely.  Returns the number of events written into `events`.
+    ///
+    /// # Errors
+    /// The `epoll_wait` errno (other than `EINTR`).
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let capacity = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+            // SAFETY: `events` is a valid, writable buffer of `capacity`
+            // `EpollEvent`s; the kernel writes at most that many.
+            let ret = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), capacity, timeout_ms) };
+            match cvt(ret) {
+                Ok(count) => return Ok(count as usize),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is an fd this struct owns; double-close is
+        // impossible because drop runs once.
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+/// An owned eventfd used as a cross-thread wakeup signal; closed on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: c_int,
+}
+
+impl EventFd {
+    /// Creates a nonblocking, close-on-exec eventfd with counter 0.
+    ///
+    /// # Errors
+    /// The `eventfd` errno.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = cvt(unsafe { eventfd(0, CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    #[must_use]
+    pub fn as_raw_fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Adds 1 to the eventfd counter, making it readable.  Safe to call from
+    /// any thread; a full counter (`EAGAIN`) already guarantees a pending
+    /// wakeup, so that error is ignored.
+    pub fn signal(&self) {
+        let value: u64 = 1;
+        // SAFETY: `value` lives for the duration of the call and the length
+        // matches its size.
+        let _ = unsafe {
+            write(
+                self.fd,
+                std::ptr::addr_of!(value).cast::<c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+
+    /// Resets the counter to 0 (consumes all pending wakeups).
+    pub fn drain(&self) {
+        let mut value: u64 = 0;
+        // SAFETY: `value` is a valid writable 8-byte buffer.  The fd is
+        // nonblocking, so the read returns immediately either way.
+        let _ = unsafe {
+            read(
+                self.fd,
+                std::ptr::addr_of_mut!(value).cast::<c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is an fd this struct owns.
+        let _ = unsafe { close(self.fd) };
+    }
+}

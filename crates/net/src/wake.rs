@@ -1,0 +1,163 @@
+//! The self-wake channel: how worker threads get the reactor's attention.
+//!
+//! The reactor thread spends its life inside `epoll_wait`.  When a label
+//! generation finishes on the CPU pool, the worker cannot touch the
+//! connection (all socket state is owned by the reactor thread); instead it
+//! pushes the finished response onto the [`Completions`] queue and signals
+//! the reactor's eventfd, which is registered in the same epoll set as the
+//! sockets.  The reactor wakes, drains the queue, and resumes streaming.
+
+use crate::conn::OutboundResponse;
+use crate::sys::EventFd;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle that wakes the reactor from any thread.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    eventfd: Arc<EventFd>,
+}
+
+impl Waker {
+    /// Creates the waker and its eventfd.
+    ///
+    /// # Errors
+    /// The `eventfd` errno.
+    pub fn new() -> io::Result<Self> {
+        Ok(Waker {
+            eventfd: Arc::new(EventFd::new()?),
+        })
+    }
+
+    /// Wakes the reactor.  Cheap, nonblocking, callable from any thread.
+    pub fn wake(&self) {
+        self.eventfd.signal();
+    }
+
+    /// Consumes pending wakeups (reactor-side, after `epoll_wait` returns).
+    pub fn drain(&self) {
+        self.eventfd.drain();
+    }
+
+    /// The eventfd to register with the poller.
+    #[must_use]
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.eventfd.as_raw_fd()
+    }
+}
+
+/// A finished response on its way back to the reactor.
+#[derive(Debug)]
+pub struct Completion {
+    /// The connection the response belongs to.
+    pub conn_id: u64,
+    /// The response to stream.
+    pub response: OutboundResponse,
+}
+
+/// The multi-producer completion queue between pool workers and the reactor.
+///
+/// `complete` pushes and wakes; the reactor drains with `take_all` once per
+/// loop iteration.  Completions for connections that died in the meantime
+/// are dropped by the reactor (the id is never reused), which is exactly the
+/// "client disconnected mid-generation" path.
+#[derive(Debug, Clone)]
+pub struct Completions {
+    queue: Arc<Mutex<Vec<Completion>>>,
+    waker: Waker,
+}
+
+impl Completions {
+    /// A queue that signals `waker` on every completion.
+    #[must_use]
+    pub fn new(waker: Waker) -> Self {
+        Completions {
+            queue: Arc::new(Mutex::new(Vec::new())),
+            waker,
+        }
+    }
+
+    /// Queues a finished response and wakes the reactor.
+    pub fn complete(&self, conn_id: u64, response: OutboundResponse) {
+        self.queue
+            .lock()
+            .expect("completion queue lock")
+            .push(Completion { conn_id, response });
+        self.waker.wake();
+    }
+
+    /// Drains every queued completion (reactor-side).
+    #[must_use]
+    pub fn take_all(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue lock"))
+    }
+
+    /// The waker completions signal through.
+    #[must_use]
+    pub fn waker(&self) -> &Waker {
+        &self.waker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::ResponseBody;
+    use crate::poller::{Interest, Poller};
+
+    #[test]
+    fn wake_makes_the_eventfd_readable_and_drain_resets_it() {
+        let waker = Waker::new().expect("waker");
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register_raw(waker.as_raw_fd(), Interest::READABLE, 1)
+            .expect("register");
+
+        assert!(poller.wait(0).expect("wait").is_empty());
+        waker.wake();
+        waker.wake(); // Coalesces: still one readable event.
+        let events = poller.wait(1000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        waker.drain();
+        assert!(poller.wait(0).expect("wait").is_empty());
+    }
+
+    #[test]
+    fn completions_queue_is_fifo_and_wakes() {
+        let waker = Waker::new().expect("waker");
+        let completions = Completions::new(waker.clone());
+        let from_thread = completions.clone();
+        std::thread::spawn(move || {
+            for i in 0..3u64 {
+                from_thread.complete(
+                    i,
+                    OutboundResponse {
+                        head: vec![b'h'],
+                        body: ResponseBody::Owned(vec![b'b']),
+                        keep_alive: false,
+                    },
+                );
+            }
+        })
+        .join()
+        .expect("producer");
+
+        let drained = completions.take_all();
+        assert_eq!(
+            drained.iter().map(|c| c.conn_id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(completions.take_all().is_empty());
+
+        let mut poller = Poller::new().expect("poller");
+        poller
+            .register_raw(waker.as_raw_fd(), Interest::READABLE, 9)
+            .expect("register");
+        let events = poller.wait(0).expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 9 && e.readable),
+            "completions must leave the waker signalled"
+        );
+    }
+}

@@ -107,6 +107,36 @@ impl ThreadPool {
             .expect("pool workers alive until drop");
     }
 
+    /// Queues a job and guarantees `notify` runs after it finishes — even
+    /// when the job panics.
+    ///
+    /// This is the completion hook event-driven callers build on: the
+    /// `rf-server` reactor dispatches label generation here with a notifier
+    /// that signals its wake eventfd, so a finished (or crashed) job always
+    /// pulls the reactor out of `epoll_wait` to collect the result.  Without
+    /// the panic guarantee, a crashing handler would leave the reactor
+    /// asleep and its connection stranded.
+    pub fn execute_notify<F, N>(&self, job: F, notify: N)
+    where
+        F: FnOnce() + Send + 'static,
+        N: FnOnce() + Send + 'static,
+    {
+        struct NotifyOnDrop<N: FnOnce()>(Option<N>);
+        impl<N: FnOnce()> Drop for NotifyOnDrop<N> {
+            fn drop(&mut self) {
+                if let Some(notify) = self.0.take() {
+                    notify();
+                }
+            }
+        }
+        let guard = NotifyOnDrop(Some(notify));
+        self.execute(move || {
+            // Dropped when the closure ends — normally or by unwinding.
+            let _guard = guard;
+            job();
+        });
+    }
+
     /// Runs every job on the pool and blocks until all of them finish,
     /// returning the outputs in job order.
     ///
@@ -279,6 +309,43 @@ mod tests {
         drop(sender);
         assert_eq!(receiver.iter().count(), 100);
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn execute_notify_signals_after_completion_and_after_panic() {
+        let pool = ThreadPool::new(2);
+        let (sender, receiver) = channel();
+
+        // Normal completion: the job's effect is visible before the notify.
+        let counter = Arc::new(AtomicU64::new(0));
+        let job_counter = Arc::clone(&counter);
+        let notify_counter = Arc::clone(&counter);
+        let notify_sender = sender.clone();
+        pool.execute_notify(
+            move || {
+                job_counter.fetch_add(1, Ordering::SeqCst);
+            },
+            move || {
+                notify_sender
+                    .send(notify_counter.load(Ordering::SeqCst))
+                    .unwrap();
+            },
+        );
+        assert_eq!(receiver.recv().unwrap(), 1, "notify runs after the job");
+
+        // A panicking job still notifies (the reactor must always wake).
+        let panic_sender = sender.clone();
+        pool.execute_notify(
+            || panic!("boom"),
+            move || {
+                panic_sender.send(42).unwrap();
+            },
+        );
+        assert_eq!(receiver.recv().unwrap(), 42, "notify survives a panic");
+        drop(sender);
+        // The pool is still healthy afterwards.
+        let outputs = pool.run_all(vec![|| 7usize]);
+        assert_eq!(outputs[0], Some(7));
     }
 
     #[test]

@@ -125,6 +125,21 @@ impl DatasetCatalog {
             .insert(entry.slug.clone(), entry);
     }
 
+    /// Adds or replaces an entry unless doing so would grow the catalogue
+    /// past `cap`; returns whether the entry went in.  Check and insert
+    /// happen under one write-lock acquisition, so concurrent uploads
+    /// cannot race past the bound (replacements are always allowed — they
+    /// don't grow the catalogue).
+    #[must_use]
+    pub fn insert_bounded(&self, entry: DatasetEntry, cap: usize) -> bool {
+        let mut entries = self.entries.write().expect("catalog lock");
+        if !entries.contains_key(&entry.slug) && entries.len() >= cap {
+            return false;
+        }
+        entries.insert(entry.slug.clone(), entry);
+        true
+    }
+
     /// Looks up an entry by slug.
     #[must_use]
     pub fn get(&self, slug: &str) -> Option<DatasetEntry> {

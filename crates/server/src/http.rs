@@ -1,11 +1,16 @@
-//! A small HTTP/1.1 request parser and response builder.
+//! Request/response types over the `rf-net` HTTP machinery.
 //!
-//! Only the subset of HTTP that the demo flow needs is implemented: request
-//! line, headers, optional body sized by `Content-Length`, and plain
-//! (non-chunked, non-keep-alive) responses.
+//! Parsing itself lives in [`rf_net::HttpParser`] — the same incremental
+//! state machine the reactor feeds nonblocking reads into — so there is
+//! exactly one parser in the system; this module interprets a parsed
+//! request for routing (method enum, split query parameters, UTF-8 body)
+//! and builds responses, including keep-alive heads and `Arc`-shared JSON
+//! bodies that stream straight out of the label cache.
 
+use rf_net::{OutboundResponse, ParseEvent, ParsedRequest, ResponseBody};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Supported HTTP methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +46,8 @@ pub enum StatusCode {
     MethodNotAllowed,
     /// 500 Internal Server Error.
     InternalServerError,
+    /// 503 Service Unavailable (a resource bound was hit).
+    ServiceUnavailable,
 }
 
 impl StatusCode {
@@ -53,6 +60,7 @@ impl StatusCode {
             StatusCode::NotFound => 404,
             StatusCode::MethodNotAllowed => 405,
             StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
         }
     }
 
@@ -65,6 +73,7 @@ impl StatusCode {
             StatusCode::NotFound => "Not Found",
             StatusCode::MethodNotAllowed => "Method Not Allowed",
             StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
         }
     }
 }
@@ -85,54 +94,43 @@ pub struct Request {
 }
 
 impl Request {
-    /// Reads and parses one request from a stream.
+    /// Interprets a request parsed by the reactor's [`rf_net::HttpParser`]
+    /// for routing.
     ///
-    /// Returns `None` for malformed requests (the caller responds 400).
-    pub fn read_from<R: Read>(stream: R) -> Option<Request> {
-        let mut reader = BufReader::new(stream);
-        let mut request_line = String::new();
-        reader.read_line(&mut request_line).ok()?;
-        let mut parts = request_line.split_whitespace();
-        let method = Method::parse(parts.next()?)?;
-        let target = parts.next()?;
-        let _version = parts.next()?;
-
-        let (path, query) = split_target(target);
-
-        let mut headers = HashMap::new();
-        loop {
-            let mut line = String::new();
-            reader.read_line(&mut line).ok()?;
-            let line = line.trim_end();
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-            }
-        }
-
-        let body = match headers.get("content-length") {
-            Some(len) => {
-                let len: usize = len.parse().ok()?;
-                // Guard against abusive uploads: the demo accepts CSVs up to 8 MiB.
-                if len > 8 * 1024 * 1024 {
-                    return None;
-                }
-                let mut buf = vec![0u8; len];
-                reader.read_exact(&mut buf).ok()?;
-                String::from_utf8(buf).ok()?
-            }
-            None => String::new(),
-        };
-
+    /// Returns `None` when the request cannot be routed (unsupported method,
+    /// non-UTF-8 body) — the caller responds 400.
+    #[must_use]
+    pub fn from_parsed(parsed: ParsedRequest) -> Option<Request> {
+        let method = Method::parse(&parsed.method)?;
+        let (path, query) = split_target(&parsed.target);
+        let body = String::from_utf8(parsed.body).ok()?;
         Some(Request {
             method,
             path,
             query,
-            headers,
+            headers: parsed.headers,
             body,
         })
+    }
+
+    /// Reads and parses one request from a blocking stream (tests and
+    /// simple clients; the server itself feeds the parser from nonblocking
+    /// reads inside the reactor).
+    ///
+    /// Returns `None` for malformed requests (the caller responds 400).
+    pub fn read_from<R: Read>(mut stream: R) -> Option<Request> {
+        let mut parser = rf_net::HttpParser::new();
+        let mut chunk = [0u8; 8192];
+        loop {
+            let n = stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None; // EOF before a complete request.
+            }
+            match parser.feed(&chunk[..n]).ok()? {
+                ParseEvent::Request(parsed) => return Request::from_parsed(parsed),
+                ParseEvent::NeedMore => {}
+            }
+        }
     }
 
     /// A query parameter by name.
@@ -195,6 +193,51 @@ fn percent_decode(input: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// A response body: owned text, or a document `Arc`-shared with the label
+/// cache so N concurrent downloads of the same label stream from one
+/// allocation instead of N copies.
+///
+/// Dereferences to `str`, so handler code (and tests) treat it as the
+/// string it is.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Text owned by this response.
+    Owned(String),
+    /// Text shared with the cache (e.g. a pre-rendered label JSON).
+    Shared(Arc<String>),
+}
+
+impl Body {
+    /// The body text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Body::Owned(text) => text,
+            Body::Shared(text) => text,
+        }
+    }
+}
+
+impl std::ops::Deref for Body {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
 /// An HTTP response ready to be written to a stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -203,7 +246,7 @@ pub struct Response {
     /// Content type header value.
     pub content_type: &'static str,
     /// Response body.
-    pub body: String,
+    pub body: Body,
 }
 
 impl Response {
@@ -213,7 +256,7 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "text/html; charset=utf-8",
-            body: body.into(),
+            body: Body::Owned(body.into()),
         }
     }
 
@@ -223,7 +266,18 @@ impl Response {
         Response {
             status: StatusCode::Ok,
             content_type: "application/json",
-            body: body.into(),
+            body: Body::Owned(body.into()),
+        }
+    }
+
+    /// 200 response whose JSON body is shared with the label cache —
+    /// the zero-copy warm-hit path.
+    #[must_use]
+    pub fn json_shared(body: Arc<String>) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "application/json",
+            body: Body::Shared(body),
         }
     }
 
@@ -233,26 +287,54 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body: body.into(),
+            body: Body::Owned(body.into()),
         }
     }
 
-    /// Serializes the response (status line, headers, body).
+    /// Serializes the status line and headers (including the terminating
+    /// blank line) for the given connection disposition.
     #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status.code(),
             self.status.reason(),
             self.content_type,
-            self.body.len()
-        );
-        let mut out = head.into_bytes();
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+        .into_bytes()
+    }
+
+    /// Converts into the reactor's streaming form: pre-rendered head bytes
+    /// plus a body chunk (shared bodies stay shared — no copy).
+    #[must_use]
+    pub fn into_outbound(self, keep_alive: bool) -> OutboundResponse {
+        let head = self.head_bytes(keep_alive);
+        let body = match self.body {
+            Body::Owned(text) => ResponseBody::Owned(text.into_bytes()),
+            Body::Shared(text) => ResponseBody::Shared(text),
+        };
+        OutboundResponse {
+            head,
+            body,
+            keep_alive,
+        }
+    }
+
+    /// Serializes the response (status line, headers, body) as a
+    /// connection-closing exchange.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.head_bytes(false);
         out.extend_from_slice(self.body.as_bytes());
         out
     }
 
-    /// Writes the response to a stream.
+    /// Writes the response to a blocking stream (tests and simple clients).
+    ///
+    /// # Errors
+    /// I/O errors from the stream.
     pub fn write_to<W: Write>(&self, mut stream: W) -> std::io::Result<()> {
         stream.write_all(&self.to_bytes())
     }
@@ -319,6 +401,48 @@ mod tests {
         assert!(text.contains("Content-Type: application/json"));
         assert!(text.contains("Content-Length: 11"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_heads_and_shared_bodies() {
+        let doc = Arc::new("{\"cached\":true}".to_string());
+        let resp = Response::json_shared(Arc::clone(&doc));
+        assert_eq!(&*resp.body, "{\"cached\":true}");
+
+        let keep = String::from_utf8(resp.head_bytes(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive"));
+        assert!(keep.contains("Content-Length: 15"));
+        let close = String::from_utf8(resp.head_bytes(false)).unwrap();
+        assert!(close.contains("Connection: close"));
+
+        // The outbound form shares the allocation, not a copy.
+        let outbound = resp.into_outbound(true);
+        assert!(outbound.keep_alive);
+        match outbound.body {
+            rf_net::ResponseBody::Shared(shared) => assert!(Arc::ptr_eq(&shared, &doc)),
+            rf_net::ResponseBody::Owned(_) => panic!("shared body must stay shared"),
+        }
+    }
+
+    #[test]
+    fn from_parsed_rejects_unroutable_requests() {
+        let mut parser = rf_net::HttpParser::new();
+        let ParseEvent::Request(parsed) = parser
+            .feed(b"BREW /coffee HTTP/1.1\r\n\r\n")
+            .expect("well-formed")
+        else {
+            panic!("complete request");
+        };
+        assert!(Request::from_parsed(parsed).is_none(), "unknown method");
+
+        let mut parser = rf_net::HttpParser::new();
+        let ParseEvent::Request(parsed) = parser
+            .feed(b"POST /labels HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe")
+            .expect("well-formed")
+        else {
+            panic!("complete request");
+        };
+        assert!(Request::from_parsed(parsed).is_none(), "non-UTF-8 body");
     }
 
     #[test]

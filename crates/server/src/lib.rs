@@ -6,15 +6,20 @@
 //! nutritional label as HTML or JSON.
 //!
 //! The original system is a Python web application; this crate is the web
-//! substrate of the reproduction.  It is intentionally small — a hand-rolled
-//! HTTP/1.1 request parser and response writer over `std::net::TcpListener`,
-//! dispatching connections onto an [`rf_runtime::ThreadPool`] — because the
-//! interesting logic lives in `rf-core`.  Label requests route through
-//! `rf-core`'s `LabelService`: the content-addressed LRU label cache (shared
-//! by every connection worker via [`AppState`]) answers warm hits with the
-//! pre-rendered JSON, and cold misses fan out on the shared runtime pool
-//! while the server's own pool handles connection I/O.  `GET /stats` exposes
-//! the cache's hit/miss/eviction counters.
+//! substrate of the reproduction, built for the north star's "heavy traffic"
+//! goal.  Socket I/O is **event-driven**: all connections live on an
+//! `rf-net` epoll reactor (accept loop, incremental request parsing,
+//! buffered keep-alive response streaming), and only complete requests are
+//! dispatched onto the [`rf_runtime::ThreadPool`] — so idle connections pin
+//! zero workers and the pool is sized to the CPU work, not the client count.
+//!
+//! Label requests route through `rf-core`'s `LabelService`: the
+//! content-addressed LRU label cache (shared by every pool worker via
+//! [`AppState`]) answers warm hits with the pre-rendered JSON — streamed
+//! `Arc`-shared, no per-connection copy — concurrent cold misses for one
+//! key coalesce onto a single generation, and dataset uploads into the
+//! catalogue invalidate the cache.  `GET /stats` exposes the cache's
+//! hit/miss/eviction counters plus the coalescing counter.
 //!
 //! ## Endpoints
 //!
@@ -25,8 +30,9 @@
 //! | `GET /datasets/{name}/preview` | Dataset summary + design-view preview (JSON) |
 //! | `GET /datasets/{name}/label` | Nutritional label as HTML |
 //! | `GET /datasets/{name}/label.json` | Nutritional label as JSON |
-//! | `GET /stats` | Label-cache hit/miss counters and occupancy (JSON) |
+//! | `GET /stats` | Label-cache + coalescing counters and occupancy (JSON) |
 //! | `POST /labels` | Generate a label for an uploaded CSV (body = CSV, query = scoring spec) |
+//! | `POST /datasets/{name}` | Upload a CSV **into the catalogue** (replaces + invalidates cache) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,6 @@ pub mod router;
 pub mod server;
 
 pub use catalog::{DatasetCatalog, DatasetEntry};
-pub use http::{Method, Request, Response, StatusCode};
+pub use http::{Body, Method, Request, Response, StatusCode};
 pub use router::{route, AppState};
 pub use server::{Server, ServerConfig};

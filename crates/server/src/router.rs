@@ -1,11 +1,11 @@
 //! Request routing and handlers for the demo flow.
 
-use crate::catalog::DatasetCatalog;
+use crate::catalog::{DatasetCatalog, DatasetEntry};
 use crate::http::{Method, Request, Response, StatusCode};
 use rf_core::{DesignView, LabelConfig, LabelError, LabelService};
 use rf_datasets::load_csv_str;
 use rf_ranking::ScoringFunction;
-use rf_table::NormalizationMethod;
+use rf_table::{NormalizationMethod, Table};
 use std::sync::Arc;
 
 /// Everything a request handler needs: the dataset catalogue plus the shared
@@ -35,6 +35,35 @@ impl AppState {
     pub fn with_demo_datasets() -> Self {
         Self::new(DatasetCatalog::with_demo_datasets())
     }
+
+    /// Adds or replaces a catalogue dataset **and invalidates the label
+    /// cache** — the invalidation hook for mutable catalogues.
+    ///
+    /// The cache is content-addressed, so entries for the *old* bytes can
+    /// never be served for the *new* bytes; what the invalidation prevents
+    /// is the other staleness: labels for the replaced dataset lingering at
+    /// full LRU weight even though no catalogue path can reach them again.
+    /// Dropping them keeps the bounded cache's capacity working for
+    /// reachable labels (counters keep their history).
+    pub fn insert_dataset(&self, entry: DatasetEntry) {
+        self.catalog.insert(entry);
+        self.labels.clear_cache();
+    }
+
+    /// [`AppState::insert_dataset`] behind an atomic catalogue bound:
+    /// returns `false` (inserting and invalidating nothing) when a *new*
+    /// slug would grow the catalogue past `cap`.  The unauthenticated
+    /// upload endpoint goes through this so concurrent uploads cannot race
+    /// past the bound.
+    #[must_use]
+    pub fn try_insert_dataset(&self, entry: DatasetEntry, cap: usize) -> bool {
+        if self.catalog.insert_bounded(entry, cap) {
+            self.labels.clear_cache();
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Routes a request to its handler and produces the response.
@@ -52,6 +81,7 @@ pub fn route(state: &AppState, request: &Request) -> Response {
         }
         (Method::Get, ["stats"]) => service_stats(state),
         (Method::Post, ["labels"]) => uploaded_label(state, request),
+        (Method::Post, ["datasets", slug]) => upload_dataset(state, slug, request),
         (Method::Post, _) | (Method::Get, _) => Response::text(StatusCode::NotFound, "not found"),
     }
 }
@@ -156,7 +186,9 @@ fn dataset_label(state: &AppState, slug: &str, request: &Request, json: bool) ->
     match state.labels.label(&entry.table, &Arc::new(config)) {
         Ok(cached) => {
             if json {
-                Response::json(cached.json.as_ref().clone())
+                // Zero-copy: the response streams the cache's rendered
+                // document, shared by every concurrent download.
+                Response::json_shared(Arc::clone(&cached.json))
             } else {
                 Response::html(cached.label.to_html())
             }
@@ -185,15 +217,115 @@ fn uploaded_label(state: &AppState, request: &Request) -> Response {
         Err(err) => return Response::text(StatusCode::BadRequest, format!("CSV error: {err}")),
     };
 
-    let Some(score_attrs) = request.query_param("score_attrs") else {
+    let config = match upload_config(&table, request, "uploaded dataset") {
+        Ok(config) => config,
+        Err(response) => return *response,
+    };
+
+    match state.labels.label(&Arc::new(table), &Arc::new(config)) {
+        Ok(cached) => {
+            let wants_json = request
+                .headers
+                .get("accept")
+                .map(|accept| accept.contains("application/json"))
+                .unwrap_or(false);
+            if wants_json {
+                Response::json_shared(Arc::clone(&cached.json))
+            } else {
+                Response::html(cached.label.to_html())
+            }
+        }
+        Err(err) => label_error(&err),
+    }
+}
+
+/// Upper bound on catalogue datasets.  Every entry pins its table in
+/// memory for the server's lifetime (the catalogue, unlike the label
+/// cache, has no eviction), so the unauthenticated upload endpoint must
+/// not be a route to unbounded growth.  Replacing an existing slug is
+/// always allowed.
+pub const MAX_CATALOG_DATASETS: usize = 64;
+
+/// `POST /datasets/{slug}` — upload a CSV **into the catalogue** (body =
+/// CSV, query = the same scoring spec as `POST /labels`, plus optional
+/// `name` and `description`).  Replaces any existing dataset under that
+/// slug and invalidates the label cache via
+/// [`AppState::insert_dataset`], so the old dataset's labels cannot linger.
+fn upload_dataset(state: &AppState, slug: &str, request: &Request) -> Response {
+    if slug.is_empty()
+        || !slug
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
         return Response::text(
             StatusCode::BadRequest,
-            "missing `score_attrs` query parameter",
+            format!("invalid dataset slug `{slug}` (use letters, digits, `-`, `_`)"),
         );
+    }
+    let (table, _summary) = match load_csv_str(&request.body) {
+        Ok(loaded) => loaded,
+        Err(err) => return Response::text(StatusCode::BadRequest, format!("CSV error: {err}")),
+    };
+    let name = request.query_param("name").unwrap_or(slug).to_string();
+    let config = match upload_config(&table, request, &name) {
+        Ok(config) => config,
+        Err(response) => return *response,
+    };
+    // Validate now so a broken upload is rejected instead of parked in the
+    // catalogue to fail every later label request.
+    if let Err(err) = config.validate(&table) {
+        return label_error(&err);
+    }
+    let entry = DatasetEntry {
+        slug: slug.to_string(),
+        name,
+        description: request
+            .query_param("description")
+            .unwrap_or("uploaded dataset")
+            .to_string(),
+        table: Arc::new(table),
+        config,
+    };
+    let summary = serde_json::json!({
+        "slug": entry.slug,
+        "name": entry.name,
+        "rows": entry.table.num_rows(),
+        "columns": entry.table.num_columns(),
+        "cache_cleared": true,
+    });
+    if !state.try_insert_dataset(entry, MAX_CATALOG_DATASETS) {
+        return Response::text(
+            StatusCode::ServiceUnavailable,
+            format!(
+                "catalogue is full ({MAX_CATALOG_DATASETS} datasets); re-upload an existing slug"
+            ),
+        );
+    }
+    Response::json(serde_json::to_string_pretty(&summary).unwrap_or_else(|_| "{}".to_string()))
+}
+
+/// Parses the shared upload scoring spec (`score_attrs`, `weights`,
+/// `sensitive`, `protected`, `diversity`, `k`) into a [`LabelConfig`].
+///
+/// Errors come back as ready-made 400 responses (boxed: the success path
+/// should not pay for the error path's size).
+fn upload_config(
+    table: &Table,
+    request: &Request,
+    dataset_name: &str,
+) -> Result<LabelConfig, Box<Response>> {
+    let Some(score_attrs) = request.query_param("score_attrs") else {
+        return Err(Box::new(Response::text(
+            StatusCode::BadRequest,
+            "missing `score_attrs` query parameter",
+        )));
     };
     let attrs: Vec<&str> = score_attrs.split(',').filter(|s| !s.is_empty()).collect();
     if attrs.is_empty() {
-        return Response::text(StatusCode::BadRequest, "no scoring attributes given");
+        return Err(Box::new(Response::text(
+            StatusCode::BadRequest,
+            "no scoring attributes given",
+        )));
     }
     let weights: Vec<f64> = match request.query_param("weights") {
         Some(spec) => {
@@ -201,16 +333,16 @@ fn uploaded_label(state: &AppState, request: &Request) -> Response {
             match parsed {
                 Ok(w) if w.len() == attrs.len() => w,
                 Ok(_) => {
-                    return Response::text(
+                    return Err(Box::new(Response::text(
                         StatusCode::BadRequest,
                         "weights and score_attrs must have the same length",
-                    )
+                    )))
                 }
                 Err(err) => {
-                    return Response::text(
+                    return Err(Box::new(Response::text(
                         StatusCode::BadRequest,
                         format!("invalid weights: {err}"),
-                    )
+                    )))
                 }
             }
         }
@@ -220,18 +352,28 @@ fn uploaded_label(state: &AppState, request: &Request) -> Response {
     let scoring =
         match ScoringFunction::from_pairs(attrs.iter().copied().zip(weights.iter().copied())) {
             Ok(s) => s,
-            Err(err) => return Response::text(StatusCode::BadRequest, err.to_string()),
+            Err(err) => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    err.to_string(),
+                )))
+            }
         };
 
     let k = match request.query_param("k").map(str::parse::<usize>) {
         Some(Ok(k)) => k,
-        Some(Err(_)) => return Response::text(StatusCode::BadRequest, "invalid k"),
+        Some(Err(_)) => {
+            return Err(Box::new(Response::text(
+                StatusCode::BadRequest,
+                "invalid k",
+            )))
+        }
         None => 10,
     };
 
     let mut config = LabelConfig::new(scoring)
         .with_top_k(k.min(table.num_rows()))
-        .with_dataset_name("uploaded dataset");
+        .with_dataset_name(dataset_name);
     if let Some(sensitive) = request.query_param("sensitive") {
         if let Some(protected) = request.query_param("protected") {
             config = config.with_sensitive_attribute(sensitive, [protected.to_string()]);
@@ -248,7 +390,10 @@ fn uploaded_label(state: &AppState, request: &Request) -> Response {
                     config = config.with_sensitive_attribute(sensitive, values);
                 }
                 Err(err) => {
-                    return Response::text(StatusCode::BadRequest, err.to_string());
+                    return Err(Box::new(Response::text(
+                        StatusCode::BadRequest,
+                        err.to_string(),
+                    )));
                 }
             }
         }
@@ -259,22 +404,7 @@ fn uploaded_label(state: &AppState, request: &Request) -> Response {
             config = config.with_diversity_attribute(attr);
         }
     }
-
-    match state.labels.label(&Arc::new(table), &Arc::new(config)) {
-        Ok(cached) => {
-            let wants_json = request
-                .headers
-                .get("accept")
-                .map(|accept| accept.contains("application/json"))
-                .unwrap_or(false);
-            if wants_json {
-                Response::json(cached.json.as_ref().clone())
-            } else {
-                Response::html(cached.label.to_html())
-            }
-        }
-        Err(err) => label_error(&err),
-    }
+    Ok(config)
 }
 
 #[cfg(test)]
@@ -409,6 +539,120 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
         assert_eq!(value["config"]["top_k"], 3);
         assert_eq!(value["fairness"]["reports"].as_array().unwrap().len(), 2);
+    }
+
+    fn post(path_and_query: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path_and_query} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        Request::read_from(raw.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn dataset_upload_into_catalog_replaces_and_invalidates() {
+        let state = demo_catalog();
+        let csv_v1 = "name,score\na,3\nb,2\nc,1\nd,4\ne,5\n";
+        let resp = route(
+            &state,
+            &post("/datasets/mydata?score_attrs=score&k=3", csv_v1),
+        );
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["slug"], "mydata");
+        assert_eq!(value["rows"], 5);
+        assert_eq!(value["cache_cleared"], true);
+        assert_eq!(state.catalog.len(), 4);
+
+        // Label the uploaded dataset; the cache now holds it.
+        let v1_label = route(&state, &get("/datasets/mydata/label.json"));
+        assert_eq!(v1_label.status, StatusCode::Ok, "body: {}", v1_label.body);
+        assert!(state.labels.stats().cache.entries >= 1);
+
+        // Re-upload under the same slug with different bytes: the stale
+        // catalogue path must not serve the old label — the cache is
+        // cleared by the upload hook.
+        let csv_v2 = "name,score\na,30\nb,20\nc,10\nd,40\ne,50\nf,60\n";
+        let resp = route(
+            &state,
+            &post("/datasets/mydata?score_attrs=score&k=3", csv_v2),
+        );
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        assert_eq!(state.catalog.len(), 4, "replaced, not added");
+        assert_eq!(
+            state.labels.stats().cache.entries,
+            0,
+            "upload must clear the label cache"
+        );
+        let v2_label = route(&state, &get("/datasets/mydata/label.json"));
+        assert_eq!(v2_label.status, StatusCode::Ok);
+        assert_ne!(
+            v1_label.body, v2_label.body,
+            "new bytes must produce a new label"
+        );
+        let v2_value: serde_json::Value = serde_json::from_str(&v2_label.body).unwrap();
+        assert_eq!(v2_value["top_k_rows"][0]["identifier"], "f");
+    }
+
+    #[test]
+    fn dataset_upload_validates_slug_and_config() {
+        let state = demo_catalog();
+        let csv = "name,score\na,3\nb,2\nc,1\n";
+        // Bad slug.
+        let resp = route(&state, &post("/datasets/bad%20slug?score_attrs=score", csv));
+        assert_eq!(resp.status, StatusCode::BadRequest);
+        // Missing score_attrs.
+        let resp = route(&state, &post("/datasets/okslug", csv));
+        assert_eq!(resp.status, StatusCode::BadRequest);
+        // A config that cannot validate against the table (unknown
+        // sensitive attribute) is rejected at upload time, not parked in
+        // the catalogue to fail every later label request.
+        let resp = route(
+            &state,
+            &post("/datasets/okslug?score_attrs=score&sensitive=nope", csv),
+        );
+        assert_eq!(resp.status, StatusCode::BadRequest);
+        // Nothing was parked in the catalogue by the failed uploads.
+        assert_eq!(state.catalog.len(), 3);
+    }
+
+    #[test]
+    fn catalogue_uploads_are_bounded() {
+        let state = demo_catalog();
+        let csv = "name,score\na,3\nb,2\nc,1\n";
+        // Fill the catalogue to its cap (3 demo datasets pre-loaded).
+        for i in 0..(MAX_CATALOG_DATASETS - 3) {
+            let resp = route(
+                &state,
+                &post(&format!("/datasets/d{i}?score_attrs=score"), csv),
+            );
+            assert_eq!(resp.status, StatusCode::Ok, "upload {i}: {}", resp.body);
+        }
+        assert_eq!(state.catalog.len(), MAX_CATALOG_DATASETS);
+        // A new slug at the cap is refused…
+        let resp = route(&state, &post("/datasets/overflow?score_attrs=score", csv));
+        assert_eq!(resp.status, StatusCode::ServiceUnavailable);
+        assert_eq!(state.catalog.len(), MAX_CATALOG_DATASETS);
+        // …while replacing an existing slug still works.
+        let resp = route(&state, &post("/datasets/d0?score_attrs=score", csv));
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+    }
+
+    #[test]
+    fn label_json_responses_share_the_cached_document() {
+        let state = demo_catalog();
+        let resp = route(&state, &get("/datasets/cs-departments/label.json"));
+        let crate::http::Body::Shared(shared) = &resp.body else {
+            panic!("label.json must stream the cache's shared document");
+        };
+        let again = route(&state, &get("/datasets/cs-departments/label.json"));
+        let crate::http::Body::Shared(shared_again) = &again.body else {
+            panic!("warm hit must stream the cache's shared document");
+        };
+        assert!(
+            Arc::ptr_eq(shared, shared_again),
+            "cold and warm responses share one allocation"
+        );
     }
 
     #[test]

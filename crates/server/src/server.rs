@@ -1,11 +1,25 @@
-//! The TCP accept loop over the shared `rf-runtime` worker pool.
+//! The event-driven server: an `rf-net` reactor in front of the
+//! `rf-runtime` worker pool.
+//!
+//! All socket I/O — accepting, incremental request parsing, buffered
+//! response streaming — happens on the reactor thread; the pool only ever
+//! sees complete requests, so its workers are busy exactly when label CPU
+//! work exists.  Thousands of idle keep-alive connections cost one epoll
+//! registration each, not a worker:
+//!
+//! ```text
+//! accept ─► reactor (epoll) ─► ThreadPool::execute_notify ─► route()
+//!              ▲                                               │
+//!              └────── eventfd wake ◄── Responder::send ◄──────┘
+//! ```
 
 use crate::catalog::DatasetCatalog;
 use crate::http::{Request, Response, StatusCode};
 use crate::router::{route, AppState};
+use rf_net::{Dispatch, ParsedRequest, Reactor, ReactorConfig, Responder};
 use rf_runtime::ThreadPool;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Server configuration.
@@ -14,7 +28,9 @@ pub struct ServerConfig {
     /// Address to bind, e.g. `127.0.0.1:8080`.  Use port 0 to let the OS pick
     /// a free port (handy for tests).
     pub bind_address: String,
-    /// Number of worker threads handling connections.
+    /// Number of worker threads generating labels.  Connections are handled
+    /// by the reactor and are **not** bounded by this — a 2-worker server
+    /// happily holds hundreds of open keep-alive connections.
     pub workers: usize,
 }
 
@@ -24,6 +40,35 @@ impl Default for ServerConfig {
             bind_address: "127.0.0.1:8080".to_string(),
             workers: 4,
         }
+    }
+}
+
+/// The reactor-side request hook: converts parsed requests, schedules the
+/// CPU work on the pool, and streams the response back through the
+/// completion queue.
+struct LabelDispatch {
+    state: Arc<AppState>,
+    pool: ThreadPool,
+}
+
+impl Dispatch for LabelDispatch {
+    fn dispatch(&self, parsed: ParsedRequest, responder: Responder) {
+        let state = Arc::clone(&self.state);
+        let waker = responder.waker();
+        // The notify hook fires after the job ends *however* it ends, so the
+        // reactor always re-checks its completion queue — even if the route
+        // panicked and the responder's drop answered 500 mid-unwind.
+        self.pool.execute_notify(
+            move || {
+                let keep_alive = responder.keep_alive();
+                let response = match Request::from_parsed(parsed) {
+                    Some(request) => route(&state, &request),
+                    None => Response::text(StatusCode::BadRequest, "malformed request"),
+                };
+                responder.send(response.into_outbound(keep_alive));
+            },
+            move || waker.wake(),
+        );
     }
 }
 
@@ -74,56 +119,44 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Runs the accept loop until the shutdown flag is set.  Connections are
-    /// dispatched to a dedicated [`rf_runtime::ThreadPool`] — the same pool
-    /// abstraction `rf-core`'s `AnalysisPipeline` fans label widgets out on.
+    /// Runs the reactor event loop until the shutdown flag is set.
+    ///
+    /// The calling thread becomes the reactor thread: it owns the accept
+    /// loop and every connection's socket I/O.  Label generation runs on a
+    /// dedicated [`rf_runtime::ThreadPool`] of `workers` threads — the same
+    /// pool abstraction `rf-core`'s `AnalysisPipeline` fans label widgets
+    /// out on — and finished responses come back through the reactor's
+    /// eventfd wake channel.
+    ///
+    /// Per-connection failures (malformed requests, disconnects mid-write,
+    /// handler panics) close only that connection; they never reach this
+    /// function's error path.
     ///
     /// # Errors
-    /// Fatal I/O errors from the listener (per-connection errors are logged
-    /// to stderr and ignored).
+    /// Fatal I/O errors from the listener or the epoll instance.
     pub fn run(&self) -> std::io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let pool = ThreadPool::new(self.workers);
-
-        while !self.shutdown.load(Ordering::Relaxed) {
-            match self.listener.accept() {
-                Ok((stream, _addr)) => {
-                    // Blocking per-connection I/O inside the worker.
-                    let _ = stream.set_nonblocking(false);
-                    let state = Arc::clone(&self.state);
-                    pool.execute(move || handle_connection(&state, stream));
-                }
-                Err(ref err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                Err(err) => {
-                    eprintln!("accept error: {err}");
-                }
-            }
-        }
-        // Dropping the pool drains queued connections and joins the workers.
-        drop(pool);
-        Ok(())
+        let dispatch = Arc::new(LabelDispatch {
+            state: Arc::clone(&self.state),
+            pool: ThreadPool::new(self.workers),
+        });
+        let reactor = Reactor::new(
+            self.listener.try_clone()?,
+            dispatch,
+            Arc::clone(&self.shutdown),
+            ReactorConfig::default(),
+        )?;
+        reactor.run()
+        // Dropping the reactor closes every connection; dropping the
+        // dispatch drains the pool and joins its workers.
     }
-}
-
-/// Parses one request from the stream, routes it, and writes the response.
-fn handle_connection(state: &AppState, stream: TcpStream) {
-    let peer = stream.peer_addr().ok();
-    let response = match Request::read_from(&stream) {
-        Some(request) => route(state, &request),
-        None => Response::text(StatusCode::BadRequest, "malformed request"),
-    };
-    if let Err(err) = response.write_to(&stream) {
-        eprintln!("write error to {peer:?}: {err}");
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::Ordering;
     use std::time::Duration;
 
     /// Starts a server on an ephemeral port and returns its address plus the
@@ -162,13 +195,16 @@ mod tests {
     fn serves_landing_page_and_labels_over_tcp() {
         let (addr, shutdown, handle) = start_server();
 
-        let landing = request(addr, "GET / HTTP/1.1\r\nHost: test\r\n\r\n");
+        let landing = request(
+            addr,
+            "GET / HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+        );
         assert!(landing.starts_with("HTTP/1.1 200 OK"));
         assert!(landing.contains("Ranking Facts"));
 
         let label = request(
             addr,
-            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\n\r\n",
+            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
         );
         assert!(label.starts_with("HTTP/1.1 200 OK"));
         let body = label.split("\r\n\r\n").nth(1).unwrap();
@@ -177,21 +213,24 @@ mod tests {
 
         let missing = request(
             addr,
-            "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\n\r\n",
+            "GET /datasets/absent/label HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
         );
         assert!(missing.starts_with("HTTP/1.1 404"));
 
         // A repeated label request is a cache hit, visible on /stats.
         let again = request(
             addr,
-            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\n\r\n",
+            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
         );
         assert_eq!(
             again.split("\r\n\r\n").nth(1).unwrap(),
             label.split("\r\n\r\n").nth(1).unwrap(),
             "warm hit must be byte-identical over the wire"
         );
-        let stats = request(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+        let stats = request(
+            addr,
+            "GET /stats HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+        );
         assert!(stats.starts_with("HTTP/1.1 200 OK"));
         let stats_body = stats.split("\r\n\r\n").nth(1).unwrap();
         let stats_value: serde_json::Value = serde_json::from_str(stats_body).unwrap();
@@ -201,13 +240,57 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 std::thread::spawn(move || {
-                    request(addr, "GET /datasets HTTP/1.1\r\nHost: test\r\n\r\n")
+                    request(
+                        addr,
+                        "GET /datasets HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+                    )
                 })
             })
             .collect();
         for h in handles {
             assert!(h.join().unwrap().starts_with("HTTP/1.1 200 OK"));
         }
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    /// Reads exactly one HTTP response from a keep-alive stream.
+    fn read_keep_alive_response(stream: &mut TcpStream) -> String {
+        let response = rf_net::read_one_response(stream).expect("response");
+        format!("{}{}", response.head, response.body_text())
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_many_requests() {
+        let (addr, shutdown, handle) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut bodies = Vec::new();
+        for _ in 0..3 {
+            stream
+                .write_all(
+                    b"GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: t\r\n\r\n",
+                )
+                .expect("write");
+            let response = read_keep_alive_response(&mut stream);
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("Connection: keep-alive"), "{response}");
+            bodies.push(response.split("\r\n\r\n").nth(1).unwrap().to_string());
+        }
+        assert_eq!(bodies[0], bodies[1]);
+        assert_eq!(bodies[1], bodies[2]);
+        // An explicit close is honoured.
+        stream
+            .write_all(b"GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let response = read_keep_alive_response(&mut stream);
+        assert!(response.contains("Connection: close"), "{response}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("eof");
+        assert!(rest.is_empty(), "server closes after Connection: close");
 
         shutdown.store(true, Ordering::Relaxed);
         handle.join().unwrap();

@@ -1,0 +1,254 @@
+//! The event-driven server under concurrency: many keep-alive connections
+//! on a tiny worker pool.
+//!
+//! This is the acceptance test for the `rf-net` reactor.  A 2-worker server
+//! holds 64+ open keep-alive connections — most idle, some active, one
+//! deliberately slow — and every label response must be byte-identical to a
+//! cold single-connection generation.  Under the old
+//! one-blocking-worker-per-connection design this test cannot pass at all:
+//! two idle connections alone would pin both workers forever.
+//!
+//! The second half drives the `LabelService` single-flight path end to end:
+//! a concurrent burst of identical cold requests must perform exactly one
+//! context preparation (counter-verified over `GET /stats`).
+//!
+//! NOTE: the preparation counter is process-wide, so every scenario that
+//! generates labels lives in the one `#[test]` below, sequenced around the
+//! counter reads; the error-isolation test only touches non-generating
+//! endpoints.
+
+use rf_server::{DatasetCatalog, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Starts a demo server with a deliberately small label pool.
+fn start_server(workers: usize) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        bind_address: "127.0.0.1:0".to_string(),
+        workers,
+    };
+    let server = Server::bind(DatasetCatalog::with_demo_datasets(), &config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, shutdown, handle)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+}
+
+/// Sends one GET on an existing (keep-alive) stream.
+fn send_get(stream: &mut TcpStream, path: &str, close: bool) {
+    let connection = if close { "close" } else { "keep-alive" };
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("write request");
+}
+
+/// Reads exactly one response (head + `Content-Length` body); returns
+/// `(head, body)`.
+fn read_response(stream: &mut TcpStream) -> (String, String) {
+    let response = rf_net::read_one_response(stream).expect("response");
+    let body = response.body_text();
+    (response.head, body)
+}
+
+/// One-shot request on a fresh connection (`Connection: close`).
+fn fetch(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = connect(addr);
+    send_get(&mut stream, path, true);
+    read_response(&mut stream)
+}
+
+/// The service counters, read over the wire.
+fn stats(addr: SocketAddr) -> serde_json::Value {
+    let (head, body) = fetch(addr, "/stats");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    serde_json::from_str(&body).expect("stats JSON")
+}
+
+const LABEL_PATH: &str = "/datasets/cs-departments/label.json?k=5";
+
+#[test]
+fn sixty_four_keep_alive_connections_on_a_two_worker_pool() {
+    let (addr, shutdown, handle) = start_server(2);
+
+    // Cold single-connection reference generation.
+    let (head, reference) = fetch(addr, LABEL_PATH);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    let reference = Arc::new(reference);
+
+    // 64 simultaneously open keep-alive connections: 48 idle, 15 active,
+    // 1 slow reader.  The idle ones are opened first and stay open the whole
+    // time — under the old design they would pin both pool workers and no
+    // active request could ever be served.
+    let idle: Vec<TcpStream> = (0..48).map(|_| connect(addr)).collect();
+
+    let active_threads: Vec<_> = (0..15)
+        .map(|_| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                // Several sequential requests reuse the one connection.
+                for round in 0..3 {
+                    send_get(&mut stream, LABEL_PATH, false);
+                    let (head, body) = read_response(&mut stream);
+                    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                    assert!(head.contains("Connection: keep-alive"), "{head}");
+                    assert_eq!(
+                        body, *reference,
+                        "round {round}: keep-alive response must be byte-identical \
+                         to the cold single-connection generation"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // The slow reader drains its response a few bytes at a time.  It holds
+    // only its own write buffer — never a pool worker — so it cannot slow
+    // the active connections down.
+    let slow_thread = {
+        let reference = Arc::clone(&reference);
+        std::thread::spawn(move || {
+            let mut stream = connect(addr);
+            send_get(&mut stream, LABEL_PATH, true);
+            let mut response = Vec::new();
+            let mut chunk = [0u8; 7];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        response.extend_from_slice(&chunk[..n]);
+                        if response.len() < 700 {
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                    }
+                    Err(err) => panic!("slow read: {err}"),
+                }
+            }
+            let text = String::from_utf8_lossy(&response).into_owned();
+            let body = text.split("\r\n\r\n").nth(1).expect("body");
+            assert_eq!(body, *reference, "slow reader still gets exact bytes");
+        })
+    };
+
+    for thread in active_threads {
+        thread.join().expect("active connection");
+    }
+    slow_thread.join().expect("slow reader");
+
+    // The idle connections are still alive and serviceable afterwards.
+    let mut woken = idle.into_iter().next().expect("one idle connection");
+    send_get(&mut woken, LABEL_PATH, false);
+    let (head, body) = read_response(&mut woken);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert_eq!(body, *reference);
+
+    // ── Single-flight: a concurrent burst of identical *cold* requests
+    // performs exactly one preparation. ──────────────────────────────────
+    let before = stats(addr);
+    let preparations_before = before["preparations"].as_u64().expect("preparations");
+
+    let burst_path = "/datasets/cs-departments/label.json?k=6"; // never requested above
+    let burst = 16usize;
+    let barrier = Arc::new(Barrier::new(burst));
+    let burst_threads: Vec<_> = (0..burst)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (head, body) = fetch(addr, burst_path);
+                assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = burst_threads
+        .into_iter()
+        .map(|thread| thread.join().expect("burst request"))
+        .collect();
+    for body in &bodies {
+        assert_eq!(body, &bodies[0], "coalesced requests share one result");
+    }
+
+    let after = stats(addr);
+    let preparations_after = after["preparations"].as_u64().expect("preparations");
+    assert_eq!(
+        preparations_after - preparations_before,
+        1,
+        "a burst of {burst} identical cold requests must prepare exactly once \
+         (before: {before}, after: {after})"
+    );
+    assert!(
+        after["coalesced"].as_u64().is_some(),
+        "stats expose the coalescing counter: {after}"
+    );
+
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn connection_errors_are_isolated_to_their_connection() {
+    // Only non-generating endpoints here: the test above sequences the
+    // process-wide preparation counter and runs in parallel with this one.
+    let (addr, shutdown, handle) = start_server(2);
+
+    // A long-lived healthy connection, opened before any of the failures.
+    let mut healthy = connect(addr);
+    send_get(&mut healthy, "/datasets", false);
+    let (head, _body) = read_response(&mut healthy);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+
+    // 1. Malformed request: 400, then only that connection closes.
+    let mut broken = connect(addr);
+    broken.write_all(b"gibberish\r\n\r\n").expect("write");
+    let (head, _body) = read_response(&mut broken);
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    let mut rest = Vec::new();
+    broken.read_to_end(&mut rest).expect("eof after 400");
+    assert!(rest.is_empty());
+
+    // 2. Unsupported method: routed 400, connection stays up (framing is
+    // intact, only the method is unknown to the router).
+    let mut odd = connect(addr);
+    odd.write_all(b"BREW /coffee HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write");
+    let (head, _body) = read_response(&mut odd);
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+
+    // 3. Disconnect before the response is read: the server's write hits a
+    // dead socket and must only tear down that connection.
+    for _ in 0..4 {
+        let mut vanishing = connect(addr);
+        send_get(&mut vanishing, "/datasets", false);
+        drop(vanishing);
+    }
+    // Give the reactor a moment to trip over the dead sockets.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The healthy connection opened before all of that still works.
+    send_get(&mut healthy, "/stats", false);
+    let (head, body) = read_response(&mut healthy);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(body.contains("coalesced"), "{body}");
+
+    // And the server still accepts fresh connections.
+    let (head, _body) = fetch(addr, "/datasets");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+}
