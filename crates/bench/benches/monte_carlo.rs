@@ -1,0 +1,84 @@
+//! Per-trial Monte-Carlo stability: trials × workers sweep.
+//!
+//! The estimator decomposes into one scheduler task per trial (each on its
+//! own derived ChaCha stream), so wall-clock should shrink with worker count
+//! while the summary stays byte-identical to the sequential reference.  The
+//! sweep also measures the sequential baseline at each trial count so the
+//! scheduler's overhead on small fan-outs is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_bench::cs_table_with_rows;
+use rf_ranking::ScoringFunction;
+use rf_runtime::Scheduler;
+use rf_stability::MonteCarloStability;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn trials_by_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo/trials_x_workers");
+    group.sample_size(10);
+    let table = Arc::new(cs_table_with_rows(2_000));
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+
+    for trials in [16usize, 64, 256] {
+        let estimator = MonteCarloStability::new()
+            .with_trials(trials)
+            .expect("trials")
+            .with_k(10);
+        group.bench_with_input(BenchmarkId::new("sequential", trials), &trials, |b, _| {
+            b.iter(|| {
+                estimator
+                    .evaluate(black_box(&table), black_box(&scoring), black_box(&ranking))
+                    .expect("evaluate")
+            });
+        });
+        for workers in [1usize, 2, 4, 8] {
+            let scheduler = Scheduler::new(workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers-{workers}"), trials),
+                &trials,
+                |b, _| {
+                    b.iter(|| {
+                        estimator
+                            .evaluate_on(
+                                &scheduler,
+                                black_box(&table),
+                                black_box(&scoring),
+                                black_box(&ranking),
+                            )
+                            .expect("evaluate_on")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The stability widget's full hot-path cost inside a label: one generation
+/// with the detail enabled versus disabled.
+fn label_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo/label_hot_path");
+    group.sample_size(10);
+    let table = Arc::new(cs_table_with_rows(2_000));
+    let pipeline = rf_core::AnalysisPipeline::new();
+    for (name, trials) in [("disabled", 0usize), ("32-trials", 32), ("128-trials", 128)] {
+        let config = Arc::new(rf_bench::cs_label_config().with_monte_carlo_trials(trials));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                pipeline
+                    .generate(
+                        black_box(Arc::clone(&table)),
+                        black_box(Arc::clone(&config)),
+                    )
+                    .expect("label")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, trials_by_workers, label_hot_path);
+criterion_main!(benches);

@@ -21,6 +21,10 @@ const ALLOWED: &[&str] = &[
     "ingredients",
     "method",
     "stability-threshold",
+    "trials",
+    "data-noise",
+    "weight-noise",
+    "mc-seed",
     "format",
     "out",
 ];
@@ -114,13 +118,25 @@ fn parse_ks(spec: &str) -> CliResult<Vec<usize>> {
 }
 
 /// Builds the [`LabelConfig`] shared by `label` and `mitigate`.
+///
+/// The Monte-Carlo stability detail is tunable without recompiling:
+/// `--trials N` (0 disables the detail view), `--data-noise F` /
+/// `--weight-noise F` (fractions), and `--mc-seed S` map straight onto
+/// [`rf_core::MonteCarloConfig`].
 pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult<LabelConfig> {
     let scoring = build_scoring(args)?;
+    let defaults = rf_core::MonteCarloConfig::default();
     let mut config = LabelConfig::new(scoring)
         .with_top_k(args.get_usize("k", 10)?)
         .with_alpha(args.get_f64("alpha", 0.05)?)
         .with_stability_threshold(args.get_f64("stability-threshold", 0.25)?)
         .with_ingredient_count(args.get_usize("ingredients", 3)?)
+        .with_monte_carlo_trials(args.get_usize("trials", defaults.trials)?)
+        .with_monte_carlo_noise(
+            args.get_f64("data-noise", defaults.data_noise)?,
+            args.get_f64("weight-noise", defaults.weight_noise)?,
+        )
+        .with_monte_carlo_seed(args.get_u64("mc-seed", defaults.seed)?)
         .with_dataset_name(dataset_name);
     config = match args.get("method") {
         None | Some("linear") => config,
@@ -239,6 +255,49 @@ mod tests {
         assert!(run(&cs_args(&["--ks", "5,100000"])).is_err());
         // --k and --ks conflict; rejecting beats silently dropping --k.
         assert!(run(&cs_args(&["--k", "7", "--ks", "5,10"])).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_flags_are_wired_into_the_config() {
+        let out = run(&cs_args(&[
+            "--trials",
+            "7",
+            "--data-noise",
+            "0.1",
+            "--weight-noise",
+            "0.02",
+            "--mc-seed",
+            "9",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["config"]["monte_carlo"]["trials"], 7);
+        assert_eq!(value["config"]["monte_carlo"]["data_noise"], 0.1);
+        assert_eq!(value["config"]["monte_carlo"]["weight_noise"], 0.02);
+        assert_eq!(value["config"]["monte_carlo"]["seed"], 9);
+        assert_eq!(value["stability"]["monte_carlo"]["trials"], 7);
+        // The text render shows the detail too.
+        let text = run(&cs_args(&["--trials", "7"])).unwrap();
+        assert!(text.contains("monte carlo (7 trials"));
+    }
+
+    #[test]
+    fn zero_trials_disables_the_detail_view() {
+        let out = run(&cs_args(&["--trials", "0", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(value["stability"]["monte_carlo"].is_null());
+        let text = run(&cs_args(&["--trials", "0"])).unwrap();
+        assert!(!text.contains("monte carlo ("));
+    }
+
+    #[test]
+    fn bad_monte_carlo_flags_are_usage_errors() {
+        assert!(run(&cs_args(&["--trials", "many"])).is_err());
+        assert!(run(&cs_args(&["--data-noise", "x"])).is_err());
+        // Negative noise passes flag parsing but fails config validation.
+        assert!(run(&cs_args(&["--data-noise", "-0.5"])).is_err());
     }
 
     #[test]

@@ -25,6 +25,10 @@ const ALLOWED: &[&str] = &[
     "ingredients",
     "method",
     "stability-threshold",
+    "trials",
+    "data-noise",
+    "weight-noise",
+    "mc-seed",
     "suggestions",
     "min-similarity",
 ];

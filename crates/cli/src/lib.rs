@@ -84,6 +84,8 @@ pub fn usage() -> &'static str {
      \x20            [--sensitive attr=value]... [--diversity attr]... [--k N]\n\
      \x20            [--ks N,N,...] (sweep: one label per k, ranking computed once)\n\
      \x20            [--alpha A] [--ingredients N] [--method linear|rank-aware]\n\
+     \x20            [--trials N] [--data-noise F] [--weight-noise F] [--mc-seed S]\n\
+     \x20            (Monte-Carlo stability detail; --trials 0 disables it)\n\
      \x20            [--normalize none|minmax|zscore] [--format text|json|html] [--out FILE]\n\
      \x20 mitigate   suggest alternative weights that restore fairness / diversity\n\
      \x20            (same data/score/sensitive/diversity options as `label`)\n\

@@ -16,7 +16,11 @@
 //! unbounded memory behind a small-looking `bytes` figure.  (Catalog tables
 //! are `Arc`-shared across their entries, so charging each entry the full
 //! table over-counts them; the error is on the safe side.)  Whichever bound
-//! is exceeded first evicts least-recently-used entries.
+//! is exceeded first evicts least-recently-used entries.  A third, optional
+//! bound is **time**: [`LabelCache::with_ttl`] expires entries a fixed
+//! duration after insertion (checked on hit, counted in
+//! [`CacheStats::expired`]) so a steadily-touched label cannot pin its table
+//! in memory forever by dodging LRU eviction.
 //!
 //! The fingerprints are non-cryptographic (FNV-1a), so a hit additionally
 //! verifies that the stored inputs *equal* the request's table and
@@ -30,6 +34,7 @@ use crate::label::NutritionalLabel;
 use rf_table::Table;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Content-addressed identity of one label: the table's fingerprint paired
 /// with the configuration's fingerprint.
@@ -79,6 +84,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to honour the bounds.
     pub evictions: u64,
+    /// Entries dropped on lookup because they outlived the TTL.
+    #[serde(default)]
+    pub expired: u64,
+    /// The per-entry TTL in milliseconds, if one is configured.
+    #[serde(default)]
+    pub ttl_millis: Option<u64>,
     /// Entries currently resident.
     pub entries: usize,
     /// Bytes currently resident (rendered JSON plus retained table data).
@@ -99,6 +110,7 @@ struct CacheEntry {
     table: Arc<Table>,
     bytes: usize,
     last_used: u64,
+    inserted_at: Instant,
 }
 
 /// A bounded, least-recently-used map from [`CacheKey`] to [`CachedLabel`].
@@ -112,27 +124,49 @@ pub struct LabelCache {
     entries: HashMap<CacheKey, CacheEntry>,
     capacity: usize,
     max_bytes: usize,
+    /// Optional per-entry time-to-live, checked on every hit: an entry older
+    /// than this serves nothing and is dropped.  `None` disables expiry.
+    ttl: Option<Duration>,
     bytes: usize,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    expired: u64,
 }
 
 impl LabelCache {
     /// A cache bounded to `capacity` entries and `max_bytes` resident bytes
-    /// (both clamped to at least one entry / one byte).
+    /// (both clamped to at least one entry / one byte), with no TTL.
     #[must_use]
     pub fn new(capacity: usize, max_bytes: usize) -> Self {
+        Self::with_ttl(capacity, max_bytes, None)
+    }
+
+    /// A bounded cache whose entries additionally expire `ttl` after
+    /// insertion: an expired entry is dropped when its key is looked up
+    /// (counting a miss plus an expiry), and every insert sweeps *all*
+    /// expired entries out, so entries nobody asks about again are reclaimed
+    /// by the next write instead of lingering at full LRU weight.
+    ///
+    /// The cache stays correct without a TTL — keys are content-addressed,
+    /// so stale *content* can never be served — but deployments tune one to
+    /// bound how long a rarely-touched label pins its table in memory
+    /// (recency alone never ages an entry that keeps getting hit exactly
+    /// often enough to dodge LRU eviction).
+    #[must_use]
+    pub fn with_ttl(capacity: usize, max_bytes: usize, ttl: Option<Duration>) -> Self {
         LabelCache {
             entries: HashMap::new(),
             capacity: capacity.max(1),
             max_bytes: max_bytes.max(1),
+            ttl,
             bytes: 0,
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
+            expired: 0,
         }
     }
 
@@ -141,7 +175,8 @@ impl LabelCache {
     /// A key match alone is not a hit: the stored table and configuration
     /// must equal the request's (`Arc` pointer equality short-circuits the
     /// table comparison for shared catalog datasets).  A mismatched match is
-    /// a fingerprint collision and counts as a miss.
+    /// a fingerprint collision and counts as a miss.  Under a TTL, an entry
+    /// past its deadline is removed and counted (`expired`) before the miss.
     pub fn get(
         &mut self,
         key: &CacheKey,
@@ -149,6 +184,14 @@ impl LabelCache {
         config: &LabelConfig,
     ) -> Option<CachedLabel> {
         self.tick += 1;
+        if let (Some(ttl), Some(entry)) = (self.ttl, self.entries.get(key)) {
+            if entry.inserted_at.elapsed() > ttl {
+                if let Some(dead) = self.entries.remove(key) {
+                    self.bytes -= dead.bytes;
+                    self.expired += 1;
+                }
+            }
+        }
         match self.entries.get_mut(key) {
             Some(entry)
                 if entry.value.label.config == *config
@@ -169,8 +212,11 @@ impl LabelCache {
     /// Inserts a label, evicting least-recently-used entries until the
     /// bounds hold.  An entry costs its rendered JSON plus the table it
     /// retains; one whose cost alone exceeds the byte bound is not cached
-    /// (it would immediately evict everything else for nothing).
+    /// (it would immediately evict everything else for nothing).  Under a
+    /// TTL, every insert first sweeps expired entries (whatever their key),
+    /// so dead entries make room before live ones are evicted.
     pub fn insert(&mut self, key: CacheKey, table: Arc<Table>, value: CachedLabel) {
+        self.sweep_expired();
         let bytes = value.json.len() + table.approx_heap_bytes();
         if bytes > self.max_bytes {
             return;
@@ -183,6 +229,7 @@ impl LabelCache {
                 table,
                 bytes,
                 last_used: self.tick,
+                inserted_at: Instant::now(),
             },
         ) {
             self.bytes -= previous.bytes;
@@ -200,6 +247,26 @@ impl LabelCache {
         }
     }
 
+    /// Removes every entry past the TTL, whatever its key.  No-op without a
+    /// TTL.
+    fn sweep_expired(&mut self) {
+        let Some(ttl) = self.ttl else {
+            return;
+        };
+        let dead: Vec<CacheKey> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.inserted_at.elapsed() > ttl)
+            .map(|(key, _)| *key)
+            .collect();
+        for key in dead {
+            if let Some(entry) = self.entries.remove(&key) {
+                self.bytes -= entry.bytes;
+                self.expired += 1;
+            }
+        }
+    }
+
     /// Drops every entry (counters keep their history).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -213,6 +280,8 @@ impl LabelCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            expired: self.expired,
+            ttl_millis: self.ttl.map(|ttl| ttl.as_millis() as u64),
             entries: self.entries.len(),
             bytes: self.bytes,
             capacity: self.capacity,
@@ -363,6 +432,56 @@ mod tests {
         let mut tiny = LabelCache::new(10, 16);
         tiny.insert(f4.key, Arc::clone(&f4.table), f4.value.clone());
         assert_eq!(tiny.stats().entries, 0);
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_hit_and_counts_them() {
+        let f = label_for(3);
+        let mut cache = LabelCache::with_ttl(4, 1 << 20, Some(Duration::from_millis(40)));
+        cache.insert(f.key, Arc::clone(&f.table), f.value.clone());
+        // Young enough: a normal hit.
+        assert!(cache.get(&f.key, &f.table, &f.config).is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        // Past the TTL: dropped on lookup, counted as expired + miss.
+        assert!(cache.get(&f.key, &f.table, &f.config).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.ttl_millis, Some(40));
+        // Re-inserting restarts the clock.
+        cache.insert(f.key, Arc::clone(&f.table), f.value.clone());
+        assert!(cache.get(&f.key, &f.table, &f.config).is_some());
+    }
+
+    #[test]
+    fn inserts_sweep_expired_entries_of_other_keys() {
+        // An expired entry nobody looks up again must not pin its table in
+        // memory: the next insert (any key) sweeps it out.
+        let f3 = label_for(3);
+        let f4 = label_for(4);
+        let mut cache = LabelCache::with_ttl(8, 1 << 20, Some(Duration::from_millis(30)));
+        cache.insert(f3.key, Arc::clone(&f3.table), f3.value.clone());
+        std::thread::sleep(Duration::from_millis(50));
+        cache.insert(f4.key, Arc::clone(&f4.table), f4.value.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.expired, 1, "the stale k=3 entry was swept");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, f4.cost());
+        assert!(cache.get(&f4.key, &f4.table, &f4.config).is_some());
+    }
+
+    #[test]
+    fn no_ttl_means_entries_never_expire() {
+        let f = label_for(3);
+        let mut cache = LabelCache::new(4, 1 << 20);
+        cache.insert(f.key, Arc::clone(&f.table), f.value.clone());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get(&f.key, &f.table, &f.config).is_some());
+        assert_eq!(cache.stats().expired, 0);
+        assert_eq!(cache.stats().ttl_millis, None);
     }
 
     #[test]

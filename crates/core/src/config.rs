@@ -25,6 +25,37 @@ pub struct SensitiveAttribute {
     pub protected_values: Vec<String>,
 }
 
+/// Knobs of the Monte-Carlo stability detail view (paper §2.2: stability
+/// "can be assessed using a model of uncertainty in the data").
+///
+/// Part of the served label: the estimator runs on the label hot path, one
+/// scheduler task per trial, and its knobs are absorbed into
+/// [`LabelConfig::fingerprint`] so cached labels stay content-addressed —
+/// two requests differing only in `trials` are different cache entries.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of perturbed re-rankings; `0` disables the detail view.
+    pub trials: usize,
+    /// Gaussian noise on the scoring attributes, as a fraction of each
+    /// column's standard deviation.
+    pub data_noise: f64,
+    /// Multiplicative jitter on the scoring weights.
+    pub weight_noise: f64,
+    /// Base seed; trial `i` draws from the stream derived as `seed ⊕ i`.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            trials: 32,
+            data_noise: 0.05,
+            weight_noise: 0.05,
+            seed: 42,
+        }
+    }
+}
+
 /// Full configuration of a nutritional label.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LabelConfig {
@@ -45,6 +76,9 @@ pub struct LabelConfig {
     /// How the Ingredients widget estimates attribute importance.
     #[serde(default)]
     pub ingredients_method: IngredientsMethod,
+    /// Monte-Carlo stability knobs (the widget's uncertainty-model detail).
+    #[serde(default)]
+    pub monte_carlo: MonteCarloConfig,
     /// Optional dataset name displayed in the label header.
     pub dataset_name: Option<String>,
 }
@@ -63,6 +97,7 @@ impl LabelConfig {
             stability_threshold: 0.25,
             ingredient_count: 3,
             ingredients_method: IngredientsMethod::default(),
+            monte_carlo: MonteCarloConfig::default(),
             dataset_name: None,
         }
     }
@@ -100,6 +135,35 @@ impl LabelConfig {
     #[must_use]
     pub fn with_ingredients_method(mut self, method: IngredientsMethod) -> Self {
         self.ingredients_method = method;
+        self
+    }
+
+    /// Replaces the Monte-Carlo stability knobs wholesale.
+    #[must_use]
+    pub fn with_monte_carlo(mut self, monte_carlo: MonteCarloConfig) -> Self {
+        self.monte_carlo = monte_carlo;
+        self
+    }
+
+    /// Sets the number of Monte-Carlo trials (`0` disables the detail view).
+    #[must_use]
+    pub fn with_monte_carlo_trials(mut self, trials: usize) -> Self {
+        self.monte_carlo.trials = trials;
+        self
+    }
+
+    /// Sets the Monte-Carlo noise magnitudes (data, weight), both fractions.
+    #[must_use]
+    pub fn with_monte_carlo_noise(mut self, data_noise: f64, weight_noise: f64) -> Self {
+        self.monte_carlo.data_noise = data_noise;
+        self.monte_carlo.weight_noise = weight_noise;
+        self
+    }
+
+    /// Sets the Monte-Carlo base seed.
+    #[must_use]
+    pub fn with_monte_carlo_seed(mut self, seed: u64) -> Self {
+        self.monte_carlo.seed = seed;
         self
     }
 
@@ -172,6 +236,16 @@ impl LabelConfig {
                 message: "ingredient_count must be at least 1".to_string(),
             });
         }
+        for (name, value) in [
+            ("monte_carlo.data_noise", self.monte_carlo.data_noise),
+            ("monte_carlo.weight_noise", self.monte_carlo.weight_noise),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(LabelError::InvalidConfig {
+                    message: format!("{name} must be a non-negative finite fraction, got {value}"),
+                });
+            }
+        }
         self.scoring.validate_against(table)?;
         for sensitive in &self.sensitive_attributes {
             table.require_categorical(&sensitive.attribute)?;
@@ -238,6 +312,12 @@ impl LabelConfig {
             IngredientsMethod::LinearAssociation => 0,
             IngredientsMethod::RankAwareSimilarity => 1,
         });
+        // Monte-Carlo stability knobs: the detail view is part of the served
+        // label, so its parameters must key the cache.
+        fp.write_usize(self.monte_carlo.trials);
+        fp.write_f64(self.monte_carlo.data_noise);
+        fp.write_f64(self.monte_carlo.weight_noise);
+        fp.write_u64(self.monte_carlo.seed);
         match &self.dataset_name {
             Some(name) => {
                 fp.write_u8(1);
@@ -346,7 +426,29 @@ mod tests {
             .validate(&t)
             .is_err());
         assert!(base.clone().with_ingredient_count(0).validate(&t).is_err());
+        assert!(base
+            .clone()
+            .with_monte_carlo_noise(-0.1, 0.0)
+            .validate(&t)
+            .is_err());
+        assert!(base
+            .clone()
+            .with_monte_carlo_noise(0.0, f64::NAN)
+            .validate(&t)
+            .is_err());
+        // Zero trials is valid — it disables the detail view.
+        assert!(base.clone().with_monte_carlo_trials(0).validate(&t).is_ok());
         assert!(base.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn monte_carlo_defaults_ride_along_serde() {
+        let c = LabelConfig::new(scoring()).with_top_k(2);
+        assert_eq!(c.monte_carlo, MonteCarloConfig::default());
+        assert_eq!(c.monte_carlo.trials, 32);
+        let json = serde_json::to_string(&c).unwrap();
+        let parsed: LabelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, c);
     }
 
     #[test]
@@ -362,6 +464,10 @@ mod tests {
             base.clone().with_alpha(0.01),
             base.clone().with_stability_threshold(0.5),
             base.clone().with_ingredient_count(1),
+            base.clone().with_monte_carlo_trials(64),
+            base.clone().with_monte_carlo_noise(0.1, 0.05),
+            base.clone().with_monte_carlo_noise(0.05, 0.1),
+            base.clone().with_monte_carlo_seed(7),
             base.clone()
                 .with_ingredients_method(IngredientsMethod::RankAwareSimilarity),
             base.clone().with_dataset_name("named"),

@@ -63,7 +63,7 @@ pub mod service;
 pub mod widgets;
 
 pub use cache::{CacheKey, CacheStats, CachedLabel, LabelCache};
-pub use config::{LabelConfig, SensitiveAttribute};
+pub use config::{LabelConfig, MonteCarloConfig, SensitiveAttribute};
 pub use design::{AttributePreview, DesignView};
 pub use error::{LabelError, LabelResult};
 pub use label::NutritionalLabel;

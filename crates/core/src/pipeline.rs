@@ -13,15 +13,20 @@
 //!    attributes (in rank order, for the Stability widget), and the
 //!    protected-group membership vectors (for the Fairness widget).  Under
 //!    the parallel schedule, preparation itself fans out over the shared
-//!    `rf-runtime` pool: row scoring is sharded with
-//!    [`rf_runtime::ThreadPool::map_shards`] (deterministic shard merge, so
+//!    `rf-runtime` work-stealing scheduler: row scoring is sharded with
+//!    [`rf_runtime::Scheduler::map_shards`] (deterministic shard merge, so
 //!    the scores are byte-identical to a single sequential pass) and each
 //!    protected group extracts as its own job.
 //! 2. **Render** ([`AnalysisPipeline::render`]) — each widget is a
 //!    [`WidgetBuilder`] reading the immutable context; the pipeline schedules
-//!    all builders concurrently on the pool (or serially, for the reference
-//!    path the parity tests compare against).  Fairness fans out one job per
-//!    `(protected feature, measure)` pair.
+//!    all builders concurrently as a scheduler scope (or serially, for the
+//!    reference path the parity tests compare against).  Fairness fans out
+//!    one job per `(protected feature, measure)` pair, and the Stability
+//!    builder opens a **nested scope** of its own: one task per Monte-Carlo
+//!    trial, each on its derived ChaCha stream (`seed ⊕ trial`).  Nested
+//!    scopes cannot deadlock — a blocked waiter helps run queued tasks —
+//!    which is what lets the paper's most expensive diagnostic live on the
+//!    label hot path.
 //!
 //! Because preparation does not depend on the audited prefix size,
 //! [`AnalysisPipeline::generate_sweep`] amortizes one preparation across a
@@ -124,14 +129,16 @@ impl AnalysisContext {
         PREPARATIONS.fetch_add(1, Ordering::Relaxed);
         config.validate(&table)?;
 
-        // Row-shard scoring: fit once, score disjoint ranges on the pool,
-        // merge in shard order.  Scanning shards in order also surfaces the
-        // first failing row exactly like the sequential pass does.
+        // Row-shard scoring: fit once, score disjoint ranges as a scheduler
+        // scope, merge in shard order.  Scanning shards in order also
+        // surfaces the first failing row exactly like the sequential pass
+        // does.
+        let scheduler = pool.scheduler();
         let model = Arc::new(config.scoring.fit(&table)?);
         let rows = model.rows();
         let shard_results = {
             let model = Arc::clone(&model);
-            pool.map_shards(rows, 0, move |range| model.score_range(range))
+            scheduler.map_shards(rows, 0, move |range| model.score_range(range))
         };
         let mut scores: Vec<f64> = Vec::with_capacity(rows);
         for (shard, slot) in shard_results.into_iter().enumerate() {
@@ -164,7 +171,7 @@ impl AnalysisContext {
             })
             .collect();
         let mut protected_groups = Vec::with_capacity(features.len());
-        for (slot, (attribute, value)) in pool.run_all(group_jobs).into_iter().zip(features) {
+        for (slot, (attribute, value)) in scheduler.run_all(group_jobs).into_iter().zip(features) {
             match slot {
                 Some(Ok(group)) => protected_groups.push(group),
                 Some(Err(err)) => return Err(err.into()),
@@ -329,7 +336,20 @@ impl WidgetBuilder for IngredientsBuilder {
     }
 }
 
-struct StabilityBuilder;
+/// Builds the Stability widget, including the Monte-Carlo uncertainty detail
+/// on the label hot path.
+///
+/// Under the parallel schedule the builder holds the scheduler it is itself
+/// running on and fans the estimator out as **one task per trial** inside a
+/// nested scope — the builder's blocking wait helps run its own trials, so
+/// this nests safely at any worker count.  Each trial draws from its derived
+/// ChaCha stream (`seed ⊕ trial`), keeping the parallel summary
+/// byte-identical to the sequential reference.
+struct StabilityBuilder {
+    /// Scheduler the Monte-Carlo trials fan out on; `None` runs the
+    /// sequential reference estimator (the reference schedule).
+    scheduler: Option<Arc<rf_runtime::Scheduler>>,
+}
 
 impl WidgetBuilder for StabilityBuilder {
     fn name(&self) -> String {
@@ -337,14 +357,36 @@ impl WidgetBuilder for StabilityBuilder {
     }
 
     fn build(&self, ctx: &AnalysisContext) -> LabelResult<WidgetOutput> {
-        StabilityWidget::build_from_normalized(
+        let widget = StabilityWidget::build_from_normalized(
             &ctx.config.scoring,
             &ctx.normalized_scoring,
             &ctx.ranking,
             ctx.top_k(),
             ctx.config.stability_threshold,
-        )
-        .map(WidgetOutput::Stability)
+        )?;
+        let mc = &ctx.config.monte_carlo;
+        let monte_carlo = if mc.trials == 0 {
+            None
+        } else {
+            let estimator = rf_stability::MonteCarloStability::new()
+                .with_trials(mc.trials)?
+                .with_noise(mc.data_noise, mc.weight_noise)?
+                .with_seed(mc.seed)
+                .with_k(ctx.top_k());
+            let summary = match &self.scheduler {
+                Some(scheduler) => estimator.evaluate_on(
+                    scheduler,
+                    &ctx.table,
+                    &ctx.config.scoring,
+                    &ctx.ranking,
+                )?,
+                None => estimator.evaluate(&ctx.table, &ctx.config.scoring, &ctx.ranking)?,
+            };
+            Some(summary)
+        };
+        Ok(WidgetOutput::Stability(
+            widget.with_monte_carlo(monte_carlo),
+        ))
     }
 }
 
@@ -450,12 +492,19 @@ impl WidgetBuilder for TopRowsBuilder {
 /// The builders of the complete label, in the label's widget order (also the
 /// order errors are reported in, regardless of schedule).  Fairness fans out
 /// one job per `(protected feature, measure)` pair, feature-major in
-/// configuration order, measures in report order.
-fn builders(ctx: &AnalysisContext) -> Vec<Box<dyn WidgetBuilder>> {
+/// configuration order, measures in report order.  `mc_scheduler` is the
+/// scheduler the Stability widget's Monte-Carlo trials nest onto (`None`
+/// runs the sequential reference estimator).
+fn builders(
+    ctx: &AnalysisContext,
+    mc_scheduler: Option<Arc<rf_runtime::Scheduler>>,
+) -> Vec<Box<dyn WidgetBuilder>> {
     let mut list: Vec<Box<dyn WidgetBuilder>> = vec![
         Box::new(RecipeBuilder),
         Box::new(IngredientsBuilder),
-        Box::new(StabilityBuilder),
+        Box::new(StabilityBuilder {
+            scheduler: mc_scheduler,
+        }),
     ];
     for index in 0..ctx.protected_groups.len() {
         for kind in FairnessMeasureKind::ALL {
@@ -528,6 +577,14 @@ impl AnalysisPipeline {
         }
     }
 
+    /// Observability counters of the scheduler this pipeline fans out on
+    /// (queue depth, steals, executed and panicked tasks) — surfaced by the
+    /// HTTP `/stats` endpoint.
+    #[must_use]
+    pub fn scheduler_stats(&self) -> rf_runtime::SchedulerStats {
+        self.pool_ref().scheduler().stats()
+    }
+
     /// **Stage 1** — validates the configuration and computes the shared
     /// intermediates (ranking, protected groups, normalized score matrix),
     /// sharded over the pool under the parallel schedule.
@@ -557,7 +614,11 @@ impl AnalysisPipeline {
     /// The first widget error in label order, or
     /// [`LabelError::WidgetPanic`] when a builder panics on the pool.
     pub fn render(&self, ctx: &Arc<AnalysisContext>) -> LabelResult<NutritionalLabel> {
-        let outputs = self.run_builders(ctx, builders(ctx))?;
+        let mc_scheduler = match self.schedule {
+            Schedule::Sequential => None,
+            Schedule::Parallel => Some(Arc::clone(self.pool_ref().scheduler())),
+        };
+        let outputs = self.run_builders(ctx, builders(ctx, mc_scheduler))?;
         Ok(Self::assemble(ctx, outputs))
     }
 
@@ -632,7 +693,7 @@ impl AnalysisPipeline {
                 Ok(outputs)
             }
             Schedule::Parallel => {
-                let pool = self.pool_ref();
+                let scheduler = self.pool_ref().scheduler();
                 let names: Vec<String> = list.iter().map(|b| b.name()).collect();
                 let jobs: Vec<_> = list
                     .into_iter()
@@ -641,7 +702,7 @@ impl AnalysisPipeline {
                         move || builder.build(&ctx)
                     })
                     .collect();
-                let raw = pool.run_all(jobs);
+                let raw = scheduler.run_all(jobs);
                 let mut outputs = Vec::with_capacity(raw.len());
                 for (slot, name) in raw.into_iter().zip(names) {
                     match slot {

@@ -140,7 +140,25 @@ pub fn render_html(label: &NutritionalLabel) -> String {
             attr.verdict.as_str()
         );
     }
-    let _ = write!(body, "</table></section>");
+    let _ = write!(body, "</table>");
+    if let Some(mc) = &label.stability.monte_carlo {
+        let _ = write!(
+            body,
+            "<h3>Monte-Carlo detail ({} trials, data noise {:.1}%, weight noise {:.1}%)</h3>\
+             <table><tr><th>Expected tau</th><th>Worst tau</th><th>Top-k overlap</th>\
+             <th>Top-1 change rate</th><th>Verdict</th></tr>\
+             <tr><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td><td>{:.2}</td><td>{}</td></tr></table>",
+            mc.trials,
+            label.config.monte_carlo.data_noise * 100.0,
+            label.config.monte_carlo.weight_noise * 100.0,
+            mc.expected_kendall_tau,
+            mc.worst_kendall_tau,
+            mc.expected_top_k_overlap,
+            mc.top_item_change_rate,
+            mc.verdict.as_str(),
+        );
+    }
+    let _ = write!(body, "</section>");
 
     // Fairness card.
     let _ = write!(body, "<section class=\"card fairness\"><h2>Fairness</h2>");

@@ -129,6 +129,24 @@ pub fn render_text(label: &NutritionalLabel) -> String {
             attr.verdict.as_str()
         );
     }
+    if let Some(mc) = &label.stability.monte_carlo {
+        let _ = writeln!(
+            out,
+            "monte carlo ({} trials, data noise {:.1}%, weight noise {:.1}%): {}",
+            mc.trials,
+            label.config.monte_carlo.data_noise * 100.0,
+            label.config.monte_carlo.weight_noise * 100.0,
+            mc.verdict.as_str(),
+        );
+        let _ = writeln!(
+            out,
+            "  expected tau {:.3} (worst {:.3})   top-k overlap {:.3}   top-1 change rate {:.2}",
+            mc.expected_kendall_tau,
+            mc.worst_kendall_tau,
+            mc.expected_top_k_overlap,
+            mc.top_item_change_rate,
+        );
+    }
     let _ = writeln!(out);
 
     // Fairness.

@@ -42,8 +42,9 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 128;
 /// verification (see [`LabelCache`]): 64 MiB.
 pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
-/// A point-in-time view of the service: cache counters plus the process-wide
-/// preparation count (how many analysis contexts were ever prepared).
+/// A point-in-time view of the service: cache counters, the process-wide
+/// preparation count (how many analysis contexts were ever prepared), and
+/// the execution scheduler's observability counters.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// Cache counters and occupancy.
@@ -53,6 +54,9 @@ pub struct ServiceStats {
     /// Requests that joined another request's in-flight generation instead
     /// of repeating it (single-flight coalescing).
     pub coalesced: u64,
+    /// The work-stealing scheduler this service's pipeline fans out on:
+    /// worker count, queue depth, steals, executed and panicked tasks.
+    pub scheduler: rf_runtime::SchedulerStats,
 }
 
 /// Memoizes table fingerprints by `Arc` identity, so long-lived shared
@@ -198,9 +202,23 @@ impl LabelService {
     /// entry's rendered JSON plus the table it retains).
     #[must_use]
     pub fn with_pipeline(pipeline: AnalysisPipeline, capacity: usize, max_bytes: usize) -> Self {
+        Self::with_cache_policy(pipeline, capacity, max_bytes, None)
+    }
+
+    /// [`LabelService::with_pipeline`] plus an optional per-entry TTL: warm
+    /// entries older than `ttl` are dropped on lookup (and counted in
+    /// [`CacheStats::expired`](crate::CacheStats)), the knob deployments
+    /// tune so a steadily-hit label cannot pin its table in memory forever.
+    #[must_use]
+    pub fn with_cache_policy(
+        pipeline: AnalysisPipeline,
+        capacity: usize,
+        max_bytes: usize,
+        ttl: Option<std::time::Duration>,
+    ) -> Self {
         LabelService {
             pipeline,
-            cache: Mutex::new(LabelCache::new(capacity, max_bytes)),
+            cache: Mutex::new(LabelCache::with_ttl(capacity, max_bytes, ttl)),
             fingerprints: Mutex::new(FingerprintMemo::default()),
             inflight: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
@@ -384,14 +402,16 @@ impl LabelService {
             .collect())
     }
 
-    /// Counters: cache hits/misses/evictions/occupancy plus the process-wide
-    /// preparation count.  Served by the HTTP `/stats` endpoint.
+    /// Counters: cache hits/misses/evictions/expiries/occupancy, the
+    /// process-wide preparation count, and the scheduler's observability
+    /// counters.  Served by the HTTP `/stats` endpoint.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             cache: self.cache.lock().expect("label cache lock").stats(),
             preparations: AnalysisContext::preparations(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            scheduler: self.pipeline.scheduler_stats(),
         }
     }
 
@@ -569,6 +589,44 @@ mod tests {
         assert!(service.inflight.lock().unwrap().is_empty());
         // The service still generates fine afterwards.
         assert!(service.label(&table, &config).is_ok());
+    }
+
+    #[test]
+    fn ttl_policy_expires_warm_labels_and_regenerates() {
+        let (table, config) = scenario();
+        let service = LabelService::with_cache_policy(
+            AnalysisPipeline::sequential(),
+            8,
+            1 << 20,
+            Some(std::time::Duration::from_millis(30)),
+        );
+        let first = service.label(&table, &config).unwrap();
+        assert!(service.label(&table, &config).is_ok(), "young entry hits");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let regenerated = service.label(&table, &config).unwrap();
+        // Byte-identical content (generation is pure), but regenerated.
+        assert_eq!(first.json, regenerated.json);
+        let stats = service.stats();
+        assert_eq!(stats.cache.expired, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 2);
+        assert_eq!(stats.cache.ttl_millis, Some(30));
+    }
+
+    #[test]
+    fn stats_include_the_scheduler_counters() {
+        let (table, config) = scenario();
+        let pool = Arc::new(rf_runtime::ThreadPool::new(2));
+        let service =
+            LabelService::with_pipeline(AnalysisPipeline::with_pool(Arc::clone(&pool)), 8, 1 << 20);
+        service.label(&table, &config).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.scheduler.workers, 2);
+        assert!(
+            stats.scheduler.executed_jobs > 0,
+            "generation ran tasks on the dedicated scheduler"
+        );
+        assert_eq!(stats.scheduler.panicked_jobs, 0);
     }
 
     #[test]

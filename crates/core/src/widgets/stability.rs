@@ -2,11 +2,14 @@
 
 use crate::error::LabelResult;
 use rf_ranking::{Ranking, ScoringFunction};
-use rf_stability::{attribute_stability_with_threshold, AttributeStability, SlopeStability};
+use rf_stability::{
+    attribute_stability_with_threshold, AttributeStability, MonteCarloSummary, SlopeStability,
+};
 use rf_table::Table;
 
-/// The Stability widget: slope analysis at the top-k and over-all, plus the
-/// per-attribute breakdown of the detailed view.
+/// The Stability widget: slope analysis at the top-k and over-all, the
+/// per-attribute breakdown, and the Monte-Carlo uncertainty detail of the
+/// detailed view.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StabilityWidget {
     /// Slope-based stability (the paper's headline estimator, Figure 2).
@@ -14,6 +17,11 @@ pub struct StabilityWidget {
     /// Per-attribute stability ("stability can be computed with respect to
     /// each scoring attribute").
     pub per_attribute: Vec<AttributeStability>,
+    /// The Monte-Carlo detail view ("assessed using a model of uncertainty
+    /// in the data"); `None` when the configuration disables it
+    /// (`monte_carlo.trials == 0`).
+    #[serde(default)]
+    pub monte_carlo: Option<MonteCarloSummary>,
     /// The single number the overview shows.
     pub stability_score: f64,
     /// The stable / unstable verdict of the overview.
@@ -21,7 +29,8 @@ pub struct StabilityWidget {
 }
 
 impl StabilityWidget {
-    /// Builds the Stability widget.
+    /// Builds the Stability widget (without the Monte-Carlo detail — attach
+    /// one via [`StabilityWidget::with_monte_carlo`]).
     ///
     /// # Errors
     /// Propagates stability-estimator errors (too few items, constant scoring
@@ -57,12 +66,20 @@ impl StabilityWidget {
         Ok(Self::assemble(slope, per_attribute))
     }
 
+    /// Attaches the Monte-Carlo detail view.
+    #[must_use]
+    pub fn with_monte_carlo(mut self, monte_carlo: Option<MonteCarloSummary>) -> Self {
+        self.monte_carlo = monte_carlo;
+        self
+    }
+
     fn assemble(slope: SlopeStability, per_attribute: Vec<AttributeStability>) -> Self {
         let stability_score = slope.stability_score();
         let stable = slope.verdict() == rf_stability::StabilityVerdict::Stable;
         StabilityWidget {
             slope,
             per_attribute,
+            monte_carlo: None,
             stability_score,
             stable,
         }

@@ -36,7 +36,7 @@ pub mod score;
 
 pub use compare::{footrule_distance, kendall_tau_rankings, spearman_rho_rankings};
 pub use error::{RankingError, RankingResult};
-pub use perturb::{perturb_table_gaussian, perturb_weights, PerturbationSpec};
+pub use perturb::{perturb_table_gaussian, perturb_weights, PerturbationSpec, TablePerturber};
 pub use rank_aware::{
     ap_correlation, average_overlap, rank_aware_association, rank_biased_overlap, top_k_jaccard,
     top_k_overlap,

@@ -31,10 +31,112 @@ impl Default for PerturbationSpec {
     }
 }
 
+/// One column of a fitted [`TablePerturber`]: either cloned through
+/// unchanged, or re-sampled with a pre-computed noise scale.
+#[derive(Debug, Clone)]
+enum PerturbColumn {
+    /// A column outside the perturbation set, copied as-is.
+    Keep { name: String, column: Column },
+    /// A numeric column with Gaussian noise of the given absolute scale.
+    Noise {
+        name: String,
+        options: Vec<Option<f64>>,
+        scale: f64,
+    },
+}
+
+/// A perturbation model fitted once and applied many times.
+///
+/// The Monte-Carlo stability estimator draws hundreds of perturbed copies of
+/// the same table; fitting re-derives nothing per draw — the noise scale of
+/// each listed column (`noise_fraction` × the column's standard deviation)
+/// and the column layout are computed once by [`TablePerturber::fit`], and
+/// every [`TablePerturber::perturb`] only samples noise.  One fitted model is
+/// shared (it is `Sync`) across concurrently running trials, each with its
+/// own RNG stream.
+///
+/// The draw order is one Gaussian per non-missing value of each perturbed
+/// column, columns in schema order — exactly the order
+/// [`perturb_table_gaussian`] historically consumed, so a fitted model fed
+/// the same RNG stream reproduces it byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct TablePerturber {
+    columns: Vec<PerturbColumn>,
+}
+
+impl TablePerturber {
+    /// Fits the model: resolves the listed columns, computes each one's
+    /// noise scale, and captures the table layout.
+    ///
+    /// # Errors
+    /// Unknown or non-numeric columns in `columns`.
+    pub fn fit(table: &Table, columns: &[&str], noise_fraction: f64) -> RankingResult<Self> {
+        for &name in columns {
+            table.require_numeric(name)?;
+        }
+        let mut fitted = Vec::with_capacity(table.schema().fields().len());
+        for field in table.schema().fields() {
+            let name = field.name.as_str();
+            let col = table.column(name)?;
+            if columns.contains(&name) {
+                let options = col.numeric_options(name)?;
+                let non_null: Vec<f64> = options.iter().filter_map(|x| *x).collect();
+                let sd = if non_null.len() >= 2 {
+                    rf_stats::stddev(&non_null)?
+                } else {
+                    0.0
+                };
+                fitted.push(PerturbColumn::Noise {
+                    name: name.to_string(),
+                    options,
+                    scale: sd * noise_fraction,
+                });
+            } else {
+                fitted.push(PerturbColumn::Keep {
+                    name: name.to_string(),
+                    column: col.clone(),
+                });
+            }
+        }
+        Ok(TablePerturber { columns: fitted })
+    }
+
+    /// Draws one perturbed copy of the fitted table: each listed column gets
+    /// fresh zero-mean Gaussian noise at its fitted scale, missing values
+    /// remain missing, other columns are cloned unchanged.
+    ///
+    /// # Errors
+    /// Table reconstruction errors (cannot occur for a model fitted from a
+    /// well-formed table, but surfaced rather than panicking).
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R) -> RankingResult<Table> {
+        let mut out = Table::new();
+        for column in &self.columns {
+            match column {
+                PerturbColumn::Keep { name, column } => out.add_column(name, column.clone())?,
+                PerturbColumn::Noise {
+                    name,
+                    options,
+                    scale,
+                } => {
+                    let perturbed: Vec<Option<f64>> = options
+                        .iter()
+                        .map(|opt| opt.map(|v| v + gaussian(rng) * scale))
+                        .collect();
+                    out.add_column(name, Column::Float(perturbed))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Returns a copy of `table` in which each listed numeric column has zero-mean
 /// Gaussian noise added, with standard deviation `noise_fraction` times the
 /// column's own standard deviation.  Missing values remain missing; other
 /// columns are untouched.
+///
+/// One-shot convenience over [`TablePerturber`]; repeated draws from the same
+/// table should fit once and call [`TablePerturber::perturb`] per draw.
 ///
 /// # Errors
 /// Unknown or non-numeric columns.
@@ -44,32 +146,7 @@ pub fn perturb_table_gaussian<R: Rng + ?Sized>(
     noise_fraction: f64,
     rng: &mut R,
 ) -> RankingResult<Table> {
-    for &name in columns {
-        table.require_numeric(name)?;
-    }
-    let mut out = Table::new();
-    for field in table.schema().fields() {
-        let name = field.name.as_str();
-        let col = table.column(name)?;
-        if columns.contains(&name) {
-            let options = col.numeric_options(name)?;
-            let non_null: Vec<f64> = options.iter().filter_map(|x| *x).collect();
-            let sd = if non_null.len() >= 2 {
-                rf_stats::stddev(&non_null)?
-            } else {
-                0.0
-            };
-            let scale = sd * noise_fraction;
-            let perturbed: Vec<Option<f64>> = options
-                .into_iter()
-                .map(|opt| opt.map(|v| v + gaussian(rng) * scale))
-                .collect();
-            out.add_column(name, Column::Float(perturbed))?;
-        } else {
-            out.add_column(name, col.clone())?;
-        }
-    }
-    Ok(out)
+    TablePerturber::fit(table, columns, noise_fraction)?.perturb(rng)
 }
 
 /// Returns a copy of the scoring function with each weight multiplied by
@@ -216,6 +293,43 @@ mod tests {
         let t = table();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         assert!(perturb_table_gaussian(&t, &["ghost"], 0.1, &mut rng).is_err());
+        assert!(TablePerturber::fit(&t, &["ghost"], 0.1).is_err());
+        assert!(TablePerturber::fit(&t, &["label"], 0.1).is_err());
+    }
+
+    #[test]
+    fn fitted_perturber_matches_the_one_shot_helper_byte_for_byte() {
+        // The per-trial hot path fits once and draws many times; every draw
+        // must consume the RNG exactly like the historical one-shot helper.
+        let t = table();
+        let perturber = TablePerturber::fit(&t, &["x"], 0.2).unwrap();
+        for seed in [0u64, 1, 42, 1 << 40] {
+            let mut one_shot_rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut fitted_rng = ChaCha8Rng::seed_from_u64(seed);
+            let one_shot = perturb_table_gaussian(&t, &["x"], 0.2, &mut one_shot_rng).unwrap();
+            let fitted = perturber.perturb(&mut fitted_rng).unwrap();
+            assert_eq!(one_shot, fitted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fitted_perturber_is_reusable_across_independent_draws() {
+        let t = table();
+        let perturber = TablePerturber::fit(&t, &["x"], 0.3).unwrap();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(10);
+        let a = perturber.perturb(&mut rng_a).unwrap();
+        let b = perturber.perturb(&mut rng_b).unwrap();
+        assert_ne!(a, b, "independent streams draw different noise");
+        // Unlisted columns are preserved in every draw.
+        assert_eq!(
+            a.categorical_column("label").unwrap(),
+            t.categorical_column("label").unwrap()
+        );
+        assert_eq!(
+            b.numeric_column("y").unwrap(),
+            t.numeric_column("y").unwrap()
+        );
     }
 
     #[test]

@@ -1,85 +1,303 @@
-//! # rf-runtime — shared worker-pool runtime
+//! # rf-runtime — work-stealing task scheduler
 //!
-//! The execution substrate shared by the Ranking Facts workspace.  It hosts
-//! the fixed-size [`ThreadPool`] that used to live (hand-rolled, crossbeam
-//! based) inside `rf-server`, so that every layer schedules onto the same
-//! abstraction:
+//! The execution substrate shared by the Ranking Facts workspace.  At its
+//! core is the [`Scheduler`]: a fixed set of workers, each owning a local
+//! deque of tasks, stealing from its siblings (and from a shared injector
+//! queue fed by external threads) when its own deque runs dry.
 //!
-//! * `rf-core`'s `AnalysisPipeline` fans the label widgets out across the
-//!   pool instead of building them serially;
-//! * `rf-server` dispatches accepted connections to the pool;
-//! * future scaling work (dataset sharding, batched label generation,
-//!   caching refresh) gets a single place to queue work.
+//! The property the rest of the workspace builds on is the blocking
+//! [`Scheduler::scope`]: a task may spawn subtasks and wait for them, and the
+//! waiting thread **helps** — it runs queued tasks (its own, stolen, or
+//! injected) instead of parking — so nested fan-outs can never deadlock the
+//! pool they run on, even with a single worker.  That is what lets the label
+//! pipeline fan widgets out across the pool while one of those widgets (the
+//! Monte-Carlo stability detail) fans out again, one task per trial.
+//!
+//! * `rf-core`'s `AnalysisPipeline` shards preparation and fans the label
+//!   widgets out over nested scopes;
+//! * `rf-stability` runs one task per Monte-Carlo trial inside a widget job;
+//! * `rf-server` dispatches parsed requests via [`ThreadPool::execute_notify`].
+//!
+//! [`ThreadPool`] survives as a thin compatibility shim over an owned
+//! scheduler: `execute` / `execute_notify` / `run_all` / `map_shards` keep
+//! their exact signatures (rf-net's completion hook depends on
+//! `execute_notify`'s notify-even-on-panic guarantee), but all of them now
+//! route through scopes, so the old "nested calls fall back to inline
+//! execution" special case is gone — nested calls just parallelize.
 //!
 //! A process-wide pool is available through [`global`]; independent pools can
 //! be created for tests or dedicated subsystems.  Jobs are `'static` — shared
-//! state crosses into the pool via `Arc`, which is how the pipeline shares
-//! its analysis context between widget builders.
+//! state crosses into the scheduler via `Arc`.
 //!
-//! Panics inside a job are caught and counted (see
-//! [`ThreadPool::panicked_jobs`]) so one poisoned request cannot take a
-//! worker down with it; callers that need completion signals send results
-//! back over channels and treat a missing answer as a failed job.
+//! Panics inside a task are caught and counted (see
+//! [`Scheduler::panicked_jobs`]) so one poisoned request cannot take a worker
+//! down with it; structured callers ([`Scheduler::run_all`]) observe a
+//! panicked task as a `None` slot.  [`Scheduler::stats`] exposes the
+//! observability counters (queue depth, steals, executed and panicked tasks)
+//! that the HTTP `/stats` endpoint serves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 std::thread_local! {
-    /// Identity of the pool the current thread is a worker of (the address
-    /// of the pool's shared panic counter), or 0 on non-worker threads.
-    /// Lets [`ThreadPool::run_all`] detect re-entrant use and fall back to
-    /// inline execution instead of deadlocking on its own queue.
-    static WORKER_OF_POOL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    /// `(address of the scheduler's shared state, worker index + 1)` when the
+    /// current thread is a scheduler worker, `(0, 0)` otherwise.  Lets
+    /// [`Shared::current_worker`] route spawns to the local deque and lets
+    /// helping waiters prefer their own work.
+    static WORKER: std::cell::Cell<(usize, usize)> = const { std::cell::Cell::new((0, 0)) };
 }
 
-/// A fixed-size pool of worker threads executing queued jobs.
-pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+/// Locks a mutex, ignoring poisoning: every job runs *outside* the runtime's
+/// locks (panics are caught around the job call), so a poisoned lock can only
+/// mean a panic in runtime bookkeeping that holds no broken invariants worth
+/// propagating.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared between the scheduler handle, its workers, and in-flight
+/// scopes.
+struct Shared {
+    /// Queue for tasks pushed from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: the owner pushes and pops at the back (LIFO, so
+    /// a scope's freshly spawned subtasks run first), thieves steal from the
+    /// front (FIFO, oldest task first).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Paired with `wake`; pushers take this lock before notifying so a
+    /// worker that checked `queued` under the lock cannot miss the wakeup.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    /// Tasks currently queued (injector + all deques).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    panicked: AtomicUsize,
+    steals: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl Shared {
+    /// The calling thread's worker index on *this* scheduler, if any.
+    fn current_worker(&self) -> Option<usize> {
+        let (addr, index) = WORKER.with(std::cell::Cell::get);
+        if addr == std::ptr::from_ref(self) as usize {
+            Some(index - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Queues a task: onto the local deque when called from a worker of this
+    /// scheduler, onto the injector otherwise.
+    fn push(&self, job: Job) {
+        // Publish the count *before* the job becomes poppable: `find_job`
+        // only decrements after actually taking a job, and a job can only be
+        // taken after the push below — so `queued` (served raw by the
+        // /stats endpoint) can never transiently underflow.  A thread that
+        // reads the incremented count a moment early just re-polls until
+        // the push lands.
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        match self.current_worker() {
+            Some(index) => lock(&self.deques[index]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        // Acquire-release the sleep lock between publishing `queued` and
+        // notifying: a worker that saw `queued == 0` under this lock is
+        // already waiting and receives the notification; one that has not
+        // yet taken the lock will see `queued > 0` when it does.
+        drop(lock(&self.sleep));
+        self.wake.notify_one();
+    }
+
+    /// Takes one runnable task: own deque first (back), then the injector,
+    /// then steals from sibling deques (front).
+    fn find_job(&self) -> Option<Job> {
+        let me = self.current_worker();
+        if let Some(index) = me {
+            if let Some(job) = lock(&self.deques[index]).pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let workers = self.deques.len();
+        let start = me.map_or(0, |index| index + 1);
+        for offset in 0..workers {
+            let victim = (start + offset) % workers;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = lock(&self.deques[victim]).pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs a task, counting it and containing its panic.
+    ///
+    /// `executed` is bumped *before* the task body: a scope's completion
+    /// latch fires inside the body (the spawn wrapper's drop guard), so
+    /// counting afterwards would let `scope`/`run_all` return with the last
+    /// task still uncounted.
+    fn run(&self, job: Job) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.with(|cell| cell.set((Arc::as_ptr(shared) as usize, index + 1)));
+    loop {
+        if let Some(job) = shared.find_job() {
+            shared.run(job);
+            continue;
+        }
+        let guard = lock(&shared.sleep);
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // The timeout is belt and braces: correctness comes from pushers
+        // notifying under the sleep lock, so a missed wakeup cannot happen —
+        // but a bounded wait keeps a hypothetical bug from parking a worker
+        // forever.
+        let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
+    }
+}
+
+/// A point-in-time snapshot of a scheduler's observability counters, served
+/// verbatim by the HTTP `/stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SchedulerStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Tasks currently queued (injector plus all worker deques).
+    pub queue_depth: usize,
+    /// Tasks a worker (or a helping waiter) took from another worker's deque.
+    pub steals: u64,
+    /// Tasks taken off the queues and run (including panicked ones).
+    pub executed_jobs: u64,
+    /// Tasks that panicked.
+    pub panicked_jobs: u64,
+}
+
+/// A work-stealing task scheduler: per-worker deques with stealing, plus the
+/// blocking [`scope`](Scheduler::scope) API whose waiters help run tasks.
+pub struct Scheduler {
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
-    panicked: Arc<AtomicUsize>,
 }
 
-impl std::fmt::Debug for ThreadPool {
+impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool")
+        f.debug_struct("Scheduler")
             .field("size", &self.size)
-            .field("panicked_jobs", &self.panicked.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
             .finish()
     }
 }
 
-impl ThreadPool {
-    /// Creates a pool with `size` workers (at least one).
+/// Tracks one blocking scope: the number of spawned-but-unfinished tasks and
+/// the latch its waiter blocks on when no task is runnable.
+struct ScopeState {
+    pending: AtomicUsize,
+    latch: Mutex<()>,
+    done: Condvar,
+}
+
+/// Decrements the owning scope's pending count when a task finishes — by
+/// returning *or* by unwinding — and wakes the waiter on the last task.
+struct Complete(Arc<ScopeState>);
+
+impl Drop for Complete {
+    fn drop(&mut self) {
+        if self.0.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Pair the notify with the latch lock so a waiter that observed
+            // `pending > 0` under the latch cannot miss this wakeup.
+            drop(lock(&self.0.latch));
+            self.0.done.notify_all();
+        }
+    }
+}
+
+/// A handle for spawning tasks into a blocking [`Scheduler::scope`].
+pub struct Scope<'a> {
+    scheduler: &'a Scheduler,
+    state: Arc<ScopeState>,
+}
+
+impl Scope<'_> {
+    /// Spawns a task into the scope.  The surrounding
+    /// [`scope`](Scheduler::scope) call returns only after the task has
+    /// finished; a panicking task is caught and counted like any other
+    /// scheduler task.
+    ///
+    /// Tasks spawned from a worker go to that worker's own deque (and are
+    /// popped LIFO, so a helping waiter runs its own subtasks first); tasks
+    /// spawned from outside go to the shared injector.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let complete = Complete(Arc::clone(&self.state));
+        self.scheduler.shared.push(Box::new(move || {
+            // Dropped when the task ends — normally or by unwinding.
+            let _complete = complete;
+            task();
+        }));
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler with `size` workers (at least one).
     #[must_use]
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let panicked = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..size).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
         let workers = (0..size)
             .map(|index| {
-                let receiver = Arc::clone(&receiver);
-                let panicked = Arc::clone(&panicked);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rf-runtime-{index}"))
-                    .spawn(move || worker_loop(&receiver, &panicked))
+                    .spawn(move || worker_loop(&shared, index))
                     .expect("spawn rf-runtime worker")
             })
             .collect();
-        ThreadPool {
-            sender: Some(sender),
+        Scheduler {
+            shared,
             workers,
             size,
-            panicked,
         }
     }
 
@@ -89,10 +307,203 @@ impl ThreadPool {
         self.size
     }
 
+    /// Number of tasks that panicked since the scheduler was created.
+    #[must_use]
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks taken off the queues and run (including panicked
+    /// ones).  Every task of a completed [`scope`](Scheduler::scope) or
+    /// [`run_all`](Scheduler::run_all) is counted by the time the call
+    /// returns.
+    #[must_use]
+    pub fn executed_jobs(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the observability counters.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            workers: self.size,
+            queue_depth: self.shared.queued.load(Ordering::SeqCst),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            executed_jobs: self.shared.executed.load(Ordering::Relaxed),
+            panicked_jobs: self.shared.panicked.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Queues a fire-and-forget task.
+    pub fn spawn_detached<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.push(Box::new(job));
+    }
+
+    /// Runs `f` with a [`Scope`] handle and blocks until every task spawned
+    /// into the scope has finished.
+    ///
+    /// While blocked, the calling thread **helps**: it runs queued tasks (its
+    /// own deque when it is a worker, stolen or injected tasks otherwise)
+    /// instead of parking.  That is the property that makes nested scopes
+    /// deadlock-free at any worker count — a scope inside a scope on a
+    /// one-worker scheduler simply executes its subtasks inline, in between
+    /// polls of its completion latch.
+    pub fn scope<R>(&self, f: impl FnOnce(&Scope<'_>) -> R) -> R {
+        let scope = Scope {
+            scheduler: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                latch: Mutex::new(()),
+                done: Condvar::new(),
+            }),
+        };
+        let result = f(&scope);
+        self.wait_scope(&scope.state);
+        result
+    }
+
+    /// Blocks until `state.pending` reaches zero, running queued tasks while
+    /// any are available.
+    fn wait_scope(&self, state: &ScopeState) {
+        loop {
+            if state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.find_job() {
+                self.shared.run(job);
+                continue;
+            }
+            // Nothing runnable: the scope's outstanding tasks are in flight
+            // on other threads.  Block on the latch, re-polling briefly so a
+            // task queued by *another* scheduler thread (which this waiter
+            // could steal) does not go unnoticed.
+            let guard = lock(&state.latch);
+            if state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let _ = state.done.wait_timeout(guard, Duration::from_millis(1));
+        }
+    }
+
+    /// Runs every job on the scheduler and blocks until all of them finish,
+    /// returning the outputs **in job order** regardless of execution order.
+    ///
+    /// A job that panics yields `None` in its slot; the others still run to
+    /// completion.  Built on [`scope`](Scheduler::scope), so it is safe at
+    /// any nesting depth and any worker count — the blocked caller helps run
+    /// the very jobs it waits for.
+    pub fn run_all<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..jobs.len()).map(|_| Mutex::new(None)).collect());
+        self.scope(|scope| {
+            for (index, job) in jobs.into_iter().enumerate() {
+                let slots = Arc::clone(&slots);
+                scope.spawn(move || {
+                    let output = job();
+                    *lock(&slots[index]) = Some(output);
+                });
+            }
+        });
+        match Arc::try_unwrap(slots) {
+            Ok(slots) => slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+                .collect(),
+            // The scope waits for every task, and each task drops its Arc
+            // clone before completing.
+            Err(_) => unreachable!("scope completion releases every slot reference"),
+        }
+    }
+
+    /// Runs `f` over contiguous shards of `0..len` and returns the shard
+    /// outputs **in shard order** — the deterministic merge that keeps
+    /// sharded computations byte-identical to a single sequential pass
+    /// whenever `f` is a pure function of its range (concatenating the
+    /// outputs of `shard_ranges(len, s)` reproduces `f(0..len)` exactly for
+    /// any row-wise map).
+    ///
+    /// `max_shards` bounds the fan-out; `0` means "pick for me" (twice the
+    /// worker count, so an unlucky slow shard can overlap with the rest).  A
+    /// shard whose closure panics yields `None` in its slot — callers that
+    /// need errors surface them by position via [`shard_ranges`].
+    pub fn map_shards<R, F>(&self, len: usize, max_shards: usize, f: F) -> Vec<Option<R>>
+    where
+        R: Send + 'static,
+        F: Fn(std::ops::Range<usize>) -> R + Send + Sync + 'static,
+    {
+        let max_shards = if max_shards == 0 {
+            self.size * 2
+        } else {
+            max_shards
+        };
+        let f = Arc::new(f);
+        let jobs: Vec<_> = shard_ranges(len, max_shards)
+            .into_iter()
+            .map(|range| {
+                let f = Arc::clone(&f);
+                move || f(range)
+            })
+            .collect();
+        self.run_all(jobs)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(lock(&self.shared.sleep));
+        self.shared.wake.notify_all();
+        // Workers drain every queued task before exiting.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing queued jobs.
+///
+/// Compatibility shim over an owned [`Scheduler`]: the historical
+/// `execute` / `execute_notify` / `run_all` / `map_shards` surface keeps its
+/// exact semantics (rf-net's reactor depends on `execute_notify`'s
+/// notify-even-on-panic guarantee), while new code reaches the scheduler —
+/// and its `scope` API — through [`ThreadPool::scheduler`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    scheduler: Arc<Scheduler>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (at least one).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        ThreadPool {
+            scheduler: Arc::new(Scheduler::new(size)),
+        }
+    }
+
+    /// The underlying work-stealing scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.scheduler.size()
+    }
+
     /// Number of jobs that panicked since the pool was created.
     #[must_use]
     pub fn panicked_jobs(&self) -> usize {
-        self.panicked.load(Ordering::Relaxed)
+        self.scheduler.panicked_jobs()
     }
 
     /// Queues a job for execution on the pool.
@@ -100,11 +511,7 @@ impl ThreadPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        self.sender
-            .as_ref()
-            .expect("pool sender alive until drop")
-            .send(Box::new(job))
-            .expect("pool workers alive until drop");
+        self.scheduler.spawn_detached(job);
     }
 
     /// Queues a job and guarantees `notify` runs after it finishes — even
@@ -138,83 +545,23 @@ impl ThreadPool {
     }
 
     /// Runs every job on the pool and blocks until all of them finish,
-    /// returning the outputs in job order.
-    ///
-    /// A job that panics yields `None` in its slot; the others still run to
-    /// completion.
-    ///
-    /// Safe to call from inside a job running on this same pool: nested
-    /// calls execute their jobs inline on the calling worker (blocking on
-    /// the shared queue from a worker would deadlock once every worker
-    /// waited on jobs stuck behind it).
+    /// returning the outputs in job order.  See [`Scheduler::run_all`].
     pub fn run_all<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        if WORKER_OF_POOL.with(std::cell::Cell::get) == Arc::as_ptr(&self.panicked) as usize {
-            return jobs
-                .into_iter()
-                .map(|job| match catch_unwind(AssertUnwindSafe(job)) {
-                    Ok(output) => Some(output),
-                    Err(_) => {
-                        self.panicked.fetch_add(1, Ordering::Relaxed);
-                        None
-                    }
-                })
-                .collect();
-        }
-        let total = jobs.len();
-        let (sender, receiver) = channel::<(usize, T)>();
-        for (index, job) in jobs.into_iter().enumerate() {
-            let sender = sender.clone();
-            self.execute(move || {
-                let output = job();
-                // The receiver may be gone if the caller gave up; ignore.
-                let _ = sender.send((index, output));
-            });
-        }
-        drop(sender);
-        let mut outputs: Vec<Option<T>> = (0..total).map(|_| None).collect();
-        while let Ok((index, output)) = receiver.recv() {
-            outputs[index] = Some(output);
-        }
-        outputs
+        self.scheduler.run_all(jobs)
     }
 
     /// Runs `f` over contiguous shards of `0..len` on the pool and returns
-    /// the shard outputs **in shard order** — the deterministic merge that
-    /// keeps sharded computations byte-identical to a single sequential pass
-    /// whenever `f` is a pure function of its range (concatenating the
-    /// outputs of `shard_ranges(len, s)` reproduces `f(0..len)` exactly for
-    /// any row-wise map).
-    ///
-    /// `max_shards` bounds the fan-out; `0` means "pick for me" (twice the
-    /// pool size, so an unlucky slow shard can overlap with the rest).  A
-    /// shard whose closure panics yields `None` in its slot — callers that
-    /// need errors surface them by position via [`shard_ranges`].
-    ///
-    /// Like [`ThreadPool::run_all`], safe to call from inside a job on this
-    /// same pool (nested calls run inline).
+    /// the shard outputs in shard order.  See [`Scheduler::map_shards`].
     pub fn map_shards<R, F>(&self, len: usize, max_shards: usize, f: F) -> Vec<Option<R>>
     where
         R: Send + 'static,
         F: Fn(std::ops::Range<usize>) -> R + Send + Sync + 'static,
     {
-        let max_shards = if max_shards == 0 {
-            self.size * 2
-        } else {
-            max_shards
-        };
-        let f = Arc::new(f);
-        let jobs: Vec<_> = shard_ranges(len, max_shards)
-            .into_iter()
-            .map(|range| {
-                let f = Arc::clone(&f);
-                move || f(range)
-            })
-            .collect();
-        self.run_all(jobs)
+        self.scheduler.map_shards(len, max_shards, f)
     }
 }
 
@@ -239,40 +586,6 @@ pub fn shard_ranges(len: usize, max_shards: usize) -> Vec<std::ops::Range<usize>
     ranges
 }
 
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        // Closing the channel lets the workers drain queued jobs and exit.
-        drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>, panicked: &Arc<AtomicUsize>) {
-    WORKER_OF_POOL.with(|cell| cell.set(Arc::as_ptr(panicked) as usize));
-    loop {
-        let job = {
-            let guard = match receiver.lock() {
-                Ok(guard) => guard,
-                // A worker panicked while holding the lock; the queue is in a
-                // consistent state (Receiver has no interior invariants we
-                // rely on), so keep serving.
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.recv()
-        };
-        match job {
-            Ok(job) => {
-                if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                    panicked.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Err(_) => return, // Channel closed: pool is shutting down.
-        }
-    }
-}
-
 /// The process-wide shared pool, sized to the available parallelism.
 ///
 /// Created on first use and kept alive for the lifetime of the process — the
@@ -292,6 +605,7 @@ pub fn global() -> &'static ThreadPool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc::channel;
 
     #[test]
     fn executes_queued_jobs() {
@@ -369,12 +683,6 @@ mod tests {
         assert_eq!(outputs[0], Some(1));
         assert_eq!(outputs[1], None);
         assert_eq!(outputs[2], Some(3));
-        // The counter is incremented after the job's channels unwind, so the
-        // panicked job may not be recorded the instant run_all returns.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-        while pool.panicked_jobs() == 0 && std::time::Instant::now() < deadline {
-            std::thread::yield_now();
-        }
         assert_eq!(pool.panicked_jobs(), 1);
     }
 
@@ -397,7 +705,7 @@ mod tests {
     fn nested_run_all_on_the_same_pool_does_not_deadlock() {
         let pool = Arc::new(ThreadPool::new(2));
         // Saturate the pool with jobs that each fan out again on the same
-        // pool; the inner run_all must fall back to inline execution.
+        // pool; helping waiters keep everything moving.
         let jobs: Vec<_> = (0..4)
             .map(|outer| {
                 let pool = Arc::clone(&pool);
@@ -413,6 +721,96 @@ mod tests {
             let values: Vec<_> = inner.into_iter().map(Option::unwrap).collect();
             assert_eq!(values, vec![outer * 10, outer * 10 + 1, outer * 10 + 2]);
         }
+    }
+
+    #[test]
+    fn nested_scope_on_a_single_worker_completes() {
+        // The deadlock-regression contract: a scope inside a scope inside a
+        // scope, all on one worker, must complete because every waiter helps.
+        let scheduler = Arc::new(Scheduler::new(1));
+        let inner_scheduler = Arc::clone(&scheduler);
+        let outputs = scheduler.run_all(vec![move || {
+            let deepest = Arc::clone(&inner_scheduler);
+            let mid: Vec<Option<Vec<Option<usize>>>> = inner_scheduler.run_all(vec![move || {
+                deepest.run_all((0..4).map(|i| move || i * i).collect::<Vec<_>>())
+            }]);
+            mid
+        }]);
+        let mid = outputs.into_iter().next().unwrap().expect("outer ran");
+        let inner = mid.into_iter().next().unwrap().expect("middle ran");
+        let values: Vec<usize> = inner.into_iter().map(Option::unwrap).collect();
+        assert_eq!(values, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn scope_spawns_run_and_waiters_help() {
+        let scheduler = Scheduler::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        scheduler.scope(|scope| {
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        // All spawned tasks were executed and the queues drained.
+        let stats = scheduler.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.executed_jobs, 64);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn scope_survives_panicking_tasks() {
+        let scheduler = Scheduler::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        scheduler.scope(|scope| {
+            for i in 0..8 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    assert!(i % 2 == 0, "odd tasks explode");
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(scheduler.panicked_jobs(), 4);
+    }
+
+    #[test]
+    fn executed_jobs_counts_every_task() {
+        let scheduler = Scheduler::new(3);
+        let before = scheduler.executed_jobs();
+        let outputs = scheduler.run_all((0..25).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(outputs.len(), 25);
+        assert_eq!(scheduler.executed_jobs() - before, 25);
+    }
+
+    #[test]
+    fn stealing_happens_and_is_counted() {
+        // One worker floods its own deque from inside a scope; the second
+        // worker has nothing local and must steal to participate.  The flood
+        // is dispatched with `spawn_detached` so it runs on a worker (a
+        // helping external thread would push to the injector instead).
+        let scheduler = Arc::new(Scheduler::new(2));
+        let inner = Arc::clone(&scheduler);
+        let slow_start = std::time::Duration::from_millis(2);
+        let (sender, receiver) = channel();
+        scheduler.spawn_detached(move || {
+            inner.scope(|scope| {
+                for _ in 0..32 {
+                    scope.spawn(move || std::thread::sleep(slow_start));
+                }
+            });
+            sender.send(()).unwrap();
+        });
+        receiver.recv().unwrap();
+        assert!(
+            scheduler.stats().steals > 0,
+            "sibling worker should have stolen from the flooded deque"
+        );
     }
 
     #[test]
@@ -476,6 +874,34 @@ mod tests {
         let pool = ThreadPool::new(2);
         let outputs = pool.map_shards(0, 0, |range| range.len());
         assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn external_threads_can_scope_too() {
+        // A scope entered from a non-worker thread: its spawns go to the
+        // injector and the waiting thread helps drain them.
+        let scheduler = Arc::new(Scheduler::new(1));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let scheduler = Arc::clone(&scheduler);
+                std::thread::spawn(move || {
+                    let counter = Arc::new(AtomicU64::new(0));
+                    scheduler.scope(|scope| {
+                        for _ in 0..16 {
+                            let counter = Arc::clone(&counter);
+                            scope.spawn(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    (t, counter.load(Ordering::Relaxed))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (_, count) = handle.join().unwrap();
+            assert_eq!(count, 16);
+        }
     }
 
     #[test]

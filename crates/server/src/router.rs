@@ -162,11 +162,79 @@ fn dataset_preview(catalog: &DatasetCatalog, slug: &str) -> Response {
     }
 }
 
+/// Upper bound on the `trials` query override.  Every trial perturbs and
+/// re-ranks the whole dataset, so an unauthenticated request must not be
+/// able to schedule unbounded work on the label hot path.
+pub const MAX_MC_TRIALS: usize = 1_024;
+
+/// Applies the Monte-Carlo stability query overrides (`trials`,
+/// `data_noise`, `weight_noise`, `mc_seed`) to a label configuration, so the
+/// §2.2 uncertainty detail is tunable per request without recompiling.  The
+/// knobs are part of the configuration fingerprint, so each combination is
+/// its own cache entry.  `trials` is capped at [`MAX_MC_TRIALS`].
+fn apply_monte_carlo_overrides(
+    mut config: LabelConfig,
+    request: &Request,
+) -> Result<LabelConfig, Box<Response>> {
+    if let Some(trials) = request.query_param("trials") {
+        match trials.parse::<usize>() {
+            Ok(trials) if trials <= MAX_MC_TRIALS => {
+                config = config.with_monte_carlo_trials(trials);
+            }
+            Ok(_) => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    format!("trials capped at {MAX_MC_TRIALS} (each trial re-ranks the dataset)"),
+                )))
+            }
+            Err(_) => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    format!("invalid trials `{trials}`"),
+                )))
+            }
+        }
+    }
+    fn noise_param(request: &Request, name: &str) -> Result<Option<f64>, Box<Response>> {
+        let Some(raw) = request.query_param(name) else {
+            return Ok(None);
+        };
+        match raw.parse::<f64>() {
+            Ok(value) if value.is_finite() && value >= 0.0 => Ok(Some(value)),
+            _ => Err(Box::new(Response::text(
+                StatusCode::BadRequest,
+                format!("invalid {name} `{raw}` (need a non-negative finite fraction)"),
+            ))),
+        }
+    }
+    let data_noise = noise_param(request, "data_noise")?;
+    let weight_noise = noise_param(request, "weight_noise")?;
+    if data_noise.is_some() || weight_noise.is_some() {
+        let data = data_noise.unwrap_or(config.monte_carlo.data_noise);
+        let weight = weight_noise.unwrap_or(config.monte_carlo.weight_noise);
+        config = config.with_monte_carlo_noise(data, weight);
+    }
+    if let Some(seed) = request.query_param("mc_seed") {
+        match seed.parse::<u64>() {
+            Ok(seed) => config = config.with_monte_carlo_seed(seed),
+            Err(_) => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    format!("invalid mc_seed `{seed}`"),
+                )))
+            }
+        }
+    }
+    Ok(config)
+}
+
 /// `GET /datasets/{slug}/label[.json]` — the label, via the shared
 /// [`LabelService`].
 ///
-/// The query parameter `k` overrides the default top-k.  A warm cache hit
-/// answers the JSON flavour with the pre-rendered document — no analysis, no
+/// The query parameter `k` overrides the default top-k; `trials`,
+/// `data_noise`, `weight_noise` and `mc_seed` tune the Monte-Carlo stability
+/// detail (`trials=0` disables it).  A warm cache hit answers the JSON
+/// flavour with the pre-rendered document — no analysis, no
 /// re-serialization.
 fn dataset_label(state: &AppState, slug: &str, request: &Request, json: bool) -> Response {
     let Some(entry) = state.catalog.get(slug) else {
@@ -181,6 +249,10 @@ fn dataset_label(state: &AppState, slug: &str, request: &Request, json: bool) ->
             }
         }
     }
+    config = match apply_monte_carlo_overrides(config, request) {
+        Ok(config) => config,
+        Err(response) => return *response,
+    };
     // The catalogue already shares its tables via `Arc`, so a cache miss
     // routes to the pipeline without copying the dataset.
     match state.labels.label(&entry.table, &Arc::new(config)) {
@@ -404,7 +476,9 @@ fn upload_config(
             config = config.with_diversity_attribute(attr);
         }
     }
-    Ok(config)
+    // Uploads accept the same Monte-Carlo stability overrides as the
+    // catalogue label endpoints.
+    apply_monte_carlo_overrides(config, request)
 }
 
 #[cfg(test)]
@@ -507,6 +581,73 @@ mod tests {
         assert_eq!(value["cache"]["entries"], 1);
         assert!(value["cache"]["bytes"].as_u64().unwrap() > 0);
         assert!(value["preparations"].as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn stats_endpoint_exposes_scheduler_observability() {
+        // The satellite contract: panicked jobs, queue depth, and steal
+        // counts are visible over HTTP alongside the cache counters.
+        let state = demo_catalog();
+        let _ = route(&state, &get("/datasets/cs-departments/label.json"));
+        let resp = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let scheduler = &value["scheduler"];
+        assert!(scheduler["workers"].as_u64().unwrap() >= 1);
+        assert!(scheduler["executed_jobs"].as_u64().unwrap() >= 1);
+        assert!(scheduler["panicked_jobs"].as_u64().is_some());
+        assert!(scheduler["queue_depth"].as_u64().is_some());
+        assert!(scheduler["steals"].as_u64().is_some());
+        // The cache side gained the TTL expiry counter.
+        assert_eq!(value["cache"]["expired"], 0);
+    }
+
+    #[test]
+    fn label_json_includes_the_monte_carlo_detail_by_default() {
+        let state = demo_catalog();
+        let resp = route(&state, &get("/datasets/cs-departments/label.json"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let mc = &value["stability"]["monte_carlo"];
+        assert!(mc.is_object(), "stability detail served on the hot path");
+        assert_eq!(mc["trials"], 32);
+        assert!(mc["expected_kendall_tau"].as_f64().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_query_overrides_are_applied_and_keyed() {
+        let state = demo_catalog();
+        let resp = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=5&data_noise=0.2&mc_seed=7"),
+        );
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["stability"]["monte_carlo"]["trials"], 5);
+        assert_eq!(value["config"]["monte_carlo"]["data_noise"], 0.2);
+        assert_eq!(value["config"]["monte_carlo"]["seed"], 7);
+        // trials=0 disables the detail view.
+        let off = route(&state, &get("/datasets/cs-departments/label.json?trials=0"));
+        let value: serde_json::Value = serde_json::from_str(&off.body).unwrap();
+        assert!(value["stability"]["monte_carlo"].is_null());
+        // Different knobs are different cache keys: 2 requests, 2 misses.
+        assert_eq!(state.labels.stats().cache.misses, 2);
+        // And re-requesting the first combination is a warm hit.
+        let again = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=5&data_noise=0.2&mc_seed=7"),
+        );
+        assert_eq!(again.body.as_str(), resp.body.as_str());
+        assert_eq!(state.labels.stats().cache.hits, 1);
+        // Bad values are rejected.
+        for bad in [
+            "/datasets/cs-departments/label.json?trials=lots",
+            // Unbounded trials would let one request schedule arbitrary work.
+            "/datasets/cs-departments/label.json?trials=4000000000",
+            "/datasets/cs-departments/label.json?data_noise=-1",
+            "/datasets/cs-departments/label.json?weight_noise=nan",
+            "/datasets/cs-departments/label.json?mc_seed=x",
+        ] {
+            assert_eq!(route(&state, &get(bad)).status, StatusCode::BadRequest);
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum StabilityError {
     Ranking(rf_ranking::RankingError),
     /// An underlying statistics error.
     Stats(rf_stats::StatsError),
+    /// A Monte-Carlo trial task panicked on the scheduler.
+    TrialPanic {
+        /// Zero-based index of the panicked trial.
+        trial: usize,
+    },
 }
 
 impl fmt::Display for StabilityError {
@@ -46,6 +51,9 @@ impl fmt::Display for StabilityError {
             StabilityError::Table(err) => write!(f, "table error: {err}"),
             StabilityError::Ranking(err) => write!(f, "ranking error: {err}"),
             StabilityError::Stats(err) => write!(f, "statistics error: {err}"),
+            StabilityError::TrialPanic { trial } => {
+                write!(f, "Monte-Carlo trial {trial} panicked on the scheduler")
+            }
         }
     }
 }

@@ -21,6 +21,10 @@
 //! * [`monte_carlo`] — "or it can be assessed using a model of uncertainty in
 //!   the data": repeated re-ranking under data noise and weight jitter,
 //!   summarized by the expected Kendall tau and expected top-k overlap.
+//!   Each trial draws from its own derived ChaCha stream (`seed ⊕ trial`),
+//!   so the per-trial parallel schedule
+//!   ([`MonteCarloStability::evaluate_on`], one `rf-runtime` scheduler task
+//!   per trial) is byte-identical to the sequential reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +39,5 @@ pub use attribute::{
     normalized_values_in_rank_order, AttributeStability,
 };
 pub use error::{StabilityError, StabilityResult};
-pub use monte_carlo::{MonteCarloStability, MonteCarloSummary};
+pub use monte_carlo::{trial_rng, MonteCarloStability, MonteCarloSummary, TrialOutcome};
 pub use slope::{score_distribution_slope, SlopeStability, StabilityVerdict};

@@ -6,15 +6,26 @@
 //! attributes, multiplicative jitter on the weights — and summarizes how much
 //! the ranking moves: expected Kendall tau against the original ranking and
 //! expected overlap of the top-k set.
+//!
+//! ## Per-trial random streams
+//!
+//! Every trial draws from its **own** deterministically derived ChaCha
+//! stream: trial `i` seeds `ChaCha8Rng` from `seed ⊕ i` (the `u64` is then
+//! expanded through SplitMix64 by `seed_from_u64`, which decorrelates
+//! adjacent seeds).  Trials therefore commute — the estimate is a pure
+//! function of `(inputs, seed, trials)`, independent of execution order — so
+//! the parallel fan-out of [`MonteCarloStability::evaluate_on`] (one
+//! scheduler task per trial) is **byte-identical** to the sequential
+//! reference [`MonteCarloStability::evaluate`] at any worker count.
 
 use crate::error::{StabilityError, StabilityResult};
 use crate::slope::StabilityVerdict;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rf_ranking::{
-    kendall_tau_rankings, perturb_table_gaussian, perturb_weights, Ranking, ScoringFunction,
-};
+use rf_ranking::{kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction, TablePerturber};
+use rf_runtime::Scheduler;
 use rf_table::Table;
+use std::sync::Arc;
 
 /// Configuration of the Monte-Carlo stability estimator.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -123,8 +134,9 @@ impl MonteCarloStability {
         self
     }
 
-    /// Runs the estimator: repeatedly perturbs `table` and `scoring`, re-ranks,
-    /// and compares against the original `ranking`.
+    /// Runs the estimator **sequentially** — the reference schedule: trials
+    /// `0..trials` execute in order on the calling thread, each drawing from
+    /// its own derived stream ([`trial_rng`]).
     ///
     /// # Errors
     /// Propagates scoring errors; requires a ranking of at least two items.
@@ -134,6 +146,64 @@ impl MonteCarloStability {
         scoring: &ScoringFunction,
         ranking: &Ranking,
     ) -> StabilityResult<MonteCarloSummary> {
+        let plan = self.plan(table, None, scoring, ranking)?;
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for trial in 0..self.trials {
+            outcomes.push(plan.run_trial(trial)?);
+        }
+        Ok(self.summarize(&outcomes))
+    }
+
+    /// Runs the estimator with **one scheduler task per trial**, merging the
+    /// per-trial outcomes in trial order.
+    ///
+    /// Because each trial owns its derived stream, the summary is
+    /// byte-identical to [`evaluate`](Self::evaluate) at any worker count —
+    /// asserted by `tests/integration_stability_mc.rs` across the three demo
+    /// scenarios and by proptest over random seeds, trial counts, and worker
+    /// counts.  Safe to call from inside a task already running on
+    /// `scheduler` (e.g. the Stability widget builder): the blocking wait
+    /// *helps* run the trial tasks instead of parking a worker.
+    ///
+    /// # Errors
+    /// The first failing trial's error in trial order, or
+    /// [`StabilityError::TrialPanic`] naming the first panicked trial.
+    pub fn evaluate_on(
+        &self,
+        scheduler: &Scheduler,
+        table: &Arc<Table>,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+    ) -> StabilityResult<MonteCarloSummary> {
+        let plan = Arc::new(self.plan(table, Some(table), scoring, ranking)?);
+        let jobs: Vec<_> = (0..self.trials)
+            .map(|trial| {
+                let plan = Arc::clone(&plan);
+                move || plan.run_trial(trial)
+            })
+            .collect();
+        let slots = scheduler.run_all(jobs);
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for (trial, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(outcome)) => outcomes.push(outcome),
+                Some(Err(err)) => return Err(err),
+                None => return Err(StabilityError::TrialPanic { trial }),
+            }
+        }
+        Ok(self.summarize(&outcomes))
+    }
+
+    /// Validates the inputs and fits everything the trials share: the table
+    /// perturbation model (column noise scales computed once), the original
+    /// top-k set, and the clamped `k`.
+    fn plan(
+        &self,
+        table: &Table,
+        shared_table: Option<&Arc<Table>>,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+    ) -> StabilityResult<TrialPlan> {
         if ranking.len() < 2 {
             return Err(StabilityError::TooFewItems {
                 available: ranking.len(),
@@ -147,55 +217,133 @@ impl MonteCarloStability {
             });
         }
         let k = self.k.clamp(1, ranking.len());
-        let scoring_attributes: Vec<&str> = scoring.attribute_names();
-        let original_top_k: Vec<usize> = ranking.top_k_indices(k);
-        let original_top_item = ranking.order()[0];
+        let perturber = if self.data_noise > 0.0 {
+            let scoring_attributes: Vec<&str> = scoring.attribute_names();
+            Some(TablePerturber::fit(
+                table,
+                &scoring_attributes,
+                self.data_noise,
+            )?)
+        } else {
+            None
+        };
+        // With data noise every trial builds its own perturbed table; without
+        // it the trials rank the original, shared without copying when the
+        // caller already holds it by `Arc`.
+        let table = if perturber.is_some() {
+            None
+        } else {
+            Some(
+                shared_table
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| Arc::new(table.clone())),
+            )
+        };
+        Ok(TrialPlan {
+            scoring: scoring.clone(),
+            ranking: ranking.clone(),
+            perturber,
+            table,
+            original_top_k: ranking.top_k_indices(k),
+            original_top_item: ranking.order()[0],
+            k,
+            weight_noise: self.weight_noise,
+            seed: self.seed,
+        })
+    }
 
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut taus = Vec::with_capacity(self.trials);
-        let mut overlaps = Vec::with_capacity(self.trials);
-        let mut top_changes = 0usize;
-
-        for _ in 0..self.trials {
-            let perturbed_table = if self.data_noise > 0.0 {
-                perturb_table_gaussian(table, &scoring_attributes, self.data_noise, &mut rng)?
-            } else {
-                table.clone()
-            };
-            let perturbed_scoring = if self.weight_noise > 0.0 {
-                perturb_weights(scoring, self.weight_noise, &mut rng)?
-            } else {
-                scoring.clone()
-            };
-            let perturbed_ranking = perturbed_scoring.rank_table(&perturbed_table)?;
-
-            let tau = kendall_tau_rankings(ranking, &perturbed_ranking).unwrap_or(0.0);
-            taus.push(tau);
-            overlaps.push(jaccard(
-                &original_top_k,
-                &perturbed_ranking.top_k_indices(k),
-            ));
-            if perturbed_ranking.order()[0] != original_top_item {
-                top_changes += 1;
-            }
-        }
-
-        let expected_tau = taus.iter().sum::<f64>() / taus.len() as f64;
-        let worst_tau = taus.iter().copied().fold(f64::INFINITY, f64::min);
-        let expected_overlap = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+    /// Folds per-trial outcomes (in trial order) into the summary.  Pure and
+    /// order-sensitive only through float summation, which both schedules
+    /// perform identically because outcomes arrive indexed by trial.
+    fn summarize(&self, outcomes: &[TrialOutcome]) -> MonteCarloSummary {
+        let count = outcomes.len() as f64;
+        let expected_tau = outcomes.iter().map(|o| o.kendall_tau).sum::<f64>() / count;
+        let worst_tau = outcomes
+            .iter()
+            .map(|o| o.kendall_tau)
+            .fold(f64::INFINITY, f64::min);
+        let expected_overlap = outcomes.iter().map(|o| o.top_k_overlap).sum::<f64>() / count;
+        let top_changes = outcomes.iter().filter(|o| o.top_item_changed).count();
         let verdict = if expected_tau >= self.tau_threshold {
             StabilityVerdict::Stable
         } else {
             StabilityVerdict::Unstable
         };
-
-        Ok(MonteCarloSummary {
-            trials: self.trials,
+        MonteCarloSummary {
+            trials: outcomes.len(),
             expected_kendall_tau: expected_tau,
             worst_kendall_tau: worst_tau,
             expected_top_k_overlap: expected_overlap,
-            top_item_change_rate: top_changes as f64 / self.trials as f64,
+            top_item_change_rate: top_changes as f64 / count,
             verdict,
+        }
+    }
+}
+
+/// The RNG of one trial: an independent ChaCha stream derived as
+/// `seed ⊕ trial` (then expanded through SplitMix64 by `seed_from_u64`).
+/// Public so tests and benches can pin the derivation.
+#[must_use]
+pub fn trial_rng(seed: u64, trial: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ trial as u64)
+}
+
+/// What one perturbed re-ranking observed, relative to the original ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Kendall tau between the original and the perturbed ranking.
+    pub kendall_tau: f64,
+    /// Jaccard overlap of the original and perturbed top-k sets.
+    pub top_k_overlap: f64,
+    /// Whether the rank-1 item changed.
+    pub top_item_changed: bool,
+}
+
+/// Everything the trials share, fitted once per evaluation and immutable
+/// afterwards — safe to reference from concurrently running trial tasks.
+#[derive(Debug)]
+struct TrialPlan {
+    scoring: ScoringFunction,
+    ranking: Ranking,
+    /// Fitted perturbation model; `None` when `data_noise == 0`.
+    perturber: Option<TablePerturber>,
+    /// The unperturbed table, retained only when no data noise is applied.
+    table: Option<Arc<Table>>,
+    original_top_k: Vec<usize>,
+    original_top_item: usize,
+    k: usize,
+    weight_noise: f64,
+    seed: u64,
+}
+
+impl TrialPlan {
+    /// Runs trial `trial` on its own derived stream: perturb the data, jitter
+    /// the weights, re-rank, compare.  Pure in `(plan, trial)`.
+    fn run_trial(&self, trial: usize) -> StabilityResult<TrialOutcome> {
+        let mut rng = trial_rng(self.seed, trial);
+        // Draw order matches the historical estimator: data noise first,
+        // then weight jitter.
+        let perturbed_table = match &self.perturber {
+            Some(perturber) => Some(perturber.perturb(&mut rng)?),
+            None => None,
+        };
+        let scoring = if self.weight_noise > 0.0 {
+            perturb_weights(&self.scoring, self.weight_noise, &mut rng)?
+        } else {
+            self.scoring.clone()
+        };
+        let table: &Table = match &perturbed_table {
+            Some(table) => table,
+            None => self.table.as_ref().expect("plan retains the table"),
+        };
+        let perturbed_ranking = scoring.rank_table(table)?;
+        Ok(TrialOutcome {
+            kendall_tau: kendall_tau_rankings(&self.ranking, &perturbed_ranking).unwrap_or(0.0),
+            top_k_overlap: jaccard(
+                &self.original_top_k,
+                &perturbed_ranking.top_k_indices(self.k),
+            ),
+            top_item_changed: perturbed_ranking.order()[0] != self.original_top_item,
         })
     }
 }
@@ -331,6 +479,59 @@ mod tests {
         assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
         assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
         assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn parallel_trials_match_the_sequential_reference_at_any_worker_count() {
+        let t = Arc::new(spread_table(40));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(17)
+            .unwrap()
+            .with_noise(0.2, 0.1)
+            .unwrap()
+            .with_seed(99);
+        let sequential = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        for workers in [1usize, 2, 5] {
+            let scheduler = Scheduler::new(workers);
+            let parallel = estimator
+                .evaluate_on(&scheduler, &t, &scoring, &ranking)
+                .unwrap();
+            assert_eq!(sequential, parallel, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn evaluate_on_runs_exactly_one_task_per_trial() {
+        let t = Arc::new(spread_table(20));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let scheduler = Scheduler::new(3);
+        let before = scheduler.executed_jobs();
+        MonteCarloStability::new()
+            .with_trials(13)
+            .unwrap()
+            .evaluate_on(&scheduler, &t, &scoring, &ranking)
+            .unwrap();
+        assert_eq!(scheduler.executed_jobs() - before, 13);
+    }
+
+    #[test]
+    fn trial_streams_are_independent_and_deterministic() {
+        use rand::RngCore;
+        let mut a = trial_rng(42, 3);
+        let mut a_again = trial_rng(42, 3);
+        let mut b = trial_rng(42, 4);
+        let mut matched = 0;
+        for _ in 0..64 {
+            let word = a.next_u64();
+            assert_eq!(word, a_again.next_u64());
+            if word == b.next_u64() {
+                matched += 1;
+            }
+        }
+        assert!(matched < 4, "adjacent trial streams must decorrelate");
     }
 
     #[test]

@@ -82,6 +82,14 @@ fn warm_hits_and_sweeps_reuse_one_preparation_on_all_scenarios() {
         // --- Cache parity -------------------------------------------------
         let service = LabelService::new();
         let cold = service.label(&table, &config).unwrap();
+        assert!(
+            cold.json.contains("\"monte_carlo\""),
+            "{name}: the Monte-Carlo stability detail is part of the served label"
+        );
+        assert!(
+            cold.label.stability.monte_carlo.is_some(),
+            "{name}: the detail view is populated on the hot path"
+        );
 
         let before = AnalysisContext::preparations();
         let warm = service.label(&table, &config).unwrap();
