@@ -1,19 +1,358 @@
-//! Per-trial Monte-Carlo stability: trials × workers sweep.
+//! Monte-Carlo stability: columnar kernel vs. materialized tables, batch
+//! sweep, and the trials × workers scaling grid.
 //!
-//! The estimator decomposes into one scheduler task per trial (each on its
-//! own derived ChaCha stream), so wall-clock should shrink with worker count
-//! while the summary stays byte-identical to the sequential reference.  The
-//! sweep also measures the sequential baseline at each trial count so the
-//! scheduler's overhead on small fan-outs is visible.
+//! Besides the interactive Criterion groups, this bench emits a
+//! machine-readable snapshot to `BENCH_monte_carlo.json` at the repo root —
+//! median ns/trial and an allocations-per-trial proxy (counted by a wrapping
+//! global allocator) for the materialized reference vs. the columnar kernel
+//! on the three demo scenarios, plus the batched-schedule sweep — so future
+//! PRs can diff the hot path's trajectory instead of eyeballing logs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rf_bench::cs_table_with_rows;
-use rf_ranking::ScoringFunction;
+use rand::Rng;
+use rf_bench::{compas_scenario, cs_table, cs_table_with_rows, german_credit_scenario};
+use rf_ranking::{kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction};
 use rf_runtime::Scheduler;
-use rf_stability::MonteCarloStability;
+use rf_stability::{trial_rng, MonteCarloStability};
+use rf_table::{Column, Table};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashSet;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+/// Counts every heap allocation, as a proxy for the kernel's
+/// "allocation-free hot path" claim: the columnar path should allocate
+/// O(1) per *evaluation*, the materialized path O(columns) per *trial*.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The three demo scenarios of the paper's §3, with their scoring recipes.
+fn demo_scenarios() -> Vec<(&'static str, Arc<rf_table::Table>, ScoringFunction)> {
+    vec![
+        (
+            "cs-departments",
+            Arc::new(cs_table()),
+            ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+                .expect("scoring"),
+        ),
+        (
+            "compas",
+            Arc::new(compas_scenario(600).0),
+            ScoringFunction::from_pairs([("decile_score", 0.7), ("priors_count", 0.3)])
+                .expect("scoring"),
+        ),
+        (
+            "german-credit",
+            Arc::new(german_credit_scenario(1000).0),
+            ScoringFunction::from_pairs([
+                ("credit_score", 0.7),
+                ("employment_years", 0.2),
+                ("credit_amount", -0.1),
+            ])
+            .expect("scoring"),
+        ),
+    ]
+}
+
+/// Median wall-clock nanoseconds per trial of `routine` (which runs
+/// `trials` trials per call), over an adaptive number of samples.
+fn median_ns_per_trial(mut routine: impl FnMut(), trials: usize) -> f64 {
+    routine(); // warm-up (fills scratch pools, page-faults buffers)
+    let mut samples: Vec<u128> = Vec::new();
+    let started = Instant::now();
+    while samples.len() < 5
+        || (started.elapsed() < Duration::from_millis(400) && samples.len() < 40)
+    {
+        let s = Instant::now();
+        routine();
+        samples.push(s.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64 / trials as f64
+}
+
+/// Interleaved A/B/C… sampling: one sample of each routine per round, so
+/// slow drift (thermal, background load) hits every contender equally.
+/// Returns the median ns/trial per routine.
+fn interleaved_medians_ns_per_trial(
+    routines: &mut [&mut dyn FnMut()],
+    trials: usize,
+    rounds: usize,
+) -> Vec<f64> {
+    for routine in routines.iter_mut() {
+        routine(); // warm-up
+    }
+    let mut samples: Vec<Vec<u128>> = routines
+        .iter()
+        .map(|_| Vec::with_capacity(rounds))
+        .collect();
+    for _ in 0..rounds {
+        for (routine, bucket) in routines.iter_mut().zip(samples.iter_mut()) {
+            let s = Instant::now();
+            routine();
+            bucket.push(s.elapsed().as_nanos());
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut bucket| {
+            bucket.sort_unstable();
+            bucket[bucket.len() / 2] as f64 / trials as f64
+        })
+        .collect()
+}
+
+/// Standard normal via Box–Muller — the draw the estimator's noise model
+/// makes, reproduced here for the seed-style baseline below.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// One column of the seed-style baseline plan.
+enum SeedColumn {
+    /// Deep-cloned into every draw (the pre-PR-5 behaviour: unperturbed
+    /// columns were copied cell by cell, strings included).
+    Keep(String),
+    /// Perturbed: pre-extracted values plus the fitted noise scale.
+    Noise {
+        name: String,
+        options: Vec<Option<f64>>,
+        scale: f64,
+    },
+}
+
+/// A faithful reconstruction of the estimator's **pre-PR-5 trial** — the
+/// baseline the columnar kernel replaced: every trial materializes a full
+/// perturbed [`Table`] (unperturbed columns deep-cloned), re-fits the
+/// scoring function from scratch, builds a fresh [`Ranking`], and compares
+/// with per-trial hash sets.  Fitting (noise scales, the original top-k) is
+/// done once, as the old plan did.
+struct SeedStylePlan<'a> {
+    scoring: &'a ScoringFunction,
+    ranking: &'a Ranking,
+    columns: Vec<SeedColumn>,
+    original_top_k: Vec<usize>,
+    original_top_item: usize,
+    k: usize,
+    weight_noise: f64,
+    seed: u64,
+}
+
+impl<'a> SeedStylePlan<'a> {
+    fn fit(
+        table: &'a Table,
+        scoring: &'a ScoringFunction,
+        ranking: &'a Ranking,
+        data_noise: f64,
+        weight_noise: f64,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        let attrs: Vec<&str> = scoring.attribute_names();
+        let columns = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|field| {
+                let name = field.name.as_str();
+                if attrs.contains(&name) {
+                    let options = table.numeric_column_options(name).expect("numeric attr");
+                    let non_null: Vec<f64> = options.iter().filter_map(|x| *x).collect();
+                    let sd = if non_null.len() >= 2 {
+                        rf_stats::stddev(&non_null).expect("stddev")
+                    } else {
+                        0.0
+                    };
+                    SeedColumn::Noise {
+                        name: name.to_string(),
+                        options,
+                        scale: sd * data_noise,
+                    }
+                } else {
+                    SeedColumn::Keep(name.to_string())
+                }
+            })
+            .collect();
+        SeedStylePlan {
+            scoring,
+            ranking,
+            columns,
+            original_top_k: ranking.top_k_indices(k),
+            original_top_item: ranking.order()[0],
+            k,
+            weight_noise,
+            seed,
+        }
+    }
+
+    fn run_trial(&self, table: &Table, trial: usize) -> f64 {
+        let mut rng = trial_rng(self.seed, trial);
+        let mut out = Table::new();
+        for column in &self.columns {
+            match column {
+                SeedColumn::Keep(name) => {
+                    // The old `Table` stored columns by value: sharing the
+                    // column meant cloning every cell.
+                    out.add_column(name, table.column(name).expect("column").clone())
+                        .expect("add");
+                }
+                SeedColumn::Noise {
+                    name,
+                    options,
+                    scale,
+                } => {
+                    let perturbed: Vec<Option<f64>> = options
+                        .iter()
+                        .map(|opt| opt.map(|v| v + gaussian(&mut rng) * scale))
+                        .collect();
+                    out.add_column(name, Column::Float(perturbed)).expect("add");
+                }
+            }
+        }
+        let scoring = if self.weight_noise > 0.0 {
+            perturb_weights(self.scoring, self.weight_noise, &mut rng).expect("weights")
+        } else {
+            self.scoring.clone()
+        };
+        let perturbed_ranking = scoring.rank_table(&out).expect("rank");
+        let tau = kendall_tau_rankings(self.ranking, &perturbed_ranking).unwrap_or(0.0);
+        let a: HashSet<usize> = self.original_top_k.iter().copied().collect();
+        let b: HashSet<usize> = perturbed_ranking
+            .top_k_indices(self.k)
+            .into_iter()
+            .collect();
+        let overlap = a.intersection(&b).count() as f64 / a.union(&b).count() as f64;
+        let changed = perturbed_ranking.order()[0] != self.original_top_item;
+        tau + overlap + f64::from(u8::from(changed))
+    }
+}
+
+/// Heap allocations per trial of one `routine` call.
+fn allocs_per_trial(mut routine: impl FnMut(), trials: usize) -> f64 {
+    routine(); // warm-up, so one-time setup does not count
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    routine();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / trials as f64
+}
+
+/// Columnar kernel vs. materialized reference on the three demo scenarios.
+fn columnar_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo/columnar_vs_materialized");
+    group.sample_size(10);
+    for (name, table, scoring) in demo_scenarios() {
+        let ranking = scoring.rank_table(&table).expect("ranking");
+        let estimator = MonteCarloStability::new()
+            .with_trials(32)
+            .expect("trials")
+            .with_k(10);
+        group.bench_with_input(BenchmarkId::new("materialized", name), &(), |b, ()| {
+            b.iter(|| {
+                estimator
+                    .evaluate_materialized(
+                        black_box(&table),
+                        black_box(&scoring),
+                        black_box(&ranking),
+                    )
+                    .expect("evaluate_materialized")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("columnar", name), &(), |b, ()| {
+            b.iter(|| {
+                estimator
+                    .evaluate(black_box(&table), black_box(&scoring), black_box(&ranking))
+                    .expect("evaluate")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Batch-size sweep: the batched schedule at several batches-per-worker
+/// factors, against the per-trial-task schedule it replaces.
+fn batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo/batch_sweep");
+    group.sample_size(10);
+    let table = Arc::new(cs_table_with_rows(2_000));
+    let scoring = ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+        .expect("scoring");
+    let ranking = scoring.rank_table(&table).expect("ranking");
+    let estimator = MonteCarloStability::new()
+        .with_trials(256)
+        .expect("trials")
+        .with_k(10);
+    for workers in [2usize, 4] {
+        let scheduler = Scheduler::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new(format!("per-trial-workers-{workers}"), 256),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    estimator
+                        .evaluate_on(
+                            &scheduler,
+                            black_box(&table),
+                            black_box(&scoring),
+                            black_box(&ranking),
+                        )
+                        .expect("evaluate_on")
+                });
+            },
+        );
+        for factor in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched-workers-{workers}-f{factor}"), 256),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        estimator
+                            .evaluate_batched_with(
+                                &scheduler,
+                                black_box(&table),
+                                black_box(&scoring),
+                                black_box(&ranking),
+                                None,
+                                factor,
+                            )
+                            .expect("evaluate_batched_with")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Trials × workers scaling of the batched schedule, with the sequential
+/// baseline per trial count.
 fn trials_by_workers(c: &mut Criterion) {
     let mut group = c.benchmark_group("monte_carlo/trials_x_workers");
     group.sample_size(10);
@@ -42,13 +381,14 @@ fn trials_by_workers(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         estimator
-                            .evaluate_on(
+                            .evaluate_batched(
                                 &scheduler,
                                 black_box(&table),
                                 black_box(&scoring),
                                 black_box(&ranking),
+                                None,
                             )
-                            .expect("evaluate_on")
+                            .expect("evaluate_batched")
                     });
                 },
             );
@@ -80,5 +420,148 @@ fn label_hot_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, trials_by_workers, label_hot_path);
+/// Measures the columnar-vs-materialized ablation and the batch sweep, then
+/// writes `BENCH_monte_carlo.json` at the repo root (hand-rolled JSON: the
+/// bench crate carries no serializer).
+fn emit_report(_c: &mut Criterion) {
+    const TRIALS: usize = 64;
+    const ROUNDS: usize = 25;
+    let mut scenario_entries = Vec::new();
+    for (name, table, scoring) in demo_scenarios() {
+        let ranking = scoring.rank_table(&table).expect("ranking");
+        let estimator = MonteCarloStability::new()
+            .with_trials(TRIALS)
+            .expect("trials")
+            .with_k(10);
+        let seed_plan = SeedStylePlan::fit(
+            &table,
+            &scoring,
+            &ranking,
+            estimator.data_noise,
+            estimator.weight_noise,
+            10,
+            estimator.seed,
+        );
+        let mut run_seed_style = || {
+            for trial in 0..TRIALS {
+                black_box(seed_plan.run_trial(&table, trial));
+            }
+        };
+        let mut run_materialized = || {
+            estimator
+                .evaluate_materialized(&table, &scoring, &ranking)
+                .expect("evaluate_materialized");
+        };
+        let mut run_columnar = || {
+            estimator
+                .evaluate(&table, &scoring, &ranking)
+                .expect("evaluate");
+        };
+        let medians = interleaved_medians_ns_per_trial(
+            &mut [
+                &mut run_seed_style,
+                &mut run_materialized,
+                &mut run_columnar,
+            ],
+            TRIALS,
+            ROUNDS,
+        );
+        let (seed_ns, materialized_ns, columnar_ns) = (medians[0], medians[1], medians[2]);
+        let seed_allocs = allocs_per_trial(&mut run_seed_style, TRIALS);
+        let materialized_allocs = allocs_per_trial(&mut run_materialized, TRIALS);
+        let columnar_allocs = allocs_per_trial(&mut run_columnar, TRIALS);
+        let speedup_vs_seed = seed_ns / columnar_ns;
+        let speedup_vs_materialized = materialized_ns / columnar_ns;
+        println!(
+            "report {name}: seed-style {seed_ns:.0} ns/trial ({seed_allocs:.1} allocs), \
+             shared-column materialized {materialized_ns:.0} ns/trial \
+             ({materialized_allocs:.1} allocs), columnar {columnar_ns:.0} ns/trial \
+             ({columnar_allocs:.1} allocs) — {speedup_vs_seed:.2}x vs seed"
+        );
+        scenario_entries.push(format!(
+            "    {{\"name\": \"{name}\", \"rows\": {rows}, \"trials\": {TRIALS}, \
+             \"seed_style_ns_per_trial\": {seed_ns:.1}, \
+             \"materialized_ns_per_trial\": {materialized_ns:.1}, \
+             \"columnar_ns_per_trial\": {columnar_ns:.1}, \
+             \"speedup_vs_seed_style\": {speedup_vs_seed:.2}, \
+             \"speedup_vs_shared_column_materialized\": {speedup_vs_materialized:.2}, \
+             \"seed_style_allocs_per_trial\": {seed_allocs:.2}, \
+             \"materialized_allocs_per_trial\": {materialized_allocs:.2}, \
+             \"columnar_allocs_per_trial\": {columnar_allocs:.2}}}",
+            rows = table.num_rows(),
+        ));
+    }
+
+    let sweep_table = Arc::new(cs_table_with_rows(2_000));
+    let sweep_scoring =
+        ScoringFunction::from_pairs([("PubCount", 0.4), ("Faculty", 0.4), ("GRE", 0.2)])
+            .expect("scoring");
+    let sweep_ranking = sweep_scoring.rank_table(&sweep_table).expect("ranking");
+    let sweep_estimator = MonteCarloStability::new()
+        .with_trials(256)
+        .expect("trials")
+        .with_k(10);
+    let mut sweep_entries = Vec::new();
+    for workers in [2usize, 4] {
+        let scheduler = Scheduler::new(workers);
+        let per_trial_ns = median_ns_per_trial(
+            || {
+                sweep_estimator
+                    .evaluate_on(&scheduler, &sweep_table, &sweep_scoring, &sweep_ranking)
+                    .expect("evaluate_on");
+            },
+            256,
+        );
+        sweep_entries.push(format!(
+            "    {{\"workers\": {workers}, \"schedule\": \"per-trial\", \
+             \"batch_size\": 1, \"ns_per_trial\": {per_trial_ns:.1}}}"
+        ));
+        for factor in [1usize, 2, 4, 8] {
+            let batch = 256usize.div_ceil(workers * factor);
+            let ns = median_ns_per_trial(
+                || {
+                    sweep_estimator
+                        .evaluate_batched_with(
+                            &scheduler,
+                            &sweep_table,
+                            &sweep_scoring,
+                            &sweep_ranking,
+                            None,
+                            factor,
+                        )
+                        .expect("evaluate_batched_with");
+                },
+                256,
+            );
+            sweep_entries.push(format!(
+                "    {{\"workers\": {workers}, \"schedule\": \"batched\", \
+                 \"batches_per_worker\": {factor}, \"batch_size\": {batch}, \
+                 \"ns_per_trial\": {ns:.1}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"monte_carlo\",\n  \"unit\": \"ns_per_trial\",\n  \
+         \"baselines\": {{\n    \
+         \"seed_style\": \"pre-PR-5 trial: perturbed Table materialized per draw, unperturbed columns deep-cloned\",\n    \
+         \"materialized\": \"current evaluate_materialized reference: perturbed Table per draw, unperturbed columns Arc-shared\",\n    \
+         \"columnar\": \"TrialKernel hot path: flat column buffers, reusable scratch, no per-trial tables\"\n  }},\n  \
+         \"scenarios\": [\n{}\n  ],\n  \"batch_sweep_rows_2000_trials_256\": [\n{}\n  ]\n}}\n",
+        scenario_entries.join(",\n"),
+        sweep_entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monte_carlo.json");
+    std::fs::write(path, &json).expect("write BENCH_monte_carlo.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    columnar_vs_materialized,
+    batch_sweep,
+    trials_by_workers,
+    label_hot_path,
+    emit_report
+);
 criterion_main!(benches);

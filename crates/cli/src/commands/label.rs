@@ -25,6 +25,7 @@ const ALLOWED: &[&str] = &[
     "data-noise",
     "weight-noise",
     "mc-seed",
+    "mc-deadline",
     "format",
     "out",
 ];
@@ -121,11 +122,21 @@ fn parse_ks(spec: &str) -> CliResult<Vec<usize>> {
 ///
 /// The Monte-Carlo stability detail is tunable without recompiling:
 /// `--trials N` (0 disables the detail view), `--data-noise F` /
-/// `--weight-noise F` (fractions), and `--mc-seed S` map straight onto
+/// `--weight-noise F` (fractions), `--mc-seed S`, and `--mc-deadline MS`
+/// (wall-clock budget in milliseconds — past it, the label ships the trials
+/// that completed, flagged truncated) map straight onto
 /// [`rf_core::MonteCarloConfig`].
 pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult<LabelConfig> {
     let scoring = build_scoring(args)?;
     let defaults = rf_core::MonteCarloConfig::default();
+    let deadline = match args.get("mc-deadline") {
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+            CliError::usage(format!(
+                "`--mc-deadline` expects whole milliseconds, got `{raw}`"
+            ))
+        })?),
+        None => None,
+    };
     let mut config = LabelConfig::new(scoring)
         .with_top_k(args.get_usize("k", 10)?)
         .with_alpha(args.get_f64("alpha", 0.05)?)
@@ -137,6 +148,7 @@ pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult
             args.get_f64("weight-noise", defaults.weight_noise)?,
         )
         .with_monte_carlo_seed(args.get_u64("mc-seed", defaults.seed)?)
+        .with_monte_carlo_deadline_millis(deadline)
         .with_dataset_name(dataset_name);
     config = match args.get("method") {
         None | Some("linear") => config,
@@ -281,6 +293,42 @@ mod tests {
         // The text render shows the detail too.
         let text = run(&cs_args(&["--trials", "7"])).unwrap();
         assert!(text.contains("monte carlo (7 trials"));
+    }
+
+    #[test]
+    fn mc_deadline_flag_truncates_and_reports() {
+        // A 0ms budget on a large trial count: the label still renders, the
+        // detail reports a truncated trial prefix.
+        let out = run(&cs_args(&[
+            "--trials",
+            "512",
+            "--mc-deadline",
+            "0",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["config"]["monte_carlo"]["deadline_millis"], 0);
+        let mc = &value["stability"]["monte_carlo"];
+        assert_eq!(mc["truncated"], true);
+        assert_eq!(mc["trials_requested"], 512);
+        assert!(mc["trials"].as_u64().unwrap() < 512);
+        // A generous budget completes everything.
+        let out = run(&cs_args(&[
+            "--trials",
+            "16",
+            "--mc-deadline",
+            "60000",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["stability"]["monte_carlo"]["truncated"], false);
+        assert_eq!(value["stability"]["monte_carlo"]["trials"], 16);
+        // Junk is a usage error.
+        assert!(run(&cs_args(&["--mc-deadline", "soonish"])).is_err());
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub struct MonteCarloConfig {
     pub weight_noise: f64,
     /// Base seed; trial `i` draws from the stream derived as `seed ⊕ i`.
     pub seed: u64,
+    /// Wall-clock budget for the estimator, in milliseconds.  Once the
+    /// budget has passed, no further trial batch launches: the label ships
+    /// the trials that completed (a deterministic prefix, reported as
+    /// `truncated` in the widget detail) instead of holding the request.
+    /// `None` never truncates.
+    #[serde(default)]
+    pub deadline_millis: Option<u64>,
 }
 
 impl Default for MonteCarloConfig {
@@ -52,6 +59,7 @@ impl Default for MonteCarloConfig {
             data_noise: 0.05,
             weight_noise: 0.05,
             seed: 42,
+            deadline_millis: None,
         }
     }
 }
@@ -164,6 +172,13 @@ impl LabelConfig {
     #[must_use]
     pub fn with_monte_carlo_seed(mut self, seed: u64) -> Self {
         self.monte_carlo.seed = seed;
+        self
+    }
+
+    /// Sets (or clears) the Monte-Carlo wall-clock budget in milliseconds.
+    #[must_use]
+    pub fn with_monte_carlo_deadline_millis(mut self, deadline_millis: Option<u64>) -> Self {
+        self.monte_carlo.deadline_millis = deadline_millis;
         self
     }
 
@@ -318,6 +333,15 @@ impl LabelConfig {
         fp.write_f64(self.monte_carlo.data_noise);
         fp.write_f64(self.monte_carlo.weight_noise);
         fp.write_u64(self.monte_carlo.seed);
+        // The deadline can truncate the detail view, so two configurations
+        // differing only in their budget must not share a cache entry.
+        match self.monte_carlo.deadline_millis {
+            Some(deadline) => {
+                fp.write_u8(1);
+                fp.write_u64(deadline);
+            }
+            None => fp.write_u8(0),
+        }
         match &self.dataset_name {
             Some(name) => {
                 fp.write_u8(1);
@@ -468,6 +492,7 @@ mod tests {
             base.clone().with_monte_carlo_noise(0.1, 0.05),
             base.clone().with_monte_carlo_noise(0.05, 0.1),
             base.clone().with_monte_carlo_seed(7),
+            base.clone().with_monte_carlo_deadline_millis(Some(250)),
             base.clone()
                 .with_ingredients_method(IngredientsMethod::RankAwareSimilarity),
             base.clone().with_dataset_name("named"),

@@ -59,6 +59,36 @@ use std::sync::Arc;
 /// the tests verify it.
 static PREPARATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide Monte-Carlo observability: estimator runs on the label hot
+/// path, trials actually performed, and runs truncated by their deadline
+/// budget.  Served (with the cache and scheduler counters) by `/stats`.
+static MC_RUNS: AtomicU64 = AtomicU64::new(0);
+static MC_TRIALS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static MC_TRUNCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the process-wide Monte-Carlo stability
+/// counters, exposed through `ServiceStats` and the HTTP `/stats` endpoint
+/// so deployments can watch how often the deadline budget bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MonteCarloRuntimeStats {
+    /// Estimator runs performed (one per label generation with trials > 0).
+    pub runs: u64,
+    /// Trials actually performed across all runs.
+    pub trials_completed: u64,
+    /// Runs that stopped early on their wall-clock deadline budget.
+    pub truncated: u64,
+}
+
+/// The process-wide Monte-Carlo counters (any pipeline, any schedule).
+#[must_use]
+pub fn monte_carlo_runtime_stats() -> MonteCarloRuntimeStats {
+    MonteCarloRuntimeStats {
+        runs: MC_RUNS.load(Ordering::Relaxed),
+        trials_completed: MC_TRIALS_COMPLETED.load(Ordering::Relaxed),
+        truncated: MC_TRUNCATED.load(Ordering::Relaxed),
+    }
+}
+
 /// The shared, immutable state every widget builder reads.
 ///
 /// Prepared once per label: widgets never touch the raw table for anything
@@ -340,13 +370,19 @@ impl WidgetBuilder for IngredientsBuilder {
 /// on the label hot path.
 ///
 /// Under the parallel schedule the builder holds the scheduler it is itself
-/// running on and fans the estimator out as **one task per trial** inside a
-/// nested scope — the builder's blocking wait helps run its own trials, so
-/// this nests safely at any worker count.  Each trial draws from its derived
-/// ChaCha stream (`seed ⊕ trial`), keeping the parallel summary
-/// byte-identical to the sequential reference.
+/// running on and fans the estimator out in **adaptive batches** —
+/// `ceil(trials / (workers × f))` trials per scheduler task, per-worker
+/// scratch reused across each batch — inside a nested scope; the builder's
+/// blocking wait helps run its own trial batches, so this nests safely at
+/// any worker count.  Each trial draws from its derived ChaCha stream
+/// (`seed ⊕ trial`), keeping the batched summary byte-identical to the
+/// sequential reference at any batch size.  The configuration's
+/// `monte_carlo.deadline_millis` caps the estimator's wall clock: past the
+/// budget no further batch wave launches and the widget reports the
+/// truncated trial count.  (The sequential reference schedule ignores the
+/// deadline — it exists to compare against, not to race.)
 struct StabilityBuilder {
-    /// Scheduler the Monte-Carlo trials fan out on; `None` runs the
+    /// Scheduler the Monte-Carlo trial batches fan out on; `None` runs the
     /// sequential reference estimator (the reference schedule).
     scheduler: Option<Arc<rf_runtime::Scheduler>>,
 }
@@ -374,14 +410,20 @@ impl WidgetBuilder for StabilityBuilder {
                 .with_seed(mc.seed)
                 .with_k(ctx.top_k());
             let summary = match &self.scheduler {
-                Some(scheduler) => estimator.evaluate_on(
+                Some(scheduler) => estimator.evaluate_batched(
                     scheduler,
                     &ctx.table,
                     &ctx.config.scoring,
                     &ctx.ranking,
+                    mc.deadline_millis.map(std::time::Duration::from_millis),
                 )?,
                 None => estimator.evaluate(&ctx.table, &ctx.config.scoring, &ctx.ranking)?,
             };
+            MC_RUNS.fetch_add(1, Ordering::Relaxed);
+            MC_TRIALS_COMPLETED.fetch_add(summary.trials as u64, Ordering::Relaxed);
+            if summary.truncated {
+                MC_TRUNCATED.fetch_add(1, Ordering::Relaxed);
+            }
             Some(summary)
         };
         Ok(WidgetOutput::Stability(
@@ -916,6 +958,35 @@ mod tests {
             .generate_sweep(table, config, &[])
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_label_is_valid_and_reports_truncation() {
+        // The deadline-budget contract end to end: a label with an
+        // already-expired Monte-Carlo budget still renders, with the widget
+        // detail reporting fewer (but at least one wave of) trials.
+        let (table, config) = scenario();
+        let config = Arc::new(
+            (*config)
+                .clone()
+                .with_monte_carlo_trials(256)
+                .with_monte_carlo_deadline_millis(Some(0)),
+        );
+        let runtime_before = monte_carlo_runtime_stats();
+        let label = AnalysisPipeline::with_pool(Arc::new(rf_runtime::ThreadPool::new(2)))
+            .generate(Arc::clone(&table), config)
+            .unwrap();
+        let mc = label.stability.monte_carlo.as_ref().expect("detail on");
+        assert!(mc.truncated, "a 0ms budget must truncate 256 trials");
+        assert!(mc.trials >= 1 && mc.trials < 256);
+        assert_eq!(mc.trials_requested, 256);
+        let runtime = monte_carlo_runtime_stats();
+        assert!(runtime.runs > runtime_before.runs);
+        assert!(runtime.truncated > runtime_before.truncated);
+        assert!(runtime.trials_completed >= runtime_before.trials_completed + mc.trials as u64);
+        // The truncation is visible in every render.
+        assert!(label.to_text().contains("truncated by deadline"));
+        assert!(label.to_html().contains("Truncated by deadline"));
     }
 
     #[test]

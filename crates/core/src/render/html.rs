@@ -157,6 +157,14 @@ pub fn render_html(label: &NutritionalLabel) -> String {
             mc.top_item_change_rate,
             mc.verdict.as_str(),
         );
+        if mc.truncated {
+            let _ = write!(
+                body,
+                "<p class=\"truncated\">Truncated by deadline: {} of {} requested trials \
+                 completed.</p>",
+                mc.trials, mc.trials_requested,
+            );
+        }
     }
     let _ = write!(body, "</section>");
 

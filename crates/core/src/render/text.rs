@@ -138,6 +138,13 @@ pub fn render_text(label: &NutritionalLabel) -> String {
             label.config.monte_carlo.weight_noise * 100.0,
             mc.verdict.as_str(),
         );
+        if mc.truncated {
+            let _ = writeln!(
+                out,
+                "  truncated by deadline: {} of {} requested trials completed",
+                mc.trials, mc.trials_requested,
+            );
+        }
         let _ = writeln!(
             out,
             "  expected tau {:.3} (worst {:.3})   top-k overlap {:.3}   top-1 change rate {:.2}",

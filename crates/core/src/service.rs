@@ -57,6 +57,9 @@ pub struct ServiceStats {
     /// The work-stealing scheduler this service's pipeline fans out on:
     /// worker count, queue depth, steals, executed and panicked tasks.
     pub scheduler: rf_runtime::SchedulerStats,
+    /// Process-wide Monte-Carlo stability counters: estimator runs, trials
+    /// completed, and runs truncated by their deadline budget.
+    pub monte_carlo: crate::pipeline::MonteCarloRuntimeStats,
 }
 
 /// Memoizes table fingerprints by `Arc` identity, so long-lived shared
@@ -310,6 +313,15 @@ impl LabelService {
     /// The plain cold-miss path: generate through the pipeline, render, and
     /// cache under the caller's already-computed `key`.  Used by leaders
     /// and by collision fallbacks.
+    ///
+    /// A label whose Monte-Carlo detail was **truncated by its deadline
+    /// budget** is returned but *not* cached: how far a truncated run got is
+    /// a function of transient load, not of the cache key, so caching it
+    /// would let one busy moment permanently degrade every later (idle)
+    /// request for that key.  Deadline-bearing requests therefore regenerate
+    /// until one completes within budget — each regeneration still honours
+    /// the budget, and concurrent arrivals still coalesce onto one
+    /// generation.
     fn generate_uncoalesced(
         &self,
         key: CacheKey,
@@ -323,11 +335,26 @@ impl LabelService {
             json: Arc::new(label.to_json()?),
             label: Arc::new(label),
         };
-        self.cache
-            .lock()
-            .expect("label cache lock")
-            .insert(key, Arc::clone(table), cached.clone());
+        if !Self::is_truncated(&cached) {
+            self.cache.lock().expect("label cache lock").insert(
+                key,
+                Arc::clone(table),
+                cached.clone(),
+            );
+        }
         Ok(cached)
+    }
+
+    /// Whether the label's Monte-Carlo detail stopped early on its deadline
+    /// budget (such labels are never cached — see
+    /// [`generate_uncoalesced`](Self::generate_uncoalesced)).
+    fn is_truncated(cached: &CachedLabel) -> bool {
+        cached
+            .label
+            .stability
+            .monte_carlo
+            .as_ref()
+            .is_some_and(|mc| mc.truncated)
     }
 
     /// One label per audited prefix size in `ks`, in order.
@@ -391,7 +418,11 @@ impl LabelService {
             for (key, slot) in keys.iter().zip(&mut slots) {
                 if slot.is_none() {
                     let cached = fresh.next().expect("one label per cold k");
-                    cache.insert(*key, Arc::clone(table), cached.clone());
+                    // Deadline-truncated labels are served but never cached
+                    // (see `generate_uncoalesced`).
+                    if !Self::is_truncated(&cached) {
+                        cache.insert(*key, Arc::clone(table), cached.clone());
+                    }
                     *slot = Some(cached);
                 }
             }
@@ -412,6 +443,7 @@ impl LabelService {
             preparations: AnalysisContext::preparations(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             scheduler: self.pipeline.scheduler_stats(),
+            monte_carlo: crate::pipeline::monte_carlo_runtime_stats(),
         }
     }
 
@@ -611,6 +643,55 @@ mod tests {
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 2);
         assert_eq!(stats.cache.ttl_millis, Some(30));
+    }
+
+    #[test]
+    fn deadline_truncated_labels_are_served_but_never_cached() {
+        // How far a truncated run gets depends on transient load, not on the
+        // cache key — caching one busy moment's degraded label would serve
+        // it forever.  Untruncated labels under the same deadline cache as
+        // usual.
+        let (table, config) = scenario();
+        let service = LabelService::new();
+        let truncating = Arc::new(
+            LabelConfig::clone(&config)
+                .with_monte_carlo_trials(256)
+                .with_monte_carlo_deadline_millis(Some(0)),
+        );
+        let first = service.label(&table, &truncating).unwrap();
+        assert!(
+            first
+                .label
+                .stability
+                .monte_carlo
+                .as_ref()
+                .unwrap()
+                .truncated
+        );
+        let second = service.label(&table, &truncating).unwrap();
+        // Deterministic wave truncation: regenerations agree byte for byte…
+        assert_eq!(first.json, second.json);
+        // …but nothing was cached, and both requests were misses.
+        let stats = service.stats();
+        assert_eq!(stats.cache.entries, 0);
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.cache.misses, 2);
+        // A budget generous enough to finish caches normally.
+        let generous =
+            Arc::new(LabelConfig::clone(&config).with_monte_carlo_deadline_millis(Some(60_000)));
+        let cached = service.label(&table, &generous).unwrap();
+        assert!(
+            !cached
+                .label
+                .stability
+                .monte_carlo
+                .as_ref()
+                .unwrap()
+                .truncated
+        );
+        assert_eq!(service.stats().cache.entries, 1);
+        service.label(&table, &generous).unwrap();
+        assert_eq!(service.stats().cache.hits, 1);
     }
 
     #[test]

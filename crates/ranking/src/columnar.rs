@@ -1,0 +1,887 @@
+//! The columnar Monte-Carlo trial kernel.
+//!
+//! The §2.2 stability estimator re-scores and re-ranks the dataset hundreds
+//! of times under small random perturbations.  The materialized path does
+//! that literally: every trial builds a perturbed [`Table`]
+//! ([`TablePerturber::perturb`](crate::TablePerturber::perturb)), re-fits the
+//! scoring function against it, and constructs a fresh
+//! [`Ranking`](crate::Ranking) — per-trial allocations linear in the table
+//! even though only the scoring columns ever change.
+//!
+//! [`TrialKernel`] restructures that evaluation plan: fit **once** into flat
+//! `f64` column buffers (the non-missing values of each scoring attribute, in
+//! row order, plus a row→slot map and a pre-computed noise scale), then per
+//! trial perturb and score directly in a reusable [`TrialScratch`] — noise
+//! lands in reused buffers, normalization parameters are re-derived from
+//! those buffers, scores accumulate into a reused vector, and the ranking is
+//! an argsort into a reused index vector.  **Zero tables, zero column clones,
+//! zero per-trial allocations** once the scratch has warmed up.
+//!
+//! ## Byte-identity contract
+//!
+//! The kernel consumes the trial's RNG in exactly the order the materialized
+//! path does (data noise per perturbed column in schema order, then one
+//! weight jitter per recipe attribute) and performs every floating-point
+//! operation in the same order with the same expressions — including the
+//! reference path's quirks (weight jitter resets the missing-value policy to
+//! its default; a ranking-size mismatch degrades Kendall tau to `0.0`).  The
+//! resulting ranking, and therefore the Monte-Carlo summary built on it, is
+//! **byte-identical** to the materialized path for every seed — asserted by
+//! the unit tests below and by `rf-stability`'s parity proptests.
+
+use crate::error::{RankingError, RankingResult};
+use crate::perturb::gaussian;
+use crate::score::{MissingValuePolicy, ScoringFunction};
+use rand::Rng;
+use rf_table::{NormalizationMethod, Table, TableError};
+
+/// Sentinel in a kernel column's row map: the row's value is missing.
+const MISSING: usize = usize::MAX;
+
+/// One unique scoring column, fitted into flat buffers.
+#[derive(Debug, Clone)]
+struct KernelColumn {
+    /// Non-missing values in row order (the order noise is drawn in).
+    packed: Vec<f64>,
+    /// `row_map[row]` is the row's index into `packed`, or [`MISSING`].
+    row_map: Vec<usize>,
+    /// Absolute Gaussian noise scale (`data_noise ×` the column's stddev);
+    /// meaningful only when the kernel was fitted with data noise.
+    scale: f64,
+    /// `true` when the column has no missing values — `row_map` is then the
+    /// identity and scoring can stream the packed buffer directly.
+    dense: bool,
+}
+
+/// Single-pass statistics of one column's perturbed values for one trial,
+/// accumulated while the noise is written: the min/max folds of the
+/// normalizer fit, the summation of the imputation mean, and the
+/// finiteness check of `rf_stats::mean` — each accumulator independent, so
+/// fusing the passes is float-identical to running them separately.
+#[derive(Debug, Clone, Copy, Default)]
+struct ColumnTrialStats {
+    min: f64,
+    max: f64,
+    sum: f64,
+    all_finite: bool,
+}
+
+/// One recipe attribute: its weight and the kernel column it reads.
+#[derive(Debug, Clone)]
+struct KernelAttr {
+    name: String,
+    weight: f64,
+    column: usize,
+}
+
+/// A Monte-Carlo trial plan fitted once from `(table, scoring, noise)`:
+/// everything a trial needs, reduced to flat `f64` buffers.
+///
+/// Each call to [`TrialKernel::rank_trial`] perturbs, scores, and ranks one
+/// trial entirely inside the caller's [`TrialScratch`].  The kernel itself is
+/// immutable and `Sync`, so one fitted kernel is shared across concurrently
+/// running trial tasks, each with its own RNG stream and scratch.
+#[derive(Debug, Clone)]
+pub struct TrialKernel {
+    rows: usize,
+    normalization: NormalizationMethod,
+    missing_policy: MissingValuePolicy,
+    /// Whether trials draw data noise (fitted with `data_noise > 0`).
+    data_noise: bool,
+    weight_noise: f64,
+    /// Unique scoring columns in **schema order** — the draw order of the
+    /// materialized perturber.
+    columns: Vec<KernelColumn>,
+    /// Recipe attributes in declaration order — the scoring order.
+    attrs: Vec<KernelAttr>,
+    /// The `(row, attribute index)` of the first missing scoring cell in the
+    /// reference's row-major, attribute-inner scan order, if any.
+    /// Missingness is static, so the cell the error policy trips on is
+    /// known at fit time.
+    first_missing: Option<(usize, usize)>,
+    /// Normalization parameters per attribute, pre-computed when the data is
+    /// never perturbed (they are then identical for every trial).
+    static_params: Option<Vec<(f64, f64)>>,
+    /// Mean-imputation fallbacks per attribute, pre-computed likewise.
+    static_means: Option<Vec<f64>>,
+}
+
+/// Reusable per-trial working memory: perturbed column buffers, jittered
+/// weights, normalization parameters, scores, and the argsorted index
+/// vectors.  Create once ([`TrialKernel::scratch`]) and reuse across trials —
+/// after the first trial, [`TrialKernel::rank_trial`] allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TrialScratch {
+    /// Perturbed packed values, one buffer per kernel column.
+    perturbed: Vec<Vec<f64>>,
+    /// Single-pass per-column statistics of this trial's perturbed values.
+    col_stats: Vec<ColumnTrialStats>,
+    /// Effective (jittered) weights, recipe order.
+    weights: Vec<f64>,
+    /// Per-attribute normalization parameters for this trial.
+    params: Vec<(f64, f64)>,
+    /// Per-attribute mean-imputation fallbacks for this trial.
+    means: Vec<f64>,
+    /// Per-row scores.
+    scores: Vec<f64>,
+    /// Row indices in rank order (best first) — the trial's ranking.
+    order: Vec<usize>,
+    /// 1-based rank per row index (the perturbed rank vector).
+    rank_of: Vec<usize>,
+    /// Kendall-tau scratch: the induced rank sequence.
+    sequence: Vec<usize>,
+    /// Kendall-tau scratch: the merge-sort buffer.
+    merge: Vec<usize>,
+}
+
+impl TrialScratch {
+    /// The trial's ranking as row indices, best first — valid after a
+    /// successful [`TrialKernel::rank_trial`].
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The trial's 1-based rank per original row index (the
+    /// [`Ranking::rank_vector`](crate::Ranking::rank_vector) counterpart).
+    #[must_use]
+    pub fn rank_of(&self) -> &[usize] {
+        &self.rank_of
+    }
+
+    /// Kendall's tau of this trial's ranking against `original_order` (the
+    /// original ranking's [`Ranking::order`](crate::Ranking::order)), using
+    /// the scratch's internal buffers.  Byte-identical to
+    /// [`kendall_tau_rankings`](crate::kendall_tau_rankings); the caller
+    /// guarantees both rankings cover the same `n >= 2` items.
+    #[must_use]
+    pub fn kendall_tau_against(&mut self, original_order: &[usize]) -> f64 {
+        crate::compare::kendall_tau_with_scratch(
+            original_order,
+            &self.rank_of,
+            &mut self.sequence,
+            &mut self.merge,
+        )
+    }
+}
+
+impl TrialKernel {
+    /// Fits the kernel: resolves every scoring attribute into flat buffers,
+    /// pre-computes each perturbed column's noise scale (`data_noise ×` its
+    /// standard deviation), and — when the data is never perturbed —
+    /// pre-computes the trial-invariant normalization parameters and
+    /// mean-imputation fallbacks.
+    ///
+    /// Surfaces exactly the errors the materialized path would: unknown or
+    /// non-numeric scoring attributes (recipe order), statistics failures
+    /// while fitting noise scales (schema order), and — for noise-free data,
+    /// where they are trial-invariant — normalization failures such as a
+    /// constant column under min-max.
+    ///
+    /// # Errors
+    /// As described above.
+    pub fn fit(
+        table: &Table,
+        scoring: &ScoringFunction,
+        data_noise: f64,
+        weight_noise: f64,
+    ) -> RankingResult<Self> {
+        let attr_names: Vec<&str> = scoring.attribute_names();
+        // The materialized path validates the recipe attributes first
+        // (perturber fit with data noise, `validate_against` without).
+        for &name in &attr_names {
+            table.require_numeric(name)?;
+        }
+        let has_data_noise = data_noise > 0.0;
+
+        // Unique scoring columns in schema order — the perturber's draw
+        // order.
+        let mut columns: Vec<KernelColumn> = Vec::new();
+        let mut column_names: Vec<&str> = Vec::new();
+        for field in table.schema().fields() {
+            let name = field.name.as_str();
+            if !attr_names.contains(&name) {
+                continue;
+            }
+            let options = table.numeric_column_options(name)?;
+            let mut packed = Vec::with_capacity(options.len());
+            let mut row_map = Vec::with_capacity(options.len());
+            for opt in &options {
+                match opt {
+                    Some(v) => {
+                        row_map.push(packed.len());
+                        packed.push(*v);
+                    }
+                    None => row_map.push(MISSING),
+                }
+            }
+            let scale = if has_data_noise {
+                // Same computation (and error path) as the perturber's fit:
+                // stddev of the non-missing values when there are at least
+                // two, zero otherwise.
+                let sd = if packed.len() >= 2 {
+                    rf_stats::stddev(&packed)?
+                } else {
+                    0.0
+                };
+                sd * data_noise
+            } else {
+                0.0
+            };
+            let dense = packed.len() == row_map.len();
+            column_names.push(name);
+            columns.push(KernelColumn {
+                packed,
+                row_map,
+                scale,
+                dense,
+            });
+        }
+
+        let attrs: Vec<KernelAttr> = scoring
+            .weights()
+            .iter()
+            .map(|w| KernelAttr {
+                name: w.attribute.clone(),
+                weight: w.weight,
+                column: column_names
+                    .iter()
+                    .position(|&n| n == w.attribute)
+                    .expect("require_numeric guarantees every attribute resolves"),
+            })
+            .collect();
+
+        // The cell the error policy would trip on, in the reference's
+        // row-major, attribute-inner order: the smallest missing row over
+        // the recipe's sparse columns, ties broken by attribute position
+        // (an attribute missing at that row has it as its first missing
+        // row, so first-missing-row candidates decide both components).
+        let first_missing = attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, attr)| !columns[attr.column].dense)
+            .map(|(index, attr)| {
+                let row = columns[attr.column]
+                    .row_map
+                    .iter()
+                    .position(|&slot| slot == MISSING)
+                    .expect("sparse column has a missing row");
+                (row, index)
+            })
+            .min();
+
+        let mut kernel = TrialKernel {
+            rows: table.num_rows(),
+            normalization: scoring.normalization(),
+            missing_policy: scoring.missing_policy(),
+            data_noise: has_data_noise,
+            weight_noise,
+            columns,
+            attrs,
+            first_missing,
+            static_params: None,
+            static_means: None,
+        };
+        if !has_data_noise {
+            // Without data noise every trial re-derives identical parameters
+            // from identical values; hoist them out of the trial loop.  Any
+            // error here is exactly the error every trial would report.
+            let mut params = Vec::with_capacity(kernel.attrs.len());
+            let mut means = Vec::with_capacity(kernel.attrs.len());
+            for index in 0..kernel.attrs.len() {
+                params.push(kernel.fit_attr_params(index, None)?);
+            }
+            for index in 0..kernel.attrs.len() {
+                means.push(kernel.fit_attr_mean(index, None)?);
+            }
+            kernel.static_params = Some(params);
+            kernel.static_means = Some(means);
+        }
+        Ok(kernel)
+    }
+
+    /// Number of rows of the fitted table (the length of every trial
+    /// ranking).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Fresh working memory for this kernel, sized lazily by the first trial.
+    #[must_use]
+    pub fn scratch(&self) -> TrialScratch {
+        let mut scratch = TrialScratch::default();
+        scratch.perturbed.resize(self.columns.len(), Vec::new());
+        scratch
+            .col_stats
+            .resize(self.columns.len(), ColumnTrialStats::default());
+        scratch
+    }
+
+    /// The packed values attribute `index` reads this trial: the perturbed
+    /// buffer when one is in play, the fitted base values otherwise.
+    fn attr_values<'a>(&'a self, index: usize, perturbed: Option<&'a [Vec<f64>]>) -> &'a [f64] {
+        let column = self.attrs[index].column;
+        match perturbed {
+            Some(buffers) => &buffers[column],
+            None => &self.columns[column].packed,
+        }
+    }
+
+    /// Normalization parameters of attribute `index` for this trial,
+    /// replicating `Normalizer::fit` on the (perturbed) column: `(lo, hi)`
+    /// for min-max, `(mean, sd)` for z-score, `(0, 1)` for raw.
+    fn fit_attr_params(
+        &self,
+        index: usize,
+        perturbed: Option<&[Vec<f64>]>,
+    ) -> RankingResult<(f64, f64)> {
+        let name = &self.attrs[index].name;
+        let values = self.attr_values(index, perturbed);
+        if values.is_empty() {
+            return Err(RankingError::Table(TableError::Normalization {
+                column: name.clone(),
+                message: "column has no non-missing values".to_string(),
+            }));
+        }
+        Ok(match self.normalization {
+            NormalizationMethod::None => (0.0, 1.0),
+            NormalizationMethod::MinMax => {
+                let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if (hi - lo).abs() < f64::EPSILON {
+                    return Err(RankingError::Table(TableError::Normalization {
+                        column: name.clone(),
+                        message: "column is constant; min-max scaling is undefined".to_string(),
+                    }));
+                }
+                (lo, hi)
+            }
+            NormalizationMethod::ZScore => {
+                let mean = rf_stats::mean(values).map_err(TableError::from)?;
+                let sd = if values.len() >= 2 {
+                    rf_stats::stddev(values).map_err(TableError::from)?
+                } else {
+                    0.0
+                };
+                if sd < f64::EPSILON {
+                    return Err(RankingError::Table(TableError::Normalization {
+                        column: name.clone(),
+                        message: "column has zero variance; z-score is undefined".to_string(),
+                    }));
+                }
+                (mean, sd)
+            }
+        })
+    }
+
+    /// Mean-imputation fallback of attribute `index` for this trial,
+    /// replicating the scoring fit's prepared-attribute means.
+    fn fit_attr_mean(&self, index: usize, perturbed: Option<&[Vec<f64>]>) -> RankingResult<f64> {
+        let values = self.attr_values(index, perturbed);
+        if values.is_empty() {
+            Ok(0.0)
+        } else {
+            Ok(rf_stats::mean(values)?)
+        }
+    }
+
+    /// One normalized value under this trial's parameters — the arithmetic of
+    /// `Normalizer::transform_value`, verbatim.
+    fn transform(&self, value: f64, params: (f64, f64)) -> f64 {
+        match self.normalization {
+            NormalizationMethod::None => value,
+            NormalizationMethod::MinMax => (value - params.0) / (params.1 - params.0),
+            NormalizationMethod::ZScore => (value - params.0) / params.1,
+        }
+    }
+
+    /// Runs one trial in `scratch`: draw the data noise, jitter the weights,
+    /// re-fit the normalization, score every row, and argsort the ranking —
+    /// all without allocating once the scratch is warm.  On success
+    /// [`TrialScratch::order`] and [`TrialScratch::rank_of`] hold the trial's
+    /// ranking.
+    ///
+    /// Consumes `rng` exactly like the materialized trial (perturbed columns
+    /// in schema order, one Gaussian per non-missing value; then one uniform
+    /// jitter per recipe weight), so a fitted kernel fed the same per-trial
+    /// stream reproduces the materialized ranking byte for byte.
+    ///
+    /// # Errors
+    /// The errors of the materialized path, in the same order: invalid
+    /// jittered weights, per-trial normalization failures, missing values
+    /// under the error policy, and non-finite scores.
+    pub fn rank_trial<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut TrialScratch,
+    ) -> RankingResult<()> {
+        // 1. Data noise, per perturbed column in schema order, one Gaussian
+        //    per non-missing value in row order — the perturber's draw order.
+        //    The statistics the later stages need (the normalizer's min/max
+        //    folds, the imputation mean's summation and finiteness check)
+        //    accumulate in the same pass; each accumulator performs exactly
+        //    the operation sequence its standalone fold would, so fusing
+        //    the passes changes no bits.
+        let perturbed = if self.data_noise {
+            for ((column, buffer), stats) in self
+                .columns
+                .iter()
+                .zip(scratch.perturbed.iter_mut())
+                .zip(scratch.col_stats.iter_mut())
+            {
+                buffer.clear();
+                buffer.reserve(column.packed.len());
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                let mut all_finite = true;
+                for &base in &column.packed {
+                    let value = base + gaussian(rng) * column.scale;
+                    min = min.min(value);
+                    max = max.max(value);
+                    sum += value;
+                    all_finite &= value.is_finite();
+                    buffer.push(value);
+                }
+                *stats = ColumnTrialStats {
+                    min,
+                    max,
+                    sum,
+                    all_finite,
+                };
+            }
+            true
+        } else {
+            false
+        };
+
+        // 2. Weight jitter, one uniform draw per recipe weight.  The
+        //    reference (`perturb_weights` + `ScoringFunction` revalidation)
+        //    draws every jitter before validating, falls back to the
+        //    original weights when the jittered set is all zero, and — by
+        //    rebuilding the scoring function — resets the missing-value
+        //    policy to its default.
+        scratch.weights.clear();
+        let mut missing_policy = self.missing_policy;
+        if self.weight_noise > 0.0 {
+            for attr in &self.attrs {
+                let jitter = 1.0 + rng.gen_range(-self.weight_noise..=self.weight_noise);
+                scratch.weights.push(attr.weight * jitter);
+            }
+            if scratch.weights.iter().all(|&w| w == 0.0) {
+                scratch.weights.clear();
+                scratch.weights.extend(self.attrs.iter().map(|a| a.weight));
+            } else {
+                for (attr, &weight) in self.attrs.iter().zip(scratch.weights.iter()) {
+                    if !weight.is_finite() {
+                        return Err(RankingError::InvalidWeight {
+                            attribute: attr.name.clone(),
+                            message: format!("weight must be finite, got {weight}"),
+                        });
+                    }
+                }
+                missing_policy = MissingValuePolicy::default();
+            }
+        } else {
+            scratch.weights.extend(self.attrs.iter().map(|a| a.weight));
+        }
+
+        // 3. Per-trial normalization parameters and imputation means —
+        //    re-derived from this trial's fused column statistics, or copied
+        //    from the trial-invariant fit.  Parameters for every attribute
+        //    are fitted before any mean, matching the reference's error
+        //    order.
+        scratch.params.clear();
+        scratch.means.clear();
+        match (&self.static_params, &self.static_means) {
+            (Some(params), Some(means)) => {
+                scratch.params.extend_from_slice(params);
+                scratch.means.extend_from_slice(means);
+            }
+            _ => {
+                for attr in &self.attrs {
+                    let column = &self.columns[attr.column];
+                    let stats = scratch.col_stats[attr.column];
+                    let len = column.packed.len();
+                    if len == 0 {
+                        return Err(RankingError::Table(TableError::Normalization {
+                            column: attr.name.clone(),
+                            message: "column has no non-missing values".to_string(),
+                        }));
+                    }
+                    let params = match self.normalization {
+                        NormalizationMethod::None => (0.0, 1.0),
+                        NormalizationMethod::MinMax => {
+                            if (stats.max - stats.min).abs() < f64::EPSILON {
+                                return Err(RankingError::Table(TableError::Normalization {
+                                    column: attr.name.clone(),
+                                    message: "column is constant; min-max scaling is undefined"
+                                        .to_string(),
+                                }));
+                            }
+                            (stats.min, stats.max)
+                        }
+                        NormalizationMethod::ZScore => {
+                            // `Normalizer::fit` computes these through
+                            // `rf_stats::{mean, stddev}`; the fused sum and
+                            // the explicit corrected variance below perform
+                            // the identical operation sequences (and the
+                            // identical first error — non-finite values trip
+                            // the mean's finiteness gate).
+                            if !stats.all_finite {
+                                return Err(RankingError::Table(TableError::from(
+                                    rf_stats::StatsError::NonFiniteInput { operation: "mean" },
+                                )));
+                            }
+                            let mean = stats.sum / len as f64;
+                            let sd = if len >= 2 {
+                                let values: &[f64] = &scratch.perturbed[attr.column];
+                                let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+                                (ss / (len - 1) as f64).sqrt()
+                            } else {
+                                0.0
+                            };
+                            if sd < f64::EPSILON {
+                                return Err(RankingError::Table(TableError::Normalization {
+                                    column: attr.name.clone(),
+                                    message: "column has zero variance; z-score is undefined"
+                                        .to_string(),
+                                }));
+                            }
+                            (mean, sd)
+                        }
+                    };
+                    scratch.params.push(params);
+                }
+                for attr in &self.attrs {
+                    let column = &self.columns[attr.column];
+                    let stats = scratch.col_stats[attr.column];
+                    let mean = if column.packed.is_empty() {
+                        0.0
+                    } else if !stats.all_finite {
+                        // `rf_stats::mean`'s finiteness gate, surfaced with
+                        // the error the scoring fit's attribute prep reports.
+                        return Err(RankingError::Stats(rf_stats::StatsError::NonFiniteInput {
+                            operation: "mean",
+                        }));
+                    } else {
+                        stats.sum / column.packed.len() as f64
+                    };
+                    scratch.means.push(mean);
+                }
+            }
+        }
+
+        // 4. Score every row.  The reference accumulates row-major with the
+        //    attributes innermost; iterating column-major instead adds each
+        //    attribute's term to every row's accumulator in the same
+        //    per-element order, so the sums are bit-identical — and a dense
+        //    column streams its packed buffer with no row map or missing
+        //    branch in the loop.
+        if missing_policy == MissingValuePolicy::Error {
+            if let Some((row, index)) = self.first_missing {
+                // The reference trips on this cell mid-scan; missingness is
+                // static, so the scan is not needed to name it.
+                return Err(RankingError::MissingValue {
+                    attribute: self.attrs[index].name.clone(),
+                    row,
+                });
+            }
+        }
+        scratch.scores.clear();
+        scratch.scores.resize(self.rows, 0.0);
+        for (index, attr) in self.attrs.iter().enumerate() {
+            let weight = scratch.weights[index];
+            let (a, b) = scratch.params[index];
+            let column = &self.columns[attr.column];
+            let values: &[f64] = if perturbed {
+                &scratch.perturbed[attr.column]
+            } else {
+                &column.packed
+            };
+            if column.dense {
+                match self.normalization {
+                    NormalizationMethod::None => {
+                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
+                            *score += weight * value;
+                        }
+                    }
+                    NormalizationMethod::MinMax => {
+                        // `(value - a) / denom` with `denom = b - a` hoisted
+                        // is the exact expression of `transform_value`.
+                        let denom = b - a;
+                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
+                            *score += weight * ((value - a) / denom);
+                        }
+                    }
+                    NormalizationMethod::ZScore => {
+                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
+                            *score += weight * ((value - a) / b);
+                        }
+                    }
+                }
+            } else {
+                // Policy is MeanImpute or Zero here: Error short-circuited
+                // above for any sparse scoring column.
+                let imputed = match missing_policy {
+                    MissingValuePolicy::MeanImpute => self.transform(scratch.means[index], (a, b)),
+                    _ => 0.0,
+                };
+                for (score, &slot) in scratch.scores.iter_mut().zip(&column.row_map) {
+                    let value = if slot != MISSING {
+                        self.transform(values[slot], (a, b))
+                    } else {
+                        imputed
+                    };
+                    *score += weight * value;
+                }
+            }
+        }
+
+        // 5. The ranking: the validation and argsort of
+        //    `Ranking::from_scores`, into reused index vectors.
+        if scratch.scores.is_empty() {
+            return Err(RankingError::EmptyRanking);
+        }
+        if scratch.scores.iter().any(|s| !s.is_finite()) {
+            return Err(RankingError::Stats(rf_stats::StatsError::NonFiniteInput {
+                operation: "Ranking::from_scores",
+            }));
+        }
+        scratch.order.clear();
+        scratch.order.extend(0..self.rows);
+        let scores = &scratch.scores;
+        scratch.order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        scratch.rank_of.clear();
+        scratch.rank_of.resize(self.rows, 0);
+        for (position, &index) in scratch.order.iter().enumerate() {
+            scratch.rank_of[index] = position + 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::{perturb_weights, TablePerturber};
+    use crate::ranking::Ranking;
+    use crate::score::ScoringFunction;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rf_table::Column;
+
+    /// The materialized reference trial: perturb into a fresh table, re-fit,
+    /// re-rank — the exact code path the kernel replaces.
+    fn materialized_trial(
+        table: &Table,
+        scoring: &ScoringFunction,
+        data_noise: f64,
+        weight_noise: f64,
+        seed: u64,
+    ) -> RankingResult<Ranking> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let perturbed = if data_noise > 0.0 {
+            let attrs: Vec<&str> = scoring.attribute_names();
+            Some(TablePerturber::fit(table, &attrs, data_noise)?.perturb(&mut rng)?)
+        } else {
+            None
+        };
+        let scoring = if weight_noise > 0.0 {
+            perturb_weights(scoring, weight_noise, &mut rng)?
+        } else {
+            scoring.clone()
+        };
+        scoring.rank_table(perturbed.as_ref().unwrap_or(table))
+    }
+
+    fn kernel_trial(
+        table: &Table,
+        scoring: &ScoringFunction,
+        data_noise: f64,
+        weight_noise: f64,
+        seed: u64,
+    ) -> RankingResult<Vec<usize>> {
+        let kernel = TrialKernel::fit(table, scoring, data_noise, weight_noise)?;
+        let mut scratch = kernel.scratch();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        kernel.rank_trial(&mut rng, &mut scratch)?;
+        Ok(scratch.order().to_vec())
+    }
+
+    fn spread_table() -> Table {
+        Table::from_columns(vec![
+            (
+                "name",
+                Column::from_strings((0..40).map(|i| format!("r{i}")).collect::<Vec<_>>()),
+            ),
+            (
+                "x",
+                Column::from_f64((0..40).map(|i| (i as f64 * 1.7).sin() * 30.0).collect()),
+            ),
+            (
+                "y",
+                Column::from_f64((0..40).map(|i| 100.0 - 2.0 * i as f64).collect()),
+            ),
+            ("z", Column::from_i64((0..40).map(|i| i * 3 % 17).collect())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_materialized_trials_across_seeds_and_noise() {
+        let table = spread_table();
+        // `y` before `x` on purpose: recipe order differs from schema order,
+        // which is exactly where the draw-order contract bites.
+        let scoring = ScoringFunction::from_pairs([("y", 0.5), ("x", 0.3), ("z", 0.2)]).unwrap();
+        for &(data_noise, weight_noise) in
+            &[(0.0, 0.0), (0.1, 0.0), (0.0, 0.2), (0.25, 0.25), (2.0, 1.0)]
+        {
+            for seed in [0u64, 1, 42, 9999, 1 << 50] {
+                let reference =
+                    materialized_trial(&table, &scoring, data_noise, weight_noise, seed)
+                        .unwrap()
+                        .order();
+                let kernel =
+                    kernel_trial(&table, &scoring, data_noise, weight_noise, seed).unwrap();
+                assert_eq!(
+                    reference, kernel,
+                    "noise ({data_noise}, {weight_noise}), seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_materialized_under_every_normalization() {
+        let table = spread_table();
+        for method in [
+            NormalizationMethod::None,
+            NormalizationMethod::MinMax,
+            NormalizationMethod::ZScore,
+        ] {
+            let scoring = ScoringFunction::with_normalization(
+                vec![
+                    crate::score::AttributeWeight::new("x", 0.7),
+                    crate::score::AttributeWeight::new("y", 0.3),
+                ],
+                method,
+            )
+            .unwrap();
+            for seed in [3u64, 77] {
+                let reference = materialized_trial(&table, &scoring, 0.15, 0.1, seed)
+                    .unwrap()
+                    .order();
+                let kernel = kernel_trial(&table, &scoring, 0.15, 0.1, seed).unwrap();
+                assert_eq!(reference, kernel, "{method:?}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_materialized_with_missing_values_and_policies() {
+        let table = Table::from_columns(vec![
+            (
+                "a",
+                Column::Float(
+                    (0..30)
+                        .map(|i| {
+                            if i % 7 == 3 {
+                                None
+                            } else {
+                                Some(i as f64 * 1.3)
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "b",
+                Column::from_f64((0..30).map(|i| (30 - i) as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        for policy in [MissingValuePolicy::MeanImpute, MissingValuePolicy::Zero] {
+            let scoring = ScoringFunction::from_pairs([("a", 0.6), ("b", 0.4)])
+                .unwrap()
+                .with_missing_policy(policy);
+            // Weight noise must stay zero: the reference path's weight
+            // rebuild resets the policy to `Error`, which the kernel also
+            // replicates — with noise on, both paths error identically.
+            let reference = materialized_trial(&table, &scoring, 0.2, 0.0, 5)
+                .unwrap()
+                .order();
+            let kernel = kernel_trial(&table, &scoring, 0.2, 0.0, 5).unwrap();
+            assert_eq!(reference, kernel, "{policy:?}");
+
+            // And with weight noise, the policy-reset quirk is replicated:
+            // both paths fail on the first missing value.
+            let reference = materialized_trial(&table, &scoring, 0.2, 0.1, 5);
+            let kernel = TrialKernel::fit(&table, &scoring, 0.2, 0.1).unwrap();
+            let mut scratch = kernel.scratch();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let kernel_err = kernel.rank_trial(&mut rng, &mut scratch);
+            assert_eq!(reference.unwrap_err(), kernel_err.unwrap_err());
+        }
+        // The error policy fails identically on both paths.
+        let scoring = ScoringFunction::from_pairs([("a", 1.0)]).unwrap();
+        let reference = materialized_trial(&table, &scoring, 0.1, 0.0, 6).unwrap_err();
+        let kernel = TrialKernel::fit(&table, &scoring, 0.1, 0.0).unwrap();
+        let mut scratch = kernel.scratch();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let err = kernel.rank_trial(&mut rng, &mut scratch).unwrap_err();
+        assert_eq!(reference, err);
+    }
+
+    #[test]
+    fn kernel_scratch_is_reusable_across_trials() {
+        let table = spread_table();
+        let scoring = ScoringFunction::from_pairs([("x", 0.5), ("y", 0.5)]).unwrap();
+        let kernel = TrialKernel::fit(&table, &scoring, 0.2, 0.1).unwrap();
+        let mut scratch = kernel.scratch();
+        for seed in 0u64..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            kernel.rank_trial(&mut rng, &mut scratch).unwrap();
+            let reused = scratch.order().to_vec();
+            let fresh = kernel_trial(&table, &scoring, 0.2, 0.1, seed).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}: reused scratch diverged");
+            // The rank vector inverts the order.
+            for (position, &index) in scratch.order().iter().enumerate() {
+                assert_eq!(scratch.rank_of()[index], position + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_fit_surfaces_constant_column_errors_like_the_first_trial() {
+        let table = Table::from_columns(vec![("c", Column::from_f64(vec![5.0; 10]))]).unwrap();
+        let scoring = ScoringFunction::from_pairs([("c", 1.0)]).unwrap();
+        // Noise-free: the trial-invariant fit fails up front with the exact
+        // error every materialized trial reports.
+        let reference = materialized_trial(&table, &scoring, 0.0, 0.0, 1).unwrap_err();
+        let kernel_err = TrialKernel::fit(&table, &scoring, 0.0, 0.0).unwrap_err();
+        assert_eq!(reference, kernel_err);
+        // With data noise the column un-sticks (sd is 0, so the scale is 0 —
+        // but min-max still sees a constant column): per-trial errors match.
+        let reference = materialized_trial(&table, &scoring, 0.5, 0.0, 1).unwrap_err();
+        let kernel = TrialKernel::fit(&table, &scoring, 0.5, 0.0).unwrap();
+        let mut scratch = kernel.scratch();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let err = kernel.rank_trial(&mut rng, &mut scratch).unwrap_err();
+        assert_eq!(reference, err);
+    }
+
+    #[test]
+    fn kernel_rejects_bad_recipes_like_the_reference() {
+        let table = spread_table();
+        let ghost = ScoringFunction::from_pairs([("ghost", 1.0)]).unwrap();
+        assert!(TrialKernel::fit(&table, &ghost, 0.1, 0.1).is_err());
+        let non_numeric = ScoringFunction::from_pairs([("name", 1.0)]).unwrap();
+        assert!(TrialKernel::fit(&table, &non_numeric, 0.1, 0.1).is_err());
+    }
+}

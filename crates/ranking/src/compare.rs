@@ -53,11 +53,46 @@ pub fn kendall_tau_rankings(a: &Ranking, b: &Ranking) -> RankingResult<f64> {
     Ok(1.0 - 2.0 * inversions as f64 / total_pairs)
 }
 
+/// Kendall's tau of a perturbed ranking against the original one, expressed
+/// on raw buffers so the Monte-Carlo hot path can reuse its scratch
+/// allocations: `original_order` is the original ranking's
+/// [`Ranking::order`], `rank_of_perturbed` its [`Ranking::rank_vector`]
+/// counterpart for the perturbed ranking (1-based rank per original row
+/// index).  Byte-identical to [`kendall_tau_rankings`] on the corresponding
+/// [`Ranking`] values.
+///
+/// The caller guarantees the two rankings cover the same `n >= 2` items;
+/// `sequence` and `merge` are scratch buffers that are cleared and refilled.
+#[must_use]
+pub fn kendall_tau_with_scratch(
+    original_order: &[usize],
+    rank_of_perturbed: &[usize],
+    sequence: &mut Vec<usize>,
+    merge: &mut Vec<usize>,
+) -> f64 {
+    let n = original_order.len();
+    debug_assert!(n >= 2, "caller validates the ranking size");
+    debug_assert_eq!(n, rank_of_perturbed.len());
+    sequence.clear();
+    sequence.extend(original_order.iter().map(|&item| rank_of_perturbed[item]));
+    let inversions = count_inversions_into(sequence, merge);
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    1.0 - 2.0 * inversions as f64 / total_pairs
+}
+
 /// Counts inversions of `values` with a bottom-up merge sort; the slice is
 /// sorted in place as a side effect.
 fn count_inversions(values: &mut [usize]) -> u64 {
+    let mut buffer = Vec::new();
+    count_inversions_into(values, &mut buffer)
+}
+
+/// [`count_inversions`] with a caller-provided merge buffer, so hot loops
+/// (one inversion count per Monte-Carlo trial) do not allocate per call.
+fn count_inversions_into(values: &mut [usize], buffer: &mut Vec<usize>) -> u64 {
     let n = values.len();
-    let mut buffer = vec![0usize; n];
+    buffer.clear();
+    buffer.resize(n, 0usize);
     let mut inversions = 0u64;
     let mut width = 1usize;
     while width < n {

@@ -20,6 +20,9 @@
 //! * [`perturb`] — controlled perturbation of scoring weights and of the
 //!   underlying data, used to probe "slight changes to the data [...] or to
 //!   the methodology" (§2.2).
+//! * [`columnar`] — the allocation-free Monte-Carlo trial kernel: fit once
+//!   into flat `f64` column buffers, then perturb + score + argsort each
+//!   trial in reusable scratch, byte-identical to the materialized path.
 //! * [`rank_aware`] — top-weighted similarity measures (top-k overlap,
 //!   average overlap, rank-biased overlap, τ-AP), the "rank-aware similarity"
 //!   alternative the paper mentions for deriving Ingredients (§2.1).
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod compare;
 pub mod error;
 pub mod perturb;
@@ -34,7 +38,10 @@ pub mod rank_aware;
 pub mod ranking;
 pub mod score;
 
-pub use compare::{footrule_distance, kendall_tau_rankings, spearman_rho_rankings};
+pub use columnar::{TrialKernel, TrialScratch};
+pub use compare::{
+    footrule_distance, kendall_tau_rankings, kendall_tau_with_scratch, spearman_rho_rankings,
+};
 pub use error::{RankingError, RankingResult};
 pub use perturb::{perturb_table_gaussian, perturb_weights, PerturbationSpec, TablePerturber};
 pub use rank_aware::{

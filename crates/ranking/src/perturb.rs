@@ -11,6 +11,7 @@ use crate::error::RankingResult;
 use crate::score::{AttributeWeight, ScoringFunction};
 use rand::Rng;
 use rf_table::{Column, Table};
+use std::sync::Arc;
 
 /// Specification of a perturbation experiment.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -31,12 +32,14 @@ impl Default for PerturbationSpec {
     }
 }
 
-/// One column of a fitted [`TablePerturber`]: either cloned through
+/// One column of a fitted [`TablePerturber`]: either shared through
 /// unchanged, or re-sampled with a pre-computed noise scale.
 #[derive(Debug, Clone)]
 enum PerturbColumn {
-    /// A column outside the perturbation set, copied as-is.
-    Keep { name: String, column: Column },
+    /// A column outside the perturbation set, `Arc`-shared into every draw —
+    /// an unperturbed column costs one reference count per draw, not a deep
+    /// copy of its cells.
+    Keep { name: String, column: Arc<Column> },
     /// A numeric column with Gaussian noise of the given absolute scale.
     Noise {
         name: String,
@@ -94,7 +97,7 @@ impl TablePerturber {
             } else {
                 fitted.push(PerturbColumn::Keep {
                     name: name.to_string(),
-                    column: col.clone(),
+                    column: Arc::clone(table.shared_column(name)?),
                 });
             }
         }
@@ -103,7 +106,8 @@ impl TablePerturber {
 
     /// Draws one perturbed copy of the fitted table: each listed column gets
     /// fresh zero-mean Gaussian noise at its fitted scale, missing values
-    /// remain missing, other columns are cloned unchanged.
+    /// remain missing, other columns are `Arc`-shared unchanged — a draw
+    /// allocates only the perturbed columns, never the whole table.
     ///
     /// # Errors
     /// Table reconstruction errors (cannot occur for a model fitted from a
@@ -112,7 +116,9 @@ impl TablePerturber {
         let mut out = Table::new();
         for column in &self.columns {
             match column {
-                PerturbColumn::Keep { name, column } => out.add_column(name, column.clone())?,
+                PerturbColumn::Keep { name, column } => {
+                    out.add_shared_column(name, Arc::clone(column))?;
+                }
                 PerturbColumn::Noise {
                     name,
                     options,
@@ -180,8 +186,9 @@ pub fn perturb_weights<R: Rng + ?Sized>(
 /// Standard normal sample via the Box–Muller transform.
 ///
 /// Using Box–Muller (rather than `rand_distr`) keeps the dependency set to the
-/// pre-approved crates.
-fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+/// pre-approved crates.  Shared with the columnar trial kernel
+/// (`crate::columnar`), which must consume the RNG exactly like this module.
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -330,6 +337,30 @@ mod tests {
             b.numeric_column("y").unwrap(),
             t.numeric_column("y").unwrap()
         );
+    }
+
+    #[test]
+    fn unperturbed_columns_are_shared_not_copied() {
+        // The hot path draws hundreds of perturbed copies; columns outside
+        // the perturbation set must ride along by reference count, not by
+        // deep copy.
+        let t = table();
+        let perturber = TablePerturber::fit(&t, &["x"], 0.1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let draw = perturber.perturb(&mut rng).unwrap();
+        for kept in ["y", "label"] {
+            assert!(
+                Arc::ptr_eq(
+                    t.shared_column(kept).unwrap(),
+                    draw.shared_column(kept).unwrap()
+                ),
+                "column `{kept}` must be Arc-shared into the draw"
+            );
+        }
+        assert!(!Arc::ptr_eq(
+            t.shared_column("x").unwrap(),
+            draw.shared_column("x").unwrap()
+        ));
     }
 
     #[test]

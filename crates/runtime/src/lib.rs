@@ -565,6 +565,62 @@ impl ThreadPool {
     }
 }
 
+/// A lock-guarded free list of reusable scratch objects, for batched
+/// fan-outs whose tasks need expensive working memory.
+///
+/// A batch task [`take`](ScratchPool::take)s a warm scratch (or builds a
+/// fresh one when the pool is dry), reuses it across every item of its
+/// batch, and [`put`](ScratchPool::put)s it back for the next wave — so a
+/// whole evaluation allocates at most one scratch per *concurrently running*
+/// task, not one per task or per item.  The Monte-Carlo stability estimator
+/// threads its per-trial scratch buffers through one of these across its
+/// batch waves.
+///
+/// The pool is deliberately dumb: a mutexed stack.  Contention is one
+/// lock per *batch*, which is noise next to the batch's work.
+#[derive(Debug)]
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled scratch, if any.
+    #[must_use]
+    pub fn take(&self) -> Option<T> {
+        lock(&self.free).pop()
+    }
+
+    /// Pops a pooled scratch or builds one with `init`.
+    pub fn take_or_else(&self, init: impl FnOnce() -> T) -> T {
+        self.take().unwrap_or_else(init)
+    }
+
+    /// Returns a scratch to the pool for reuse.
+    pub fn put(&self, scratch: T) {
+        lock(&self.free).push(scratch);
+    }
+
+    /// Number of scratches currently pooled (idle).
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        lock(&self.free).len()
+    }
+}
+
 /// Splits `0..len` into at most `max_shards` contiguous, near-equal ranges
 /// (the first `len % shards` ranges are one element longer).  Deterministic
 /// in `(len, max_shards)`; returns no ranges for an empty domain.
@@ -902,6 +958,47 @@ mod tests {
             let (_, count) = handle.join().unwrap();
             assert_eq!(count, 16);
         }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_instead_of_rebuilding() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        assert!(pool.take().is_none());
+        let mut scratch = pool.take_or_else(|| Vec::with_capacity(64));
+        scratch.push(7);
+        let capacity = scratch.capacity();
+        pool.put(scratch);
+        assert_eq!(pool.idle(), 1);
+        // The recycled scratch keeps its allocation (and its stale contents —
+        // callers reset what they need).
+        let recycled = pool.take_or_else(Vec::new);
+        assert_eq!(recycled.capacity(), capacity);
+        assert_eq!(recycled, vec![7]);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn scratch_pool_is_safe_under_concurrent_batches() {
+        let pool = Arc::new(ScratchPool::<Vec<u8>>::new());
+        let scheduler = Scheduler::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let mut scratch = pool.take_or_else(|| Vec::with_capacity(128));
+                    scratch.clear();
+                    scratch.extend_from_slice(&[1, 2, 3]);
+                    let sum: u8 = scratch.iter().sum();
+                    pool.put(scratch);
+                    sum
+                }
+            })
+            .collect();
+        let outputs = scheduler.run_all(jobs);
+        assert!(outputs.iter().all(|o| *o == Some(6)));
+        // At most one scratch per thread that ever ran a job concurrently.
+        assert!(pool.idle() >= 1 && pool.idle() <= 5);
     }
 
     #[test]

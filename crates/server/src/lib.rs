@@ -45,4 +45,4 @@ pub mod server;
 pub use catalog::{DatasetCatalog, DatasetEntry};
 pub use http::{Body, Method, Request, Response, StatusCode};
 pub use router::{route, AppState};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerOptions};

@@ -2,24 +2,41 @@
 //! HTTP with the three pre-loaded synthetic datasets.
 //!
 //! ```sh
-//! cargo run -p rf-server --bin ranking-facts-server -- 127.0.0.1:8080
+//! cargo run -p rf-server --bin ranking-facts-server -- 127.0.0.1:8080 \
+//!     --workers 4 --cache-ttl-secs 300 --cache-entries 128 --cache-bytes 67108864
 //! ```
 
-use rf_server::{DatasetCatalog, Server, ServerConfig};
+use rf_server::{AppState, DatasetCatalog, Server, ServerOptions};
 
 fn main() {
-    let bind_address = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
-    let config = ServerConfig {
-        bind_address,
-        workers: 4,
+    let options = match ServerOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: ranking-facts-server [ADDRESS] [--workers N] \
+                 [--cache-ttl-secs N] [--cache-entries N] [--cache-bytes N]"
+            );
+            std::process::exit(2);
+        }
     };
 
     println!("Loading demonstration datasets (synthetic CS departments, COMPAS, German credit)…");
     let catalog = DatasetCatalog::with_demo_datasets();
+    let state = AppState::with_service(catalog, options.label_service());
+    match options.cache_ttl_secs {
+        Some(secs) => println!(
+            "Label cache: {} entries / {} bytes, TTL {secs}s",
+            options.cache_entries, options.cache_bytes
+        ),
+        None => println!(
+            "Label cache: {} entries / {} bytes, no TTL",
+            options.cache_entries, options.cache_bytes
+        ),
+    }
 
-    let server = match Server::bind(catalog, &config) {
+    let config = options.server_config();
+    let server = match Server::bind_state(state, &config) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("cannot bind {}: {err}", config.bind_address);

@@ -24,10 +24,15 @@ impl AppState {
     /// Wraps a catalogue with a fresh default [`LabelService`].
     #[must_use]
     pub fn new(catalog: DatasetCatalog) -> Self {
-        AppState {
-            catalog,
-            labels: LabelService::new(),
-        }
+        Self::with_service(catalog, LabelService::new())
+    }
+
+    /// Wraps a catalogue with an explicit [`LabelService`] — the hook the
+    /// server binary uses to apply its cache-policy flags (TTL, entry and
+    /// byte bounds).
+    #[must_use]
+    pub fn with_service(catalog: DatasetCatalog, labels: LabelService) -> Self {
+        AppState { catalog, labels }
     }
 
     /// The demo state: the paper's three datasets plus a fresh service.
@@ -168,10 +173,13 @@ fn dataset_preview(catalog: &DatasetCatalog, slug: &str) -> Response {
 pub const MAX_MC_TRIALS: usize = 1_024;
 
 /// Applies the Monte-Carlo stability query overrides (`trials`,
-/// `data_noise`, `weight_noise`, `mc_seed`) to a label configuration, so the
-/// §2.2 uncertainty detail is tunable per request without recompiling.  The
-/// knobs are part of the configuration fingerprint, so each combination is
-/// its own cache entry.  `trials` is capped at [`MAX_MC_TRIALS`].
+/// `data_noise`, `weight_noise`, `mc_seed`, `deadline_ms`) to a label
+/// configuration, so the §2.2 uncertainty detail is tunable per request
+/// without recompiling.  The knobs are part of the configuration
+/// fingerprint, so each combination is its own cache entry.  `trials` is
+/// capped at [`MAX_MC_TRIALS`]; `deadline_ms` caps the estimator's wall
+/// clock — past it the label ships the trials that completed, flagged
+/// `truncated` in the widget detail.
 fn apply_monte_carlo_overrides(
     mut config: LabelConfig,
     request: &Request,
@@ -221,6 +229,19 @@ fn apply_monte_carlo_overrides(
                 return Err(Box::new(Response::text(
                     StatusCode::BadRequest,
                     format!("invalid mc_seed `{seed}`"),
+                )))
+            }
+        }
+    }
+    if let Some(deadline) = request.query_param("deadline_ms") {
+        match deadline.parse::<u64>() {
+            Ok(deadline) => {
+                config = config.with_monte_carlo_deadline_millis(Some(deadline));
+            }
+            Err(_) => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    format!("invalid deadline_ms `{deadline}` (need whole milliseconds)"),
                 )))
             }
         }
@@ -599,6 +620,11 @@ mod tests {
         assert!(scheduler["steals"].as_u64().is_some());
         // The cache side gained the TTL expiry counter.
         assert_eq!(value["cache"]["expired"], 0);
+        // And the Monte-Carlo hot-path counters ride along.
+        let mc = &value["monte_carlo"];
+        assert!(mc["runs"].as_u64().unwrap() >= 1);
+        assert!(mc["trials_completed"].as_u64().unwrap() >= 1);
+        assert!(mc["truncated"].as_u64().is_some());
     }
 
     #[test]
@@ -645,9 +671,59 @@ mod tests {
             "/datasets/cs-departments/label.json?data_noise=-1",
             "/datasets/cs-departments/label.json?weight_noise=nan",
             "/datasets/cs-departments/label.json?mc_seed=x",
+            "/datasets/cs-departments/label.json?deadline_ms=soon",
         ] {
             assert_eq!(route(&state, &get(bad)).status, StatusCode::BadRequest);
         }
+    }
+
+    #[test]
+    fn zero_deadline_request_returns_a_truncated_label_not_a_hang() {
+        // The deadline-budget acceptance: an already-expired budget still
+        // answers with a valid label over fewer trials, flagged truncated.
+        let state = demo_catalog();
+        let resp = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=512&deadline_ms=0"),
+        );
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let mc = &value["stability"]["monte_carlo"];
+        assert_eq!(mc["truncated"], true);
+        assert_eq!(mc["trials_requested"], 512);
+        let trials = mc["trials"].as_u64().unwrap();
+        assert!(
+            (1..512).contains(&trials),
+            "expected a truncated trial count, got {trials}"
+        );
+        // Truncated labels are never cached — how far the run got reflects
+        // transient load, so a busy first request must not pin a degraded
+        // label.  Regeneration is still deterministic (wave truncation), so
+        // the bodies agree.
+        let again = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=512&deadline_ms=0"),
+        );
+        assert_eq!(resp.body, again.body);
+        assert_eq!(state.labels.stats().cache.entries, 0);
+        assert_eq!(state.labels.stats().cache.hits, 0);
+        assert_eq!(state.labels.stats().cache.misses, 2);
+        // A budget generous enough to finish caches (and warm-hits) as usual.
+        let generous = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=512&deadline_ms=60000"),
+        );
+        assert_eq!(generous.status, StatusCode::Ok);
+        let value: serde_json::Value = serde_json::from_str(&generous.body).unwrap();
+        assert_eq!(value["stability"]["monte_carlo"]["truncated"], false);
+        assert_eq!(value["stability"]["monte_carlo"]["trials"], 512);
+        assert_eq!(state.labels.stats().cache.entries, 1);
+        let warm = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?trials=512&deadline_ms=60000"),
+        );
+        assert_eq!(generous.body, warm.body);
+        assert_eq!(state.labels.stats().cache.hits, 1);
     }
 
     #[test]

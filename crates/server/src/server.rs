@@ -43,6 +43,116 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server binary's command line, parsed: bind address plus the
+/// deployment knobs of the shared label cache.  The cache *policy* (TTL,
+/// bounded entries and bytes) has lived in `rf-core` since the cache landed;
+/// these flags are what finally let a deployment choose it without
+/// recompiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Address to bind (first positional argument; default `127.0.0.1:8080`).
+    pub bind_address: String,
+    /// Label-generation workers (`--workers N`; default 4): sizes both the
+    /// request-dispatch pool and the label pipeline's own scheduler (the
+    /// one `/stats` reports), so the flag genuinely bounds label CPU
+    /// instead of leaving the pipeline on the process-global pool.
+    pub workers: usize,
+    /// Per-entry label-cache TTL in seconds (`--cache-ttl-secs N`; default
+    /// none — entries never expire by age).
+    pub cache_ttl_secs: Option<u64>,
+    /// Maximum resident cached labels (`--cache-entries N`).
+    pub cache_entries: usize,
+    /// Maximum resident cached bytes (`--cache-bytes N`).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            bind_address: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            cache_ttl_secs: None,
+            cache_entries: rf_core::service::DEFAULT_CACHE_CAPACITY,
+            cache_bytes: rf_core::service::DEFAULT_CACHE_BYTES,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Parses the binary's arguments (everything after `argv[0]`).
+    ///
+    /// # Errors
+    /// A usage message for unknown flags, missing values, or unparsable
+    /// numbers.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut options = ServerOptions::default();
+        let mut positional = 0usize;
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            let mut numeric = |name: &str| -> Result<u64, String> {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{name} expects a value"))?;
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{name} expects a whole number, got `{value}`"))
+            };
+            match arg.as_str() {
+                "--workers" => options.workers = (numeric("--workers")? as usize).max(1),
+                "--cache-ttl-secs" => options.cache_ttl_secs = Some(numeric("--cache-ttl-secs")?),
+                "--cache-entries" => {
+                    options.cache_entries = (numeric("--cache-entries")? as usize).max(1);
+                }
+                "--cache-bytes" => {
+                    options.cache_bytes = (numeric("--cache-bytes")? as usize).max(1);
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!(
+                        "unknown flag `{flag}` (available: --workers, --cache-ttl-secs, \
+                         --cache-entries, --cache-bytes)"
+                    ));
+                }
+                address => {
+                    if positional > 0 {
+                        return Err(format!("unexpected extra argument `{address}`"));
+                    }
+                    options.bind_address = address.to_string();
+                    positional += 1;
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// The [`ServerConfig`] slice of the options.
+    #[must_use]
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            bind_address: self.bind_address.clone(),
+            workers: self.workers,
+        }
+    }
+
+    /// Builds the label service these options describe: the parallel
+    /// pipeline on a dedicated `workers`-sized scheduler, behind a cache
+    /// bounded by `cache_entries` / `cache_bytes` whose entries expire
+    /// after `cache_ttl_secs` (when set).
+    #[must_use]
+    pub fn label_service(&self) -> rf_core::LabelService {
+        let pool = Arc::new(rf_runtime::ThreadPool::new(self.workers));
+        rf_core::LabelService::with_cache_policy(
+            rf_core::AnalysisPipeline::with_pool(pool),
+            self.cache_entries,
+            self.cache_bytes,
+            self.cache_ttl_secs.map(std::time::Duration::from_secs),
+        )
+    }
+}
+
 /// The reactor-side request hook: converts parsed requests, schedules the
 /// CPU work on the pool, and streams the response back through the
 /// completion queue.
@@ -189,6 +299,66 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         response
+    }
+
+    #[test]
+    fn options_parse_defaults_and_flags() {
+        let defaults = ServerOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(defaults, ServerOptions::default());
+        assert_eq!(defaults.cache_ttl_secs, None, "no TTL unless asked for");
+
+        let parsed = ServerOptions::parse([
+            "0.0.0.0:9999",
+            "--workers",
+            "8",
+            "--cache-ttl-secs",
+            "300",
+            "--cache-entries",
+            "64",
+            "--cache-bytes",
+            "1048576",
+        ])
+        .unwrap();
+        assert_eq!(parsed.bind_address, "0.0.0.0:9999");
+        assert_eq!(parsed.workers, 8);
+        assert_eq!(parsed.cache_ttl_secs, Some(300));
+        assert_eq!(parsed.cache_entries, 64);
+        assert_eq!(parsed.cache_bytes, 1_048_576);
+        assert_eq!(parsed.server_config().workers, 8);
+
+        // Errors: unknown flags, missing values, junk numbers, extra
+        // positionals.
+        assert!(ServerOptions::parse(["--nope"]).is_err());
+        assert!(ServerOptions::parse(["--cache-ttl-secs"]).is_err());
+        assert!(ServerOptions::parse(["--workers", "many"]).is_err());
+        assert!(ServerOptions::parse(["a:1", "b:2"]).is_err());
+    }
+
+    #[test]
+    fn ttl_flag_reaches_the_label_cache_policy() {
+        // The open ROADMAP item this satellite closes: the TTL policy has
+        // existed in rf-core since PR 4; the flags finally wire it into the
+        // deployed binary.
+        let options = ServerOptions::parse([
+            "--cache-ttl-secs",
+            "7",
+            "--cache-entries",
+            "5",
+            "--workers",
+            "3",
+        ])
+        .unwrap();
+        let state = AppState::with_service(DatasetCatalog::with_demo_datasets(), {
+            options.label_service()
+        });
+        let stats = state.labels.stats();
+        assert_eq!(stats.cache.ttl_millis, Some(7_000));
+        // --workers sizes the label pipeline's own scheduler, not just the
+        // dispatch pool — /stats must agree with the flag.
+        assert_eq!(stats.scheduler.workers, 3);
+        // And the no-TTL default stays the no-TTL default.
+        let default_state = AppState::new(DatasetCatalog::with_demo_datasets());
+        assert_eq!(default_state.labels.stats().cache.ttl_millis, None);
     }
 
     #[test]

@@ -39,5 +39,7 @@ pub use attribute::{
     normalized_values_in_rank_order, AttributeStability,
 };
 pub use error::{StabilityError, StabilityResult};
-pub use monte_carlo::{trial_rng, MonteCarloStability, MonteCarloSummary, TrialOutcome};
+pub use monte_carlo::{
+    trial_rng, MonteCarloStability, MonteCarloSummary, TrialOutcome, DEFAULT_BATCHES_PER_WORKER,
+};
 pub use slope::{score_distribution_slope, SlopeStability, StabilityVerdict};

@@ -14,18 +14,54 @@
 //! expanded through SplitMix64 by `seed_from_u64`, which decorrelates
 //! adjacent seeds).  Trials therefore commute — the estimate is a pure
 //! function of `(inputs, seed, trials)`, independent of execution order — so
-//! the parallel fan-out of [`MonteCarloStability::evaluate_on`] (one
-//! scheduler task per trial) is **byte-identical** to the sequential
-//! reference [`MonteCarloStability::evaluate`] at any worker count.
+//! any parallel schedule (one task per trial in
+//! [`MonteCarloStability::evaluate_on`], or `ceil(trials / (workers × f))`
+//! trials per task in [`MonteCarloStability::evaluate_batched`]) is
+//! **byte-identical** to the sequential reference
+//! [`MonteCarloStability::evaluate`] at any worker count and batch size.
+//!
+//! ## The columnar hot path
+//!
+//! All schedules run their trials on [`rf_ranking::TrialKernel`]: the inputs
+//! are fitted **once** into flat `f64` column buffers, and each trial
+//! perturbs, scores, and argsorts inside a reusable
+//! [`rf_ranking::TrialScratch`] — no per-trial `Table`, no column clones, no
+//! allocations once the scratch is warm.
+//! [`MonteCarloStability::evaluate_materialized`] keeps the historical
+//! perturb-a-table path as the reference the parity tests (and the
+//! `monte_carlo` bench ablation) compare against.
+//!
+//! ## Deadline budget
+//!
+//! [`MonteCarloStability::evaluate_batched`] accepts a wall-clock deadline:
+//! batches launch in waves, and once the deadline has passed no further wave
+//! is launched (the first wave always runs, so the summary always reflects at
+//! least one batch of trials).  A truncated run reports the trials that
+//! completed — a deterministic prefix `0..completed`, each on its usual
+//! derived stream — and sets [`MonteCarloSummary::truncated`].
 
 use crate::error::{StabilityError, StabilityResult};
 use crate::slope::StabilityVerdict;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rf_ranking::{kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction, TablePerturber};
-use rf_runtime::Scheduler;
+use rf_ranking::{
+    kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction, TablePerturber, TrialKernel,
+    TrialScratch,
+};
+use rf_runtime::{Scheduler, ScratchPool};
 use rf_table::Table;
+use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default number of batches per worker in
+/// [`MonteCarloStability::evaluate_batched`]: each scheduler task runs
+/// `ceil(trials / (workers × f))` trials, so every worker sees about `f`
+/// tasks — enough slack for work stealing to even out uneven batches, few
+/// enough that per-task overhead stays negligible.  It also bounds how much
+/// work a deadline wave commits to before the budget is re-checked (about
+/// `1/f` of the remaining trials).
+pub const DEFAULT_BATCHES_PER_WORKER: usize = 4;
 
 /// Configuration of the Monte-Carlo stability estimator.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -64,6 +100,15 @@ impl Default for MonteCarloStability {
 pub struct MonteCarloSummary {
     /// Number of perturbed re-rankings actually performed.
     pub trials: usize,
+    /// Number of trials the configuration asked for (`== trials` unless the
+    /// run was truncated by a deadline).
+    #[serde(default)]
+    pub trials_requested: usize,
+    /// Whether the run stopped early because its wall-clock deadline passed.
+    /// The performed trials are the deterministic prefix `0..trials`, each on
+    /// its usual derived stream.
+    #[serde(default)]
+    pub truncated: bool,
     /// Mean Kendall tau between the original and perturbed rankings.
     pub expected_kendall_tau: f64,
     /// Minimum Kendall tau observed over the trials (worst case).
@@ -134,9 +179,10 @@ impl MonteCarloStability {
         self
     }
 
-    /// Runs the estimator **sequentially** — the reference schedule: trials
-    /// `0..trials` execute in order on the calling thread, each drawing from
-    /// its own derived stream ([`trial_rng`]).
+    /// Runs the estimator **sequentially** on the columnar kernel — the
+    /// reference schedule: trials `0..trials` execute in order on the calling
+    /// thread, sharing one scratch, each drawing from its own derived stream
+    /// ([`trial_rng`]).
     ///
     /// # Errors
     /// Propagates scoring errors; requires a ranking of at least two items.
@@ -146,7 +192,53 @@ impl MonteCarloStability {
         scoring: &ScoringFunction,
         ranking: &Ranking,
     ) -> StabilityResult<MonteCarloSummary> {
-        let plan = self.plan(table, None, scoring, ranking)?;
+        let plan = self.plan(table, scoring, ranking)?;
+        let mut scratch = plan.kernel.scratch();
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for trial in 0..self.trials {
+            outcomes.push(plan.run_trial(trial, &mut scratch)?);
+        }
+        Ok(self.summarize(&outcomes))
+    }
+
+    /// Runs the estimator by **materializing a perturbed table per trial** —
+    /// the historical evaluation plan, kept as the reference the columnar
+    /// kernel is compared against (parity proptests, bench ablation).  Slow:
+    /// every trial clones column data and re-fits from a fresh [`Table`].
+    ///
+    /// Byte-identical to [`evaluate`](Self::evaluate) for every input.
+    ///
+    /// # Errors
+    /// Same as [`evaluate`](Self::evaluate).
+    pub fn evaluate_materialized(
+        &self,
+        table: &Table,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+    ) -> StabilityResult<MonteCarloSummary> {
+        self.validate(ranking)?;
+        let k = self.k.clamp(1, ranking.len());
+        let perturber = if self.data_noise > 0.0 {
+            let scoring_attributes: Vec<&str> = scoring.attribute_names();
+            Some(TablePerturber::fit(
+                table,
+                &scoring_attributes,
+                self.data_noise,
+            )?)
+        } else {
+            None
+        };
+        let plan = MaterializedPlan {
+            table,
+            scoring,
+            ranking,
+            perturber,
+            original_top_k: ranking.top_k_indices(k),
+            original_top_item: ranking.items()[0].index,
+            k,
+            weight_noise: self.weight_noise,
+            seed: self.seed,
+        };
         let mut outcomes = Vec::with_capacity(self.trials);
         for trial in 0..self.trials {
             outcomes.push(plan.run_trial(trial)?);
@@ -162,8 +254,12 @@ impl MonteCarloStability {
     /// asserted by `tests/integration_stability_mc.rs` across the three demo
     /// scenarios and by proptest over random seeds, trial counts, and worker
     /// counts.  Safe to call from inside a task already running on
-    /// `scheduler` (e.g. the Stability widget builder): the blocking wait
-    /// *helps* run the trial tasks instead of parking a worker.
+    /// `scheduler`: the blocking wait *helps* run the trial tasks instead of
+    /// parking.
+    ///
+    /// One task per trial is the finest-grained schedule; the label hot path
+    /// uses [`evaluate_batched`](Self::evaluate_batched), which amortizes the
+    /// per-task overhead over a batch of trials.
     ///
     /// # Errors
     /// The first failing trial's error in trial order, or
@@ -175,11 +271,18 @@ impl MonteCarloStability {
         scoring: &ScoringFunction,
         ranking: &Ranking,
     ) -> StabilityResult<MonteCarloSummary> {
-        let plan = Arc::new(self.plan(table, Some(table), scoring, ranking)?);
+        let plan = Arc::new(self.plan(table, scoring, ranking)?);
+        let scratches: Arc<ScratchPool<TrialScratch>> = Arc::new(ScratchPool::new());
         let jobs: Vec<_> = (0..self.trials)
             .map(|trial| {
                 let plan = Arc::clone(&plan);
-                move || plan.run_trial(trial)
+                let scratches = Arc::clone(&scratches);
+                move || {
+                    let mut scratch = scratches.take_or_else(|| plan.kernel.scratch());
+                    let outcome = plan.run_trial(trial, &mut scratch);
+                    scratches.put(scratch);
+                    outcome
+                }
             })
             .collect();
         let slots = scheduler.run_all(jobs);
@@ -194,16 +297,135 @@ impl MonteCarloStability {
         Ok(self.summarize(&outcomes))
     }
 
-    /// Validates the inputs and fits everything the trials share: the table
-    /// perturbation model (column noise scales computed once), the original
-    /// top-k set, and the clamped `k`.
-    fn plan(
+    /// Runs the estimator in **adaptive batches** with an optional wall-clock
+    /// deadline — the label hot path's schedule.
+    ///
+    /// Trials are grouped into contiguous batches of
+    /// `ceil(trials / (workers × f))` with `f =`
+    /// [`DEFAULT_BATCHES_PER_WORKER`]; each scheduler task runs one batch,
+    /// reusing a pooled [`TrialScratch`] across the batch (and across waves),
+    /// so per-task overhead and allocations amortize over the whole batch.
+    /// Trial `i` still draws from its own `seed ⊕ i` stream, so the summary
+    /// is byte-identical to [`evaluate`](Self::evaluate) at **any** batch
+    /// size and worker count.
+    ///
+    /// Batches launch one wave (of up to `workers` batches) at a time.  When
+    /// `deadline` is set and has passed, no further wave launches: the run
+    /// reports the deterministic prefix of trials that completed, with
+    /// [`MonteCarloSummary::truncated`] set.  The first wave always runs, so
+    /// even a zero deadline yields a valid summary over at least one batch
+    /// per worker — never a hang, never an empty estimate.
+    ///
+    /// # Errors
+    /// The first failing trial's error in trial order, or
+    /// [`StabilityError::TrialPanic`] naming the first trial of a panicked
+    /// batch.
+    pub fn evaluate_batched(
         &self,
-        table: &Table,
-        shared_table: Option<&Arc<Table>>,
+        scheduler: &Scheduler,
+        table: &Arc<Table>,
         scoring: &ScoringFunction,
         ranking: &Ranking,
-    ) -> StabilityResult<TrialPlan> {
+        deadline: Option<Duration>,
+    ) -> StabilityResult<MonteCarloSummary> {
+        self.evaluate_batched_with(
+            scheduler,
+            table,
+            scoring,
+            ranking,
+            deadline,
+            DEFAULT_BATCHES_PER_WORKER,
+        )
+    }
+
+    /// [`evaluate_batched`](Self::evaluate_batched) with an explicit
+    /// batches-per-worker factor `f` (the bench sweeps it; `0` is treated
+    /// as `1`).
+    ///
+    /// # Errors
+    /// Same as [`evaluate_batched`](Self::evaluate_batched).
+    pub fn evaluate_batched_with(
+        &self,
+        scheduler: &Scheduler,
+        table: &Arc<Table>,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+        deadline: Option<Duration>,
+        batches_per_worker: usize,
+    ) -> StabilityResult<MonteCarloSummary> {
+        let plan = Arc::new(self.plan(table, scoring, ranking)?);
+        let scratches: Arc<ScratchPool<TrialScratch>> = Arc::new(ScratchPool::new());
+        let workers = scheduler.size().max(1);
+        let factor = batches_per_worker.max(1);
+        let batch = self.trials.div_ceil(workers * factor).max(1);
+        let deadline_at = deadline.map(|budget| Instant::now() + budget);
+
+        let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(self.trials);
+        let mut next = 0usize;
+        while next < self.trials {
+            // The deadline gates *launching*, never running: wave 0 always
+            // goes out, and a launched wave always completes.
+            if next > 0 {
+                if let Some(at) = deadline_at {
+                    if Instant::now() >= at {
+                        break;
+                    }
+                }
+            }
+            // Without a deadline there is nothing to re-check between waves,
+            // so all batches go out in one submission — the full `workers × f`
+            // task surplus is live at once and stealing can rebalance uneven
+            // batches.  With a deadline, each wave is one batch per worker so
+            // the budget is re-checked about `f` times per run.
+            let wave_end = if deadline_at.is_none() {
+                self.trials
+            } else {
+                (next + batch * workers).min(self.trials)
+            };
+            let ranges: Vec<std::ops::Range<usize>> = (next..wave_end)
+                .step_by(batch)
+                .map(|start| start..(start + batch).min(wave_end))
+                .collect();
+            let jobs: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    let plan = Arc::clone(&plan);
+                    let scratches = Arc::clone(&scratches);
+                    move || {
+                        let mut scratch = scratches.take_or_else(|| plan.kernel.scratch());
+                        let mut batch_outcomes = Vec::with_capacity(range.len());
+                        for trial in range {
+                            match plan.run_trial(trial, &mut scratch) {
+                                Ok(outcome) => batch_outcomes.push(outcome),
+                                Err(err) => {
+                                    scratches.put(scratch);
+                                    return Err(err);
+                                }
+                            }
+                        }
+                        scratches.put(scratch);
+                        Ok(batch_outcomes)
+                    }
+                })
+                .collect();
+            for (slot, range) in scheduler.run_all(jobs).into_iter().zip(ranges) {
+                match slot {
+                    Some(Ok(batch_outcomes)) => outcomes.extend(batch_outcomes),
+                    Some(Err(err)) => return Err(err),
+                    None => {
+                        return Err(StabilityError::TrialPanic { trial: range.start });
+                    }
+                }
+            }
+            next = wave_end;
+        }
+        Ok(self.summarize(&outcomes))
+    }
+
+    /// Shared input validation: the ranking must have at least two items and
+    /// the configuration at least one trial.
+    fn validate(&self, ranking: &Ranking) -> StabilityResult<()> {
         if ranking.len() < 2 {
             return Err(StabilityError::TooFewItems {
                 available: ranking.len(),
@@ -216,44 +438,36 @@ impl MonteCarloStability {
                 message: "at least one trial is required".to_string(),
             });
         }
+        Ok(())
+    }
+
+    /// Validates the inputs and fits everything the trials share: the
+    /// columnar [`TrialKernel`] (column buffers and noise scales computed
+    /// once) plus the original ranking's order, top-k set, and clamped `k`.
+    fn plan(
+        &self,
+        table: &Table,
+        scoring: &ScoringFunction,
+        ranking: &Ranking,
+    ) -> StabilityResult<TrialPlan> {
+        self.validate(ranking)?;
         let k = self.k.clamp(1, ranking.len());
-        let perturber = if self.data_noise > 0.0 {
-            let scoring_attributes: Vec<&str> = scoring.attribute_names();
-            Some(TablePerturber::fit(
-                table,
-                &scoring_attributes,
-                self.data_noise,
-            )?)
-        } else {
-            None
-        };
-        // With data noise every trial builds its own perturbed table; without
-        // it the trials rank the original, shared without copying when the
-        // caller already holds it by `Arc`.
-        let table = if perturber.is_some() {
-            None
-        } else {
-            Some(
-                shared_table
-                    .map(Arc::clone)
-                    .unwrap_or_else(|| Arc::new(table.clone())),
-            )
-        };
+        let kernel = TrialKernel::fit(table, scoring, self.data_noise, self.weight_noise)?;
+        let original_top_k: HashSet<usize> = ranking.top_k_indices(k).into_iter().collect();
+        let original_order = ranking.order();
+        let original_top_item = original_order[0];
         Ok(TrialPlan {
-            scoring: scoring.clone(),
-            ranking: ranking.clone(),
-            perturber,
-            table,
-            original_top_k: ranking.top_k_indices(k),
-            original_top_item: ranking.order()[0],
+            kernel,
+            original_order,
+            original_top_k,
+            original_top_item,
             k,
-            weight_noise: self.weight_noise,
             seed: self.seed,
         })
     }
 
     /// Folds per-trial outcomes (in trial order) into the summary.  Pure and
-    /// order-sensitive only through float summation, which both schedules
+    /// order-sensitive only through float summation, which all schedules
     /// perform identically because outcomes arrive indexed by trial.
     fn summarize(&self, outcomes: &[TrialOutcome]) -> MonteCarloSummary {
         let count = outcomes.len() as f64;
@@ -271,6 +485,8 @@ impl MonteCarloStability {
         };
         MonteCarloSummary {
             trials: outcomes.len(),
+            trials_requested: self.trials,
+            truncated: outcomes.len() < self.trials,
             expected_kendall_tau: expected_tau,
             worst_kendall_tau: worst_tau,
             expected_top_k_overlap: expected_overlap,
@@ -303,12 +519,56 @@ pub struct TrialOutcome {
 /// afterwards — safe to reference from concurrently running trial tasks.
 #[derive(Debug)]
 struct TrialPlan {
-    scoring: ScoringFunction,
-    ranking: Ranking,
+    /// The columnar trial kernel: column buffers, noise scales, weights.
+    kernel: TrialKernel,
+    /// The original ranking's row indices, best first.
+    original_order: Vec<usize>,
+    /// The original top-k as a set, for overlap counting.
+    original_top_k: HashSet<usize>,
+    original_top_item: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl TrialPlan {
+    /// Runs trial `trial` on its own derived stream inside `scratch`:
+    /// perturb the data, jitter the weights, re-rank, compare.  Pure in
+    /// `(plan, trial)` — the scratch only carries reusable buffers.
+    fn run_trial(&self, trial: usize, scratch: &mut TrialScratch) -> StabilityResult<TrialOutcome> {
+        let mut rng = trial_rng(self.seed, trial);
+        self.kernel.rank_trial(&mut rng, scratch)?;
+        let rows = self.kernel.rows();
+        // The reference degrades a ranking-size mismatch to tau = 0.0
+        // (`kendall_tau_rankings(..).unwrap_or(0.0)`); sizes match on every
+        // sane call, but the quirk is part of the byte-identity contract.
+        let kendall_tau = if self.original_order.len() == rows {
+            scratch.kendall_tau_against(&self.original_order)
+        } else {
+            0.0
+        };
+        let perturbed_top_len = self.k.min(rows);
+        let intersection = scratch.order()[..perturbed_top_len]
+            .iter()
+            .filter(|index| self.original_top_k.contains(index))
+            .count();
+        let union = self.original_top_k.len() + perturbed_top_len - intersection;
+        Ok(TrialOutcome {
+            kendall_tau,
+            top_k_overlap: intersection as f64 / union as f64,
+            top_item_changed: scratch.order()[0] != self.original_top_item,
+        })
+    }
+}
+
+/// The historical per-trial plan: materialize a perturbed [`Table`], re-fit
+/// the scoring function, build a fresh [`Ranking`].  Reference only.
+#[derive(Debug)]
+struct MaterializedPlan<'a> {
+    table: &'a Table,
+    scoring: &'a ScoringFunction,
+    ranking: &'a Ranking,
     /// Fitted perturbation model; `None` when `data_noise == 0`.
     perturber: Option<TablePerturber>,
-    /// The unperturbed table, retained only when no data noise is applied.
-    table: Option<Arc<Table>>,
     original_top_k: Vec<usize>,
     original_top_item: usize,
     k: usize,
@@ -316,9 +576,9 @@ struct TrialPlan {
     seed: u64,
 }
 
-impl TrialPlan {
-    /// Runs trial `trial` on its own derived stream: perturb the data, jitter
-    /// the weights, re-rank, compare.  Pure in `(plan, trial)`.
+impl MaterializedPlan<'_> {
+    /// Runs trial `trial` the materialized way: perturb the data, jitter the
+    /// weights, re-rank, compare.  Pure in `(plan, trial)`.
     fn run_trial(&self, trial: usize) -> StabilityResult<TrialOutcome> {
         let mut rng = trial_rng(self.seed, trial);
         // Draw order matches the historical estimator: data noise first,
@@ -328,17 +588,14 @@ impl TrialPlan {
             None => None,
         };
         let scoring = if self.weight_noise > 0.0 {
-            perturb_weights(&self.scoring, self.weight_noise, &mut rng)?
+            perturb_weights(self.scoring, self.weight_noise, &mut rng)?
         } else {
             self.scoring.clone()
         };
-        let table: &Table = match &perturbed_table {
-            Some(table) => table,
-            None => self.table.as_ref().expect("plan retains the table"),
-        };
+        let table: &Table = perturbed_table.as_ref().unwrap_or(self.table);
         let perturbed_ranking = scoring.rank_table(table)?;
         Ok(TrialOutcome {
-            kendall_tau: kendall_tau_rankings(&self.ranking, &perturbed_ranking).unwrap_or(0.0),
+            kendall_tau: kendall_tau_rankings(self.ranking, &perturbed_ranking).unwrap_or(0.0),
             top_k_overlap: jaccard(
                 &self.original_top_k,
                 &perturbed_ranking.top_k_indices(self.k),
@@ -353,8 +610,8 @@ fn jaccard(a: &[usize], b: &[usize]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let set_a: std::collections::HashSet<usize> = a.iter().copied().collect();
-    let set_b: std::collections::HashSet<usize> = b.iter().copied().collect();
+    let set_a: HashSet<usize> = a.iter().copied().collect();
+    let set_b: HashSet<usize> = b.iter().copied().collect();
     let intersection = set_a.intersection(&set_b).count() as f64;
     let union = set_a.union(&set_b).count() as f64;
     intersection / union
@@ -399,6 +656,8 @@ mod tests {
         assert!(summary.expected_kendall_tau > 0.95);
         assert!(summary.expected_top_k_overlap > 0.9);
         assert!(summary.top_item_change_rate < 0.1);
+        assert_eq!(summary.trials_requested, 50);
+        assert!(!summary.truncated);
     }
 
     #[test]
@@ -471,6 +730,9 @@ mod tests {
         assert!(MonteCarloStability::new()
             .evaluate(&t, &scoring, &tiny)
             .is_err());
+        assert!(MonteCarloStability::new()
+            .evaluate_materialized(&t, &scoring, &tiny)
+            .is_err());
     }
 
     #[test]
@@ -479,6 +741,48 @@ mod tests {
         assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
         assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
         assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn columnar_kernel_matches_the_materialized_reference() {
+        // The tentpole contract: the allocation-free kernel path is
+        // byte-identical to the historical perturb-a-table path.
+        let t = Table::from_columns(vec![
+            (
+                "label",
+                Column::from_strings((0..35).map(|i| format!("r{i}")).collect::<Vec<_>>()),
+            ),
+            (
+                "x",
+                Column::from_f64((0..35).map(|i| (i as f64 * 2.1).sin() * 40.0).collect()),
+            ),
+            (
+                "y",
+                Column::from_f64((0..35).map(|i| 70.0 - i as f64).collect()),
+            ),
+        ])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("y", 0.6), ("x", 0.4)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        for &(data_noise, weight_noise) in &[(0.0, 0.0), (0.1, 0.0), (0.0, 0.15), (0.2, 0.2)] {
+            for seed in [0u64, 42, 12345] {
+                let estimator = MonteCarloStability::new()
+                    .with_trials(19)
+                    .unwrap()
+                    .with_noise(data_noise, weight_noise)
+                    .unwrap()
+                    .with_seed(seed)
+                    .with_k(7);
+                let columnar = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+                let materialized = estimator
+                    .evaluate_materialized(&t, &scoring, &ranking)
+                    .unwrap();
+                assert_eq!(
+                    columnar, materialized,
+                    "noise ({data_noise}, {weight_noise}), seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -500,6 +804,107 @@ mod tests {
                 .unwrap();
             assert_eq!(sequential, parallel, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn batched_trials_match_the_sequential_reference_at_any_batch_size() {
+        let t = Arc::new(spread_table(40));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(23)
+            .unwrap()
+            .with_noise(0.2, 0.1)
+            .unwrap()
+            .with_seed(7);
+        let sequential = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        for workers in [1usize, 2, 4] {
+            let scheduler = Scheduler::new(workers);
+            for factor in [1usize, 2, 4, 8, 100] {
+                let batched = estimator
+                    .evaluate_batched_with(&scheduler, &t, &scoring, &ranking, None, factor)
+                    .unwrap();
+                assert_eq!(sequential, batched, "{workers} workers, factor {factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_schedules_fewer_tasks_than_trials() {
+        let t = Arc::new(spread_table(30));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let scheduler = Scheduler::new(2);
+        let before = scheduler.executed_jobs();
+        MonteCarloStability::new()
+            .with_trials(64)
+            .unwrap()
+            .evaluate_batched(&scheduler, &t, &scoring, &ranking, None)
+            .unwrap();
+        // 64 trials / (2 workers × 4 batches) = 8 trials per task → 8 tasks.
+        assert_eq!(scheduler.executed_jobs() - before, 8);
+    }
+
+    #[test]
+    fn zero_deadline_truncates_to_the_first_wave_deterministically() {
+        let t = Arc::new(spread_table(30));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(64)
+            .unwrap()
+            .with_noise(0.3, 0.1)
+            .unwrap();
+        let scheduler = Scheduler::new(2);
+        let truncated = estimator
+            .evaluate_batched(&scheduler, &t, &scoring, &ranking, Some(Duration::ZERO))
+            .unwrap();
+        // batch = 64 / (2 × 4) = 8; one wave = 2 batches = 16 trials.
+        assert!(truncated.truncated);
+        assert_eq!(truncated.trials, 16);
+        assert_eq!(truncated.trials_requested, 64);
+        // The completed prefix is deterministic: it matches a 16-trial run
+        // of the same estimator outcome-for-outcome.
+        let prefix = MonteCarloStability {
+            trials: 16,
+            ..estimator.clone()
+        }
+        .evaluate(&t, &scoring, &ranking)
+        .unwrap();
+        assert_eq!(truncated.expected_kendall_tau, prefix.expected_kendall_tau);
+        assert_eq!(truncated.worst_kendall_tau, prefix.worst_kendall_tau);
+        assert_eq!(
+            truncated.expected_top_k_overlap,
+            prefix.expected_top_k_overlap
+        );
+        assert_eq!(truncated.top_item_change_rate, prefix.top_item_change_rate);
+        // And re-running the truncated evaluation reproduces itself.
+        let again = estimator
+            .evaluate_batched(&scheduler, &t, &scoring, &ranking, Some(Duration::ZERO))
+            .unwrap();
+        assert_eq!(truncated, again);
+    }
+
+    #[test]
+    fn generous_deadline_completes_every_trial() {
+        let t = Arc::new(spread_table(20));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let scheduler = Scheduler::new(2);
+        let summary = MonteCarloStability::new()
+            .with_trials(12)
+            .unwrap()
+            .evaluate_batched(
+                &scheduler,
+                &t,
+                &scoring,
+                &ranking,
+                Some(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert!(!summary.truncated);
+        assert_eq!(summary.trials, 12);
+        assert_eq!(summary.trials_requested, 12);
     }
 
     #[test]

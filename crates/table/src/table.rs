@@ -9,12 +9,20 @@
 use crate::column::{Column, Value};
 use crate::error::{TableError, TableResult};
 use crate::schema::{ColumnType, Field, Schema};
+use std::sync::Arc;
 
 /// A columnar table: a schema plus one column per field, all of equal length.
+///
+/// Columns are stored behind `Arc`, so cloning a table — or copying a subset
+/// of its columns into a derived table via [`Table::add_shared_column`] —
+/// shares the cell storage instead of duplicating it.  The Monte-Carlo
+/// stability perturber relies on this: a perturbed draw re-uses every
+/// untouched column of the original table at the cost of one reference count.
+/// `Column` has no interior mutability, so shared columns can never diverge.
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Table {
     schema: Schema,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
     rows: usize,
 }
 
@@ -46,6 +54,20 @@ impl Table {
     /// Returns an error if the name already exists or the length differs from
     /// the current row count.
     pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> TableResult<()> {
+        self.add_shared_column(name, Arc::new(column))
+    }
+
+    /// Adds an `Arc`-shared column to the table without copying its cells —
+    /// the zero-copy path for derived tables (e.g. perturbed copies that keep
+    /// most columns unchanged).
+    ///
+    /// # Errors
+    /// Same as [`Table::add_column`].
+    pub fn add_shared_column(
+        &mut self,
+        name: impl Into<String>,
+        column: Arc<Column>,
+    ) -> TableResult<()> {
         let name = name.into();
         if self.schema.contains(&name) {
             return Err(TableError::DuplicateColumn { name });
@@ -94,7 +116,7 @@ impl Table {
     /// they keep alive.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        let cells: usize = self.columns.iter().map(Column::approx_heap_bytes).sum();
+        let cells: usize = self.columns.iter().map(|c| c.approx_heap_bytes()).sum();
         let names: usize = self.schema.fields().iter().map(|f| f.name.len()).sum();
         cells + names
     }
@@ -104,6 +126,16 @@ impl Table {
     /// # Errors
     /// [`TableError::UnknownColumn`] if no such column exists.
     pub fn column(&self, name: &str) -> TableResult<&Column> {
+        self.shared_column(name).map(Arc::as_ref)
+    }
+
+    /// The `Arc`-shared handle of the column with the given name, for callers
+    /// that re-use the column in a derived table without copying it
+    /// ([`Table::add_shared_column`]).
+    ///
+    /// # Errors
+    /// [`TableError::UnknownColumn`] if no such column exists.
+    pub fn shared_column(&self, name: &str) -> TableResult<&Arc<Column>> {
         let idx = self
             .schema
             .index_of(name)
@@ -113,9 +145,9 @@ impl Table {
         Ok(&self.columns[idx])
     }
 
-    /// All columns in schema order.
+    /// All columns in schema order (`Arc`-shared; deref to [`Column`]).
     #[must_use]
-    pub fn columns(&self) -> &[Column] {
+    pub fn columns(&self) -> &[Arc<Column>] {
         &self.columns
     }
 
@@ -168,7 +200,11 @@ impl Table {
     /// that matters).
     #[must_use]
     pub fn take(&self, indices: &[usize]) -> Table {
-        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.take(indices)))
+            .collect();
         Table {
             schema: self.schema.clone(),
             columns,
@@ -191,8 +227,8 @@ impl Table {
     pub fn select(&self, names: &[&str]) -> TableResult<Table> {
         let mut out = Table::new();
         for &name in names {
-            let col = self.column(name)?.clone();
-            out.add_column(name, col)?;
+            let col = Arc::clone(self.shared_column(name)?);
+            out.add_shared_column(name, col)?;
         }
         // A selection of zero columns keeps the row count for consistency.
         if names.is_empty() {

@@ -20,49 +20,73 @@ pub struct ChaCha8Rng {
     index: usize,
 }
 
+/// One ChaCha quarter-round over four named words.  Operating on locals
+/// (rather than indexing into a `[u32; 16]`) keeps the whole working state
+/// in registers through the round loop — the generator sits under the
+/// Monte-Carlo noise sampler, which draws two words per Gaussian, so block
+/// throughput is a hot-path cost.
+macro_rules! qr {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(16);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(12);
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(8);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(7);
+    };
+}
+
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        let mut state = [0u32; 16];
-        state[0] = 0x6170_7865; // "expa"
-        state[1] = 0x3320_646e; // "nd 3"
-        state[2] = 0x7962_2d32; // "2-by"
-        state[3] = 0x6b20_6574; // "te k"
-        state[4..12].copy_from_slice(&self.key);
-        state[12] = self.counter as u32;
-        state[13] = (self.counter >> 32) as u32;
-        state[14] = 0;
-        state[15] = 0;
+        let (x0, x1, x2, x3) = (
+            0x6170_7865u32,
+            0x3320_646eu32,
+            0x7962_2d32u32,
+            0x6b20_6574u32,
+        );
+        let [k0, k1, k2, k3, k4, k5, k6, k7] = self.key;
+        let c0 = self.counter as u32;
+        let c1 = (self.counter >> 32) as u32;
 
-        let mut working = state;
+        let (mut w0, mut w1, mut w2, mut w3) = (x0, x1, x2, x3);
+        let (mut w4, mut w5, mut w6, mut w7) = (k0, k1, k2, k3);
+        let (mut w8, mut w9, mut w10, mut w11) = (k4, k5, k6, k7);
+        let (mut w12, mut w13, mut w14, mut w15) = (c0, c1, 0u32, 0u32);
         for _ in 0..ROUNDS / 2 {
             // Column round.
-            quarter_round(&mut working, 0, 4, 8, 12);
-            quarter_round(&mut working, 1, 5, 9, 13);
-            quarter_round(&mut working, 2, 6, 10, 14);
-            quarter_round(&mut working, 3, 7, 11, 15);
+            qr!(w0, w4, w8, w12);
+            qr!(w1, w5, w9, w13);
+            qr!(w2, w6, w10, w14);
+            qr!(w3, w7, w11, w15);
             // Diagonal round.
-            quarter_round(&mut working, 0, 5, 10, 15);
-            quarter_round(&mut working, 1, 6, 11, 12);
-            quarter_round(&mut working, 2, 7, 8, 13);
-            quarter_round(&mut working, 3, 4, 9, 14);
+            qr!(w0, w5, w10, w15);
+            qr!(w1, w6, w11, w12);
+            qr!(w2, w7, w8, w13);
+            qr!(w3, w4, w9, w14);
         }
-        for i in 0..16 {
-            self.buffer[i] = working[i].wrapping_add(state[i]);
-        }
+        self.buffer = [
+            w0.wrapping_add(x0),
+            w1.wrapping_add(x1),
+            w2.wrapping_add(x2),
+            w3.wrapping_add(x3),
+            w4.wrapping_add(k0),
+            w5.wrapping_add(k1),
+            w6.wrapping_add(k2),
+            w7.wrapping_add(k3),
+            w8.wrapping_add(k4),
+            w9.wrapping_add(k5),
+            w10.wrapping_add(k6),
+            w11.wrapping_add(k7),
+            w12.wrapping_add(c0),
+            w13.wrapping_add(c1),
+            w14,
+            w15,
+        ];
         self.counter = self.counter.wrapping_add(1);
         self.index = 0;
     }
-}
-
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
 impl SeedableRng for ChaCha8Rng {
@@ -83,6 +107,7 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.index >= 16 {
             self.refill();
@@ -92,10 +117,20 @@ impl RngCore for ChaCha8Rng {
         word
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
-        let low = u64::from(self.next_u32());
-        let high = u64::from(self.next_u32());
-        (high << 32) | low
+        // Same word sequence as two `next_u32` calls; taking both from the
+        // buffer in one go just skips a bounds check on the common path.
+        if self.index + 2 <= 16 {
+            let low = u64::from(self.buffer[self.index]);
+            let high = u64::from(self.buffer[self.index + 1]);
+            self.index += 2;
+            (high << 32) | low
+        } else {
+            let low = u64::from(self.next_u32());
+            let high = u64::from(self.next_u32());
+            (high << 32) | low
+        }
     }
 }
 

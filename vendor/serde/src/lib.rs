@@ -198,6 +198,12 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
@@ -360,6 +366,12 @@ impl<T: Deserialize> Deserialize for Option<T> {
             Content::Null => Ok(None),
             other => Ok(Some(T::from_content(other)?)),
         }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(std::sync::Arc::new)
     }
 }
 
