@@ -25,6 +25,7 @@ impl BenchServer {
         let config = ServerConfig {
             bind_address: "127.0.0.1:0".to_string(),
             workers,
+            ..ServerConfig::default()
         };
         let server = Server::bind(DatasetCatalog::with_demo_datasets(), &config).expect("bind");
         let addr = server.local_addr().expect("addr");

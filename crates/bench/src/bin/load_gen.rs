@@ -1,0 +1,508 @@
+//! Open-loop load generator for the sharded label server.
+//!
+//! Drives an in-process server at a *target* request rate — arrivals follow
+//! a Poisson process (exponential inter-arrival times), scheduled ahead of
+//! time and independent of completions, so a slow server cannot silently
+//! slow the offered load the way a closed-loop client would.  Latency is
+//! measured from each request's *scheduled* arrival, so coordination delay
+//! (a backlogged client picking the job up late) counts against the server.
+//!
+//! Three request mixes exercise the three label-serving regimes:
+//!
+//! - `warm` — one cacheable label path; after warmup every request is a
+//!   cache hit and the run measures the I/O plane itself.
+//! - `cold` — a unique `mc_seed` per request defeats the cache; every
+//!   request pays full label generation.
+//! - `deadline` — cold German-credit labels under a 1 ms Monte-Carlo
+//!   budget; generation is deadline-truncated (verified against the
+//!   `/stats` truncation counter).
+//!
+//! Each (reactor-shard-count × mix) run reports achieved RPS, latency
+//! percentiles, shed (503) rate, and the server's own rolled-up reactor
+//! counters.  Results land in `BENCH_server.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p rf-bench --bin load_gen            # full sweep
+//! cargo run --release -p rf-bench --bin load_gen -- --smoke # 2 s CI smoke
+//! ```
+
+use rand::distributions::{Distribution, Exp};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rf_server::{DatasetCatalog, Server, ServerConfig};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const WARM_PATH: &str = "/datasets/cs-departments/label.json?k=5";
+
+/// One request mix: how the path for request `seq` is built.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Warm,
+    Cold,
+    Deadline,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Warm => "warm",
+            Mix::Cold => "cold",
+            Mix::Deadline => "deadline_truncated",
+        }
+    }
+
+    fn path(self, seq: u64) -> String {
+        match self {
+            Mix::Warm => WARM_PATH.to_string(),
+            // A unique seed defeats the label cache: every request is a
+            // full cold generation.
+            Mix::Cold => format!("/datasets/cs-departments/label.json?k=5&mc_seed={seq}"),
+            // Cold *and* deadline-starved: the Monte-Carlo run truncates
+            // after its first wave.
+            Mix::Deadline => {
+                format!("/datasets/german-credit/label.json?trials=256&deadline_ms=1&mc_seed={seq}")
+            }
+        }
+    }
+}
+
+/// Target-rate settings for one sweep.
+struct Profile {
+    smoke: bool,
+    duration: Duration,
+    connections: usize,
+    warm_rps: f64,
+    cold_rps: f64,
+    deadline_rps: f64,
+    reactor_counts: Vec<usize>,
+    mixes: Vec<Mix>,
+}
+
+impl Profile {
+    fn full() -> Self {
+        Profile {
+            smoke: false,
+            duration: Duration::from_secs(6),
+            connections: 32,
+            // Above single-shard capacity on purpose: an open-loop target
+            // the server cannot sustain turns achieved RPS into a
+            // saturation-throughput measurement.
+            warm_rps: 25_000.0,
+            cold_rps: 20.0,
+            deadline_rps: 10.0,
+            reactor_counts: vec![1, 2, 4],
+            mixes: vec![Mix::Warm, Mix::Cold, Mix::Deadline],
+        }
+    }
+
+    /// The CI smoke profile: low RPS, 2 s, warm mix only, 1 vs 2 shards.
+    fn smoke() -> Self {
+        Profile {
+            smoke: true,
+            duration: Duration::from_secs(2),
+            connections: 4,
+            warm_rps: 20.0,
+            cold_rps: 5.0,
+            deadline_rps: 5.0,
+            reactor_counts: vec![1, 2],
+            mixes: vec![Mix::Warm],
+        }
+    }
+
+    fn rps_for(&self, mix: Mix) -> f64 {
+        match mix {
+            Mix::Warm => self.warm_rps,
+            Mix::Cold => self.cold_rps,
+            Mix::Deadline => self.deadline_rps,
+        }
+    }
+}
+
+/// One scheduled arrival, handed from the generator to a client.
+struct Job {
+    due: Instant,
+    seq: u64,
+}
+
+/// One completed request, as the client measured it.
+struct Sample {
+    latency: Duration,
+    status: u16,
+}
+
+struct RunOutcome {
+    samples: Vec<Sample>,
+    errors: u64,
+    elapsed: Duration,
+    mc_truncated_delta: u64,
+    network: Option<serde_json::Value>,
+}
+
+#[derive(serde::Serialize)]
+struct LatencySummary {
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    mean_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RunReport {
+    reactors: usize,
+    workers: usize,
+    mix: String,
+    target_rps: f64,
+    duration_secs: f64,
+    requests: u64,
+    achieved_rps: f64,
+    ok: u64,
+    shed_503: u64,
+    shed_rate: f64,
+    client_errors: u64,
+    mc_truncated_runs: u64,
+    latency: Option<LatencySummary>,
+    server_network_totals: Option<serde_json::Value>,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    benchmark: String,
+    smoke: bool,
+    host_parallelism: usize,
+    note: String,
+    warm_rps_by_reactors: Vec<(usize, f64)>,
+    warm_scaling_vs_one_shard: Vec<(usize, f64)>,
+    runs: Vec<RunReport>,
+}
+
+fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// One request/response exchange on a keep-alive connection; reconnects
+/// once if the stream has gone away (idle timeout, server-side close).
+fn exchange(stream: &mut Option<TcpStream>, addr: SocketAddr, path: &str) -> std::io::Result<u16> {
+    for attempt in 0..2 {
+        if stream.is_none() {
+            *stream = Some(connect(addr)?);
+        }
+        let conn = stream.as_mut().expect("connection");
+        let request =
+            format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n");
+        let result = conn
+            .write_all(request.as_bytes())
+            .and_then(|()| rf_net::read_one_response(conn));
+        match result {
+            Ok(response) => {
+                let status = response
+                    .head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|code| code.parse().ok())
+                    .unwrap_or(0);
+                return Ok(status);
+            }
+            Err(err) if attempt == 0 => {
+                // Stale keep-alive connection: drop it and retry fresh.
+                *stream = None;
+                let _ = err;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    unreachable!("loop returns on the second attempt")
+}
+
+/// Reads the service counters over the wire.
+fn scrape_stats(addr: SocketAddr) -> Option<serde_json::Value> {
+    let mut stream = connect(addr).ok()?;
+    let request = "GET /stats HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+    stream.write_all(request.as_bytes()).ok()?;
+    let response = rf_net::read_one_response(&mut stream).ok()?;
+    if !response.head.starts_with("HTTP/1.1 200") {
+        return None;
+    }
+    serde_json::from_str(&response.body_text()).ok()
+}
+
+fn mc_truncated(stats: Option<&serde_json::Value>) -> u64 {
+    stats
+        .and_then(|value| value.get("monte_carlo"))
+        .and_then(|mc| mc.get("truncated"))
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Runs one open-loop measurement against a freshly started server.
+fn run_once(profile: &Profile, reactors: usize, workers: usize, mix: Mix) -> RunOutcome {
+    let config = ServerConfig {
+        bind_address: "127.0.0.1:0".to_string(),
+        workers,
+        reactors,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(DatasetCatalog::with_demo_datasets(), &config).expect("bind server");
+    let addr = server.local_addr().expect("server address");
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Warm the cache so the warm mix measures serving, not generation.
+    if mix == Mix::Warm {
+        let mut warmup = None;
+        for _ in 0..2 {
+            exchange(&mut warmup, addr, WARM_PATH).expect("warmup request");
+        }
+    }
+    let truncated_before = mc_truncated(scrape_stats(addr).as_ref());
+
+    // Generator: schedule Poisson arrivals ahead of completions.
+    let (sender, receiver) = mpsc::channel::<Job>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let rps = profile.rps_for(mix);
+    let duration = profile.duration;
+    let generator = std::thread::spawn(move || {
+        let exp = Exp::new(rps);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_1AB5);
+        let started = Instant::now();
+        let mut offset = 0.0f64;
+        let mut seq = 0u64;
+        loop {
+            offset += exp.sample(&mut rng);
+            if offset >= duration.as_secs_f64() {
+                break;
+            }
+            let due = started + Duration::from_secs_f64(offset);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            if sender.send(Job { due, seq }).is_err() {
+                break;
+            }
+            seq += 1;
+        }
+    });
+
+    // Clients: each owns one keep-alive connection and drains the shared
+    // arrival queue.
+    let started = Instant::now();
+    let clients: Vec<_> = (0..profile.connections)
+        .map(|_| {
+            let receiver = Arc::clone(&receiver);
+            std::thread::spawn(move || {
+                let mut stream: Option<TcpStream> = None;
+                let mut samples = Vec::new();
+                let mut errors = 0u64;
+                loop {
+                    let job = {
+                        let queue = receiver.lock().expect("arrival queue");
+                        match queue.recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        }
+                    };
+                    let path = mix.path(job.seq);
+                    match exchange(&mut stream, addr, &path) {
+                        Ok(status) => samples.push(Sample {
+                            latency: job.due.elapsed(),
+                            status,
+                        }),
+                        Err(_) => errors += 1,
+                    }
+                }
+                (samples, errors)
+            })
+        })
+        .collect();
+
+    generator.join().expect("generator thread");
+    let mut samples = Vec::new();
+    let mut errors = 0u64;
+    for client in clients {
+        let (client_samples, client_errors) = client.join().expect("client thread");
+        samples.extend(client_samples);
+        errors += client_errors;
+    }
+    let elapsed = started.elapsed();
+
+    let stats = scrape_stats(addr);
+    let mc_truncated_delta = mc_truncated(stats.as_ref()).saturating_sub(truncated_before);
+    let network = stats
+        .as_ref()
+        .and_then(|value| value.get("network"))
+        .and_then(|network| network.get("totals"))
+        .cloned();
+
+    shutdown.store(true, Ordering::Relaxed);
+    server_thread.join().expect("server thread");
+
+    RunOutcome {
+        samples,
+        errors,
+        elapsed,
+        mc_truncated_delta,
+        network,
+    }
+}
+
+fn summarize(
+    profile: &Profile,
+    reactors: usize,
+    workers: usize,
+    mix: Mix,
+    out: RunOutcome,
+) -> RunReport {
+    let mut latencies_ms: Vec<f64> = out
+        .samples
+        .iter()
+        .map(|sample| sample.latency.as_secs_f64() * 1_000.0)
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let percentile = |q: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let index = ((latencies_ms.len() - 1) as f64 * q).round() as usize;
+        latencies_ms[index]
+    };
+    let latency = if latencies_ms.is_empty() {
+        None
+    } else {
+        Some(LatencySummary {
+            p50_ms: percentile(0.50),
+            p90_ms: percentile(0.90),
+            p99_ms: percentile(0.99),
+            max_ms: *latencies_ms.last().expect("non-empty"),
+            mean_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64,
+        })
+    };
+
+    let requests = out.samples.len() as u64 + out.errors;
+    let ok = out
+        .samples
+        .iter()
+        .filter(|sample| sample.status == 200)
+        .count() as u64;
+    let shed_503 = out
+        .samples
+        .iter()
+        .filter(|sample| sample.status == 503)
+        .count() as u64;
+    let answered = out.samples.len() as u64;
+    RunReport {
+        reactors,
+        workers,
+        mix: mix.name().to_string(),
+        target_rps: profile.rps_for(mix),
+        duration_secs: out.elapsed.as_secs_f64(),
+        requests,
+        achieved_rps: answered as f64 / out.elapsed.as_secs_f64().max(f64::EPSILON),
+        ok,
+        shed_503,
+        shed_rate: if answered == 0 {
+            0.0
+        } else {
+            shed_503 as f64 / answered as f64
+        },
+        client_errors: out.errors,
+        mc_truncated_runs: out.mc_truncated_delta,
+        latency,
+        server_network_totals: out.network,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = if args.iter().any(|arg| arg == "--smoke") {
+        Profile::smoke()
+    } else {
+        Profile::full()
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let workers = 2usize;
+
+    println!(
+        "open-loop load generator: {} mode, {} host core(s), {} client connection(s), {:?} per run",
+        if profile.smoke { "smoke" } else { "full" },
+        host_parallelism,
+        profile.connections,
+        profile.duration,
+    );
+
+    let mut runs = Vec::new();
+    for &reactors in &profile.reactor_counts {
+        for &mix in &profile.mixes {
+            println!(
+                "→ reactors={reactors} mix={} target={} rps …",
+                mix.name(),
+                profile.rps_for(mix)
+            );
+            let outcome = run_once(&profile, reactors, workers, mix);
+            let report = summarize(&profile, reactors, workers, mix, outcome);
+            println!(
+                "   {} requests, {:.1} rps achieved, {} ok / {} shed / {} errors{}",
+                report.requests,
+                report.achieved_rps,
+                report.ok,
+                report.shed_503,
+                report.client_errors,
+                report
+                    .latency
+                    .as_ref()
+                    .map(|latency| {
+                        format!(
+                            ", p50 {:.2} ms / p99 {:.2} ms",
+                            latency.p50_ms, latency.p99_ms
+                        )
+                    })
+                    .unwrap_or_default(),
+            );
+            runs.push(report);
+        }
+    }
+
+    let warm_rps_by_reactors: Vec<(usize, f64)> = runs
+        .iter()
+        .filter(|run| run.mix == "warm")
+        .map(|run| (run.reactors, run.achieved_rps))
+        .collect();
+    let baseline = warm_rps_by_reactors
+        .iter()
+        .find(|(reactors, _)| *reactors == 1)
+        .map(|(_, rps)| *rps)
+        .unwrap_or(0.0);
+    let warm_scaling_vs_one_shard: Vec<(usize, f64)> = warm_rps_by_reactors
+        .iter()
+        .map(|(reactors, rps)| (*reactors, if baseline > 0.0 { rps / baseline } else { 0.0 }))
+        .collect();
+
+    let report = BenchReport {
+        benchmark: "server_open_loop_load".to_string(),
+        smoke: profile.smoke,
+        host_parallelism,
+        note: format!(
+            "Open-loop Poisson arrivals; latency measured from scheduled arrival. \
+             Reactor-shard scaling is bounded by host parallelism: on a \
+             {host_parallelism}-core host, {} shards cannot exceed ~{host_parallelism}x \
+             one shard regardless of the I/O plane.",
+            profile.reactor_counts.last().copied().unwrap_or(1)
+        ),
+        warm_rps_by_reactors,
+        warm_scaling_vs_one_shard,
+        runs,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_server.json");
+    println!("wrote {path}");
+}

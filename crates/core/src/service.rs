@@ -60,6 +60,40 @@ pub struct ServiceStats {
     /// Process-wide Monte-Carlo stability counters: estimator runs, trials
     /// completed, and runs truncated by their deadline budget.
     pub monte_carlo: crate::pipeline::MonteCarloRuntimeStats,
+    /// The I/O plane's per-reactor counters and their rollup.  `None` when
+    /// the service runs without a network front-end (library use, tests);
+    /// the server fills it in at scrape time from the live reactors.
+    #[serde(default)]
+    pub network: Option<NetworkStats>,
+}
+
+/// The sharded I/O plane as seen by `/stats`: one counter block per reactor
+/// and their sum.  Plain integers only — the snapshots are taken with
+/// rf-net's torn-read-safe discipline, so `active ≤ accepted` holds in the
+/// totals as well as per shard.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkStats {
+    /// One counter block per reactor shard, in shard order.
+    pub reactors: Vec<ReactorCounters>,
+    /// Component-wise sum over all shards.
+    pub totals: ReactorCounters,
+}
+
+/// Counters for one reactor shard (or a sum over shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReactorCounters {
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections currently open (derived, never exceeds `accepted`).
+    pub active: u64,
+    /// Requests handed to the application.
+    pub dispatched: u64,
+    /// Responses delivered back through the completion channel.
+    pub completions: u64,
+    /// Connections refused with a `503` at the connection cap.
+    pub shed_connections: u64,
+    /// Requests refused with a `503` by admission control.
+    pub shed_requests: u64,
 }
 
 /// Memoizes table fingerprints by `Arc` identity, so long-lived shared
@@ -444,6 +478,7 @@ impl LabelService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             scheduler: self.pipeline.scheduler_stats(),
             monte_carlo: crate::pipeline::monte_carlo_runtime_stats(),
+            network: None,
         }
     }
 

@@ -14,8 +14,12 @@
 //!                           └──────── eventfd wake ◄── Completions
 //! ```
 //!
-//! * [`sys`] — the only `unsafe` in the workspace: raw `epoll`/`eventfd`
-//!   bindings (Linux-only, no external dependencies).
+//! * [`sys`] — the only `unsafe` in the workspace: raw `epoll`/`eventfd`/
+//!   socket bindings (Linux-only, no external dependencies), including
+//!   [`sys::listen_reuseport`] for `SO_REUSEPORT` shard listeners.
+//! * [`metrics`] — per-reactor counters
+//!   ([`ReactorMetrics`](metrics::ReactorMetrics)) with torn-read-safe
+//!   aggregation across shards.
 //! * [`poller`] — level-triggered readiness polling with tokens and
 //!   [`Interest`](poller::Interest) masks.
 //! * [`wake`] — the self-wake channel: a [`Completions`](wake::Completions)
@@ -42,6 +46,7 @@
 
 pub mod client;
 pub mod conn;
+pub mod metrics;
 pub mod parser;
 pub mod poller;
 pub mod reactor;
@@ -50,7 +55,9 @@ pub mod wake;
 
 pub use client::{read_one_response, ClientResponse};
 pub use conn::{ConnState, Connection, OutboundResponse, ReadOutcome, ResponseBody, WriteOutcome};
+pub use metrics::{aggregate, ReactorMetrics, ReactorSnapshot};
 pub use parser::{HttpParser, HttpVersion, ParseError, ParseEvent, ParsedRequest};
 pub use poller::{Event, Interest, Poller};
 pub use reactor::{Dispatch, Reactor, ReactorConfig, Responder};
+pub use sys::listen_reuseport;
 pub use wake::{Completion, Completions, Waker};

@@ -16,6 +16,7 @@
 use crate::conn::{
     ConnState, Connection, OutboundResponse, ReadOutcome, ResponseBody, WriteOutcome,
 };
+use crate::metrics::ReactorMetrics;
 use crate::parser::ParsedRequest;
 use crate::poller::{Interest, Poller};
 use crate::wake::{Completions, Waker};
@@ -51,6 +52,7 @@ pub trait Dispatch: Send + Sync + 'static {
 #[derive(Debug)]
 pub struct Responder {
     completions: Completions,
+    metrics: Arc<ReactorMetrics>,
     conn_id: u64,
     keep_alive: bool,
     sent: bool,
@@ -69,6 +71,19 @@ impl Responder {
     pub fn send(mut self, response: OutboundResponse) {
         self.sent = true;
         self.completions.complete(self.conn_id, response);
+    }
+
+    /// Refuses the request with a canned `503` + `Retry-After` — the
+    /// admission-control path.  Unlike the connection-cap `503`, a shed
+    /// request keeps its keep-alive connection open: the client paid for
+    /// the handshake and should retry on the same socket after the hinted
+    /// backoff.  Bumps the reactor's shed-request counter.
+    pub fn shed(mut self, retry_after_secs: u64) {
+        self.sent = true;
+        self.metrics.on_shed_request();
+        let keep_alive = self.keep_alive;
+        self.completions
+            .complete(self.conn_id, shed_response(retry_after_secs, keep_alive));
     }
 
     /// A clone of the reactor's waker — for belt-and-braces completion
@@ -105,6 +120,24 @@ fn internal_error_response() -> OutboundResponse {
 /// The canned `503` for connections over the configured cap.
 fn unavailable_response() -> OutboundResponse {
     plain_response(503, "Service Unavailable", "connection limit reached")
+}
+
+/// The canned `503` for requests refused by admission control.  Carries a
+/// `Retry-After` hint and, unlike the connection-cap refusal, keeps the
+/// connection open when the client asked for keep-alive.
+fn shed_response(retry_after_secs: u64, keep_alive: bool) -> OutboundResponse {
+    let body = "server overloaded; retry after backoff";
+    OutboundResponse {
+        head: format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+        .into_bytes(),
+        body: ResponseBody::Owned(body.as_bytes().to_vec()),
+        keep_alive,
+    }
 }
 
 fn plain_response(code: u16, reason: &str, body: &str) -> OutboundResponse {
@@ -170,6 +203,7 @@ pub struct Reactor<D: Dispatch> {
     shutdown: Arc<AtomicBool>,
     config: ReactorConfig,
     last_sweep: std::time::Instant,
+    metrics: Arc<ReactorMetrics>,
 }
 
 impl<D: Dispatch> Reactor<D> {
@@ -197,6 +231,7 @@ impl<D: Dispatch> Reactor<D> {
             shutdown,
             config,
             last_sweep: std::time::Instant::now(),
+            metrics: Arc::new(ReactorMetrics::new()),
         })
     }
 
@@ -204,6 +239,15 @@ impl<D: Dispatch> Reactor<D> {
     #[must_use]
     pub fn connections(&self) -> usize {
         self.conns.len()
+    }
+
+    /// The reactor's live counters — clone the `Arc` before [`run`]
+    /// consumes the reactor to keep observing it from other threads.
+    ///
+    /// [`run`]: Reactor::run
+    #[must_use]
+    pub fn metrics(&self) -> Arc<ReactorMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Runs the event loop until the shutdown flag is set.  Connections are
@@ -279,6 +323,7 @@ impl<D: Dispatch> Reactor<D> {
                     if self.conns.len() >= self.config.max_connections {
                         // Best-effort synchronous refusal; the socket goes
                         // away either way.
+                        self.metrics.on_shed_connection();
                         conn.enqueue_response(unavailable_response());
                         let _ = conn.on_writable();
                         continue;
@@ -290,6 +335,7 @@ impl<D: Dispatch> Reactor<D> {
                         .register(conn.stream(), Interest::READABLE, token)
                         .is_ok()
                     {
+                        self.metrics.on_accepted();
                         self.conns.insert(
                             token,
                             Tracked {
@@ -377,8 +423,10 @@ impl<D: Dispatch> Reactor<D> {
         tracked.conn.mark_in_flight();
         tracked.request_started = None;
         self.set_interest(token, Interest::NONE);
+        self.metrics.on_dispatched();
         let responder = Responder {
             completions: self.completions.clone(),
+            metrics: Arc::clone(&self.metrics),
             conn_id: token,
             keep_alive: request.keep_alive(),
             sent: false,
@@ -428,6 +476,7 @@ impl<D: Dispatch> Reactor<D> {
     /// dropped (their tokens are never reused).
     fn apply_completions(&mut self) {
         for completion in self.completions.take_all() {
+            self.metrics.on_completion();
             let Some(tracked) = self.conns.get_mut(&completion.conn_id) else {
                 continue; // Client left before its label finished.
             };
@@ -463,6 +512,7 @@ impl<D: Dispatch> Reactor<D> {
     fn close(&mut self, token: u64) {
         if let Some(tracked) = self.conns.remove(&token) {
             let _ = self.poller.deregister(tracked.conn.stream());
+            self.metrics.on_closed();
         }
     }
 }
@@ -481,6 +531,10 @@ mod tests {
         fn dispatch(&self, request: ParsedRequest, responder: Responder) {
             if request.target == "/panic" {
                 // Dropping the responder unanswered models a dead handler.
+                return;
+            }
+            if request.target == "/shed" {
+                responder.shed(7);
                 return;
             }
             let keep_alive = responder.keep_alive();
@@ -628,6 +682,76 @@ mod tests {
         fine.write_all(b"GET /ok HTTP/1.1\r\n\r\n").expect("write");
         let response = read_one_response(&mut fine);
         assert!(response.ends_with("/ok"), "{response}");
+
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn shed_sends_503_with_retry_after_and_keeps_the_connection() {
+        let (addr, shutdown) = start_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /shed HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+            .expect("write");
+        let response = read_one_response(&mut stream);
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("Retry-After: 7"), "{response}");
+        assert!(response.contains("Connection: keep-alive"), "{response}");
+        // The connection survived the shed: the retry succeeds on the same
+        // socket.
+        stream
+            .write_all(b"GET /after-shed HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write retry");
+        let response = read_one_response(&mut stream);
+        assert!(response.ends_with("/after-shed"), "{response}");
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_address_and_both_accept() {
+        // Two reactors, two SO_REUSEPORT listeners on the same port: the
+        // kernel spreads accepts across them, and every connection is served
+        // by whichever reactor owns it end to end.
+        let first = crate::sys::listen_reuseport("127.0.0.1:0".parse().expect("addr"))
+            .expect("first reuseport listener");
+        let addr = first.local_addr().expect("local addr");
+        let second = crate::sys::listen_reuseport(addr).expect("second reuseport listener");
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut metrics = Vec::new();
+        for listener in [first, second] {
+            let reactor = Reactor::new(
+                listener,
+                Arc::new(Echo),
+                Arc::clone(&shutdown),
+                ReactorConfig::default(),
+            )
+            .expect("reactor");
+            metrics.push(reactor.metrics());
+            std::thread::spawn(move || reactor.run().expect("reactor run"));
+        }
+
+        // 64 one-shot connections from distinct source ports; the reuseport
+        // hash puts a share on each listener (the chance one shard sees all
+        // 64 is ~2^-64).
+        for i in 0..64 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(format!("GET /conn-{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .expect("write");
+            let response = read_one_response(&mut stream);
+            assert!(response.ends_with(&format!("/conn-{i}")), "{response}");
+        }
+
+        let (snapshots, totals) = crate::metrics::aggregate(&metrics);
+        assert_eq!(totals.accepted, 64, "{snapshots:?}");
+        assert_eq!(totals.dispatched, 64, "{snapshots:?}");
+        for snap in &snapshots {
+            assert!(
+                snap.accepted > 0,
+                "kernel balanced no accepts onto one shard: {snapshots:?}"
+            );
+        }
 
         shutdown.store(true, Ordering::Relaxed);
     }

@@ -11,6 +11,8 @@
 //! blocking fallback server never left `rf-server`'s git history).
 
 use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::FromRawFd;
 use std::os::raw::{c_int, c_uint, c_void};
 
 extern "C" {
@@ -21,6 +23,10 @@ extern "C" {
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: u32) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 /// `EPOLL_CTL_ADD`.
@@ -212,4 +218,138 @@ impl Drop for EventFd {
         // SAFETY: `self.fd` is an fd this struct owns.
         let _ = unsafe { close(self.fd) };
     }
+}
+
+/// `AF_INET`.
+const AF_INET: c_int = 2;
+/// `AF_INET6`.
+const AF_INET6: c_int = 10;
+/// `SOCK_STREAM`.
+const SOCK_STREAM: c_int = 1;
+/// `SOCK_CLOEXEC` (== `O_CLOEXEC` on Linux).
+const SOCK_CLOEXEC: c_int = CLOEXEC;
+/// `SOL_SOCKET`.
+const SOL_SOCKET: c_int = 1;
+/// `SO_REUSEADDR`.
+const SO_REUSEADDR: c_int = 2;
+/// `SO_REUSEPORT`.
+const SO_REUSEPORT: c_int = 15;
+/// Accept backlog for reuseport listeners (same as std's default).
+const LISTEN_BACKLOG: c_int = 128;
+
+/// The kernel's `struct sockaddr_in` (IPv4).
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    /// Big-endian port.
+    sin_port: u16,
+    /// Big-endian address.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// The kernel's `struct sockaddr_in6` (IPv6).
+#[repr(C)]
+struct SockAddrIn6 {
+    sin6_family: u16,
+    /// Big-endian port.
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+/// An fd that is closed on drop unless released — keeps the socket from
+/// leaking on any early-return path below.
+struct OwnedFd(c_int);
+
+impl OwnedFd {
+    fn release(self) -> c_int {
+        let fd = self.0;
+        std::mem::forget(self);
+        fd
+    }
+}
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // SAFETY: `self.0` is an fd this struct owns.
+        let _ = unsafe { close(self.0) };
+    }
+}
+
+/// Binds a `TcpListener` with `SO_REUSEPORT` (and `SO_REUSEADDR`) set
+/// before `bind`, so several listeners can share one address and the kernel
+/// balances accepts across them.  `std::net::TcpListener::bind` offers no
+/// pre-bind hook, hence the raw socket path; the returned listener is an
+/// ordinary `std` listener and is nonblocking-agnostic (the reactor sets
+/// nonblocking itself).
+///
+/// # Errors
+/// Any errno from `socket`/`setsockopt`/`bind`/`listen`.
+pub fn listen_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: no pointers involved; the return value is checked.
+    let fd = OwnedFd(cvt(unsafe {
+        socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0)
+    })?);
+    let one: c_int = 1;
+    for option in [SO_REUSEADDR, SO_REUSEPORT] {
+        // SAFETY: `one` lives for the duration of the call and the length
+        // matches its size.
+        cvt(unsafe {
+            setsockopt(
+                fd.0,
+                SOL_SOCKET,
+                option,
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        })?;
+    }
+    match addr {
+        SocketAddr::V4(v4) => {
+            let raw = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from(*v4.ip()).to_be(),
+                sin_zero: [0; 8],
+            };
+            // SAFETY: `raw` is a valid `sockaddr_in` living for the call
+            // and the length matches its size.
+            cvt(unsafe {
+                bind(
+                    fd.0,
+                    std::ptr::addr_of!(raw).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let raw = SockAddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            // SAFETY: `raw` is a valid `sockaddr_in6` living for the call
+            // and the length matches its size.
+            cvt(unsafe {
+                bind(
+                    fd.0,
+                    std::ptr::addr_of!(raw).cast::<c_void>(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    // SAFETY: no pointers involved; the return value is checked.
+    cvt(unsafe { listen(fd.0, LISTEN_BACKLOG) })?;
+    // SAFETY: `fd` is a freshly created, bound, listening TCP socket whose
+    // sole ownership transfers to the `TcpListener`.
+    Ok(unsafe { TcpListener::from_raw_fd(fd.release()) })
 }

@@ -322,6 +322,14 @@ impl Scheduler {
         self.shared.executed.load(Ordering::Relaxed)
     }
 
+    /// Number of tasks currently queued (injector plus all worker deques).
+    /// A single atomic load — cheap enough for per-request admission-control
+    /// decisions on the reactor threads.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.queued.load(Ordering::SeqCst)
+    }
+
     /// A snapshot of the observability counters.
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
@@ -506,6 +514,12 @@ impl ThreadPool {
         self.scheduler.panicked_jobs()
     }
 
+    /// Number of jobs currently queued — see [`Scheduler::queued`].
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.scheduler.queued()
+    }
+
     /// Queues a job for execution on the pool.
     pub fn execute<F>(&self, job: F)
     where
@@ -679,6 +693,41 @@ mod tests {
         drop(sender);
         assert_eq!(receiver.iter().count(), 100);
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn queued_tracks_backlog_and_drains_to_zero() {
+        let pool = ThreadPool::new(2);
+        // Block both workers, then pile up a backlog behind them.
+        let gate = Arc::new(std::sync::Barrier::new(3));
+        let parked = Arc::new(AtomicU64::new(0));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            let parked = Arc::clone(&parked);
+            pool.execute(move || {
+                parked.fetch_add(1, Ordering::SeqCst);
+                gate.wait();
+            });
+        }
+        while parked.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let (sender, receiver) = channel();
+        for _ in 0..8 {
+            let sender = sender.clone();
+            pool.execute(move || sender.send(()).unwrap());
+        }
+        drop(sender);
+        // Both workers are parked at the gate, so nothing can drain the
+        // backlog yet: all 8 jobs are visibly queued.
+        assert_eq!(pool.queued(), 8, "backlog visible");
+        gate.wait();
+        assert_eq!(receiver.iter().count(), 8);
+        // Every queued job was taken; the gauge returns to zero.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.scheduler().stats().queue_depth, 0);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! cargo run -p rf-server --bin ranking-facts-server -- 127.0.0.1:8080 \
-//!     --workers 4 --cache-ttl-secs 300 --cache-entries 128 --cache-bytes 67108864
+//!     --workers 4 --reactors 4 --max-conns 4096 --max-pending 1024 \
+//!     --cache-ttl-secs 300 --cache-entries 128 --cache-bytes 67108864
 //! ```
 
 use rf_server::{AppState, DatasetCatalog, Server, ServerOptions};
@@ -14,8 +15,10 @@ fn main() {
         Err(message) => {
             eprintln!("{message}");
             eprintln!(
-                "usage: ranking-facts-server [ADDRESS] [--workers N] \
-                 [--cache-ttl-secs N] [--cache-entries N] [--cache-bytes N]"
+                "usage: ranking-facts-server [ADDRESS] [--workers N] [--reactors N] \
+                 [--max-conns N] [--idle-timeout-ms N] [--request-deadline-ms N] \
+                 [--max-pending N] [--cache-ttl-secs N] [--cache-entries N] \
+                 [--cache-bytes N]"
             );
             std::process::exit(2);
         }
@@ -44,7 +47,12 @@ fn main() {
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!("Ranking Facts is listening on http://{addr}/"),
+        Ok(addr) => println!(
+            "Ranking Facts is listening on http://{addr}/ \
+             ({} reactor shard(s), {} label workers)",
+            config.reactors.max(1),
+            config.workers
+        ),
         Err(err) => eprintln!("cannot determine local address: {err}"),
     }
     if let Err(err) = server.run() {

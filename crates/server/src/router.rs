@@ -18,6 +18,11 @@ pub struct AppState {
     pub catalog: DatasetCatalog,
     /// The cached label generator.
     pub labels: LabelService,
+    /// The live counters of every reactor shard, installed by
+    /// [`Server::run`](crate::Server::run) before the event loops start.
+    /// Empty until then (library users and router unit tests have no I/O
+    /// plane), in which case `/stats` reports `network: null`.
+    network: std::sync::Mutex<Vec<Arc<rf_net::ReactorMetrics>>>,
 }
 
 impl AppState {
@@ -32,7 +37,43 @@ impl AppState {
     /// byte bounds).
     #[must_use]
     pub fn with_service(catalog: DatasetCatalog, labels: LabelService) -> Self {
-        AppState { catalog, labels }
+        AppState {
+            catalog,
+            labels,
+            network: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Installs (replacing any previous set) the reactor counter blocks
+    /// `/stats` rolls up.  Called once per [`Server::run`](crate::Server::run)
+    /// with every shard's metrics, before any shard starts accepting.
+    pub fn install_reactor_metrics(&self, shards: Vec<Arc<rf_net::ReactorMetrics>>) {
+        *self.network.lock().expect("network registry lock") = shards;
+    }
+
+    /// A consistent snapshot of the I/O plane, or `None` when no server is
+    /// running over this state.  Uses rf-net's closed-before-accepted
+    /// snapshot discipline, so `active ≤ accepted` holds per shard and in
+    /// the totals even while a scrape races the reactors.
+    #[must_use]
+    pub fn network_snapshot(&self) -> Option<rf_core::NetworkStats> {
+        let shards = self.network.lock().expect("network registry lock");
+        if shards.is_empty() {
+            return None;
+        }
+        let (snapshots, totals) = rf_net::aggregate(&shards);
+        let convert = |snap: &rf_net::ReactorSnapshot| rf_core::ReactorCounters {
+            accepted: snap.accepted,
+            active: snap.active,
+            dispatched: snap.dispatched,
+            completions: snap.completions,
+            shed_connections: snap.shed_connections,
+            shed_requests: snap.shed_requests,
+        };
+        Some(rf_core::NetworkStats {
+            reactors: snapshots.iter().map(convert).collect(),
+            totals: convert(&totals),
+        })
     }
 
     /// The demo state: the paper's three datasets plus a fresh service.
@@ -91,10 +132,13 @@ pub fn route(state: &AppState, request: &Request) -> Response {
     }
 }
 
-/// `GET /stats` — label-cache counters and the process-wide preparation
-/// count, for observing hit rates in production.
+/// `GET /stats` — label-cache counters, the process-wide preparation
+/// count, and (when a server is running) the per-reactor I/O counters, for
+/// observing hit and shed rates in production.
 fn service_stats(state: &AppState) -> Response {
-    match serde_json::to_string_pretty(&state.labels.stats()) {
+    let mut stats = state.labels.stats();
+    stats.network = state.network_snapshot();
+    match serde_json::to_string_pretty(&stats) {
         Ok(json) => Response::json(json),
         Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
     }
@@ -625,6 +669,62 @@ mod tests {
         assert!(mc["runs"].as_u64().unwrap() >= 1);
         assert!(mc["trials_completed"].as_u64().unwrap() >= 1);
         assert!(mc["truncated"].as_u64().is_some());
+    }
+
+    #[test]
+    fn stats_roll_up_reactor_counters_without_torn_reads() {
+        let state = demo_catalog();
+        // Library use: no server installed its reactors, so the network
+        // block is absent rather than a misleading row of zeros.
+        let resp = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert!(value["network"].is_null(), "{}", resp.body);
+
+        // Two shards churning accept/close while /stats scrapes: no scrape
+        // may ever observe active > accepted, per shard or in the totals.
+        let shards: Vec<Arc<rf_net::ReactorMetrics>> = (0..2)
+            .map(|_| Arc::new(rf_net::ReactorMetrics::new()))
+            .collect();
+        state.install_reactor_metrics(shards.clone());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churners: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    use std::sync::atomic::Ordering;
+                    while !stop.load(Ordering::Relaxed) {
+                        shard.on_accepted();
+                        shard.on_dispatched();
+                        shard.on_completion();
+                        shard.on_closed();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..500 {
+            let resp = route(&state, &get("/stats"));
+            let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+            let network = &value["network"];
+            let reactors = network["reactors"].as_array().expect("reactor array");
+            assert_eq!(reactors.len(), 2);
+            for shard in reactors {
+                assert!(
+                    shard["active"].as_u64().unwrap() <= shard["accepted"].as_u64().unwrap(),
+                    "torn shard scrape: {shard}"
+                );
+            }
+            let totals = &network["totals"];
+            assert!(
+                totals["active"].as_u64().unwrap() <= totals["accepted"].as_u64().unwrap(),
+                "torn totals scrape: {totals}"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for churner in churners {
+            churner.join().expect("churner");
+        }
     }
 
     #[test]

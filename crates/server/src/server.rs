@@ -18,9 +18,22 @@ use crate::http::{Request, Response, StatusCode};
 use crate::router::{route, AppState};
 use rf_net::{Dispatch, ParsedRequest, Reactor, ReactorConfig, Responder};
 use rf_runtime::ThreadPool;
-use std::net::TcpListener;
-use std::sync::atomic::AtomicBool;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default per-reactor connection cap (the PR-3 hard-coded value, now a
+/// knob).
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
+/// Default idle timeout in milliseconds.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 60_000;
+/// Default request-progress deadline in milliseconds.
+pub const DEFAULT_REQUEST_DEADLINE_MS: u64 = 30_000;
+/// Default admission-control bound on dispatched-but-unanswered requests.
+/// Generous on purpose: a queue this deep means seconds of backlog, and
+/// only then does the server prefer a fast `503` over a doomed wait.
+pub const DEFAULT_MAX_PENDING: usize = 1_024;
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +45,25 @@ pub struct ServerConfig {
     /// by the reactor and are **not** bounded by this — a 2-worker server
     /// happily holds hundreds of open keep-alive connections.
     pub workers: usize,
+    /// Number of reactor shards.  `1` (the default) binds one ordinary
+    /// listener and runs the event loop on the calling thread — today's
+    /// topology, bit for bit.  `N > 1` binds N `SO_REUSEPORT` listeners on
+    /// the same address; the kernel balances accepts across them and each
+    /// reactor owns its connections' full lifecycle.
+    pub reactors: usize,
+    /// Per-reactor cap on simultaneously open connections; excess accepts
+    /// are answered with a synchronous `503` and closed.
+    pub max_connections: usize,
+    /// How long a connection may sit without socket activity before it is
+    /// closed, in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// How long a *started* request may take to arrive completely, in
+    /// milliseconds (the slow-loris defence).
+    pub request_deadline_ms: u64,
+    /// Admission control: when this many dispatched requests are still
+    /// unanswered, further requests are shed with `503` + `Retry-After`
+    /// instead of deepening a queue nobody will live to see served.
+    pub max_pending: usize,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +71,11 @@ impl Default for ServerConfig {
         ServerConfig {
             bind_address: "127.0.0.1:8080".to_string(),
             workers: 4,
+            reactors: 1,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            request_deadline_ms: DEFAULT_REQUEST_DEADLINE_MS,
+            max_pending: DEFAULT_MAX_PENDING,
         }
     }
 }
@@ -64,6 +101,18 @@ pub struct ServerOptions {
     pub cache_entries: usize,
     /// Maximum resident cached bytes (`--cache-bytes N`).
     pub cache_bytes: usize,
+    /// Reactor shards (`--reactors N`; default = available cores).  `1`
+    /// preserves the single-reactor topology bit for bit.
+    pub reactors: usize,
+    /// Per-reactor connection cap (`--max-conns N`).
+    pub max_conns: usize,
+    /// Idle-connection timeout in milliseconds (`--idle-timeout-ms N`).
+    pub idle_timeout_ms: u64,
+    /// Request-progress deadline in milliseconds
+    /// (`--request-deadline-ms N`).
+    pub request_deadline_ms: u64,
+    /// Admission-control pending-request bound (`--max-pending N`).
+    pub max_pending: usize,
 }
 
 impl Default for ServerOptions {
@@ -74,6 +123,11 @@ impl Default for ServerOptions {
             cache_ttl_secs: None,
             cache_entries: rf_core::service::DEFAULT_CACHE_CAPACITY,
             cache_bytes: rf_core::service::DEFAULT_CACHE_BYTES,
+            reactors: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            max_conns: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            request_deadline_ms: DEFAULT_REQUEST_DEADLINE_MS,
+            max_pending: DEFAULT_MAX_PENDING,
         }
     }
 }
@@ -101,6 +155,16 @@ impl ServerOptions {
                     .parse::<u64>()
                     .map_err(|_| format!("{name} expects a whole number, got `{value}`"))
             };
+            // The reactor/admission knobs reject zero outright instead of
+            // clamping: `--reactors 0` or `--max-conns 0` is a typo'd
+            // deployment, not a server that refuses every byte.
+            let positive = |name: &str, value: u64| -> Result<u64, String> {
+                if value == 0 {
+                    Err(format!("{name} must be at least 1"))
+                } else {
+                    Ok(value)
+                }
+            };
             match arg.as_str() {
                 "--workers" => options.workers = (numeric("--workers")? as usize).max(1),
                 "--cache-ttl-secs" => options.cache_ttl_secs = Some(numeric("--cache-ttl-secs")?),
@@ -110,10 +174,29 @@ impl ServerOptions {
                 "--cache-bytes" => {
                     options.cache_bytes = (numeric("--cache-bytes")? as usize).max(1);
                 }
+                "--reactors" => {
+                    options.reactors = positive("--reactors", numeric("--reactors")?)? as usize;
+                }
+                "--max-conns" => {
+                    options.max_conns = positive("--max-conns", numeric("--max-conns")?)? as usize;
+                }
+                "--idle-timeout-ms" => {
+                    options.idle_timeout_ms =
+                        positive("--idle-timeout-ms", numeric("--idle-timeout-ms")?)?;
+                }
+                "--request-deadline-ms" => {
+                    options.request_deadline_ms =
+                        positive("--request-deadline-ms", numeric("--request-deadline-ms")?)?;
+                }
+                "--max-pending" => {
+                    options.max_pending =
+                        positive("--max-pending", numeric("--max-pending")?)? as usize;
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{flag}` (available: --workers, --cache-ttl-secs, \
-                         --cache-entries, --cache-bytes)"
+                         --cache-entries, --cache-bytes, --reactors, --max-conns, \
+                         --idle-timeout-ms, --request-deadline-ms, --max-pending)"
                     ));
                 }
                 address => {
@@ -134,6 +217,11 @@ impl ServerOptions {
         ServerConfig {
             bind_address: self.bind_address.clone(),
             workers: self.workers,
+            reactors: self.reactors,
+            max_connections: self.max_conns,
+            idle_timeout_ms: self.idle_timeout_ms,
+            request_deadline_ms: self.request_deadline_ms,
+            max_pending: self.max_pending,
         }
     }
 
@@ -153,28 +241,162 @@ impl ServerOptions {
     }
 }
 
+/// Admission-control state shared by every reactor shard: a gauge of
+/// dispatched-but-unanswered requests and an EWMA of service time, both
+/// readable with single atomic loads on the reactor threads.
+struct Admission {
+    /// Shed when this many requests are already dispatched and unanswered.
+    max_pending: usize,
+    /// Requests dispatched to the pool whose response has not been sent.
+    pending: AtomicUsize,
+    /// Exponentially weighted moving average of request service time, in
+    /// microseconds (α = 1/8).  Zero until the first request completes.
+    avg_service_micros: AtomicU64,
+}
+
+impl Admission {
+    fn new(max_pending: usize) -> Self {
+        Admission {
+            max_pending: max_pending.max(1),
+            pending: AtomicUsize::new(0),
+            avg_service_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one completed request's service time into the EWMA.  The
+    /// load/store pair can drop a concurrent sample under a race — fine for
+    /// a smoothed estimate that only steers `Retry-After` hints and
+    /// deadline headroom.
+    fn record_service(&self, elapsed: Duration) {
+        let sample = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let old = self.avg_service_micros.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.avg_service_micros.store(new, Ordering::Relaxed);
+    }
+
+    /// The queue wait a newly dispatched request would predictably incur,
+    /// given the scheduler backlog: `queued × avg_service / workers`.
+    fn predicted_wait_micros(&self, queued: usize, workers: usize) -> u64 {
+        let avg = self.avg_service_micros.load(Ordering::Relaxed);
+        (queued as u64).saturating_mul(avg) / workers.max(1) as u64
+    }
+
+    /// Whether a request with `deadline_ms` of budget should shed: its
+    /// predicted queue wait alone already exceeds the whole budget, so
+    /// queueing it burns a worker slot to produce a fully truncated label
+    /// nobody asked for.  Strictly greater-than: a zero deadline against an
+    /// empty queue is still served (the deadline-budget contract since
+    /// PR 5).
+    fn deadline_already_spent(&self, deadline_ms: u64, queued: usize, workers: usize) -> bool {
+        self.predicted_wait_micros(queued, workers) / 1_000 > deadline_ms
+    }
+
+    /// The `Retry-After` hint, in whole seconds, derived from the backlog
+    /// the shed request saw.
+    fn retry_after_secs(&self, queued: usize, workers: usize) -> u64 {
+        (self.predicted_wait_micros(queued, workers) / 1_000_000).clamp(1, 30)
+    }
+}
+
+/// Decrements the pending gauge when the request's job ends — however it
+/// ends, panics included, so a crashed handler can never leak permanent
+/// admission pressure.
+struct PendingGuard(Arc<Admission>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Extracts a `deadline_ms` query parameter from a raw request target
+/// without allocating — the admission check runs on the reactor thread.
+fn deadline_ms_of(target: &str) -> Option<u64> {
+    let (_, query) = target.split_once('?')?;
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("deadline_ms="))
+        .and_then(|value| value.parse().ok())
+}
+
 /// The reactor-side request hook: converts parsed requests, schedules the
 /// CPU work on the pool, and streams the response back through the
-/// completion queue.
+/// completion queue.  Shared by every reactor shard, so the admission gauge
+/// and the worker pool see the server's whole load.
 struct LabelDispatch {
     state: Arc<AppState>,
     pool: ThreadPool,
+    admission: Arc<Admission>,
+}
+
+impl LabelDispatch {
+    fn new(state: Arc<AppState>, workers: usize, max_pending: usize) -> Self {
+        LabelDispatch {
+            state,
+            pool: ThreadPool::new(workers),
+            admission: Arc::new(Admission::new(max_pending)),
+        }
+    }
+
+    /// Runs on the reactor thread: admit (incrementing the pending gauge)
+    /// or refuse with a `Retry-After` hint.  Two triggers shed: the pending
+    /// gauge at its bound, and a `deadline_ms` budget the predicted queue
+    /// wait has already spent.
+    fn admit(&self, target: &str) -> Result<PendingGuard, u64> {
+        let pending = self.admission.pending.load(Ordering::Acquire);
+        let queued = self.pool.queued();
+        let workers = self.pool.size();
+        if pending >= self.admission.max_pending {
+            return Err(self.admission.retry_after_secs(queued, workers));
+        }
+        if let Some(deadline_ms) = deadline_ms_of(target) {
+            if self
+                .admission
+                .deadline_already_spent(deadline_ms, queued, workers)
+            {
+                return Err(self.admission.retry_after_secs(queued, workers));
+            }
+        }
+        self.admission.pending.fetch_add(1, Ordering::AcqRel);
+        Ok(PendingGuard(Arc::clone(&self.admission)))
+    }
 }
 
 impl Dispatch for LabelDispatch {
     fn dispatch(&self, parsed: ParsedRequest, responder: Responder) {
+        let guard = match self.admit(&parsed.target) {
+            Ok(guard) => guard,
+            Err(retry_after_secs) => {
+                responder.shed(retry_after_secs);
+                return;
+            }
+        };
         let state = Arc::clone(&self.state);
+        let admission = Arc::clone(&self.admission);
         let waker = responder.waker();
         // The notify hook fires after the job ends *however* it ends, so the
         // reactor always re-checks its completion queue — even if the route
         // panicked and the responder's drop answered 500 mid-unwind.
         self.pool.execute_notify(
             move || {
+                // Dropped when the job ends, panic or not.
+                let pending = guard;
+                let started = Instant::now();
                 let keep_alive = responder.keep_alive();
                 let response = match Request::from_parsed(parsed) {
                     Some(request) => route(&state, &request),
                     None => Response::text(StatusCode::BadRequest, "malformed request"),
                 };
+                admission.record_service(started.elapsed());
+                // Release the admission slot *before* handing the response
+                // to the completion queue: a client that reads this
+                // response and immediately sends another request must never
+                // be shed by its own already-answered request.
+                drop(pending);
                 responder.send(response.into_outbound(keep_alive));
             },
             move || waker.wake(),
@@ -185,14 +407,17 @@ impl Dispatch for LabelDispatch {
 /// The Ranking Facts demo server.
 pub struct Server {
     state: Arc<AppState>,
-    listener: TcpListener,
-    workers: usize,
+    /// One listener per reactor shard.  A single shard binds an ordinary
+    /// listener; several bind `SO_REUSEPORT` listeners on the same address.
+    listeners: Vec<TcpListener>,
+    config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds the listener and prepares the server: the catalogue is wrapped
-    /// in an [`AppState`] whose label cache all connection workers share.
+    /// Binds the listener(s) and prepares the server: the catalogue is
+    /// wrapped in an [`AppState`] whose label cache all connection workers
+    /// share.
     ///
     /// # Errors
     /// I/O errors from binding the address.
@@ -200,63 +425,140 @@ impl Server {
         Self::bind_state(AppState::new(catalog), config)
     }
 
-    /// Binds the listener over an explicit [`AppState`] (e.g. a pre-warmed
-    /// or custom-bounded label service).
+    /// Binds the listener(s) over an explicit [`AppState`] (e.g. a
+    /// pre-warmed or custom-bounded label service).
+    ///
+    /// With `config.reactors == 1` this is exactly the single-listener bind
+    /// it has always been.  With more, the first `SO_REUSEPORT` listener may
+    /// bind port 0; the rest then bind the concrete port the OS picked, so
+    /// ephemeral-port tests work unchanged.
     ///
     /// # Errors
-    /// I/O errors from binding the address.
+    /// I/O errors from binding the address, or an unresolvable address.
     pub fn bind_state(state: AppState, config: &ServerConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(&config.bind_address)?;
+        let reactors = config.reactors.max(1);
+        let listeners = if reactors == 1 {
+            vec![TcpListener::bind(&config.bind_address)?]
+        } else {
+            let addr = config
+                .bind_address
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("bind address `{}` resolved to nothing", config.bind_address),
+                    )
+                })?;
+            let first = rf_net::listen_reuseport(addr)?;
+            let concrete = first.local_addr()?;
+            let mut listeners = vec![first];
+            for _ in 1..reactors {
+                listeners.push(rf_net::listen_reuseport(concrete)?);
+            }
+            listeners
+        };
         Ok(Server {
             state: Arc::new(state),
-            listener,
-            workers: config.workers.max(1),
+            listeners,
+            config: config.clone(),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
 
-    /// The address the server is actually listening on.
+    /// The address the server is actually listening on (all shards share
+    /// it).
     ///
     /// # Errors
     /// I/O errors from querying the socket.
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
-        self.listener.local_addr()
+        self.listeners[0].local_addr()
     }
 
-    /// A handle that can stop the accept loop from another thread.
+    /// A handle that can stop every reactor from another thread.
     #[must_use]
     pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
     }
 
-    /// Runs the reactor event loop until the shutdown flag is set.
+    /// Runs the reactor event loop(s) until the shutdown flag is set.
     ///
-    /// The calling thread becomes the reactor thread: it owns the accept
-    /// loop and every connection's socket I/O.  Label generation runs on a
-    /// dedicated [`rf_runtime::ThreadPool`] of `workers` threads — the same
-    /// pool abstraction `rf-core`'s `AnalysisPipeline` fans label widgets
-    /// out on — and finished responses come back through the reactor's
-    /// eventfd wake channel.
+    /// The calling thread becomes reactor shard 0; shards 1..N run on
+    /// spawned `rf-reactor-{i}` threads.  Each shard owns its listener, its
+    /// epoll set, its eventfd completion channel, and the full lifecycle of
+    /// every connection the kernel hands it — shards never touch each
+    /// other's sockets.  They share one [`LabelDispatch`]: one label
+    /// worker pool, one admission gauge, one cache.  Label generation runs
+    /// on a dedicated [`rf_runtime::ThreadPool`] of `workers` threads and
+    /// each response returns through its own reactor's wake channel.
     ///
     /// Per-connection failures (malformed requests, disconnects mid-write,
     /// handler panics) close only that connection; they never reach this
     /// function's error path.
     ///
     /// # Errors
-    /// Fatal I/O errors from the listener or the epoll instance.
+    /// Fatal I/O errors from a listener or an epoll instance.  Any shard's
+    /// fatal error flips the shutdown flag so the others wind down too.
     pub fn run(&self) -> std::io::Result<()> {
-        let dispatch = Arc::new(LabelDispatch {
-            state: Arc::clone(&self.state),
-            pool: ThreadPool::new(self.workers),
-        });
-        let reactor = Reactor::new(
-            self.listener.try_clone()?,
-            dispatch,
-            Arc::clone(&self.shutdown),
-            ReactorConfig::default(),
-        )?;
-        reactor.run()
-        // Dropping the reactor closes every connection; dropping the
+        let dispatch = Arc::new(LabelDispatch::new(
+            Arc::clone(&self.state),
+            self.config.workers.max(1),
+            self.config.max_pending,
+        ));
+        let reactor_config = ReactorConfig {
+            max_connections: self.config.max_connections,
+            idle_timeout: Duration::from_millis(self.config.idle_timeout_ms),
+            request_deadline: Duration::from_millis(self.config.request_deadline_ms),
+        };
+        // Build every reactor before running any, so the metrics registry
+        // is complete by the time the first request can reach `/stats`.
+        let mut reactors = Vec::with_capacity(self.listeners.len());
+        for listener in &self.listeners {
+            reactors.push(Reactor::new(
+                listener.try_clone()?,
+                Arc::clone(&dispatch),
+                Arc::clone(&self.shutdown),
+                reactor_config.clone(),
+            )?);
+        }
+        self.state
+            .install_reactor_metrics(reactors.iter().map(Reactor::metrics).collect());
+
+        let mut shards = reactors.into_iter();
+        let shard_zero = shards.next().expect("at least one reactor");
+        let mut joins = Vec::new();
+        for (index, reactor) in shards.enumerate() {
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("rf-reactor-{}", index + 1))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        let result = shard_zero.run();
+        // Shard 0 exiting — shutdown flag or fatal error — takes the other
+        // shards down with it; they check the flag every poll interval.
+        self.shutdown.store(true, Ordering::Relaxed);
+        let mut failure = result.err();
+        for join in joins {
+            match join.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => {
+                    if failure.is_none() {
+                        failure = Some(err);
+                    }
+                }
+                Err(_) => {
+                    if failure.is_none() {
+                        failure = Some(std::io::Error::other("reactor thread panicked"));
+                    }
+                }
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+        // Dropping the reactors closes every connection; dropping the
         // dispatch drains the pool and joins its workers.
     }
 }
@@ -280,6 +582,7 @@ mod tests {
         let config = ServerConfig {
             bind_address: "127.0.0.1:0".to_string(),
             workers: 2,
+            ..ServerConfig::default()
         };
         let server = Server::bind(catalog, &config).expect("bind");
         let addr = server.local_addr().expect("addr");
@@ -317,6 +620,16 @@ mod tests {
             "64",
             "--cache-bytes",
             "1048576",
+            "--reactors",
+            "4",
+            "--max-conns",
+            "512",
+            "--idle-timeout-ms",
+            "15000",
+            "--request-deadline-ms",
+            "5000",
+            "--max-pending",
+            "32",
         ])
         .unwrap();
         assert_eq!(parsed.bind_address, "0.0.0.0:9999");
@@ -324,7 +637,18 @@ mod tests {
         assert_eq!(parsed.cache_ttl_secs, Some(300));
         assert_eq!(parsed.cache_entries, 64);
         assert_eq!(parsed.cache_bytes, 1_048_576);
-        assert_eq!(parsed.server_config().workers, 8);
+        assert_eq!(parsed.reactors, 4);
+        assert_eq!(parsed.max_conns, 512);
+        assert_eq!(parsed.idle_timeout_ms, 15_000);
+        assert_eq!(parsed.request_deadline_ms, 5_000);
+        assert_eq!(parsed.max_pending, 32);
+        let config = parsed.server_config();
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.reactors, 4);
+        assert_eq!(config.max_connections, 512);
+        assert_eq!(config.idle_timeout_ms, 15_000);
+        assert_eq!(config.request_deadline_ms, 5_000);
+        assert_eq!(config.max_pending, 32);
 
         // Errors: unknown flags, missing values, junk numbers, extra
         // positionals.
@@ -332,6 +656,19 @@ mod tests {
         assert!(ServerOptions::parse(["--cache-ttl-secs"]).is_err());
         assert!(ServerOptions::parse(["--workers", "many"]).is_err());
         assert!(ServerOptions::parse(["a:1", "b:2"]).is_err());
+        // The reactor/admission knobs reject zero instead of clamping.
+        for zeroed in [
+            ["--reactors", "0"],
+            ["--max-conns", "0"],
+            ["--idle-timeout-ms", "0"],
+            ["--request-deadline-ms", "0"],
+            ["--max-pending", "0"],
+        ] {
+            let err = ServerOptions::parse(zeroed).unwrap_err();
+            assert!(err.contains("at least 1"), "{err}");
+        }
+        assert!(ServerOptions::parse(["--max-conns", "none"]).is_err());
+        assert!(ServerOptions::parse(["--idle-timeout-ms"]).is_err());
     }
 
     #[test]
@@ -471,5 +808,51 @@ mod tests {
         let config = ServerConfig::default();
         assert_eq!(config.workers, 4);
         assert!(config.bind_address.contains("8080"));
+        // One reactor preserves the pre-sharding topology bit for bit, and
+        // the reactor knobs default to the previously hard-coded constants.
+        assert_eq!(config.reactors, 1);
+        assert_eq!(config.max_connections, 4096);
+        assert_eq!(config.idle_timeout_ms, 60_000);
+        assert_eq!(config.request_deadline_ms, 30_000);
+        assert_eq!(config.max_pending, 1_024);
+        // The deployed binary defaults its shard count to the host's cores.
+        assert!(ServerOptions::default().reactors >= 1);
+    }
+
+    #[test]
+    fn admission_predicates() {
+        let admission = Admission::new(4);
+        // Cold start: no service-time estimate, nothing sheds on deadline.
+        assert!(!admission.deadline_already_spent(0, 100, 2));
+        assert_eq!(admission.retry_after_secs(100, 2), 1, "hint floor is 1s");
+        // With a 10ms average and 100 queued jobs over 2 workers, the
+        // predicted wait is 500ms: a 200ms budget is already spent, a 600ms
+        // budget is not.
+        admission.record_service(Duration::from_millis(10));
+        assert_eq!(admission.avg_service_micros.load(Ordering::Relaxed), 10_000);
+        assert!(admission.deadline_already_spent(200, 100, 2));
+        assert!(!admission.deadline_already_spent(600, 100, 2));
+        // An empty queue never sheds, even at deadline_ms=0 — the truncated
+        // -label contract from the deadline-budget PR.
+        assert!(!admission.deadline_already_spent(0, 0, 2));
+        // The EWMA folds new samples in at α = 1/8.
+        admission.record_service(Duration::from_millis(90));
+        let avg = admission.avg_service_micros.load(Ordering::Relaxed);
+        assert_eq!(avg, 10_000 - 10_000 / 8 + 90_000 / 8);
+        // Retry-After scales with the backlog but stays in [1, 30].
+        assert!(admission.retry_after_secs(10_000, 1) == 30);
+
+        // The deadline_ms extractor reads the raw target.
+        assert_eq!(
+            deadline_ms_of("/datasets/x/label.json?deadline_ms=250"),
+            Some(250)
+        );
+        assert_eq!(
+            deadline_ms_of("/datasets/x/label.json?k=5&deadline_ms=0"),
+            Some(0)
+        );
+        assert_eq!(deadline_ms_of("/datasets/x/label.json?k=5"), None);
+        assert_eq!(deadline_ms_of("/stats"), None);
+        assert_eq!(deadline_ms_of("/x?deadline_ms=soon"), None);
     }
 }

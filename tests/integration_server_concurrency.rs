@@ -21,15 +21,32 @@ use rf_server::{DatasetCatalog, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Serializes every label-*generating* test in this file: the preparation
+/// counter is process-wide, so a test that asserts an exact counter delta
+/// must not overlap another test's generations.
+fn generation_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Starts a demo server with a deliberately small label pool.
 fn start_server(workers: usize) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
-    let config = ServerConfig {
+    start_server_with(ServerConfig {
         bind_address: "127.0.0.1:0".to_string(),
         workers,
-    };
+        ..ServerConfig::default()
+    })
+}
+
+/// Starts a demo server from a full config (reactor shards, admission
+/// bounds).
+fn start_server_with(
+    config: ServerConfig,
+) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
     let server = Server::bind(DatasetCatalog::with_demo_datasets(), &config).expect("bind");
     let addr = server.local_addr().expect("addr");
     let shutdown = server.shutdown_handle();
@@ -82,6 +99,7 @@ const LABEL_PATH: &str = "/datasets/cs-departments/label.json?k=5";
 
 #[test]
 fn sixty_four_keep_alive_connections_on_a_two_worker_pool() {
+    let _generations = generation_lock();
     let (addr, shutdown, handle) = start_server(2);
 
     // Cold single-connection reference generation.
@@ -195,6 +213,137 @@ fn sixty_four_keep_alive_connections_on_a_two_worker_pool() {
         after["coalesced"].as_u64().is_some(),
         "stats expose the coalescing counter: {after}"
     );
+
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn two_reactor_shards_serve_byte_identical_labels() {
+    let _generations = generation_lock();
+
+    // Reference bytes from today's single-reactor topology.
+    let (addr, shutdown, handle) = start_server(2);
+    let (head, reference) = fetch(addr, LABEL_PATH);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("single-reactor server");
+    let reference = Arc::new(reference);
+
+    // The same demo catalogue behind two SO_REUSEPORT reactor shards.
+    let (addr, shutdown, handle) = start_server_with(ServerConfig {
+        bind_address: "127.0.0.1:0".to_string(),
+        workers: 2,
+        reactors: 2,
+        ..ServerConfig::default()
+    });
+
+    // 64 simultaneously open keep-alive connections, kernel-balanced across
+    // the shards, each serving several sequential label requests.
+    let mut streams: Vec<TcpStream> = (0..64).map(|_| connect(addr)).collect();
+    for round in 0..2 {
+        for stream in &mut streams {
+            send_get(stream, LABEL_PATH, false);
+        }
+        for stream in &mut streams {
+            let (head, body) = read_response(stream);
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            assert_eq!(
+                body, *reference,
+                "round {round}: sharded response must be byte-identical to \
+                 the single-reactor server's"
+            );
+        }
+    }
+
+    // /stats rolls both shards up; the torn-read discipline holds while the
+    // 64 connections are still open.
+    let value = stats(addr);
+    let network = &value["network"];
+    let reactors = network["reactors"].as_array().expect("reactor array");
+    assert_eq!(reactors.len(), 2, "{network}");
+    for shard in reactors {
+        assert!(
+            shard["accepted"].as_u64().unwrap() > 0,
+            "kernel balanced nothing onto one shard: {network}"
+        );
+        assert!(shard["active"].as_u64().unwrap() <= shard["accepted"].as_u64().unwrap());
+    }
+    let totals = &network["totals"];
+    assert!(totals["accepted"].as_u64().unwrap() >= 64, "{network}");
+    assert!(totals["active"].as_u64().unwrap() <= totals["accepted"].as_u64().unwrap());
+    assert_eq!(totals["shed_requests"].as_u64().unwrap(), 0, "{network}");
+
+    drop(streams);
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("sharded server");
+}
+
+#[test]
+fn saturated_dispatch_queue_sheds_with_503_and_retry_after() {
+    let _generations = generation_lock();
+
+    // One worker, and admission allows exactly one unanswered request.
+    let (addr, shutdown, handle) = start_server_with(ServerConfig {
+        bind_address: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_pending: 1,
+        ..ServerConfig::default()
+    });
+
+    // A deliberately slow cold request (1024 Monte-Carlo re-rankings of the
+    // 1000-row German-credit dataset) occupies the only worker…
+    let mut slow = connect(addr);
+    send_get(
+        &mut slow,
+        "/datasets/german-credit/label.json?trials=1024&mc_seed=4242",
+        false,
+    );
+
+    // …so a keep-alive burst behind it is refused at admission: 503 with a
+    // Retry-After hint, connection left open.
+    let mut burst: Vec<TcpStream> = (0..8).map(|_| connect(addr)).collect();
+    for stream in &mut burst {
+        send_get(stream, LABEL_PATH, false);
+    }
+    let mut shed = 0u32;
+    for stream in &mut burst {
+        let (head, _body) = read_response(stream);
+        if head.starts_with("HTTP/1.1 503") {
+            assert!(head.contains("Retry-After:"), "{head}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "saturated queue must shed at least one request");
+
+    // The slow request itself completes normally.
+    let (head, _body) = read_response(&mut slow);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+
+    // Shed connections survived and are served once pressure lifts — retry
+    // on one of the very sockets that got the 503.
+    let mut retried = burst.into_iter().next().expect("one shed connection");
+    let mut recovered = false;
+    for _ in 0..50 {
+        send_get(&mut retried, LABEL_PATH, false);
+        let (head, _body) = read_response(&mut retried);
+        if head.starts_with("HTTP/1.1 200 OK") {
+            recovered = true;
+            break;
+        }
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        recovered,
+        "shed connection must be served after the backlog"
+    );
+
+    // The shed shows up in the rolled-up reactor counters.
+    let value = stats(addr);
+    let totals = &value["network"]["totals"];
+    assert!(totals["shed_requests"].as_u64().unwrap() >= u64::from(shed));
 
     shutdown.store(true, Ordering::Relaxed);
     handle.join().expect("server thread");

@@ -56,7 +56,7 @@ pub trait SampleRange<T> {
 }
 
 /// A uniform draw from `[0, 1)` with 53 bits of precision.
-fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -118,6 +118,86 @@ pub trait Rng: RngCore {
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Probability distributions sampled through any [`RngCore`].
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// Types that can draw values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The exponential distribution `Exp(λ)`, sampled by inverse
+    /// transform: `−ln(1 − U) / λ`.  This is the inter-arrival law of a
+    /// Poisson process with rate λ — the open-loop load generator draws
+    /// its request schedule from it.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// A new exponential distribution with rate `lambda` (events per
+        /// unit time; the mean is `1 / lambda`).
+        ///
+        /// # Panics
+        /// If `lambda` is not a positive finite number.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda > 0.0 && lambda.is_finite(),
+                "Exp rate must be positive and finite: {lambda}"
+            );
+            Exp { lambda }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // U ∈ [0, 1) so 1 − U ∈ (0, 1]: `ln` never sees zero.
+            -(1.0 - unit_f64(rng)).ln() / self.lambda
+        }
+    }
+
+    /// The Poisson distribution with mean λ, sampled with Knuth's
+    /// product-of-uniforms method (exact, O(λ) uniform draws per sample —
+    /// fine for the small per-tick means a load generator uses).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Poisson {
+        exp_neg_lambda: f64,
+    }
+
+    impl Poisson {
+        /// A new Poisson distribution with mean `lambda`.
+        ///
+        /// # Panics
+        /// If `lambda` is not a positive finite number.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda > 0.0 && lambda.is_finite(),
+                "Poisson mean must be positive and finite: {lambda}"
+            );
+            Poisson {
+                exp_neg_lambda: (-lambda).exp(),
+            }
+        }
+    }
+
+    impl Distribution<u64> for Poisson {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let mut count = 0u64;
+            let mut product = 1.0f64;
+            loop {
+                product *= unit_f64(rng);
+                if product <= self.exp_neg_lambda {
+                    return count;
+                }
+                count += 1;
+            }
+        }
+    }
+}
 
 /// Sequence-related random operations.
 pub mod seq {
@@ -195,6 +275,49 @@ mod tests {
         let mut rng = Counter(3);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn exp_is_deterministic_and_hits_its_mean() {
+        use distributions::{Distribution, Exp};
+        let exp = Exp::new(2.0);
+        let draws = |seed: u64| -> Vec<f64> {
+            let mut rng = Counter(seed);
+            (0..20_000).map(|_| exp.sample(&mut rng)).collect()
+        };
+        let a = draws(42);
+        let b = draws(42);
+        assert_eq!(a, b, "same seed must reproduce the same samples");
+        assert!(a.iter().all(|x| *x >= 0.0), "Exp samples are non-negative");
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        let expected = 1.0 / 2.0;
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "Exp(2) sample mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_hits_its_mean() {
+        use distributions::{Distribution, Poisson};
+        let poisson = Poisson::new(4.0);
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut rng = Counter(seed);
+            (0..20_000).map(|_| poisson.sample(&mut rng)).collect()
+        };
+        let a = draws(7);
+        assert_eq!(a, draws(7), "same seed must reproduce the same samples");
+        let mean = a.iter().sum::<u64>() as f64 / a.len() as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.05 * 4.0,
+            "Poisson(4) sample mean {mean} too far from 4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_non_positive_rate() {
+        let _ = distributions::Exp::new(0.0);
     }
 
     #[test]

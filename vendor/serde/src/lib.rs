@@ -432,6 +432,43 @@ impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// std::time::Duration — `{"secs": u64, "nanos": u32}`, the same map shape
+// real serde uses.
+// ---------------------------------------------------------------------------
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), self.as_secs().to_content()),
+            ("nanos".to_string(), self.subsec_nanos().to_content()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let Content::Map(entries) = content else {
+            return Err(DeError::invalid_shape("Duration", "map", content));
+        };
+        let field = |name: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, value)| value)
+                .ok_or_else(|| DeError::missing_field("Duration", name))
+        };
+        let secs = u64::from_content(field("secs")?)?;
+        let nanos = u32::from_content(field("nanos")?)?;
+        if nanos >= 1_000_000_000 {
+            return Err(DeError::custom(format!(
+                "Duration nanos out of range: {nanos}"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +494,32 @@ mod tests {
         let pairs = vec![("a".to_string(), 1usize), ("b".to_string(), 2usize)];
         let c = pairs.to_content();
         assert_eq!(Vec::<(String, usize)>::from_content(&c).unwrap(), pairs);
+    }
+
+    #[test]
+    fn duration_round_trips_as_secs_nanos_map() {
+        let duration = std::time::Duration::new(3, 250_000_000);
+        let content = duration.to_content();
+        assert_eq!(
+            content,
+            Content::Map(vec![
+                ("secs".to_string(), Content::I64(3)),
+                ("nanos".to_string(), Content::I64(250_000_000)),
+            ])
+        );
+        assert_eq!(
+            std::time::Duration::from_content(&content).unwrap(),
+            duration
+        );
+        // Overflowing nanos are rejected rather than silently normalized.
+        let bad = Content::Map(vec![
+            ("secs".to_string(), Content::I64(0)),
+            ("nanos".to_string(), Content::I64(1_000_000_000)),
+        ]);
+        assert!(std::time::Duration::from_content(&bad).is_err());
+        // A missing field is a hard error.
+        let partial = Content::Map(vec![("secs".to_string(), Content::I64(1))]);
+        assert!(std::time::Duration::from_content(&partial).is_err());
     }
 
     #[test]
