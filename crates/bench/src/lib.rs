@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exposition;
+
 use rf_core::{AnalysisPipeline, LabelConfig, NutritionalLabel};
 use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
 use rf_ranking::ScoringFunction;

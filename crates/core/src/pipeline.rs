@@ -409,6 +409,7 @@ impl WidgetBuilder for StabilityBuilder {
                 .with_noise(mc.data_noise, mc.weight_noise)?
                 .with_seed(mc.seed)
                 .with_k(ctx.top_k());
+            let trials_started = std::time::Instant::now();
             let summary = match &self.scheduler {
                 Some(scheduler) => estimator.evaluate_batched(
                     scheduler,
@@ -419,10 +420,12 @@ impl WidgetBuilder for StabilityBuilder {
                 )?,
                 None => estimator.evaluate(&ctx.table, &ctx.config.scoring, &ctx.ranking)?,
             };
+            note_stage(rf_obs::Stage::McTrials, trials_started.elapsed());
             MC_RUNS.fetch_add(1, Ordering::Relaxed);
             MC_TRIALS_COMPLETED.fetch_add(summary.trials as u64, Ordering::Relaxed);
             if summary.truncated {
                 MC_TRUNCATED.fetch_add(1, Ordering::Relaxed);
+                rf_obs::with_active(|span| span.set_truncated(true));
             }
             Some(summary)
         };
@@ -558,6 +561,15 @@ fn builders(
     list
 }
 
+/// Records a stage timing into the process-wide service-side histograms and
+/// into the current request's span, when one is active on this thread.  The
+/// two sinks serve different readers: the histograms feed `/metrics`
+/// aggregates, the span feeds the per-request `/debug/slow` trace.
+pub(crate) fn note_stage(stage: rf_obs::Stage, elapsed: std::time::Duration) {
+    rf_obs::service_stages().record(stage, elapsed);
+    rf_obs::with_active(|span| span.record(stage, elapsed));
+}
+
 /// How the pipeline schedules its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Schedule {
@@ -639,12 +651,14 @@ impl AnalysisPipeline {
         table: Arc<Table>,
         config: Arc<LabelConfig>,
     ) -> LabelResult<Arc<AnalysisContext>> {
+        let started = std::time::Instant::now();
         let ctx = match self.schedule {
             Schedule::Sequential => AnalysisContext::prepare(table, config)?,
             Schedule::Parallel => {
                 AnalysisContext::prepare_with_pool(table, config, self.pool_ref())?
             }
         };
+        note_stage(rf_obs::Stage::Prepare, started.elapsed());
         Ok(Arc::new(ctx))
     }
 
@@ -656,12 +670,15 @@ impl AnalysisPipeline {
     /// The first widget error in label order, or
     /// [`LabelError::WidgetPanic`] when a builder panics on the pool.
     pub fn render(&self, ctx: &Arc<AnalysisContext>) -> LabelResult<NutritionalLabel> {
+        let started = std::time::Instant::now();
         let mc_scheduler = match self.schedule {
             Schedule::Sequential => None,
             Schedule::Parallel => Some(Arc::clone(self.pool_ref().scheduler())),
         };
         let outputs = self.run_builders(ctx, builders(ctx, mc_scheduler))?;
-        Ok(Self::assemble(ctx, outputs))
+        let label = Self::assemble(ctx, outputs);
+        note_stage(rf_obs::Stage::Render, started.elapsed());
+        Ok(label)
     }
 
     /// Generates the complete label for `table` under `config`:
@@ -737,11 +754,19 @@ impl AnalysisPipeline {
             Schedule::Parallel => {
                 let scheduler = self.pool_ref().scheduler();
                 let names: Vec<String> = list.iter().map(|b| b.name()).collect();
+                // Builders run on pool worker threads; carry the request's
+                // active span across so widget-level stage timings (the
+                // Monte-Carlo trials, truncation) still attribute to it.
+                let span = rf_obs::current();
                 let jobs: Vec<_> = list
                     .into_iter()
                     .map(|builder| {
                         let ctx = Arc::clone(ctx);
-                        move || builder.build(&ctx)
+                        let span = span.clone();
+                        move || {
+                            let _active = span.map(rf_obs::activate);
+                            builder.build(&ctx)
+                        }
                     })
                     .collect();
                 let raw = scheduler.run_all(jobs);

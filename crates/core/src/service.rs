@@ -65,6 +65,28 @@ pub struct ServiceStats {
     /// the server fills it in at scrape time from the live reactors.
     #[serde(default)]
     pub network: Option<NetworkStats>,
+    /// Admission-control visibility: the pending gauge against its cap, plus
+    /// the controller's *predicted* (EWMA) and *measured* (stage-histogram
+    /// mean) per-request service times side by side — the comparison the
+    /// observability layer exists to make.  `None` without a network
+    /// front-end; the server fills it in at scrape time.
+    #[serde(default)]
+    pub admission: Option<AdmissionStats>,
+}
+
+/// Admission control as seen by `/stats`: occupancy plus the predicted vs
+/// measured service-time estimates (microseconds; `measured` is `0` until
+/// the prepare/render histograms have observations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AdmissionStats {
+    /// The configured cap on concurrently pending requests.
+    pub max_pending: u64,
+    /// Requests currently admitted but not yet completed.
+    pub pending: u64,
+    /// The controller's EWMA service-time estimate (its own feedback loop).
+    pub ewma_service_micros: u64,
+    /// Mean prepare+render time from the measured stage histograms.
+    pub measured_service_micros: u64,
 }
 
 /// The sharded I/O plane as seen by `/stats`: one counter block per reactor
@@ -287,6 +309,9 @@ impl LabelService {
     /// # Errors
     /// Pipeline errors on a cold miss (validation, widgets, serialization).
     pub fn label(&self, table: &Arc<Table>, config: &Arc<LabelConfig>) -> LabelResult<CachedLabel> {
+        // `cache_lookup` covers everything up to the hit/lead/join decision:
+        // fingerprinting, the map+cache probe, and slot resolution.
+        let lookup_started = std::time::Instant::now();
         let key = CacheKey {
             table: self.table_fingerprint(table),
             config: config.fingerprint(),
@@ -307,6 +332,8 @@ impl LabelService {
                 .expect("label cache lock")
                 .get(&key, table, config)
             {
+                crate::pipeline::note_stage(rf_obs::Stage::CacheLookup, lookup_started.elapsed());
+                rf_obs::with_active(|span| span.set_cache(rf_obs::CacheOutcome::Hit));
                 return Ok(hit);
             }
             match inflight.entry(key) {
@@ -319,6 +346,7 @@ impl LabelService {
                 ),
             }
         };
+        crate::pipeline::note_stage(rf_obs::Stage::CacheLookup, lookup_started.elapsed());
         if !leading {
             // Verify the leader is generating *our* inputs before adopting
             // its result (fingerprint collisions degrade to own generation).
@@ -326,10 +354,13 @@ impl LabelService {
                 && (Arc::ptr_eq(&slot.table, table) || slot.table.as_ref() == table.as_ref())
             {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                rf_obs::with_active(|span| span.set_cache(rf_obs::CacheOutcome::Coalesced));
                 return slot.wait();
             }
+            rf_obs::with_active(|span| span.set_cache(rf_obs::CacheOutcome::Miss));
             return self.generate_uncoalesced(key, table, config);
         }
+        rf_obs::with_active(|span| span.set_cache(rf_obs::CacheOutcome::Miss));
         let guard = InflightGuard {
             service: self,
             key,
@@ -479,6 +510,7 @@ impl LabelService {
             scheduler: self.pipeline.scheduler_stats(),
             monte_carlo: crate::pipeline::monte_carlo_runtime_stats(),
             network: None,
+            admission: None,
         }
     }
 

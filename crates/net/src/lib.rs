@@ -58,6 +58,6 @@ pub use conn::{ConnState, Connection, OutboundResponse, ReadOutcome, ResponseBod
 pub use metrics::{aggregate, ReactorMetrics, ReactorSnapshot};
 pub use parser::{HttpParser, HttpVersion, ParseError, ParseEvent, ParsedRequest};
 pub use poller::{Event, Interest, Poller};
-pub use reactor::{Dispatch, Reactor, ReactorConfig, Responder};
+pub use reactor::{Dispatch, Reactor, ReactorConfig, ReactorObservability, Responder};
 pub use sys::listen_reuseport;
 pub use wake::{Completion, Completions, Waker};

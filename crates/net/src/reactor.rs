@@ -20,6 +20,7 @@ use crate::metrics::ReactorMetrics;
 use crate::parser::ParsedRequest;
 use crate::poller::{Interest, Poller};
 use crate::wake::{Completions, Waker};
+use rf_obs::{RequestId, RequestSpan, Stage, StageHistograms, TraceRing};
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;
@@ -56,9 +57,18 @@ pub struct Responder {
     conn_id: u64,
     keep_alive: bool,
     sent: bool,
+    span: Arc<RequestSpan>,
 }
 
 impl Responder {
+    /// The request's live span (`shard:seq` id plus per-stage timing slots).
+    /// Handlers record worker-side stages into it from any thread; the
+    /// reactor finishes it when the response flushes.
+    #[must_use]
+    pub fn span(&self) -> &Arc<RequestSpan> {
+        &self.span
+    }
+
     /// Whether the request's protocol version and `Connection` header allow
     /// the connection to stay open — the handler echoes this into the head
     /// it builds.
@@ -140,6 +150,18 @@ fn shed_response(retry_after_secs: u64, keep_alive: bool) -> OutboundResponse {
     }
 }
 
+/// Splices an `X-Request-Id` header into a finished response head.  Every
+/// head built by handlers or the canned responders ends with the blank line
+/// (`\r\n\r\n`); the header goes right before it, leaving the body — and the
+/// byte-identical label contract — untouched.
+fn splice_request_id(head: &mut Vec<u8>, id: RequestId) {
+    if head.ends_with(b"\r\n\r\n") {
+        let insert_at = head.len() - 2;
+        let header = format!("X-Request-Id: {id}\r\n");
+        head.splice(insert_at..insert_at, header.into_bytes());
+    }
+}
+
 fn plain_response(code: u16, reason: &str, body: &str) -> OutboundResponse {
     OutboundResponse {
         head: format!(
@@ -180,6 +202,36 @@ impl Default for ReactorConfig {
     }
 }
 
+/// Per-shard observability wiring: where the reactor records its
+/// network-side stage timings (`parse`, `write`), how it mints request ids,
+/// and where finished slow traces land.
+#[derive(Debug, Clone)]
+pub struct ReactorObservability {
+    /// Shard index minted into request ids (`shard:seq`) and used as the
+    /// `shard` label in `/metrics`.
+    pub shard: u32,
+    /// This shard's stage histograms (`parse` and `write` recorded here;
+    /// worker-side stages go to `rf_obs::service_stages()`).
+    pub stages: Arc<StageHistograms>,
+    /// Ring receiving completed traces that exceed `slow_threshold` —
+    /// typically shared by every shard and served at `/debug/slow`.
+    pub ring: Arc<TraceRing>,
+    /// Requests whose end-to-end latency reaches this threshold have their
+    /// trace pushed to `ring`.  Zero traces everything.
+    pub slow_threshold: std::time::Duration,
+}
+
+impl Default for ReactorObservability {
+    fn default() -> Self {
+        ReactorObservability {
+            shard: 0,
+            stages: Arc::new(StageHistograms::new()),
+            ring: Arc::new(TraceRing::new(64)),
+            slow_threshold: std::time::Duration::from_millis(500),
+        }
+    }
+}
+
 /// How often the timeout sweep walks the connection table.
 const SWEEP_INTERVAL: std::time::Duration = std::time::Duration::from_secs(1);
 
@@ -190,6 +242,10 @@ struct Tracked {
     last_activity: std::time::Instant,
     /// When the currently-arriving request's first bytes landed.
     request_started: Option<std::time::Instant>,
+    /// The in-flight request's span, finished when its response flushes.
+    span: Option<Arc<RequestSpan>>,
+    /// When the in-flight request's response was enqueued for writing.
+    response_started: Option<std::time::Instant>,
 }
 
 /// The epoll event loop over one listener.
@@ -204,6 +260,9 @@ pub struct Reactor<D: Dispatch> {
     config: ReactorConfig,
     last_sweep: std::time::Instant,
     metrics: Arc<ReactorMetrics>,
+    obs: ReactorObservability,
+    /// Per-shard request sequence number (starts at 1 for the first request).
+    next_seq: u64,
 }
 
 impl<D: Dispatch> Reactor<D> {
@@ -232,7 +291,27 @@ impl<D: Dispatch> Reactor<D> {
             config,
             last_sweep: std::time::Instant::now(),
             metrics: Arc::new(ReactorMetrics::new()),
+            obs: ReactorObservability::default(),
+            next_seq: 0,
         })
+    }
+
+    /// Replaces the default (private, shard-0) observability wiring —
+    /// multi-shard servers install their shard index, the shared slow-trace
+    /// ring, and the configured slow threshold here before [`run`].
+    ///
+    /// [`run`]: Reactor::run
+    pub fn set_observability(&mut self, obs: ReactorObservability) {
+        self.obs = obs;
+    }
+
+    /// The reactor's observability wiring (clone the `Arc`s before [`run`]
+    /// consumes the reactor to keep reading them from other threads).
+    ///
+    /// [`run`]: Reactor::run
+    #[must_use]
+    pub fn observability(&self) -> &ReactorObservability {
+        &self.obs
     }
 
     /// Number of currently open connections.
@@ -343,6 +422,8 @@ impl<D: Dispatch> Reactor<D> {
                                 interest: Interest::READABLE,
                                 last_activity: std::time::Instant::now(),
                                 request_started: None,
+                                span: None,
+                                response_started: None,
                             },
                         );
                     }
@@ -421,7 +502,22 @@ impl<D: Dispatch> Reactor<D> {
             return;
         };
         tracked.conn.mark_in_flight();
-        tracked.request_started = None;
+        self.next_seq += 1;
+        let span = Arc::new(RequestSpan::begin(RequestId {
+            shard: self.obs.shard,
+            seq: self.next_seq,
+        }));
+        // Parse stage: first request byte → complete parse.  A request that
+        // arrived whole in a single read never started the clock; its parse
+        // time is below timer resolution and recorded as zero.
+        let parse_elapsed = tracked
+            .request_started
+            .take()
+            .map(|started| started.elapsed())
+            .unwrap_or_default();
+        span.record(Stage::Parse, parse_elapsed);
+        self.obs.stages.record(Stage::Parse, parse_elapsed);
+        tracked.span = Some(Arc::clone(&span));
         self.set_interest(token, Interest::NONE);
         self.metrics.on_dispatched();
         let responder = Responder {
@@ -430,6 +526,7 @@ impl<D: Dispatch> Reactor<D> {
             conn_id: token,
             keep_alive: request.keep_alive(),
             sent: false,
+            span,
         };
         let dispatch = Arc::clone(&self.dispatch);
         dispatch.dispatch(request, responder);
@@ -444,6 +541,23 @@ impl<D: Dispatch> Reactor<D> {
             WriteOutcome::Disconnected => self.close(token),
             WriteOutcome::Pending => self.set_interest(token, Interest::WRITABLE),
             WriteOutcome::Flushed => {
+                // The in-flight request's response just fully left the
+                // socket: close out its write stage and finish its span.
+                if let Some(started) = tracked.response_started.take() {
+                    let write_elapsed = started.elapsed();
+                    if let Some(span) = tracked.span.as_ref() {
+                        span.record(Stage::Write, write_elapsed);
+                    }
+                    self.obs.stages.record(Stage::Write, write_elapsed);
+                }
+                if let Some(span) = tracked.span.take() {
+                    let trace = span.finish();
+                    let threshold =
+                        u64::try_from(self.obs.slow_threshold.as_micros()).unwrap_or(u64::MAX);
+                    if trace.total_micros >= threshold {
+                        self.obs.ring.push(trace);
+                    }
+                }
                 if tracked.conn.closing() {
                     self.close(token);
                     return;
@@ -484,7 +598,12 @@ impl<D: Dispatch> Reactor<D> {
             if tracked.conn.state() != ConnState::InFlight {
                 continue; // One response per request; anything else is stale.
             }
-            tracked.conn.enqueue_response(completion.response);
+            let mut response = completion.response;
+            if let Some(span) = tracked.span.as_ref() {
+                splice_request_id(&mut response.head, span.id());
+            }
+            tracked.response_started = Some(std::time::Instant::now());
+            tracked.conn.enqueue_response(response);
             self.drive_write(completion.conn_id);
         }
     }
@@ -753,6 +872,83 @@ mod tests {
             );
         }
 
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn responses_carry_unique_request_ids() {
+        let (addr, shutdown) = start_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            stream
+                .write_all(format!("GET /id-{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .expect("write");
+            let response = read_one_response(&mut stream);
+            let id_line = response
+                .lines()
+                .find(|line| line.starts_with("X-Request-Id: "))
+                .unwrap_or_else(|| panic!("missing X-Request-Id: {response}"))
+                .trim_start_matches("X-Request-Id: ")
+                .to_string();
+            let (shard, seq) = id_line.split_once(':').expect("shard:seq format");
+            assert_eq!(shard.parse::<u32>().expect("shard"), 0);
+            assert!(seq.parse::<u64>().expect("seq") >= 1);
+            ids.push(id_line);
+            // The body is untouched by the header splice.
+            assert!(response.ends_with(&format!("/id-{i}")), "{response}");
+        }
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "request ids must be unique");
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn zero_slow_threshold_traces_every_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut reactor = Reactor::new(
+            listener,
+            Arc::new(Echo),
+            Arc::clone(&shutdown),
+            ReactorConfig::default(),
+        )
+        .expect("reactor");
+        let ring = Arc::new(TraceRing::new(8));
+        let stages = Arc::new(StageHistograms::new());
+        reactor.set_observability(ReactorObservability {
+            shard: 3,
+            stages: Arc::clone(&stages),
+            ring: Arc::clone(&ring),
+            slow_threshold: Duration::ZERO,
+        });
+        std::thread::spawn(move || reactor.run().expect("reactor run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET /traced HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("write");
+            let response = read_one_response(&mut stream);
+            assert!(response.contains("X-Request-Id: 3:"), "{response}");
+        }
+
+        // Trace finalization happens on the reactor thread right after the
+        // flush that our read observed; give it a moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ring.recorded() < 2 {
+            assert!(std::time::Instant::now() < deadline, "traces never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let traces = ring.snapshot();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| t.id.shard == 3));
+        // Parse and write are recorded per shard.
+        let snap = stages.snapshot();
+        assert_eq!(snap.get(Stage::Parse).count(), 2);
+        assert_eq!(snap.get(Stage::Write).count(), 2);
         shutdown.store(true, Ordering::Relaxed);
     }
 

@@ -1,0 +1,410 @@
+//! Request identities, per-request span recording, and the bounded
+//! slow-trace ring.
+//!
+//! Every dispatched request gets a [`RequestId`] (`shard:seq`, echoed back as
+//! `X-Request-Id`) and an atomic [`RequestSpan`] that travels with the
+//! request: the reactor records `parse`/`write` on its thread, admission and
+//! the worker-side stages are recorded from wherever they run (all slots are
+//! atomics, so `&RequestSpan` is enough).  Worker code that is far from the
+//! request plumbing (the cache, the pipeline, the Monte-Carlo estimator)
+//! attributes its stage timings through a thread-local *active span*
+//! installed by the dispatch job ([`activate`] / [`with_active`]).
+//!
+//! When the response flushes, the span is finished into an immutable
+//! [`RequestTrace`]; traces whose total latency exceeds the configured slow
+//! threshold land in a bounded [`TraceRing`] (fixed slot array, atomic write
+//! cursor, per-slot pointer swap) served at `GET /debug/slow`.
+
+use crate::{Stage, STAGE_COUNT};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A request identity: the reactor shard that accepted it and a per-shard
+/// sequence number.  Rendered as `shard:seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    /// The accepting reactor shard.
+    pub shard: u32,
+    /// Monotone per-shard sequence number (starts at 1).
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.shard, self.seq)
+    }
+}
+
+/// How the label cache resolved a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache interaction recorded (non-label routes).
+    Unknown,
+    /// Served from the warm cache.
+    Hit,
+    /// Generated fresh (this request led the computation).
+    Miss,
+    /// Waited on an identical in-flight computation (single-flight join).
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name used in traces and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Unknown => "unknown",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+
+    fn from_u8(value: u8) -> Self {
+        match value {
+            1 => CacheOutcome::Hit,
+            2 => CacheOutcome::Miss,
+            3 => CacheOutcome::Coalesced,
+            _ => CacheOutcome::Unknown,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            CacheOutcome::Unknown => 0,
+            CacheOutcome::Hit => 1,
+            CacheOutcome::Miss => 2,
+            CacheOutcome::Coalesced => 3,
+        }
+    }
+}
+
+/// Why admission control shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The pending-dispatch gauge hit `--max-pending`.
+    MaxPending,
+    /// The request's `deadline_ms` budget was already spent by the predicted
+    /// queue wait.
+    DeadlineSpent,
+}
+
+impl ShedReason {
+    /// Stable lowercase name used in traces and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::MaxPending => "max_pending",
+            ShedReason::DeadlineSpent => "deadline_spent",
+        }
+    }
+
+    fn from_u8(value: u8) -> Option<Self> {
+        match value {
+            1 => Some(ShedReason::MaxPending),
+            2 => Some(ShedReason::DeadlineSpent),
+            _ => None,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ShedReason::MaxPending => 1,
+            ShedReason::DeadlineSpent => 2,
+        }
+    }
+}
+
+/// A live per-request span.  All slots are atomics so any thread holding an
+/// `Arc<RequestSpan>` (reactor, dispatch, worker) can record into it without
+/// locks; stage slots *accumulate*, so repeated records (e.g. Monte-Carlo
+/// batches) sum up.
+#[derive(Debug)]
+pub struct RequestSpan {
+    id: RequestId,
+    started: Instant,
+    stage_micros: [AtomicU64; STAGE_COUNT],
+    cache: AtomicU8,
+    truncated: AtomicBool,
+    shed: AtomicU8,
+}
+
+impl RequestSpan {
+    /// Starts a span now.
+    #[must_use]
+    pub fn begin(id: RequestId) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            id,
+            started: Instant::now(),
+            stage_micros: [ZERO; STAGE_COUNT],
+            cache: AtomicU8::new(0),
+            truncated: AtomicBool::new(false),
+            shed: AtomicU8::new(0),
+        }
+    }
+
+    /// The request's identity.
+    #[must_use]
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Adds `elapsed` to the span's slot for `stage`.
+    pub fn record(&self, stage: Stage, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.stage_micros[stage.index()].fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Reads the accumulated microseconds for `stage`.
+    #[must_use]
+    pub fn stage_micros(&self, stage: Stage) -> u64 {
+        self.stage_micros[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records how the label cache resolved this request.
+    pub fn set_cache(&self, outcome: CacheOutcome) {
+        self.cache.store(outcome.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Marks the label as deadline-truncated.
+    pub fn set_truncated(&self, truncated: bool) {
+        self.truncated.store(truncated, Ordering::Relaxed);
+    }
+
+    /// Records that admission control shed this request.
+    pub fn set_shed(&self, reason: ShedReason) {
+        self.shed.store(reason.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Finishes the span into an immutable trace; total latency is measured
+    /// from `begin` to this call.
+    #[must_use]
+    pub fn finish(&self) -> RequestTrace {
+        let mut stage_micros = [0u64; STAGE_COUNT];
+        for (slot, stage) in stage_micros.iter_mut().zip(self.stage_micros.iter()) {
+            *slot = stage.load(Ordering::Relaxed);
+        }
+        RequestTrace {
+            id: self.id,
+            total_micros: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            stage_micros,
+            cache: CacheOutcome::from_u8(self.cache.load(Ordering::Relaxed)),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            shed: ShedReason::from_u8(self.shed.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A completed, immutable request trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The request's identity (`shard:seq`).
+    pub id: RequestId,
+    /// End-to-end latency from dispatch to response flush, in µs.
+    pub total_micros: u64,
+    /// Accumulated per-stage microseconds, indexed by [`Stage::index`].
+    pub stage_micros: [u64; STAGE_COUNT],
+    /// How the label cache resolved the request.
+    pub cache: CacheOutcome,
+    /// Whether the label was deadline-truncated.
+    pub truncated: bool,
+    /// Shed reason, when admission control rejected the request.
+    pub shed: Option<ShedReason>,
+}
+
+/// A bounded ring of completed slow traces.
+///
+/// Writers claim a slot with one atomic `fetch_add` on the cursor and swap an
+/// `Arc` into it; the per-slot mutex guards only that pointer swap (never the
+/// trace contents), so pushes from many reactor threads do not contend unless
+/// they collide on the very same slot.  The ring keeps the most recent
+/// `capacity` traces; older entries are overwritten.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<Arc<RequestTrace>>>>,
+    cursor: AtomicUsize,
+    recorded: AtomicU64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding up to `capacity` traces (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed slot count.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces ever pushed (a monotone counter, exported in `/metrics`).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Pushes a trace, overwriting the oldest entry once full.
+    pub fn push(&self, trace: RequestTrace) {
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let entry = Arc::new(trace);
+        let mut guard = match self.slots[slot].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Some(entry);
+        drop(guard);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current contents, newest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Arc<RequestTrace>> {
+        let len = self.slots.len();
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let mut traces = Vec::with_capacity(len);
+        // Walk backwards from the most recently written slot.
+        for back in 1..=len {
+            let slot = (cursor + len - back) % len;
+            let guard = match self.slots[slot].lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(trace) = guard.as_ref() {
+                traces.push(Arc::clone(trace));
+            }
+        }
+        traces
+    }
+}
+
+thread_local! {
+    static ACTIVE_SPAN: RefCell<Option<Arc<RequestSpan>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously active span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    previous: Option<Arc<RequestSpan>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        ACTIVE_SPAN.with(|active| {
+            *active.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Installs `span` as this thread's active span for the lifetime of the
+/// returned guard.  Code deep in the pipeline attributes stage timings to the
+/// current request via [`with_active`] without any request plumbing.
+#[must_use]
+pub fn activate(span: Arc<RequestSpan>) -> SpanGuard {
+    let previous = ACTIVE_SPAN.with(|active| active.borrow_mut().replace(span));
+    SpanGuard { previous }
+}
+
+/// This thread's active span, if any — for propagating the span across a
+/// fan-out: capture it on the spawning thread, [`activate`] the clone inside
+/// each spawned task.
+#[must_use]
+pub fn current() -> Option<Arc<RequestSpan>> {
+    ACTIVE_SPAN.with(|active| active.borrow().clone())
+}
+
+/// Runs `f` against this thread's active span, if one is installed.
+pub fn with_active<F: FnOnce(&RequestSpan)>(f: F) {
+    ACTIVE_SPAN.with(|active| {
+        if let Some(span) = active.borrow().as_ref() {
+            f(span);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_display() {
+        let id = RequestId { shard: 3, seq: 41 };
+        assert_eq!(id.to_string(), "3:41");
+    }
+
+    #[test]
+    fn span_accumulates_and_finishes() {
+        let span = RequestSpan::begin(RequestId { shard: 0, seq: 1 });
+        span.record(Stage::McTrials, Duration::from_micros(10));
+        span.record(Stage::McTrials, Duration::from_micros(5));
+        span.record(Stage::Parse, Duration::from_micros(2));
+        span.set_cache(CacheOutcome::Miss);
+        span.set_truncated(true);
+        let trace = span.finish();
+        assert_eq!(trace.stage_micros[Stage::McTrials.index()], 15);
+        assert_eq!(trace.stage_micros[Stage::Parse.index()], 2);
+        assert_eq!(trace.cache, CacheOutcome::Miss);
+        assert!(trace.truncated);
+        assert_eq!(trace.shed, None);
+    }
+
+    #[test]
+    fn shed_reason_round_trips() {
+        let span = RequestSpan::begin(RequestId { shard: 1, seq: 2 });
+        span.set_shed(ShedReason::MaxPending);
+        assert_eq!(span.finish().shed, Some(ShedReason::MaxPending));
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_wraps() {
+        let ring = TraceRing::new(3);
+        for seq in 1..=5u64 {
+            let span = RequestSpan::begin(RequestId { shard: 0, seq });
+            ring.push(span.finish());
+        }
+        assert_eq!(ring.recorded(), 5);
+        let traces = ring.snapshot();
+        let seqs: Vec<u64> = traces.iter().map(|t| t.id.seq).collect();
+        assert_eq!(seqs, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn ring_capacity_is_at_least_one() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        let span = RequestSpan::begin(RequestId { shard: 0, seq: 9 });
+        ring.push(span.finish());
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn active_span_guard_nests_and_restores() {
+        let outer = Arc::new(RequestSpan::begin(RequestId { shard: 0, seq: 1 }));
+        let inner = Arc::new(RequestSpan::begin(RequestId { shard: 0, seq: 2 }));
+        let outer_guard = activate(Arc::clone(&outer));
+        {
+            let _inner_guard = activate(Arc::clone(&inner));
+            with_active(|span| span.record(Stage::Prepare, Duration::from_micros(7)));
+        }
+        with_active(|span| span.record(Stage::Render, Duration::from_micros(3)));
+        drop(outer_guard);
+        let mut untouched = true;
+        with_active(|_| untouched = false);
+        assert!(untouched, "no span should remain active");
+        assert_eq!(inner.stage_micros(Stage::Prepare), 7);
+        assert_eq!(inner.stage_micros(Stage::Render), 0);
+        assert_eq!(outer.stage_micros(Stage::Render), 3);
+        assert_eq!(outer.stage_micros(Stage::Prepare), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the log2 latency histogram: merge equals recording the
+//! union, bucket counts are monotone under concurrent recording, and derived
+//! quantiles bracket the true order statistic.
+
+use proptest::prelude::*;
+use rf_obs::{HistogramSnapshot, LatencyHistogram, BUCKET_COUNT};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) is exactly the histogram of the union of both sample sets.
+    #[test]
+    fn merge_equals_union_recording(
+        left in prop::collection::vec(0u64..=1_000_000_000, 0..64),
+        right in prop::collection::vec(0u64..=1_000_000_000, 0..64),
+    ) {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        for &micros in &left {
+            a.record_micros(micros);
+            union.record_micros(micros);
+        }
+        for &micros in &right {
+            b.record_micros(micros);
+            union.record_micros(micros);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        prop_assert_eq!(merged, union.snapshot());
+    }
+
+    /// The derived quantile brackets the true order statistic: it is an upper
+    /// bound, and (log2 buckets) at most twice the true value.
+    #[test]
+    fn quantile_brackets_true_value(
+        samples in prop::collection::vec(0u64..=100_000_000, 1..128),
+        q_permille in 0u64..=1000,
+    ) {
+        let hist = LatencyHistogram::new();
+        for &micros in &samples {
+            hist.record_micros(micros);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let q = q_permille as f64 / 1000.0;
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let derived = hist.snapshot().quantile_micros(q);
+        prop_assert!(
+            derived >= truth,
+            "quantile {} must be an upper bound: derived {} < true {}",
+            q, derived, truth
+        );
+        let ceiling = truth.saturating_mul(2).max(1);
+        prop_assert!(
+            derived <= ceiling,
+            "quantile {} too loose: derived {} > 2x true {}",
+            q, derived, truth
+        );
+    }
+
+    /// Under concurrent recording from N threads, every bucket observed by a
+    /// sampling reader only ever grows, and the final counts are exact.
+    #[test]
+    fn buckets_monotone_under_concurrent_recording(
+        threads in 2usize..=4,
+        per_thread in 1usize..=400,
+    ) {
+        let hist = Arc::new(LatencyHistogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let hist = Arc::clone(&hist);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut previous = hist.snapshot();
+                let mut monotone = true;
+                while !stop.load(Ordering::Relaxed) {
+                    let current = hist.snapshot();
+                    for index in 0..BUCKET_COUNT {
+                        if current.buckets[index] < previous.buckets[index] {
+                            monotone = false;
+                        }
+                    }
+                    if current.sum_micros < previous.sum_micros
+                        || current.max_micros < previous.max_micros
+                    {
+                        monotone = false;
+                    }
+                    previous = current;
+                    std::thread::yield_now();
+                }
+                monotone
+            })
+        };
+
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        hist.record_micros((t * per_thread + i) as u64);
+                    }
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().expect("writer thread");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let monotone = reader.join().expect("reader thread");
+        prop_assert!(monotone, "a sampled bucket, sum, or max decreased");
+        prop_assert_eq!(hist.snapshot().count(), (threads * per_thread) as u64);
+    }
+}
+
+#[test]
+fn merge_identity_is_empty_snapshot() {
+    let hist = LatencyHistogram::new();
+    hist.record_micros(42);
+    let snap = hist.snapshot();
+    assert_eq!(snap.merge(&HistogramSnapshot::empty()), snap);
+}

@@ -44,9 +44,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Callback invoked with a task's measured queue wait (push → first poll).
+/// See [`Scheduler::set_queue_wait_observer`].
+pub type QueueWaitObserver = Arc<dyn Fn(Duration) + Send + Sync>;
 
 std::thread_local! {
     /// `(address of the scheduler's shared state, worker index + 1)` when the
@@ -83,6 +87,10 @@ struct Shared {
     panicked: AtomicUsize,
     steals: AtomicU64,
     executed: AtomicU64,
+    /// Optional queue-wait observer (set at most once).  When installed,
+    /// every pushed task is wrapped to report its enqueue→first-poll latency
+    /// — the *measured* queue wait the admission controller's EWMA predicts.
+    queue_wait_observer: OnceLock<QueueWaitObserver>,
 }
 
 impl Shared {
@@ -99,6 +107,17 @@ impl Shared {
     /// Queues a task: onto the local deque when called from a worker of this
     /// scheduler, onto the injector otherwise.
     fn push(&self, job: Job) {
+        let job = match self.queue_wait_observer.get() {
+            Some(observer) => {
+                let observer = Arc::clone(observer);
+                let enqueued = Instant::now();
+                Box::new(move || {
+                    observer(enqueued.elapsed());
+                    job();
+                })
+            }
+            None => job,
+        };
         // Publish the count *before* the job becomes poppable: `find_job`
         // only decrements after actually taking a job, and a job can only be
         // taken after the push below — so `queued` (served raw by the
@@ -284,6 +303,7 @@ impl Scheduler {
             panicked: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            queue_wait_observer: OnceLock::new(),
         });
         let workers = (0..size)
             .map(|index| {
@@ -340,6 +360,14 @@ impl Scheduler {
             executed_jobs: self.shared.executed.load(Ordering::Relaxed),
             panicked_jobs: self.shared.panicked.load(Ordering::Relaxed) as u64,
         }
+    }
+
+    /// Installs an observer that receives every task's measured queue wait —
+    /// the span from [`Shared::push`] to the moment a worker (or a helping
+    /// waiter) first polls the task.  Install-once: later calls are ignored,
+    /// returning `false`.  Tasks pushed before installation are unobserved.
+    pub fn set_queue_wait_observer(&self, observer: QueueWaitObserver) -> bool {
+        self.shared.queue_wait_observer.set(observer).is_ok()
     }
 
     /// Queues a fire-and-forget task.
@@ -518,6 +546,12 @@ impl ThreadPool {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.scheduler.queued()
+    }
+
+    /// Installs a queue-wait observer on the underlying scheduler — see
+    /// [`Scheduler::set_queue_wait_observer`].
+    pub fn set_queue_wait_observer(&self, observer: QueueWaitObserver) -> bool {
+        self.scheduler.set_queue_wait_observer(observer)
     }
 
     /// Queues a job for execution on the pool.
@@ -1056,5 +1090,29 @@ mod tests {
         assert!(pool.size() >= 2);
         let again = global();
         assert!(std::ptr::eq(pool, again));
+    }
+
+    #[test]
+    fn queue_wait_observer_sees_every_task() {
+        let pool = ThreadPool::new(2);
+        let observed = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&observed);
+        assert!(pool.set_queue_wait_observer(Arc::new(move |_wait| {
+            sink.fetch_add(1, Ordering::SeqCst);
+        })));
+        // Install-once: a second observer is rejected.
+        assert!(!pool.set_queue_wait_observer(Arc::new(|_| {})));
+        let jobs: Vec<_> = (0..16).map(|i| move || i * 2).collect();
+        let outputs = pool.run_all(jobs);
+        assert_eq!(outputs.len(), 16);
+        // run_all blocks until every task finished, and the observer fires
+        // before the task body runs.
+        assert_eq!(observed.load(Ordering::SeqCst), 16);
+        pool.execute(|| {});
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while observed.load(Ordering::SeqCst) < 17 {
+            assert!(Instant::now() < deadline, "detached task never observed");
+            std::thread::yield_now();
+        }
     }
 }

@@ -281,6 +281,17 @@ impl Response {
         }
     }
 
+    /// 200 response in the Prometheus text exposition format (version
+    /// 0.0.4), served by `GET /metrics`.
+    #[must_use]
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: Body::Owned(body.into()),
+        }
+    }
+
     /// Plain-text response with an arbitrary status.
     #[must_use]
     pub fn text(status: StatusCode, body: impl Into<String>) -> Self {

@@ -31,6 +31,8 @@
 //! | `GET /datasets/{name}/label` | Nutritional label as HTML |
 //! | `GET /datasets/{name}/label.json` | Nutritional label as JSON |
 //! | `GET /stats` | Label-cache + coalescing counters and occupancy (JSON) |
+//! | `GET /metrics` | Prometheus text exposition: stage latency histograms (per shard + aggregated) and every counter family |
+//! | `GET /debug/slow` | Recent slow-request span traces (JSON, newest first) |
 //! | `POST /labels` | Generate a label for an uploaded CSV (body = CSV, query = scoring spec) |
 //! | `POST /datasets/{name}` | Upload a CSV **into the catalogue** (replaces + invalidates cache) |
 
@@ -44,5 +46,5 @@ pub mod server;
 
 pub use catalog::{DatasetCatalog, DatasetEntry};
 pub use http::{Body, Method, Request, Response, StatusCode};
-pub use router::{route, AppState};
+pub use router::{route, AdmissionProbe, AppState, Observability};
 pub use server::{Server, ServerConfig, ServerOptions};

@@ -18,7 +18,7 @@ fn main() {
                 "usage: ranking-facts-server [ADDRESS] [--workers N] [--reactors N] \
                  [--max-conns N] [--idle-timeout-ms N] [--request-deadline-ms N] \
                  [--max-pending N] [--cache-ttl-secs N] [--cache-entries N] \
-                 [--cache-bytes N]"
+                 [--cache-bytes N] [--slow-threshold-ms N] [--trace-ring-entries N]"
             );
             std::process::exit(2);
         }

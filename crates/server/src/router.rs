@@ -6,7 +6,37 @@ use rf_core::{DesignView, LabelConfig, LabelError, LabelService};
 use rf_datasets::load_csv_str;
 use rf_ranking::ScoringFunction;
 use rf_table::{NormalizationMethod, Table};
+use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// A scrape hook for admission control, installed by
+/// [`Server::run`](crate::Server::run) so `/stats` and `/metrics` can report
+/// the controller's predicted-vs-measured service times without the router
+/// depending on the server's internals.
+pub type AdmissionProbe = Arc<dyn Fn() -> rf_core::AdmissionStats + Send + Sync>;
+
+/// The observability surfaces a running server installs into its
+/// [`AppState`] before accepting: per-shard stage histograms, the shared
+/// slow-trace ring, and the admission scrape hook.
+pub struct Observability {
+    /// Per-reactor-shard stage histograms (the network-side `parse` and
+    /// `write` stages), in shard order.
+    pub shard_stages: Vec<Arc<rf_obs::StageHistograms>>,
+    /// The bounded ring of slow request traces behind `GET /debug/slow`.
+    pub trace_ring: Arc<rf_obs::TraceRing>,
+    /// Admission-control scrape hook, when a server front-end exists.
+    pub admission: Option<AdmissionProbe>,
+}
+
+impl std::fmt::Debug for Observability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observability")
+            .field("shards", &self.shard_stages.len())
+            .field("trace_ring_capacity", &self.trace_ring.capacity())
+            .field("admission", &self.admission.is_some())
+            .finish()
+    }
+}
 
 /// Everything a request handler needs: the dataset catalogue plus the shared
 /// [`LabelService`] every label request routes through.  One instance is
@@ -23,6 +53,11 @@ pub struct AppState {
     /// Empty until then (library users and router unit tests have no I/O
     /// plane), in which case `/stats` reports `network: null`.
     network: std::sync::Mutex<Vec<Arc<rf_net::ReactorMetrics>>>,
+    /// The running server's observability surfaces, installed alongside the
+    /// reactor metrics.  `None` for library users and router unit tests —
+    /// `/metrics` then serves the process-wide service-side histograms and
+    /// counters only, and `/debug/slow` an empty ring.
+    observability: std::sync::Mutex<Option<Observability>>,
 }
 
 impl AppState {
@@ -41,7 +76,31 @@ impl AppState {
             catalog,
             labels,
             network: std::sync::Mutex::new(Vec::new()),
+            observability: std::sync::Mutex::new(None),
         }
+    }
+
+    /// Installs (replacing any previous set) the observability surfaces
+    /// `/metrics` and `/debug/slow` serve.  Called once per
+    /// [`Server::run`](crate::Server::run), before any shard accepts.
+    pub fn install_observability(&self, observability: Observability) {
+        *self.observability.lock().expect("observability lock") = Some(observability);
+    }
+
+    /// Runs `f` against the installed observability surfaces, if any.
+    fn with_observability<T>(&self, f: impl FnOnce(&Observability) -> T) -> Option<T> {
+        self.observability
+            .lock()
+            .expect("observability lock")
+            .as_ref()
+            .map(f)
+    }
+
+    /// The admission controller's current stats, when a server is running.
+    #[must_use]
+    pub fn admission_snapshot(&self) -> Option<rf_core::AdmissionStats> {
+        self.with_observability(|obs| obs.admission.as_ref().map(|probe| probe()))
+            .flatten()
     }
 
     /// Installs (replacing any previous set) the reactor counter blocks
@@ -126,6 +185,8 @@ pub fn route(state: &AppState, request: &Request) -> Response {
             dataset_label(state, slug, request, true)
         }
         (Method::Get, ["stats"]) => service_stats(state),
+        (Method::Get, ["metrics"]) => metrics_exposition(state),
+        (Method::Get, ["debug", "slow"]) => debug_slow(state),
         (Method::Post, ["labels"]) => uploaded_label(state, request),
         (Method::Post, ["datasets", slug]) => upload_dataset(state, slug, request),
         (Method::Post, _) | (Method::Get, _) => Response::text(StatusCode::NotFound, "not found"),
@@ -138,7 +199,261 @@ pub fn route(state: &AppState, request: &Request) -> Response {
 fn service_stats(state: &AppState) -> Response {
     let mut stats = state.labels.stats();
     stats.network = state.network_snapshot();
+    stats.admission = state.admission_snapshot();
     match serde_json::to_string_pretty(&stats) {
+        Ok(json) => Response::json(json),
+        Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
+    }
+}
+
+/// Writes one `# TYPE` header for a metric family.
+fn prom_type(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one sample line, with or without labels.
+fn prom_sample(out: &mut String, name: &str, labels: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// Writes one histogram series (cumulative `le` buckets, `+Inf`, `_sum`,
+/// `_count`) for a [`rf_obs::HistogramSnapshot`].  Empty trailing buckets
+/// are trimmed — a new higher bucket appearing in a later scrape only adds
+/// label sets, it never shrinks an existing cumulative count.
+fn prom_histogram(out: &mut String, name: &str, labels: &str, snap: &rf_obs::HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let top = snap
+        .buckets
+        .iter()
+        .rposition(|&count| count > 0)
+        .unwrap_or(0)
+        .min(rf_obs::BUCKET_COUNT - 2);
+    let mut cumulative = 0u64;
+    for index in 0..=top {
+        cumulative += snap.buckets[index];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            rf_obs::LatencyHistogram::bucket_upper_bound(index)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        snap.count()
+    );
+    prom_sample(out, &format!("{name}_sum"), labels, snap.sum_micros);
+    prom_sample(out, &format!("{name}_count"), labels, snap.count());
+}
+
+/// The service-side stages recorded into the process-wide histograms (the
+/// worker pool is shared across shards); `parse` and `write` are per-shard.
+const SERVICE_SIDE_STAGES: [rf_obs::Stage; 6] = [
+    rf_obs::Stage::Admission,
+    rf_obs::Stage::QueueWait,
+    rf_obs::Stage::CacheLookup,
+    rf_obs::Stage::Prepare,
+    rf_obs::Stage::Render,
+    rf_obs::Stage::McTrials,
+];
+
+/// `GET /metrics` — Prometheus text exposition (version 0.0.4) of the stage
+/// latency histograms plus every counter family the stack already keeps:
+/// cache, scheduler, Monte-Carlo, per-reactor I/O, and admission control.
+/// Stage histograms carry a `shard` label: `"0".."N-1"` for each reactor's
+/// network-side stages, `"service"` for the shared worker-pool stages, and
+/// `"all"` for the merge.  Counters only ever grow between scrapes; gauges
+/// (`rf_*_pending`, `rf_reactor_active`, queue depth, occupancy) move both
+/// ways.
+fn metrics_exposition(state: &AppState) -> Response {
+    let stats = state.labels.stats();
+    let mut out = String::new();
+
+    prom_type(&mut out, "rf_stage_duration_microseconds", "histogram");
+    let service = rf_obs::service_stages().snapshot();
+    let shard_snapshots: Vec<rf_obs::StageSnapshot> = state
+        .with_observability(|obs| obs.shard_stages.iter().map(|s| s.snapshot()).collect())
+        .unwrap_or_default();
+    let mut all = service.clone();
+    for snapshot in &shard_snapshots {
+        all = all.merge(snapshot);
+    }
+    for (shard, snapshot) in shard_snapshots.iter().enumerate() {
+        for stage in [rf_obs::Stage::Parse, rf_obs::Stage::Write] {
+            prom_histogram(
+                &mut out,
+                "rf_stage_duration_microseconds",
+                &format!("stage=\"{}\",shard=\"{shard}\"", stage.name()),
+                snapshot.get(stage),
+            );
+        }
+    }
+    for stage in SERVICE_SIDE_STAGES {
+        prom_histogram(
+            &mut out,
+            "rf_stage_duration_microseconds",
+            &format!("stage=\"{}\",shard=\"service\"", stage.name()),
+            service.get(stage),
+        );
+    }
+    for stage in rf_obs::Stage::ALL {
+        prom_histogram(
+            &mut out,
+            "rf_stage_duration_microseconds",
+            &format!("stage=\"{}\",shard=\"all\"", stage.name()),
+            all.get(stage),
+        );
+    }
+
+    for (name, value) in [
+        ("rf_cache_hits_total", stats.cache.hits),
+        ("rf_cache_misses_total", stats.cache.misses),
+        ("rf_cache_evictions_total", stats.cache.evictions),
+        ("rf_cache_expired_total", stats.cache.expired),
+        ("rf_label_preparations_total", stats.preparations),
+        ("rf_label_coalesced_total", stats.coalesced),
+        (
+            "rf_scheduler_executed_jobs_total",
+            stats.scheduler.executed_jobs,
+        ),
+        (
+            "rf_scheduler_panicked_jobs_total",
+            stats.scheduler.panicked_jobs,
+        ),
+        ("rf_scheduler_steals_total", stats.scheduler.steals),
+        ("rf_mc_runs_total", stats.monte_carlo.runs),
+        (
+            "rf_mc_trials_completed_total",
+            stats.monte_carlo.trials_completed,
+        ),
+        ("rf_mc_truncated_total", stats.monte_carlo.truncated),
+    ] {
+        prom_type(&mut out, name, "counter");
+        prom_sample(&mut out, name, "", value);
+    }
+    for (name, value) in [
+        ("rf_cache_entries", stats.cache.entries as u64),
+        ("rf_cache_bytes", stats.cache.bytes as u64),
+        (
+            "rf_scheduler_queue_depth",
+            stats.scheduler.queue_depth as u64,
+        ),
+        ("rf_scheduler_workers", stats.scheduler.workers as u64),
+    ] {
+        prom_type(&mut out, name, "gauge");
+        prom_sample(&mut out, name, "", value);
+    }
+
+    if let Some(network) = state.network_snapshot() {
+        let series = |counters: &rf_core::ReactorCounters| {
+            [
+                ("rf_reactor_accepted_total", "counter", counters.accepted),
+                ("rf_reactor_active", "gauge", counters.active),
+                (
+                    "rf_reactor_dispatched_total",
+                    "counter",
+                    counters.dispatched,
+                ),
+                (
+                    "rf_reactor_completions_total",
+                    "counter",
+                    counters.completions,
+                ),
+                (
+                    "rf_reactor_shed_connections_total",
+                    "counter",
+                    counters.shed_connections,
+                ),
+                (
+                    "rf_reactor_shed_requests_total",
+                    "counter",
+                    counters.shed_requests,
+                ),
+            ]
+        };
+        for (name, kind, _) in series(&network.totals) {
+            prom_type(&mut out, name, kind);
+        }
+        for (shard, counters) in network.reactors.iter().enumerate() {
+            for (name, _, value) in series(counters) {
+                prom_sample(&mut out, name, &format!("shard=\"{shard}\""), value);
+            }
+        }
+        for (name, _, value) in series(&network.totals) {
+            prom_sample(&mut out, name, "shard=\"all\"", value);
+        }
+    }
+
+    if let Some(admission) = state.admission_snapshot() {
+        for (name, value) in [
+            ("rf_admission_pending", admission.pending),
+            ("rf_admission_max_pending", admission.max_pending),
+            (
+                "rf_admission_ewma_service_micros",
+                admission.ewma_service_micros,
+            ),
+            (
+                "rf_admission_measured_service_micros",
+                admission.measured_service_micros,
+            ),
+        ] {
+            prom_type(&mut out, name, "gauge");
+            prom_sample(&mut out, name, "", value);
+        }
+    }
+    if let Some(recorded) = state.with_observability(|obs| obs.trace_ring.recorded()) {
+        prom_type(&mut out, "rf_traces_recorded_total", "counter");
+        prom_sample(&mut out, "rf_traces_recorded_total", "", recorded);
+    }
+
+    Response::prometheus(out)
+}
+
+/// `GET /debug/slow` — the newest-first ring of requests that exceeded the
+/// `--slow-threshold-ms` budget, as JSON: ids, per-stage timings, cache
+/// outcome, truncation, and shed reason.
+fn debug_slow(state: &AppState) -> Response {
+    let Some((capacity, recorded, traces)) = state.with_observability(|obs| {
+        (
+            obs.trace_ring.capacity(),
+            obs.trace_ring.recorded(),
+            obs.trace_ring.snapshot(),
+        )
+    }) else {
+        return Response::json(r#"{"capacity":0,"recorded":0,"traces":[]}"#.to_string());
+    };
+    let traces: Vec<serde_json::Value> = traces
+        .iter()
+        .map(|trace| {
+            let stages: Vec<serde_json::Value> = rf_obs::Stage::ALL
+                .iter()
+                .map(|stage| {
+                    serde_json::json!({
+                        "stage": stage.name(),
+                        "micros": trace.stage_micros[stage.index()],
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "id": trace.id.to_string(),
+                "total_micros": trace.total_micros,
+                "stages": stages,
+                "cache": trace.cache.name(),
+                "truncated": trace.truncated,
+                "shed": trace.shed.map(rf_obs::ShedReason::name),
+            })
+        })
+        .collect();
+    let body = serde_json::json!({
+        "capacity": capacity,
+        "recorded": recorded,
+        "traces": traces,
+    });
+    match serde_json::to_string_pretty(&body) {
         Ok(json) => Response::json(json),
         Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
     }
@@ -725,6 +1040,120 @@ mod tests {
         for churner in churners {
             churner.join().expect("churner");
         }
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_prometheus_text() {
+        let state = demo_catalog();
+        let _ = route(&state, &get("/datasets/cs-departments/label.json"));
+        let resp = route(&state, &get("/metrics"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(
+            resp.content_type,
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        // At least ten metric families, declared once each.
+        let mut families: Vec<&str> = resp
+            .body
+            .lines()
+            .filter_map(|line| line.strip_prefix("# TYPE "))
+            .filter_map(|rest| rest.split_whitespace().next())
+            .collect();
+        let declared = families.len();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(families.len(), declared, "each family declared once");
+        assert!(declared >= 10, "only {declared} families: {families:?}");
+        for required in [
+            "rf_stage_duration_microseconds",
+            "rf_cache_hits_total",
+            "rf_cache_misses_total",
+            "rf_label_preparations_total",
+            "rf_label_coalesced_total",
+            "rf_scheduler_executed_jobs_total",
+            "rf_mc_runs_total",
+        ] {
+            assert!(families.contains(&required), "missing {required}");
+        }
+        // Service-side and aggregated stage histograms are present even
+        // without a running server (no per-shard reactor sets yet).
+        assert!(resp.body.contains("stage=\"prepare\",shard=\"service\""));
+        assert!(resp.body.contains("stage=\"prepare\",shard=\"all\""));
+        assert!(resp.body.contains("le=\"+Inf\""));
+        // Every non-comment line is `series value` with a numeric value.
+        for line in resp.body.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty(), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+    }
+
+    #[test]
+    fn debug_slow_and_admission_report_installed_observability() {
+        let state = demo_catalog();
+        // Without a running server: an empty ring document, no admission.
+        let resp = route(&state, &get("/debug/slow"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["capacity"], 0);
+        assert_eq!(value["traces"].as_array().unwrap().len(), 0);
+        let stats = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&stats.body).unwrap();
+        assert!(value["admission"].is_null());
+
+        // Install a ring holding one trace plus an admission probe, as
+        // Server::run does.
+        let ring = Arc::new(rf_obs::TraceRing::new(8));
+        let mut stage_micros = [0u64; rf_obs::STAGE_COUNT];
+        stage_micros[rf_obs::Stage::Prepare.index()] = 1_500;
+        ring.push(rf_obs::RequestTrace {
+            id: rf_obs::RequestId { shard: 2, seq: 7 },
+            total_micros: 2_000,
+            stage_micros,
+            cache: rf_obs::CacheOutcome::Miss,
+            truncated: true,
+            shed: Some(rf_obs::ShedReason::MaxPending),
+        });
+        state.install_observability(Observability {
+            shard_stages: vec![Arc::new(rf_obs::StageHistograms::new())],
+            trace_ring: ring,
+            admission: Some(Arc::new(|| rf_core::AdmissionStats {
+                max_pending: 64,
+                pending: 1,
+                ewma_service_micros: 1_000,
+                measured_service_micros: 1_200,
+            })),
+        });
+        let resp = route(&state, &get("/debug/slow"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(value["capacity"], 8);
+        assert_eq!(value["recorded"], 1);
+        let trace = &value["traces"][0];
+        assert_eq!(trace["id"], "2:7");
+        assert_eq!(trace["total_micros"], 2_000);
+        assert_eq!(trace["cache"], "miss");
+        assert_eq!(trace["truncated"], true);
+        assert_eq!(trace["shed"], "max_pending");
+        let stages = trace["stages"].as_array().unwrap();
+        assert!(stages
+            .iter()
+            .any(|s| s["stage"] == "prepare" && s["micros"] == 1_500));
+
+        // The probe feeds both /stats and /metrics.
+        let stats = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&stats.body).unwrap();
+        assert_eq!(value["admission"]["max_pending"], 64);
+        assert_eq!(value["admission"]["pending"], 1);
+        assert_eq!(value["admission"]["ewma_service_micros"], 1_000);
+        assert_eq!(value["admission"]["measured_service_micros"], 1_200);
+        let metrics = route(&state, &get("/metrics"));
+        assert!(metrics
+            .body
+            .contains("rf_admission_measured_service_micros 1200"));
+        assert!(metrics.body.contains("rf_traces_recorded_total 1"));
     }
 
     #[test]

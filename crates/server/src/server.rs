@@ -34,6 +34,11 @@ pub const DEFAULT_REQUEST_DEADLINE_MS: u64 = 30_000;
 /// Generous on purpose: a queue this deep means seconds of backlog, and
 /// only then does the server prefer a fast `503` over a doomed wait.
 pub const DEFAULT_MAX_PENDING: usize = 1_024;
+/// Default slow-trace threshold in milliseconds: requests whose end-to-end
+/// latency reaches this land in the `/debug/slow` ring.
+pub const DEFAULT_SLOW_THRESHOLD_MS: u64 = 500;
+/// Default capacity of the slow-trace ring.
+pub const DEFAULT_TRACE_RING_ENTRIES: usize = 256;
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +69,14 @@ pub struct ServerConfig {
     /// unanswered, further requests are shed with `503` + `Retry-After`
     /// instead of deepening a queue nobody will live to see served.
     pub max_pending: usize,
+    /// Requests whose end-to-end latency reaches this many milliseconds are
+    /// traced into the `/debug/slow` ring.  `0` traces every request —
+    /// reachable programmatically (tests pin the byte-identical contract
+    /// with full tracing on), but rejected by the `--slow-threshold-ms`
+    /// flag, where it is a typo'd deployment.
+    pub slow_threshold_ms: u64,
+    /// Capacity of the slow-trace ring shared by every reactor shard.
+    pub trace_ring_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +89,8 @@ impl Default for ServerConfig {
             idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
             request_deadline_ms: DEFAULT_REQUEST_DEADLINE_MS,
             max_pending: DEFAULT_MAX_PENDING,
+            slow_threshold_ms: DEFAULT_SLOW_THRESHOLD_MS,
+            trace_ring_entries: DEFAULT_TRACE_RING_ENTRIES,
         }
     }
 }
@@ -113,6 +128,10 @@ pub struct ServerOptions {
     pub request_deadline_ms: u64,
     /// Admission-control pending-request bound (`--max-pending N`).
     pub max_pending: usize,
+    /// Slow-trace threshold in milliseconds (`--slow-threshold-ms N`).
+    pub slow_threshold_ms: u64,
+    /// Slow-trace ring capacity (`--trace-ring-entries N`).
+    pub trace_ring_entries: usize,
 }
 
 impl Default for ServerOptions {
@@ -128,6 +147,8 @@ impl Default for ServerOptions {
             idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
             request_deadline_ms: DEFAULT_REQUEST_DEADLINE_MS,
             max_pending: DEFAULT_MAX_PENDING,
+            slow_threshold_ms: DEFAULT_SLOW_THRESHOLD_MS,
+            trace_ring_entries: DEFAULT_TRACE_RING_ENTRIES,
         }
     }
 }
@@ -192,11 +213,21 @@ impl ServerOptions {
                     options.max_pending =
                         positive("--max-pending", numeric("--max-pending")?)? as usize;
                 }
+                "--slow-threshold-ms" => {
+                    options.slow_threshold_ms =
+                        positive("--slow-threshold-ms", numeric("--slow-threshold-ms")?)?;
+                }
+                "--trace-ring-entries" => {
+                    options.trace_ring_entries =
+                        positive("--trace-ring-entries", numeric("--trace-ring-entries")?)?
+                            as usize;
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{flag}` (available: --workers, --cache-ttl-secs, \
                          --cache-entries, --cache-bytes, --reactors, --max-conns, \
-                         --idle-timeout-ms, --request-deadline-ms, --max-pending)"
+                         --idle-timeout-ms, --request-deadline-ms, --max-pending, \
+                         --slow-threshold-ms, --trace-ring-entries)"
                     ));
                 }
                 address => {
@@ -222,6 +253,8 @@ impl ServerOptions {
             idle_timeout_ms: self.idle_timeout_ms,
             request_deadline_ms: self.request_deadline_ms,
             max_pending: self.max_pending,
+            slow_threshold_ms: self.slow_threshold_ms,
+            trace_ring_entries: self.trace_ring_entries,
         }
     }
 
@@ -252,14 +285,60 @@ struct Admission {
     /// Exponentially weighted moving average of request service time, in
     /// microseconds (α = 1/8).  Zero until the first request completes.
     avg_service_micros: AtomicU64,
+    /// The measured stage histograms the controller prefers over its own
+    /// EWMA once they have observations: the prepare+render mean is an
+    /// actual per-request CPU cost, where the EWMA also smears cache hits
+    /// and non-label routes into the estimate.  `None` keeps the controller
+    /// on pure EWMA (unit tests pin its arithmetic deterministically).
+    measured: Option<&'static rf_obs::StageHistograms>,
 }
 
 impl Admission {
-    fn new(max_pending: usize) -> Self {
+    fn with_measured_source(
+        max_pending: usize,
+        measured: Option<&'static rf_obs::StageHistograms>,
+    ) -> Self {
         Admission {
             max_pending: max_pending.max(1),
             pending: AtomicUsize::new(0),
             avg_service_micros: AtomicU64::new(0),
+            measured,
+        }
+    }
+
+    /// Mean prepare+render time from the measured histograms, in
+    /// microseconds — `0` until both stages have observations (or when no
+    /// measured source is installed).
+    fn measured_service_micros(&self) -> u64 {
+        let Some(stages) = self.measured else {
+            return 0;
+        };
+        let prepare = stages.histogram(rf_obs::Stage::Prepare).snapshot();
+        let render = stages.histogram(rf_obs::Stage::Render).snapshot();
+        if prepare.count() == 0 || render.count() == 0 {
+            return 0;
+        }
+        prepare.mean_micros().saturating_add(render.mean_micros())
+    }
+
+    /// The per-request service-time estimate steering admission: the
+    /// measured histogram mean once it exists, the EWMA before that.
+    fn service_estimate_micros(&self) -> u64 {
+        let measured = self.measured_service_micros();
+        if measured > 0 {
+            measured
+        } else {
+            self.avg_service_micros.load(Ordering::Relaxed)
+        }
+    }
+
+    /// The `/stats` view: occupancy plus predicted-vs-measured service time.
+    fn stats(&self) -> rf_core::AdmissionStats {
+        rf_core::AdmissionStats {
+            max_pending: self.max_pending as u64,
+            pending: self.pending.load(Ordering::Acquire) as u64,
+            ewma_service_micros: self.avg_service_micros.load(Ordering::Relaxed),
+            measured_service_micros: self.measured_service_micros(),
         }
     }
 
@@ -279,9 +358,9 @@ impl Admission {
     }
 
     /// The queue wait a newly dispatched request would predictably incur,
-    /// given the scheduler backlog: `queued × avg_service / workers`.
+    /// given the scheduler backlog: `queued × service_estimate / workers`.
     fn predicted_wait_micros(&self, queued: usize, workers: usize) -> u64 {
-        let avg = self.avg_service_micros.load(Ordering::Relaxed);
+        let avg = self.service_estimate_micros();
         (queued as u64).saturating_mul(avg) / workers.max(1) as u64
     }
 
@@ -335,10 +414,19 @@ struct LabelDispatch {
 
 impl LabelDispatch {
     fn new(state: Arc<AppState>, workers: usize, max_pending: usize) -> Self {
+        let pool = ThreadPool::new(workers);
+        // Enqueue→first-poll of every dispatched job, measured inside the
+        // runtime — the *true* queue wait the admission EWMA predicts.
+        let _ = pool.set_queue_wait_observer(Arc::new(|waited| {
+            rf_obs::service_stages().record(rf_obs::Stage::QueueWait, waited);
+        }));
         LabelDispatch {
             state,
-            pool: ThreadPool::new(workers),
-            admission: Arc::new(Admission::new(max_pending)),
+            pool,
+            admission: Arc::new(Admission::with_measured_source(
+                max_pending,
+                Some(rf_obs::service_stages()),
+            )),
         }
     }
 
@@ -346,19 +434,25 @@ impl LabelDispatch {
     /// or refuse with a `Retry-After` hint.  Two triggers shed: the pending
     /// gauge at its bound, and a `deadline_ms` budget the predicted queue
     /// wait has already spent.
-    fn admit(&self, target: &str) -> Result<PendingGuard, u64> {
+    fn admit(&self, target: &str) -> Result<PendingGuard, (rf_obs::ShedReason, u64)> {
         let pending = self.admission.pending.load(Ordering::Acquire);
         let queued = self.pool.queued();
         let workers = self.pool.size();
         if pending >= self.admission.max_pending {
-            return Err(self.admission.retry_after_secs(queued, workers));
+            return Err((
+                rf_obs::ShedReason::MaxPending,
+                self.admission.retry_after_secs(queued, workers),
+            ));
         }
         if let Some(deadline_ms) = deadline_ms_of(target) {
             if self
                 .admission
                 .deadline_already_spent(deadline_ms, queued, workers)
             {
-                return Err(self.admission.retry_after_secs(queued, workers));
+                return Err((
+                    rf_obs::ShedReason::DeadlineSpent,
+                    self.admission.retry_after_secs(queued, workers),
+                ));
             }
         }
         self.admission.pending.fetch_add(1, Ordering::AcqRel);
@@ -368,9 +462,16 @@ impl LabelDispatch {
 
 impl Dispatch for LabelDispatch {
     fn dispatch(&self, parsed: ParsedRequest, responder: Responder) {
-        let guard = match self.admit(&parsed.target) {
+        let span = Arc::clone(responder.span());
+        let admission_started = Instant::now();
+        let decision = self.admit(&parsed.target);
+        let admission_elapsed = admission_started.elapsed();
+        rf_obs::service_stages().record(rf_obs::Stage::Admission, admission_elapsed);
+        span.record(rf_obs::Stage::Admission, admission_elapsed);
+        let guard = match decision {
             Ok(guard) => guard,
-            Err(retry_after_secs) => {
+            Err((reason, retry_after_secs)) => {
+                span.set_shed(reason);
                 responder.shed(retry_after_secs);
                 return;
             }
@@ -378,6 +479,7 @@ impl Dispatch for LabelDispatch {
         let state = Arc::clone(&self.state);
         let admission = Arc::clone(&self.admission);
         let waker = responder.waker();
+        let enqueued = Instant::now();
         // The notify hook fires after the job ends *however* it ends, so the
         // reactor always re-checks its completion queue — even if the route
         // panicked and the responder's drop answered 500 mid-unwind.
@@ -385,6 +487,13 @@ impl Dispatch for LabelDispatch {
             move || {
                 // Dropped when the job ends, panic or not.
                 let pending = guard;
+                // The pool's observer already feeds the shared queue-wait
+                // histogram; this attributes the same wait to the request.
+                span.record(rf_obs::Stage::QueueWait, enqueued.elapsed());
+                // Active for the whole route, so the pipeline's stage
+                // timings, cache outcome, and truncation flag land on this
+                // request's span.
+                let _active = rf_obs::activate(Arc::clone(&span));
                 let started = Instant::now();
                 let keep_alive = responder.keep_alive();
                 let response = match Request::from_parsed(parsed) {
@@ -512,17 +621,39 @@ impl Server {
         };
         // Build every reactor before running any, so the metrics registry
         // is complete by the time the first request can reach `/stats`.
+        // Each shard owns its stage histograms (parse/write are per-shard
+        // work); the slow-trace ring is shared so `/debug/slow` sees the
+        // whole server in one place.
+        let trace_ring = Arc::new(rf_obs::TraceRing::new(self.config.trace_ring_entries));
+        let slow_threshold = Duration::from_millis(self.config.slow_threshold_ms);
         let mut reactors = Vec::with_capacity(self.listeners.len());
-        for listener in &self.listeners {
-            reactors.push(Reactor::new(
+        let mut shard_stages = Vec::with_capacity(self.listeners.len());
+        for (shard, listener) in self.listeners.iter().enumerate() {
+            let mut reactor = Reactor::new(
                 listener.try_clone()?,
                 Arc::clone(&dispatch),
                 Arc::clone(&self.shutdown),
                 reactor_config.clone(),
-            )?);
+            )?;
+            let stages = Arc::new(rf_obs::StageHistograms::new());
+            reactor.set_observability(rf_net::ReactorObservability {
+                shard: u32::try_from(shard).unwrap_or(u32::MAX),
+                stages: Arc::clone(&stages),
+                ring: Arc::clone(&trace_ring),
+                slow_threshold,
+            });
+            shard_stages.push(stages);
+            reactors.push(reactor);
         }
         self.state
             .install_reactor_metrics(reactors.iter().map(Reactor::metrics).collect());
+        let admission = Arc::clone(&dispatch.admission);
+        self.state
+            .install_observability(crate::router::Observability {
+                shard_stages,
+                trace_ring,
+                admission: Some(Arc::new(move || admission.stats())),
+            });
 
         let mut shards = reactors.into_iter();
         let shard_zero = shards.next().expect("at least one reactor");
@@ -630,6 +761,10 @@ mod tests {
             "5000",
             "--max-pending",
             "32",
+            "--slow-threshold-ms",
+            "250",
+            "--trace-ring-entries",
+            "64",
         ])
         .unwrap();
         assert_eq!(parsed.bind_address, "0.0.0.0:9999");
@@ -642,6 +777,8 @@ mod tests {
         assert_eq!(parsed.idle_timeout_ms, 15_000);
         assert_eq!(parsed.request_deadline_ms, 5_000);
         assert_eq!(parsed.max_pending, 32);
+        assert_eq!(parsed.slow_threshold_ms, 250);
+        assert_eq!(parsed.trace_ring_entries, 64);
         let config = parsed.server_config();
         assert_eq!(config.workers, 8);
         assert_eq!(config.reactors, 4);
@@ -649,6 +786,8 @@ mod tests {
         assert_eq!(config.idle_timeout_ms, 15_000);
         assert_eq!(config.request_deadline_ms, 5_000);
         assert_eq!(config.max_pending, 32);
+        assert_eq!(config.slow_threshold_ms, 250);
+        assert_eq!(config.trace_ring_entries, 64);
 
         // Errors: unknown flags, missing values, junk numbers, extra
         // positionals.
@@ -663,6 +802,8 @@ mod tests {
             ["--idle-timeout-ms", "0"],
             ["--request-deadline-ms", "0"],
             ["--max-pending", "0"],
+            ["--slow-threshold-ms", "0"],
+            ["--trace-ring-entries", "0"],
         ] {
             let err = ServerOptions::parse(zeroed).unwrap_err();
             assert!(err.contains("at least 1"), "{err}");
@@ -815,13 +956,18 @@ mod tests {
         assert_eq!(config.idle_timeout_ms, 60_000);
         assert_eq!(config.request_deadline_ms, 30_000);
         assert_eq!(config.max_pending, 1_024);
+        assert_eq!(config.slow_threshold_ms, 500);
+        assert_eq!(config.trace_ring_entries, 256);
         // The deployed binary defaults its shard count to the host's cores.
         assert!(ServerOptions::default().reactors >= 1);
     }
 
     #[test]
     fn admission_predicates() {
-        let admission = Admission::new(4);
+        // No measured source: the EWMA arithmetic is pinned deterministically
+        // (the process-global stage histograms would leak other tests' label
+        // work into these assertions).
+        let admission = Admission::with_measured_source(4, None);
         // Cold start: no service-time estimate, nothing sheds on deadline.
         assert!(!admission.deadline_already_spent(0, 100, 2));
         assert_eq!(admission.retry_after_secs(100, 2), 1, "hint floor is 1s");
@@ -854,5 +1000,106 @@ mod tests {
         assert_eq!(deadline_ms_of("/datasets/x/label.json?k=5"), None);
         assert_eq!(deadline_ms_of("/stats"), None);
         assert_eq!(deadline_ms_of("/x?deadline_ms=soon"), None);
+    }
+
+    #[test]
+    fn admission_prefers_measured_service_time_once_it_exists() {
+        // A private histogram set, not the process-global one — sibling
+        // tests generate labels concurrently and would pollute the means.
+        let stages: &'static rf_obs::StageHistograms =
+            Box::leak(Box::new(rf_obs::StageHistograms::new()));
+        let admission = Admission::with_measured_source(4, Some(stages));
+        // Nothing measured yet: the EWMA steers.
+        admission.record_service(Duration::from_millis(10));
+        assert_eq!(admission.service_estimate_micros(), 10_000);
+        assert_eq!(admission.stats().measured_service_micros, 0);
+        // One stage alone is not a full request cost — still EWMA.
+        stages.record(rf_obs::Stage::Prepare, Duration::from_millis(2));
+        assert_eq!(admission.measured_service_micros(), 0);
+        assert_eq!(admission.service_estimate_micros(), 10_000);
+        // Both stages measured: their mean sum takes over, and the predicted
+        // wait (hence deadline shedding) follows it.
+        stages.record(rf_obs::Stage::Render, Duration::from_millis(1));
+        assert_eq!(admission.measured_service_micros(), 3_000);
+        assert_eq!(admission.service_estimate_micros(), 3_000);
+        assert_eq!(admission.predicted_wait_micros(100, 2), 150_000);
+        let stats = admission.stats();
+        assert_eq!(stats.ewma_service_micros, 10_000);
+        assert_eq!(stats.measured_service_micros, 3_000);
+        assert_eq!(stats.max_pending, 4);
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn request_ids_metrics_and_slow_traces_are_served_over_tcp() {
+        // slow_threshold_ms = 0 traces every request (reachable through the
+        // config; the CLI flag rejects 0 as a typo'd deployment).
+        let catalog = DatasetCatalog::with_demo_datasets();
+        let config = ServerConfig {
+            bind_address: "127.0.0.1:0".to_string(),
+            workers: 2,
+            slow_threshold_ms: 0,
+            trace_ring_entries: 16,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(catalog, &config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || {
+            server.run().expect("server run");
+        });
+
+        let label = request(
+            addr,
+            "GET /datasets/cs-departments/label.json?k=5 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(label.starts_with("HTTP/1.1 200 OK"), "{label}");
+        assert!(label.contains("X-Request-Id: 0:"), "{label}");
+
+        let metrics = request(
+            addr,
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(
+            metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("# TYPE rf_stage_duration_microseconds histogram"));
+        // The per-shard parse histogram saw the label request, the service
+        // side saw its prepare, and the reactor/admission families report.
+        assert!(metrics.contains("stage=\"parse\",shard=\"0\""), "{metrics}");
+        assert!(metrics.contains("stage=\"prepare\",shard=\"service\""));
+        assert!(metrics.contains("stage=\"write\",shard=\"all\""));
+        assert!(metrics.contains("rf_reactor_dispatched_total{shard=\"all\"}"));
+        assert!(metrics.contains("rf_admission_max_pending"));
+
+        let slow = request(
+            addr,
+            "GET /debug/slow HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(slow.starts_with("HTTP/1.1 200 OK"), "{slow}");
+        let body = slow.split("\r\n\r\n").nth(1).unwrap();
+        let value: serde_json::Value = serde_json::from_str(body).unwrap();
+        assert_eq!(value["capacity"], 16);
+        let traces = value["traces"].as_array().expect("traces array");
+        assert!(!traces.is_empty(), "threshold 0 traces every request");
+        let label_trace = traces
+            .iter()
+            .find(|trace| trace["cache"] == "miss")
+            .expect("the label request was traced with its cache outcome");
+        let stages = label_trace["stages"].as_array().unwrap();
+        let stage_micros = |name: &str| {
+            stages
+                .iter()
+                .find(|s| s["stage"] == name)
+                .and_then(|s| s["micros"].as_u64())
+                .unwrap()
+        };
+        assert!(stage_micros("prepare") > 0, "prepare time attributed");
+        assert!(stage_micros("render") > 0, "render time attributed");
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
     }
 }
