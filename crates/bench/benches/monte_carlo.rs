@@ -10,8 +10,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
-use rf_bench::{compas_scenario, cs_table, cs_table_with_rows, german_credit_scenario};
-use rf_ranking::{kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction};
+use rf_bench::{
+    compas_scenario, cs_table, cs_table_with_rows, german_credit_scenario, synth_scenario,
+};
+use rf_ranking::{kendall_tau_rankings, perturb_weights, Ranking, ScoringFunction, TrialKernel};
 use rf_runtime::Scheduler;
 use rf_stability::{trial_rng, MonteCarloStability};
 use rf_table::{Column, Table};
@@ -256,6 +258,190 @@ impl<'a> SeedStylePlan<'a> {
     }
 }
 
+/// One dense scoring column of the legacy columnar plan.
+struct LegacyColumn {
+    packed: Vec<f64>,
+    scale: f64,
+}
+
+/// Per-trial working memory of the legacy plan, mirroring the pre-PR-9
+/// `TrialScratch` (perturbed buffers, fused stats, jittered weights, scores,
+/// argsort vectors).
+#[derive(Default)]
+struct LegacyScratch {
+    perturbed: Vec<Vec<f64>>,
+    stats: Vec<(f64, f64)>,
+    weights: Vec<f64>,
+    params: Vec<(f64, f64)>,
+    scores: Vec<f64>,
+    order: Vec<usize>,
+    rank_of: Vec<usize>,
+}
+
+/// A faithful reconstruction of the **pre-PR-9 columnar trial** — the
+/// baseline the blocked tile kernel replaced: un-tiled noise and scoring
+/// loops, and the stable comparator argsort of the old step 5
+/// (`sort_by(partial_cmp)`, which allocates a merge buffer per trial).
+/// Dense min-max columns only — exactly the shape of the synthetic
+/// scenarios the rows sweep runs it on.
+struct LegacyColumnarPlan {
+    rows: usize,
+    columns: Vec<LegacyColumn>,
+    /// Recipe order: `(column index, weight)`.
+    attrs: Vec<(usize, f64)>,
+    data_noise: bool,
+    weight_noise: f64,
+    /// Min-max parameters hoisted out of the trial loop when the data is
+    /// never perturbed, as the old kernel did.
+    static_params: Option<Vec<(f64, f64)>>,
+}
+
+impl LegacyColumnarPlan {
+    fn fit(table: &Table, scoring: &ScoringFunction, data_noise: f64, weight_noise: f64) -> Self {
+        let attr_names: Vec<&str> = scoring.attribute_names();
+        let mut columns = Vec::new();
+        let mut column_names = Vec::new();
+        for field in table.schema().fields() {
+            let name = field.name.as_str();
+            if !attr_names.contains(&name) {
+                continue;
+            }
+            let options = table.numeric_column_options(name).expect("numeric attr");
+            let packed: Vec<f64> = options.iter().map(|o| o.expect("dense column")).collect();
+            let scale = if data_noise > 0.0 {
+                rf_stats::stddev(&packed).expect("stddev") * data_noise
+            } else {
+                0.0
+            };
+            column_names.push(name.to_string());
+            columns.push(LegacyColumn { packed, scale });
+        }
+        let attrs = scoring
+            .weights()
+            .iter()
+            .map(|w| {
+                let column = column_names
+                    .iter()
+                    .position(|n| *n == w.attribute)
+                    .expect("attribute resolves");
+                (column, w.weight)
+            })
+            .collect();
+        let static_params = (data_noise <= 0.0).then(|| {
+            columns
+                .iter()
+                .map(|c| {
+                    let lo = c.packed.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = c.packed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    (lo, hi)
+                })
+                .collect()
+        });
+        LegacyColumnarPlan {
+            rows: table.num_rows(),
+            columns,
+            attrs,
+            data_noise: data_noise > 0.0,
+            weight_noise,
+            static_params,
+        }
+    }
+
+    fn scratch(&self) -> LegacyScratch {
+        let mut scratch = LegacyScratch::default();
+        scratch.perturbed.resize(self.columns.len(), Vec::new());
+        scratch.stats.resize(self.columns.len(), (0.0, 0.0));
+        scratch
+    }
+
+    fn rank_trial<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut LegacyScratch) {
+        // 1. Data noise: one un-tiled pass per column, min/max fused.
+        if self.data_noise {
+            for ((column, buffer), stats) in self
+                .columns
+                .iter()
+                .zip(scratch.perturbed.iter_mut())
+                .zip(scratch.stats.iter_mut())
+            {
+                buffer.clear();
+                buffer.reserve(column.packed.len());
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for &base in &column.packed {
+                    let value = base + gaussian(rng) * column.scale;
+                    min = min.min(value);
+                    max = max.max(value);
+                    buffer.push(value);
+                }
+                *stats = (min, max);
+            }
+        }
+
+        // 2. Weight jitter, with the all-zero fallback.
+        scratch.weights.clear();
+        if self.weight_noise > 0.0 {
+            for &(_, weight) in &self.attrs {
+                let jitter = 1.0 + rng.gen_range(-self.weight_noise..=self.weight_noise);
+                scratch.weights.push(weight * jitter);
+            }
+            if scratch.weights.iter().all(|&w| w == 0.0) {
+                scratch.weights.clear();
+                scratch.weights.extend(self.attrs.iter().map(|a| a.1));
+            }
+        } else {
+            scratch.weights.extend(self.attrs.iter().map(|a| a.1));
+        }
+
+        // 3. Min-max parameters: static, or this trial's fused stats.
+        scratch.params.clear();
+        match &self.static_params {
+            Some(params) => {
+                for &(column, _) in &self.attrs {
+                    scratch.params.push(params[column]);
+                }
+            }
+            None => {
+                for &(column, _) in &self.attrs {
+                    scratch.params.push(scratch.stats[column]);
+                }
+            }
+        }
+
+        // 4. Score every row: un-tiled column-major accumulation.
+        scratch.scores.clear();
+        scratch.scores.resize(self.rows, 0.0);
+        for (index, &(column, _)) in self.attrs.iter().enumerate() {
+            let weight = scratch.weights[index];
+            let (a, b) = scratch.params[index];
+            let denom = b - a;
+            let values: &[f64] = if self.data_noise {
+                &scratch.perturbed[column]
+            } else {
+                &self.columns[column].packed
+            };
+            for (score, &value) in scratch.scores.iter_mut().zip(values) {
+                *score += weight * ((value - a) / denom);
+            }
+        }
+
+        // 5. The old argsort: a stable comparator sort (allocates its merge
+        //    buffer every trial), then the rank vector.
+        scratch.order.clear();
+        scratch.order.extend(0..self.rows);
+        let scores = &scratch.scores;
+        scratch.order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        scratch.rank_of.clear();
+        scratch.rank_of.resize(self.rows, 0);
+        for (position, &index) in scratch.order.iter().enumerate() {
+            scratch.rank_of[index] = position + 1;
+        }
+    }
+}
+
 /// Heap allocations per trial of one `routine` call.
 fn allocs_per_trial(mut routine: impl FnMut(), trials: usize) -> f64 {
     routine(); // warm-up, so one-time setup does not count
@@ -397,6 +583,42 @@ fn trials_by_workers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The blocked tile kernel against the pre-PR-9 columnar trial it replaced,
+/// on growing synthetic scenarios (the interactive slice of the rows sweep;
+/// `emit_report` measures the full 10³→10⁶ grid into the JSON snapshot).
+fn tile_rows_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo/tile_rows_sweep");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000, 100_000] {
+        let (table, config) = synth_scenario(rows);
+        let scoring = config.scoring.clone();
+        for (scenario, data_noise, weight_noise) in
+            [("noisy", 0.05, 0.05), ("weight-only", 0.0, 0.05)]
+        {
+            let legacy = LegacyColumnarPlan::fit(&table, &scoring, data_noise, weight_noise);
+            let kernel =
+                TrialKernel::fit(&table, &scoring, data_noise, weight_noise).expect("kernel fit");
+            let mut legacy_scratch = legacy.scratch();
+            let mut scratch = kernel.scratch();
+            group.bench_function(BenchmarkId::new(format!("legacy-{scenario}"), rows), |b| {
+                b.iter(|| {
+                    let mut rng = trial_rng(42, 0);
+                    legacy.rank_trial(&mut rng, black_box(&mut legacy_scratch));
+                });
+            });
+            group.bench_function(BenchmarkId::new(format!("tiled-{scenario}"), rows), |b| {
+                b.iter(|| {
+                    let mut rng = trial_rng(42, 0);
+                    kernel
+                        .rank_trial(&mut rng, black_box(&mut scratch))
+                        .expect("rank_trial");
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The stability widget's full hot-path cost inside a label: one generation
 /// with the detail enabled versus disabled.
 fn label_hot_path(c: &mut Criterion) {
@@ -423,7 +645,13 @@ fn label_hot_path(c: &mut Criterion) {
 /// Measures the columnar-vs-materialized ablation and the batch sweep, then
 /// writes `BENCH_monte_carlo.json` at the repo root (hand-rolled JSON: the
 /// bench crate carries no serializer).
-fn emit_report(_c: &mut Criterion) {
+fn emit_report(c: &mut Criterion) {
+    // This "benchmark" is a report generator, not a timing loop, so it
+    // honours the CLI filter itself: `cargo bench -- emit_report` runs it
+    // alone, and a filter naming any other group skips it.
+    if !c.matches("emit_report") {
+        return;
+    }
     const TRIALS: usize = 64;
     const ROUNDS: usize = 25;
     let mut scenario_entries = Vec::new();
@@ -541,15 +769,97 @@ fn emit_report(_c: &mut Criterion) {
         }
     }
 
+    // The rows sweep: legacy (pre-PR-9) columnar trial vs. the blocked tile
+    // kernel, exact and relaxed-fp, on synthetic scenarios from 10³ to 10⁶
+    // rows.  Two noise shapes per size: the default noisy trial (Gaussian
+    // draws dominate as rows grow) and a weight-jitter-only trial (scoring +
+    // argsort dominate — the loops the tiles and the key sort rebuilt).
+    let mut rows_entries = Vec::new();
+    for rows in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let (table, config) = synth_scenario(rows);
+        let scoring = config.scoring.clone();
+        let trials = (2_000_000 / rows).clamp(2, 64);
+        let rounds = if rows >= 1_000_000 { 7 } else { 15 };
+        for (scenario, data_noise, weight_noise) in [
+            ("default-noise", 0.05, 0.05),
+            ("weight-noise-only", 0.0, 0.05),
+        ] {
+            let legacy = LegacyColumnarPlan::fit(&table, &scoring, data_noise, weight_noise);
+            let kernel =
+                TrialKernel::fit(&table, &scoring, data_noise, weight_noise).expect("kernel fit");
+            let relaxed = kernel.clone().with_relaxed_fp(true);
+            // The baseline is honest only if it computes the same ranking:
+            // the exact kernel must reproduce the legacy trial byte for byte
+            // on a shared RNG stream.
+            let mut legacy_scratch = legacy.scratch();
+            let mut scratch = kernel.scratch();
+            let mut relaxed_scratch = relaxed.scratch();
+            legacy.rank_trial(&mut trial_rng(42, 0), &mut legacy_scratch);
+            kernel
+                .rank_trial(&mut trial_rng(42, 0), &mut scratch)
+                .expect("rank_trial");
+            assert_eq!(
+                legacy_scratch.order,
+                scratch.order(),
+                "legacy reconstruction diverged from the exact tiled kernel"
+            );
+            let mut run_legacy = || {
+                for trial in 0..trials {
+                    legacy.rank_trial(&mut trial_rng(42, trial), &mut legacy_scratch);
+                }
+            };
+            let mut run_tiled = || {
+                for trial in 0..trials {
+                    kernel
+                        .rank_trial(&mut trial_rng(42, trial), &mut scratch)
+                        .expect("rank_trial");
+                }
+            };
+            let mut run_relaxed = || {
+                for trial in 0..trials {
+                    relaxed
+                        .rank_trial(&mut trial_rng(42, trial), &mut relaxed_scratch)
+                        .expect("rank_trial");
+                }
+            };
+            let medians = interleaved_medians_ns_per_trial(
+                &mut [&mut run_legacy, &mut run_tiled, &mut run_relaxed],
+                trials,
+                rounds,
+            );
+            let (legacy_ns, tiled_ns, relaxed_ns) = (medians[0], medians[1], medians[2]);
+            let speedup = legacy_ns / tiled_ns;
+            let rows_per_sec = rows as f64 / (tiled_ns / 1e9);
+            println!(
+                "rows sweep {rows} ({scenario}): legacy {legacy_ns:.0} ns/trial, \
+                 tiled {tiled_ns:.0} ns/trial ({speedup:.2}x), \
+                 relaxed {relaxed_ns:.0} ns/trial"
+            );
+            rows_entries.push(format!(
+                "    {{\"rows\": {rows}, \"scenario\": \"{scenario}\", \
+                 \"trials\": {trials}, \
+                 \"legacy_columnar_ns_per_trial\": {legacy_ns:.1}, \
+                 \"tiled_ns_per_trial\": {tiled_ns:.1}, \
+                 \"tiled_relaxed_fp_ns_per_trial\": {relaxed_ns:.1}, \
+                 \"speedup_tiled_vs_legacy\": {speedup:.2}, \
+                 \"tiled_rows_per_sec\": {rows_per_sec:.0}}}"
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"monte_carlo\",\n  \"unit\": \"ns_per_trial\",\n  \
          \"baselines\": {{\n    \
          \"seed_style\": \"pre-PR-5 trial: perturbed Table materialized per draw, unperturbed columns deep-cloned\",\n    \
          \"materialized\": \"current evaluate_materialized reference: perturbed Table per draw, unperturbed columns Arc-shared\",\n    \
-         \"columnar\": \"TrialKernel hot path: flat column buffers, reusable scratch, no per-trial tables\"\n  }},\n  \
-         \"scenarios\": [\n{}\n  ],\n  \"batch_sweep_rows_2000_trials_256\": [\n{}\n  ]\n}}\n",
+         \"columnar\": \"TrialKernel hot path: flat column buffers, reusable scratch, no per-trial tables\",\n    \
+         \"legacy_columnar\": \"pre-PR-9 TrialKernel trial: un-tiled loops, stable comparator argsort\"\n  }},\n  \
+         \"scenarios\": [\n{}\n  ],\n  \"batch_sweep_rows_2000_trials_256\": [\n{}\n  ],\n  \
+         \"rows_sweep_schema_note\": \"each entry: one synthetic dense scenario (rf_datasets::SynthScenarioConfig, 4 score columns, min-max recipe) at the given row count; legacy_columnar is the pre-PR-9 columnar trial (un-tiled noise/scoring loops + stable comparator sort), tiled is the blocked TILE-row kernel (stable radix argsort), tiled_relaxed_fp additionally reassociates float reductions (~1e-9 relative score drift, off by default)\",\n  \
+         \"rows_sweep\": [\n{}\n  ]\n}}\n",
         scenario_entries.join(",\n"),
         sweep_entries.join(",\n"),
+        rows_entries.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monte_carlo.json");
     std::fs::write(path, &json).expect("write BENCH_monte_carlo.json");
@@ -561,6 +871,7 @@ criterion_group!(
     columnar_vs_materialized,
     batch_sweep,
     trials_by_workers,
+    tile_rows_sweep,
     label_hot_path,
     emit_report
 );

@@ -49,7 +49,13 @@ enum Mix {
     Warm,
     Cold,
     Deadline,
+    /// Cold labels on a registered 10⁵-row synthetic scenario with a small
+    /// trial count — the data plane at scale, kept CI-cheap.
+    SynthCold,
 }
+
+/// Rows of the synthetic scenario the `SynthCold` mix labels.
+const SYNTH_ROWS: usize = 100_000;
 
 impl Mix {
     fn name(self) -> &'static str {
@@ -57,6 +63,7 @@ impl Mix {
             Mix::Warm => "warm",
             Mix::Cold => "cold",
             Mix::Deadline => "deadline_truncated",
+            Mix::SynthCold => "synth_100k_cold",
         }
     }
 
@@ -71,6 +78,12 @@ impl Mix {
             Mix::Deadline => {
                 format!("/datasets/german-credit/label.json?trials=256&deadline_ms=1&mc_seed={seq}")
             }
+            // Each request re-labels the 10⁵-row synthetic scenario with a
+            // handful of Monte-Carlo trials — million-value noise, scoring,
+            // and argsort per trial, without a CI-hostile runtime.
+            Mix::SynthCold => {
+                format!("/datasets/synth-100k/label.json?trials=4&mc_seed={seq}")
+            }
         }
     }
 }
@@ -84,6 +97,7 @@ struct Profile {
     warm_rps: f64,
     cold_rps: f64,
     deadline_rps: f64,
+    synth_rps: f64,
     reactor_counts: Vec<usize>,
     mixes: Vec<Mix>,
 }
@@ -100,12 +114,14 @@ impl Profile {
             warm_rps: 25_000.0,
             cold_rps: 20.0,
             deadline_rps: 10.0,
+            synth_rps: 4.0,
             reactor_counts: vec![1, 2, 4],
-            mixes: vec![Mix::Warm, Mix::Cold, Mix::Deadline],
+            mixes: vec![Mix::Warm, Mix::Cold, Mix::Deadline, Mix::SynthCold],
         }
     }
 
-    /// The CI smoke profile: low RPS, 2 s, warm mix only, 1 vs 2 shards.
+    /// The CI smoke profile: low RPS, 2 s, 1 vs 2 shards, the warm mix plus
+    /// one pass of cold labels over the 10⁵-row synthetic scenario.
     fn smoke() -> Self {
         Profile {
             smoke: true,
@@ -114,8 +130,9 @@ impl Profile {
             warm_rps: 20.0,
             cold_rps: 5.0,
             deadline_rps: 5.0,
+            synth_rps: 2.0,
             reactor_counts: vec![1, 2],
-            mixes: vec![Mix::Warm],
+            mixes: vec![Mix::Warm, Mix::SynthCold],
         }
     }
 
@@ -124,6 +141,7 @@ impl Profile {
             Mix::Warm => self.warm_rps,
             Mix::Cold => self.cold_rps,
             Mix::Deadline => self.deadline_rps,
+            Mix::SynthCold => self.synth_rps,
         }
     }
 }
@@ -304,7 +322,12 @@ fn run_once(
         },
         ..ServerConfig::default()
     };
-    let server = Server::bind(DatasetCatalog::with_demo_datasets(), &config).expect("bind server");
+    let catalog = DatasetCatalog::with_demo_datasets();
+    if mix == Mix::SynthCold {
+        let slug = catalog.register_synth_scenario(SYNTH_ROWS);
+        assert_eq!(slug, "synth-100k", "the mix path names this slug");
+    }
+    let server = Server::bind(catalog, &config).expect("bind server");
     let addr = server.local_addr().expect("server address");
     let shutdown = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));

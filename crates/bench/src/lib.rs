@@ -13,7 +13,7 @@
 pub mod exposition;
 
 use rf_core::{AnalysisPipeline, LabelConfig, NutritionalLabel};
-use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig, SynthScenarioConfig};
 use rf_ranking::ScoringFunction;
 use rf_table::Table;
 use std::sync::Arc;
@@ -97,6 +97,30 @@ pub fn german_credit_scenario(rows: usize) -> (Table, LabelConfig) {
     (table, config)
 }
 
+/// The large-scale synthetic scenario: a dense `rows`-row table from
+/// [`SynthScenarioConfig`] plus the catalogue's default label configuration
+/// for it (score_0/score_1/score_2 at 0.5/0.3/0.2, top-100, fairness and
+/// diversity over `group`).  Dense (missingness 0) so the Monte-Carlo
+/// weight-jitter path labels it under the default missing-value policy, and
+/// two groups so the binary fairness widget accepts the attribute.
+#[must_use]
+pub fn synth_scenario(rows: usize) -> (Table, LabelConfig) {
+    let table = SynthScenarioConfig::with_rows(rows)
+        .with_missingness(0.0)
+        .with_group_count(2)
+        .generate()
+        .expect("synthetic scenario generator");
+    let scoring =
+        ScoringFunction::from_pairs([("score_0", 0.5), ("score_1", 0.3), ("score_2", 0.2)])
+            .expect("valid scoring");
+    let config = LabelConfig::new(scoring)
+        .with_top_k(100.min(rows))
+        .with_dataset_name(format!("Synthetic scenario ({rows} rows)"))
+        .with_sensitive_attribute("group", ["g1"])
+        .with_diversity_attribute("group");
+    (table, config)
+}
+
 /// Generates the CS departments label (the Figure 1 artifact) through the
 /// parallel analysis pipeline.
 #[must_use]
@@ -131,6 +155,9 @@ mod tests {
         let (table, config) = compas_scenario(500);
         assert!(config.validate(&table).is_ok());
         let (table, config) = german_credit_scenario(300);
+        assert!(config.validate(&table).is_ok());
+        let (table, config) = synth_scenario(400);
+        assert_eq!(table.num_rows(), 400);
         assert!(config.validate(&table).is_ok());
     }
 

@@ -133,6 +133,24 @@ impl ParsedArgs {
         }
     }
 
+    /// The value of `key` parsed as a boolean, or `default` when absent.
+    /// Accepts `true`/`false`, `1`/`0`, and `on`/`off` (all options take a
+    /// value — there are no bare flags).
+    ///
+    /// # Errors
+    /// Returns a usage error when the value is present but not one of the
+    /// accepted spellings.
+    pub fn get_bool(&self, key: &str, default: bool) -> CliResult<bool> {
+        match self.get(key) {
+            None => Ok(default),
+            Some("true" | "1" | "on") => Ok(true),
+            Some("false" | "0" | "off") => Ok(false),
+            Some(raw) => Err(CliError::usage(format!(
+                "option `--{key}` expects true/false, 1/0, or on/off, got `{raw}`"
+            ))),
+        }
+    }
+
     /// Rejects any option not in `allowed`, so typos fail loudly instead of
     /// being silently ignored.
     ///
@@ -265,6 +283,18 @@ mod tests {
         assert_eq!(args.get_u64("missing", 42).unwrap(), 42);
         assert!(args.require("k").is_ok());
         assert!(args.require("missing").is_err());
+    }
+
+    #[test]
+    fn bool_getter_accepts_the_usual_spellings() {
+        let args = ParsedArgs::parse(["x", "--a", "true", "--b", "0", "--c", "on"]).unwrap();
+        assert!(args.get_bool("a", false).unwrap());
+        assert!(!args.get_bool("b", true).unwrap());
+        assert!(args.get_bool("c", false).unwrap());
+        assert!(args.get_bool("missing", true).unwrap());
+        assert!(!args.get_bool("missing", false).unwrap());
+        let bad = ParsedArgs::parse(["x", "--a", "yeah"]).unwrap();
+        assert!(bad.get_bool("a", false).is_err());
     }
 
     #[test]

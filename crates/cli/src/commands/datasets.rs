@@ -2,7 +2,7 @@
 
 use crate::args::ParsedArgs;
 use crate::error::CliResult;
-use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig};
+use rf_datasets::{CompasConfig, CsDepartmentsConfig, GermanCreditConfig, SynthScenarioConfig};
 
 /// Runs the command.
 ///
@@ -13,6 +13,7 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     let cs = CsDepartmentsConfig::default();
     let compas = CompasConfig::default();
     let german = GermanCreditConfig::default();
+    let synth = SynthScenarioConfig::default();
     Ok(format!(
         "built-in synthetic datasets (paper §3):\n\
          \n\
@@ -22,10 +23,16 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
          \x20          {} rows by default; demographics, priors, decile risk score\n\
          \x20 german   German-credit-like loan applicants\n\
          \x20          {} rows by default; demographics, credit amount, duration, credit score\n\
+         \x20 synth    parameterized large-scale ranking scenario (data-plane benchmarking)\n\
+         \x20          {} rows by default (--rows scales to millions); score_0..score_{}, group\n\
          \n\
          use `ranking-facts generate --dataset <name>` to export one as CSV,\n\
          or pass `--dataset <name>` directly to `label`, `design`, `mitigate`, `rerank`, `select`.",
-        cs.rows, compas.rows, german.rows
+        cs.rows,
+        compas.rows,
+        german.rows,
+        synth.rows,
+        synth.score_columns - 1
     ))
 }
 
@@ -40,6 +47,7 @@ mod tests {
         assert!(out.contains("cs "));
         assert!(out.contains("compas"));
         assert!(out.contains("german"));
+        assert!(out.contains("synth"));
         assert!(out.contains("6889") || out.contains("6,889") || out.contains("rows"));
     }
 

@@ -14,7 +14,7 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     args.reject_unknown(&["dataset", "rows", "seed", "out"])?;
     if args.get("dataset").is_none() {
         return Err(CliError::usage(
-            "`generate` requires `--dataset cs|compas|german`",
+            "`generate` requires `--dataset cs|compas|german|synth`",
         ));
     }
     let (table, _) = load_input(args)?;

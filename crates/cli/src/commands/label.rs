@@ -26,6 +26,7 @@ const ALLOWED: &[&str] = &[
     "weight-noise",
     "mc-seed",
     "mc-deadline",
+    "relaxed-fp",
     "format",
     "out",
 ];
@@ -122,9 +123,11 @@ fn parse_ks(spec: &str) -> CliResult<Vec<usize>> {
 ///
 /// The Monte-Carlo stability detail is tunable without recompiling:
 /// `--trials N` (0 disables the detail view), `--data-noise F` /
-/// `--weight-noise F` (fractions), `--mc-seed S`, and `--mc-deadline MS`
+/// `--weight-noise F` (fractions), `--mc-seed S`, `--mc-deadline MS`
 /// (wall-clock budget in milliseconds — past it, the label ships the trials
-/// that completed, flagged truncated) map straight onto
+/// that completed, flagged truncated), and `--relaxed-fp BOOL` (allow the
+/// trial kernel to reassociate float reductions for SIMD; scores may differ
+/// from the exact path by ~1e-9 relative) map straight onto
 /// [`rf_core::MonteCarloConfig`].
 pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult<LabelConfig> {
     let scoring = build_scoring(args)?;
@@ -149,6 +152,7 @@ pub(crate) fn build_config(args: &ParsedArgs, dataset_name: String) -> CliResult
         )
         .with_monte_carlo_seed(args.get_u64("mc-seed", defaults.seed)?)
         .with_monte_carlo_deadline_millis(deadline)
+        .with_monte_carlo_relaxed_fp(args.get_bool("relaxed-fp", defaults.relaxed_fp)?)
         .with_dataset_name(dataset_name);
     config = match args.get("method") {
         None | Some("linear") => config,
@@ -329,6 +333,17 @@ mod tests {
         assert_eq!(value["stability"]["monte_carlo"]["trials"], 16);
         // Junk is a usage error.
         assert!(run(&cs_args(&["--mc-deadline", "soonish"])).is_err());
+    }
+
+    #[test]
+    fn relaxed_fp_flag_reaches_the_config() {
+        let out = run(&cs_args(&["--relaxed-fp", "true", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["config"]["monte_carlo"]["relaxed_fp"], true);
+        let out = run(&cs_args(&["--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["config"]["monte_carlo"]["relaxed_fp"], false);
+        assert!(run(&cs_args(&["--relaxed-fp", "sometimes"])).is_err());
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn usage() -> &'static str {
      commands:\n\
      \x20 datasets   list the built-in synthetic datasets\n\
      \x20 generate   write one of the built-in datasets as CSV\n\
-     \x20            (--dataset cs|compas|german [--rows N] [--seed S] [--out FILE])\n\
+     \x20            (--dataset cs|compas|german|synth [--rows N] [--seed S] [--out FILE])\n\
      \x20 design     inspect attributes before choosing a scoring function\n\
      \x20            (--dataset ... | --data FILE.csv) [--normalize none|minmax|zscore]\n\
      \x20            [--bins N] [--attribute NAME] [--score attr=w,...]\n\
@@ -85,6 +85,7 @@ pub fn usage() -> &'static str {
      \x20            [--ks N,N,...] (sweep: one label per k, ranking computed once)\n\
      \x20            [--alpha A] [--ingredients N] [--method linear|rank-aware]\n\
      \x20            [--trials N] [--data-noise F] [--weight-noise F] [--mc-seed S]\n\
+     \x20            [--relaxed-fp true|false] (SIMD-friendly trial kernel, ~1e-9 rel. drift)\n\
      \x20            (Monte-Carlo stability detail; --trials 0 disables it)\n\
      \x20            [--normalize none|minmax|zscore] [--format text|json|html] [--out FILE]\n\
      \x20 mitigate   suggest alternative weights that restore fairness / diversity\n\

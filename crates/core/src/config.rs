@@ -50,6 +50,14 @@ pub struct MonteCarloConfig {
     /// `None` never truncates.
     #[serde(default)]
     pub deadline_millis: Option<u64>,
+    /// Whether the trial kernel may reassociate float operations (lane
+    /// sums, reciprocal multiplies, masked gathers) for throughput.  Off by
+    /// default: the estimator stays byte-identical to the materialized
+    /// reference.  On, per-row trial scores stay within ~1e-9 relative
+    /// error.  Fingerprinted, so relaxed and exact labels are distinct
+    /// cache entries.
+    #[serde(default)]
+    pub relaxed_fp: bool,
 }
 
 impl Default for MonteCarloConfig {
@@ -60,6 +68,7 @@ impl Default for MonteCarloConfig {
             weight_noise: 0.05,
             seed: 42,
             deadline_millis: None,
+            relaxed_fp: false,
         }
     }
 }
@@ -179,6 +188,14 @@ impl LabelConfig {
     #[must_use]
     pub fn with_monte_carlo_deadline_millis(mut self, deadline_millis: Option<u64>) -> Self {
         self.monte_carlo.deadline_millis = deadline_millis;
+        self
+    }
+
+    /// Enables (or disables) relaxed float mode on the Monte-Carlo trial
+    /// kernel.
+    #[must_use]
+    pub fn with_monte_carlo_relaxed_fp(mut self, relaxed: bool) -> Self {
+        self.monte_carlo.relaxed_fp = relaxed;
         self
     }
 
@@ -342,6 +359,9 @@ impl LabelConfig {
             }
             None => fp.write_u8(0),
         }
+        // Relaxed float mode changes the served stability numbers (within
+        // epsilon), so it must key the cache too.
+        fp.write_u8(u8::from(self.monte_carlo.relaxed_fp));
         match &self.dataset_name {
             Some(name) => {
                 fp.write_u8(1);
@@ -493,6 +513,7 @@ mod tests {
             base.clone().with_monte_carlo_noise(0.05, 0.1),
             base.clone().with_monte_carlo_seed(7),
             base.clone().with_monte_carlo_deadline_millis(Some(250)),
+            base.clone().with_monte_carlo_relaxed_fp(true),
             base.clone()
                 .with_ingredients_method(IngredientsMethod::RankAwareSimilarity),
             base.clone().with_dataset_name("named"),

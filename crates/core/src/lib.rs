@@ -73,7 +73,9 @@ pub use pipeline::{
     MonteCarloRuntimeStats, WidgetBuilder, WidgetOutput,
 };
 pub use render::{render_html, render_json, render_text};
-pub use service::{AdmissionStats, LabelService, NetworkStats, ReactorCounters, ServiceStats};
+pub use service::{
+    AdmissionStats, DatasetTableStats, LabelService, NetworkStats, ReactorCounters, ServiceStats,
+};
 pub use widgets::diversity::DiversityWidget;
 pub use widgets::fairness::FairnessWidget;
 pub use widgets::ingredients::{IngredientsMethod, IngredientsWidget};

@@ -65,6 +65,7 @@ static PREPARATIONS: AtomicU64 = AtomicU64::new(0);
 static MC_RUNS: AtomicU64 = AtomicU64::new(0);
 static MC_TRIALS_COMPLETED: AtomicU64 = AtomicU64::new(0);
 static MC_TRUNCATED: AtomicU64 = AtomicU64::new(0);
+static MC_RELAXED_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// A point-in-time snapshot of the process-wide Monte-Carlo stability
 /// counters, exposed through `ServiceStats` and the HTTP `/stats` endpoint
@@ -77,6 +78,9 @@ pub struct MonteCarloRuntimeStats {
     pub trials_completed: u64,
     /// Runs that stopped early on their wall-clock deadline budget.
     pub truncated: u64,
+    /// Runs performed with relaxed float mode enabled.
+    #[serde(default)]
+    pub relaxed_runs: u64,
 }
 
 /// The process-wide Monte-Carlo counters (any pipeline, any schedule).
@@ -86,6 +90,7 @@ pub fn monte_carlo_runtime_stats() -> MonteCarloRuntimeStats {
         runs: MC_RUNS.load(Ordering::Relaxed),
         trials_completed: MC_TRIALS_COMPLETED.load(Ordering::Relaxed),
         truncated: MC_TRUNCATED.load(Ordering::Relaxed),
+        relaxed_runs: MC_RELAXED_RUNS.load(Ordering::Relaxed),
     }
 }
 
@@ -408,7 +413,8 @@ impl WidgetBuilder for StabilityBuilder {
                 .with_trials(mc.trials)?
                 .with_noise(mc.data_noise, mc.weight_noise)?
                 .with_seed(mc.seed)
-                .with_k(ctx.top_k());
+                .with_k(ctx.top_k())
+                .with_relaxed_fp(mc.relaxed_fp);
             let trials_started = std::time::Instant::now();
             let summary = match &self.scheduler {
                 Some(scheduler) => estimator.evaluate_batched(
@@ -423,6 +429,9 @@ impl WidgetBuilder for StabilityBuilder {
             note_stage(rf_obs::Stage::McTrials, trials_started.elapsed());
             MC_RUNS.fetch_add(1, Ordering::Relaxed);
             MC_TRIALS_COMPLETED.fetch_add(summary.trials as u64, Ordering::Relaxed);
+            if mc.relaxed_fp {
+                MC_RELAXED_RUNS.fetch_add(1, Ordering::Relaxed);
+            }
             if summary.truncated {
                 MC_TRUNCATED.fetch_add(1, Ordering::Relaxed);
                 rf_obs::with_active(|span| span.set_truncated(true));

@@ -72,6 +72,23 @@ pub struct ServiceStats {
     /// front-end; the server fills it in at scrape time.
     #[serde(default)]
     pub admission: Option<AdmissionStats>,
+    /// Shape metadata of every table in the server's dataset catalogue, so
+    /// operators can see sizes without downloading a table.  `None` without
+    /// a catalogue (library use, tests); the server fills it in at scrape
+    /// time.
+    #[serde(default)]
+    pub datasets: Option<Vec<DatasetTableStats>>,
+}
+
+/// Shape of one catalogued dataset, as seen by `/stats`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetTableStats {
+    /// The dataset's catalogue slug (its URL path segment).
+    pub slug: String,
+    /// Number of rows.
+    pub rows: u64,
+    /// Number of columns.
+    pub columns: u64,
 }
 
 /// Admission control as seen by `/stats`: occupancy plus the predicted vs
@@ -511,6 +528,7 @@ impl LabelService {
             monte_carlo: crate::pipeline::monte_carlo_runtime_stats(),
             network: None,
             admission: None,
+            datasets: None,
         }
     }
 

@@ -38,3 +38,4 @@ pub use compas::CompasConfig;
 pub use cs_departments::CsDepartmentsConfig;
 pub use german_credit::GermanCreditConfig;
 pub use loader::{load_csv_file, load_csv_str, DatasetSummary};
+pub use synth::{ScoreDistribution, SynthScenarioConfig};

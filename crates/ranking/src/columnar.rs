@@ -28,6 +28,35 @@
 //! resulting ranking, and therefore the Monte-Carlo summary built on it, is
 //! **byte-identical** to the materialized path for every seed — asserted by
 //! the unit tests below and by `rf-stability`'s parity proptests.
+//!
+//! ## Tile layout
+//!
+//! Every hot loop is blocked over [`TILE`]-row chunks of the flat column
+//! buffers (structure-of-arrays: the scores, the packed values, and the
+//! row→slot map advance together, one contiguous tile at a time).  On the
+//! exact path the per-element operation order inside a tile is unchanged, so
+//! blocking changes no bits — it only hands the compiler fixed-size,
+//! branch-predictable inner loops it can unroll and auto-vectorize.  The
+//! final argsort leaves float comparisons behind entirely: scores are
+//! already verified finite, so each is mapped to a monotone `u64` sort key
+//! ([`descending_sort_key`]) and the `(key, row)` pairs are sorted by a
+//! stable LSD radix sort over reused scratch buffers (comparison sort below
+//! [`RADIX_CUTOFF`] rows).  Ties carry the row index in the key pair and
+//! the radix passes are stable, which reproduces the stable comparator
+//! sort's order exactly.
+//!
+//! ## Relaxed float mode (`relaxed_fp`)
+//!
+//! [`TrialKernel::with_relaxed_fp`] unlocks float-op *reassociation* in the
+//! post-noise stages: multi-lane sum reductions for the z-score variance,
+//! reciprocal-multiply normalization (`(v - a) * inv` instead of
+//! `(v - a) / denom`), and a branch-free masked gather for sparse columns.
+//! The RNG stream, the noise values, and the draw order are **unchanged** —
+//! only reductions and division strength are reassociated, so per-row scores
+//! stay within ~`1e-9` relative error of the exact path (the observed error
+//! is `O(n · ε)`, far smaller) and rankings of well-separated data are
+//! identical.  The flag defaults to **off**: the exact path remains
+//! byte-identical to the materialized reference.
 
 use crate::error::{RankingError, RankingResult};
 use crate::perturb::gaussian;
@@ -37,6 +66,38 @@ use rf_table::{NormalizationMethod, Table, TableError};
 
 /// Sentinel in a kernel column's row map: the row's value is missing.
 const MISSING: usize = usize::MAX;
+
+/// Row-tile size of the blocked kernel loops.
+///
+/// Scoring, stat folds, and sort-key construction walk the flat buffers in
+/// chunks of this many rows.  128 `f64`s = 1 KiB per buffer tile: small
+/// enough that a score tile, a value tile, and a row-map tile sit in L1
+/// together, large enough to amortize loop overhead and give the
+/// auto-vectorizer long straight-line runs.
+pub const TILE: usize = 128;
+
+/// Maps a finite `f64` score to a `u64` key whose **ascending** integer
+/// order is the score's **descending** numeric order.
+///
+/// `-0.0` is normalized to `+0.0` first so the key order agrees with
+/// `partial_cmp` (which treats the two zeros as equal).  The caller
+/// guarantees finiteness — the ranking validates every score before
+/// sorting — so NaN never reaches the key.  Sorting `(key, row)` pairs with
+/// an unstable integer sort then reproduces the stable descending
+/// comparator sort exactly: equal scores map to equal keys and the row
+/// index breaks the tie in ascending (original) order.
+#[inline]
+#[must_use]
+pub fn descending_sort_key(score: f64) -> u64 {
+    let score = if score == 0.0 { 0.0 } else { score };
+    let bits = score.to_bits();
+    let ascending = if score.is_sign_negative() {
+        !bits
+    } else {
+        bits | (1 << 63)
+    };
+    !ascending
+}
 
 /// One unique scoring column, fitted into flat buffers.
 #[derive(Debug, Clone)]
@@ -104,6 +165,10 @@ pub struct TrialKernel {
     static_params: Option<Vec<(f64, f64)>>,
     /// Mean-imputation fallbacks per attribute, pre-computed likewise.
     static_means: Option<Vec<f64>>,
+    /// Whether the post-noise stages may reassociate float operations (lane
+    /// sums, reciprocal multiplies, masked gathers).  Default `false`:
+    /// byte-identical to the materialized path.
+    relaxed_fp: bool,
 }
 
 /// Reusable per-trial working memory: perturbed column buffers, jittered
@@ -124,6 +189,12 @@ pub struct TrialScratch {
     means: Vec<f64>,
     /// Per-row scores.
     scores: Vec<f64>,
+    /// Argsort scratch: `(descending sort key, row)` pairs.
+    keys: Vec<(u64, u32)>,
+    /// Ping-pong buffer for the radix argsort passes.  (Keeping key and row
+    /// together in one pair array measured faster than split
+    /// structure-of-arrays buffers: one scatter stream per pass, not two.)
+    keys_tmp: Vec<(u64, u32)>,
     /// Row indices in rank order (best first) — the trial's ranking.
     order: Vec<usize>,
     /// 1-based rank per row index (the perturbed rank vector).
@@ -140,6 +211,15 @@ impl TrialScratch {
     #[must_use]
     pub fn order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// The trial's per-row scores — valid after a successful
+    /// [`TrialKernel::rank_trial`].  Byte-identical to the materialized
+    /// path's scores with `relaxed_fp` off; within the documented epsilon
+    /// with it on.
+    #[must_use]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
     }
 
     /// The trial's 1-based rank per original row index (the
@@ -281,6 +361,7 @@ impl TrialKernel {
             first_missing,
             static_params: None,
             static_means: None,
+            relaxed_fp: false,
         };
         if !has_data_noise {
             // Without data noise every trial re-derives identical parameters
@@ -305,6 +386,21 @@ impl TrialKernel {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Enables (or disables) relaxed float mode — see the module docs for
+    /// the contract.  Off by default; off means byte-identical to the
+    /// materialized path.
+    #[must_use]
+    pub fn with_relaxed_fp(mut self, relaxed: bool) -> Self {
+        self.relaxed_fp = relaxed;
+        self
+    }
+
+    /// Whether relaxed float mode is enabled.
+    #[must_use]
+    pub fn relaxed_fp(&self) -> bool {
+        self.relaxed_fp
     }
 
     /// Fresh working memory for this kernel, sized lazily by the first trial.
@@ -436,13 +532,19 @@ impl TrialKernel {
                 let mut max = f64::NEG_INFINITY;
                 let mut sum = 0.0;
                 let mut all_finite = true;
-                for &base in &column.packed {
-                    let value = base + gaussian(rng) * column.scale;
-                    min = min.min(value);
-                    max = max.max(value);
-                    sum += value;
-                    all_finite &= value.is_finite();
-                    buffer.push(value);
+                // Tiled for locality; the Gaussian draws are inherently
+                // serial (one RNG stream) and the per-element accumulator
+                // order inside a tile is the reference order, so blocking
+                // changes no bits on either path.
+                for tile in column.packed.chunks(TILE) {
+                    for &base in tile {
+                        let value = base + gaussian(rng) * column.scale;
+                        min = min.min(value);
+                        max = max.max(value);
+                        sum += value;
+                        all_finite &= value.is_finite();
+                        buffer.push(value);
+                    }
                 }
                 *stats = ColumnTrialStats {
                     min,
@@ -537,7 +639,15 @@ impl TrialKernel {
                             let mean = stats.sum / len as f64;
                             let sd = if len >= 2 {
                                 let values: &[f64] = &scratch.perturbed[attr.column];
-                                let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+                                let ss: f64 = if self.relaxed_fp {
+                                    // Relaxed: reassociate the squared-error
+                                    // reduction across four lanes so the
+                                    // compiler can keep independent vector
+                                    // accumulators in flight.
+                                    lane_sum_squared_errors(values, mean)
+                                } else {
+                                    values.iter().map(|v| (v - mean) * (v - mean)).sum()
+                                };
                                 (ss / (len - 1) as f64).sqrt()
                             } else {
                                 0.0
@@ -573,12 +683,16 @@ impl TrialKernel {
             }
         }
 
-        // 4. Score every row.  The reference accumulates row-major with the
-        //    attributes innermost; iterating column-major instead adds each
-        //    attribute's term to every row's accumulator in the same
-        //    per-element order, so the sums are bit-identical — and a dense
-        //    column streams its packed buffer with no row map or missing
-        //    branch in the loop.
+        // 4. Score every row, one TILE of rows at a time.  The reference
+        //    accumulates row-major with the attributes innermost; iterating
+        //    column-major instead adds each attribute's term to every row's
+        //    accumulator in the same per-element order, so the sums are
+        //    bit-identical — and a dense column streams its packed buffer
+        //    with no row map or missing branch in the loop.  Blocking the
+        //    streams into fixed-size tiles keeps a score tile and a value
+        //    tile resident together and gives the auto-vectorizer
+        //    straight-line inner loops; on the exact path the per-element
+        //    order inside a tile is unchanged, so tiling changes no bits.
         if missing_policy == MissingValuePolicy::Error {
             if let Some((row, index)) = self.first_missing {
                 // The reference trips on this cell mid-scan; missingness is
@@ -601,23 +715,50 @@ impl TrialKernel {
                 &column.packed
             };
             if column.dense {
-                match self.normalization {
-                    NormalizationMethod::None => {
-                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
-                            *score += weight * value;
+                if self.relaxed_fp {
+                    // Relaxed: normalization by reciprocal multiply.  The
+                    // per-attribute `(shift, inv)` pair folds all three
+                    // normalization methods into one fused inner loop.
+                    let (shift, inv) = self.relaxed_transform_params((a, b));
+                    for (score_tile, value_tile) in
+                        scratch.scores.chunks_mut(TILE).zip(values.chunks(TILE))
+                    {
+                        for (score, &value) in score_tile.iter_mut().zip(value_tile) {
+                            *score += weight * ((value - shift) * inv);
                         }
                     }
-                    NormalizationMethod::MinMax => {
-                        // `(value - a) / denom` with `denom = b - a` hoisted
-                        // is the exact expression of `transform_value`.
-                        let denom = b - a;
-                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
-                            *score += weight * ((value - a) / denom);
+                } else {
+                    match self.normalization {
+                        NormalizationMethod::None => {
+                            for (score_tile, value_tile) in
+                                scratch.scores.chunks_mut(TILE).zip(values.chunks(TILE))
+                            {
+                                for (score, &value) in score_tile.iter_mut().zip(value_tile) {
+                                    *score += weight * value;
+                                }
+                            }
                         }
-                    }
-                    NormalizationMethod::ZScore => {
-                        for (score, &value) in scratch.scores.iter_mut().zip(values) {
-                            *score += weight * ((value - a) / b);
+                        NormalizationMethod::MinMax => {
+                            // `(value - a) / denom` with `denom = b - a`
+                            // hoisted is the exact expression of
+                            // `transform_value`.
+                            let denom = b - a;
+                            for (score_tile, value_tile) in
+                                scratch.scores.chunks_mut(TILE).zip(values.chunks(TILE))
+                            {
+                                for (score, &value) in score_tile.iter_mut().zip(value_tile) {
+                                    *score += weight * ((value - a) / denom);
+                                }
+                            }
+                        }
+                        NormalizationMethod::ZScore => {
+                            for (score_tile, value_tile) in
+                                scratch.scores.chunks_mut(TILE).zip(values.chunks(TILE))
+                            {
+                                for (score, &value) in score_tile.iter_mut().zip(value_tile) {
+                                    *score += weight * ((value - a) / b);
+                                }
+                            }
                         }
                     }
                 }
@@ -628,19 +769,58 @@ impl TrialKernel {
                     MissingValuePolicy::MeanImpute => self.transform(scratch.means[index], (a, b)),
                     _ => 0.0,
                 };
-                for (score, &slot) in scratch.scores.iter_mut().zip(&column.row_map) {
-                    let value = if slot != MISSING {
-                        self.transform(values[slot], (a, b))
-                    } else {
-                        imputed
-                    };
-                    *score += weight * value;
+                if self.relaxed_fp {
+                    // Relaxed: branch-free masked gather.  Every lane loads
+                    // a clamped slot unconditionally, transforms it, and
+                    // selects between the transformed value and the imputed
+                    // fallback — no data-dependent branch in the loop, so
+                    // the tile vectorizes even on sparse columns.  Step 3
+                    // guarantees `values` is non-empty (an all-missing
+                    // column errors before scoring).
+                    let (shift, inv) = self.relaxed_transform_params((a, b));
+                    for (score_tile, slot_tile) in scratch
+                        .scores
+                        .chunks_mut(TILE)
+                        .zip(column.row_map.chunks(TILE))
+                    {
+                        for (score, &slot) in score_tile.iter_mut().zip(slot_tile) {
+                            let present = slot != MISSING;
+                            let raw = values[if present { slot } else { 0 }];
+                            let value = if present {
+                                (raw - shift) * inv
+                            } else {
+                                imputed
+                            };
+                            *score += weight * value;
+                        }
+                    }
+                } else {
+                    for (score_tile, slot_tile) in scratch
+                        .scores
+                        .chunks_mut(TILE)
+                        .zip(column.row_map.chunks(TILE))
+                    {
+                        for (score, &slot) in score_tile.iter_mut().zip(slot_tile) {
+                            let value = if slot != MISSING {
+                                self.transform(values[slot], (a, b))
+                            } else {
+                                imputed
+                            };
+                            *score += weight * value;
+                        }
+                    }
                 }
             }
         }
 
         // 5. The ranking: the validation and argsort of
-        //    `Ranking::from_scores`, into reused index vectors.
+        //    `Ranking::from_scores`, into reused index vectors.  The scores
+        //    are verified finite first, so the argsort can leave float
+        //    comparisons behind: each score maps to a monotone integer key
+        //    ([`descending_sort_key`]) carrying the row index as tie-break,
+        //    and the pairs sort with the stable radix argsort
+        //    ([`radix_argsort_into`]) — no comparator calls, no per-trial
+        //    allocation, same order bit for bit.
         if scratch.scores.is_empty() {
             return Err(RankingError::EmptyRanking);
         }
@@ -649,21 +829,194 @@ impl TrialKernel {
                 operation: "Ranking::from_scores",
             }));
         }
-        scratch.order.clear();
-        scratch.order.extend(0..self.rows);
-        let scores = &scratch.scores;
-        scratch.order.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        scratch.rank_of.clear();
+        if u32::try_from(self.rows).is_err() {
+            // Rows beyond u32: fall back to the comparator argsort (the
+            // key pair cannot carry the index).  Unreachable on any real
+            // table, kept for completeness.
+            scratch.order.clear();
+            scratch.order.extend(0..self.rows);
+            let scores = &scratch.scores;
+            scratch.order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        } else if self.rows < RADIX_CUTOFF {
+            scratch.keys.clear();
+            scratch.keys.reserve(self.rows);
+            for (base, tile) in scratch.scores.chunks(TILE).enumerate() {
+                let offset = base * TILE;
+                scratch.keys.extend(
+                    tile.iter()
+                        .enumerate()
+                        .map(|(row, &score)| (descending_sort_key(score), (offset + row) as u32)),
+                );
+            }
+            scratch.keys.sort_unstable();
+            scratch.order.clear();
+            scratch
+                .order
+                .extend(scratch.keys.iter().map(|&(_, row)| row as usize));
+        } else {
+            // The byte histograms of every radix pass are accumulated while
+            // the keys are built — one read of the scores, no second pass
+            // over the pairs.
+            scratch.keys.clear();
+            scratch.keys.reserve(self.rows);
+            let mut histograms = [[0u32; 256]; 8];
+            for (base, tile) in scratch.scores.chunks(TILE).enumerate() {
+                let offset = base * TILE;
+                for (row, &score) in tile.iter().enumerate() {
+                    let key = descending_sort_key(score);
+                    for (pass, histogram) in histograms.iter_mut().enumerate() {
+                        histogram[((key >> (pass * 8)) & 0xFF) as usize] += 1;
+                    }
+                    scratch.keys.push((key, (offset + row) as u32));
+                }
+            }
+            radix_argsort_into(
+                &mut scratch.keys,
+                &mut scratch.keys_tmp,
+                &histograms,
+                &mut scratch.order,
+            );
+        }
+        // `order` is a permutation of the rows, so the scatter below writes
+        // every slot: resize without clearing — after the first trial the
+        // length already matches and the fill costs nothing.
         scratch.rank_of.resize(self.rows, 0);
         for (position, &index) in scratch.order.iter().enumerate() {
             scratch.rank_of[index] = position + 1;
         }
         Ok(())
     }
+
+    /// The `(shift, inv)` pair of the relaxed fused transform
+    /// `(value - shift) * inv` for this trial's parameters: identity for
+    /// raw scores, reciprocal range for min-max, reciprocal deviation for
+    /// z-score.
+    fn relaxed_transform_params(&self, params: (f64, f64)) -> (f64, f64) {
+        match self.normalization {
+            NormalizationMethod::None => (0.0, 1.0),
+            NormalizationMethod::MinMax => (params.0, 1.0 / (params.1 - params.0)),
+            NormalizationMethod::ZScore => (params.0, 1.0 / params.1),
+        }
+    }
+}
+
+/// Below this length the comparison sort's constant factor wins; above it
+/// the linear-time radix passes do.  Crossover measured on the bench host
+/// (the exact value is uncritical: both sides produce the same order).
+const RADIX_CUTOFF: usize = 4 * TILE;
+
+/// Argsorts `(key, row)` pairs into ascending key order with a stable
+/// least-significant-byte-first radix sort (256-bucket counting passes,
+/// ping-ponging between `pairs` and `tmp`), leaving the row indices in
+/// `order`.
+///
+/// Order contract: `order` is byte-identical to
+/// `pairs.sort_unstable(); order = rows of pairs`.  The LSD passes are
+/// stable, and the input is built in ascending row order, so equal keys
+/// keep ascending row order — exactly the order the pair comparison
+/// produces.  `histograms[pass][byte]` must count the keys whose byte at
+/// `8·pass` is `byte` (the caller folds that count into key construction);
+/// a pass whose byte is constant across every key is the identity and is
+/// skipped — scores from one trial share sign and magnitude range, so the
+/// high exponent bytes usually cost nothing.  The final pass scatters row
+/// indices straight into `order` instead of moving pairs, saving the
+/// separate extraction walk; when every pass is skippable the keys are all
+/// equal and `order` is the identity.
+fn radix_argsort_into(
+    pairs: &mut [(u64, u32)],
+    tmp: &mut Vec<(u64, u32)>,
+    histograms: &[[u32; 256]; 8],
+    order: &mut Vec<usize>,
+) {
+    let n = pairs.len();
+    let mut active = [false; 8];
+    for (pass, histogram) in histograms.iter().enumerate() {
+        active[pass] = !histogram.iter().any(|&count| count as usize == n);
+    }
+    let Some(last) = (0..8).rev().find(|&pass| active[pass]) else {
+        order.clear();
+        order.extend(0..n);
+        return;
+    };
+    // Every buffer below is fully written before it is read (each scatter
+    // writes a permutation), so resize without clearing — a warm scratch
+    // pays nothing for the fill.
+    tmp.resize(n, (0, 0));
+    order.resize(n, 0);
+    let mut in_pairs = true;
+    for pass in 0..8 {
+        if !active[pass] {
+            continue;
+        }
+        let mut offsets = exclusive_prefix_sum(&histograms[pass]);
+        let shift = pass * 8;
+        if pass == last {
+            let src: &[(u64, u32)] = if in_pairs { pairs } else { tmp };
+            for &(key, row) in src {
+                let bucket = ((key >> shift) & 0xFF) as usize;
+                order[offsets[bucket] as usize] = row as usize;
+                offsets[bucket] += 1;
+            }
+        } else if in_pairs {
+            scatter_by_byte(pairs, tmp, shift, &mut offsets);
+            in_pairs = false;
+        } else {
+            scatter_by_byte(tmp, pairs, shift, &mut offsets);
+            in_pairs = true;
+        }
+    }
+}
+
+/// The starting write offset of each radix bucket: the exclusive prefix
+/// sum of the bucket counts.
+fn exclusive_prefix_sum(histogram: &[u32; 256]) -> [u32; 256] {
+    let mut offsets = [0u32; 256];
+    let mut total = 0u32;
+    for (offset, &count) in offsets.iter_mut().zip(histogram.iter()) {
+        *offset = total;
+        total += count;
+    }
+    offsets
+}
+
+/// One radix pass: distributes `src` into `dst` by the byte at `shift`,
+/// advancing each bucket's write offset.  Stable (source order preserved
+/// within a bucket).
+fn scatter_by_byte(
+    src: &[(u64, u32)],
+    dst: &mut [(u64, u32)],
+    shift: usize,
+    offsets: &mut [u32; 256],
+) {
+    for &pair in src {
+        let bucket = ((pair.0 >> shift) & 0xFF) as usize;
+        dst[offsets[bucket] as usize] = pair;
+        offsets[bucket] += 1;
+    }
+}
+
+/// Relaxed squared-error reduction: four independent accumulator lanes over
+/// [`TILE`]-aligned chunks, folded at the end.  Reassociates the sum (hence
+/// relaxed-only) so the compiler can keep vector accumulators in flight.
+fn lane_sum_squared_errors(values: &[f64], mean: f64) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for chunk in &mut chunks {
+        for (lane, &value) in lanes.iter_mut().zip(chunk) {
+            let d = value - mean;
+            *lane += d * d;
+        }
+    }
+    let mut ss = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &value in chunks.remainder() {
+        let d = value - mean;
+        ss += d * d;
+    }
+    ss
 }
 
 #[cfg(test)]
@@ -675,6 +1028,76 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use rf_table::Column;
+
+    #[test]
+    fn radix_argsort_matches_the_comparison_sort() {
+        // A deterministic pseudo-random key stream with deliberate
+        // structure: duplicated keys (tie-break must hold), constant high
+        // bytes (pass-skipping must stay stable), and sizes straddling the
+        // comparison-sort cutoff on both sides.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [
+            0,
+            1,
+            2,
+            RADIX_CUTOFF - 1,
+            RADIX_CUTOFF,
+            RADIX_CUTOFF + 3,
+            3000,
+        ] {
+            let pairs: Vec<(u64, u32)> = (0..n)
+                .map(|row| {
+                    // Constant top three bytes, frequent duplicates below.
+                    let key = next() % 4096;
+                    (key, row as u32)
+                })
+                .collect();
+            assert_eq!(
+                radix_order_of(&pairs),
+                comparison_order_of(&pairs),
+                "n = {n}"
+            );
+        }
+        // Full-width keys: every radix pass does real work.
+        let pairs: Vec<(u64, u32)> = (0..2048).map(|row| (next(), row as u32)).collect();
+        assert_eq!(radix_order_of(&pairs), comparison_order_of(&pairs));
+        // All keys equal: every pass is skipped and the order is the
+        // identity (the stable sort of an already-sorted input).
+        let pairs: Vec<(u64, u32)> = (0..1000).map(|row| (42, row as u32)).collect();
+        assert_eq!(radix_order_of(&pairs), comparison_order_of(&pairs));
+        assert_eq!(radix_order_of(&pairs), (0..1000).collect::<Vec<usize>>());
+    }
+
+    /// Runs the radix argsort the way `rank_trial` does — histograms
+    /// accumulated alongside the keys — and returns the row order.
+    fn radix_order_of(pairs: &[(u64, u32)]) -> Vec<usize> {
+        let mut pairs = pairs.to_vec();
+        let mut histograms = [[0u32; 256]; 8];
+        for &(key, _) in &pairs {
+            for (pass, histogram) in histograms.iter_mut().enumerate() {
+                histogram[((key >> (pass * 8)) & 0xFF) as usize] += 1;
+            }
+        }
+        let mut tmp = Vec::new();
+        // A dirty, wrong-length `order` must not matter: the final scatter
+        // writes every slot.
+        let mut order = vec![usize::MAX; pairs.len() / 2];
+        radix_argsort_into(&mut pairs, &mut tmp, &histograms, &mut order);
+        order
+    }
+
+    /// The reference order: the unstable pair sort the radix path replaced.
+    fn comparison_order_of(pairs: &[(u64, u32)]) -> Vec<usize> {
+        let mut sorted = pairs.to_vec();
+        sorted.sort_unstable();
+        sorted.iter().map(|&(_, row)| row as usize).collect()
+    }
 
     /// The materialized reference trial: perturb into a fresh table, re-fit,
     /// re-rank — the exact code path the kernel replaces.
@@ -883,5 +1306,240 @@ mod tests {
         assert!(TrialKernel::fit(&table, &ghost, 0.1, 0.1).is_err());
         let non_numeric = ScoringFunction::from_pairs([("name", 1.0)]).unwrap();
         assert!(TrialKernel::fit(&table, &non_numeric, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn descending_sort_key_orders_exactly_like_the_comparator() {
+        // Every pairwise key comparison must agree with the descending
+        // partial_cmp the reference sort uses — including both zeros, which
+        // partial_cmp treats as equal.
+        let samples = [
+            f64::MIN,
+            -1.0e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0e-300,
+            0.5,
+            1.0,
+            1.0 + f64::EPSILON,
+            3.75,
+            1.0e300,
+            f64::MAX,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let reference = y.partial_cmp(&x).unwrap();
+                let keys = descending_sort_key(x).cmp(&descending_sort_key(y));
+                assert_eq!(keys, reference, "x={x:?}, y={y:?}");
+            }
+        }
+    }
+
+    /// A table with `rows` rows: one dense oscillating column, one dense
+    /// linear column, and one sparse column missing every 5th row.
+    fn tiled_table(rows: usize) -> Table {
+        Table::from_columns(vec![
+            (
+                "u",
+                Column::from_f64(
+                    (0..rows)
+                        .map(|i| (i as f64 * 0.37).sin() * 50.0 + i as f64 * 0.01)
+                        .collect(),
+                ),
+            ),
+            (
+                "v",
+                Column::from_f64((0..rows).map(|i| rows as f64 - i as f64 * 0.5).collect()),
+            ),
+            (
+                "w",
+                Column::Float(
+                    (0..rows)
+                        .map(|i| {
+                            if i % 5 == 2 {
+                                None
+                            } else {
+                                Some((i as f64 * 1.13).cos() * 20.0)
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_materialized_at_tile_boundaries() {
+        // Row counts straddling the tile size — plus a 1-row table — stay
+        // byte-identical to the materialized reference with relaxed_fp off.
+        for rows in [1, TILE - 1, TILE, TILE + 1, 2 * TILE, 2 * TILE + 7] {
+            let table = tiled_table(rows);
+            // A 1-row column is constant, which min-max (the default)
+            // rejects on both paths; rank it raw instead.
+            let scoring = if rows == 1 {
+                ScoringFunction::with_normalization(
+                    vec![
+                        crate::score::AttributeWeight::new("v", 0.6),
+                        crate::score::AttributeWeight::new("u", 0.4),
+                    ],
+                    NormalizationMethod::None,
+                )
+                .unwrap()
+            } else {
+                ScoringFunction::from_pairs([("v", 0.6), ("u", 0.4)]).unwrap()
+            };
+            for seed in [0u64, 11, 4242] {
+                let reference = materialized_trial(&table, &scoring, 0.1, 0.1, seed)
+                    .unwrap()
+                    .order();
+                let kernel = kernel_trial(&table, &scoring, 0.1, 0.1, seed).unwrap();
+                assert_eq!(reference, kernel, "rows {rows}, seed {seed}");
+            }
+            if rows == 1 {
+                continue;
+            }
+            // And the sparse column, under both non-error policies.
+            for policy in [MissingValuePolicy::MeanImpute, MissingValuePolicy::Zero] {
+                let scoring = ScoringFunction::from_pairs([("w", 0.7), ("u", 0.3)])
+                    .unwrap()
+                    .with_missing_policy(policy);
+                let reference = materialized_trial(&table, &scoring, 0.2, 0.0, 9)
+                    .unwrap()
+                    .order();
+                let kernel = kernel_trial(&table, &scoring, 0.2, 0.0, 9).unwrap();
+                assert_eq!(reference, kernel, "rows {rows}, {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_materialized_with_all_missing_tiles() {
+        // A sparse column whose second tile (rows TILE..2·TILE) is entirely
+        // missing: the masked path crosses a whole tile of fallbacks.
+        let rows = 3 * TILE;
+        let table = Table::from_columns(vec![
+            (
+                "gappy",
+                Column::Float(
+                    (0..rows)
+                        .map(|i| {
+                            if (TILE..2 * TILE).contains(&i) {
+                                None
+                            } else {
+                                Some((i as f64 * 0.71).sin() * 10.0)
+                            }
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "full",
+                Column::from_f64((0..rows).map(|i| i as f64 * 0.25).collect()),
+            ),
+        ])
+        .unwrap();
+        for policy in [MissingValuePolicy::MeanImpute, MissingValuePolicy::Zero] {
+            let scoring = ScoringFunction::from_pairs([("gappy", 0.5), ("full", 0.5)])
+                .unwrap()
+                .with_missing_policy(policy);
+            for seed in [1u64, 77] {
+                let reference = materialized_trial(&table, &scoring, 0.15, 0.0, seed)
+                    .unwrap()
+                    .order();
+                let kernel = kernel_trial(&table, &scoring, 0.15, 0.0, seed).unwrap();
+                assert_eq!(reference, kernel, "{policy:?}, seed {seed}");
+            }
+        }
+    }
+
+    /// Runs one kernel trial with `relaxed_fp` as given, returning the
+    /// per-row scores and the order.
+    fn kernel_trial_scores(
+        table: &Table,
+        scoring: &ScoringFunction,
+        data_noise: f64,
+        weight_noise: f64,
+        seed: u64,
+        relaxed: bool,
+    ) -> (Vec<f64>, Vec<usize>) {
+        let kernel = TrialKernel::fit(table, scoring, data_noise, weight_noise)
+            .unwrap()
+            .with_relaxed_fp(relaxed);
+        let mut scratch = kernel.scratch();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        kernel.rank_trial(&mut rng, &mut scratch).unwrap();
+        (scratch.scores().to_vec(), scratch.order().to_vec())
+    }
+
+    #[test]
+    fn relaxed_fp_scores_stay_within_epsilon_of_exact() {
+        // The relaxed path draws the same noise from the same stream; only
+        // reductions and division strength are reassociated, so per-row
+        // scores stay within 1e-9 relative error of the exact path — across
+        // normalizations, sparse columns, and tile-boundary row counts.
+        for rows in [TILE - 1, TILE, 2 * TILE + 7] {
+            let table = tiled_table(rows);
+            for method in [
+                NormalizationMethod::None,
+                NormalizationMethod::MinMax,
+                NormalizationMethod::ZScore,
+            ] {
+                let scoring = ScoringFunction::with_normalization(
+                    vec![
+                        crate::score::AttributeWeight::new("u", 0.5),
+                        crate::score::AttributeWeight::new("v", 0.5),
+                    ],
+                    method,
+                )
+                .unwrap();
+                for seed in [2u64, 300] {
+                    let (exact, _) = kernel_trial_scores(&table, &scoring, 0.1, 0.1, seed, false);
+                    let (relaxed, _) = kernel_trial_scores(&table, &scoring, 0.1, 0.1, seed, true);
+                    for (row, (&e, &r)) in exact.iter().zip(&relaxed).enumerate() {
+                        let tolerance = 1e-9 * e.abs().max(1.0);
+                        assert!(
+                            (e - r).abs() <= tolerance,
+                            "{method:?}, rows {rows}, seed {seed}, row {row}: {e} vs {r}"
+                        );
+                    }
+                }
+            }
+            // Sparse masked-gather path.
+            let scoring = ScoringFunction::from_pairs([("w", 0.6), ("u", 0.4)])
+                .unwrap()
+                .with_missing_policy(MissingValuePolicy::MeanImpute);
+            let (exact, _) = kernel_trial_scores(&table, &scoring, 0.2, 0.0, 8, false);
+            let (relaxed, _) = kernel_trial_scores(&table, &scoring, 0.2, 0.0, 8, true);
+            for (row, (&e, &r)) in exact.iter().zip(&relaxed).enumerate() {
+                let tolerance = 1e-9 * e.abs().max(1.0);
+                assert!(
+                    (e - r).abs() <= tolerance,
+                    "sparse, rows {rows}, row {row}: {e} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_fp_ranks_well_separated_data_identically() {
+        // Scores separated by far more than the relaxed epsilon produce the
+        // same ranking on both paths.
+        let rows = TILE + 13;
+        let table = Table::from_columns(vec![(
+            "gap",
+            Column::from_f64((0..rows).map(|i| (i as f64) * 100.0).collect()),
+        )])
+        .unwrap();
+        let scoring = ScoringFunction::from_pairs([("gap", 1.0)]).unwrap();
+        for seed in [0u64, 5, 99] {
+            let (_, exact) = kernel_trial_scores(&table, &scoring, 0.001, 0.05, seed, false);
+            let (_, relaxed) = kernel_trial_scores(&table, &scoring, 0.001, 0.05, seed, true);
+            assert_eq!(exact, relaxed, "seed {seed}");
+        }
     }
 }

@@ -38,7 +38,7 @@ pub mod rank_aware;
 pub mod ranking;
 pub mod score;
 
-pub use columnar::{TrialKernel, TrialScratch};
+pub use columnar::{descending_sort_key, TrialKernel, TrialScratch, TILE};
 pub use compare::{
     footrule_distance, kendall_tau_rankings, kendall_tau_with_scratch, spearman_rho_rankings,
 };

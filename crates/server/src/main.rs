@@ -18,7 +18,8 @@ fn main() {
                 "usage: ranking-facts-server [ADDRESS] [--workers N] [--reactors N] \
                  [--max-conns N] [--idle-timeout-ms N] [--request-deadline-ms N] \
                  [--max-pending N] [--cache-ttl-secs N] [--cache-entries N] \
-                 [--cache-bytes N] [--slow-threshold-ms N] [--trace-ring-entries N]"
+                 [--cache-bytes N] [--slow-threshold-ms N] [--trace-ring-entries N] \
+                 [--synth-rows N]..."
             );
             std::process::exit(2);
         }
@@ -26,6 +27,11 @@ fn main() {
 
     println!("Loading demonstration datasets (synthetic CS departments, COMPAS, German credit)…");
     let catalog = DatasetCatalog::with_demo_datasets();
+    for &rows in &options.synth_rows {
+        println!("Generating synthetic scenario with {rows} rows…");
+        let slug = catalog.register_synth_scenario(rows);
+        println!("Registered /datasets/{slug}");
+    }
     let state = AppState::with_service(catalog, options.label_service());
     match options.cache_ttl_secs {
         Some(secs) => println!(

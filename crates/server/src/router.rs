@@ -200,6 +200,18 @@ fn service_stats(state: &AppState) -> Response {
     let mut stats = state.labels.stats();
     stats.network = state.network_snapshot();
     stats.admission = state.admission_snapshot();
+    stats.datasets = Some(
+        state
+            .catalog
+            .list()
+            .iter()
+            .map(|entry| rf_core::DatasetTableStats {
+                slug: entry.slug.clone(),
+                rows: entry.table.num_rows() as u64,
+                columns: entry.table.num_columns() as u64,
+            })
+            .collect(),
+    );
     match serde_json::to_string_pretty(&stats) {
         Ok(json) => Response::json(json),
         Err(err) => Response::text(StatusCode::InternalServerError, err.to_string()),
@@ -532,7 +544,7 @@ fn dataset_preview(catalog: &DatasetCatalog, slug: &str) -> Response {
 pub const MAX_MC_TRIALS: usize = 1_024;
 
 /// Applies the Monte-Carlo stability query overrides (`trials`,
-/// `data_noise`, `weight_noise`, `mc_seed`, `deadline_ms`) to a label
+/// `data_noise`, `weight_noise`, `mc_seed`, `deadline_ms`, `relaxed_fp`) to a label
 /// configuration, so the §2.2 uncertainty detail is tunable per request
 /// without recompiling.  The knobs are part of the configuration
 /// fingerprint, so each combination is its own cache entry.  `trials` is
@@ -601,6 +613,18 @@ fn apply_monte_carlo_overrides(
                 return Err(Box::new(Response::text(
                     StatusCode::BadRequest,
                     format!("invalid deadline_ms `{deadline}` (need whole milliseconds)"),
+                )))
+            }
+        }
+    }
+    if let Some(relaxed) = request.query_param("relaxed_fp") {
+        match relaxed {
+            "true" | "1" | "on" => config = config.with_monte_carlo_relaxed_fp(true),
+            "false" | "0" | "off" => config = config.with_monte_carlo_relaxed_fp(false),
+            other => {
+                return Err(Box::new(Response::text(
+                    StatusCode::BadRequest,
+                    format!("invalid relaxed_fp `{other}` (need true/false, 1/0, or on/off)"),
                 )))
             }
         }
@@ -984,6 +1008,56 @@ mod tests {
         assert!(mc["runs"].as_u64().unwrap() >= 1);
         assert!(mc["trials_completed"].as_u64().unwrap() >= 1);
         assert!(mc["truncated"].as_u64().is_some());
+    }
+
+    #[test]
+    fn stats_endpoint_lists_dataset_shapes() {
+        // Satellite: the catalogue's row/column counts are visible on
+        // /stats, filled at scrape time like the network/admission planes.
+        let state = demo_catalog();
+        let resp = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let datasets = value["datasets"].as_array().unwrap();
+        assert_eq!(datasets.len(), 3);
+        let compas = datasets
+            .iter()
+            .find(|d| d["slug"] == "compas")
+            .expect("compas listed");
+        assert_eq!(compas["rows"], 2_000);
+        assert!(compas["columns"].as_u64().unwrap() > 0);
+        // A registered synthetic scenario shows up on the next scrape.
+        state.catalog.register_synth_scenario(1_000);
+        let resp = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let datasets = value["datasets"].as_array().unwrap();
+        assert!(datasets.iter().any(|d| d["slug"] == "synth-1k"));
+    }
+
+    #[test]
+    fn relaxed_fp_override_is_parsed_and_fingerprinted() {
+        let state = demo_catalog();
+        let exact = route(&state, &get("/datasets/cs-departments/label.json"));
+        assert_eq!(exact.status, StatusCode::Ok);
+        let relaxed = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?relaxed_fp=true"),
+        );
+        assert_eq!(relaxed.status, StatusCode::Ok);
+        // Different fingerprint → different cache entry: two misses, no hit.
+        assert_eq!(state.labels.stats().cache.misses, 2);
+        // An explicit `off` matches the default entry (a warm hit).
+        let off = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?relaxed_fp=off"),
+        );
+        assert_eq!(off.status, StatusCode::Ok);
+        assert_eq!(state.labels.stats().cache.hits, 1);
+        assert_eq!(off.body, exact.body);
+        let bad = route(
+            &state,
+            &get("/datasets/cs-departments/label.json?relaxed_fp=maybe"),
+        );
+        assert_eq!(bad.status, StatusCode::BadRequest);
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub struct ServerOptions {
     pub slow_threshold_ms: u64,
     /// Slow-trace ring capacity (`--trace-ring-entries N`).
     pub trace_ring_entries: usize,
+    /// Row counts of synthetic scenarios to register at startup
+    /// (`--synth-rows N`, repeatable; default none).  Each becomes a
+    /// catalogue entry named by `SynthScenarioConfig::slug` (`synth-100k`,
+    /// `synth-1m`, ...), so the data plane can be exercised at scale
+    /// without shipping a large file.
+    pub synth_rows: Vec<usize>,
 }
 
 impl Default for ServerOptions {
@@ -149,6 +155,7 @@ impl Default for ServerOptions {
             max_pending: DEFAULT_MAX_PENDING,
             slow_threshold_ms: DEFAULT_SLOW_THRESHOLD_MS,
             trace_ring_entries: DEFAULT_TRACE_RING_ENTRIES,
+            synth_rows: Vec::new(),
         }
     }
 }
@@ -222,12 +229,17 @@ impl ServerOptions {
                         positive("--trace-ring-entries", numeric("--trace-ring-entries")?)?
                             as usize;
                 }
+                "--synth-rows" => {
+                    options
+                        .synth_rows
+                        .push(positive("--synth-rows", numeric("--synth-rows")?)? as usize);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{flag}` (available: --workers, --cache-ttl-secs, \
                          --cache-entries, --cache-bytes, --reactors, --max-conns, \
                          --idle-timeout-ms, --request-deadline-ms, --max-pending, \
-                         --slow-threshold-ms, --trace-ring-entries)"
+                         --slow-threshold-ms, --trace-ring-entries, --synth-rows)"
                     ));
                 }
                 address => {
@@ -810,6 +822,16 @@ mod tests {
         }
         assert!(ServerOptions::parse(["--max-conns", "none"]).is_err());
         assert!(ServerOptions::parse(["--idle-timeout-ms"]).is_err());
+    }
+
+    #[test]
+    fn synth_rows_flag_is_repeatable() {
+        assert!(ServerOptions::default().synth_rows.is_empty());
+        let parsed =
+            ServerOptions::parse(["--synth-rows", "100000", "--synth-rows", "2000"]).unwrap();
+        assert_eq!(parsed.synth_rows, vec![100_000, 2_000]);
+        assert!(ServerOptions::parse(["--synth-rows", "0"]).is_err());
+        assert!(ServerOptions::parse(["--synth-rows"]).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub use attribute::{
 };
 pub use error::{StabilityError, StabilityResult};
 pub use monte_carlo::{
-    trial_rng, MonteCarloStability, MonteCarloSummary, TrialOutcome, DEFAULT_BATCHES_PER_WORKER,
+    batches_per_worker_for_rows, trial_rng, MonteCarloStability, MonteCarloSummary, TrialOutcome,
+    DEFAULT_BATCHES_PER_WORKER,
 };
 pub use slope::{score_distribution_slope, SlopeStability, StabilityVerdict};

@@ -63,6 +63,29 @@ use std::time::{Duration, Instant};
 /// `1/f` of the remaining trials).
 pub const DEFAULT_BATCHES_PER_WORKER: usize = 4;
 
+/// Row-adaptive batches-per-worker factor for
+/// [`MonteCarloStability::evaluate_batched`].
+///
+/// A batch's cost scales with `rows × trials-per-batch`, so on large tables
+/// the default factor commits minutes of work per deadline check.  Raising
+/// the factor with the row count shrinks each batch, which re-checks the
+/// deadline budget more often and gives work stealing finer grains —
+/// without changing the result: trial streams are schedule-independent, so
+/// any factor is byte-identical.  Small tables keep the default factor and
+/// its per-task overhead profile.
+#[must_use]
+pub fn batches_per_worker_for_rows(rows: usize) -> usize {
+    if rows >= 1_000_000 {
+        DEFAULT_BATCHES_PER_WORKER * 8
+    } else if rows >= 100_000 {
+        DEFAULT_BATCHES_PER_WORKER * 4
+    } else if rows >= 10_000 {
+        DEFAULT_BATCHES_PER_WORKER * 2
+    } else {
+        DEFAULT_BATCHES_PER_WORKER
+    }
+}
+
 /// Configuration of the Monte-Carlo stability estimator.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MonteCarloStability {
@@ -80,6 +103,11 @@ pub struct MonteCarloStability {
     pub tau_threshold: f64,
     /// RNG seed (the estimator is deterministic for a fixed seed).
     pub seed: u64,
+    /// Whether the trial kernel may reassociate float operations (see
+    /// [`rf_ranking::TrialKernel::with_relaxed_fp`]).  Default `false`:
+    /// byte-identical to the materialized reference.
+    #[serde(default)]
+    pub relaxed_fp: bool,
 }
 
 impl Default for MonteCarloStability {
@@ -91,6 +119,7 @@ impl Default for MonteCarloStability {
             k: 10,
             tau_threshold: 0.9,
             seed: 42,
+            relaxed_fp: false,
         }
     }
 }
@@ -176,6 +205,13 @@ impl MonteCarloStability {
     #[must_use]
     pub fn with_k(mut self, k: usize) -> Self {
         self.k = k;
+        self
+    }
+
+    /// Enables (or disables) relaxed float mode on the trial kernel.
+    #[must_use]
+    pub fn with_relaxed_fp(mut self, relaxed: bool) -> Self {
+        self.relaxed_fp = relaxed;
         self
     }
 
@@ -302,7 +338,9 @@ impl MonteCarloStability {
     ///
     /// Trials are grouped into contiguous batches of
     /// `ceil(trials / (workers × f))` with `f =`
-    /// [`DEFAULT_BATCHES_PER_WORKER`]; each scheduler task runs one batch,
+    /// [`batches_per_worker_for_rows`] — the default factor on small tables,
+    /// raised with the row count so large tables re-check the deadline
+    /// budget often enough; each scheduler task runs one batch,
     /// reusing a pooled [`TrialScratch`] across the batch (and across waves),
     /// so per-task overhead and allocations amortize over the whole batch.
     /// Trial `i` still draws from its own `seed ⊕ i` stream, so the summary
@@ -334,7 +372,7 @@ impl MonteCarloStability {
             scoring,
             ranking,
             deadline,
-            DEFAULT_BATCHES_PER_WORKER,
+            batches_per_worker_for_rows(table.num_rows()),
         )
     }
 
@@ -452,7 +490,8 @@ impl MonteCarloStability {
     ) -> StabilityResult<TrialPlan> {
         self.validate(ranking)?;
         let k = self.k.clamp(1, ranking.len());
-        let kernel = TrialKernel::fit(table, scoring, self.data_noise, self.weight_noise)?;
+        let kernel = TrialKernel::fit(table, scoring, self.data_noise, self.weight_noise)?
+            .with_relaxed_fp(self.relaxed_fp);
         let original_top_k: HashSet<usize> = ranking.top_k_indices(k).into_iter().collect();
         let original_order = ranking.order();
         let original_top_item = original_order[0];
@@ -937,6 +976,86 @@ mod tests {
             }
         }
         assert!(matched < 4, "adjacent trial streams must decorrelate");
+    }
+
+    #[test]
+    fn batches_per_worker_scales_with_rows() {
+        assert_eq!(batches_per_worker_for_rows(0), DEFAULT_BATCHES_PER_WORKER);
+        assert_eq!(
+            batches_per_worker_for_rows(9_999),
+            DEFAULT_BATCHES_PER_WORKER
+        );
+        assert_eq!(
+            batches_per_worker_for_rows(10_000),
+            DEFAULT_BATCHES_PER_WORKER * 2
+        );
+        assert_eq!(
+            batches_per_worker_for_rows(100_000),
+            DEFAULT_BATCHES_PER_WORKER * 4
+        );
+        assert_eq!(
+            batches_per_worker_for_rows(1_000_000),
+            DEFAULT_BATCHES_PER_WORKER * 8
+        );
+    }
+
+    #[test]
+    fn large_tables_schedule_finer_batches() {
+        // 10k rows double the batches-per-worker factor: 64 trials /
+        // (2 workers × 8) = 4 trials per task → 16 tasks (vs 8 on a small
+        // table) — and the summary stays byte-identical to the sequential
+        // reference, because trial streams are schedule-independent.
+        let t = Arc::new(spread_table(10_000));
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(64)
+            .unwrap()
+            .with_noise(0.05, 0.05)
+            .unwrap();
+        let scheduler = Scheduler::new(2);
+        let before = scheduler.executed_jobs();
+        let batched = estimator
+            .evaluate_batched(&scheduler, &t, &scoring, &ranking, None)
+            .unwrap();
+        assert_eq!(scheduler.executed_jobs() - before, 16);
+        let sequential = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn relaxed_fp_summary_matches_exact_on_well_separated_data() {
+        // Widely spread scores: the relaxed kernel's ~1e-14 score
+        // perturbation cannot reorder anything, so the whole summary is
+        // identical.
+        let t = spread_table(500);
+        let scoring = ScoringFunction::from_pairs([("x", 1.0)]).unwrap();
+        let ranking = scoring.rank_table(&t).unwrap();
+        let estimator = MonteCarloStability::new()
+            .with_trials(16)
+            .unwrap()
+            .with_noise(0.01, 0.01)
+            .unwrap();
+        let exact = estimator.evaluate(&t, &scoring, &ranking).unwrap();
+        let relaxed = estimator
+            .clone()
+            .with_relaxed_fp(true)
+            .evaluate(&t, &scoring, &ranking)
+            .unwrap();
+        assert_eq!(exact, relaxed);
+    }
+
+    #[test]
+    fn relaxed_fp_rides_along_serde_with_a_default() {
+        // Configs serialized before the flag existed deserialize with it
+        // off.
+        let json = r#"{"trials":8,"data_noise":0.1,"weight_noise":0.1,"k":5,"tau_threshold":0.9,"seed":1}"#;
+        let estimator: MonteCarloStability = serde_json::from_str(json).unwrap();
+        assert!(!estimator.relaxed_fp);
+        let round: MonteCarloStability =
+            serde_json::from_str(&serde_json::to_string(&estimator.with_relaxed_fp(true)).unwrap())
+                .unwrap();
+        assert!(round.relaxed_fp);
     }
 
     #[test]

@@ -102,12 +102,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark.
+    /// Runs one benchmark (skipped when a command-line filter excludes its
+    /// full `group/id` path).
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if !self.criterion.matches(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
         let mut bencher = Bencher {
             samples: self.sample_size,
             results: Vec::new(),
@@ -117,7 +121,8 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark parameterized by `input`.
+    /// Runs one benchmark parameterized by `input` (same filter rule as
+    /// [`Self::bench_function`]).
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: impl Into<BenchmarkId>,
@@ -128,6 +133,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
+        if !self.criterion.matches(&format!("{}/{}", self.name, id.id)) {
+            return self;
+        }
         let mut bencher = Bencher {
             samples: self.sample_size,
             results: Vec::new(),
@@ -184,12 +192,47 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark driver.
-#[derive(Default)]
 pub struct Criterion {
     default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Mirrors criterion's CLI contract: the first non-flag argument is a
+    /// substring filter, so `cargo bench -- emit_report` runs only the
+    /// benchmarks whose `group/id` path contains `emit_report`.  Flags
+    /// (anything starting with `-`) are ignored.
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion {
+            default_sample_size: 0,
+            filter,
+        }
+    }
 }
 
 impl Criterion {
+    /// A driver with an explicit filter (`None` runs everything); used by
+    /// the unit tests so they don't depend on the process's own arguments.
+    #[must_use]
+    pub fn with_filter(filter: Option<String>) -> Self {
+        Criterion {
+            default_sample_size: 0,
+            filter,
+        }
+    }
+
+    /// `true` when `id` (a full `group/benchmark` path) survives the filter.
+    /// With no filter every benchmark matches; with one, matching is plain
+    /// substring containment, as in criterion proper.
+    #[must_use]
+    pub fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(filter) => id.contains(filter.as_str()),
+            None => true,
+        }
+    }
+
     /// Starts a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = if self.default_sample_size == 0 {
@@ -235,4 +278,59 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_filter_matches_everything() {
+        let criterion = Criterion::with_filter(None);
+        assert!(criterion.matches("monte_carlo/trials/1000"));
+        assert!(criterion.matches(""));
+    }
+
+    #[test]
+    fn filter_is_substring_containment_over_the_full_path() {
+        let criterion = Criterion::with_filter(Some("emit_report".to_string()));
+        assert!(criterion.matches("emit_report/bench"));
+        assert!(criterion.matches("monte_carlo_emit_report/bench"));
+        assert!(!criterion.matches("monte_carlo/trials/1000"));
+        // A group-name filter keeps every bench inside the group.
+        let criterion = Criterion::with_filter(Some("tile_rows_sweep".to_string()));
+        assert!(criterion.matches("tile_rows_sweep/legacy/100000"));
+        assert!(criterion.matches("tile_rows_sweep/tiled/100000"));
+        assert!(!criterion.matches("label_hot_path/warm"));
+    }
+
+    #[test]
+    fn filtered_out_benches_never_run() {
+        let mut criterion = Criterion::with_filter(Some("only_this".to_string()));
+        let mut ran = Vec::new();
+        {
+            let mut group = criterion.benchmark_group("group");
+            group.sample_size(1);
+            group.bench_function("only_this_one", |b| b.iter(|| ran.push("kept")));
+            group.bench_function("another", |b| b.iter(|| ran.push("skipped")));
+            group.finish();
+        }
+        assert!(ran.contains(&"kept"));
+        assert!(!ran.contains(&"skipped"));
+    }
+
+    #[test]
+    fn unfiltered_group_runs_all_benches() {
+        let mut criterion = Criterion::with_filter(None);
+        let mut count = 0usize;
+        {
+            let mut group = criterion.benchmark_group("group");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::new("sized", 8), &8usize, |b, &n| {
+                b.iter(|| count += n)
+            });
+        }
+        // 2 samples (plus warm-up iterations) each adding 8.
+        assert!(count >= 16);
+    }
 }
