@@ -161,6 +161,8 @@ struct Sample {
 struct RunOutcome {
     samples: Vec<Sample>,
     errors: u64,
+    retries: u64,
+    gave_up: u64,
     elapsed: Duration,
     mc_truncated_delta: u64,
     network: Option<serde_json::Value>,
@@ -190,6 +192,11 @@ struct RunReport {
     ok: u64,
     shed_503: u64,
     shed_rate: f64,
+    /// Shed retries spent across the run (a request that eventually landed
+    /// after N backoffs contributes N).
+    retries: u64,
+    /// Requests still shed after exhausting [`MAX_SHED_RETRIES`] backoffs.
+    gave_up: u64,
     client_errors: u64,
     mc_truncated_runs: u64,
     latency: Option<LatencySummary>,
@@ -214,6 +221,30 @@ struct InstrumentationOverhead {
     p99_ratio: f64,
 }
 
+/// One side of the restart-warm comparison: a server filled, shut down,
+/// and restarted, with its first post-restart requests timed.
+#[derive(serde::Serialize)]
+struct RestartSide {
+    disk_tier: bool,
+    /// Round-trip of the very first request the restarted process serves.
+    first_request_after_restart_ms: f64,
+    /// p99 over the first post-restart request burst (first one included).
+    post_restart_p99_ms: f64,
+    /// Disk-tier hits the restarted server reported (0 without the tier).
+    disk_hits_after_restart: u64,
+    /// Pipeline preparations the first post-restart request cost (0 when
+    /// the disk tier answered it).
+    preparations_for_first_request: u64,
+}
+
+/// The `restart_warm` mix: cold-start latency of a restarted server with a
+/// warm on-disk cache tier versus memory-only.
+#[derive(serde::Serialize)]
+struct RestartWarmReport {
+    with_disk_tier: RestartSide,
+    memory_only: RestartSide,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     benchmark: String,
@@ -223,6 +254,7 @@ struct BenchReport {
     warm_rps_by_reactors: Vec<(usize, f64)>,
     warm_scaling_vs_one_shard: Vec<(usize, f64)>,
     instrumentation_overhead: Option<InstrumentationOverhead>,
+    restart_warm: Option<RestartWarmReport>,
     runs: Vec<RunReport>,
 }
 
@@ -235,7 +267,13 @@ fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
 
 /// One request/response exchange on a keep-alive connection; reconnects
 /// once if the stream has gone away (idle timeout, server-side close).
-fn exchange(stream: &mut Option<TcpStream>, addr: SocketAddr, path: &str) -> std::io::Result<u16> {
+/// Returns the status code plus whether the response carried a
+/// `Retry-After` header (the shed hint the backoff policy honours).
+fn exchange(
+    stream: &mut Option<TcpStream>,
+    addr: SocketAddr,
+    path: &str,
+) -> std::io::Result<(u16, bool)> {
     for attempt in 0..2 {
         if stream.is_none() {
             *stream = Some(connect(addr)?);
@@ -254,7 +292,11 @@ fn exchange(stream: &mut Option<TcpStream>, addr: SocketAddr, path: &str) -> std
                     .nth(1)
                     .and_then(|code| code.parse().ok())
                     .unwrap_or(0);
-                return Ok(status);
+                let retry_after = response
+                    .head
+                    .lines()
+                    .any(|line| line.to_ascii_lowercase().starts_with("retry-after:"));
+                return Ok((status, retry_after));
             }
             Err(err) if attempt == 0 => {
                 // Stale keep-alive connection: drop it and retry fresh.
@@ -265,6 +307,40 @@ fn exchange(stream: &mut Option<TcpStream>, addr: SocketAddr, path: &str) -> std
         }
     }
     unreachable!("loop returns on the second attempt")
+}
+
+/// Most shed retries a client spends on one request before giving up.
+const MAX_SHED_RETRIES: u32 = 3;
+
+/// An exchange that honours `503 + Retry-After` sheds with a capped
+/// exponential backoff (4/8/16 ms, +0–7 ms of deterministic per-request
+/// jitter so retries from concurrent clients do not re-arrive in lockstep).
+/// The server's literal `Retry-After` hint is whole seconds — honouring its
+/// *presence* but substituting a bench-scaled backoff keeps the open-loop
+/// schedule meaningful.  Returns `(status, retries, gave_up)`.
+fn exchange_with_retry(
+    stream: &mut Option<TcpStream>,
+    addr: SocketAddr,
+    path: &str,
+    seq: u64,
+) -> std::io::Result<(u16, u32, bool)> {
+    let mut retries = 0u32;
+    loop {
+        let (status, retry_after) = exchange(stream, addr, path)?;
+        if status != 503 || !retry_after {
+            return Ok((status, retries, false));
+        }
+        if retries >= MAX_SHED_RETRIES {
+            return Ok((status, retries, true));
+        }
+        let base = 4u64 << retries;
+        let jitter = seq
+            .wrapping_add(u64::from(retries))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            >> 61;
+        std::thread::sleep(Duration::from_millis((base + jitter).min(50)));
+        retries += 1;
+    }
 }
 
 /// One GET over a fresh connection; returns the body on a 200.
@@ -380,6 +456,8 @@ fn run_once(
                 let mut stream: Option<TcpStream> = None;
                 let mut samples = Vec::new();
                 let mut errors = 0u64;
+                let mut retries = 0u64;
+                let mut gave_up = 0u64;
                 loop {
                     let job = {
                         let queue = receiver.lock().expect("arrival queue");
@@ -389,15 +467,21 @@ fn run_once(
                         }
                     };
                     let path = mix.path(job.seq);
-                    match exchange(&mut stream, addr, &path) {
-                        Ok(status) => samples.push(Sample {
-                            latency: job.due.elapsed(),
-                            status,
-                        }),
+                    match exchange_with_retry(&mut stream, addr, &path, job.seq) {
+                        Ok((status, request_retries, request_gave_up)) => {
+                            retries += u64::from(request_retries);
+                            gave_up += u64::from(request_gave_up);
+                            // Latency from *scheduled* arrival, so backoff
+                            // sleeps count against the shed request.
+                            samples.push(Sample {
+                                latency: job.due.elapsed(),
+                                status,
+                            });
+                        }
                         Err(_) => errors += 1,
                     }
                 }
-                (samples, errors)
+                (samples, errors, retries, gave_up)
             })
         })
         .collect();
@@ -405,10 +489,15 @@ fn run_once(
     generator.join().expect("generator thread");
     let mut samples = Vec::new();
     let mut errors = 0u64;
+    let mut retries = 0u64;
+    let mut gave_up = 0u64;
     for client in clients {
-        let (client_samples, client_errors) = client.join().expect("client thread");
+        let (client_samples, client_errors, client_retries, client_gave_up) =
+            client.join().expect("client thread");
         samples.extend(client_samples);
         errors += client_errors;
+        retries += client_retries;
+        gave_up += client_gave_up;
     }
     let elapsed = started.elapsed();
 
@@ -458,6 +547,8 @@ fn run_once(
     RunOutcome {
         samples,
         errors,
+        retries,
+        gave_up,
         elapsed,
         mc_truncated_delta,
         network,
@@ -506,6 +597,156 @@ fn closed_loop_warm_p99(trace_all: bool, requests: usize) -> Option<f64> {
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
     let index = ((latencies_ms.len() - 1) as f64 * 0.99).round() as usize;
     latencies_ms.get(index).copied()
+}
+
+/// Binds a one-shard server over an explicit label service (with or
+/// without a disk tier) and runs it on a background thread.
+fn bind_service_server(
+    service: rf_core::LabelService,
+) -> (
+    SocketAddr,
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let config = ServerConfig {
+        bind_address: "127.0.0.1:0".to_string(),
+        workers: 2,
+        reactors: 1,
+        ..ServerConfig::default()
+    };
+    let state = rf_server::AppState::with_service(DatasetCatalog::with_demo_datasets(), service);
+    let server = Server::bind_state(state, &config).expect("bind server");
+    let addr = server.local_addr().expect("server address");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, shutdown, handle)
+}
+
+/// One side of the restart-warm measurement: fill a server's cache, shut it
+/// down, restart over the same (or no) disk tier, and time the first
+/// post-restart requests.  The `/metrics` scrape doubles as the CI gate for
+/// the `rf_disk_*` families: with the tier attached they must be present and
+/// monotone across the burst; without it they must be absent.
+fn restart_warm_side(cache_dir: Option<&std::path::Path>) -> RestartSide {
+    let open_store = |dir: &std::path::Path| {
+        Arc::new(rf_store::DiskStore::open(dir, 64 * 1024 * 1024).expect("open disk store"))
+    };
+    let service_for = |dir: Option<&std::path::Path>| {
+        let service = rf_core::LabelService::with_cache_policy(
+            rf_core::AnalysisPipeline::new(),
+            rf_core::service::DEFAULT_CACHE_CAPACITY,
+            rf_core::service::DEFAULT_CACHE_BYTES,
+            None,
+        );
+        match dir {
+            Some(dir) => {
+                let store = open_store(dir);
+                (service.with_disk_tier(Arc::clone(&store)), Some(store))
+            }
+            None => (service, None),
+        }
+    };
+
+    // Fill phase: serve the warm path once, make the fill durable, "crash".
+    {
+        let (service, store) = service_for(cache_dir);
+        let (addr, shutdown, handle) = bind_service_server(service);
+        let mut stream = None;
+        for _ in 0..2 {
+            exchange(&mut stream, addr, WARM_PATH).expect("fill request");
+        }
+        if let Some(store) = store {
+            store.flush();
+        }
+        drop(stream);
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().expect("server thread");
+    }
+
+    // Restart phase: a fresh process-equivalent (new service, empty memory
+    // tier) over the same directory.
+    let (service, _store) = service_for(cache_dir);
+    let (addr, shutdown, handle) = bind_service_server(service);
+    let preparations_before = scrape_stats(addr)
+        .and_then(|stats| {
+            stats
+                .get("preparations")
+                .and_then(serde_json::Value::as_u64)
+        })
+        .unwrap_or(0);
+    let metrics_before = scrape_metrics(addr);
+
+    let mut stream = None;
+    let mut latencies_ms = Vec::with_capacity(50);
+    for _ in 0..50 {
+        let started = Instant::now();
+        let (status, _) = exchange(&mut stream, addr, WARM_PATH).expect("post-restart request");
+        assert_eq!(status, 200, "post-restart warm request must succeed");
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1_000.0);
+    }
+    let first_request_after_restart_ms = latencies_ms[0];
+    let stats = scrape_stats(addr).expect("scrape /stats");
+    let preparations_for_first_request = stats
+        .get("preparations")
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0)
+        .saturating_sub(preparations_before);
+    let disk_hits_after_restart = stats
+        .get("disk")
+        .and_then(|disk| disk.get("disk_hits"))
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0);
+
+    let metrics_after = scrape_metrics(addr);
+    check_counters_monotonic(&metrics_before, &metrics_after)
+        .expect("cumulative /metrics series must never decrease across the restart burst");
+    let has_disk_families = metrics_after
+        .samples
+        .keys()
+        .any(|name| name.starts_with("rf_disk_"));
+    assert_eq!(
+        has_disk_families,
+        cache_dir.is_some(),
+        "rf_disk_* families must be exposed exactly when the tier is configured"
+    );
+    if cache_dir.is_some() {
+        assert!(
+            disk_hits_after_restart >= 1,
+            "the restarted server's first warm request must be a disk hit"
+        );
+        assert_eq!(
+            preparations_for_first_request, 0,
+            "a disk-served restart must not re-run the pipeline"
+        );
+    }
+
+    drop(stream);
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let index = ((latencies_ms.len() - 1) as f64 * 0.99).round() as usize;
+    RestartSide {
+        disk_tier: cache_dir.is_some(),
+        first_request_after_restart_ms,
+        post_restart_p99_ms: latencies_ms[index],
+        disk_hits_after_restart,
+        preparations_for_first_request,
+    }
+}
+
+/// Runs both sides of the restart-warm comparison in a scratch directory.
+fn restart_warm_run() -> RestartWarmReport {
+    let dir = std::env::temp_dir().join(format!("rf-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch cache dir");
+    let with_disk_tier = restart_warm_side(Some(&dir));
+    let memory_only = restart_warm_side(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartWarmReport {
+        with_disk_tier,
+        memory_only,
+    }
 }
 
 fn summarize(
@@ -567,6 +808,8 @@ fn summarize(
         } else {
             shed_503 as f64 / answered as f64
         },
+        retries: out.retries,
+        gave_up: out.gave_up,
         client_errors: out.errors,
         mc_truncated_runs: out.mc_truncated_delta,
         latency,
@@ -663,6 +906,22 @@ fn main() {
         }
     });
 
+    // The restart-warm pair: how much of a restarted server's cold start
+    // the crash-safe disk tier absorbs.  Runs in smoke mode too — it doubles
+    // as the CI gate that the rf_disk_* metric families parse, stay
+    // monotone, and appear exactly when the tier is configured.
+    println!("→ reactors=1 mix=restart_warm disk-tier vs memory-only …");
+    let restart_warm = restart_warm_run();
+    println!(
+        "   first post-restart request: {:.2} ms with disk tier ({} disk hit(s), \
+         {} preparation(s)) vs {:.2} ms memory-only ({} preparation(s))",
+        restart_warm.with_disk_tier.first_request_after_restart_ms,
+        restart_warm.with_disk_tier.disk_hits_after_restart,
+        restart_warm.with_disk_tier.preparations_for_first_request,
+        restart_warm.memory_only.first_request_after_restart_ms,
+        restart_warm.memory_only.preparations_for_first_request,
+    );
+
     let warm_rps_by_reactors: Vec<(usize, f64)> = runs
         .iter()
         .filter(|run| run.mix == "warm")
@@ -692,6 +951,7 @@ fn main() {
         warm_rps_by_reactors,
         warm_scaling_vs_one_shard,
         instrumentation_overhead,
+        restart_warm: Some(restart_warm),
         runs,
     };
 

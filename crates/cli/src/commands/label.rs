@@ -29,7 +29,13 @@ const ALLOWED: &[&str] = &[
     "relaxed-fp",
     "format",
     "out",
+    "cache-dir",
+    "cache-disk-bytes",
 ];
+
+/// Default size bound for `--cache-dir` (64 MiB — one-shot CLI runs rarely
+/// need more).
+const DEFAULT_CACHE_DISK_BYTES: u64 = 64 * 1024 * 1024;
 
 /// Runs the command.
 ///
@@ -62,6 +68,31 @@ pub fn run(args: &ParsedArgs) -> CliResult<String> {
     let table = Arc::new(table);
     let config = Arc::new(config);
     let sweep = args.get("ks").is_some();
+    // `--cache-dir` reuses labels across one-shot runs through the same
+    // crash-safe disk tier the server uses.  Sweeps stay on the pipeline
+    // path (the bulk renderer shares one prepared context; per-k disk
+    // probes would cost more than they save).
+    if !sweep {
+        if let Some(dir) = args.get("cache-dir") {
+            let max_bytes = args.get_u64("cache-disk-bytes", DEFAULT_CACHE_DISK_BYTES)?;
+            let store = rf_store::DiskStore::open(dir, max_bytes)
+                .map_err(|err| CliError::execution(format!("cache dir `{dir}`: {err}")))?;
+            let service = rf_core::LabelService::with_cache_policy(pipeline, 8, 1 << 22, None)
+                .with_disk_tier(Arc::new(store));
+            let cached = service
+                .label(&table, &config)
+                .map_err(CliError::execution)?;
+            let rendered = match format {
+                "json" => cached.json.as_ref().clone(),
+                "html" => cached.label.to_html(),
+                _ => cached.label.to_text(),
+            };
+            // Dropping the service joins the store's write-behind thread,
+            // so the fill is durable before the process exits.
+            drop(service);
+            return write_or_return(args, rendered);
+        }
+    }
     let labels = match args.get("ks") {
         Some(spec) => {
             let ks = parse_ks(spec)?;
@@ -386,6 +417,39 @@ mod tests {
         ])
         .unwrap();
         assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn cache_dir_reuses_labels_across_runs() {
+        let dir = std::env::temp_dir().join(format!("rf-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+        // First run fills the disk tier (one durable entry)…
+        let cold = run(&cs_args(&["--format", "json", "--cache-dir", &dir_arg])).unwrap();
+        let entries = || {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|ext| ext == "label"))
+                .count()
+        };
+        assert_eq!(entries(), 1, "the fill is durable before the process exits");
+        // …and a second, fresh run serves the identical bytes from it.
+        let warm = run(&cs_args(&["--format", "json", "--cache-dir", &dir_arg])).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(entries(), 1, "write-once: no second file for the same key");
+        // The other render formats work through the cached path too.
+        let text = run(&cs_args(&["--cache-dir", &dir_arg])).unwrap();
+        assert!(text.contains("Fairness"));
+        // An unusable directory is an execution error, not a panic: the CLI
+        // is explicit about --cache-dir, so (unlike the server's degraded
+        // mode) silently ignoring it would hide a misconfiguration.
+        let file = dir.join("plain-file");
+        std::fs::write(&file, b"x").unwrap();
+        let bad = file.join("nested").to_string_lossy().into_owned();
+        let err = run(&cs_args(&["--cache-dir", &bad])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

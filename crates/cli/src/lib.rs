@@ -88,6 +88,8 @@ pub fn usage() -> &'static str {
      \x20            [--relaxed-fp true|false] (SIMD-friendly trial kernel, ~1e-9 rel. drift)\n\
      \x20            (Monte-Carlo stability detail; --trials 0 disables it)\n\
      \x20            [--normalize none|minmax|zscore] [--format text|json|html] [--out FILE]\n\
+     \x20            [--cache-dir DIR] [--cache-disk-bytes N] (reuse labels across runs\n\
+     \x20            through the crash-safe on-disk cache tier; sweeps bypass it)\n\
      \x20 mitigate   suggest alternative weights that restore fairness / diversity\n\
      \x20            (same data/score/sensitive/diversity options as `label`)\n\
      \x20 rerank     repair an unfair ranking with the FA*IR re-ranking algorithm\n\

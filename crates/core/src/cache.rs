@@ -216,6 +216,27 @@ impl LabelCache {
     /// TTL, every insert first sweeps expired entries (whatever their key),
     /// so dead entries make room before live ones are evicted.
     pub fn insert(&mut self, key: CacheKey, table: Arc<Table>, value: CachedLabel) {
+        self.insert_aged(key, table, value, Duration::ZERO);
+    }
+
+    /// [`LabelCache::insert`] for an entry that is already `age` old — the
+    /// promotion path from the disk tier, whose entries carry their original
+    /// fill timestamp.  Backdating `inserted_at` keeps the TTL clock honest:
+    /// an entry that expired out of memory and was re-promoted from disk
+    /// expires at its *original* deadline instead of winning a fresh TTL on
+    /// every promotion.  If the age cannot be represented (it predates what
+    /// `Instant` can go back to), the entry is served without being cached —
+    /// never cached as younger than it is.
+    pub fn insert_aged(
+        &mut self,
+        key: CacheKey,
+        table: Arc<Table>,
+        value: CachedLabel,
+        age: Duration,
+    ) {
+        let Some(inserted_at) = Instant::now().checked_sub(age) else {
+            return;
+        };
         self.sweep_expired();
         let bytes = value.json.len() + table.approx_heap_bytes();
         if bytes > self.max_bytes {
@@ -229,7 +250,7 @@ impl LabelCache {
                 table,
                 bytes,
                 last_used: self.tick,
-                inserted_at: Instant::now(),
+                inserted_at,
             },
         ) {
             self.bytes -= previous.bytes;
@@ -454,6 +475,35 @@ mod tests {
         // Re-inserting restarts the clock.
         cache.insert(f.key, Arc::clone(&f.table), f.value.clone());
         assert!(cache.get(&f.key, &f.table, &f.config).is_some());
+    }
+
+    #[test]
+    fn aged_inserts_keep_the_original_ttl_clock() {
+        let f = label_for(3);
+        let mut cache = LabelCache::with_ttl(4, 1 << 20, Some(Duration::from_millis(50)));
+        // Already 40ms old at insert (a disk promotion): it expires at the
+        // original deadline, ~10ms from now — not 50ms from now.
+        cache.insert_aged(
+            f.key,
+            Arc::clone(&f.table),
+            f.value.clone(),
+            Duration::from_millis(40),
+        );
+        assert!(cache.get(&f.key, &f.table, &f.config).is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            cache.get(&f.key, &f.table, &f.config).is_none(),
+            "promotion must not extend the TTL"
+        );
+        assert_eq!(cache.stats().expired, 1);
+        // An age already past the TTL never serves from memory at all.
+        cache.insert_aged(
+            f.key,
+            Arc::clone(&f.table),
+            f.value.clone(),
+            Duration::from_millis(60),
+        );
+        assert!(cache.get(&f.key, &f.table, &f.config).is_none());
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub struct ServiceStats {
     /// time.
     #[serde(default)]
     pub datasets: Option<Vec<DatasetTableStats>>,
+    /// The on-disk tier's counters and occupancy
+    /// (`disk_hits`/`disk_misses`/`promotions`/`write_errors`/
+    /// `corrupt_dropped`).  `None` when the service runs memory-only — the
+    /// default, and the degraded mode an unusable cache directory falls
+    /// back to.
+    #[serde(default)]
+    pub disk: Option<rf_store::DiskStats>,
 }
 
 /// Shape of one catalogued dataset, as seen by `/stats`.
@@ -254,6 +261,14 @@ pub struct LabelService {
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
     /// How many requests joined an in-flight generation.
     coalesced: AtomicU64,
+    /// The crash-safe on-disk tier under the memory cache, when configured:
+    /// probed on the leader's cold path, written behind on fills, purged
+    /// together with the memory tier.  `None` runs memory-only.
+    disk: Option<Arc<rf_store::DiskStore>>,
+    /// The cache TTL, mirrored out of the [`LabelCache`] policy so disk
+    /// entries (whose fill timestamps survive restarts) expire on the same
+    /// clock as memory entries.
+    ttl: Option<std::time::Duration>,
 }
 
 impl Default for LabelService {
@@ -298,7 +313,27 @@ impl LabelService {
             fingerprints: Mutex::new(FingerprintMemo::default()),
             inflight: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
+            disk: None,
+            ttl,
         }
+    }
+
+    /// Attaches the crash-safe on-disk tier: cold misses probe `store`
+    /// before generating, fills are written behind, and cache invalidation
+    /// purges it together with the memory tier.  Disk hits are promoted into
+    /// memory *at their original age* (the fill timestamp is persisted), so
+    /// the TTL policy holds across restarts.
+    #[must_use]
+    pub fn with_disk_tier(mut self, store: Arc<rf_store::DiskStore>) -> Self {
+        self.disk = Some(store);
+        self
+    }
+
+    /// The attached disk tier, if any (tests and the server's startup log
+    /// use this to see whether the two-tier mode is active).
+    #[must_use]
+    pub fn disk_store(&self) -> Option<&Arc<rf_store::DiskStore>> {
+        self.disk.as_ref()
     }
 
     /// The table's content fingerprint, memoized by `Arc` identity.
@@ -410,6 +445,9 @@ impl LabelService {
         table: &Arc<Table>,
         config: &Arc<LabelConfig>,
     ) -> LabelResult<CachedLabel> {
+        if let Some(hit) = self.disk_lookup(key, table, config) {
+            return Ok(hit);
+        }
         let label = self
             .pipeline
             .generate(Arc::clone(table), Arc::clone(config))?;
@@ -423,8 +461,93 @@ impl LabelService {
                 Arc::clone(table),
                 cached.clone(),
             );
+            if let Some(disk) = &self.disk {
+                // Write-behind: the store's background writer frames,
+                // fsyncs, and renames; the request never waits on disk.
+                disk.store(
+                    Self::store_key(key),
+                    rf_store::unix_millis_now(),
+                    Arc::clone(&cached.json),
+                );
+            }
         }
         Ok(cached)
+    }
+
+    fn store_key(key: CacheKey) -> rf_store::StoreKey {
+        rf_store::StoreKey {
+            table: key.table,
+            config: key.config,
+        }
+    }
+
+    /// Probes the disk tier on the leader's cold path (timed as the
+    /// `cache_disk` stage).  A valid, unexpired entry is deserialized back
+    /// into a label, verified against the request's configuration (the
+    /// fingerprints are non-cryptographic, exactly like a memory hit), and
+    /// promoted into the memory tier **at its original age** so the TTL
+    /// clock is never reset by a promotion.  The stored bytes are served
+    /// verbatim — a disk hit is byte-identical to the warm hit it replaces.
+    ///
+    /// Every failure degrades to `None` (regenerate): absent, expired,
+    /// unreadable, corrupt, undeserializable, or colliding.  The stored
+    /// table is not retained on disk, so — unlike a memory hit — a disk hit
+    /// cannot compare the request's table bytes; the table fingerprint in
+    /// the file name plus the embedded configuration check is the guarantee.
+    fn disk_lookup(
+        &self,
+        key: CacheKey,
+        table: &Arc<Table>,
+        config: &Arc<LabelConfig>,
+    ) -> Option<CachedLabel> {
+        let disk = self.disk.as_ref()?;
+        let started = std::time::Instant::now();
+        let result = self.disk_lookup_inner(disk, key, table, config);
+        crate::pipeline::note_stage(rf_obs::Stage::CacheDisk, started.elapsed());
+        result
+    }
+
+    fn disk_lookup_inner(
+        &self,
+        disk: &Arc<rf_store::DiskStore>,
+        key: CacheKey,
+        table: &Arc<Table>,
+        config: &Arc<LabelConfig>,
+    ) -> Option<CachedLabel> {
+        let now = rf_store::unix_millis_now();
+        let ttl_millis = self
+            .ttl
+            .map(|ttl| u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX));
+        let entry = disk.lookup(Self::store_key(key), ttl_millis, now)?;
+        // The framing checksum held, so this is what the writer stored —
+        // but the writer could have been a colliding key's leader, and the
+        // body must round-trip back into a label for the HTML/text renders.
+        let Ok(json) = String::from_utf8(entry.body) else {
+            disk.discard_corrupt(Self::store_key(key));
+            return None;
+        };
+        let Ok(label) = serde_json::from_str::<crate::label::NutritionalLabel>(&json) else {
+            disk.discard_corrupt(Self::store_key(key));
+            return None;
+        };
+        if label.config != **config {
+            // A config-fingerprint collision: the entry is some other
+            // request's valid label.  Leave it; generate for ourselves.
+            return None;
+        }
+        let cached = CachedLabel {
+            label: Arc::new(label),
+            json: Arc::new(json),
+        };
+        let age = std::time::Duration::from_millis(now.saturating_sub(entry.fill_unix_millis));
+        self.cache.lock().expect("label cache lock").insert_aged(
+            key,
+            Arc::clone(table),
+            cached.clone(),
+            age,
+        );
+        disk.note_promotion();
+        Some(cached)
     }
 
     /// Whether the label's Monte-Carlo detail stopped early on its deadline
@@ -529,6 +652,7 @@ impl LabelService {
             network: None,
             admission: None,
             datasets: None,
+            disk: self.disk.as_ref().map(|disk| disk.stats()),
         }
     }
 
@@ -543,6 +667,12 @@ impl LabelService {
     /// on (the cache is content-addressed).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("label cache lock").clear();
+        // The disk tier is purged too — and `DiskStore::clear` first drains
+        // its write-behind queue, so an upload can never race a queued fill
+        // into surviving the invalidation.
+        if let Some(disk) = &self.disk {
+            disk.clear();
+        }
     }
 }
 
@@ -777,6 +907,106 @@ mod tests {
         assert_eq!(service.stats().cache.entries, 1);
         service.label(&table, &generous).unwrap();
         assert_eq!(service.stats().cache.hits, 1);
+    }
+
+    /// A unique scratch directory for disk-tier tests, removed on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "rf-service-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn disk_service(dir: &std::path::Path, ttl: Option<std::time::Duration>) -> LabelService {
+        LabelService::with_cache_policy(AnalysisPipeline::sequential(), 8, 1 << 20, ttl)
+            .with_disk_tier(Arc::new(rf_store::DiskStore::open(dir, 1 << 20).unwrap()))
+    }
+
+    #[test]
+    fn disk_tier_serves_a_fresh_service_byte_identically_with_zero_preparations() {
+        let scratch = Scratch::new("restart");
+        let (table, config) = scenario();
+        let cold = {
+            let service = disk_service(&scratch.0, None);
+            let cold = service.label(&table, &config).unwrap();
+            service.disk_store().unwrap().flush();
+            cold
+        };
+        // "Restart": a brand-new service (empty memory tier) over the same
+        // directory.  Its first request is a disk hit — no pipeline work.
+        let service = disk_service(&scratch.0, None);
+        let prepared_before = AnalysisContext::preparations();
+        let warm = service.label(&table, &config).unwrap();
+        assert_eq!(
+            AnalysisContext::preparations(),
+            prepared_before,
+            "a disk hit performs zero preparations"
+        );
+        assert_eq!(warm.json, cold.json, "stored bytes served verbatim");
+        assert_eq!(warm.label, cold.label, "label round-trips through JSON");
+        let stats = service.stats();
+        let disk = stats.disk.expect("disk tier attached");
+        assert_eq!(disk.disk_hits, 1);
+        assert_eq!(disk.promotions, 1);
+        assert_eq!(stats.cache.misses, 1, "the memory tier missed");
+        // The promotion warmed the memory tier: next request is a warm hit.
+        service.label(&table, &config).unwrap();
+        assert_eq!(service.stats().cache.hits, 1);
+        assert_eq!(service.stats().disk.unwrap().disk_hits, 1);
+    }
+
+    #[test]
+    fn ttl_expired_disk_entries_are_not_re_promoted() {
+        let scratch = Scratch::new("ttl");
+        let (table, config) = scenario();
+        let ttl = Some(std::time::Duration::from_millis(60));
+        let service = disk_service(&scratch.0, ttl);
+        service.label(&table, &config).unwrap();
+        service.disk_store().unwrap().flush();
+        assert_eq!(service.stats().disk.unwrap().entries, 1);
+        std::thread::sleep(std::time::Duration::from_millis(90));
+        // Memory and disk both expired: the request regenerates — the disk
+        // entry's persisted fill timestamp must not resurrect it.
+        service.label(&table, &config).unwrap();
+        let stats = service.stats();
+        let disk = stats.disk.unwrap();
+        assert_eq!(disk.disk_hits, 0, "an expired disk entry never serves");
+        assert_eq!(disk.promotions, 0);
+        assert_eq!(stats.cache.expired, 1);
+        assert_eq!(stats.cache.misses, 2);
+    }
+
+    #[test]
+    fn clear_cache_purges_the_disk_tier_too() {
+        let scratch = Scratch::new("clear");
+        let (table, config) = scenario();
+        let service = disk_service(&scratch.0, None);
+        service.label(&table, &config).unwrap();
+        service.disk_store().unwrap().flush();
+        assert_eq!(service.stats().disk.unwrap().entries, 1);
+        service.clear_cache();
+        let stats = service.stats();
+        assert_eq!(stats.cache.entries, 0);
+        assert_eq!(stats.disk.unwrap().entries, 0);
+        // The next request is a full cold generation, not a disk hit.
+        service.label(&table, &config).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.disk.unwrap().disk_hits, 0);
+        assert_eq!(stats.cache.misses, 2);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use trace::{
 use std::time::Duration;
 
 /// Number of instrumented request lifecycle stages.
-pub const STAGE_COUNT: usize = 8;
+pub const STAGE_COUNT: usize = 9;
 
 /// The instrumented stages of a request's lifecycle, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +46,9 @@ pub enum Stage {
     QueueWait,
     /// Label-cache probe, including single-flight join/lead resolution.
     CacheLookup,
+    /// On-disk tier probe on a memory miss: read, framing validation, and
+    /// (on a hit) promotion into the in-memory cache.
+    CacheDisk,
     /// `AnalysisPipeline::prepare` (ranking, groups, normalized scoring).
     Prepare,
     /// `AnalysisPipeline::render` (widget fan-out, label assembly).
@@ -63,6 +66,7 @@ impl Stage {
         Stage::Admission,
         Stage::QueueWait,
         Stage::CacheLookup,
+        Stage::CacheDisk,
         Stage::Prepare,
         Stage::Render,
         Stage::McTrials,
@@ -77,10 +81,11 @@ impl Stage {
             Stage::Admission => 1,
             Stage::QueueWait => 2,
             Stage::CacheLookup => 3,
-            Stage::Prepare => 4,
-            Stage::Render => 5,
-            Stage::McTrials => 6,
-            Stage::Write => 7,
+            Stage::CacheDisk => 4,
+            Stage::Prepare => 5,
+            Stage::Render => 6,
+            Stage::McTrials => 7,
+            Stage::Write => 8,
         }
     }
 
@@ -93,6 +98,7 @@ impl Stage {
             Stage::Admission => "admission",
             Stage::QueueWait => "queue_wait",
             Stage::CacheLookup => "cache_lookup",
+            Stage::CacheDisk => "cache_disk",
             Stage::Prepare => "prepare",
             Stage::Render => "render",
             Stage::McTrials => "mc_trials",

@@ -264,10 +264,11 @@ fn prom_histogram(out: &mut String, name: &str, labels: &str, snap: &rf_obs::His
 
 /// The service-side stages recorded into the process-wide histograms (the
 /// worker pool is shared across shards); `parse` and `write` are per-shard.
-const SERVICE_SIDE_STAGES: [rf_obs::Stage; 6] = [
+const SERVICE_SIDE_STAGES: [rf_obs::Stage; 7] = [
     rf_obs::Stage::Admission,
     rf_obs::Stage::QueueWait,
     rf_obs::Stage::CacheLookup,
+    rf_obs::Stage::CacheDisk,
     rf_obs::Stage::Prepare,
     rf_obs::Stage::Render,
     rf_obs::Stage::McTrials,
@@ -358,6 +359,31 @@ fn metrics_exposition(state: &AppState) -> Response {
     ] {
         prom_type(&mut out, name, "gauge");
         prom_sample(&mut out, name, "", value);
+    }
+
+    // The on-disk tier's families only exist when the tier is configured —
+    // a memory-only deployment (including degraded mode after an unusable
+    // cache directory) exposes no `rf_disk_*` series at all.
+    if let Some(disk) = &stats.disk {
+        for (name, value) in [
+            ("rf_disk_hits_total", disk.disk_hits),
+            ("rf_disk_misses_total", disk.disk_misses),
+            ("rf_disk_promotions_total", disk.promotions),
+            ("rf_disk_write_errors_total", disk.write_errors),
+            ("rf_disk_corrupt_dropped_total", disk.corrupt_dropped),
+            ("rf_disk_pruned_total", disk.pruned),
+        ] {
+            prom_type(&mut out, name, "counter");
+            prom_sample(&mut out, name, "", value);
+        }
+        for (name, value) in [
+            ("rf_disk_entries", disk.entries),
+            ("rf_disk_bytes", disk.bytes),
+            ("rf_disk_max_bytes", disk.max_bytes),
+        ] {
+            prom_type(&mut out, name, "gauge");
+            prom_sample(&mut out, name, "", value);
+        }
     }
 
     if let Some(network) = state.network_snapshot() {
@@ -1473,6 +1499,117 @@ mod tests {
             Arc::ptr_eq(shared, shared_again),
             "cold and warm responses share one allocation"
         );
+    }
+
+    /// A unique scratch directory for disk-tier tests, removed on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "rf-router-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Demo state over a two-tier cache rooted at `dir`.
+    fn disk_state(dir: &std::path::Path) -> AppState {
+        let service = LabelService::with_cache_policy(
+            rf_core::AnalysisPipeline::sequential(),
+            64,
+            1 << 22,
+            None,
+        )
+        .with_disk_tier(Arc::new(rf_store::DiskStore::open(dir, 1 << 22).unwrap()));
+        AppState::with_service(DatasetCatalog::with_demo_datasets(), service)
+    }
+
+    #[test]
+    fn restarted_state_over_a_warm_disk_tier_serves_disk_hits() {
+        let scratch = Scratch::new("restart");
+        let cold_body = {
+            let state = disk_state(&scratch.0);
+            let cold = route(&state, &get("/datasets/cs-departments/label.json?k=5"));
+            assert_eq!(cold.status, StatusCode::Ok);
+            // Write-behind: make the fill durable before the "crash".
+            state.labels.disk_store().unwrap().flush();
+            cold.body.to_string()
+        };
+        // "Restart": a fresh AppState (empty memory tier) over the same
+        // directory answers the same request from disk, byte-identically.
+        let state = disk_state(&scratch.0);
+        let warm = route(&state, &get("/datasets/cs-departments/label.json?k=5"));
+        assert_eq!(warm.status, StatusCode::Ok);
+        assert_eq!(warm.body.as_str(), cold_body.as_str());
+
+        let stats = route(&state, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&stats.body).unwrap();
+        assert_eq!(value["disk"]["disk_hits"], 1, "{}", stats.body);
+        assert_eq!(value["disk"]["promotions"], 1);
+        assert_eq!(value["cache"]["misses"], 1, "memory tier started cold");
+        assert!(value["disk"]["entries"].as_u64().unwrap() >= 1);
+
+        let metrics = route(&state, &get("/metrics"));
+        assert!(metrics.body.contains("# TYPE rf_disk_hits_total counter"));
+        assert!(
+            metrics.body.contains("rf_disk_hits_total 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(metrics.body.contains("# TYPE rf_disk_entries gauge"));
+        assert!(metrics.body.contains("rf_disk_max_bytes"));
+
+        // Memory-only deployments expose neither the /stats block nor the
+        // /metrics families.
+        let memory_only = demo_catalog();
+        let stats = route(&memory_only, &get("/stats"));
+        let value: serde_json::Value = serde_json::from_str(&stats.body).unwrap();
+        assert!(value["disk"].is_null(), "{}", stats.body);
+        let metrics = route(&memory_only, &get("/metrics"));
+        assert!(!metrics.body.contains("rf_disk_"));
+    }
+
+    #[test]
+    fn dataset_upload_purges_the_disk_tier_too() {
+        let scratch = Scratch::new("purge");
+        let state = disk_state(&scratch.0);
+        let _ = route(&state, &get("/datasets/cs-departments/label.json?k=5"));
+        state.labels.disk_store().unwrap().flush();
+        let before = state.labels.stats();
+        assert_eq!(before.cache.entries, 1);
+        assert!(before.disk.unwrap().entries >= 1);
+
+        // The upload's invalidation must reach both tiers — a stale label
+        // surviving on disk would resurrect on the next restart.
+        let csv = "name,score\na,3\nb,2\nc,1\nd,4\ne,5\n";
+        let resp = route(&state, &post("/datasets/mydata?score_attrs=score&k=3", csv));
+        assert_eq!(resp.status, StatusCode::Ok, "body: {}", resp.body);
+        let after = state.labels.stats();
+        assert_eq!(after.cache.entries, 0);
+        let disk = after.disk.unwrap();
+        assert_eq!(disk.entries, 0, "disk tier must be purged");
+        assert_eq!(disk.bytes, 0);
+
+        // Counter-verified: the next request regenerates (a disk miss), it
+        // does not resurrect the purged entry.
+        let hits_before = disk.disk_hits;
+        let misses_before = disk.disk_misses;
+        let again = route(&state, &get("/datasets/cs-departments/label.json?k=5"));
+        assert_eq!(again.status, StatusCode::Ok);
+        let disk = state.labels.stats().disk.unwrap();
+        assert_eq!(disk.disk_hits, hits_before, "no hit on a purged tier");
+        assert_eq!(disk.disk_misses, misses_before + 1);
     }
 
     #[test]

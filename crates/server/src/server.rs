@@ -39,6 +39,9 @@ pub const DEFAULT_MAX_PENDING: usize = 1_024;
 pub const DEFAULT_SLOW_THRESHOLD_MS: u64 = 500;
 /// Default capacity of the slow-trace ring.
 pub const DEFAULT_TRACE_RING_ENTRIES: usize = 256;
+/// Default size bound for the on-disk label-cache tier (256 MiB).  Only
+/// relevant once `--cache-dir` opts into the disk tier at all.
+pub const DEFAULT_CACHE_DISK_BYTES: u64 = 256 * 1024 * 1024;
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +119,14 @@ pub struct ServerOptions {
     pub cache_entries: usize,
     /// Maximum resident cached bytes (`--cache-bytes N`).
     pub cache_bytes: usize,
+    /// Directory for the crash-safe on-disk label-cache tier
+    /// (`--cache-dir PATH`; default none — memory-only, exactly the
+    /// pre-disk-tier behaviour).  An unusable directory degrades to
+    /// memory-only with a startup warning instead of refusing to serve.
+    pub cache_dir: Option<String>,
+    /// Size bound for the on-disk tier in bytes (`--cache-disk-bytes N`;
+    /// default 256 MiB).  Oldest entries are pruned first.
+    pub cache_disk_bytes: u64,
     /// Reactor shards (`--reactors N`; default = available cores).  `1`
     /// preserves the single-reactor topology bit for bit.
     pub reactors: usize,
@@ -148,6 +159,8 @@ impl Default for ServerOptions {
             cache_ttl_secs: None,
             cache_entries: rf_core::service::DEFAULT_CACHE_CAPACITY,
             cache_bytes: rf_core::service::DEFAULT_CACHE_BYTES,
+            cache_dir: None,
+            cache_disk_bytes: DEFAULT_CACHE_DISK_BYTES,
             reactors: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             max_conns: DEFAULT_MAX_CONNECTIONS,
             idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
@@ -202,6 +215,16 @@ impl ServerOptions {
                 "--cache-bytes" => {
                     options.cache_bytes = (numeric("--cache-bytes")? as usize).max(1);
                 }
+                "--cache-dir" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--cache-dir expects a path".to_string())?;
+                    options.cache_dir = Some(value);
+                }
+                "--cache-disk-bytes" => {
+                    options.cache_disk_bytes =
+                        positive("--cache-disk-bytes", numeric("--cache-disk-bytes")?)?;
+                }
                 "--reactors" => {
                     options.reactors = positive("--reactors", numeric("--reactors")?)? as usize;
                 }
@@ -237,9 +260,10 @@ impl ServerOptions {
                 flag if flag.starts_with("--") => {
                     return Err(format!(
                         "unknown flag `{flag}` (available: --workers, --cache-ttl-secs, \
-                         --cache-entries, --cache-bytes, --reactors, --max-conns, \
-                         --idle-timeout-ms, --request-deadline-ms, --max-pending, \
-                         --slow-threshold-ms, --trace-ring-entries, --synth-rows)"
+                         --cache-entries, --cache-bytes, --cache-dir, --cache-disk-bytes, \
+                         --reactors, --max-conns, --idle-timeout-ms, --request-deadline-ms, \
+                         --max-pending, --slow-threshold-ms, --trace-ring-entries, \
+                         --synth-rows)"
                     ));
                 }
                 address => {
@@ -273,16 +297,35 @@ impl ServerOptions {
     /// Builds the label service these options describe: the parallel
     /// pipeline on a dedicated `workers`-sized scheduler, behind a cache
     /// bounded by `cache_entries` / `cache_bytes` whose entries expire
-    /// after `cache_ttl_secs` (when set).
+    /// after `cache_ttl_secs` (when set), with the crash-safe on-disk tier
+    /// under it when `--cache-dir` names a directory.
+    ///
+    /// The disk tier fails *soft*: labels are pure functions of
+    /// (table, config), so an unusable cache directory costs warm restarts,
+    /// never correctness.  On any open error the server logs a warning and
+    /// serves memory-only — degraded, not down.
     #[must_use]
     pub fn label_service(&self) -> rf_core::LabelService {
         let pool = Arc::new(rf_runtime::ThreadPool::new(self.workers));
-        rf_core::LabelService::with_cache_policy(
+        let service = rf_core::LabelService::with_cache_policy(
             rf_core::AnalysisPipeline::with_pool(pool),
             self.cache_entries,
             self.cache_bytes,
             self.cache_ttl_secs.map(std::time::Duration::from_secs),
-        )
+        );
+        let Some(dir) = &self.cache_dir else {
+            return service;
+        };
+        match rf_store::DiskStore::open(dir, self.cache_disk_bytes) {
+            Ok(store) => service.with_disk_tier(Arc::new(store)),
+            Err(err) => {
+                eprintln!(
+                    "warning: cache dir `{dir}` unusable ({err}); \
+                     serving memory-only (degraded mode)"
+                );
+                service
+            }
+        }
     }
 }
 
@@ -822,6 +865,58 @@ mod tests {
         }
         assert!(ServerOptions::parse(["--max-conns", "none"]).is_err());
         assert!(ServerOptions::parse(["--idle-timeout-ms"]).is_err());
+    }
+
+    #[test]
+    fn cache_dir_flags_parse_and_degrade_softly() {
+        // Defaults: no disk tier, 256 MiB bound once one is named.
+        let defaults = ServerOptions::default();
+        assert_eq!(defaults.cache_dir, None);
+        assert_eq!(defaults.cache_disk_bytes, DEFAULT_CACHE_DISK_BYTES);
+        assert!(defaults.label_service().disk_store().is_none());
+
+        let parsed = ServerOptions::parse([
+            "--cache-dir",
+            "/tmp/rf-cache",
+            "--cache-disk-bytes",
+            "1048576",
+        ])
+        .unwrap();
+        assert_eq!(parsed.cache_dir.as_deref(), Some("/tmp/rf-cache"));
+        assert_eq!(parsed.cache_disk_bytes, 1_048_576);
+        assert!(ServerOptions::parse(["--cache-dir"]).is_err());
+        assert!(ServerOptions::parse(["--cache-disk-bytes", "0"]).is_err());
+        assert!(ServerOptions::parse(["--cache-disk-bytes", "lots"]).is_err());
+
+        // A usable directory attaches the disk tier…
+        let dir = std::env::temp_dir().join(format!("rf-server-flags-{}", std::process::id()));
+        let mut options = ServerOptions {
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            workers: 1,
+            ..ServerOptions::default()
+        };
+        let service = options.label_service();
+        assert!(service.disk_store().is_some());
+        assert_eq!(
+            service.stats().disk.unwrap().max_bytes,
+            DEFAULT_CACHE_DISK_BYTES
+        );
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // …an unusable one degrades to memory-only instead of refusing to
+        // serve: labels are recomputable, warm restarts are not worth an
+        // outage.
+        let file = std::env::temp_dir().join(format!("rf-server-plain-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        options.cache_dir = Some(file.join("cache").to_string_lossy().into_owned());
+        let degraded = options.label_service();
+        assert!(
+            degraded.disk_store().is_none(),
+            "degraded mode is memory-only"
+        );
+        assert!(degraded.stats().disk.is_none());
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -120,7 +120,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(usize, u32, u64, i64, f64);
+impl_range_strategy!(usize, u8, u16, u32, u64, i64, f64);
 
 // ---------------------------------------------------------------------------
 // Tuples of strategies.
@@ -291,5 +291,47 @@ impl Strategy for String {
 
     fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
         self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn narrow_integer_ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("narrow_integer_ranges_stay_in_bounds");
+        for _ in 0..256 {
+            let byte = (3u8..200).generate(&mut rng).unwrap();
+            assert!((3..200).contains(&byte));
+            let word = (10u16..=1000).generate(&mut rng).unwrap();
+            assert!((10..=1000).contains(&word));
+        }
+    }
+
+    #[test]
+    fn narrow_integer_ranges_cover_their_endpoints() {
+        // A 4-value range must produce every member within a few hundred
+        // draws, or the narrow-type sampling is biased.
+        let mut rng = TestRng::for_test("narrow_integer_ranges_cover_their_endpoints");
+        let mut seen = [false; 4];
+        for _ in 0..512 {
+            let v = (0u8..4).generate(&mut rng).unwrap();
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn narrow_types_compose_with_map_filter_and_tuples() {
+        let mut rng = TestRng::for_test("narrow_types_compose_with_map_filter_and_tuples");
+        let even = (0u16..100).prop_filter("even", |v| v % 2 == 0);
+        let labeled = (0u8..10).prop_map(|v| v as usize + 1);
+        for _ in 0..64 {
+            let (word, shifted) = (even.clone(), labeled.clone()).generate(&mut rng).unwrap();
+            assert_eq!(word % 2, 0);
+            assert!((1..=10).contains(&shifted));
+        }
     }
 }

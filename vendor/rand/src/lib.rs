@@ -101,7 +101,7 @@ macro_rules! impl_sample_range_int {
     )*};
 }
 
-impl_sample_range_int!(usize, u64, u32, i64);
+impl_sample_range_int!(usize, u64, u32, u16, u8, i64);
 
 /// Convenience methods over any [`RngCore`].
 pub trait Rng: RngCore {
